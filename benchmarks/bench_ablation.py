@@ -1,0 +1,147 @@
+"""EXP-ABL — ablations of the implementation choices DESIGN.md calls out.
+
+These benchmarks are not tied to a specific table of the paper; they quantify
+the choices the reproduction makes on top of the paper's algorithms:
+
+* the monotonicity pruning hints of the package enumerator (soundness is
+  guaranteed — the hints only skip provably invalid subtrees);
+* the Theorem 5.1 oracle-based FRP solver against the exhaustive reference
+  solver;
+* the greedy / beam-search heuristics of :mod:`repro.core.heuristics` against
+  the exact solver (the Section 9 "practical cases" direction);
+* the group-recommendation aggregation strategies, which all reduce to the
+  same package machinery and therefore should cost roughly the same.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import (
+    AttributeSumCost,
+    CallableRating,
+    GroupMember,
+    GroupRecommendationProblem,
+    PolynomialBound,
+    beam_search_top_k,
+    compute_group_top_k,
+    compute_top_k,
+    compute_top_k_with_oracle,
+    greedy_top_k,
+)
+from repro.queries import identity_query_for
+from repro.workloads import synthetic_package_problem
+
+SIZES = [8, 10, 12]
+
+
+def _problem(num_items: int, pruning: bool = True):
+    problem = synthetic_package_problem(num_items, budget=60.0, k=2, seed=num_items).problem
+    if pruning:
+        return problem
+    return replace(problem, monotone_cost=False, antimonotone_compatibility=False)
+
+
+# ---------------------------------------------------------------------------
+# Pruning hints on/off
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("num_items", SIZES)
+def test_frp_exhaustive_with_pruning(benchmark, annotate, num_items):
+    problem = _problem(num_items, pruning=True)
+    annotate(group="ablation/pruning", variant="pruning on", db_size=num_items)
+    result = benchmark(lambda: compute_top_k(problem))
+    assert result.found
+
+
+@pytest.mark.parametrize("num_items", SIZES)
+def test_frp_exhaustive_without_pruning(benchmark, annotate, num_items):
+    problem = _problem(num_items, pruning=False)
+    annotate(group="ablation/pruning", variant="pruning off", db_size=num_items)
+    result = benchmark(lambda: compute_top_k(problem))
+    assert result.found
+
+
+def test_pruning_never_changes_the_answer(annotate):
+    annotate(group="ablation/pruning", variant="soundness check")
+    for num_items in SIZES:
+        pruned = compute_top_k(_problem(num_items, pruning=True))
+        unpruned = compute_top_k(_problem(num_items, pruning=False))
+        assert pruned.ratings == unpruned.ratings
+
+
+# ---------------------------------------------------------------------------
+# Theorem 5.1 oracle solver vs the exhaustive reference
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("num_items", SIZES)
+def test_frp_oracle_solver(benchmark, annotate, num_items):
+    problem = _problem(num_items)
+    annotate(group="ablation/oracle", variant="Theorem 5.1 oracle", db_size=num_items)
+    result = benchmark(lambda: compute_top_k_with_oracle(problem))
+    assert result.found
+    assert result.ratings == compute_top_k(problem).ratings
+
+
+# ---------------------------------------------------------------------------
+# Heuristics vs exact (the Section 9 "practical and tractable cases" direction)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("num_items", SIZES)
+def test_frp_greedy_heuristic(benchmark, annotate, num_items):
+    problem = _problem(num_items)
+    exact = compute_top_k(problem)
+    annotate(group="ablation/heuristics", variant="greedy", db_size=num_items)
+    result = benchmark(lambda: greedy_top_k(problem))
+    assert result.found
+    assert result.ratings[0] <= exact.ratings[0] + 1e-9
+    benchmark.extra_info["quality_ratio"] = (
+        sum(result.ratings) / sum(exact.ratings) if sum(exact.ratings) else 1.0
+    )
+
+
+@pytest.mark.parametrize("num_items", SIZES)
+def test_frp_beam_search(benchmark, annotate, num_items):
+    problem = _problem(num_items)
+    exact = compute_top_k(problem)
+    annotate(group="ablation/heuristics", variant="beam width 8", db_size=num_items)
+    result = benchmark(lambda: beam_search_top_k(problem, beam_width=8))
+    assert result.found
+    assert result.ratings[0] <= exact.ratings[0] + 1e-9
+    benchmark.extra_info["quality_ratio"] = (
+        sum(result.ratings) / sum(exact.ratings) if sum(exact.ratings) else 1.0
+    )
+
+
+# ---------------------------------------------------------------------------
+# Group aggregation strategies
+# ---------------------------------------------------------------------------
+def _group_problem(num_items: int) -> GroupRecommendationProblem:
+    base = synthetic_package_problem(num_items, budget=60.0, k=1, seed=num_items).problem
+
+    def quality(package):
+        return float(sum(package.column("quality")))
+
+    def frugal(package):
+        return -float(sum(package.column("price")))
+
+    return GroupRecommendationProblem(
+        database=base.database,
+        query=base.query,
+        cost=AttributeSumCost("price"),
+        budget=60.0,
+        members=[
+            GroupMember("quality_seeker", CallableRating(quality, "total quality")),
+            GroupMember("frugal", CallableRating(frugal, "minimise price")),
+        ],
+        k=1,
+        compatibility=base.compatibility,
+        size_bound=PolynomialBound(1.0, 1),
+        monotone_cost=True,
+        antimonotone_compatibility=True,
+    )
+
+
+@pytest.mark.parametrize("strategy", ["average", "least_misery", "most_pleasure"])
+def test_group_strategies_cost_the_same_machinery(benchmark, annotate, strategy):
+    group = _group_problem(10).with_strategy(strategy)
+    annotate(group="ablation/group", variant=strategy, db_size=10)
+    result = benchmark(lambda: compute_group_top_k(group))
+    assert result.found

@@ -1,0 +1,114 @@
+"""EXP-S8 — Theorem 8.1 / Corollary 8.2: adjustment recommendations.
+
+Sweeps:
+
+* the 3SAT → ARPP encoding with a growing formula (NP-hard in the data), and
+* item-level adjustments over growing candidate pools — unlike every other
+  problem, the item restriction does *not* tame ARPP (Corollary 8.2): the
+  search over subsets of candidate modifications dominates either way, which
+  the two series show by growing at the same rate.
+"""
+
+import pytest
+
+from repro.adjustment import find_item_adjustment, find_package_adjustment
+from repro.complexity import Problem, TABLE_8_2
+from repro.logic.generators import random_3cnf
+from repro.queries import identity_query_for
+from repro.reductions import arpp_from_3sat
+from repro.relational import Database, Relation
+from repro.workloads.synthetic import item_schema, random_item_database
+
+
+@pytest.mark.parametrize("variables", [2, 3])
+def test_arpp_packages_3sat(benchmark, annotate, variables):
+    encoding = arpp_from_3sat(random_3cnf(variables, variables, seed=variables))
+    annotate(
+        group="ARPP/packages",
+        paper_cell=str(TABLE_8_2[Problem.ARPP].poly_bounded) + " (data complexity)",
+        variables=variables,
+    )
+    result = benchmark(encoding.solve)
+    assert result.found == encoding.expected()
+
+
+def _candidate_pool(size: int, seed: int) -> Database:
+    rng_database = random_item_database(size, seed=seed)
+    rows = [(iid + 1000, category, price, quality + 50) for iid, category, price, quality in rng_database.relation("items")]
+    return Database([Relation(item_schema(), rows)])
+
+
+@pytest.mark.parametrize("pool_size", [4, 6, 8])
+def test_arpp_items_pool_growth(benchmark, annotate, pool_size):
+    """Item-level ARPP: the candidate pool, not the package size, drives the cost."""
+    database = random_item_database(10, seed=1)
+    query = identity_query_for(database.relation("items"))
+    additions = _candidate_pool(pool_size, seed=2)
+    annotate(
+        group="ARPP/items",
+        paper_cell=str(TABLE_8_2[Problem.ARPP].constant_bounded) + " even for items (Cor. 8.2)",
+        pool_size=pool_size,
+    )
+    benchmark(
+        lambda: find_item_adjustment(
+            database,
+            query,
+            utility=lambda row: float(row[3]),
+            additions=additions,
+            rating_bound=1_000.0,  # unattainable: forces the full k'-bounded search
+            k=1,
+            max_changes=2,
+            allow_deletions=False,
+        )
+    )
+
+
+@pytest.mark.parametrize("max_changes", [1, 2, 3])
+def test_arpp_k_prime_growth(benchmark, annotate, max_changes):
+    """Growing the modification budget k′ grows the adjustment search space."""
+    database = random_item_database(8, seed=3)
+    query = identity_query_for(database.relation("items"))
+    additions = _candidate_pool(6, seed=4)
+    problem_like_bound = 1_000.0  # unattainable so the whole space is explored
+    annotate(
+        group="ARPP/k-prime",
+        paper_cell=str(TABLE_8_2[Problem.ARPP].poly_bounded),
+        max_changes=max_changes,
+    )
+    benchmark(
+        lambda: find_item_adjustment(
+            database,
+            query,
+            utility=lambda row: float(row[3]),
+            additions=additions,
+            rating_bound=problem_like_bound,
+            k=1,
+            max_changes=max_changes,
+            allow_deletions=False,
+        )
+    )
+
+
+def test_arpp_package_level_with_witness(benchmark, annotate):
+    """A package-level adjustment that succeeds, with its witness checked."""
+    from repro.core import AttributeSumCost, AttributeSumRating, PolynomialBound, RecommendationProblem
+
+    database = random_item_database(8, seed=5)
+    additions = _candidate_pool(5, seed=6)
+    problem = RecommendationProblem(
+        database=database,
+        query=identity_query_for(database.relation("items")),
+        cost=AttributeSumCost("price"),
+        val=AttributeSumRating("quality"),
+        budget=60.0,
+        k=1,
+        monotone_cost=True,
+        size_bound=PolynomialBound(1.0, 1),
+    )
+    annotate(group="ARPP/packages/witness", paper_cell=str(TABLE_8_2[Problem.ARPP].poly_bounded))
+    result = benchmark(
+        lambda: find_package_adjustment(
+            problem, additions, rating_bound=60.0, max_changes=2, allow_deletions=False
+        )
+    )
+    assert result.found

@@ -1,0 +1,85 @@
+"""EXP-F4.1 — Figure 4.1: the Boolean gadget relations and their CQ circuits.
+
+The figure itself is four tiny relations; reproducing it means (a) regenerating
+exactly those relations and (b) showing that the circuit compilation the
+reductions build on top of them really evaluates Boolean formulas inside a
+conjunctive query.  The benchmark times gadget construction and circuit
+evaluation as the encoded formula grows — the latter is the exponential
+"truth-assignment enumeration via Cartesian products of R01" at the heart of
+every combined-complexity lower bound.
+"""
+
+import pytest
+
+from repro.logic.generators import random_3cnf, random_3dnf
+from repro.logic.solvers import count_models
+from repro.queries import ConjunctiveQuery
+from repro.reductions import (
+    CircuitBuilder,
+    assignment_atoms,
+    boolean_gadget_database,
+    figure_4_1_rows,
+)
+
+
+def test_figure_4_1_contents(benchmark, annotate):
+    """Regenerate the figure and check it against the paper's truth tables."""
+    annotate(group="figure-4.1", paper_cell="Figure 4.1 gadget relations")
+    rows = benchmark(figure_4_1_rows)
+    assert rows["R01"] == ((0,), (1,))
+    assert set(rows["ROR"]) == {(0, 0, 0), (1, 0, 1), (1, 1, 0), (1, 1, 1)}
+    assert set(rows["RAND"]) == {(0, 0, 0), (0, 0, 1), (0, 1, 0), (1, 1, 1)}
+    assert set(rows["RNOT"]) == {(0, 1), (1, 0)}
+
+
+def test_gadget_database_construction(benchmark, annotate):
+    annotate(group="figure-4.1", paper_cell="Figure 4.1 gadget relations")
+    database = benchmark(boolean_gadget_database)
+    assert database.size() == 12
+
+
+def _circuit_query(num_variables: int, num_clauses: int, seed: int) -> ConjunctiveQuery:
+    formula = random_3cnf(num_variables, num_clauses, seed=seed)
+    variables = formula.variables()
+    mapping, atoms = assignment_atoms(variables)
+    builder = CircuitBuilder(dict(mapping))
+    output = builder.compile_cnf(formula)
+    head = [mapping[v] for v in variables] + [output]
+    return ConjunctiveQuery(head, list(atoms) + builder.atoms, builder.comparisons)
+
+
+@pytest.mark.parametrize("num_variables", [2, 3, 4])
+def test_cnf_circuit_evaluation_scaling(benchmark, annotate, num_variables):
+    """Evaluating the circuit enumerates all 2^m assignments — the intended blow-up."""
+    query = _circuit_query(num_variables, 3, seed=num_variables)
+    database = boolean_gadget_database()
+    annotate(
+        group="figure-4.1/circuit",
+        paper_cell="truth-assignment generator (2^m answers)",
+        variables=num_variables,
+    )
+    answer = benchmark(lambda: query.evaluate(database))
+    assert len(answer) == 2 ** num_variables
+
+
+@pytest.mark.parametrize("num_clauses", [2, 4, 6])
+def test_cnf_circuit_matches_model_count(benchmark, annotate, num_clauses):
+    """The circuit output column agrees with the reference model counter."""
+    formula = random_3cnf(3, num_clauses, seed=100 + num_clauses)
+    variables = formula.variables()
+    mapping, atoms = assignment_atoms(variables)
+    builder = CircuitBuilder(dict(mapping))
+    output = builder.compile_cnf(formula)
+    query = ConjunctiveQuery(
+        [mapping[v] for v in variables] + [output],
+        list(atoms) + builder.atoms,
+        builder.comparisons,
+    )
+    database = boolean_gadget_database()
+    annotate(group="figure-4.1/circuit", paper_cell="CQ circuit ↔ #SAT agreement", clauses=num_clauses)
+
+    def satisfied_assignments() -> int:
+        return sum(1 for row in query.evaluate(database).rows() if row[-1] == 1)
+
+    observed = benchmark(satisfied_assignments)
+    assert observed == count_models(formula)

@@ -1,0 +1,89 @@
+"""EXP-S7 — Theorem 7.2 / Corollary 7.3: query relaxation recommendations.
+
+Two sweeps:
+
+* the 3SAT → QRPP encoding with a growing formula (the NP-hard data-complexity
+  regime for packages), and
+* the item-level relaxation of Example 7.1 over growing travel databases
+  (the PTIME regime of Corollary 7.3).
+
+The shape to observe: the package series grows sharply with the instance, the
+item series grows gently with the database.
+"""
+
+import pytest
+
+from repro.complexity import Problem, TABLE_8_2
+from repro.logic.generators import random_3cnf
+from repro.reductions import qrpp_from_3sat
+from repro.relaxation import RelaxationSpace, find_item_relaxation, find_package_relaxation
+from repro.workloads.travel import (
+    city_distance_function,
+    direct_flight_query,
+    random_travel_database,
+)
+
+
+@pytest.mark.parametrize("clauses", [1, 2, 3])
+def test_qrpp_packages_3sat(benchmark, annotate, clauses):
+    encoding = qrpp_from_3sat(random_3cnf(3, clauses, seed=clauses))
+    annotate(
+        group="QRPP/packages",
+        paper_cell=str(TABLE_8_2[Problem.QRPP].poly_bounded) + " (data complexity)",
+        clauses=clauses,
+    )
+    result = benchmark(encoding.solve)
+    assert result.found == encoding.expected()
+
+
+@pytest.mark.parametrize("clauses", [1, 2])
+def test_qrpp_packages_search_space(benchmark, annotate, clauses):
+    """The same encoding, measuring the full search (no early exit) via a no-hit bound."""
+    encoding = qrpp_from_3sat(random_3cnf(3, clauses, seed=10 + clauses))
+    annotate(
+        group="QRPP/packages/full-search",
+        paper_cell=str(TABLE_8_2[Problem.QRPP].poly_bounded) + " (data complexity)",
+        clauses=clauses,
+    )
+    benchmark(
+        lambda: find_package_relaxation(
+            encoding.problem, encoding.space, rating_bound=encoding.rating_bound + 10, max_gap=1.0
+        )
+    )
+
+
+@pytest.mark.parametrize("num_flights", [20, 40, 80])
+def test_qrpp_items_travel(benchmark, annotate, num_flights):
+    database = random_travel_database(num_flights, 10, seed=num_flights)
+    query = direct_flight_query("edi", "sfo", "1/1/2012")  # no such flights exist
+    space = RelaxationSpace.for_constants(
+        query,
+        distances={"sfo": city_distance_function(database)},
+        include=["sfo", "1/1/2012"],
+    )
+    annotate(
+        group="QRPP/items",
+        paper_cell=str(TABLE_8_2[Problem.QRPP].constant_bounded) + " for items (Cor. 7.3)",
+        flights=num_flights,
+    )
+    benchmark(
+        lambda: find_item_relaxation(
+            database, space, lambda row: -float(row[3]), rating_bound=-10_000.0, k=1, max_gap=500.0
+        )
+    )
+
+
+@pytest.mark.parametrize("relaxable_constants", [1, 2])
+def test_qrpp_relaxation_space_growth(benchmark, annotate, relaxable_constants):
+    """Growing the set E of relaxable parameters grows the relaxation space."""
+    database = random_travel_database(30, 10, seed=3)
+    query = direct_flight_query("edi", "nyc", "9/9/2012")
+    include = ["nyc", "9/9/2012"][:relaxable_constants]
+    space = RelaxationSpace.for_constants(query, include=include)
+    annotate(
+        group="QRPP/space-size",
+        paper_cell="relaxations up to D-equivalence",
+        relaxable_constants=relaxable_constants,
+    )
+    relaxations = benchmark(lambda: list(space.enumerate_relaxations(database, max_gap=5.0)))
+    assert len(relaxations) >= 1

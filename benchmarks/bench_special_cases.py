@@ -1,0 +1,110 @@
+"""EXP-S6 — Section 6 special cases (Corollaries 6.1–6.3, Theorem 6.4).
+
+Ablations over one synthetic instance family:
+
+* constant package bound vs polynomial bound (Corollary 6.1);
+* presence vs absence vs PTIME-predicate form of the compatibility constraint
+  (Corollary 6.3 and the Section 4.3 finding that dropping Qc helps only the
+  weak languages);
+* item selections vs package selections (Theorem 6.4): the item fast path is
+  a sort of ``Q(D)``, the package problem with bound 1 must agree with it.
+"""
+
+import pytest
+
+from repro.core import (
+    compute_top_k,
+    count_valid_packages,
+    item_recommendation_problem,
+    maximum_bound,
+    restrict_to_ptime_compatibility,
+    top_k_items,
+)
+from repro.core.model import ConstantBound, PolynomialBound
+from repro.queries import identity_query_for
+from repro.workloads import synthetic_package_problem
+from repro.workloads.synthetic import random_item_database
+
+
+# ---------------------------------------------------------------------------
+# Corollary 6.1: constant vs polynomial package bound
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("bound_kind", ["constant", "polynomial"])
+def test_frp_bound_ablation(benchmark, annotate, bound_kind):
+    bound = ConstantBound(2) if bound_kind == "constant" else PolynomialBound(1.0, 1)
+    problem = synthetic_package_problem(12, budget=40.0, k=2, size_bound=bound, seed=5).problem
+    annotate(
+        group="cor-6.1/FRP",
+        paper_cell="FP (constant) vs FP^NP (poly) data complexity",
+        bound=bound_kind,
+    )
+    result = benchmark(lambda: compute_top_k(problem))
+    assert result.found
+
+
+@pytest.mark.parametrize("bound_kind", ["constant", "polynomial"])
+def test_cpp_bound_ablation(benchmark, annotate, bound_kind):
+    bound = ConstantBound(2) if bound_kind == "constant" else PolynomialBound(1.0, 1)
+    problem = synthetic_package_problem(12, budget=40.0, k=1, size_bound=bound, seed=6).problem
+    annotate(
+        group="cor-6.1/CPP",
+        paper_cell="FP (constant) vs #·P (poly) data complexity",
+        bound=bound_kind,
+    )
+    benchmark(lambda: count_valid_packages(problem, 5.0))
+
+
+# ---------------------------------------------------------------------------
+# Corollary 6.3 / Section 4.3: compatibility constraint regimes
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("constraint", ["query-free", "predicate", "present"])
+def test_frp_compatibility_ablation(benchmark, annotate, constraint):
+    base = synthetic_package_problem(10, budget=40.0, k=2, seed=7, with_constraint=True).problem
+    if constraint == "query-free":
+        problem = base.without_compatibility()
+    elif constraint == "predicate":
+        problem = restrict_to_ptime_compatibility(
+            base,
+            lambda package, database: len(set(package.column("category"))) == len(package),
+            "one item per category (predicate)",
+        )
+    else:
+        problem = base
+    annotate(
+        group="cor-6.3/FRP",
+        paper_cell="PTIME Qc behaves like absent Qc",
+        constraint=constraint,
+    )
+    result = benchmark(lambda: compute_top_k(problem))
+    assert result.found
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.4: items vs packages
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("num_items", [20, 60])
+def test_item_fast_path(benchmark, annotate, num_items):
+    database = random_item_database(num_items, seed=8)
+    query = identity_query_for(database.relation("items"))
+    utility = lambda row: float(row[3])
+    annotate(group="thm-6.4/items", paper_cell="item selections: PTIME data", db_size=num_items)
+    result = benchmark(lambda: top_k_items(database, query, utility, 3))
+    assert result.found
+
+
+@pytest.mark.parametrize("num_items", [20, 60])
+def test_item_via_package_embedding(benchmark, annotate, num_items):
+    database = random_item_database(num_items, seed=8)
+    query = identity_query_for(database.relation("items"))
+    utility = lambda row: float(row[3])
+    problem = item_recommendation_problem(database, query, utility, k=3)
+    annotate(
+        group="thm-6.4/items-as-packages",
+        paper_cell="item selections = singleton packages",
+        db_size=num_items,
+    )
+    result = benchmark(lambda: compute_top_k(problem))
+    assert result.found
+    # the embedding and the fast path agree on the achieved utilities
+    fast = top_k_items(database, query, utility, 3)
+    assert sorted(result.ratings) == sorted(fast.utilities)

@@ -1,0 +1,213 @@
+"""EXP-T8.1 — Table 8.1: combined complexity of RPP / FRP / MBP / CPP.
+
+The combined-complexity rows are exercised by growing the *query/instance*
+while the database stays fixed (the Figure 4.1 gadget, or a small graph):
+
+* CQ group, with Qc   — ∃*∀*3DNF encodings (Π₂ᵖ / Σ₂ᵖ / FP^Σ₂ᵖ cells);
+* CQ group, without Qc — SAT-UNSAT encodings (DP / FPᴺᴾ cells);
+* FO group and DATALOG — membership-based encodings over path (DATALOG_nr-style
+  unfolding), FO and recursive-Datalog reachability queries (PSPACE / EXPTIME
+  cells).
+
+Within each group the benchmark parametrises the instance size; comparing the
+measured times across sizes within one group reproduces the *shape* of the
+table: every cell grows super-polynomially with the instance, the CQ-group
+cells shrink visibly when Qc is dropped, and the FO/Datalog cells do not.
+"""
+
+import pytest
+
+from repro.complexity import LanguageGroup, Problem, TABLE_8_1
+from repro.logic.generators import random_exists_forall_dnf, random_sat_unsat
+from repro.queries import FirstOrderQuery, parse_program
+from repro.queries.ast import And, Exists, Not, RelationAtom, Var
+from repro.reductions import (
+    compatibility_from_exists_forall_dnf,
+    cpp_from_sigma1_cnf,
+    frp_from_exists_forall_dnf,
+    frp_from_membership,
+    mbp_from_membership,
+    mbp_from_sat_unsat_cq,
+    rpp_from_exists_forall_dnf,
+    rpp_from_membership,
+    rpp_from_sat_unsat_cq,
+)
+from repro.workloads import path_query, random_graph_database
+
+
+def _cell(problem: Problem, group: LanguageGroup, with_qc: bool) -> str:
+    cell = TABLE_8_1[(problem, group)]
+    return str(cell.with_qc if with_qc else cell.without_qc)
+
+
+# ---------------------------------------------------------------------------
+# CQ group, with compatibility constraints (Π₂ᵖ / FP^Σ₂ᵖ cells)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("variables", [1, 2, 3])
+def test_rpp_cq_with_qc(benchmark, annotate, variables):
+    instance = random_exists_forall_dnf(variables, variables, 3, seed=variables)
+    encoding = rpp_from_exists_forall_dnf(instance)
+    annotate(
+        group="RPP/CQ-group/with-Qc",
+        paper_cell=_cell(Problem.RPP, LanguageGroup.CQ_GROUP, True),
+        exists_variables=variables,
+    )
+    benchmark(encoding.solve)
+
+
+@pytest.mark.parametrize("variables", [1, 2, 3])
+def test_frp_cq_with_qc(benchmark, annotate, variables):
+    instance = random_exists_forall_dnf(variables, variables, 3, seed=10 + variables)
+    encoding = frp_from_exists_forall_dnf(instance)
+    annotate(
+        group="FRP/CQ-group/with-Qc",
+        paper_cell=_cell(Problem.FRP, LanguageGroup.CQ_GROUP, True),
+        exists_variables=variables,
+    )
+    benchmark(encoding.solve)
+
+
+@pytest.mark.parametrize("variables", [1, 2, 3])
+def test_compatibility_problem_cq(benchmark, annotate, variables):
+    instance = random_exists_forall_dnf(variables, variables, 3, seed=20 + variables)
+    encoding = compatibility_from_exists_forall_dnf(instance)
+    annotate(
+        group="compatibility/CQ-group",
+        paper_cell="Σ^p_2 (Lemma 4.2)",
+        exists_variables=variables,
+    )
+    benchmark(encoding.solve)
+
+
+# ---------------------------------------------------------------------------
+# CQ group, without compatibility constraints (DP / FPᴺᴾ / #·NP cells)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("variables", [1, 2, 3])
+def test_rpp_cq_without_qc(benchmark, annotate, variables):
+    encoding = rpp_from_sat_unsat_cq(random_sat_unsat(variables, 2, seed=variables))
+    annotate(
+        group="RPP/CQ-group/without-Qc",
+        paper_cell=_cell(Problem.RPP, LanguageGroup.CQ_GROUP, False),
+        variables_per_formula=variables,
+    )
+    benchmark(encoding.solve)
+
+
+@pytest.mark.parametrize("variables", [1, 2, 3])
+def test_mbp_cq_without_qc(benchmark, annotate, variables):
+    encoding = mbp_from_sat_unsat_cq(random_sat_unsat(variables, 2, seed=30 + variables))
+    annotate(
+        group="MBP/CQ-group/without-Qc",
+        paper_cell=_cell(Problem.MBP, LanguageGroup.CQ_GROUP, False),
+        variables_per_formula=variables,
+    )
+    benchmark(encoding.solve)
+
+
+@pytest.mark.parametrize("variables", [1, 2, 3])
+def test_cpp_cq_without_qc(benchmark, annotate, variables):
+    from repro.logic.generators import random_3cnf
+
+    matrix = random_3cnf(2 * variables, 2, seed=40 + variables)
+    names = matrix.variables()
+    quantified, free = names[: len(names) // 2], names[len(names) // 2 :]
+    if not quantified or not free:
+        pytest.skip("degenerate split")
+    encoding = cpp_from_sigma1_cnf(quantified, free, matrix)
+    annotate(
+        group="CPP/CQ-group/without-Qc",
+        paper_cell=_cell(Problem.CPP, LanguageGroup.CQ_GROUP, False),
+        variables=2 * variables,
+    )
+    benchmark(encoding.solve)
+
+
+# ---------------------------------------------------------------------------
+# FO group: growing FO quantifier structure / non-recursive unfolding (PSPACE cells)
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def graph_database():
+    return random_graph_database(8, 18, seed=7)
+
+
+@pytest.mark.parametrize("length", [1, 2, 3])
+def test_rpp_fo_group_path_query(benchmark, annotate, graph_database, length):
+    query = path_query(length)
+    target = next(iter(query.evaluate(graph_database).rows()), (0, 0))
+    encoding = rpp_from_membership(query, graph_database, target)
+    annotate(
+        group="RPP/FO-group",
+        paper_cell=_cell(Problem.RPP, LanguageGroup.FO_GROUP, True),
+        query_body_atoms=length,
+    )
+    benchmark(encoding.solve)
+
+
+def _fo_not_directly_reachable_query():
+    x, y, z = Var("x"), Var("y"), Var("z")
+    return FirstOrderQuery(
+        [x],
+        And(
+            Exists(y, RelationAtom("edge", [y, x])),
+            Not(Exists(z, RelationAtom("edge", [x, z]))),
+        ),
+        name="sink_nodes",
+    )
+
+
+def test_rpp_fo_negation_query(benchmark, annotate, graph_database):
+    query = _fo_not_directly_reachable_query()
+    answers = query.evaluate(graph_database).rows()
+    target = next(iter(answers), (0,))
+    encoding = rpp_from_membership(query, graph_database, target)
+    annotate(group="RPP/FO-group", paper_cell=_cell(Problem.RPP, LanguageGroup.FO_GROUP, True))
+    benchmark(encoding.solve)
+
+
+@pytest.mark.parametrize("length", [1, 2, 3])
+def test_mbp_fo_group(benchmark, annotate, graph_database, length):
+    query = path_query(length)
+    target = next(iter(query.evaluate(graph_database).rows()), (0, 0))
+    encoding = mbp_from_membership(query, graph_database, target)
+    annotate(
+        group="MBP/FO-group",
+        paper_cell=_cell(Problem.MBP, LanguageGroup.FO_GROUP, True),
+        query_body_atoms=length,
+    )
+    benchmark(encoding.solve)
+
+
+# ---------------------------------------------------------------------------
+# DATALOG group: recursive reachability (EXPTIME cells)
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def reachability_program():
+    return parse_program(
+        "reach(x, y) :- edge(x, y). reach(x, z) :- reach(x, y), edge(y, z).", output="reach"
+    )
+
+
+@pytest.mark.parametrize("nodes", [6, 9, 12])
+def test_rpp_datalog_reachability(benchmark, annotate, reachability_program, nodes):
+    database = random_graph_database(nodes, 2 * nodes, seed=nodes)
+    target = next(iter(reachability_program.evaluate(database).rows()), (0, 0))
+    encoding = rpp_from_membership(reachability_program, database, target)
+    annotate(
+        group="RPP/DATALOG",
+        paper_cell=_cell(Problem.RPP, LanguageGroup.DATALOG_GROUP, True),
+        nodes=nodes,
+    )
+    benchmark(encoding.solve)
+
+
+@pytest.mark.parametrize("nodes", [6, 9, 12])
+def test_frp_datalog_reachability(benchmark, annotate, reachability_program, nodes):
+    database = random_graph_database(nodes, 2 * nodes, seed=50 + nodes)
+    target = next(iter(reachability_program.evaluate(database).rows()), (0, 0))
+    encoding = frp_from_membership(reachability_program, database, target)
+    annotate(
+        group="FRP/DATALOG",
+        paper_cell=_cell(Problem.FRP, LanguageGroup.DATALOG_GROUP, True),
+        nodes=nodes,
+    )
+    benchmark(encoding.solve)

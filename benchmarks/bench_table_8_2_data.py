@@ -1,0 +1,131 @@
+"""EXP-T8.2 — Table 8.2: data complexity, poly-bounded vs constant-bounded packages.
+
+The query is fixed (the identity query over a synthetic item relation, exactly
+the shape of the paper's data-complexity lower bounds) and only the database
+grows.  Each problem is measured in both size regimes:
+
+* ``poly``      — packages bounded by ``|D|``: the solvers search an
+  exponentially growing candidate space (coNP / FPᴺᴾ / DP / #·P cells);
+* ``constant``  — packages of at most 2 items: the same solvers touch only
+  polynomially many candidates (PTIME / FP cells of Corollary 6.1).
+
+Comparing the two series for the same problem and the same databases
+regenerates the shape of Table 8.2; the crossover is visible already at a few
+dozen tuples.
+"""
+
+import pytest
+
+from repro.complexity import Problem, TABLE_8_2
+from repro.core import (
+    compute_top_k,
+    count_valid_packages,
+    is_maximum_bound,
+    is_top_k_selection,
+    maximum_bound,
+)
+from repro.workloads import synthetic_package_problem
+from repro.core.model import ConstantBound, PolynomialBound
+
+#: Database sizes for the sweep.  The poly regime is capped lower because its
+#: cost grows exponentially with the number of affordable items.
+POLY_SIZES = [6, 9, 12]
+CONSTANT_SIZES = [20, 40, 80]
+
+_CELL = {
+    (Problem.RPP, False): str(TABLE_8_2[Problem.RPP].poly_bounded),
+    (Problem.RPP, True): str(TABLE_8_2[Problem.RPP].constant_bounded),
+    (Problem.FRP, False): str(TABLE_8_2[Problem.FRP].poly_bounded),
+    (Problem.FRP, True): str(TABLE_8_2[Problem.FRP].constant_bounded),
+    (Problem.MBP, False): str(TABLE_8_2[Problem.MBP].poly_bounded),
+    (Problem.MBP, True): str(TABLE_8_2[Problem.MBP].constant_bounded),
+    (Problem.CPP, False): str(TABLE_8_2[Problem.CPP].poly_bounded),
+    (Problem.CPP, True): str(TABLE_8_2[Problem.CPP].constant_bounded),
+}
+
+
+def _problem(num_items: int, constant_bound: bool, budget: float = 40.0):
+    bound = ConstantBound(2) if constant_bound else PolynomialBound(1.0, 1)
+    return synthetic_package_problem(
+        num_items, budget=budget, k=2, size_bound=bound, seed=num_items
+    ).problem
+
+
+# ---------------------------------------------------------------------------
+# FRP
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("num_items", POLY_SIZES)
+def test_frp_poly_bounded(benchmark, annotate, num_items):
+    problem = _problem(num_items, constant_bound=False)
+    annotate(group="FRP/data/poly", paper_cell=_CELL[(Problem.FRP, False)], db_size=num_items)
+    result = benchmark(lambda: compute_top_k(problem))
+    assert result.found
+
+
+@pytest.mark.parametrize("num_items", CONSTANT_SIZES)
+def test_frp_constant_bounded(benchmark, annotate, num_items):
+    problem = _problem(num_items, constant_bound=True)
+    annotate(group="FRP/data/constant", paper_cell=_CELL[(Problem.FRP, True)], db_size=num_items)
+    result = benchmark(lambda: compute_top_k(problem))
+    assert result.found
+
+
+# ---------------------------------------------------------------------------
+# RPP
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("num_items", POLY_SIZES)
+def test_rpp_poly_bounded(benchmark, annotate, num_items):
+    problem = _problem(num_items, constant_bound=False)
+    selection = compute_top_k(problem).selection
+    annotate(group="RPP/data/poly", paper_cell=_CELL[(Problem.RPP, False)], db_size=num_items)
+    outcome = benchmark(lambda: is_top_k_selection(problem, selection))
+    assert outcome.is_top_k
+
+
+@pytest.mark.parametrize("num_items", CONSTANT_SIZES)
+def test_rpp_constant_bounded(benchmark, annotate, num_items):
+    problem = _problem(num_items, constant_bound=True)
+    selection = compute_top_k(problem).selection
+    annotate(group="RPP/data/constant", paper_cell=_CELL[(Problem.RPP, True)], db_size=num_items)
+    outcome = benchmark(lambda: is_top_k_selection(problem, selection))
+    assert outcome.is_top_k
+
+
+# ---------------------------------------------------------------------------
+# MBP
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("num_items", POLY_SIZES)
+def test_mbp_poly_bounded(benchmark, annotate, num_items):
+    problem = _problem(num_items, constant_bound=False)
+    bound = maximum_bound(problem)
+    annotate(group="MBP/data/poly", paper_cell=_CELL[(Problem.MBP, False)], db_size=num_items)
+    outcome = benchmark(lambda: is_maximum_bound(problem, bound))
+    assert outcome.is_maximum_bound
+
+
+@pytest.mark.parametrize("num_items", CONSTANT_SIZES)
+def test_mbp_constant_bounded(benchmark, annotate, num_items):
+    problem = _problem(num_items, constant_bound=True)
+    bound = maximum_bound(problem)
+    annotate(group="MBP/data/constant", paper_cell=_CELL[(Problem.MBP, True)], db_size=num_items)
+    outcome = benchmark(lambda: is_maximum_bound(problem, bound))
+    assert outcome.is_maximum_bound
+
+
+# ---------------------------------------------------------------------------
+# CPP
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("num_items", POLY_SIZES)
+def test_cpp_poly_bounded(benchmark, annotate, num_items):
+    problem = _problem(num_items, constant_bound=False)
+    annotate(group="CPP/data/poly", paper_cell=_CELL[(Problem.CPP, False)], db_size=num_items)
+    result = benchmark(lambda: count_valid_packages(problem, 5.0))
+    assert result.count >= 0
+
+
+@pytest.mark.parametrize("num_items", CONSTANT_SIZES)
+def test_cpp_constant_bounded(benchmark, annotate, num_items):
+    problem = _problem(num_items, constant_bound=True)
+    annotate(group="CPP/data/constant", paper_cell=_CELL[(Problem.CPP, True)], db_size=num_items)
+    result = benchmark(lambda: count_valid_packages(problem, 5.0))
+    assert result.count >= 0

@@ -1,0 +1,135 @@
+"""EXP-EX1.1 — the running travel example, end to end.
+
+Not a table of the paper but its narrative backbone: top-k flight items,
+top-k travel packages under the museum constraint, the Example 7.1 relaxation
+and a vendor adjustment.  The benchmark documents the absolute cost of the
+full pipeline on the hand-written instance and on larger random instances.
+"""
+
+import pytest
+
+from repro.adjustment import find_item_adjustment
+from repro.core import (
+    AttributeSumCost,
+    AttributeSumRating,
+    PolynomialBound,
+    RecommendationProblem,
+    compute_top_k,
+    count_valid_packages,
+    is_top_k_selection,
+    maximum_bound,
+    top_k_items,
+)
+from repro.relational import Database, Relation
+from repro.relaxation import RelaxationSpace, find_item_relaxation
+from repro.workloads.travel import (
+    city_distance_function,
+    direct_flight_query,
+    example_1_1_scenario,
+    flight_item_query,
+    flight_schema,
+    museum_limit_constraint,
+    random_travel_database,
+    travel_package_query,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return example_1_1_scenario(k=3)
+
+
+def test_item_recommendation_small(benchmark, annotate, scenario):
+    utility = scenario.utility.for_schema(scenario.item_query.output_schema())
+    annotate(group="example-1.1/items", paper_cell="Example 1.1(1): top-3 flights")
+    result = benchmark(lambda: top_k_items(scenario.database, scenario.item_query, utility, 3))
+    assert result.found
+
+
+def test_package_recommendation_small(benchmark, annotate, scenario):
+    annotate(group="example-1.1/packages", paper_cell="Example 1.1(2): top-3 travel plans")
+    result = benchmark(lambda: compute_top_k(scenario.package_problem))
+    assert result.found
+    assert is_top_k_selection(scenario.package_problem, result.selection).is_top_k
+
+
+def test_package_mbp_and_cpp_small(benchmark, annotate, scenario):
+    problem = scenario.package_problem
+    annotate(group="example-1.1/packages", paper_cell="MBP + CPP over Example 1.1")
+
+    def bound_and_count():
+        bound = maximum_bound(problem)
+        return bound, count_valid_packages(problem, bound).count
+
+    bound, count = benchmark(bound_and_count)
+    assert count >= problem.k
+
+
+def test_relaxation_example_7_1(benchmark, annotate):
+    scenario = example_1_1_scenario(include_direct_flight=False)
+    query = direct_flight_query("edi", "nyc", "1/1/2012")
+    space = RelaxationSpace.for_constants(
+        query, distances={"nyc": city_distance_function(scenario.database)}, include=["nyc"]
+    )
+    annotate(group="example-7.1/relaxation", paper_cell="Example 7.1: relax nyc within 15 miles")
+    result = benchmark(
+        lambda: find_item_relaxation(
+            scenario.database, space, lambda row: -float(row[3]), rating_bound=-10_000.0, k=1, max_gap=15.0
+        )
+    )
+    assert result.found and result.gap == 10.0
+
+
+def test_vendor_adjustment(benchmark, annotate):
+    scenario = example_1_1_scenario(include_direct_flight=False)
+    query = direct_flight_query("edi", "nyc", "1/1/2012")
+    additions = Database(
+        [
+            Relation(
+                flight_schema(),
+                [
+                    ("NEW1", "edi", "nyc", 950, "1/1/2012", 1320, "1/1/2012", 505),
+                    ("NEW3", "edi", "bos", 950, "1/1/2012", 1320, "1/1/2012", 410),
+                ],
+            )
+        ]
+    )
+    annotate(group="example-8/adjustment", paper_cell="Section 8: vendor adds a flight")
+    result = benchmark(
+        lambda: find_item_adjustment(
+            scenario.database,
+            query,
+            lambda row: -float(row[3]),
+            additions,
+            rating_bound=-600.0,
+            k=1,
+            max_changes=1,
+            allow_deletions=False,
+        )
+    )
+    assert result.found
+
+
+@pytest.mark.parametrize("num_flights,num_pois", [(20, 15), (40, 30)])
+def test_package_recommendation_scaling(benchmark, annotate, num_flights, num_pois):
+    database = random_travel_database(num_flights, num_pois, seed=num_flights)
+    problem = RecommendationProblem(
+        database=database,
+        query=travel_package_query("edi", "nyc", "1/1/2012"),
+        cost=AttributeSumCost("time"),
+        val=AttributeSumRating("ticket", sign=-1.0),
+        budget=8.0,
+        k=2,
+        compatibility=museum_limit_constraint(2),
+        size_bound=PolynomialBound(1.0, 1),
+        monotone_cost=True,
+        antimonotone_compatibility=True,
+        name="random travel instance",
+    )
+    annotate(
+        group="example-1.1/packages/scaling",
+        paper_cell="coNP/FP^NP data complexity regime",
+        flights=num_flights,
+        pois=num_pois,
+    )
+    benchmark(lambda: compute_top_k(problem))

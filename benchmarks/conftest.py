@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harnesses.
+
+Each benchmark module regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index).  The paper reports *classifications*, not
+wall-clock numbers, so every benchmark attaches the relevant Table 8.1/8.2
+cell to its ``extra_info`` and the sweeps are sized so that the growth shape
+(polynomial vs exponential in the swept parameter) is visible within seconds.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+    pytest benchmarks/ --benchmark-only --benchmark-group-by=group
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks are self-contained; make accidental plain `pytest benchmarks/`
+    # runs behave (collect-only markers are not needed, everything is a benchmark).
+    config.addinivalue_line("markers", "paper_cell(cell): the Table 8.1/8.2 cell a benchmark illustrates")
+
+
+@pytest.fixture
+def annotate(benchmark):
+    """Attach the paper's classification to a benchmark result."""
+
+    def _annotate(**info):
+        benchmark.extra_info.update(info)
+        return benchmark
+
+    return _annotate

@@ -1,0 +1,172 @@
+"""Adjustment recommendations (Section 8) on a course-catalogue scenario.
+
+A student wants a prerequisite-closed term plan containing the machine-learning
+and complexity-theory courses, but the department's catalogue no longer lists
+the shared prerequisite (Discrete Mathematics), so no plan rated high enough
+exists.  Instead of giving up, the system tells the *vendor* (the department)
+which courses to add back — the paper's adjustment recommendation Δ(D, D′).
+
+The example shows
+
+1. why the original catalogue admits no sufficiently good plan,
+2. the minimum-size adjustment found by :func:`find_package_adjustment`,
+3. how the answer changes with the adjustment budget ``k′`` (the decision
+   problem ARPP), and
+4. an item-level adjustment (Corollary 8.2): which single course to add so
+   that two courses scoring at least 9 exist.
+
+Run with::
+
+    python examples/adjustment.py
+"""
+
+from repro.adjustment import arpp_decision, find_item_adjustment, find_package_adjustment
+from repro.core import compute_top_k
+from repro.relational import Database, Relation
+from repro.workloads.courses import (
+    course_plan_scenario,
+    course_schema,
+    course_selection_query,
+    prereq_schema,
+    small_course_database,
+)
+
+#: The rating bound B: a plan must collect at least this much total score.
+#: Without Discrete Mathematics the best prerequisite-closed plan under the
+#: credit budget reaches 31, so this bound is only attainable after the
+#: catalogue is adjusted.
+RATING_BOUND = 35.0
+
+#: Only courses scoring at least this are eligible for a plan.
+MIN_SCORE = 7
+
+#: The credit budget of a term plan.
+CREDIT_BUDGET = 60
+
+
+def catalogue_without_discrete_maths() -> Database:
+    """The department's catalogue after dropping Discrete Mathematics (th101)."""
+    full = small_course_database()
+    courses = Relation(
+        course_schema(),
+        [row for row in full.relation("course") if row[0] != "th101"],
+    )
+    prereqs = Relation(prereq_schema(), full.relation("prereq").rows())
+    return Database([courses, prereqs])
+
+
+def candidate_courses() -> Database:
+    """D′: the courses the department could add back or introduce.
+
+    The revised Discrete Mathematics course scores 7, so it is eligible for
+    plans and unblocks the courses that list ``th101`` as a prerequisite.
+    """
+    additions = Relation(
+        course_schema(),
+        [
+            ("th101", "Discrete Mathematics (revised)", "theory", 10, 7),
+            ("st101", "Statistics", "theory", 10, 5),
+            ("hci101", "Human-Computer Interaction", "systems", 10, 5),
+        ],
+    )
+    return Database([additions])
+
+
+def show_baseline(problem) -> None:
+    print("== (1) the catalogue without Discrete Mathematics")
+    result = compute_top_k(problem)
+    if result.found:
+        print(f"  best available plan is rated {result.ratings[0]} (we want ≥ {RATING_BOUND})")
+        for package in result.selection:
+            plan = ", ".join(item[0] for item in package.sorted_items())
+            print(f"    plan: {plan}")
+    else:
+        print("  no valid plan exists at all")
+    print()
+
+
+def package_adjustment(problem, additions) -> None:
+    print("== (2) minimum adjustment that admits a plan rated ≥", RATING_BOUND)
+    result = find_package_adjustment(
+        problem,
+        additions,
+        rating_bound=RATING_BOUND,
+        max_changes=2,
+        allow_deletions=False,
+    )
+    if not result.found:
+        print("  no adjustment of at most 2 courses helps")
+        return
+    print(f"  adjustment of size {result.size}: {result.adjustment.describe()}")
+    for package in result.witnesses:
+        plan = ", ".join(item[0] for item in package.sorted_items())
+        credits = sum(item[3] for item in package.sorted_items())
+        score = sum(item[4] for item in package.sorted_items())
+        print(f"    plan after the adjustment: {plan} ({credits} credits, score {score})")
+    print(f"  adjustments inspected: {result.adjustments_tried}")
+    print()
+
+
+def adjustment_budget_sweep(problem, additions) -> None:
+    print("== (3) the ARPP decision for adjustment budgets k′ = 0, 1, 2")
+    for max_changes in (0, 1, 2):
+        feasible = arpp_decision(
+            problem,
+            additions,
+            rating_bound=RATING_BOUND,
+            max_changes=max_changes,
+            allow_deletions=False,
+        )
+        print(f"  k′ = {max_changes}: {'yes — an adjustment exists' if feasible else 'no'}")
+    print()
+
+
+def item_adjustment(database, additions) -> None:
+    print("== (4) item adjustment: add one course so three courses score ≥ 9")
+    query = course_selection_query(min_score=9)
+    utility = lambda row: float(row[4])
+    result = find_item_adjustment(
+        database,
+        query,
+        utility,
+        additions=additions,
+        rating_bound=9.0,
+        k=3,
+        max_changes=1,
+        allow_deletions=False,
+    )
+    if result.found:
+        print(f"  adjustment: {result.adjustment.describe()}")
+        for row in result.items:
+            print(f"    {row[0]}: {row[1]} (score {row[4]})")
+    else:
+        print("  no single added course yields three courses scoring ≥ 9")
+    print()
+
+
+def main() -> None:
+    database = catalogue_without_discrete_maths()
+    additions = candidate_courses()
+    scenario = course_plan_scenario(
+        credit_budget=CREDIT_BUDGET, min_score=MIN_SCORE, k=1, database=database
+    )
+    show_baseline(scenario.problem)
+    package_adjustment(scenario.problem, additions)
+    adjustment_budget_sweep(scenario.problem, additions)
+
+    strong_additions = Database(
+        [
+            Relation(
+                course_schema(),
+                [
+                    ("db401", "Distributed Databases", "db", 20, 9),
+                    ("ml201", "Deep Learning", "ml", 20, 10),
+                ],
+            )
+        ]
+    )
+    item_adjustment(database, strong_additions)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Tour of the query languages and how the language choice changes the problems.
+
+The paper's headline finding is that the query language LQ dominates the
+combined complexity of every recommendation problem.  This example builds the
+same "reachable destinations" selection in four languages — CQ (bounded
+stops), UCQ (union of path lengths), Datalog (unbounded stops) and FO (a
+negation: destinations *not* served directly) — and runs the same top-k item
+recommendation over each, printing the language classification next to the
+paper's complexity cell for RPP.
+
+Run with::
+
+    python examples/query_languages.py
+"""
+
+from repro.complexity import LanguageGroup, Problem, TABLE_8_1
+from repro.core import top_k_items
+from repro.queries import classify_query, parse_cq, parse_program
+from repro.queries.ast import And, Comparison, ComparisonOp, Exists, Not, RelationAtom, Var
+from repro.queries.builder import variables
+from repro.queries.fo import FirstOrderQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational import Database
+
+
+def build_database() -> Database:
+    database = Database()
+    database.create_relation(
+        "flight",
+        ["origin", "dest", "price"],
+        [
+            ("edi", "lhr", 90),
+            ("lhr", "nyc", 420),
+            ("edi", "cdg", 110),
+            ("cdg", "nyc", 380),
+            ("nyc", "sfo", 200),
+            ("edi", "dub", 60),
+            ("dub", "bos", 320),
+            ("bos", "sfo", 150),
+        ],
+    )
+    return database
+
+
+def main() -> None:
+    database = build_database()
+    utility = lambda row: -float(row[-1]) if isinstance(row[-1], (int, float)) else 0.0
+
+    direct = parse_cq("Q(d, p) :- flight('edi', d, p).", name="direct")
+    one_stop = parse_cq(
+        "Q(d, p) :- flight('edi', m, p1), flight(m, d, p).", name="one_stop"
+    )
+    up_to_one_stop = UnionOfConjunctiveQueries([direct, one_stop], name="up_to_one_stop")
+
+    reachable = parse_program(
+        """
+        reach(d) :- flight('edi', d, p).
+        reach(d) :- reach(m), flight(m, d, p).
+        """,
+        output="reach",
+    )
+
+    destination, price, other = variables("destination price other")
+    not_direct = FirstOrderQuery(
+        [destination],
+        And(
+            Exists((other, price), RelationAtom("flight", [other, destination, price])),
+            Not(Exists(price, RelationAtom("flight", ["edi", destination, price]))),
+        ),
+        name="served_but_not_directly",
+    )
+
+    queries = [
+        ("direct flights (CQ)", direct),
+        ("≤ 1 stop (UCQ)", up_to_one_stop),
+        ("reachable with any number of stops (DATALOG)", reachable),
+        ("served but not directly from edi (FO)", not_direct),
+    ]
+    for label, query in queries:
+        language = classify_query(query)
+        cell = TABLE_8_1[(Problem.RPP, LanguageGroup.of(language))]
+        answers = sorted(query.evaluate(database).rows())
+        print(f"== {label}")
+        print(f"   language: {language.value}; RPP combined complexity with Qc: {cell.with_qc}")
+        print(f"   answers: {answers}")
+        if query.output_arity == 2:
+            top = top_k_items(database, query, utility, k=2)
+            if top.found:
+                print(f"   top-2 by price: {top.items}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,185 @@
+"""Query relaxation recommendations (Section 7) on a restaurant-booking scenario.
+
+A user asks for ramen restaurants in Soho priced at most 30 and finds nothing.
+Instead of returning an empty answer, the system recommends how to *relax* the
+selection criteria:
+
+1. relax the neighbourhood constant ("soho") to nearby neighbourhoods, ranked
+   by walking minutes (a :class:`~repro.relaxation.TableDistance`);
+2. relax the price threshold (a comparison constant) by a few currency units
+   (an :class:`~repro.relaxation.AbsoluteDifference` distance);
+3. report the *minimum-gap* relaxation that makes the query succeed, for both
+   the item problem (top-k restaurants) and the package problem (a dinner
+   crawl of several restaurants under a shared budget with a compatibility
+   constraint "at most one restaurant per cuisine").
+
+Run with::
+
+    python examples/query_relaxation.py
+"""
+
+from repro.core import (
+    AttributeSumCost,
+    AttributeSumRating,
+    PolynomialBound,
+    RecommendationProblem,
+    all_distinct_on,
+    compute_top_k,
+)
+from repro.queries.builder import atom, cq, eq, le, variables
+from repro.relational import Database, Relation, RelationSchema
+from repro.relaxation import (
+    AbsoluteDifference,
+    RelaxationSpace,
+    distance_table,
+    find_item_relaxation,
+    find_package_relaxation,
+)
+
+SOHO = "soho"
+PRICE_LIMIT = 30
+
+
+def restaurant_database() -> Database:
+    """A small restaurant guide: no ramen in Soho under the price limit."""
+    schema = RelationSchema(
+        "restaurant", ["name", "neighbourhood", "cuisine", "price", "stars"]
+    )
+    rows = [
+        ("noodle_bar", "chinatown", "ramen", 24, 4),
+        ("shio_house", "covent_garden", "ramen", 32, 5),
+        ("tonkotsu_22", "fitzrovia", "ramen", 28, 4),
+        ("golden_wok", "chinatown", "dumplings", 18, 3),
+        ("brick_lane_curry", "shoreditch", "curry", 22, 4),
+        ("pasta_picco", SOHO, "italian", 35, 5),
+        ("soho_diner", SOHO, "burgers", 26, 3),
+        ("sushi_kazu", "fitzrovia", "sushi", 45, 5),
+    ]
+    return Database([Relation(schema, rows)])
+
+
+def walking_distance():
+    """Walking minutes between Soho and nearby neighbourhoods."""
+    return distance_table(
+        {
+            (SOHO, "chinatown"): 5,
+            (SOHO, "covent_garden"): 10,
+            (SOHO, "fitzrovia"): 12,
+            (SOHO, "shoreditch"): 40,
+        }
+    )
+
+
+def selection_query():
+    """Q: ramen restaurants located in Soho with price ≤ 30."""
+    name, hood, cuisine, price, stars = variables("name hood cuisine price stars")
+    return cq(
+        [name, hood, cuisine, price, stars],
+        [atom("restaurant", name, hood, cuisine, price, stars)],
+        [eq(hood, SOHO), eq(cuisine, "ramen"), le(price, PRICE_LIMIT)],
+        name="soho_ramen",
+    )
+
+
+def relaxation_space(query):
+    """Relaxable positions: the neighbourhood constant and the price threshold."""
+    return RelaxationSpace.for_constants(
+        query,
+        distances={SOHO: walking_distance(), PRICE_LIMIT: AbsoluteDifference()},
+        include=[SOHO, PRICE_LIMIT],
+    )
+
+
+def item_relaxation(database, query) -> None:
+    print("== (1) item relaxation: top-2 ramen places after a minimal relaxation")
+    print(f"  original query answers: {len(query.evaluate(database))}")
+    space = relaxation_space(query)
+    utility = lambda row: float(row[4]) - float(row[3]) / 10.0  # stars minus price/10
+    result = find_item_relaxation(
+        database, space, utility, rating_bound=0.0, k=2, max_gap=15.0
+    )
+    if not result.found:
+        print("  no relaxation within the gap budget works")
+        return
+    print(f"  minimum gap: {result.gap}  ({result.relaxation.describe()})")
+    for name, hood, cuisine, price, stars in result.items:
+        print(f"    {name} in {hood}: {cuisine}, price {price}, {stars}★")
+    print(f"  relaxations inspected: {result.relaxations_tried}")
+    print()
+
+
+def crawl_query():
+    """Q for the dinner crawl: any restaurant in Soho priced at most 30."""
+    name, hood, cuisine, price, stars = variables("name hood cuisine price stars")
+    return cq(
+        [name, hood, cuisine, price, stars],
+        [atom("restaurant", name, hood, cuisine, price, stars)],
+        [eq(hood, SOHO), le(price, PRICE_LIMIT)],
+        name="soho_dinner_crawl",
+    )
+
+
+def package_relaxation(database) -> None:
+    print("== (2) package relaxation: a dinner crawl, no two stops sharing a cuisine")
+    query = crawl_query()
+    problem = RecommendationProblem(
+        database=database,
+        query=query,
+        cost=AttributeSumCost("price"),
+        val=AttributeSumRating("stars"),
+        budget=55.0,
+        k=1,
+        compatibility=all_distinct_on("cuisine"),
+        size_bound=PolynomialBound(1.0, 1),
+        name="dinner crawl",
+        monotone_cost=True,
+        antimonotone_compatibility=True,
+    )
+    baseline = compute_top_k(problem)
+    best_rating = baseline.ratings[0] if baseline.found else None
+    print(
+        "  without relaxation the best crawl is rated "
+        f"{best_rating} (we want ≥ 7, so the query must be relaxed)"
+    )
+    space = relaxation_space(query)
+    result = find_package_relaxation(
+        problem, space, rating_bound=7.0, max_gap=15.0, include_trivial=False
+    )
+    if not result.found:
+        print("  no relaxation within the gap budget admits a crawl rated ≥ 7")
+        return
+    print(f"  minimum gap: {result.gap}  ({result.relaxation.describe()})")
+    for package in result.witnesses:
+        stops = ", ".join(f"{item[0]} ({item[2]}, {item[3]})" for item in package.sorted_items())
+        total_price = sum(item[3] for item in package.sorted_items())
+        total_stars = sum(item[4] for item in package.sorted_items())
+        print(f"    crawl: {stops} — {total_price} total, {total_stars}★")
+    print(f"  relaxations inspected: {result.relaxations_tried}")
+    print()
+
+
+def gap_levels(database, query) -> None:
+    print("== (3) the relaxation lattice (gap levels up to D-equivalence)")
+    space = relaxation_space(query)
+    shown = 0
+    for relaxation in space.enumerate_relaxations(database, max_gap=15.0):
+        relaxed = space.relax(relaxation)
+        answers = len(relaxed.evaluate(database))
+        print(f"  gap {relaxation.gap():5.1f}: {relaxation.describe():60} → {answers} answers")
+        shown += 1
+        if shown >= 8:
+            print("  ...")
+            break
+    print()
+
+
+def main() -> None:
+    database = restaurant_database()
+    query = selection_query()
+    item_relaxation(database, query)
+    package_relaxation(database)
+    gap_levels(database, query)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Quickstart: define an item collection, ask for top-k packages.
+
+This walks through the model of the paper on a tiny, self-contained example:
+a database of points of interest, a selection query, a compatibility
+constraint ("at most one museum"), cost and rating functions, and the four POI
+problems — compute a top-k selection (FRP), check it (RPP), find the maximum
+rating bound (MBP) and count the valid packages (CPP).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Database, compute_top_k, count_valid_packages, is_top_k_selection, maximum_bound
+from repro.core import (
+    AttributeSumCost,
+    AttributeSumRating,
+    PolynomialBound,
+    RecommendationProblem,
+    at_most_k_with_value,
+    is_maximum_bound,
+)
+from repro.queries import identity_query_for
+
+
+def build_database() -> Database:
+    """A single relation of POIs: name, kind, ticket price, visiting time."""
+    database = Database()
+    database.create_relation(
+        "poi",
+        ["name", "kind", "ticket", "time"],
+        [
+            ("met", "museum", 25, 3),
+            ("moma", "museum", 25, 2),
+            ("guggenheim", "museum", 22, 2),
+            ("broadway", "theater", 120, 3),
+            ("high_line", "park", 0, 2),
+            ("central_park", "park", 0, 3),
+            ("liberty_island", "landmark", 24, 4),
+        ],
+    )
+    return database
+
+
+def main() -> None:
+    database = build_database()
+    poi = database.relation("poi")
+
+    # The selection query: every POI qualifies (the identity query keeps the
+    # original attribute names in the answer schema).
+    query = identity_query_for(poi, name="all_pois")
+
+    # A day plan: at most 8 hours of visiting, at most one museum, and we want
+    # plans that maximise... well, minimise the total ticket price.
+    problem = RecommendationProblem(
+        database=database,
+        query=query,
+        cost=AttributeSumCost("time"),
+        val=AttributeSumRating("ticket", sign=-1.0),
+        budget=8,
+        k=3,
+        compatibility=at_most_k_with_value("kind", "museum", 1),
+        size_bound=PolynomialBound(1.0, 1),
+        name="one-day plans",
+        monotone_cost=True,
+        antimonotone_compatibility=True,
+    )
+    print(problem.describe())
+    print()
+
+    # FRP: compute a top-3 selection.
+    result = compute_top_k(problem)
+    print(f"top-{problem.k} packages (FRP), ratings {result.ratings}:")
+    for rank, package in enumerate(result.selection, start=1):
+        names = ", ".join(item[0] for item in package.sorted_items())
+        print(f"  {rank}. [{names}]  cost={problem.cost(package)}  val={problem.val(package)}")
+    print()
+
+    # RPP: verify the selection we just computed really is a top-k selection.
+    check = is_top_k_selection(problem, result.selection)
+    print(f"RPP check of the computed selection: {check.is_top_k} ({check.reason})")
+
+    # MBP: the maximum rating bound that still admits a top-3 selection.
+    bound = maximum_bound(problem)
+    print(f"maximum rating bound (MBP): {bound}; verified: {is_maximum_bound(problem, bound).is_maximum_bound}")
+
+    # CPP: how many valid packages rate at least -30?
+    count = count_valid_packages(problem, -30.0)
+    print(f"valid packages rated >= -30 (CPP): {count.count} (by size: {dict(count.by_size)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Example 1.1 of the paper, end to end.
+
+1. Item recommendation: top-3 flights edi → nyc (direct or one-stop) ranked by
+   a utility combining airfare and arrival time.
+2. Package recommendation: 5-day travel plans combining a direct flight with
+   POIs, at most two museums, ranked by total ticket price within a
+   sightseeing-time budget.
+3. Query relaxation (Example 7.1): when no direct flight to nyc exists, relax
+   the destination to a city within 15 miles (ewr) and recommend again.
+4. Adjustment recommendation (Section 8): alternatively, tell the vendor which
+   flight to add to the collection so the original query succeeds.
+
+Run with::
+
+    python examples/travel_planning.py
+"""
+
+from repro import compute_top_k
+from repro.adjustment import find_item_adjustment
+from repro.core import top_k_items
+from repro.relational import Database, Relation
+from repro.relaxation import RelaxationSpace, find_item_relaxation
+from repro.workloads.travel import (
+    city_distance_function,
+    direct_flight_query,
+    example_1_1_scenario,
+    flight_schema,
+)
+
+
+def item_recommendation(scenario) -> None:
+    print("== (1) top-3 flights edi → nyc on 1/1/2012 (items)")
+    utility = scenario.utility.for_schema(scenario.item_query.output_schema())
+    result = top_k_items(scenario.database, scenario.item_query, utility, k=3)
+    for rank, flight in enumerate(result.items or (), start=1):
+        fno, dep, arr, price = flight
+        print(f"  {rank}. {fno}: departs {dep}, arrives {arr}, £{price}")
+    print()
+
+
+def package_recommendation(scenario) -> None:
+    print("== (2) top-3 travel packages (direct flight + POIs, ≤ 2 museums)")
+    result = compute_top_k(scenario.package_problem)
+    if not result.found:
+        print("  no packages found")
+        return
+    for rank, package in enumerate(result.selection, start=1):
+        items = package.sorted_items()
+        fno = items[0][0]
+        pois = ", ".join(item[2] for item in items)
+        tickets = sum(item[4] for item in items)
+        time = sum(item[5] for item in items)
+        print(f"  {rank}. flight {fno} with [{pois}] — tickets ${tickets}, {time}h of visits")
+    print()
+
+
+def relaxation_recommendation() -> None:
+    print("== (3) query relaxation: no direct edi → nyc flight on 1/1/2012")
+    scenario = example_1_1_scenario(include_direct_flight=False)
+    query = direct_flight_query("edi", "nyc", "1/1/2012")
+    print(f"  original answers: {len(query.evaluate(scenario.database))}")
+    space = RelaxationSpace.for_constants(
+        query,
+        distances={"nyc": city_distance_function(scenario.database)},
+        include=["nyc"],
+    )
+    utility = lambda row: -float(row[3])  # cheaper flights first
+    result = find_item_relaxation(
+        scenario.database, space, utility, rating_bound=-1000.0, k=1, max_gap=15.0
+    )
+    if result.found:
+        print(f"  relaxation found with gap {result.gap} miles: {result.relaxation.describe()}")
+        for fno, dep, arr, price in result.items:
+            print(f"    suggested flight: {fno} departs {dep}, arrives {arr}, £{price}")
+    else:
+        print("  no relaxation within 15 miles works")
+    print()
+
+
+def adjustment_recommendation() -> None:
+    print("== (4) vendor adjustment: which flight should be added instead?")
+    scenario = example_1_1_scenario(include_direct_flight=False)
+    query = direct_flight_query("edi", "nyc", "1/1/2012")
+    candidate_flights = Relation(
+        flight_schema(),
+        [
+            ("NEW1", "edi", "nyc", 950, "1/1/2012", 1320, "1/1/2012", 505),
+            ("NEW2", "edi", "nyc", 1500, "1/1/2012", 1830, "1/1/2012", 640),
+            ("NEW3", "edi", "bos", 950, "1/1/2012", 1320, "1/1/2012", 410),
+        ],
+    )
+    additions = Database([candidate_flights])
+    utility = lambda row: -float(row[3])
+    result = find_item_adjustment(
+        scenario.database,
+        query,
+        utility,
+        additions,
+        rating_bound=-600.0,
+        k=1,
+        max_changes=1,
+        allow_deletions=False,
+    )
+    if result.found:
+        print(f"  adjustment of size {len(result.adjustment)}: {result.adjustment.describe()}")
+        for fno, dep, arr, price in result.items:
+            print(f"    the collection then offers: {fno} (£{price})")
+    else:
+        print("  no single-tuple adjustment fixes the collection")
+    print()
+
+
+def main() -> None:
+    scenario = example_1_1_scenario()
+    item_recommendation(scenario)
+    package_recommendation(scenario)
+    relaxation_recommendation()
+    adjustment_recommendation()
+
+
+if __name__ == "__main__":
+    main()

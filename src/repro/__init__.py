@@ -1,0 +1,129 @@
+"""repro — a reproduction of "On the Complexity of Package Recommendation Problems".
+
+Deng, Fan and Geerts (PODS 2012 / SIAM J. Comput. 2013) model recommendation
+systems that suggest *packages* of items selected by a query, constrained by a
+compatibility query and by cost/rating aggregates, and they pin down the
+complexity of the associated decision, function and counting problems across
+query languages.  This library implements the full model — relational
+substrate, the query languages CQ, UCQ, ∃FO+, non-recursive Datalog, FO and
+Datalog, the problems RPP/FRP/MBP/CPP plus the query-relaxation (QRPP) and
+adjustment (ARPP) recommendations — together with executable versions of the
+paper's hardness reductions, domain workloads, and a benchmark harness that
+regenerates the shape of the paper's complexity tables.
+
+Quick start::
+
+    from repro import example_1_1_scenario, compute_top_k
+
+    scenario = example_1_1_scenario()
+    result = compute_top_k(scenario.package_problem)
+    for package in result.selection:
+        print(package.sorted_items())
+
+The subpackages:
+
+* :mod:`repro.relational` — relational database substrate
+* :mod:`repro.queries` — query languages and evaluators
+* :mod:`repro.logic` — SAT/QBF substrate used by the reductions
+* :mod:`repro.core` — the recommendation model and RPP/FRP/MBP/CPP
+* :mod:`repro.relaxation` — query relaxation recommendations (QRPP)
+* :mod:`repro.adjustment` — adjustment recommendations (ARPP)
+* :mod:`repro.reductions` — executable hardness reductions
+* :mod:`repro.workloads` — travel / course / team / synthetic workloads
+* :mod:`repro.complexity` — Tables 8.1 and 8.2 as data
+"""
+
+from repro.relational import Database, Relation, RelationSchema
+from repro.queries import (
+    ConjunctiveQuery,
+    DatalogProgram,
+    FirstOrderQuery,
+    NonRecursiveDatalogProgram,
+    PositiveExistentialQuery,
+    QueryLanguage,
+    SPQuery,
+    UnionOfConjunctiveQueries,
+    classify_query,
+    identity_query,
+    identity_query_for,
+    parse_cq,
+    parse_program,
+)
+from repro.core import (
+    GroupMember,
+    GroupRecommendationProblem,
+    Package,
+    RecommendationProblem,
+    Selection,
+    beam_search_top_k,
+    compute_group_top_k,
+    compute_top_k,
+    compute_top_k_with_oracle,
+    count_valid_packages,
+    greedy_top_k,
+    is_maximum_bound,
+    is_top_k_selection,
+    item_recommendation_problem,
+    maximum_bound,
+    solve_if_tractable,
+    top_k_items,
+)
+from repro.relaxation import RelaxationSpace, find_item_relaxation, find_package_relaxation
+from repro.adjustment import Adjustment, find_item_adjustment, find_package_adjustment
+from repro.complexity import Problem, render_table_8_1, render_table_8_2
+from repro.workloads import (
+    course_plan_scenario,
+    example_1_1_scenario,
+    team_formation_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adjustment",
+    "ConjunctiveQuery",
+    "Database",
+    "DatalogProgram",
+    "FirstOrderQuery",
+    "GroupMember",
+    "GroupRecommendationProblem",
+    "NonRecursiveDatalogProgram",
+    "Package",
+    "PositiveExistentialQuery",
+    "Problem",
+    "QueryLanguage",
+    "RecommendationProblem",
+    "Relation",
+    "RelationSchema",
+    "RelaxationSpace",
+    "SPQuery",
+    "Selection",
+    "UnionOfConjunctiveQueries",
+    "beam_search_top_k",
+    "classify_query",
+    "compute_group_top_k",
+    "compute_top_k",
+    "compute_top_k_with_oracle",
+    "count_valid_packages",
+    "course_plan_scenario",
+    "example_1_1_scenario",
+    "greedy_top_k",
+    "solve_if_tractable",
+    "find_item_adjustment",
+    "find_item_relaxation",
+    "find_package_adjustment",
+    "find_package_relaxation",
+    "identity_query",
+    "identity_query_for",
+    "is_maximum_bound",
+    "is_top_k_selection",
+    "item_recommendation_problem",
+    "maximum_bound",
+    "parse_cq",
+    "parse_program",
+    "render_table_8_1",
+    "render_table_8_2",
+    "team_formation_scenario",
+    "top_k_items",
+    "__version__",
+]

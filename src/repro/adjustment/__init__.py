@@ -1,0 +1,31 @@
+"""Adjustment recommendations (Section 8 of the paper)."""
+
+from repro.adjustment.delta import (
+    Adjustment,
+    DELETE,
+    INSERT,
+    Modification,
+    candidate_modifications,
+    enumerate_adjustments,
+)
+from repro.adjustment.arpp import (
+    ARPPResult,
+    ItemARPPResult,
+    arpp_decision,
+    find_item_adjustment,
+    find_package_adjustment,
+)
+
+__all__ = [
+    "ARPPResult",
+    "Adjustment",
+    "DELETE",
+    "INSERT",
+    "ItemARPPResult",
+    "Modification",
+    "arpp_decision",
+    "candidate_modifications",
+    "enumerate_adjustments",
+    "find_item_adjustment",
+    "find_package_adjustment",
+]

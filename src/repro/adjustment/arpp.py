@@ -1,0 +1,140 @@
+"""ARPP — adjustment recommendations (Section 8.2).
+
+Given a recommendation problem whose database fails to yield k valid packages
+rated ≥ B, ARPP asks whether adjusting at most ``k′`` tuples — deleting from
+``D`` and/or inserting from an auxiliary collection ``D′`` — fixes that.
+
+:func:`find_package_adjustment` searches adjustments by increasing size and
+returns the first (hence minimum-size) adjustment that works together with
+witness packages.  The item variant mirrors Corollary 8.2: unlike every other
+problem in the paper, restricting to items does **not** lower the complexity —
+the search over adjustments is the dominant cost either way, which the
+adjustment benchmark demonstrates empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.adjustment.delta import (
+    Adjustment,
+    Modification,
+    candidate_modifications,
+    enumerate_adjustments,
+)
+from repro.core.enumeration import enumerate_valid_packages
+from repro.core.model import RecommendationProblem
+from repro.core.packages import Package, Selection
+from repro.queries.base import Query
+from repro.relational.database import Database, Row
+
+
+@dataclass(frozen=True)
+class ARPPResult:
+    """Outcome of an adjustment search."""
+
+    found: bool
+    adjustment: Optional[Adjustment] = None
+    witnesses: Optional[Selection] = None
+    adjustments_tried: int = 0
+
+    @property
+    def size(self) -> Optional[int]:
+        """Number of modifications in the found adjustment."""
+        return len(self.adjustment) if self.adjustment is not None else None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.found
+
+
+def _k_witnesses(problem: RecommendationProblem, rating_bound: float) -> Optional[Selection]:
+    packages: List[Package] = []
+    for package in enumerate_valid_packages(problem, rating_bound=rating_bound):
+        packages.append(package)
+        if len(packages) >= problem.k:
+            return Selection(packages)
+    return None
+
+
+def find_package_adjustment(
+    problem: RecommendationProblem,
+    additions: Database,
+    rating_bound: float,
+    max_changes: int,
+    allow_deletions: bool = True,
+    pool: Optional[Sequence[Modification]] = None,
+    include_empty: bool = True,
+) -> ARPPResult:
+    """Search for a minimum-size adjustment admitting k valid packages rated ≥ B.
+
+    ``additions`` plays the role of ``D′``; ``max_changes`` is the paper's
+    ``k′``.  ``pool`` may be passed to restrict the candidate modifications
+    (useful in benchmarks to control the search-space size precisely).
+    """
+    if pool is None:
+        pool = candidate_modifications(problem.database, additions, allow_deletions)
+    tried = 0
+    for adjustment in enumerate_adjustments(pool, max_changes, include_empty=include_empty):
+        tried += 1
+        adjusted_problem = problem.with_database(adjustment.apply(problem.database))
+        witnesses = _k_witnesses(adjusted_problem, rating_bound)
+        if witnesses is not None:
+            return ARPPResult(
+                True, adjustment=adjustment, witnesses=witnesses, adjustments_tried=tried
+            )
+    return ARPPResult(False, adjustments_tried=tried)
+
+
+def arpp_decision(
+    problem: RecommendationProblem,
+    additions: Database,
+    rating_bound: float,
+    max_changes: int,
+    allow_deletions: bool = True,
+) -> bool:
+    """The ARPP decision problem: does some adjustment of size ≤ k′ work?"""
+    return find_package_adjustment(
+        problem, additions, rating_bound, max_changes, allow_deletions=allow_deletions
+    ).found
+
+
+# ---------------------------------------------------------------------------
+# The item special case (Corollary 8.2)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ItemARPPResult:
+    """Outcome of an item-level adjustment search."""
+
+    found: bool
+    adjustment: Optional[Adjustment] = None
+    items: Tuple[Row, ...] = ()
+    adjustments_tried: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.found
+
+
+def find_item_adjustment(
+    database: Database,
+    query: Query,
+    utility: Callable[[Row], float],
+    additions: Database,
+    rating_bound: float,
+    k: int,
+    max_changes: int,
+    allow_deletions: bool = True,
+) -> ItemARPPResult:
+    """ARPP for items: adjust ≤ k′ tuples so that k items of utility ≥ B exist."""
+    pool = candidate_modifications(database, additions, allow_deletions)
+    tried = 0
+    for adjustment in enumerate_adjustments(pool, max_changes):
+        tried += 1
+        adjusted = adjustment.apply(database)
+        answers = [row for row in query.evaluate(adjusted).rows() if utility(row) >= rating_bound]
+        if len(answers) >= k:
+            answers.sort(key=lambda row: (-utility(row), repr(row)))
+            return ItemARPPResult(
+                True, adjustment=adjustment, items=tuple(answers[:k]), adjustments_tried=tried
+            )
+    return ItemARPPResult(False, adjustments_tried=tried)

@@ -1,0 +1,136 @@
+"""Adjustments to item collections (Section 8.1).
+
+An adjustment ``Δ(D, D′)`` is a set of modifications to the database ``D``:
+tuples of ``D`` to delete and tuples of an auxiliary collection ``D′`` to
+insert.  ``D ⊕ Δ(D, D′)`` denotes the adjusted database.  The vendor-facing
+question (ARPP) is whether a small adjustment — at most ``k′`` modifications —
+makes the users' requirements satisfiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.relational.database import Database, Relation, Row
+from repro.relational.errors import ModelError, UnknownRelationError
+from repro.relational.schema import Value
+
+#: One modification: ("insert" | "delete", relation name, tuple).
+Modification = Tuple[str, str, Row]
+
+INSERT = "insert"
+DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Adjustment:
+    """``Δ(D, D′)``: a set of insertions and deletions."""
+
+    modifications: Tuple[Modification, ...]
+
+    def __init__(self, modifications: Iterable[Modification] = ()) -> None:
+        normalised = tuple(
+            (kind, relation, tuple(row)) for kind, relation, row in modifications
+        )
+        for kind, _, _ in normalised:
+            if kind not in (INSERT, DELETE):
+                raise ModelError(f"unknown modification kind: {kind!r}")
+        object.__setattr__(self, "modifications", normalised)
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def inserting(cls, relation: str, rows: Iterable[Sequence[Value]]) -> "Adjustment":
+        """An adjustment consisting only of insertions into one relation."""
+        return cls((INSERT, relation, tuple(row)) for row in rows)
+
+    @classmethod
+    def deleting(cls, relation: str, rows: Iterable[Sequence[Value]]) -> "Adjustment":
+        """An adjustment consisting only of deletions from one relation."""
+        return cls((DELETE, relation, tuple(row)) for row in rows)
+
+    # -- protocol -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.modifications)
+
+    def __iter__(self) -> Iterator[Modification]:
+        return iter(self.modifications)
+
+    def insertions(self) -> Tuple[Modification, ...]:
+        """Only the insert modifications."""
+        return tuple(m for m in self.modifications if m[0] == INSERT)
+
+    def deletions(self) -> Tuple[Modification, ...]:
+        """Only the delete modifications."""
+        return tuple(m for m in self.modifications if m[0] == DELETE)
+
+    def combined_with(self, other: "Adjustment") -> "Adjustment":
+        """The union of two adjustments."""
+        return Adjustment(self.modifications + other.modifications)
+
+    # -- application ------------------------------------------------------------------
+    def apply(self, database: Database) -> Database:
+        """``D ⊕ Δ``: a new database with the modifications applied.
+
+        Inserting an already-present tuple or deleting an absent one is a
+        no-op, matching the set semantics of relations.
+        """
+        adjusted = database.copy()
+        for kind, relation_name, row in self.modifications:
+            relation = adjusted.relation(relation_name)
+            if kind == INSERT:
+                relation.add(row)
+            else:
+                relation.discard(row)
+        return adjusted
+
+    def describe(self) -> str:
+        if not self.modifications:
+            return "no adjustment"
+        parts = [f"{kind} {relation}{row}" for kind, relation, row in self.modifications]
+        return "; ".join(parts)
+
+
+def candidate_modifications(
+    database: Database,
+    additions: Database,
+    allow_deletions: bool = True,
+) -> Tuple[Modification, ...]:
+    """The pool of single modifications an ARPP search may draw from.
+
+    Insertions come from the auxiliary collection ``D′`` (tuples not already in
+    ``D``); deletions remove existing tuples of ``D``.  Relations of ``D′``
+    missing from ``D`` are ignored — the model adjusts an existing collection,
+    it does not change the schema.
+    """
+    pool: List[Modification] = []
+    for relation in additions.relations():
+        if relation.name not in database:
+            continue
+        existing = database.relation(relation.name).rows()
+        for row in relation.sorted_rows():
+            if row not in existing:
+                pool.append((INSERT, relation.name, row))
+    if allow_deletions:
+        for relation in database.relations():
+            for row in relation.sorted_rows():
+                pool.append((DELETE, relation.name, row))
+    return tuple(pool)
+
+
+def enumerate_adjustments(
+    pool: Sequence[Modification],
+    max_size: int,
+    include_empty: bool = True,
+) -> Iterator[Adjustment]:
+    """All adjustments drawing at most ``max_size`` modifications from ``pool``.
+
+    Enumeration is by increasing size, so searches that stop at the first hit
+    return a minimum-size adjustment.
+    """
+    if include_empty:
+        yield Adjustment(())
+    for size in range(1, min(max_size, len(pool)) + 1):
+        for subset in combinations(pool, size):
+            yield Adjustment(subset)

@@ -1,0 +1,33 @@
+"""Helpers shared by the benchmark harnesses under ``benchmarks/``.
+
+Also home of the experiment runner (:mod:`repro.bench.experiments`) that
+regenerates EXPERIMENTS.md via ``python -m repro experiments``.
+"""
+
+from repro.bench.harness import (
+    MeasurementRow,
+    SweepReport,
+    estimate_growth_exponent,
+    format_report,
+    time_callable,
+)
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    render_markdown,
+    run_all_experiments,
+    write_report,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "MeasurementRow",
+    "SweepReport",
+    "estimate_growth_exponent",
+    "format_report",
+    "render_markdown",
+    "run_all_experiments",
+    "time_callable",
+    "write_report",
+]

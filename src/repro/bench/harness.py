@@ -1,0 +1,113 @@
+"""Measurement utilities used by the benchmark harnesses.
+
+pytest-benchmark measures the wall-clock time of individual cases; the
+functions here add what the paper-shaped report needs on top of that:
+parameter sweeps collected into rows, a log-log growth-exponent estimate (to
+tell polynomial from exponential scaling without relying on absolute
+machine-dependent numbers), and plain-text tables the benches print next to
+the corresponding Table 8.1/8.2 cell.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class MeasurementRow:
+    """One measured configuration of a sweep."""
+
+    label: str
+    size: float
+    seconds: float
+    work: Optional[float] = None  # machine-independent counter (search nodes, oracle calls)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class SweepReport:
+    """A collection of measurement rows plus the paper cell they illustrate.
+
+    ``categorical`` marks reports whose "size" column is just an ordering of
+    named configurations (ablation-style comparisons); growth statistics are
+    meaningless for those and are omitted from the rendered output.
+    """
+
+    title: str
+    paper_cell: str
+    rows: List[MeasurementRow] = field(default_factory=list)
+    notes: str = ""
+    categorical: bool = False
+
+    def add(self, row: MeasurementRow) -> None:
+        """Append one measurement."""
+        self.rows.append(row)
+
+    def growth_exponent(self) -> Optional[float]:
+        """Log-log slope of seconds against size across the sweep."""
+        points = [(row.size, row.seconds) for row in self.rows if row.size > 0 and row.seconds > 0]
+        return estimate_growth_exponent(points)
+
+    def doubling_ratio(self) -> Optional[float]:
+        """Mean ratio between successive measurements (≫ 2 suggests super-polynomial)."""
+        ordered = sorted(self.rows, key=lambda row: row.size)
+        ratios = []
+        for previous, current in zip(ordered, ordered[1:]):
+            if previous.seconds > 0:
+                ratios.append(current.seconds / previous.seconds)
+        if not ratios:
+            return None
+        return sum(ratios) / len(ratios)
+
+
+def time_callable(function: Callable[[], object], repeat: int = 1) -> Tuple[float, object]:
+    """Best-of-``repeat`` wall-clock time and the last returned value."""
+    best = math.inf
+    result: object = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = function()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def estimate_growth_exponent(points: Sequence[Tuple[float, float]]) -> Optional[float]:
+    """Least-squares slope of log(time) against log(size).
+
+    A slope around 1-3 indicates polynomial behaviour in the swept parameter;
+    slopes that keep increasing with the range (or very large values) indicate
+    exponential growth.  ``None`` when fewer than two usable points exist.
+    """
+    usable = [(math.log(x), math.log(y)) for x, y in points if x > 0 and y > 0]
+    if len(usable) < 2:
+        return None
+    n = len(usable)
+    mean_x = sum(x for x, _ in usable) / n
+    mean_y = sum(y for _, y in usable) / n
+    denominator = sum((x - mean_x) ** 2 for x, _ in usable)
+    if denominator == 0:
+        return None
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in usable)
+    return numerator / denominator
+
+
+def format_report(report: SweepReport) -> str:
+    """Render a sweep as an aligned text table with the paper cell in the header."""
+    lines = [
+        f"== {report.title}",
+        f"   paper classification: {report.paper_cell}",
+    ]
+    if report.notes:
+        lines.append(f"   {report.notes}")
+    lines.append(f"   {'configuration':34} {'size':>8} {'seconds':>12} {'work':>12}")
+    for row in sorted(report.rows, key=lambda r: r.size):
+        work = f"{row.work:.0f}" if row.work is not None else "-"
+        lines.append(f"   {row.label:34} {row.size:8.0f} {row.seconds:12.6f} {work:>12}")
+    exponent = report.growth_exponent()
+    if exponent is not None and not report.categorical:
+        lines.append(f"   log-log growth exponent: {exponent:.2f}")
+    return "\n".join(lines)

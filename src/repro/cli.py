@@ -1,0 +1,236 @@
+"""The ``repro`` command-line interface.
+
+Four small commands expose the library's deliverables without writing code:
+
+``python -m repro tables``
+    Print the paper's Tables 8.1 and 8.2 (the machine-readable copies the
+    library carries) plus the Section 9 findings.
+
+``python -m repro demo``
+    Solve the quickstart POI problem and print the four POI problems (FRP,
+    RPP, MBP, CPP) on it — the fastest way to see the model in action.
+
+``python -m repro experiments [--output PATH] [--full] [--only ID ...]``
+    Run the experiment sweeps behind EXPERIMENTS.md and write the report.
+
+``python -m repro example NAME``
+    Run one of the bundled example scripts (quickstart, travel_planning,
+    course_packages, team_formation, query_relaxation, adjustment,
+    query_languages, complexity_tables) by importing and calling its ``main``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro import __version__
+
+
+#: Example scripts shipped under ``examples/`` that ``repro example`` can run.
+EXAMPLE_NAMES = (
+    "quickstart",
+    "travel_planning",
+    "course_packages",
+    "team_formation",
+    "query_relaxation",
+    "adjustment",
+    "group_recommendation",
+    "query_languages",
+    "complexity_tables",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'On the Complexity of Package Recommendation Problems' "
+            "(Deng, Fan, Geerts; PODS 2012)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command")
+
+    commands.add_parser("tables", help="print Tables 8.1 and 8.2 and the Section 9 findings")
+
+    demo = commands.add_parser("demo", help="solve the quickstart POI problem end to end")
+    demo.add_argument("--k", type=int, default=3, help="how many packages to recommend")
+    demo.add_argument("--budget", type=float, default=8.0, help="the cost budget C (visiting hours)")
+
+    experiments = commands.add_parser(
+        "experiments", help="run the experiment sweeps and write EXPERIMENTS.md"
+    )
+    experiments.add_argument(
+        "--output", default="EXPERIMENTS.md", help="where to write the report (default: EXPERIMENTS.md)"
+    )
+    experiments.add_argument(
+        "--full", action="store_true", help="use the larger sweep sizes (slower)"
+    )
+    experiments.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        metavar="EXP-ID",
+        help="run only the named experiments (e.g. EXP-T8.1 EXP-S7)",
+    )
+    experiments.add_argument(
+        "--stdout", action="store_true", help="print the report instead of writing the file"
+    )
+
+    example = commands.add_parser("example", help="run one of the bundled example scripts")
+    example.add_argument("name", choices=EXAMPLE_NAMES, help="which example to run")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
+# ---------------------------------------------------------------------------
+def _command_tables() -> int:
+    from repro.complexity import paper_findings, render_table_8_1, render_table_8_2
+
+    print(render_table_8_1())
+    print()
+    print(render_table_8_2())
+    print()
+    print("Section 9 findings:")
+    for finding in paper_findings():
+        print(f"  - {finding}")
+    return 0
+
+
+def _command_demo(k: int, budget: float) -> int:
+    from repro import Database, RecommendationProblem, compute_top_k
+    from repro.core import (
+        AttributeSumCost,
+        AttributeSumRating,
+        PolynomialBound,
+        at_most_k_with_value,
+        count_valid_packages,
+        is_top_k_selection,
+        maximum_bound,
+    )
+    from repro.queries import identity_query_for
+
+    database = Database()
+    poi = database.create_relation(
+        "poi",
+        ["name", "kind", "ticket", "time"],
+        [
+            ("met", "museum", 25, 3),
+            ("moma", "museum", 25, 2),
+            ("guggenheim", "museum", 22, 2),
+            ("broadway", "theater", 120, 3),
+            ("high_line", "park", 0, 2),
+            ("central_park", "park", 0, 3),
+        ],
+    )
+    problem = RecommendationProblem(
+        database=database,
+        query=identity_query_for(poi),
+        cost=AttributeSumCost("time"),
+        val=AttributeSumRating("ticket", sign=-1.0),
+        budget=budget,
+        k=k,
+        compatibility=at_most_k_with_value("kind", "museum", 1),
+        size_bound=PolynomialBound(1.0, 1),
+        name="demo day plans",
+        monotone_cost=True,
+        antimonotone_compatibility=True,
+    )
+    print(problem.describe())
+    print()
+
+    result = compute_top_k(problem)
+    if not result.found:
+        print("FRP: no top-k selection exists")
+        return 1
+    print(f"FRP: top-{k} day plans (cheapest tickets within {budget} visiting hours):")
+    for rank, package in enumerate(result.selection, start=1):
+        names = ", ".join(item[0] for item in package.sorted_items())
+        print(f"  {rank}. [{names}]  val = {problem.val(package):.0f}")
+    print()
+    rpp = is_top_k_selection(problem, result.selection)
+    print(f"RPP: is that selection really top-{k}?  {rpp.is_top_k}")
+    bound = maximum_bound(problem)
+    print(f"MBP: the maximum rating bound admitting a top-{k} selection is {bound}")
+    cpp = count_valid_packages(problem, bound if bound is not None else 0.0)
+    print(f"CPP: {cpp.count} valid packages are rated at least that bound")
+    return 0
+
+
+def _command_experiments(
+    output: str, full: bool, only: Optional[Sequence[str]], to_stdout: bool
+) -> int:
+    from repro.bench.experiments import render_markdown, run_all_experiments
+
+    results = run_all_experiments(quick=not full, only=only)
+    if not results:
+        print("no experiments matched --only; known ids:", file=sys.stderr)
+        from repro.bench.experiments import ALL_EXPERIMENTS
+
+        for experiment_id, _ in ALL_EXPERIMENTS:
+            print(f"  {experiment_id}", file=sys.stderr)
+        return 2
+    text = render_markdown(results, quick=not full)
+    if to_stdout:
+        print(text)
+    else:
+        Path(output).write_text(text, encoding="utf-8")
+        print(f"wrote {output} ({len(results)} experiments)")
+    disagreements = [result.experiment_id for result in results if not result.agreement]
+    if disagreements:
+        print(f"WARNING: measured shape disagrees with the paper for: {', '.join(disagreements)}")
+        return 1
+    return 0
+
+
+def _command_example(name: str) -> int:
+    examples_dir = Path(__file__).resolve().parent.parent.parent / "examples"
+    script = examples_dir / f"{name}.py"
+    if script.exists():
+        # Run the example exactly as `python examples/<name>.py` would.
+        namespace = {"__name__": "__main__", "__file__": str(script)}
+        code = compile(script.read_text(encoding="utf-8"), str(script), "exec")
+        exec(code, namespace)  # noqa: S102 - running our own bundled example
+        return 0
+    # Installed without the examples directory: fall back to an import attempt.
+    try:
+        module = importlib.import_module(f"examples.{name}")
+    except ModuleNotFoundError:
+        print(
+            f"example {name!r} not found; examples are shipped in the source checkout under "
+            "examples/",
+            file=sys.stderr,
+        )
+        return 2
+    module.main()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 0
+    if args.command == "tables":
+        return _command_tables()
+    if args.command == "demo":
+        return _command_demo(args.k, args.budget)
+    if args.command == "experiments":
+        return _command_experiments(args.output, args.full, args.only, args.stdout)
+    if args.command == "example":
+        return _command_example(args.name)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

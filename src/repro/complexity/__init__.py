@@ -1,0 +1,45 @@
+"""The paper's complexity classification as data (Tables 8.1 and 8.2)."""
+
+from repro.complexity.classes import (
+    ComplexityClass,
+    HARDNESS_ORDER,
+    SearchRegime,
+    at_least_as_hard,
+    hardness_rank,
+)
+from repro.complexity.tables import (
+    CombinedCell,
+    DataCell,
+    LanguageGroup,
+    Problem,
+    TABLE_8_1,
+    TABLE_8_2,
+    combined_complexity,
+    data_complexity,
+    paper_findings,
+    render_table_8_1,
+    render_table_8_2,
+)
+from repro.queries.languages import ALL_LANGUAGES, QueryLanguage, classify_query
+
+__all__ = [
+    "ALL_LANGUAGES",
+    "CombinedCell",
+    "ComplexityClass",
+    "DataCell",
+    "HARDNESS_ORDER",
+    "LanguageGroup",
+    "Problem",
+    "QueryLanguage",
+    "SearchRegime",
+    "TABLE_8_1",
+    "TABLE_8_2",
+    "at_least_as_hard",
+    "classify_query",
+    "combined_complexity",
+    "data_complexity",
+    "hardness_rank",
+    "paper_findings",
+    "render_table_8_1",
+    "render_table_8_2",
+]

@@ -1,0 +1,121 @@
+"""Complexity classes appearing in the paper's classification.
+
+The enumeration covers every class named in Tables 8.1 and 8.2 plus the
+classes used in intermediate results (Σ₂ᵖ for the compatibility problem,
+NP/coNP for data complexity, the function and counting classes).  A coarse
+"search regime" is attached to each class: it states how the *deterministic
+simulation* implemented in this library is expected to scale, which is what
+the benchmark harness can actually observe.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple
+
+
+class SearchRegime(Enum):
+    """How the deterministic solvers realise a class, coarsely."""
+
+    POLYNOMIAL = "polynomial"
+    EXPONENTIAL_IN_QUERY = "exponential in the query/instance"
+    EXPONENTIAL_IN_DATA = "exponential in |Q(D)|"
+    DOUBLY_EXPONENTIAL = "exponential with exponential witnesses"
+
+
+class ComplexityClass(Enum):
+    """Named complexity classes used in the paper."""
+
+    PTIME = "PTIME"
+    FP = "FP"
+    NP = "NP"
+    CONP = "coNP"
+    DP = "DP"
+    DP2 = "D^p_2"
+    SIGMA2P = "Σ^p_2"
+    PI2P = "Π^p_2"
+    PSPACE = "PSPACE"
+    EXPTIME = "EXPTIME"
+    FPNP = "FP^NP"
+    FPSIGMA2P = "FP^Σp2"
+    FPSPACE_POLY = "FPSPACE(poly)"
+    FEXPTIME_POLY = "FEXPTIME(poly)"
+    SHARP_P = "#·P"
+    SHARP_NP = "#·NP"
+    SHARP_CONP = "#·coNP"
+    SHARP_PSPACE = "#·PSPACE"
+    SHARP_EXPTIME = "#·EXPTIME"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_tractable(self) -> bool:
+        """Whether the class is (believed) polynomial-time solvable."""
+        return self in (ComplexityClass.PTIME, ComplexityClass.FP)
+
+    @property
+    def regime(self) -> SearchRegime:
+        """The scaling the deterministic solvers of this library exhibit."""
+        if self.is_tractable:
+            return SearchRegime.POLYNOMIAL
+        if self in (
+            ComplexityClass.PSPACE,
+            ComplexityClass.EXPTIME,
+            ComplexityClass.FPSPACE_POLY,
+            ComplexityClass.FEXPTIME_POLY,
+            ComplexityClass.SHARP_PSPACE,
+            ComplexityClass.SHARP_EXPTIME,
+        ):
+            return SearchRegime.DOUBLY_EXPONENTIAL
+        return SearchRegime.EXPONENTIAL_IN_DATA
+
+    @property
+    def is_counting_class(self) -> bool:
+        """Whether the class is one of the #· counting classes."""
+        return self.name.startswith("SHARP")
+
+    @property
+    def is_function_class(self) -> bool:
+        """Whether the class is a class of (non-counting) function problems."""
+        return self in (
+            ComplexityClass.FP,
+            ComplexityClass.FPNP,
+            ComplexityClass.FPSIGMA2P,
+            ComplexityClass.FPSPACE_POLY,
+            ComplexityClass.FEXPTIME_POLY,
+        )
+
+
+#: A rough hardness ordering used for "who is harder" comparisons in benches.
+HARDNESS_ORDER: Tuple[ComplexityClass, ...] = (
+    ComplexityClass.PTIME,
+    ComplexityClass.FP,
+    ComplexityClass.NP,
+    ComplexityClass.CONP,
+    ComplexityClass.DP,
+    ComplexityClass.FPNP,
+    ComplexityClass.SHARP_P,
+    ComplexityClass.SIGMA2P,
+    ComplexityClass.PI2P,
+    ComplexityClass.DP2,
+    ComplexityClass.FPSIGMA2P,
+    ComplexityClass.SHARP_NP,
+    ComplexityClass.SHARP_CONP,
+    ComplexityClass.PSPACE,
+    ComplexityClass.FPSPACE_POLY,
+    ComplexityClass.SHARP_PSPACE,
+    ComplexityClass.EXPTIME,
+    ComplexityClass.FEXPTIME_POLY,
+    ComplexityClass.SHARP_EXPTIME,
+)
+
+
+def hardness_rank(complexity_class: ComplexityClass) -> int:
+    """Position in the rough hardness ordering (larger = harder)."""
+    return HARDNESS_ORDER.index(complexity_class)
+
+
+def at_least_as_hard(left: ComplexityClass, right: ComplexityClass) -> bool:
+    """Whether ``left`` is at least as hard as ``right`` in the rough ordering."""
+    return hardness_rank(left) >= hardness_rank(right)

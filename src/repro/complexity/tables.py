@@ -1,0 +1,212 @@
+"""Tables 8.1 and 8.2 of the paper, as data.
+
+* :data:`TABLE_8_1` — combined complexity of RPP, FRP, MBP, CPP, QRPP and ARPP
+  per language group, with and without compatibility constraints.
+* :data:`TABLE_8_2` — data complexity per problem, for polynomially bounded
+  packages and for constant-bounded packages (the language does not matter for
+  data complexity, which is itself one of the paper's findings).
+
+The benchmark harness looks cells up here and prints the paper's class next to
+each measurement, and the summary printers regenerate the tables verbatim so
+EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.complexity.classes import ComplexityClass
+from repro.queries.languages import QueryLanguage
+
+
+class Problem(Enum):
+    """The six problems classified by the paper."""
+
+    RPP = "RPP"
+    FRP = "FRP"
+    MBP = "MBP"
+    CPP = "CPP"
+    QRPP = "QRPP"
+    ARPP = "ARPP"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class LanguageGroup(Enum):
+    """The three language groups sharing one row per problem in Table 8.1."""
+
+    CQ_GROUP = "CQ, UCQ, ∃FO+"
+    FO_GROUP = "DATALOG_nr, FO"
+    DATALOG_GROUP = "DATALOG"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @classmethod
+    def of(cls, language: QueryLanguage) -> "LanguageGroup":
+        """The group a concrete language belongs to (SP joins the CQ group)."""
+        if language in (
+            QueryLanguage.SP,
+            QueryLanguage.CQ,
+            QueryLanguage.UCQ,
+            QueryLanguage.EFO_PLUS,
+        ):
+            return cls.CQ_GROUP
+        if language in (QueryLanguage.DATALOG_NR, QueryLanguage.FO):
+            return cls.FO_GROUP
+        return cls.DATALOG_GROUP
+
+
+@dataclass(frozen=True)
+class CombinedCell:
+    """One cell of Table 8.1: with-Qc and without-Qc combined complexity."""
+
+    with_qc: ComplexityClass
+    without_qc: ComplexityClass
+
+    def changes_without_qc(self) -> bool:
+        """Whether dropping Qc changes the combined complexity (finding (c))."""
+        return self.with_qc is not self.without_qc
+
+
+#: Table 8.1 — combined complexity.
+TABLE_8_1: Dict[Tuple[Problem, LanguageGroup], CombinedCell] = {
+    # RPP (Theorems 4.1 and 4.5)
+    (Problem.RPP, LanguageGroup.CQ_GROUP): CombinedCell(ComplexityClass.PI2P, ComplexityClass.DP),
+    (Problem.RPP, LanguageGroup.FO_GROUP): CombinedCell(ComplexityClass.PSPACE, ComplexityClass.PSPACE),
+    (Problem.RPP, LanguageGroup.DATALOG_GROUP): CombinedCell(
+        ComplexityClass.EXPTIME, ComplexityClass.EXPTIME
+    ),
+    # FRP (Theorem 5.1)
+    (Problem.FRP, LanguageGroup.CQ_GROUP): CombinedCell(
+        ComplexityClass.FPSIGMA2P, ComplexityClass.FPNP
+    ),
+    (Problem.FRP, LanguageGroup.FO_GROUP): CombinedCell(
+        ComplexityClass.FPSPACE_POLY, ComplexityClass.FPSPACE_POLY
+    ),
+    (Problem.FRP, LanguageGroup.DATALOG_GROUP): CombinedCell(
+        ComplexityClass.FEXPTIME_POLY, ComplexityClass.FEXPTIME_POLY
+    ),
+    # MBP (Theorem 5.2)
+    (Problem.MBP, LanguageGroup.CQ_GROUP): CombinedCell(ComplexityClass.DP2, ComplexityClass.DP),
+    (Problem.MBP, LanguageGroup.FO_GROUP): CombinedCell(
+        ComplexityClass.PSPACE, ComplexityClass.PSPACE
+    ),
+    (Problem.MBP, LanguageGroup.DATALOG_GROUP): CombinedCell(
+        ComplexityClass.EXPTIME, ComplexityClass.EXPTIME
+    ),
+    # CPP (Theorem 5.3)
+    (Problem.CPP, LanguageGroup.CQ_GROUP): CombinedCell(
+        ComplexityClass.SHARP_CONP, ComplexityClass.SHARP_NP
+    ),
+    (Problem.CPP, LanguageGroup.FO_GROUP): CombinedCell(
+        ComplexityClass.SHARP_PSPACE, ComplexityClass.SHARP_PSPACE
+    ),
+    (Problem.CPP, LanguageGroup.DATALOG_GROUP): CombinedCell(
+        ComplexityClass.SHARP_EXPTIME, ComplexityClass.SHARP_EXPTIME
+    ),
+    # QRPP (Theorem 7.2)
+    (Problem.QRPP, LanguageGroup.CQ_GROUP): CombinedCell(ComplexityClass.SIGMA2P, ComplexityClass.NP),
+    (Problem.QRPP, LanguageGroup.FO_GROUP): CombinedCell(
+        ComplexityClass.PSPACE, ComplexityClass.PSPACE
+    ),
+    (Problem.QRPP, LanguageGroup.DATALOG_GROUP): CombinedCell(
+        ComplexityClass.EXPTIME, ComplexityClass.EXPTIME
+    ),
+    # ARPP (Theorem 8.1)
+    (Problem.ARPP, LanguageGroup.CQ_GROUP): CombinedCell(ComplexityClass.SIGMA2P, ComplexityClass.NP),
+    (Problem.ARPP, LanguageGroup.FO_GROUP): CombinedCell(
+        ComplexityClass.PSPACE, ComplexityClass.PSPACE
+    ),
+    (Problem.ARPP, LanguageGroup.DATALOG_GROUP): CombinedCell(
+        ComplexityClass.EXPTIME, ComplexityClass.EXPTIME
+    ),
+}
+
+
+@dataclass(frozen=True)
+class DataCell:
+    """One cell of Table 8.2: poly-bounded and constant-bounded data complexity."""
+
+    poly_bounded: ComplexityClass
+    constant_bounded: ComplexityClass
+
+    def constant_bound_helps(self) -> bool:
+        """Whether a constant package bound lowers the data complexity (finding (1))."""
+        return self.poly_bounded is not self.constant_bounded
+
+
+#: Table 8.2 — data complexity (identical for every language of Section 2).
+TABLE_8_2: Dict[Problem, DataCell] = {
+    Problem.RPP: DataCell(ComplexityClass.CONP, ComplexityClass.PTIME),
+    Problem.FRP: DataCell(ComplexityClass.FPNP, ComplexityClass.FP),
+    Problem.MBP: DataCell(ComplexityClass.DP, ComplexityClass.PTIME),
+    Problem.CPP: DataCell(ComplexityClass.SHARP_P, ComplexityClass.FP),
+    Problem.QRPP: DataCell(ComplexityClass.NP, ComplexityClass.PTIME),
+    Problem.ARPP: DataCell(ComplexityClass.NP, ComplexityClass.NP),
+}
+
+
+# ---------------------------------------------------------------------------
+# Lookup and rendering helpers
+# ---------------------------------------------------------------------------
+def combined_complexity(
+    problem: Problem, language: QueryLanguage, with_qc: bool
+) -> ComplexityClass:
+    """The Table 8.1 cell for a concrete problem/language/Qc regime."""
+    cell = TABLE_8_1[(problem, LanguageGroup.of(language))]
+    return cell.with_qc if with_qc else cell.without_qc
+
+
+def data_complexity(problem: Problem, constant_bound: bool) -> ComplexityClass:
+    """The Table 8.2 cell for a concrete problem/size-bound regime."""
+    cell = TABLE_8_2[problem]
+    return cell.constant_bounded if constant_bound else cell.poly_bounded
+
+
+def render_table_8_1() -> str:
+    """Table 8.1 as aligned text (the format EXPERIMENTS.md embeds)."""
+    lines = [
+        f"{'Problem':8} {'Languages':22} {'with Qc':16} {'without Qc':16}",
+        "-" * 66,
+    ]
+    for problem in Problem:
+        for group in LanguageGroup:
+            cell = TABLE_8_1[(problem, group)]
+            lines.append(
+                f"{problem.value:8} {group.value:22} {cell.with_qc.value:16} "
+                f"{cell.without_qc.value:16}"
+            )
+    return "\n".join(lines)
+
+
+def render_table_8_2() -> str:
+    """Table 8.2 as aligned text."""
+    lines = [
+        f"{'Problem':8} {'poly-bounded':16} {'constant bound':16}",
+        "-" * 44,
+    ]
+    for problem in Problem:
+        cell = TABLE_8_2[problem]
+        lines.append(
+            f"{problem.value:8} {cell.poly_bounded.value:16} {cell.constant_bounded.value:16}"
+        )
+    return "\n".join(lines)
+
+
+def paper_findings() -> List[str]:
+    """The qualitative findings the summary of Section 9 highlights.
+
+    Each string is checked programmatically by the test-suite against the
+    table data, so the tables cannot drift from the narrative.
+    """
+    return [
+        "query languages dominate combined complexity",
+        "dropping Qc only helps the CQ group",
+        "data complexity is language-independent",
+        "a constant package bound makes data complexity tractable except for ARPP",
+        "item selections behave like the no-Qc, constant-bound case",
+    ]

@@ -1,0 +1,160 @@
+"""Compatibility constraints on packages.
+
+The paper expresses a compatibility constraint as a query ``Qc`` such that a
+package ``N`` satisfies the constraint iff ``Qc(N, D) = ∅``: the query
+*detects inconsistencies* among the items of ``N`` (possibly consulting the
+database, e.g. a prerequisite relation).  Section 6 additionally considers the
+special cases where ``Qc`` is absent and where it is an arbitrary PTIME
+predicate (Corollary 6.3).
+
+Three implementations are provided:
+
+* :class:`EmptyConstraint` — the constant empty query; every package satisfies it.
+* :class:`QueryConstraint` — a query over the answer relation ``RQ`` and the
+  database relations.
+* :class:`PredicateConstraint` — a PTIME Python predicate on (package, database).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.packages import Package
+from repro.queries.base import Query
+from repro.relational.database import Database
+
+
+class CompatibilityConstraint:
+    """Base class: decides whether a package's items are mutually compatible."""
+
+    def is_satisfied(self, package: Package, database: Database) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def is_empty_constraint(self) -> bool:
+        """Whether this is the "absent Qc" case of the paper."""
+        return False
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class EmptyConstraint(CompatibilityConstraint):
+    """The empty query: returns ∅ on any input, so every package is compatible."""
+
+    def is_satisfied(self, package: Package, database: Database) -> bool:
+        return True
+
+    def is_empty_constraint(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "Qc absent (empty query)"
+
+
+@dataclass
+class QueryConstraint(CompatibilityConstraint):
+    """``Qc(N, D) = ∅`` with ``Qc`` a query mentioning ``RQ`` and the database.
+
+    The candidate package is materialised as a relation whose name is the
+    answer-relation name of ``Qc`` (``RQ`` by default, or the name of the
+    relation the constraint's atoms actually reference).
+    """
+
+    query: Query
+    answer_relation: str = "RQ"
+
+    def is_satisfied(self, package: Package, database: Database) -> bool:
+        package_relation = package.as_relation(self.answer_relation)
+        extended = database.with_relation(package_relation)
+        try:
+            answer = self.query.evaluate(extended)
+        except TypeError:  # pragma: no cover - queries without kwargs support
+            answer = self.query.evaluate(extended)
+        return len(answer) == 0
+
+    def describe(self) -> str:
+        name = getattr(self.query, "name", "Qc")
+        return f"Qc = {name} over {self.answer_relation} (satisfied iff empty)"
+
+
+@dataclass
+class ConjunctionConstraint(CompatibilityConstraint):
+    """The conjunction of several compatibility constraints.
+
+    A package is compatible iff it satisfies every part.  The paper folds all
+    conditions into one query ``Qc``; in code it is often clearer to state
+    "items share the same flight" and "at most two museums" separately and
+    conjoin them.  The conjunction is anti-monotone whenever every part is.
+    """
+
+    parts: tuple
+
+    def __init__(self, *parts: CompatibilityConstraint) -> None:
+        self.parts = tuple(parts)
+
+    def is_satisfied(self, package: Package, database: Database) -> bool:
+        return all(part.is_satisfied(package, database) for part in self.parts)
+
+    def is_empty_constraint(self) -> bool:
+        return all(part.is_empty_constraint() for part in self.parts)
+
+    def describe(self) -> str:
+        return " AND ".join(part.describe() for part in self.parts) or "Qc absent"
+
+
+@dataclass
+class PredicateConstraint(CompatibilityConstraint):
+    """An arbitrary PTIME predicate ``compatible(N, D)`` (Corollary 6.3)."""
+
+    predicate: Callable[[Package, Database], bool]
+    description: str = "PTIME compatibility predicate"
+
+    def is_satisfied(self, package: Package, database: Database) -> bool:
+        return bool(self.predicate(package, database))
+
+    def describe(self) -> str:
+        return self.description
+
+
+def at_most_k_with_value(
+    attribute: str, value, limit: int, description: Optional[str] = None
+) -> PredicateConstraint:
+    """A predicate constraint "at most ``limit`` items with ``attribute = value``".
+
+    This is the PTIME counterpart of the paper's "no more than 2 museums"
+    CQ constraint, handy for examples and for the Corollary 6.3 ablation.
+    """
+
+    def predicate(package: Package, database: Database) -> bool:
+        return sum(1 for item_value in package.column(attribute) if item_value == value) <= limit
+
+    return PredicateConstraint(
+        predicate,
+        description or f"at most {limit} items with {attribute} = {value!r}",
+    )
+
+
+def all_distinct_on(attribute: str, description: Optional[str] = None) -> PredicateConstraint:
+    """A predicate constraint "no two items share a value of ``attribute``"."""
+
+    def predicate(package: Package, database: Database) -> bool:
+        values = package.column(attribute)
+        return len(values) == len(set(values))
+
+    return PredicateConstraint(predicate, description or f"items pairwise distinct on {attribute}")
+
+
+def all_equal_on(attribute: str, description: Optional[str] = None) -> PredicateConstraint:
+    """A predicate constraint "all items agree on ``attribute``".
+
+    The paper's travel packages consist of items sharing one flight number;
+    this is that condition for an arbitrary attribute.  It is anti-monotone.
+    """
+
+    def predicate(package: Package, database: Database) -> bool:
+        values = set(package.column(attribute))
+        return len(values) <= 1
+
+    return PredicateConstraint(predicate, description or f"items agree on {attribute}")

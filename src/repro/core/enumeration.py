@@ -1,0 +1,171 @@
+"""Enumeration of candidate and valid packages.
+
+The deterministic counterpart of the "guess polynomially many tuples" steps in
+the paper's upper-bound algorithms: every subset of ``Q(D)`` up to the package
+size bound is a candidate, and validity filters them.  The enumeration is
+exponential in ``|Q(D)|`` when the bound is polynomial in ``|D|`` — exactly
+the data-complexity regime the paper proves NP/coNP/#P-hard — and polynomial
+when the bound is a constant (Corollary 6.1).
+
+Two pruning hints on :class:`~repro.core.model.RecommendationProblem` keep the
+search practical on realistic instances without changing its worst case:
+``monotone_cost`` prunes supersets of over-budget packages and
+``antimonotone_compatibility`` prunes supersets of incompatible packages.
+Both are declarations by the problem author; when unset the enumeration is
+fully exhaustive.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.model import RecommendationProblem
+from repro.core.packages import Package
+from repro.relational.database import Relation, Row
+from repro.relational.errors import BudgetExceededError
+
+
+def enumerate_candidate_packages(
+    problem: RecommendationProblem,
+    candidate_items: Optional[Relation] = None,
+    include_empty: bool = False,
+    max_candidates: Optional[int] = None,
+) -> Iterator[Package]:
+    """All subsets of ``Q(D)`` whose size respects the bound, smallest first.
+
+    This enumeration applies no pruning; it is used by tests and by callers
+    that need the raw candidate space.  ``max_candidates`` is a resource guard
+    for the benchmark harness; exceeding it raises
+    :class:`~repro.relational.errors.BudgetExceededError` so a runaway
+    configuration fails loudly instead of silently truncating results.
+    """
+    answers = candidate_items if candidate_items is not None else problem.candidate_items()
+    items: Tuple[Row, ...] = tuple(sorted(answers.rows(), key=repr))
+    schema = problem.query.output_schema()
+    limit = min(problem.max_package_size(), len(items))
+    produced = 0
+    if include_empty:
+        yield Package.empty(schema)
+        produced += 1
+    for size in range(1, limit + 1):
+        for subset in combinations(items, size):
+            produced += 1
+            if max_candidates is not None and produced > max_candidates:
+                raise BudgetExceededError(
+                    f"candidate-package enumeration exceeded {max_candidates} packages"
+                )
+            yield Package(schema, subset)
+
+
+def _prunable(problem: RecommendationProblem, package: Package) -> bool:
+    """Whether the whole superset subtree of ``package`` can be skipped."""
+    if problem.monotone_cost and problem.cost(package) > problem.budget:
+        return True
+    if problem.antimonotone_compatibility and not problem.compatibility.is_satisfied(
+        package, problem.database
+    ):
+        return True
+    return False
+
+
+def enumerate_valid_packages(
+    problem: RecommendationProblem,
+    rating_bound: Optional[float] = None,
+    strict: bool = False,
+    exclude: Iterable[Package] = (),
+    candidate_items: Optional[Relation] = None,
+    max_candidates: Optional[int] = None,
+) -> Iterator[Package]:
+    """All valid packages, optionally rated ≥ (or >) ``rating_bound`` and not excluded.
+
+    The search is a depth-first traversal of the subset lattice of ``Q(D)``
+    restricted to the package size bound; the pruning hints of the problem cut
+    subtrees that provably contain no valid package.  Every yielded package has
+    passed the full validity check, so the hints can only affect running time,
+    never soundness.
+    """
+    answers = candidate_items if candidate_items is not None else problem.candidate_items()
+    items: Tuple[Row, ...] = tuple(sorted(answers.rows(), key=repr))
+    schema = problem.query.output_schema()
+    limit = min(problem.max_package_size(), len(items))
+    excluded: FrozenSet[Package] = frozenset(exclude)
+    examined = 0
+
+    def dfs(start: int, current: Tuple[Row, ...]) -> Iterator[Package]:
+        nonlocal examined
+        for index in range(start, len(items)):
+            extended = current + (items[index],)
+            examined += 1
+            if max_candidates is not None and examined > max_candidates:
+                raise BudgetExceededError(
+                    f"valid-package enumeration exceeded {max_candidates} candidates"
+                )
+            package = Package(schema, extended)
+            if _prunable(problem, package):
+                continue
+            if package not in excluded and problem.is_valid_package(
+                package, rating_bound=rating_bound, candidate_items=answers, strict=strict
+            ):
+                yield package
+            if len(extended) < limit:
+                yield from dfs(index + 1, extended)
+
+    yield from dfs(0, ())
+
+
+def count_valid_packages(
+    problem: RecommendationProblem,
+    rating_bound: Optional[float] = None,
+    strict: bool = False,
+    max_candidates: Optional[int] = None,
+) -> int:
+    """``|{N valid : val(N) ≥ B}|`` — the raw quantity behind CPP."""
+    return sum(
+        1
+        for _ in enumerate_valid_packages(
+            problem, rating_bound=rating_bound, strict=strict, max_candidates=max_candidates
+        )
+    )
+
+
+def best_valid_packages(
+    problem: RecommendationProblem,
+    how_many: int,
+    candidate_items: Optional[Relation] = None,
+    max_candidates: Optional[int] = None,
+) -> Tuple[Package, ...]:
+    """The ``how_many`` highest-rated valid packages (ties broken deterministically)."""
+    answers = candidate_items if candidate_items is not None else problem.candidate_items()
+    scored = [
+        (problem.val(package), package)
+        for package in enumerate_valid_packages(
+            problem, candidate_items=answers, max_candidates=max_candidates
+        )
+    ]
+    scored.sort(key=lambda pair: (-pair[0], repr(pair[1].sorted_items())))
+    return tuple(package for _, package in scored[:how_many])
+
+
+def exists_valid_package(
+    problem: RecommendationProblem,
+    rating_bound: Optional[float] = None,
+    strict: bool = False,
+    exclude: Iterable[Package] = (),
+    candidate_items: Optional[Relation] = None,
+) -> Optional[Package]:
+    """A witness valid package meeting the rating condition, or ``None``.
+
+    This is the deterministic realisation of the paper's EXISTPACK≥ oracle;
+    because the implementation is a search rather than a nondeterministic
+    guess, it can return the witness itself, which the FRP solver exploits.
+    """
+    for package in enumerate_valid_packages(
+        problem,
+        rating_bound=rating_bound,
+        strict=strict,
+        exclude=exclude,
+        candidate_items=candidate_items,
+    ):
+        return package
+    return None

@@ -1,0 +1,318 @@
+"""Cost, rating and utility functions.
+
+The paper only assumes ``cost()`` and ``val()`` are PTIME-computable functions
+from packages to the reals, and ``f()`` a PTIME utility function on items.
+This module provides the concrete functions used by the paper's examples and
+reductions:
+
+* counting costs (``cost(N) = |N|`` with ``cost(∅) = ∞`` so that the empty
+  package is never recommended),
+* attribute-sum costs (total visiting time of the POIs in a travel plan),
+* constant ratings, attribute-sum ratings with either orientation (the paper's
+  travel rating is *anti*-monotone in total price: the cheaper the better),
+* weighted combinations, and
+* adapters turning an item utility ``f()`` into the package functions of the
+  item-recommendation special case.
+
+All functions are small classes with a ``describe()`` method so benches and
+examples can print what they measured.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.packages import Package
+from repro.relational.database import Row
+from repro.relational.schema import Value
+
+#: ``cost(∅) = ∞`` in most of the paper's constructions.
+INFINITY = math.inf
+
+PackageFunction = Callable[[Package], float]
+ItemUtility = Callable[[Row], float]
+
+
+class PackageCost:
+    """Base class of cost functions ``cost: packages → R``."""
+
+    def __call__(self, package: Package) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class PackageRating:
+    """Base class of rating functions ``val: packages → R``."""
+
+    def __call__(self, package: Package) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+# ---------------------------------------------------------------------------
+# Cost functions
+# ---------------------------------------------------------------------------
+@dataclass
+class CountCost(PackageCost):
+    """``cost(N) = |N|`` for non-empty N and ``cost(∅) = ∞``.
+
+    This is the cost function used by almost every reduction in the paper: a
+    budget of ``C = 1`` then forces packages to be singletons, ``C = m``
+    allows up to ``m`` items.
+    """
+
+    empty_cost: float = INFINITY
+
+    def __call__(self, package: Package) -> float:
+        return self.empty_cost if package.is_empty() else float(len(package))
+
+    def describe(self) -> str:
+        return "cost(N) = |N|, cost(∅) = ∞"
+
+
+@dataclass
+class AttributeSumCost(PackageCost):
+    """``cost(N) = Σ_{s ∈ N} s.attribute`` (e.g. total visiting time)."""
+
+    attribute: str
+    empty_cost: float = 0.0
+
+    def __call__(self, package: Package) -> float:
+        if package.is_empty():
+            return self.empty_cost
+        return float(sum(package.column(self.attribute)))
+
+    def describe(self) -> str:
+        return f"cost(N) = sum of {self.attribute}"
+
+
+@dataclass
+class PredicateCost(PackageCost):
+    """``cost(N) = low`` when a predicate holds, ``high`` otherwise.
+
+    Several data-complexity reductions (Lemma 4.4, the MBP DP-hardness proof)
+    use exactly this shape: the predicate checks that the package encodes a
+    consistent truth assignment and the budget ``C`` sits between ``low`` and
+    ``high``.
+    """
+
+    predicate: Callable[[Package], bool]
+    low: float = 1.0
+    high: float = 2.0
+    description: str = "predicate cost"
+
+    def __call__(self, package: Package) -> float:
+        return self.low if self.predicate(package) else self.high
+
+    def describe(self) -> str:
+        return self.description
+
+
+@dataclass
+class CallableCost(PackageCost):
+    """Wrap an arbitrary PTIME callable as a cost function."""
+
+    function: PackageFunction
+    description: str = "callable cost"
+
+    def __call__(self, package: Package) -> float:
+        return float(self.function(package))
+
+    def describe(self) -> str:
+        return self.description
+
+
+# ---------------------------------------------------------------------------
+# Rating functions
+# ---------------------------------------------------------------------------
+@dataclass
+class ConstantRating(PackageRating):
+    """``val(N) = value`` for every package (used by many reductions)."""
+
+    value: float = 1.0
+
+    def __call__(self, package: Package) -> float:
+        return self.value
+
+    def describe(self) -> str:
+        return f"val(N) = {self.value}"
+
+
+@dataclass
+class CountRating(PackageRating):
+    """``val(N) = |N|`` — the more items satisfied, the better."""
+
+    def __call__(self, package: Package) -> float:
+        return float(len(package))
+
+    def describe(self) -> str:
+        return "val(N) = |N|"
+
+
+@dataclass
+class AttributeSumRating(PackageRating):
+    """``val(N) = sign · Σ s.attribute``.
+
+    ``sign=-1`` models the paper's travel rating where a *higher* total price
+    means a *lower* rating.
+    """
+
+    attribute: str
+    sign: float = 1.0
+    empty_value: float = 0.0
+
+    def __call__(self, package: Package) -> float:
+        if package.is_empty():
+            return self.empty_value
+        return self.sign * float(sum(package.column(self.attribute)))
+
+    def describe(self) -> str:
+        direction = "maximise" if self.sign > 0 else "minimise"
+        return f"val(N) = {direction} sum of {self.attribute}"
+
+
+@dataclass
+class WeightedSumRating(PackageRating):
+    """``val(N) = Σ_attr weight[attr] · Σ s.attr`` — a linear multi-criteria rating."""
+
+    weights: Mapping[str, float]
+    empty_value: float = 0.0
+
+    def __call__(self, package: Package) -> float:
+        if package.is_empty():
+            return self.empty_value
+        total = 0.0
+        for attribute, weight in self.weights.items():
+            total += weight * float(sum(package.column(attribute)))
+        return total
+
+    def describe(self) -> str:
+        parts = " + ".join(f"{w}·{a}" for a, w in sorted(self.weights.items()))
+        return f"val(N) = {parts}"
+
+
+@dataclass
+class MinAttributeRating(PackageRating):
+    """``val(N) = min s.attribute`` — a bottleneck rating (weakest item counts)."""
+
+    attribute: str
+    empty_value: float = 0.0
+
+    def __call__(self, package: Package) -> float:
+        if package.is_empty():
+            return self.empty_value
+        return float(min(package.column(self.attribute)))
+
+    def describe(self) -> str:
+        return f"val(N) = min {self.attribute}"
+
+
+@dataclass
+class TableRating(PackageRating):
+    """A rating given by an explicit table of packages, with a default.
+
+    The SAT-UNSAT reduction rates the four possible answer tuples
+    ``(1,0) → 2, (1,1)/(0,1) → 3, (0,0) → 1``; a table rating states such
+    case analyses directly.
+    """
+
+    table: Mapping[Package, float]
+    default: float = 0.0
+
+    def __call__(self, package: Package) -> float:
+        return float(self.table.get(package, self.default))
+
+    def describe(self) -> str:
+        return f"table rating over {len(self.table)} packages"
+
+
+@dataclass
+class CallableRating(PackageRating):
+    """Wrap an arbitrary PTIME callable as a rating function."""
+
+    function: PackageFunction
+    description: str = "callable rating"
+
+    def __call__(self, package: Package) -> float:
+        return float(self.function(package))
+
+    def describe(self) -> str:
+        return self.description
+
+
+# ---------------------------------------------------------------------------
+# Item utilities and the item→package embedding (Section 2)
+# ---------------------------------------------------------------------------
+@dataclass
+class AttributeUtility:
+    """``f(s) = sign · s.attribute`` for items of a given answer schema."""
+
+    attribute: str
+    sign: float = 1.0
+
+    def for_schema(self, schema) -> ItemUtility:
+        index = schema.index_of(self.attribute)
+
+        def utility(item: Row) -> float:
+            return self.sign * float(item[index])
+
+        return utility
+
+    def describe(self) -> str:
+        direction = "maximise" if self.sign > 0 else "minimise"
+        return f"f(s) = {direction} {self.attribute}"
+
+
+@dataclass
+class WeightedItemUtility:
+    """``f(s) = Σ weight[attr] · s.attr`` — e.g. airfare and duration with weights."""
+
+    weights: Mapping[str, float]
+
+    def for_schema(self, schema) -> ItemUtility:
+        indexed = [(schema.index_of(attr), weight) for attr, weight in self.weights.items()]
+
+        def utility(item: Row) -> float:
+            return sum(weight * float(item[index]) for index, weight in indexed)
+
+        return utility
+
+    def describe(self) -> str:
+        parts = " + ".join(f"{w}·{a}" for a, w in sorted(self.weights.items()))
+        return f"f(s) = {parts}"
+
+
+@dataclass
+class UtilityRating(PackageRating):
+    """``val({s}) = f(s)`` — the package rating induced by an item utility.
+
+    Defined on singletons; other packages get ``-∞`` so they can never win,
+    matching the item-recommendation embedding of Section 2 (where the count
+    cost and budget ``C = 1`` already restrict packages to singletons).
+    """
+
+    utility: ItemUtility
+
+    def __call__(self, package: Package) -> float:
+        if len(package) != 1:
+            return -INFINITY
+        (item,) = package.items
+        return float(self.utility(item))
+
+    def describe(self) -> str:
+        return "val({s}) = f(s)"
+
+
+def item_embedding_functions(utility: ItemUtility) -> Tuple[PackageCost, PackageRating, float]:
+    """The (cost, val, C) triple embedding item selections into package selections.
+
+    Section 2: ``cost(N) = |N|`` with ``cost(∅) = ∞``, ``C = 1`` and
+    ``val({s}) = f(s)``.
+    """
+    return CountCost(), UtilityRating(utility), 1.0

@@ -1,0 +1,310 @@
+"""Group recommendations — the Section 9 extension of the paper's model.
+
+The paper closes by listing *group recommendations* (recommending to a group
+of users instead of a single user, citing Amer-Yahia et al.) as an open issue.
+This module implements the natural extension within the paper's own model:
+
+* every group member brings their own PTIME rating function ``val_u`` over
+  packages (or an item utility ``f_u``, lifted through the Section 2
+  embedding);
+* an *aggregation strategy* combines the members' ratings into a single PTIME
+  package rating, so a group problem reduces to an ordinary
+  :class:`~repro.core.model.RecommendationProblem` and every upper bound of
+  the paper carries over unchanged (the aggregate is still a PTIME function);
+* the lower bounds trivially continue to hold because a single-member group is
+  exactly the original model.
+
+The aggregation strategies implemented are the standard ones from the group
+recommendation literature:
+
+============================  ==================================================
+strategy                      group rating of a package ``N``
+============================  ==================================================
+:class:`AverageRating`        weighted mean of ``val_u(N)``
+:class:`LeastMiseryRating`    ``min_u val_u(N)`` (nobody is left miserable)
+:class:`MostPleasureRating`   ``max_u val_u(N)``
+:class:`DisagreementPenalisedRating`  mean minus ``λ · (max − min)``
+============================  ==================================================
+
+Beyond solving the group problem, :func:`fairness_report` summarises how well
+each member is served by a selection, which is what a practical system would
+show next to the recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.core.compatibility import CompatibilityConstraint, EmptyConstraint
+from repro.core.frp import FRPResult, compute_top_k
+from repro.core.functions import PackageCost, PackageRating, UtilityRating
+from repro.core.model import RecommendationProblem, SINGLETON_BOUND, SizeBound
+from repro.core.packages import Package, Selection
+from repro.queries.base import Query
+from repro.relational.database import Database, Row
+from repro.relational.errors import ModelError
+
+
+# ---------------------------------------------------------------------------
+# Group members
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class GroupMember:
+    """One member of a group: a name, a package rating and a voting weight."""
+
+    name: str
+    rating: PackageRating
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ModelError(f"member {self.name!r} must have a positive weight")
+
+    @classmethod
+    def from_utility(
+        cls, name: str, utility: Callable[[Row], float], weight: float = 1.0
+    ) -> "GroupMember":
+        """A member whose preferences are an item utility ``f_u`` (Section 2 lift)."""
+        return cls(name, UtilityRating(utility), weight)
+
+    def describe(self) -> str:
+        return f"{self.name} (weight {self.weight}, {self.rating.describe()})"
+
+
+def _require_members(members: Sequence[GroupMember]) -> Tuple[GroupMember, ...]:
+    members = tuple(members)
+    if not members:
+        raise ModelError("a group needs at least one member")
+    names = [member.name for member in members]
+    if len(set(names)) != len(names):
+        raise ModelError(f"duplicate member names: {sorted(names)}")
+    return members
+
+
+# ---------------------------------------------------------------------------
+# Aggregation strategies (each is itself a PTIME package rating)
+# ---------------------------------------------------------------------------
+class GroupRating(PackageRating):
+    """Base class of aggregated ratings; keeps the members for reporting."""
+
+    def __init__(self, members: Sequence[GroupMember]) -> None:
+        self.members = _require_members(members)
+
+    def member_ratings(self, package: Package) -> Dict[str, float]:
+        """``{member name: val_u(N)}`` for one package."""
+        return {member.name: member.rating(package) for member in self.members}
+
+
+class AverageRating(GroupRating):
+    """The weighted mean of the members' ratings."""
+
+    def __call__(self, package: Package) -> float:
+        total_weight = sum(member.weight for member in self.members)
+        weighted = sum(member.weight * member.rating(package) for member in self.members)
+        return weighted / total_weight
+
+    def describe(self) -> str:
+        return f"average of {len(self.members)} member ratings"
+
+
+class LeastMiseryRating(GroupRating):
+    """The minimum member rating: the group is only as happy as its least happy member."""
+
+    def __call__(self, package: Package) -> float:
+        return min(member.rating(package) for member in self.members)
+
+    def describe(self) -> str:
+        return f"least misery over {len(self.members)} members"
+
+
+class MostPleasureRating(GroupRating):
+    """The maximum member rating: one delighted member carries the group."""
+
+    def __call__(self, package: Package) -> float:
+        return max(member.rating(package) for member in self.members)
+
+    def describe(self) -> str:
+        return f"most pleasure over {len(self.members)} members"
+
+
+class DisagreementPenalisedRating(GroupRating):
+    """Weighted mean minus a penalty proportional to the rating spread."""
+
+    def __init__(self, members: Sequence[GroupMember], penalty: float = 0.5) -> None:
+        super().__init__(members)
+        if penalty < 0:
+            raise ModelError("the disagreement penalty must be non-negative")
+        self.penalty = penalty
+
+    def __call__(self, package: Package) -> float:
+        ratings = [member.rating(package) for member in self.members]
+        total_weight = sum(member.weight for member in self.members)
+        weighted = sum(member.weight * member.rating(package) for member in self.members)
+        spread = max(ratings) - min(ratings)
+        return weighted / total_weight - self.penalty * spread
+
+    def describe(self) -> str:
+        return (
+            f"average of {len(self.members)} member ratings minus "
+            f"{self.penalty} × disagreement"
+        )
+
+
+#: Names accepted by :func:`aggregation_strategy`.
+STRATEGIES: Mapping[str, Callable[..., GroupRating]] = {
+    "average": AverageRating,
+    "least_misery": LeastMiseryRating,
+    "most_pleasure": MostPleasureRating,
+    "disagreement": DisagreementPenalisedRating,
+}
+
+
+def aggregation_strategy(name: str, members: Sequence[GroupMember], **options) -> GroupRating:
+    """Construct an aggregation strategy by name.
+
+    ``name`` is one of ``average``, ``least_misery``, ``most_pleasure`` or
+    ``disagreement`` (the latter accepts ``penalty=...``).
+    """
+    try:
+        factory = STRATEGIES[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown aggregation strategy {name!r}; choose one of {sorted(STRATEGIES)}"
+        ) from None
+    return factory(members, **options)
+
+
+# ---------------------------------------------------------------------------
+# The group recommendation problem
+# ---------------------------------------------------------------------------
+@dataclass
+class GroupRecommendationProblem:
+    """A package recommendation problem shared by a group of users.
+
+    All selection-side inputs (``D``, ``Q``, ``Qc``, ``cost()``, ``C``, ``k``,
+    the size bound) are exactly those of the single-user model; only the rating
+    side changes: each member has their own ``val_u`` and ``strategy`` decides
+    how the group rating is formed.
+    """
+
+    database: Database
+    query: Query
+    cost: PackageCost
+    budget: float
+    members: Sequence[GroupMember]
+    strategy: str = "average"
+    strategy_options: Mapping[str, float] = field(default_factory=dict)
+    k: int = 1
+    compatibility: CompatibilityConstraint = field(default_factory=EmptyConstraint)
+    size_bound: SizeBound = SINGLETON_BOUND
+    name: str = "group recommendation"
+    monotone_cost: bool = False
+    antimonotone_compatibility: bool = False
+
+    def __post_init__(self) -> None:
+        self.members = _require_members(self.members)
+
+    def group_rating(self) -> GroupRating:
+        """The aggregated rating function the group problem optimises."""
+        return aggregation_strategy(self.strategy, self.members, **dict(self.strategy_options))
+
+    def to_problem(self) -> RecommendationProblem:
+        """The equivalent single-user problem (the paper's model, unchanged)."""
+        return RecommendationProblem(
+            database=self.database,
+            query=self.query,
+            cost=self.cost,
+            val=self.group_rating(),
+            budget=self.budget,
+            k=self.k,
+            compatibility=self.compatibility,
+            size_bound=self.size_bound,
+            name=f"{self.name} [{self.strategy}]",
+            monotone_cost=self.monotone_cost,
+            antimonotone_compatibility=self.antimonotone_compatibility,
+        )
+
+    def with_strategy(self, strategy: str, **options) -> "GroupRecommendationProblem":
+        """The same group problem under a different aggregation strategy."""
+        return replace(self, strategy=strategy, strategy_options=dict(options))
+
+
+# ---------------------------------------------------------------------------
+# Solving and reporting
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class GroupFRPResult:
+    """Outcome of a group top-k computation."""
+
+    selection: Optional[Selection]
+    group_ratings: Tuple[float, ...] = ()
+    member_ratings: Tuple[Mapping[str, float], ...] = ()
+
+    @property
+    def found(self) -> bool:
+        """Whether a top-k selection exists for the group."""
+        return self.selection is not None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.found
+
+
+def compute_group_top_k(group: GroupRecommendationProblem) -> GroupFRPResult:
+    """FRP for a group: solve the aggregated problem and report per-member ratings."""
+    rating = group.group_rating()
+    result: FRPResult = compute_top_k(group.to_problem())
+    if result.selection is None:
+        return GroupFRPResult(None)
+    per_member = tuple(rating.member_ratings(package) for package in result.selection)
+    return GroupFRPResult(result.selection, result.ratings, per_member)
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """How well a selection serves each member of the group."""
+
+    member_totals: Mapping[str, float]
+    least_satisfied: str
+    most_satisfied: str
+    spread: float
+
+    def describe(self) -> str:
+        ordered = ", ".join(f"{name}: {value:.2f}" for name, value in sorted(self.member_totals.items()))
+        return (
+            f"member totals {{{ordered}}}; least satisfied {self.least_satisfied}, "
+            f"most satisfied {self.most_satisfied}, spread {self.spread:.2f}"
+        )
+
+
+def fairness_report(group: GroupRecommendationProblem, selection: Selection) -> FairnessReport:
+    """Summarise per-member satisfaction with a selection.
+
+    Each member's total is the sum of their ratings over the selected packages;
+    the spread is the gap between the most and the least satisfied member —
+    zero means perfectly balanced.
+    """
+    if not len(selection):
+        raise ModelError("cannot report fairness of an empty selection")
+    totals: Dict[str, float] = {member.name: 0.0 for member in group.members}
+    for package in selection:
+        for member in group.members:
+            totals[member.name] += member.rating(package)
+    least = min(totals, key=lambda name: (totals[name], name))
+    most = max(totals, key=lambda name: (totals[name], name))
+    return FairnessReport(
+        member_totals=totals,
+        least_satisfied=least,
+        most_satisfied=most,
+        spread=totals[most] - totals[least],
+    )
+
+
+def strategy_comparison(
+    group: GroupRecommendationProblem, strategies: Iterable[str] = ("average", "least_misery", "most_pleasure")
+) -> Dict[str, GroupFRPResult]:
+    """Solve the same group problem under several strategies (an ablation helper)."""
+    results: Dict[str, GroupFRPResult] = {}
+    for strategy in strategies:
+        results[strategy] = compute_group_top_k(group.with_strategy(strategy))
+    return results

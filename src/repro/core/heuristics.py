@@ -1,0 +1,347 @@
+"""Practical heuristics and tractable special cases (Section 9 of the paper).
+
+The paper's concluding section points out that "the recommendation problems
+are mostly intractable" and that "an interesting topic is to identify
+practical and tractable cases".  This module provides the two halves of that
+programme within our reproduction:
+
+* **Tractable-case detection** — :func:`detect_tractable_case` recognises the
+  regimes the paper itself proves polynomial (constant package bounds,
+  Corollary 6.1; the item embedding, Theorem 6.4) and
+  :func:`solve_if_tractable` dispatches to the corresponding exact polynomial
+  solver.  Everything else falls back to the exhaustive solver, so the
+  dispatcher is always exact.
+
+* **Heuristic solvers for the hard regime** — :func:`greedy_top_k` and
+  :func:`beam_search_top_k` construct packages incrementally, trading the
+  exponential candidate enumeration of the exact solvers for polynomially many
+  package extensions.  They are *heuristics*: every package they return is
+  valid (validity is always checked exactly), but their ratings may be below
+  the optimum.  :func:`approximation_quality` quantifies exactly that gap
+  against the exact solver, which is what the ablation benchmark reports.
+
+The greedy construction is the classic marginal-gain rule: starting from the
+empty package, repeatedly add the item with the best rating improvement that
+keeps the package valid.  For additive ratings with monotone costs (the
+travel, course and team workloads) it is the natural budgeted-maximisation
+heuristic; for adversarial ratings it can be arbitrarily bad, which is the
+point the comparison makes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.frp import FRPResult, compute_top_k
+from repro.core.model import RecommendationProblem
+from repro.core.packages import Package, Selection
+from repro.core.special_cases import frp_constant_bound
+from repro.relational.database import Relation, Row
+from repro.relational.errors import ModelError
+
+
+# ---------------------------------------------------------------------------
+# Tractable-case detection (the paper's polynomial regimes)
+# ---------------------------------------------------------------------------
+class TractableCase(Enum):
+    """The polynomial-time regimes identified by the paper (data complexity)."""
+
+    #: Packages bounded by a constant — Corollary 6.1: PTIME / FP.
+    CONSTANT_BOUND = "constant package bound (Corollary 6.1)"
+    #: Singleton packages, i.e. the item-recommendation embedding — Theorem 6.4.
+    ITEM_EMBEDDING = "item recommendation (Theorem 6.4)"
+
+    def describe(self) -> str:
+        return self.value
+
+
+def detect_tractable_case(problem: RecommendationProblem) -> Optional[TractableCase]:
+    """Which polynomial regime, if any, a problem instance falls into.
+
+    The detection is purely structural (it never evaluates the query): a
+    constant size bound puts the instance in the Corollary 6.1 regime; a
+    constant bound of exactly one without compatibility constraints is the
+    item embedding of Section 2.
+    """
+    if not problem.size_bound.is_constant():
+        return None
+    if problem.size_bound.max_size(problem.database.size()) == 1 and not (
+        problem.has_compatibility_constraint()
+    ):
+        return TractableCase.ITEM_EMBEDDING
+    return TractableCase.CONSTANT_BOUND
+
+
+def solve_if_tractable(problem: RecommendationProblem) -> Tuple[FRPResult, Optional[TractableCase]]:
+    """Solve FRP with the polynomial algorithm when one applies, exactly otherwise.
+
+    Returns the result together with the detected case (``None`` when the
+    exhaustive solver was used), so callers can report which algorithm ran.
+    """
+    case = detect_tractable_case(problem)
+    if case is not None:
+        return frp_constant_bound(problem), case
+    return compute_top_k(problem), None
+
+
+# ---------------------------------------------------------------------------
+# Heuristic results
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class HeuristicResult:
+    """Outcome of a heuristic FRP computation.
+
+    ``extensions_examined`` counts package extensions considered — the
+    machine-independent work measure the ablation benchmark reports next to
+    the exact solver's candidate count.
+    """
+
+    selection: Optional[Selection]
+    ratings: Tuple[float, ...] = ()
+    extensions_examined: int = 0
+    exact: bool = False
+
+    @property
+    def found(self) -> bool:
+        """Whether k packages were produced."""
+        return self.selection is not None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.found
+
+
+def _ordered_items(problem: RecommendationProblem, answers: Relation) -> Tuple[Row, ...]:
+    return tuple(sorted(answers.rows(), key=repr))
+
+
+def _package_key(package: Package) -> Tuple[Row, ...]:
+    return package.sorted_items()
+
+
+# ---------------------------------------------------------------------------
+# Greedy construction
+# ---------------------------------------------------------------------------
+def greedy_package(
+    problem: RecommendationProblem,
+    exclude: Iterable[Package] = (),
+    seed_item: Optional[Row] = None,
+) -> Tuple[Optional[Package], int]:
+    """Build one valid package by greedy marginal-gain extension.
+
+    Starting from ``seed_item`` (or the best valid singleton), repeatedly add
+    the item that most improves ``val`` while keeping the package valid; stop
+    when no extension improves the rating.  Returns the package (or ``None``
+    when not even a valid singleton exists outside ``exclude``) and the number
+    of extensions examined.
+    """
+    answers = problem.candidate_items()
+    items = _ordered_items(problem, answers)
+    schema = problem.query.output_schema()
+    excluded: Set[Tuple[Row, ...]] = {_package_key(package) for package in exclude}
+    examined = 0
+
+    def valid(package: Package) -> bool:
+        return problem.is_valid_package(package, candidate_items=answers)
+
+    current: Optional[Package] = None
+    if seed_item is not None:
+        seeded = Package(schema, [seed_item])
+        examined += 1
+        if valid(seeded) and _package_key(seeded) not in excluded:
+            current = seeded
+    if current is None:
+        best_rating = None
+        for item in items:
+            candidate = Package(schema, [item])
+            examined += 1
+            if _package_key(candidate) in excluded or not valid(candidate):
+                continue
+            rating = problem.val(candidate)
+            if best_rating is None or rating > best_rating:
+                best_rating, current = rating, candidate
+    if current is None:
+        return None, examined
+
+    max_size = problem.max_package_size()
+    improved = True
+    while improved and len(current) < max_size:
+        improved = False
+        current_rating = problem.val(current)
+        best_extension: Optional[Package] = None
+        best_rating = current_rating
+        for item in items:
+            if item in current:
+                continue
+            candidate = current.with_item(item)
+            examined += 1
+            if _package_key(candidate) in excluded or not valid(candidate):
+                continue
+            rating = problem.val(candidate)
+            if rating > best_rating:
+                best_rating, best_extension = rating, candidate
+        if best_extension is not None:
+            current, improved = best_extension, True
+    if _package_key(current) in excluded:
+        return None, examined
+    return current, examined
+
+
+def greedy_top_k(problem: RecommendationProblem) -> HeuristicResult:
+    """A heuristic top-k selection built from greedy packages.
+
+    One greedy package is grown from every candidate seed item (plus the
+    unseeded best-singleton start); the k highest-rated distinct results form
+    the selection.  The number of extensions examined is polynomial in
+    ``|Q(D)|`` and the package size bound, in contrast to the exponential
+    candidate space of the exact solver.
+    """
+    answers = problem.candidate_items()
+    items = _ordered_items(problem, answers)
+    examined = 0
+    found: Dict[Tuple[Row, ...], Package] = {}
+
+    def record(package: Optional[Package]) -> None:
+        if package is not None:
+            found.setdefault(_package_key(package), package)
+
+    package, work = greedy_package(problem)
+    examined += work
+    record(package)
+    for item in items:
+        package, work = greedy_package(problem, seed_item=item)
+        examined += work
+        record(package)
+
+    scored = sorted(
+        ((problem.val(package), package) for package in found.values()),
+        key=lambda pair: (-pair[0], repr(pair[1].sorted_items())),
+    )
+    if len(scored) < problem.k:
+        return HeuristicResult(None, extensions_examined=examined)
+    chosen = scored[: problem.k]
+    return HeuristicResult(
+        Selection(package for _, package in chosen),
+        ratings=tuple(rating for rating, _ in chosen),
+        extensions_examined=examined,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Beam search
+# ---------------------------------------------------------------------------
+def beam_search_top_k(problem: RecommendationProblem, beam_width: int = 8) -> HeuristicResult:
+    """A beam-search heuristic for FRP.
+
+    Level ``ℓ`` of the search holds at most ``beam_width`` packages of size
+    ``ℓ`` ordered by rating; every level extends each beam member by one item
+    and keeps the best ``beam_width`` valid extensions.  All valid packages
+    ever seen compete for the final top-k, so widening the beam monotonically
+    improves the result and a beam at least as wide as the candidate space is
+    exact.
+    """
+    if beam_width < 1:
+        raise ModelError("beam width must be at least 1")
+    answers = problem.candidate_items()
+    items = _ordered_items(problem, answers)
+    schema = problem.query.output_schema()
+    max_size = problem.max_package_size()
+    examined = 0
+
+    def valid(package: Package) -> bool:
+        return problem.is_valid_package(package, candidate_items=answers)
+
+    seen: Dict[Tuple[Row, ...], float] = {}
+    beam: List[Package] = []
+    for item in items:
+        candidate = Package(schema, [item])
+        examined += 1
+        if valid(candidate):
+            seen[_package_key(candidate)] = problem.val(candidate)
+            beam.append(candidate)
+    beam = heapq.nlargest(beam_width, beam, key=lambda p: (problem.val(p), repr(p.sorted_items())))
+
+    size = 1
+    while beam and size < max_size:
+        extensions: List[Package] = []
+        for package in beam:
+            for item in items:
+                if item in package:
+                    continue
+                candidate = package.with_item(item)
+                key = _package_key(candidate)
+                if key in seen:
+                    continue
+                examined += 1
+                if not valid(candidate):
+                    continue
+                seen[key] = problem.val(candidate)
+                extensions.append(candidate)
+        beam = heapq.nlargest(
+            beam_width, extensions, key=lambda p: (problem.val(p), repr(p.sorted_items()))
+        )
+        size += 1
+
+    scored = sorted(seen.items(), key=lambda pair: (-pair[1], repr(pair[0])))
+    if len(scored) < problem.k:
+        return HeuristicResult(None, extensions_examined=examined)
+    packages = [Package(schema, key) for key, _ in scored[: problem.k]]
+    ratings = tuple(rating for _, rating in scored[: problem.k])
+    return HeuristicResult(Selection(packages), ratings=ratings, extensions_examined=examined)
+
+
+# ---------------------------------------------------------------------------
+# Quality measurement
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ApproximationQuality:
+    """How a heuristic selection compares with the exact optimum."""
+
+    heuristic_total: float
+    exact_total: float
+    ratio: float
+    heuristic_found: bool
+    exact_found: bool
+
+    def describe(self) -> str:
+        if not self.exact_found:
+            return "no exact top-k selection exists"
+        if not self.heuristic_found:
+            return "heuristic found no selection"
+        return (
+            f"heuristic total {self.heuristic_total:.2f} vs exact {self.exact_total:.2f} "
+            f"(ratio {self.ratio:.3f})"
+        )
+
+
+def approximation_quality(
+    problem: RecommendationProblem,
+    heuristic: HeuristicResult,
+    exact: Optional[FRPResult] = None,
+) -> ApproximationQuality:
+    """Compare a heuristic result against the exact solver on the same problem.
+
+    The comparison uses the total rating of the returned selections; the ratio
+    is heuristic / exact, clamped to 1 when both totals are non-positive or
+    identical.  When ``exact`` is not supplied the exact solver is run here.
+    """
+    exact = exact if exact is not None else compute_top_k(problem)
+    heuristic_total = sum(heuristic.ratings) if heuristic.found else 0.0
+    exact_total = sum(exact.ratings) if exact.found else 0.0
+    if not exact.found or not heuristic.found:
+        ratio = 0.0
+    elif exact_total == heuristic_total:
+        ratio = 1.0
+    elif exact_total == 0:
+        ratio = 1.0 if heuristic_total >= 0 else 0.0
+    else:
+        ratio = heuristic_total / exact_total
+    return ApproximationQuality(
+        heuristic_total=heuristic_total,
+        exact_total=exact_total,
+        ratio=ratio,
+        heuristic_found=heuristic.found,
+        exact_found=exact.found,
+    )

@@ -1,0 +1,80 @@
+"""MBP — the maximum bound problem.
+
+A constant ``B`` is a *rating bound* for ``(Q, D, Qc, cost, val, C, k)`` when
+there exist k distinct valid packages all rated ≥ B; it is the *maximum*
+bound when no larger constant is also a bound.  The paper characterises the
+yes-instances as the intersection ``L1 ∩ L2``:
+
+* ``L1`` — k distinct valid packages rated ≥ B exist, and
+* ``L2`` — k distinct valid packages rated *strictly above* B do **not** exist
+
+(the second condition is equivalent to "no bound B′ > B works" because any
+such B′ would have to be witnessed by k packages rated > B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.enumeration import enumerate_valid_packages
+from repro.core.model import RecommendationProblem
+from repro.core.packages import Package
+
+
+@dataclass(frozen=True)
+class MBPResult:
+    """Outcome of an MBP check."""
+
+    is_maximum_bound: bool
+    is_bound: bool
+    has_higher_bound: bool
+    reason: str
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.is_maximum_bound
+
+
+def _has_k_packages(
+    problem: RecommendationProblem, rating_bound: float, strict: bool
+) -> bool:
+    """Whether k distinct valid packages rated ≥ (or >) the bound exist."""
+    count = 0
+    for _ in enumerate_valid_packages(problem, rating_bound=rating_bound, strict=strict):
+        count += 1
+        if count >= problem.k:
+            return True
+    return False
+
+
+def is_rating_bound(problem: RecommendationProblem, bound: float) -> bool:
+    """Membership in ``L1``: does some top-k selection rate every package ≥ bound?"""
+    return _has_k_packages(problem, bound, strict=False)
+
+
+def is_maximum_bound(problem: RecommendationProblem, bound: float) -> MBPResult:
+    """Decide MBP: is ``bound`` the maximum rating bound?"""
+    in_l1 = _has_k_packages(problem, bound, strict=False)
+    in_l2_complement = _has_k_packages(problem, bound, strict=True)
+    if not in_l1:
+        return MBPResult(False, False, in_l2_complement, f"{bound} is not even a rating bound")
+    if in_l2_complement:
+        return MBPResult(
+            False, True, True, f"{bound} is a bound but k packages rated above it exist"
+        )
+    return MBPResult(True, True, False, f"{bound} is the maximum rating bound")
+
+
+def maximum_bound(problem: RecommendationProblem) -> Optional[float]:
+    """Compute the maximum bound directly (``None`` when no top-k selection exists).
+
+    The maximum bound equals the k-th largest rating over all valid packages:
+    the k best packages witness it, and any larger constant would exclude one
+    of them with no replacement.
+    """
+    ratings = sorted(
+        (problem.val(package) for package in enumerate_valid_packages(problem)), reverse=True
+    )
+    if len(ratings) < problem.k:
+        return None
+    return ratings[problem.k - 1]

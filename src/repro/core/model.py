@@ -1,0 +1,246 @@
+"""The package recommendation model.
+
+A :class:`RecommendationProblem` bundles the inputs shared by every problem of
+the paper: the database ``D``, the selection query ``Q``, the compatibility
+constraint ``Qc``, the aggregate functions ``cost()`` and ``val()``, the cost
+budget ``C``, the number of packages ``k`` and the bound on package sizes
+(a predefined polynomial in ``|D|``, or a constant for the Section 6 special
+case).
+
+Validity of a single package and of a whole selection is defined here; the
+individual problems (RPP, FRP, MBP, CPP, QRPP, ARPP) live in their own
+modules and all defer to these definitions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.core.compatibility import CompatibilityConstraint, EmptyConstraint
+from repro.core.functions import (
+    CountCost,
+    PackageCost,
+    PackageRating,
+    UtilityRating,
+    item_embedding_functions,
+)
+from repro.core.packages import Package, Selection
+from repro.queries.base import Query
+from repro.queries.languages import QueryLanguage, classify_query
+from repro.relational.database import Database, Relation, Row
+from repro.relational.errors import ModelError
+
+
+# ---------------------------------------------------------------------------
+# Package size bounds
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConstantBound:
+    """``|N| ≤ Bp`` for a predefined constant ``Bp`` (Corollary 6.1)."""
+
+    limit: int
+
+    def max_size(self, database_size: int) -> int:
+        return self.limit
+
+    def is_constant(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return f"|N| ≤ {self.limit} (constant bound)"
+
+
+@dataclass(frozen=True)
+class PolynomialBound:
+    """``|N| ≤ coefficient · |D|^degree`` — the paper's predefined polynomial ``p``."""
+
+    coefficient: float = 1.0
+    degree: int = 1
+
+    def max_size(self, database_size: int) -> int:
+        return max(0, int(self.coefficient * (database_size ** self.degree)))
+
+    def is_constant(self) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return f"|N| ≤ {self.coefficient}·|D|^{self.degree} (polynomial bound)"
+
+
+SizeBound = Union[ConstantBound, PolynomialBound]
+
+SINGLETON_BOUND = ConstantBound(1)
+LINEAR_BOUND = PolynomialBound(1.0, 1)
+
+
+# ---------------------------------------------------------------------------
+# The problem specification
+# ---------------------------------------------------------------------------
+@dataclass
+class RecommendationProblem:
+    """Inputs shared by RPP, FRP, MBP and CPP.
+
+    Parameters mirror the paper's problem statements:
+    ``(Q, D, Qc, cost(), val(), C, k)`` plus the package size bound.
+    """
+
+    database: Database
+    query: Query
+    cost: PackageCost
+    val: PackageRating
+    budget: float
+    k: int = 1
+    compatibility: CompatibilityConstraint = field(default_factory=EmptyConstraint)
+    size_bound: SizeBound = SINGLETON_BOUND
+    name: str = "recommendation problem"
+    #: Declares that ``cost`` never decreases when items are added to a package.
+    #: When set, the package enumerator prunes every superset of an over-budget
+    #: package.  This is an optimisation hint, not part of the paper's model;
+    #: it must only be set when the property genuinely holds (it does for
+    #: counting costs, attribute sums of non-negative values and the
+    #: consistency-style costs of the reductions).
+    monotone_cost: bool = False
+    #: Declares that supersets of an incompatible package stay incompatible
+    #: (true for all "forbidden sub-pattern" constraints such as "no more than
+    #: two museums" and for every Qc built from positive queries over RQ).
+    antimonotone_compatibility: bool = False
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ModelError("k must be at least 1")
+
+    # -- derived inputs -----------------------------------------------------------
+    def language(self) -> QueryLanguage:
+        """The query language LQ the selection query belongs to."""
+        return classify_query(self.query)
+
+    def has_compatibility_constraint(self) -> bool:
+        """Whether ``Qc`` is present (not the empty query)."""
+        return not self.compatibility.is_empty_constraint()
+
+    def max_package_size(self) -> int:
+        """The effective bound on ``|N|`` for the current database."""
+        return self.size_bound.max_size(self.database.size())
+
+    def candidate_items(self) -> Relation:
+        """``Q(D)``, the pool packages are drawn from."""
+        return self.query.evaluate(self.database)
+
+    def package_from_items(self, items: Iterable[Row]) -> Package:
+        """Wrap raw answer tuples into a package over the answer schema."""
+        return Package(self.query.output_schema(), items)
+
+    def empty_package(self) -> Package:
+        """The empty package over the answer schema."""
+        return Package.empty(self.query.output_schema())
+
+    # -- validity (Section 2, conditions (1)-(4)) ---------------------------------------
+    def is_valid_package(
+        self,
+        package: Package,
+        rating_bound: Optional[float] = None,
+        candidate_items: Optional[Relation] = None,
+        strict: bool = False,
+    ) -> bool:
+        """Conditions (1)-(4) plus, optionally, ``val(N) ≥ B`` (or ``> B``).
+
+        ``candidate_items`` may be passed to avoid recomputing ``Q(D)`` when
+        validating many packages against the same database.
+        """
+        if len(package) > self.max_package_size():
+            return False
+        answers = candidate_items if candidate_items is not None else self.candidate_items()
+        answer_rows = answers.rows()
+        if not all(item in answer_rows for item in package.items):
+            return False
+        if not self.compatibility.is_satisfied(package, self.database):
+            return False
+        if self.cost(package) > self.budget:
+            return False
+        if rating_bound is not None:
+            rating = self.val(package)
+            if strict:
+                return rating > rating_bound
+            return rating >= rating_bound
+        return True
+
+    def validity_report(self, package: Package) -> "dict[str, bool]":
+        """Which of the validity conditions hold — useful in error messages."""
+        answers = self.candidate_items().rows()
+        return {
+            "within_size_bound": len(package) <= self.max_package_size(),
+            "subset_of_answers": all(item in answers for item in package.items),
+            "compatible": self.compatibility.is_satisfied(package, self.database),
+            "within_budget": self.cost(package) <= self.budget,
+        }
+
+    # -- selections (Section 2, conditions (5)-(6)) ----------------------------------------
+    def ratings(self, selection: Selection) -> Tuple[float, ...]:
+        """Ratings of the packages of a selection, in selection order."""
+        return tuple(self.val(package) for package in selection)
+
+    def min_rating(self, selection: Selection) -> float:
+        """The smallest rating in a selection (the threshold outsiders must not beat)."""
+        return min(self.ratings(selection)) if len(selection) else -math.inf
+
+    # -- convenience transforms ---------------------------------------------------------
+    def without_compatibility(self) -> "RecommendationProblem":
+        """The same problem with ``Qc`` dropped (the Section 4.3 special case)."""
+        return replace(self, compatibility=EmptyConstraint())
+
+    def with_constant_bound(self, limit: int) -> "RecommendationProblem":
+        """The same problem with a constant package-size bound (Corollary 6.1)."""
+        return replace(self, size_bound=ConstantBound(limit))
+
+    def with_budget(self, budget: float) -> "RecommendationProblem":
+        """The same problem with a different cost budget."""
+        return replace(self, budget=budget)
+
+    def with_k(self, k: int) -> "RecommendationProblem":
+        """The same problem asking for a different number of packages."""
+        return replace(self, k=k)
+
+    def with_database(self, database: Database) -> "RecommendationProblem":
+        """The same problem over a different database (used by ARPP)."""
+        return replace(self, database=database)
+
+    def with_query(self, query: Query) -> "RecommendationProblem":
+        """The same problem with a different selection query (used by QRPP)."""
+        return replace(self, query=query)
+
+    def describe(self) -> str:
+        """A one-paragraph description used by examples and benchmarks."""
+        return (
+            f"{self.name}: top-{self.k} packages, LQ = {self.language().value}, "
+            f"{'with' if self.has_compatibility_constraint() else 'without'} Qc, "
+            f"{self.size_bound.describe()}, cost budget C = {self.budget}, "
+            f"cost = {self.cost.describe()}, val = {self.val.describe()}"
+        )
+
+
+def item_recommendation_problem(
+    database: Database,
+    query: Query,
+    utility: Callable[[Row], float],
+    k: int = 1,
+    name: str = "item recommendation",
+) -> RecommendationProblem:
+    """The item-recommendation special case as a package problem (Section 2).
+
+    ``Qc`` is the empty query, ``cost(N) = |N|`` with ``cost(∅) = ∞``,
+    ``C = 1`` (so packages are singletons), and ``val({s}) = f(s)``.
+    """
+    cost, rating, budget = item_embedding_functions(utility)
+    return RecommendationProblem(
+        database=database,
+        query=query,
+        cost=cost,
+        val=rating,
+        budget=budget,
+        k=k,
+        compatibility=EmptyConstraint(),
+        size_bound=SINGLETON_BOUND,
+        name=name,
+    )

@@ -1,0 +1,57 @@
+"""The EXISTPACK≥ oracle of Theorem 5.1.
+
+``EXISTPACK≥(Q, D, Qc, cost, val, C, N, v)`` answers whether there exists a
+valid package ``N ⊆ Q(D)`` with ``val(N) ≥ v`` that differs from every package
+already in the partial selection ``N``.  In the paper this is a Σ₂ᵖ oracle;
+here it is a deterministic search that also returns a witness.  The class
+keeps a call counter so that benchmarks can report "number of oracle calls" —
+the machine-independent cost measure the paper's FP^NP / FP^Σ₂ᵖ upper bounds
+are stated in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+from repro.core.enumeration import exists_valid_package
+from repro.core.model import RecommendationProblem
+from repro.core.packages import Package
+from repro.relational.database import Relation
+
+
+@dataclass
+class ExistPackOracle:
+    """A callable oracle bound to one recommendation problem."""
+
+    problem: RecommendationProblem
+    calls: int = 0
+    candidate_items: Optional[Relation] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.candidate_items is None:
+            self.candidate_items = self.problem.candidate_items()
+
+    def __call__(
+        self,
+        rating_bound: float,
+        exclude: Iterable[Package] = (),
+        strict: bool = False,
+    ) -> Optional[Package]:
+        """A valid package with ``val ≥ rating_bound`` (or ``>``) outside ``exclude``."""
+        self.calls += 1
+        return exists_valid_package(
+            self.problem,
+            rating_bound=rating_bound,
+            strict=strict,
+            exclude=exclude,
+            candidate_items=self.candidate_items,
+        )
+
+    def exists(self, rating_bound: float, exclude: Iterable[Package] = (), strict: bool = False) -> bool:
+        """The Boolean answer of the paper's oracle (discarding the witness)."""
+        return self(rating_bound, exclude=exclude, strict=strict) is not None
+
+    def reset_counter(self) -> None:
+        """Reset the call counter (benchmarks call this between measurements)."""
+        self.calls = 0

@@ -1,0 +1,128 @@
+"""Special cases of POI recommendations (Section 6 of the paper).
+
+Three restrictions are studied there:
+
+* packages bounded by a **constant** ``Bp`` instead of a polynomial
+  (Corollary 6.1) — the data complexity of RPP/FRP/MBP/CPP drops to
+  PTIME/FP because only polynomially many candidate packages exist;
+* **SP queries** (Corollary 6.2) — a language with PTIME combined membership;
+  variable package sizes are then the only remaining source of hardness;
+* **PTIME compatibility constraints** (Corollary 6.3) — behave exactly like
+  the absence of ``Qc``.
+
+The helpers here construct the restricted problems and expose the polynomial
+fast paths explicitly, so the ablation benchmark can time "generic solver on
+restricted problem" against the paper's predicted regime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.core.compatibility import PredicateConstraint
+from repro.core.cpp import CPPResult, count_valid_packages
+from repro.core.enumeration import enumerate_valid_packages
+from repro.core.frp import FRPResult, compute_top_k
+from repro.core.mbp import MBPResult, is_maximum_bound, maximum_bound
+from repro.core.model import ConstantBound, RecommendationProblem
+from repro.core.packages import Package, Selection
+from repro.core.rpp import RPPResult, is_top_k_selection
+from repro.queries.languages import QueryLanguage
+from repro.relational.errors import ModelError
+
+
+@dataclass(frozen=True)
+class ComplexityRegime:
+    """A coarse description of how hard a problem instance is expected to be.
+
+    ``polynomial_data`` means the enumeration underlying the generic solvers
+    touches at most polynomially many candidate packages for a *fixed* query:
+    the constant-bound and item cases of Tables 8.2.
+    """
+
+    language: QueryLanguage
+    has_compatibility: bool
+    constant_bound: bool
+    polynomial_data: bool
+
+    def describe(self) -> str:
+        size = "constant-size packages" if self.constant_bound else "poly-size packages"
+        qc = "with Qc" if self.has_compatibility else "without Qc"
+        regime = "PTIME data complexity" if self.polynomial_data else "exponential search in |Q(D)|"
+        return f"LQ = {self.language.value}, {qc}, {size}: {regime}"
+
+
+def classify_regime(problem: RecommendationProblem) -> ComplexityRegime:
+    """Which of the paper's regimes a concrete problem instance falls into."""
+    constant = problem.size_bound.is_constant()
+    return ComplexityRegime(
+        language=problem.language(),
+        has_compatibility=problem.has_compatibility_constraint(),
+        constant_bound=constant,
+        polynomial_data=constant,
+    )
+
+
+def restrict_to_constant_bound(problem: RecommendationProblem, limit: int) -> RecommendationProblem:
+    """Corollary 6.1: the same instance with packages of at most ``limit`` items."""
+    if limit < 1:
+        raise ModelError("the constant package bound must be at least 1")
+    return problem.with_constant_bound(limit)
+
+
+def restrict_to_ptime_compatibility(
+    problem: RecommendationProblem, predicate: Callable[[Package, object], bool], description: str
+) -> RecommendationProblem:
+    """Corollary 6.3: replace a query constraint by a PTIME predicate."""
+    from dataclasses import replace
+
+    return replace(problem, compatibility=PredicateConstraint(predicate, description))
+
+
+# ---------------------------------------------------------------------------
+# Polynomial fast paths for the constant-bound regime (Corollary 6.1)
+# ---------------------------------------------------------------------------
+def _require_constant_bound(problem: RecommendationProblem, function_name: str) -> None:
+    if not problem.size_bound.is_constant():
+        raise ModelError(
+            f"{function_name} implements the Corollary 6.1 fast path and requires a "
+            "constant package-size bound; call restrict_to_constant_bound first"
+        )
+
+
+def rpp_constant_bound(problem: RecommendationProblem, candidate: Selection) -> RPPResult:
+    """RPP under a constant bound — PTIME in the data for a fixed query."""
+    _require_constant_bound(problem, "rpp_constant_bound")
+    return is_top_k_selection(problem, candidate)
+
+
+def frp_constant_bound(problem: RecommendationProblem) -> FRPResult:
+    """FRP under a constant bound — FP in the data for a fixed query."""
+    _require_constant_bound(problem, "frp_constant_bound")
+    return compute_top_k(problem)
+
+
+def mbp_constant_bound(problem: RecommendationProblem, bound: float) -> MBPResult:
+    """MBP under a constant bound — PTIME in the data for a fixed query."""
+    _require_constant_bound(problem, "mbp_constant_bound")
+    return is_maximum_bound(problem, bound)
+
+
+def cpp_constant_bound(problem: RecommendationProblem, bound: float) -> CPPResult:
+    """CPP under a constant bound — FP in the data for a fixed query."""
+    _require_constant_bound(problem, "cpp_constant_bound")
+    return count_valid_packages(problem, bound)
+
+
+def candidate_space_size(problem: RecommendationProblem) -> int:
+    """The number of candidate packages the generic solvers may have to examine.
+
+    ``Σ_{s=1..bound} C(|Q(D)|, s)`` — the quantity whose growth separates the
+    constant-bound (polynomial) and poly-bound (exponential) columns of
+    Table 8.2.  Benchmarks report it next to wall-clock numbers.
+    """
+    pool = len(problem.candidate_items())
+    bound = min(problem.max_package_size(), pool)
+    return sum(math.comb(pool, size) for size in range(1, bound + 1))

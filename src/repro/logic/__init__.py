@@ -1,0 +1,66 @@
+"""Propositional and quantified-Boolean-formula substrate.
+
+The paper's lower bounds are reductions from classical complete problems:
+3SAT, SAT-UNSAT, MAX-WEIGHT SAT, #SAT, ∃*∀*3DNF, ∃*∀*3DNF–∀*∃*3CNF, #Σ₁SAT
+and #Π₁SAT.  This subpackage provides the formula data structures, reference
+solvers (DPLL for CNF, brute force for the quantified variants — the instances
+used in tests and benchmarks are small by design) and random instance
+generators, so that the executable reductions in :mod:`repro.reductions` can
+be validated in both directions.
+"""
+
+from repro.logic.formulas import (
+    Clause,
+    CNFFormula,
+    DNFFormula,
+    Literal,
+    Term3,
+    TruthAssignment,
+)
+from repro.logic.problems import (
+    ExistsForallDNF,
+    MaxWeightSATInstance,
+    SATUNSATInstance,
+    SigmaPiCountingInstance,
+)
+from repro.logic.solvers import (
+    count_models,
+    count_sigma1_assignments,
+    count_pi1_assignments,
+    dpll_satisfiable,
+    enumerate_assignments,
+    exists_forall_dnf_true,
+    max_weight_assignment,
+)
+from repro.logic.generators import (
+    random_3cnf,
+    random_3dnf,
+    random_exists_forall_dnf,
+    random_max_weight_sat,
+    random_sat_unsat,
+)
+
+__all__ = [
+    "CNFFormula",
+    "Clause",
+    "DNFFormula",
+    "ExistsForallDNF",
+    "Literal",
+    "MaxWeightSATInstance",
+    "SATUNSATInstance",
+    "SigmaPiCountingInstance",
+    "Term3",
+    "TruthAssignment",
+    "count_models",
+    "count_pi1_assignments",
+    "count_sigma1_assignments",
+    "dpll_satisfiable",
+    "enumerate_assignments",
+    "exists_forall_dnf_true",
+    "max_weight_assignment",
+    "random_3cnf",
+    "random_3dnf",
+    "random_exists_forall_dnf",
+    "random_max_weight_sat",
+    "random_sat_unsat",
+]

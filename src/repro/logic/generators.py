@@ -1,0 +1,118 @@
+"""Random instance generators for the propositional substrate.
+
+Used by the benchmark harness (to sweep instance sizes) and by the
+property-based tests (to cross-check reductions against the reference
+solvers).  All generators take an explicit :class:`random.Random` or a seed so
+that every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.logic.formulas import CNFFormula, Clause, DNFFormula, Literal, Term3
+from repro.logic.problems import (
+    ExistsForallDNF,
+    MaxWeightSATInstance,
+    SATUNSATInstance,
+)
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def _variable_names(prefix: str, count: int) -> List[str]:
+    return [f"{prefix}{i}" for i in range(1, count + 1)]
+
+
+def _random_literals(
+    rng: random.Random, variables: Sequence[str], width: int
+) -> List[Literal]:
+    chosen = rng.sample(list(variables), min(width, len(variables)))
+    return [Literal(variable, rng.random() < 0.5) for variable in chosen]
+
+
+def random_3cnf(
+    num_variables: int,
+    num_clauses: int,
+    seed: RandomLike = None,
+    prefix: str = "x",
+) -> CNFFormula:
+    """A random 3CNF formula over ``num_variables`` variables."""
+    rng = _rng(seed)
+    variables = _variable_names(prefix, num_variables)
+    clauses = [Clause(_random_literals(rng, variables, 3)) for _ in range(num_clauses)]
+    return CNFFormula(clauses)
+
+
+def random_3dnf(
+    num_variables: int,
+    num_terms: int,
+    seed: RandomLike = None,
+    prefix: str = "x",
+) -> DNFFormula:
+    """A random 3DNF formula over ``num_variables`` variables."""
+    rng = _rng(seed)
+    variables = _variable_names(prefix, num_variables)
+    terms = [Term3(_random_literals(rng, variables, 3)) for _ in range(num_terms)]
+    return DNFFormula(terms)
+
+
+def random_exists_forall_dnf(
+    num_exists: int,
+    num_forall: int,
+    num_terms: int,
+    seed: RandomLike = None,
+) -> ExistsForallDNF:
+    """A random ∃*∀*3DNF sentence with disjoint X / Y variable blocks."""
+    rng = _rng(seed)
+    exists_vars = _variable_names("x", num_exists)
+    forall_vars = _variable_names("y", num_forall)
+    pool = exists_vars + forall_vars
+    terms = [Term3(_random_literals(rng, pool, 3)) for _ in range(num_terms)]
+    return ExistsForallDNF(tuple(exists_vars), tuple(forall_vars), DNFFormula(terms))
+
+
+def random_sat_unsat(
+    num_variables: int,
+    num_clauses: int,
+    seed: RandomLike = None,
+) -> SATUNSATInstance:
+    """A random SAT-UNSAT instance (φ₁ over x-variables, φ₂ over y-variables)."""
+    rng = _rng(seed)
+    phi1 = random_3cnf(num_variables, num_clauses, seed=rng, prefix="x")
+    phi2 = random_3cnf(num_variables, num_clauses, seed=rng, prefix="y")
+    return SATUNSATInstance(phi1, phi2)
+
+
+def random_max_weight_sat(
+    num_variables: int,
+    num_clauses: int,
+    max_weight: int = 10,
+    seed: RandomLike = None,
+) -> MaxWeightSATInstance:
+    """A random MAX-WEIGHT SAT instance with integer weights in [1, max_weight]."""
+    rng = _rng(seed)
+    formula = random_3cnf(num_variables, num_clauses, seed=rng)
+    weights = tuple(rng.randint(1, max_weight) for _ in range(num_clauses))
+    return MaxWeightSATInstance(formula, weights)
+
+
+def unsatisfiable_3cnf(num_variables: int = 2, prefix: str = "y") -> CNFFormula:
+    """A small, certainly unsatisfiable CNF: all sign patterns over two variables."""
+    if num_variables < 2:
+        raise ValueError("need at least two variables to build the contradiction gadget")
+    a, b = f"{prefix}1", f"{prefix}2"
+    clauses = [
+        Clause([Literal(a, True), Literal(b, True)]),
+        Clause([Literal(a, True), Literal(b, False)]),
+        Clause([Literal(a, False), Literal(b, True)]),
+        Clause([Literal(a, False), Literal(b, False)]),
+    ]
+    return CNFFormula(clauses)

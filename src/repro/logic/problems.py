@@ -1,0 +1,127 @@
+"""Instances of the complete problems the paper reduces from.
+
+Each class bundles a formula (or pair of formulas) with the variable
+partition the problem statement requires, plus an ``answer`` method that
+solves the instance by brute force / DPLL.  These reference answers are what
+the executable reductions in :mod:`repro.reductions` are validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.logic.formulas import CNFFormula, DNFFormula, TruthAssignment
+
+
+@dataclass(frozen=True)
+class ExistsForallDNF:
+    """A ∃*∀*3DNF instance ``∃X ∀Y ψ(X, Y)`` with ψ in 3DNF (Σ₂ᵖ-complete)."""
+
+    exists_variables: Tuple[str, ...]
+    forall_variables: Tuple[str, ...]
+    matrix: DNFFormula
+
+    def __post_init__(self) -> None:
+        overlap = set(self.exists_variables) & set(self.forall_variables)
+        if overlap:
+            raise ValueError(f"variables cannot be both ∃ and ∀ quantified: {sorted(overlap)}")
+
+    def answer(self) -> bool:
+        """Whether the sentence is true (brute force over both blocks)."""
+        from repro.logic.solvers import exists_forall_dnf_true
+
+        return exists_forall_dnf_true(self)
+
+    def witness(self) -> Optional[TruthAssignment]:
+        """A truth assignment of the ∃ block witnessing truth, if any."""
+        from repro.logic.solvers import enumerate_assignments, forall_holds
+
+        for mu_x in enumerate_assignments(self.exists_variables):
+            if forall_holds(self.matrix, mu_x, self.forall_variables):
+                return mu_x
+        return None
+
+
+@dataclass(frozen=True)
+class SATUNSATInstance:
+    """A SAT-UNSAT instance: a pair (φ₁, φ₂) of 3CNF formulas (DP-complete).
+
+    The question is whether φ₁ is satisfiable *and* φ₂ is unsatisfiable.
+    The two formulas are over disjoint variable sets by construction.
+    """
+
+    phi1: CNFFormula
+    phi2: CNFFormula
+
+    def answer(self) -> bool:
+        from repro.logic.solvers import dpll_satisfiable
+
+        return dpll_satisfiable(self.phi1) is not None and dpll_satisfiable(self.phi2) is None
+
+    def components(self) -> Tuple[bool, bool]:
+        """(φ₁ satisfiable?, φ₂ satisfiable?) — useful for test parametrisation."""
+        from repro.logic.solvers import dpll_satisfiable
+
+        return dpll_satisfiable(self.phi1) is not None, dpll_satisfiable(self.phi2) is not None
+
+
+@dataclass(frozen=True)
+class MaxWeightSATInstance:
+    """A MAX-WEIGHT SAT instance: weighted 3-clauses (FPᴺᴾ-complete to optimise)."""
+
+    formula: CNFFormula
+    weights: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != len(self.formula.clauses):
+            raise ValueError(
+                f"{len(self.weights)} weights for {len(self.formula.clauses)} clauses"
+            )
+
+    def weight_of(self, assignment: TruthAssignment) -> int:
+        """Total weight of the clauses satisfied by ``assignment``."""
+        return sum(
+            weight
+            for clause, weight in zip(self.formula.clauses, self.weights)
+            if clause.evaluate(assignment)
+        )
+
+    def answer(self) -> int:
+        """The maximum achievable satisfied weight."""
+        from repro.logic.solvers import max_weight_assignment
+
+        _, best_weight = max_weight_assignment(self)
+        return best_weight
+
+
+@dataclass(frozen=True)
+class SigmaPiCountingInstance:
+    """A #Σ₁SAT / #Π₁SAT instance.
+
+    ``φ(X, Y) = ∃X matrix`` (counting #Σ₁SAT, matrix in CNF) or
+    ``φ(X, Y) = ∀X matrix`` (counting #Π₁SAT, matrix in DNF); in both cases the
+    count ranges over assignments of the *free* variables ``Y``.
+    """
+
+    quantified_variables: Tuple[str, ...]
+    free_variables: Tuple[str, ...]
+    cnf_matrix: Optional[CNFFormula] = None
+    dnf_matrix: Optional[DNFFormula] = None
+    universal: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.cnf_matrix is None) == (self.dnf_matrix is None):
+            raise ValueError("exactly one of cnf_matrix / dnf_matrix must be given")
+
+    def matrix_evaluate(self, assignment: TruthAssignment) -> bool:
+        if self.cnf_matrix is not None:
+            return self.cnf_matrix.evaluate(assignment)
+        assert self.dnf_matrix is not None
+        return self.dnf_matrix.evaluate(assignment)
+
+    def answer(self) -> int:
+        """The number of free-variable assignments making the sentence true."""
+        from repro.logic.solvers import count_quantified_assignments
+
+        return count_quantified_assignments(self)

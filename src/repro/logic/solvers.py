@@ -1,0 +1,206 @@
+"""Reference solvers for the propositional substrate.
+
+DPLL with unit propagation for CNF satisfiability; brute-force enumeration for
+the quantified and counting variants.  All are exponential in the worst case —
+that is inherent (they solve NP/Σ₂ᵖ/#P-complete problems) and is exactly the
+behaviour the paper's reductions transfer to the recommendation problems.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.logic.formulas import CNFFormula, Clause, DNFFormula, Literal, TruthAssignment
+from repro.logic.problems import (
+    ExistsForallDNF,
+    MaxWeightSATInstance,
+    SigmaPiCountingInstance,
+)
+
+
+def enumerate_assignments(variables: Sequence[str]) -> Iterator[TruthAssignment]:
+    """All 2^n truth assignments of ``variables`` in a deterministic order."""
+    variables = list(variables)
+    for bits in product((False, True), repeat=len(variables)):
+        yield dict(zip(variables, bits))
+
+
+# ---------------------------------------------------------------------------
+# CNF satisfiability (DPLL)
+# ---------------------------------------------------------------------------
+def _simplify(clauses: Tuple[Tuple[Literal, ...], ...], variable: str, value: bool):
+    """Apply an assignment: drop satisfied clauses, shrink the others."""
+    simplified = []
+    for clause in clauses:
+        satisfied = False
+        remaining = []
+        for literal in clause:
+            if literal.variable == variable:
+                if literal.positive == value:
+                    satisfied = True
+                    break
+            else:
+                remaining.append(literal)
+        if satisfied:
+            continue
+        if not remaining:
+            return None  # empty clause: conflict
+        simplified.append(tuple(remaining))
+    return tuple(simplified)
+
+
+def dpll_satisfiable(formula: CNFFormula) -> Optional[TruthAssignment]:
+    """A satisfying assignment of ``formula`` or ``None``.
+
+    Classic DPLL: unit propagation, then branch on the most frequent variable.
+    The returned assignment binds only the variables DPLL had to decide; use
+    :func:`complete_assignment` when a total assignment is needed.
+    """
+    clauses = tuple(tuple(clause.literals) for clause in formula.clauses)
+    assignment: TruthAssignment = {}
+
+    def solve(clauses, assignment) -> Optional[TruthAssignment]:
+        # Unit propagation.
+        changed = True
+        while changed:
+            changed = False
+            for clause in clauses:
+                if len(clause) == 1:
+                    literal = clause[0]
+                    clauses = _simplify(clauses, literal.variable, literal.positive)
+                    if clauses is None:
+                        return None
+                    assignment = dict(assignment)
+                    assignment[literal.variable] = literal.positive
+                    changed = True
+                    break
+        if not clauses:
+            return assignment
+        # Branch on the most frequent variable.
+        counts: Dict[str, int] = {}
+        for clause in clauses:
+            for literal in clause:
+                counts[literal.variable] = counts.get(literal.variable, 0) + 1
+        variable = max(counts, key=lambda name: (counts[name], name))
+        for value in (True, False):
+            reduced = _simplify(clauses, variable, value)
+            if reduced is None:
+                continue
+            extended = dict(assignment)
+            extended[variable] = value
+            result = solve(reduced, extended)
+            if result is not None:
+                return result
+        return None
+
+    return solve(clauses, assignment)
+
+
+def complete_assignment(
+    formula: CNFFormula, partial: Optional[TruthAssignment]
+) -> Optional[TruthAssignment]:
+    """Extend a partial satisfying assignment to all variables (False default)."""
+    if partial is None:
+        return None
+    total = {variable: False for variable in formula.variables()}
+    total.update(partial)
+    return total
+
+
+def count_models(formula: CNFFormula) -> int:
+    """#SAT by enumeration over all variables of the formula."""
+    return sum(1 for mu in enumerate_assignments(formula.variables()) if formula.evaluate(mu))
+
+
+# ---------------------------------------------------------------------------
+# MAX-WEIGHT SAT
+# ---------------------------------------------------------------------------
+def max_weight_assignment(
+    instance: MaxWeightSATInstance,
+) -> Tuple[TruthAssignment, int]:
+    """The assignment maximising total satisfied weight, and that weight."""
+    variables = instance.formula.variables()
+    best_assignment: TruthAssignment = {variable: False for variable in variables}
+    best_weight = instance.weight_of(best_assignment)
+    for assignment in enumerate_assignments(variables):
+        weight = instance.weight_of(assignment)
+        if weight > best_weight:
+            best_assignment, best_weight = assignment, weight
+    return best_assignment, best_weight
+
+
+# ---------------------------------------------------------------------------
+# Quantified variants
+# ---------------------------------------------------------------------------
+def forall_holds(
+    matrix: DNFFormula, outer: TruthAssignment, forall_variables: Sequence[str]
+) -> bool:
+    """Whether ``∀ forall_variables  matrix`` holds under the outer assignment."""
+    for mu_y in enumerate_assignments(forall_variables):
+        combined = dict(outer)
+        combined.update(mu_y)
+        if not matrix.evaluate(combined):
+            return False
+    return True
+
+
+def exists_forall_dnf_true(instance: ExistsForallDNF) -> bool:
+    """Truth of a ∃*∀*3DNF sentence by brute force."""
+    for mu_x in enumerate_assignments(instance.exists_variables):
+        if forall_holds(instance.matrix, mu_x, instance.forall_variables):
+            return True
+    return False
+
+
+def last_witness(instance: ExistsForallDNF) -> Optional[TruthAssignment]:
+    """The lexicographically *last* ∃-assignment that makes the sentence true.
+
+    This is the "maximum Σ₂ᵖ" function the FRP combined-complexity lower bound
+    reduces from (Theorem 5.1); exposing it lets tests compare the recommended
+    package against the ground truth.
+    """
+    best: Optional[TruthAssignment] = None
+    for mu_x in enumerate_assignments(instance.exists_variables):
+        if forall_holds(instance.matrix, mu_x, instance.forall_variables):
+            best = mu_x  # enumeration order is lexicographic with False < True
+    return best
+
+
+def count_quantified_assignments(instance: SigmaPiCountingInstance) -> int:
+    """#Σ₁SAT / #Π₁SAT by enumeration of the free block."""
+    count = 0
+    for mu_free in enumerate_assignments(instance.free_variables):
+        if instance.universal:
+            holds = all(
+                instance.matrix_evaluate({**mu_free, **mu_q})
+                for mu_q in enumerate_assignments(instance.quantified_variables)
+            )
+        else:
+            holds = any(
+                instance.matrix_evaluate({**mu_free, **mu_q})
+                for mu_q in enumerate_assignments(instance.quantified_variables)
+            )
+        if holds:
+            count += 1
+    return count
+
+
+def count_sigma1_assignments(
+    quantified: Sequence[str], free: Sequence[str], matrix: CNFFormula
+) -> int:
+    """#Σ₁SAT: number of free assignments with ∃ quantified-block making matrix true."""
+    instance = SigmaPiCountingInstance(
+        tuple(quantified), tuple(free), cnf_matrix=matrix, universal=False
+    )
+    return count_quantified_assignments(instance)
+
+
+def count_pi1_assignments(
+    quantified: Sequence[str], free: Sequence[str], matrix: DNFFormula
+) -> int:
+    """#Π₁SAT: number of free assignments with ∀ quantified-block making matrix true."""
+    instance = SigmaPiCountingInstance(
+        tuple(quantified), tuple(free), dnf_matrix=matrix, universal=True
+    )
+    return count_quantified_assignments(instance)

@@ -1,0 +1,424 @@
+"""Abstract syntax for the query languages of the paper.
+
+All languages share the same atoms: relation atoms over a database schema and
+built-in comparison predicates ``=, !=, <, <=, >, >=`` (Section 2).  On top of
+those, formulas are built with conjunction, disjunction, negation and
+quantifiers; each concrete language restricts which connectives are allowed.
+
+Terms are either variables (:class:`Var`) or constants (:class:`Const`).
+Everything is immutable and hashable so queries can be used as dictionary keys
+and compared structurally in tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.relational.errors import QueryError
+from repro.relational.schema import Value
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Var:
+    """A query variable, identified by name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant value appearing in a query."""
+
+    value: Value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Var, Const]
+
+
+def as_term(value: "Term | Value") -> Term:
+    """Coerce a raw Python value into a :class:`Const`; pass terms through."""
+    if isinstance(value, (Var, Const)):
+        return value
+    return Const(value)
+
+
+def term_variables(terms: Iterable[Term]) -> FrozenSet[Var]:
+    """The set of variables occurring in ``terms``."""
+    return frozenset(t for t in terms if isinstance(t, Var))
+
+
+def term_constants(terms: Iterable[Term]) -> Tuple[Value, ...]:
+    """The constants occurring in ``terms`` (with duplicates, in order)."""
+    return tuple(t.value for t in terms if isinstance(t, Const))
+
+
+class _VarFactory:
+    """Generates fresh variables with a common prefix (used by rewrites)."""
+
+    def __init__(self, prefix: str = "_v") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def fresh(self) -> Var:
+        return Var(f"{self._prefix}{next(self._counter)}")
+
+
+fresh_variables = _VarFactory
+
+
+# ---------------------------------------------------------------------------
+# Comparison operators
+# ---------------------------------------------------------------------------
+class ComparisonOp(Enum):
+    """Built-in predicates available in every language of the paper."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def apply(self, left: Value, right: Value) -> bool:
+        """Evaluate the predicate on two constants."""
+        if self is ComparisonOp.EQ:
+            return left == right
+        if self is ComparisonOp.NE:
+            return left != right
+        if self is ComparisonOp.LT:
+            return left < right
+        if self is ComparisonOp.LE:
+            return left <= right
+        if self is ComparisonOp.GT:
+            return left > right
+        return left >= right
+
+    def negate(self) -> "ComparisonOp":
+        """The complementary predicate (used by FO normalisation)."""
+        return _NEGATIONS[self]
+
+    def flip(self) -> "ComparisonOp":
+        """The predicate with its arguments swapped."""
+        return _FLIPS[self]
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "ComparisonOp":
+        """Parse a textual operator (``=``, ``==``, ``!=``, ``<>``, ...)."""
+        normalised = {"==": "=", "<>": "!=", "≠": "!=", "≤": "<=", "≥": ">="}.get(symbol, symbol)
+        for op in cls:
+            if op.value == normalised:
+                return op
+        raise QueryError(f"unknown comparison operator: {symbol!r}")
+
+
+_NEGATIONS = {
+    ComparisonOp.EQ: ComparisonOp.NE,
+    ComparisonOp.NE: ComparisonOp.EQ,
+    ComparisonOp.LT: ComparisonOp.GE,
+    ComparisonOp.LE: ComparisonOp.GT,
+    ComparisonOp.GT: ComparisonOp.LE,
+    ComparisonOp.GE: ComparisonOp.LT,
+}
+
+_FLIPS = {
+    ComparisonOp.EQ: ComparisonOp.EQ,
+    ComparisonOp.NE: ComparisonOp.NE,
+    ComparisonOp.LT: ComparisonOp.GT,
+    ComparisonOp.LE: ComparisonOp.GE,
+    ComparisonOp.GT: ComparisonOp.LT,
+    ComparisonOp.GE: ComparisonOp.LE,
+}
+
+
+# ---------------------------------------------------------------------------
+# Atomic formulas
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RelationAtom:
+    """``R(t1, ..., tn)`` over a database or IDB relation."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Sequence["Term | Value"]) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(as_term(t) for t in terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> FrozenSet[Var]:
+        return term_variables(self.terms)
+
+    def constants(self) -> Tuple[Value, ...]:
+        return term_constants(self.terms)
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> "RelationAtom":
+        """Replace variables according to ``mapping`` (missing vars unchanged)."""
+        return RelationAtom(self.relation, [mapping.get(t, t) if isinstance(t, Var) else t for t in self.terms])
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.relation}({args})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``t1 op t2`` with a built-in comparison predicate."""
+
+    op: ComparisonOp
+    left: Term
+    right: Term
+
+    def __init__(self, op: "ComparisonOp | str", left: "Term | Value", right: "Term | Value") -> None:
+        if isinstance(op, str):
+            op = ComparisonOp.from_symbol(op)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", as_term(left))
+        object.__setattr__(self, "right", as_term(right))
+
+    def variables(self) -> FrozenSet[Var]:
+        return term_variables((self.left, self.right))
+
+    def constants(self) -> Tuple[Value, ...]:
+        return term_constants((self.left, self.right))
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> "Comparison":
+        left = mapping.get(self.left, self.left) if isinstance(self.left, Var) else self.left
+        right = mapping.get(self.right, self.right) if isinstance(self.right, Var) else self.right
+        return Comparison(self.op, left, right)
+
+    def evaluate(self, binding: Mapping[str, Value]) -> bool:
+        """Evaluate under a binding that must cover all variables involved."""
+        left = binding[self.left.name] if isinstance(self.left, Var) else self.left.value
+        right = binding[self.right.name] if isinstance(self.right, Var) else self.right.value
+        return self.op.apply(left, right)
+
+    def is_ground_under(self, binding: Mapping[str, Value]) -> bool:
+        """Whether every variable of the comparison is bound."""
+        return all(v.name in binding for v in self.variables())
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op.value} {self.right}"
+
+
+Atom = Union[RelationAtom, Comparison]
+
+
+# ---------------------------------------------------------------------------
+# Compound formulas (used by ∃FO+ and FO)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class And:
+    """Conjunction of formulas."""
+
+    operands: Tuple["Formula", ...]
+
+    def __init__(self, *operands: "Formula") -> None:
+        flattened = []
+        for operand in operands:
+            if isinstance(operand, And):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        object.__setattr__(self, "operands", tuple(flattened))
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(o) for o in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction of formulas."""
+
+    operands: Tuple["Formula", ...]
+
+    def __init__(self, *operands: "Formula") -> None:
+        flattened = []
+        for operand in operands:
+            if isinstance(operand, Or):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        object.__setattr__(self, "operands", tuple(flattened))
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(o) for o in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not:
+    """Negation (only allowed in FO)."""
+
+    operand: "Formula"
+
+    def __str__(self) -> str:
+        return f"NOT {self.operand}"
+
+
+@dataclass(frozen=True)
+class Exists:
+    """Existential quantification over one or more variables."""
+
+    variables: Tuple[Var, ...]
+    operand: "Formula"
+
+    def __init__(self, variables: "Var | Sequence[Var]", operand: "Formula") -> None:
+        if isinstance(variables, Var):
+            variables = (variables,)
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "operand", operand)
+
+    def __str__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"EXISTS {names}. {self.operand}"
+
+
+@dataclass(frozen=True)
+class ForAll:
+    """Universal quantification (only allowed in FO)."""
+
+    variables: Tuple[Var, ...]
+    operand: "Formula"
+
+    def __init__(self, variables: "Var | Sequence[Var]", operand: "Formula") -> None:
+        if isinstance(variables, Var):
+            variables = (variables,)
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "operand", operand)
+
+    def __str__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"FORALL {names}. {self.operand}"
+
+
+Formula = Union[RelationAtom, Comparison, And, Or, Not, Exists, ForAll]
+
+
+# ---------------------------------------------------------------------------
+# Structural helpers
+# ---------------------------------------------------------------------------
+def free_variables(formula: Formula) -> FrozenSet[Var]:
+    """Free variables of a formula."""
+    if isinstance(formula, (RelationAtom, Comparison)):
+        return formula.variables()
+    if isinstance(formula, (And, Or)):
+        result: FrozenSet[Var] = frozenset()
+        for operand in formula.operands:
+            result |= free_variables(operand)
+        return result
+    if isinstance(formula, Not):
+        return free_variables(formula.operand)
+    if isinstance(formula, (Exists, ForAll)):
+        return free_variables(formula.operand) - frozenset(formula.variables)
+    raise QueryError(f"unknown formula node: {formula!r}")
+
+
+def all_variables(formula: Formula) -> FrozenSet[Var]:
+    """All variables, free or bound."""
+    if isinstance(formula, (RelationAtom, Comparison)):
+        return formula.variables()
+    if isinstance(formula, (And, Or)):
+        result: FrozenSet[Var] = frozenset()
+        for operand in formula.operands:
+            result |= all_variables(operand)
+        return result
+    if isinstance(formula, Not):
+        return all_variables(formula.operand)
+    if isinstance(formula, (Exists, ForAll)):
+        return all_variables(formula.operand) | frozenset(formula.variables)
+    raise QueryError(f"unknown formula node: {formula!r}")
+
+
+def formula_constants(formula: Formula) -> Tuple[Value, ...]:
+    """All constants occurring in the formula (with duplicates)."""
+    if isinstance(formula, (RelationAtom, Comparison)):
+        return formula.constants()
+    if isinstance(formula, (And, Or)):
+        result: Tuple[Value, ...] = ()
+        for operand in formula.operands:
+            result += formula_constants(operand)
+        return result
+    if isinstance(formula, Not):
+        return formula_constants(formula.operand)
+    if isinstance(formula, (Exists, ForAll)):
+        return formula_constants(formula.operand)
+    raise QueryError(f"unknown formula node: {formula!r}")
+
+
+def relation_names(formula: Formula) -> FrozenSet[str]:
+    """All relation names mentioned in the formula."""
+    if isinstance(formula, RelationAtom):
+        return frozenset({formula.relation})
+    if isinstance(formula, Comparison):
+        return frozenset()
+    if isinstance(formula, (And, Or)):
+        result: FrozenSet[str] = frozenset()
+        for operand in formula.operands:
+            result |= relation_names(operand)
+        return result
+    if isinstance(formula, (Not, Exists, ForAll)):
+        return relation_names(formula.operand)
+    raise QueryError(f"unknown formula node: {formula!r}")
+
+
+def substitute(formula: Formula, mapping: Mapping[Var, Term]) -> Formula:
+    """Capture-avoiding-enough substitution of free variables.
+
+    Bound variables are removed from the mapping before descending, which is
+    sufficient because the library always generates fresh bound-variable names.
+    """
+    if isinstance(formula, (RelationAtom, Comparison)):
+        return formula.substitute(mapping)
+    if isinstance(formula, And):
+        return And(*(substitute(op, mapping) for op in formula.operands))
+    if isinstance(formula, Or):
+        return Or(*(substitute(op, mapping) for op in formula.operands))
+    if isinstance(formula, Not):
+        return Not(substitute(formula.operand, mapping))
+    if isinstance(formula, (Exists, ForAll)):
+        inner_mapping: Dict[Var, Term] = {
+            var: term for var, term in mapping.items() if var not in formula.variables
+        }
+        cls = Exists if isinstance(formula, Exists) else ForAll
+        return cls(formula.variables, substitute(formula.operand, inner_mapping))
+    raise QueryError(f"unknown formula node: {formula!r}")
+
+
+def is_positive_existential(formula: Formula) -> bool:
+    """Whether the formula uses only atoms, ∧, ∨ and ∃ (the ∃FO+ fragment)."""
+    if isinstance(formula, (RelationAtom, Comparison)):
+        return True
+    if isinstance(formula, (And, Or)):
+        return all(is_positive_existential(op) for op in formula.operands)
+    if isinstance(formula, Exists):
+        return is_positive_existential(formula.operand)
+    return False
+
+
+def is_conjunctive(formula: Formula) -> bool:
+    """Whether the formula uses only atoms, ∧ and ∃ (the CQ fragment)."""
+    if isinstance(formula, (RelationAtom, Comparison)):
+        return True
+    if isinstance(formula, And):
+        return all(is_conjunctive(op) for op in formula.operands)
+    if isinstance(formula, Exists):
+        return is_conjunctive(formula.operand)
+    return False

@@ -1,0 +1,196 @@
+"""Backtracking evaluation of conjunctions of atoms.
+
+This is the work-horse shared by conjunctive queries, union of conjunctive
+queries, positive-existential queries (per disjunct) and Datalog rule bodies:
+given a list of relation atoms and comparisons, enumerate all bindings of the
+variables that satisfy every atom against a database.
+
+The search orders relation atoms greedily by the number of already-bound
+variables (most-constrained first) and checks comparison predicates as soon as
+all of their variables are bound, which prunes the search early for the
+heavily-constrained queries produced by the hardness reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.queries.ast import Comparison, Const, RelationAtom, Term, Var
+from repro.relational.database import Database, Relation
+from repro.relational.errors import EvaluationError, UnknownRelationError
+from repro.relational.schema import Value
+
+Binding = Dict[str, Value]
+
+
+class StepCounter:
+    """Optional guard limiting the number of search steps of an evaluation.
+
+    The hardness reductions intentionally create exponential searches; the
+    benchmark harness uses a counter both to abort runaway configurations and
+    to report the number of explored nodes as a machine-independent cost
+    measure.
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        self.limit = limit
+        self.steps = 0
+
+    def tick(self, amount: int = 1) -> None:
+        self.steps += amount
+        if self.limit is not None and self.steps > self.limit:
+            raise EvaluationError(
+                f"evaluation exceeded the step limit of {self.limit} search steps"
+            )
+
+
+def _match_atom_against_row(
+    atom: RelationAtom, row: Tuple[Value, ...], binding: Binding
+) -> Optional[Binding]:
+    """Try to extend ``binding`` so that ``atom`` matches ``row``.
+
+    Returns the extended binding, or ``None`` when the row is incompatible.
+    """
+    extension: Binding = {}
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Const):
+            if term.value != value:
+                return None
+        else:
+            bound = binding.get(term.name, extension.get(term.name, _UNBOUND))
+            if bound is _UNBOUND:
+                extension[term.name] = value
+            elif bound != value:
+                return None
+    if not extension:
+        return dict(binding)
+    merged = dict(binding)
+    merged.update(extension)
+    return merged
+
+
+class _Unbound:
+    __slots__ = ()
+
+
+_UNBOUND = _Unbound()
+
+
+def _ready_comparisons(
+    comparisons: Sequence[Comparison], binding: Binding, checked: set
+) -> Optional[bool]:
+    """Check all comparisons whose variables are fully bound.
+
+    Returns ``False`` as soon as one fails, ``True`` otherwise; indices of the
+    newly checked comparisons are added to ``checked``.
+    """
+    for index, comparison in enumerate(comparisons):
+        if index in checked:
+            continue
+        if comparison.is_ground_under(binding):
+            checked.add(index)
+            if not comparison.evaluate(binding):
+                return False
+    return True
+
+
+def _choose_next_atom(
+    remaining: List[RelationAtom], binding: Binding
+) -> int:
+    """Index of the most-constrained remaining atom (most bound variables)."""
+    best_index = 0
+    best_score = -1
+    for index, atom in enumerate(remaining):
+        score = 0
+        for term in atom.terms:
+            if isinstance(term, Const) or term.name in binding:
+                score += 1
+        if score > best_score:
+            best_score = score
+            best_index = index
+    return best_index
+
+
+def enumerate_bindings(
+    database: Database,
+    relation_atoms: Sequence[RelationAtom],
+    comparisons: Sequence[Comparison] = (),
+    initial_binding: Optional[Mapping[str, Value]] = None,
+    counter: Optional[StepCounter] = None,
+    extra_relations: Optional[Mapping[str, Relation]] = None,
+) -> Iterator[Binding]:
+    """Yield every binding satisfying all atoms.
+
+    Parameters
+    ----------
+    database:
+        The database providing the extensional relations.
+    relation_atoms, comparisons:
+        The conjunction to satisfy.
+    initial_binding:
+        Pre-bound variables (used by Datalog semi-naive evaluation and by the
+        FO evaluator when descending under quantifiers).
+    counter:
+        Optional :class:`StepCounter` resource guard.
+    extra_relations:
+        Relations overriding / extending the database by name (used for IDB
+        predicates and for the answer relation ``RQ`` in compatibility
+        checks).
+    """
+    extra_relations = extra_relations or {}
+
+    def lookup(name: str) -> Relation:
+        if name in extra_relations:
+            return extra_relations[name]
+        return database.relation(name)
+
+    # Fail fast on unknown relations so that errors surface deterministically.
+    for atom in relation_atoms:
+        lookup(atom.relation)
+
+    base_binding: Binding = dict(initial_binding or {})
+    comparisons = list(comparisons)
+
+    def backtrack(remaining: List[RelationAtom], binding: Binding, checked: set) -> Iterator[Binding]:
+        if counter is not None:
+            counter.tick()
+        status = _ready_comparisons(comparisons, binding, checked)
+        if status is False:
+            return
+        if not remaining:
+            if len(checked) != len(comparisons):
+                # Some comparison still has unbound variables: unsafe query.
+                unresolved = [
+                    str(comparisons[i]) for i in range(len(comparisons)) if i not in checked
+                ]
+                raise EvaluationError(
+                    "comparisons with variables not bound by any relation atom: "
+                    + ", ".join(unresolved)
+                )
+            yield dict(binding)
+            return
+        index = _choose_next_atom(remaining, binding)
+        atom = remaining[index]
+        rest = remaining[:index] + remaining[index + 1 :]
+        for row in lookup(atom.relation):
+            if counter is not None:
+                counter.tick()
+            extended = _match_atom_against_row(atom, row, binding)
+            if extended is None:
+                continue
+            yield from backtrack(rest, extended, set(checked))
+
+    yield from backtrack(list(relation_atoms), base_binding, set())
+
+
+def project_binding(binding: Mapping[str, Value], head: Sequence[Term]) -> Tuple[Value, ...]:
+    """Instantiate a head term list under a binding."""
+    values: List[Value] = []
+    for term in head:
+        if isinstance(term, Const):
+            values.append(term.value)
+        else:
+            if term.name not in binding:
+                raise EvaluationError(f"unsafe head variable: {term.name!r} is not bound")
+            values.append(binding[term.name])
+    return tuple(values)

@@ -1,0 +1,172 @@
+"""A small textual syntax for conjunctive queries and Datalog programs.
+
+The syntax is the usual rule notation::
+
+    Q(x, y) :- flight(x, 'edi', y, p), p < 300, x != y.
+    reach(x, y) :- edge(x, y).
+    reach(x, z) :- reach(x, y), edge(y, z).
+
+* Identifiers starting with a lower-case letter that appear in argument
+  positions are variables; quoted strings and numbers are constants.
+* ``:-`` separates head and body; atoms and comparisons are comma-separated;
+  the trailing period is optional.
+* :func:`parse_rule` returns a single rule; :func:`parse_program` parses many
+  rules into a (non-)recursive Datalog program; :func:`parse_cq` interprets a
+  single rule as a conjunctive query.
+
+The parser is intentionally small — it exists so examples and tests can state
+queries readably, not to be a full Datalog front end.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence, Tuple, Union
+
+from repro.queries.ast import Comparison, ComparisonOp, Const, RelationAtom, Term, Var
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.datalog import DatalogProgram, DatalogRule, NonRecursiveDatalogProgram
+from repro.relational.errors import QueryError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<implies>:-)
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<comma>,)
+  | (?P<period>\.)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QueryError(f"cannot tokenise query text at: {text[position:position + 20]!r}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # -- token helpers ----------------------------------------------------------
+    def _peek(self) -> Tuple[str, str]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return ("eof", "")
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> str:
+        token_kind, value = self._next()
+        if token_kind != kind:
+            raise QueryError(f"expected {kind} but found {value!r}")
+        return value
+
+    def at_end(self) -> bool:
+        return self._peek()[0] == "eof"
+
+    # -- grammar -------------------------------------------------------------------
+    def parse_term(self) -> Term:
+        kind, value = self._next()
+        if kind == "ident":
+            return Var(value)
+        if kind == "number":
+            return Const(float(value) if "." in value else int(value))
+        if kind == "string":
+            return Const(value[1:-1])
+        raise QueryError(f"expected a term but found {value!r}")
+
+    def parse_atom_or_comparison(self) -> Union[RelationAtom, Comparison]:
+        kind, value = self._peek()
+        if kind == "ident" and self._index + 1 < len(self._tokens) and self._tokens[self._index + 1][0] == "lpar":
+            return self.parse_relation_atom()
+        left = self.parse_term()
+        op = ComparisonOp.from_symbol(self._expect("op"))
+        right = self.parse_term()
+        return Comparison(op, left, right)
+
+    def parse_relation_atom(self) -> RelationAtom:
+        name = self._expect("ident")
+        self._expect("lpar")
+        terms: List[Term] = []
+        if self._peek()[0] != "rpar":
+            terms.append(self.parse_term())
+            while self._peek()[0] == "comma":
+                self._next()
+                terms.append(self.parse_term())
+        self._expect("rpar")
+        return RelationAtom(name, terms)
+
+    def parse_rule(self) -> DatalogRule:
+        head = self.parse_relation_atom()
+        body: List[RelationAtom] = []
+        comparisons: List[Comparison] = []
+        if self._peek()[0] == "implies":
+            self._next()
+            literal = self.parse_atom_or_comparison()
+            self._append(literal, body, comparisons)
+            while self._peek()[0] == "comma":
+                self._next()
+                literal = self.parse_atom_or_comparison()
+                self._append(literal, body, comparisons)
+        if self._peek()[0] == "period":
+            self._next()
+        return DatalogRule(head, body, comparisons)
+
+    @staticmethod
+    def _append(
+        literal: Union[RelationAtom, Comparison],
+        body: List[RelationAtom],
+        comparisons: List[Comparison],
+    ) -> None:
+        if isinstance(literal, RelationAtom):
+            body.append(literal)
+        else:
+            comparisons.append(literal)
+
+
+def parse_rule(text: str) -> DatalogRule:
+    """Parse a single Datalog rule."""
+    parser = _Parser(text)
+    rule = parser.parse_rule()
+    if not parser.at_end():
+        raise QueryError(f"unexpected trailing tokens in rule: {text!r}")
+    return rule
+
+
+def parse_cq(text: str, name: str = "Q") -> ConjunctiveQuery:
+    """Parse a single rule and interpret it as a conjunctive query."""
+    rule = parse_rule(text)
+    return ConjunctiveQuery(rule.head.terms, rule.body, rule.comparisons, name=name)
+
+
+def parse_program(text: str, output: str, name: str = "Q") -> DatalogProgram:
+    """Parse a multi-rule program; returns the non-recursive class when acyclic."""
+    parser = _Parser(text)
+    rules: List[DatalogRule] = []
+    while not parser.at_end():
+        rules.append(parser.parse_rule())
+    program = DatalogProgram(rules, output, name=name)
+    if not program.is_recursive():
+        return NonRecursiveDatalogProgram(rules, output, name=name)
+    return program

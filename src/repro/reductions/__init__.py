@@ -1,0 +1,127 @@
+"""Executable versions of the paper's hardness reductions.
+
+Each encoding builds a :class:`~repro.core.model.RecommendationProblem` (plus
+the auxiliary inputs of the specific decision/function/counting problem) from
+a propositional instance, and exposes ``expected()`` — the ground truth
+computed by the reference solvers of :mod:`repro.logic` — next to ``solve()``
+— the answer obtained by running the recommendation solvers on the encoding.
+Tests assert the two agree; benchmarks sweep the instance size to expose the
+growth behaviour the corresponding complexity cell predicts.
+"""
+
+from repro.reductions.gadgets import (
+    R01,
+    R_AND,
+    R_NOT,
+    R_OR,
+    boolean_gadget_database,
+    figure_4_1_relations,
+    figure_4_1_rows,
+)
+from repro.reductions.circuits import CircuitBuilder, assignment_atoms
+from repro.reductions.clause_encoding import (
+    CLAUSE_ATTRIBUTES,
+    CLAUSE_RELATION,
+    clause_database,
+    clause_tuples,
+    covers_all_clauses,
+    package_assignment,
+    package_clause_ids,
+    package_is_consistent,
+)
+from repro.reductions.encodings_data import (
+    MaxWeightFRPEncoding,
+    SatCompatibilityEncoding,
+    SatRPPEncoding,
+    SatUnsatMBPEncoding,
+    SharpSatCPPEncoding,
+    compatibility_from_3sat,
+    cpp_from_3sat,
+    frp_from_max_weight_sat,
+    mbp_from_sat_unsat,
+    rpp_from_3sat,
+)
+from repro.reductions.encodings_combined import (
+    ExistsForallCompatibilityEncoding,
+    ExistsForallRPPEncoding,
+    MaximumSigma2FRPEncoding,
+    Pi1CountingEncoding,
+    SatUnsatMBPCombinedEncoding,
+    SatUnsatRPPEncoding,
+    Sigma1CountingEncoding,
+    compatibility_from_exists_forall_dnf,
+    cpp_from_pi1_dnf,
+    cpp_from_sigma1_cnf,
+    frp_from_exists_forall_dnf,
+    mbp_from_sat_unsat_cq,
+    rpp_from_exists_forall_dnf,
+    rpp_from_sat_unsat_cq,
+)
+from repro.reductions.encodings_membership import (
+    MembershipFRPEncoding,
+    MembershipMBPEncoding,
+    MembershipRPPEncoding,
+    frp_from_membership,
+    mbp_from_membership,
+    rpp_from_membership,
+)
+from repro.reductions.encodings_beyond import (
+    SatARPPEncoding,
+    SatQRPPEncoding,
+    arpp_from_3sat,
+    qrpp_from_3sat,
+)
+
+__all__ = [
+    "CLAUSE_ATTRIBUTES",
+    "CLAUSE_RELATION",
+    "CircuitBuilder",
+    "ExistsForallCompatibilityEncoding",
+    "ExistsForallRPPEncoding",
+    "MaxWeightFRPEncoding",
+    "MaximumSigma2FRPEncoding",
+    "MembershipFRPEncoding",
+    "MembershipMBPEncoding",
+    "MembershipRPPEncoding",
+    "Pi1CountingEncoding",
+    "R01",
+    "R_AND",
+    "R_NOT",
+    "R_OR",
+    "SatARPPEncoding",
+    "SatCompatibilityEncoding",
+    "SatQRPPEncoding",
+    "SatRPPEncoding",
+    "SatUnsatMBPCombinedEncoding",
+    "SatUnsatMBPEncoding",
+    "SatUnsatRPPEncoding",
+    "SharpSatCPPEncoding",
+    "Sigma1CountingEncoding",
+    "arpp_from_3sat",
+    "assignment_atoms",
+    "boolean_gadget_database",
+    "clause_database",
+    "clause_tuples",
+    "compatibility_from_3sat",
+    "compatibility_from_exists_forall_dnf",
+    "covers_all_clauses",
+    "cpp_from_3sat",
+    "cpp_from_pi1_dnf",
+    "cpp_from_sigma1_cnf",
+    "figure_4_1_relations",
+    "figure_4_1_rows",
+    "frp_from_exists_forall_dnf",
+    "frp_from_max_weight_sat",
+    "frp_from_membership",
+    "mbp_from_membership",
+    "mbp_from_sat_unsat",
+    "mbp_from_sat_unsat_cq",
+    "package_assignment",
+    "package_clause_ids",
+    "package_is_consistent",
+    "qrpp_from_3sat",
+    "rpp_from_3sat",
+    "rpp_from_exists_forall_dnf",
+    "rpp_from_membership",
+    "rpp_from_sat_unsat_cq",
+]

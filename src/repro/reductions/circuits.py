@@ -1,0 +1,118 @@
+"""Compiling Boolean formulas into conjunctive-query "circuits".
+
+Several reductions need a sub-query ``Qψ(x̄, ȳ, b)`` that, joined with the
+Figure 4.1 gate relations, forces ``b`` to be the truth value of a Boolean
+formula ψ under the assignment encoded by the bindings of the propositional
+variables.  This module performs that compilation: every literal, clause and
+connective becomes a join against ``RNOT`` / ``ROR`` / ``RAND`` with a fresh
+gate variable carrying the intermediate truth value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.logic.formulas import Clause, CNFFormula, DNFFormula, Literal, Term3
+from repro.queries.ast import RelationAtom, Var
+from repro.reductions.gadgets import R_AND, R_NOT, R_OR
+
+
+@dataclass
+class CircuitBuilder:
+    """Accumulates gate atoms while compiling one or more formulas.
+
+    ``variable_map`` maps propositional variable names to the query variables
+    that carry their 0/1 value (typically the variables produced by the
+    truth-assignment generator ``R01(x1) ∧ ... ∧ R01(xm)``).
+    """
+
+    variable_map: Dict[str, Var]
+    prefix: str = "g"
+
+    def __post_init__(self) -> None:
+        self.atoms: List[RelationAtom] = []
+        self._counter = 0
+
+    # -- gate helpers --------------------------------------------------------
+    def _fresh(self) -> Var:
+        self._counter += 1
+        return Var(f"{self.prefix}{self._counter}")
+
+    def literal_output(self, literal: Literal) -> Var:
+        """The query variable carrying the literal's truth value.
+
+        A positive literal is simply the variable itself; a negative literal
+        routes through the negation gate.
+        """
+        base = self.variable_map[literal.variable]
+        if literal.positive:
+            return base
+        negated = self._fresh()
+        self.atoms.append(RelationAtom(R_NOT, [base, negated]))
+        return negated
+
+    def _fold(self, gate_relation: str, inputs: Sequence[Var], neutral: int) -> Var:
+        """Chain binary gates over ``inputs``; an empty input list yields ``neutral``."""
+        if not inputs:
+            constant = self._fresh()
+            # Force the output to the neutral element through the Boolean domain
+            # relation: R01 guarantees 0/1 and the equality fixes the value.
+            from repro.queries.ast import Comparison, ComparisonOp
+            from repro.reductions.gadgets import R01
+
+            self.atoms.append(RelationAtom(R01, [constant]))
+            self.comparisons.append(Comparison(ComparisonOp.EQ, constant, neutral))
+            return constant
+        result = inputs[0]
+        for next_input in inputs[1:]:
+            output = self._fresh()
+            self.atoms.append(RelationAtom(gate_relation, [output, result, next_input]))
+            result = output
+        return result
+
+    # -- formula compilation -------------------------------------------------------
+    def compile_clause(self, clause: Clause) -> Var:
+        """``b = l1 ∨ ... ∨ lk`` for a CNF clause; returns the output variable."""
+        outputs = [self.literal_output(literal) for literal in clause.literals]
+        return self._fold(R_OR, outputs, neutral=0)
+
+    def compile_term(self, term: Term3) -> Var:
+        """``b = l1 ∧ ... ∧ lk`` for a DNF term; returns the output variable."""
+        outputs = [self.literal_output(literal) for literal in term.literals]
+        return self._fold(R_AND, outputs, neutral=1)
+
+    def compile_cnf(self, formula: CNFFormula) -> Var:
+        """``b = C1 ∧ ... ∧ Cr`` for a CNF formula."""
+        clause_outputs = [self.compile_clause(clause) for clause in formula.clauses]
+        return self._fold(R_AND, clause_outputs, neutral=1)
+
+    def compile_dnf(self, formula: DNFFormula) -> Var:
+        """``b = T1 ∨ ... ∨ Tr`` for a DNF formula."""
+        term_outputs = [self.compile_term(term) for term in formula.terms]
+        return self._fold(R_OR, term_outputs, neutral=0)
+
+    @property
+    def comparisons(self) -> List:
+        """Comparison atoms produced by degenerate folds (kept for completeness)."""
+        if not hasattr(self, "_comparisons"):
+            self._comparisons: List = []
+        return self._comparisons
+
+
+def assignment_atoms(variables: Sequence[str], prefix: str = "x") -> Tuple[Dict[str, Var], List[RelationAtom]]:
+    """The truth-assignment generator ``R01(x1) ∧ ... ∧ R01(xm)``.
+
+    Returns the propositional-variable → query-variable map together with the
+    atoms; Cartesian products of ``R01`` make the enclosing CQ enumerate all
+    2^m assignments, exactly as in the paper's reductions.
+    """
+    from repro.reductions.gadgets import R01
+
+    mapping: Dict[str, Var] = {}
+    atoms: List[RelationAtom] = []
+    for index, name in enumerate(variables, start=1):
+        query_var = Var(f"{prefix}{index}")
+        mapping[name] = query_var
+        atoms.append(RelationAtom(R01, [query_var]))
+    return mapping, atoms

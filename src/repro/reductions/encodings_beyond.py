@@ -1,0 +1,217 @@
+"""Reductions for the beyond-POI problems: QRPP and ARPP.
+
+* ``qrpp_from_3sat`` realises the NP-hardness of QRPP in the data (Theorem
+  7.2): the selection query filters on a flag column that no database tuple
+  carries, so the original query is empty; relaxing the flag constant by one
+  discrete step re-admits every clause tuple, and a top package exists iff the
+  3SAT formula is satisfiable.
+
+* ``arpp_from_3sat`` realises the NP-hardness of ARPP in the data (Theorem
+  8.1) with a fixed query and a fixed compatibility constraint: the auxiliary
+  collection ``D′`` holds one candidate fact per (variable, truth value), an
+  adjustment inserts at most ``n`` of them, the compatibility query forbids
+  inserting both values of a variable, and a highly rated package exists iff
+  the inserted assignment satisfies every clause.  The gadget differs in
+  shape from the paper's (which routes the consistency check through the
+  rating function) but reduces the same problem with the same fixed-query /
+  fixed-constraint discipline; DESIGN.md records the substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.adjustment.arpp import ARPPResult, find_package_adjustment
+from repro.adjustment.delta import Adjustment, candidate_modifications
+from repro.core.compatibility import EmptyConstraint, QueryConstraint
+from repro.core.functions import CallableRating, CountCost, CountRating, PredicateCost
+from repro.core.model import PolynomialBound, RecommendationProblem
+from repro.core.packages import Package
+from repro.logic.formulas import CNFFormula, Literal
+from repro.logic.solvers import dpll_satisfiable
+from repro.queries.ast import Comparison, ComparisonOp, RelationAtom, Var
+from repro.queries.cq import ConjunctiveQuery
+from repro.reductions.clause_encoding import (
+    clause_relation_schema,
+    clause_tuples,
+    covers_all_clauses,
+    package_is_consistent,
+)
+from repro.relational.database import Database, Relation
+from repro.relational.schema import RelationSchema
+from repro.relaxation.distance import DiscreteDistance
+from repro.relaxation.qrpp import QRPPResult, find_package_relaxation
+from repro.relaxation.relax import RelaxationSpace
+
+
+# ---------------------------------------------------------------------------
+# Theorem 7.2 (data complexity): 3SAT → QRPP
+# ---------------------------------------------------------------------------
+@dataclass
+class SatQRPPEncoding:
+    """3SAT encoded as a query-relaxation question."""
+
+    formula: CNFFormula
+    problem: RecommendationProblem
+    space: RelaxationSpace
+    rating_bound: float
+    max_gap: float
+
+    def expected(self) -> bool:
+        """Ground truth: satisfiability of the formula."""
+        return dpll_satisfiable(self.formula) is not None
+
+    def solve(self) -> QRPPResult:
+        return find_package_relaxation(
+            self.problem, self.space, self.rating_bound, self.max_gap
+        )
+
+
+def qrpp_from_3sat(formula: CNFFormula) -> SatQRPPEncoding:
+    """The flag-column construction of Theorem 7.2 (data complexity).
+
+    The clause relation gets an extra column ``V = 1`` on every tuple while the
+    (fixed) selection query requires ``V = 0``, so ``Q(D) = ∅``.  The only
+    relaxation point is the constant 0 with the discrete distance; level 1
+    admits every tuple, and a package covering all clauses consistently —
+    i.e. a satisfying assignment — is then the only way to reach the rating
+    bound ``B = r`` within cost budget 1.
+    """
+    num_clauses = len(formula.clauses)
+    relation_name = "RCQ"
+    schema = clause_relation_schema(relation_name, extra=("V",))
+    rows = clause_tuples(formula, extra_values=(1,))
+    database = Database([Relation(schema, rows)])
+
+    variables = [Var(name) for name in schema.attribute_names]
+    flag_var = variables[-1]
+    query = ConjunctiveQuery(
+        variables,
+        [RelationAtom(relation_name, variables)],
+        [Comparison(ComparisonOp.EQ, flag_var, 0)],
+        name="Q_flag",
+    )
+
+    def drop_flag(package: Package) -> Package:
+        stripped_schema = clause_relation_schema("stripped")
+        return Package(stripped_schema, [item[:-1] for item in package.items])
+
+    def cost_predicate(package: Package) -> bool:
+        # Consistency alone: it is monotone (supersets of inconsistent packages
+        # stay inconsistent) so the enumerator can prune on it.  The coverage
+        # requirement lives in the rating bound B = r instead: a consistent
+        # package has one tuple per distinct clause id, so |N| ≥ r forces full
+        # coverage.
+        return package_is_consistent(drop_flag(package))
+
+    problem = RecommendationProblem(
+        database=database,
+        query=query,
+        cost=PredicateCost(
+            cost_predicate, description="1 if the package encodes a consistent partial assignment"
+        ),
+        val=CountRating(),
+        budget=1.0,
+        k=1,
+        compatibility=EmptyConstraint(),
+        size_bound=PolynomialBound(1.0, 1),
+        monotone_cost=True,
+        name="3SAT → QRPP",
+    )
+    space = RelaxationSpace.for_constants(
+        query, default_distance=DiscreteDistance(), include=[0]
+    )
+    return SatQRPPEncoding(
+        formula=formula,
+        problem=problem,
+        space=space,
+        rating_bound=float(num_clauses),
+        max_gap=1.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 8.1 (data complexity): 3SAT → ARPP
+# ---------------------------------------------------------------------------
+@dataclass
+class SatARPPEncoding:
+    """3SAT encoded as an adjustment question."""
+
+    formula: CNFFormula
+    problem: RecommendationProblem
+    additions: Database
+    rating_bound: float
+    max_changes: int
+
+    def expected(self) -> bool:
+        """Ground truth: satisfiability of the formula."""
+        return dpll_satisfiable(self.formula) is not None
+
+    def solve(self) -> ARPPResult:
+        return find_package_adjustment(
+            self.problem,
+            self.additions,
+            self.rating_bound,
+            self.max_changes,
+            allow_deletions=False,
+        )
+
+
+def arpp_from_3sat(formula: CNFFormula) -> SatARPPEncoding:
+    """The assignment-insertion construction described in the module docstring."""
+    variables = formula.variables()
+    num_clauses = len(formula.clauses)
+
+    assign_schema = RelationSchema("assign", ["var", "value"])
+    clause_schema = RelationSchema("clause_lit", ["cid", "var", "value"])
+    clause_rows = []
+    for index, clause in enumerate(formula.clauses, start=1):
+        for literal in clause.literals:
+            clause_rows.append((index, literal.variable, 1 if literal.positive else 0))
+    database = Database(
+        [Relation(assign_schema, []), Relation(clause_schema, clause_rows)]
+    )
+
+    additions = Database(
+        [
+            Relation(
+                assign_schema,
+                [(variable, value) for variable in variables for value in (0, 1)],
+            )
+        ]
+    )
+
+    cid, var, value = Var("cid"), Var("var"), Var("value")
+    query = ConjunctiveQuery(
+        [cid],
+        [RelationAtom("clause_lit", [cid, var, value]), RelationAtom("assign", [var, value])],
+        name="Q_satisfied_clauses",
+    )
+
+    conflict_var = Var("cx")
+    conflict_query = ConjunctiveQuery(
+        [],
+        [RelationAtom("assign", [conflict_var, 0]), RelationAtom("assign", [conflict_var, 1])],
+        name="Qc_conflict",
+    )
+
+    problem = RecommendationProblem(
+        database=database,
+        query=query,
+        cost=CountCost(),
+        val=CountRating(),
+        budget=float(num_clauses),
+        k=1,
+        compatibility=QueryConstraint(conflict_query, answer_relation="RQ"),
+        size_bound=PolynomialBound(1.0, 1),
+        monotone_cost=True,
+        name="3SAT → ARPP",
+    )
+    return SatARPPEncoding(
+        formula=formula,
+        problem=problem,
+        additions=additions,
+        rating_bound=float(num_clauses),
+        max_changes=len(variables),
+    )

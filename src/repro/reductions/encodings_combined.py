@@ -1,0 +1,446 @@
+"""Combined-complexity reductions (the query grows with the instance).
+
+These encodings realise the gadget-based lower bounds of Theorems 4.1, 4.5,
+5.1, 5.2 and 5.3: the database is the fixed Figure 4.1 gadget, and the
+propositional instance is compiled into the *query* (truth-assignment
+generators plus gate circuits), so the cost of solving grows with the formula
+even though the database stays tiny.  This is exactly the behaviour the
+combined-complexity columns of Table 8.1 describe.
+
+Encodings provided:
+
+* ``compatibility_from_exists_forall_dnf`` — Lemma 4.2: ∃*∀*3DNF → the
+  compatibility problem (Σ₂ᵖ-hardness with ``Qc`` present);
+* ``rpp_from_exists_forall_dnf`` — Theorem 4.1: the complement, phrased as an
+  RPP instance with a dummy candidate package (Π₂ᵖ-hardness);
+* ``frp_from_exists_forall_dnf`` — Theorem 5.1: maximum Σ₂ᵖ → FRP, the top-1
+  package encodes the lexicographically last witness (FP^Σ₂ᵖ-hardness);
+* ``rpp_from_sat_unsat_cq`` — Theorem 4.5: SAT-UNSAT → RPP without ``Qc``
+  (DP-hardness);
+* ``mbp_from_sat_unsat_cq`` — Theorem 5.2 flavour: the same query, asked as a
+  maximum-bound question;
+* ``cpp_from_pi1_dnf`` / ``cpp_from_sigma1_cnf`` — Theorem 5.3: the counting
+  problems #Π₁SAT (with ``Qc``) and #Σ₁SAT (without ``Qc``) → CPP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.compatibility import EmptyConstraint, QueryConstraint
+from repro.core.cpp import count_valid_packages
+from repro.core.enumeration import exists_valid_package
+from repro.core.frp import compute_top_k
+from repro.core.functions import CallableRating, ConstantRating, CountCost, TableRating
+from repro.core.mbp import is_maximum_bound
+from repro.core.model import PolynomialBound, RecommendationProblem, SINGLETON_BOUND
+from repro.core.packages import Package, Selection
+from repro.core.rpp import is_top_k_selection
+from repro.logic.formulas import CNFFormula, DNFFormula, TruthAssignment
+from repro.logic.problems import ExistsForallDNF, SATUNSATInstance, SigmaPiCountingInstance
+from repro.logic.solvers import (
+    count_pi1_assignments,
+    count_sigma1_assignments,
+    dpll_satisfiable,
+    exists_forall_dnf_true,
+    last_witness,
+)
+from repro.queries.ast import Comparison, ComparisonOp, RelationAtom, Var
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.reductions.circuits import CircuitBuilder, assignment_atoms
+from repro.reductions.gadgets import R01, boolean_gadget_database
+from repro.relational.database import Database, Relation
+from repro.relational.schema import RelationSchema
+
+#: Name of the answer relation shared by Q and Qc in these encodings.
+ANSWER = "RQ"
+
+#: The dummy relation/value used to give RPP encodings a designated candidate.
+DUMMY_RELATION = "RDUMMY"
+DUMMY_VALUE = "#"
+
+
+def _truth_assignment_query(variables: Tuple[str, ...], name: str = "Q") -> Tuple[ConjunctiveQuery, Dict[str, Var]]:
+    """``Q(x̄) = R01(x1) ∧ ... ∧ R01(xm)`` and the variable map it induces."""
+    mapping, atoms = assignment_atoms(variables, prefix="x")
+    head = [mapping[v] for v in variables]
+    query = ConjunctiveQuery(head, atoms, name=name, answer_name=ANSWER)
+    return query, mapping
+
+
+def _package_to_assignment(package: Package, variables: Tuple[str, ...]) -> Optional[TruthAssignment]:
+    """Decode a singleton package of 0/1 values into a truth assignment."""
+    if len(package) != 1:
+        return None
+    (item,) = package.items
+    if len(item) != len(variables) or any(value not in (0, 1) for value in item):
+        return None
+    return {variable: bool(value) for variable, value in zip(variables, item)}
+
+
+def _forall_violation_constraint(
+    instance: ExistsForallDNF, arity: int
+) -> QueryConstraint:
+    """``Qc`` detecting an ∀-violation: ∃ ȳ making ψ false for the package's x̄.
+
+    ``Qc() = ∃ x̄, ȳ, b:  RQ(x̄) ∧ R01(x̄) ∧ R01(ȳ) ∧ Qψ(x̄, ȳ, b) ∧ b = 0``.
+    The extra ``R01`` atoms on x̄ keep the constraint from firing on dummy
+    (non-Boolean) tuples, which the RPP encoding adds to the answer space.
+    """
+    x_vars = [Var(f"qx{i}") for i in range(1, arity + 1)]
+    atoms = [RelationAtom(ANSWER, x_vars)]
+    atoms += [RelationAtom(R01, [variable]) for variable in x_vars]
+    y_mapping, y_atoms = assignment_atoms(instance.forall_variables, prefix="qy")
+    atoms += y_atoms
+    variable_map = dict(zip(instance.exists_variables, x_vars))
+    variable_map.update(y_mapping)
+    builder = CircuitBuilder(variable_map, prefix="qc_g")
+    output = builder.compile_dnf(instance.matrix)
+    atoms += builder.atoms
+    comparisons = list(builder.comparisons) + [Comparison(ComparisonOp.EQ, output, 0)]
+    constraint_query = ConjunctiveQuery([], atoms, comparisons, name="Qc", answer_name=ANSWER)
+    return QueryConstraint(constraint_query, answer_relation=ANSWER)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 4.2: ∃*∀*3DNF → the compatibility problem (Σ₂ᵖ, with Qc)
+# ---------------------------------------------------------------------------
+@dataclass
+class ExistsForallCompatibilityEncoding:
+    """∃*∀*3DNF as "does a valid (compatible) package rated above B exist?"."""
+
+    instance: ExistsForallDNF
+    problem: RecommendationProblem
+    rating_bound: float
+
+    def expected(self) -> bool:
+        """Ground truth: truth of the quantified sentence."""
+        return exists_forall_dnf_true(self.instance)
+
+    def solve(self) -> bool:
+        witness = exists_valid_package(self.problem, rating_bound=self.rating_bound, strict=True)
+        return witness is not None
+
+
+def compatibility_from_exists_forall_dnf(
+    instance: ExistsForallDNF,
+) -> ExistsForallCompatibilityEncoding:
+    """Lemma 4.2: Q enumerates X-assignments, Qc checks ∀Y ψ via the gadget circuit."""
+    database = boolean_gadget_database()
+    query, _ = _truth_assignment_query(instance.exists_variables)
+    constraint = _forall_violation_constraint(instance, len(instance.exists_variables))
+    problem = RecommendationProblem(
+        database=database,
+        query=query,
+        cost=CountCost(),
+        val=ConstantRating(1.0),
+        budget=1.0,
+        k=1,
+        compatibility=constraint,
+        size_bound=SINGLETON_BOUND,
+        monotone_cost=True,
+        name="∃*∀*3DNF → compatibility problem",
+    )
+    return ExistsForallCompatibilityEncoding(instance=instance, problem=problem, rating_bound=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.1: ∃*∀*3DNF → RPP (Π₂ᵖ, with Qc)
+# ---------------------------------------------------------------------------
+@dataclass
+class ExistsForallRPPEncoding:
+    """The complement reduction: a dummy candidate is top-1 iff the sentence is false."""
+
+    instance: ExistsForallDNF
+    problem: RecommendationProblem
+    candidate: Selection
+
+    def expected(self) -> bool:
+        """Ground truth: the candidate is top-1 iff the sentence is false."""
+        return not exists_forall_dnf_true(self.instance)
+
+    def solve(self) -> bool:
+        return is_top_k_selection(self.problem, self.candidate).is_top_k
+
+
+def rpp_from_exists_forall_dnf(instance: ExistsForallDNF) -> ExistsForallRPPEncoding:
+    """Theorem 4.1: add a dummy answer tuple rated below the assignment tuples."""
+    arity = len(instance.exists_variables)
+    dummy_row = tuple([DUMMY_VALUE] * arity)
+    dummy_relation = Relation(
+        RelationSchema(DUMMY_RELATION, [f"d{i}" for i in range(1, arity + 1)]), [dummy_row]
+    )
+    database = boolean_gadget_database([dummy_relation])
+
+    assignment_query, _ = _truth_assignment_query(instance.exists_variables)
+    dummy_vars = [Var(f"d{i}") for i in range(1, arity + 1)]
+    dummy_query = ConjunctiveQuery(
+        dummy_vars,
+        [RelationAtom(DUMMY_RELATION, dummy_vars)],
+        name="Q_dummy",
+        answer_name=ANSWER,
+    )
+    query = UnionOfConjunctiveQueries([assignment_query, dummy_query], name="Q", answer_name=ANSWER)
+
+    constraint = _forall_violation_constraint(instance, arity)
+
+    def rating(package: Package) -> float:
+        if len(package) != 1:
+            return -1.0
+        (item,) = package.items
+        return 0.0 if item == dummy_row else 1.0
+
+    problem = RecommendationProblem(
+        database=database,
+        query=query,
+        cost=CountCost(),
+        val=CallableRating(rating, description="0 for the dummy tuple, 1 for assignments"),
+        budget=1.0,
+        k=1,
+        compatibility=constraint,
+        size_bound=SINGLETON_BOUND,
+        monotone_cost=True,
+        name="∃*∀*3DNF → RPP",
+    )
+    candidate = Selection([problem.package_from_items([dummy_row])])
+    return ExistsForallRPPEncoding(instance=instance, problem=problem, candidate=candidate)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 5.1: maximum Σ₂ᵖ → FRP (with Qc)
+# ---------------------------------------------------------------------------
+@dataclass
+class MaximumSigma2FRPEncoding:
+    """The top-1 package encodes the lexicographically last ∃-witness."""
+
+    instance: ExistsForallDNF
+    problem: RecommendationProblem
+
+    def expected(self) -> Optional[TruthAssignment]:
+        """Ground truth: the last witness assignment, or ``None`` if the sentence is false."""
+        return last_witness(self.instance)
+
+    def solve(self) -> Optional[TruthAssignment]:
+        result = compute_top_k(self.problem)
+        if result.selection is None:
+            return None
+        return _package_to_assignment(result.selection.packages[0], self.instance.exists_variables)
+
+
+def frp_from_exists_forall_dnf(instance: ExistsForallDNF) -> MaximumSigma2FRPEncoding:
+    """Theorem 5.1: rate a witness tuple by the integer its bits encode."""
+    database = boolean_gadget_database()
+    query, _ = _truth_assignment_query(instance.exists_variables)
+    constraint = _forall_violation_constraint(instance, len(instance.exists_variables))
+
+    def rating(package: Package) -> float:
+        if len(package) != 1:
+            return -1.0
+        (item,) = package.items
+        value = 0
+        for bit in item:
+            value = value * 2 + int(bit)
+        return float(value)
+
+    problem = RecommendationProblem(
+        database=database,
+        query=query,
+        cost=CountCost(),
+        val=CallableRating(rating, description="binary value encoded by the witness tuple"),
+        budget=1.0,
+        k=1,
+        compatibility=constraint,
+        size_bound=SINGLETON_BOUND,
+        monotone_cost=True,
+        name="maximum Σ₂ᵖ → FRP",
+    )
+    return MaximumSigma2FRPEncoding(instance=instance, problem=problem)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.5: SAT-UNSAT → RPP without Qc (DP)
+# ---------------------------------------------------------------------------
+def _sat_unsat_query(instance: SATUNSATInstance) -> ConjunctiveQuery:
+    """``Q(b1, b2)``: b1/b2 are the truth values of φ1/φ2 under generated assignments."""
+    x_mapping, x_atoms = assignment_atoms(instance.phi1.variables(), prefix="sx")
+    y_mapping, y_atoms = assignment_atoms(instance.phi2.variables(), prefix="sy")
+    builder1 = CircuitBuilder(dict(x_mapping), prefix="c1_")
+    b1 = builder1.compile_cnf(instance.phi1)
+    builder2 = CircuitBuilder(dict(y_mapping), prefix="c2_")
+    b2 = builder2.compile_cnf(instance.phi2)
+    atoms = list(x_atoms) + list(y_atoms) + list(builder1.atoms) + list(builder2.atoms)
+    comparisons = list(builder1.comparisons) + list(builder2.comparisons)
+    return ConjunctiveQuery([b1, b2], atoms, comparisons, name="Q", answer_name=ANSWER)
+
+
+@dataclass
+class SatUnsatRPPEncoding:
+    """SAT-UNSAT as an RPP instance over the Figure 4.1 gadget database."""
+
+    instance: SATUNSATInstance
+    problem: RecommendationProblem
+    candidate: Selection
+
+    def expected(self) -> bool:
+        """Ground truth: φ₁ satisfiable and φ₂ unsatisfiable."""
+        return self.instance.answer()
+
+    def solve(self) -> bool:
+        return is_top_k_selection(self.problem, self.candidate).is_top_k
+
+
+def rpp_from_sat_unsat_cq(instance: SATUNSATInstance) -> SatUnsatRPPEncoding:
+    """Theorem 4.5: the candidate {(1, 0)} wins iff φ₁ is sat and φ₂ is unsat."""
+    database = boolean_gadget_database()
+    query = _sat_unsat_query(instance)
+    schema = RelationSchema(ANSWER, query.output_attributes)
+    table = {
+        Package(schema, [(1, 0)]): 2.0,
+        Package(schema, [(1, 1)]): 3.0,
+        Package(schema, [(0, 1)]): 3.0,
+        Package(schema, [(0, 0)]): 1.0,
+    }
+    problem = RecommendationProblem(
+        database=database,
+        query=query,
+        cost=CountCost(),
+        val=TableRating(table, default=0.0),
+        budget=1.0,
+        k=1,
+        compatibility=EmptyConstraint(),
+        size_bound=SINGLETON_BOUND,
+        monotone_cost=True,
+        name="SAT-UNSAT → RPP (CQ, no Qc)",
+    )
+    candidate = Selection([problem.package_from_items([(1, 0)])])
+    return SatUnsatRPPEncoding(instance=instance, problem=problem, candidate=candidate)
+
+
+@dataclass
+class SatUnsatMBPCombinedEncoding:
+    """The same query asked as a maximum-bound question (B = 2)."""
+
+    instance: SATUNSATInstance
+    problem: RecommendationProblem
+    bound: float
+
+    def expected(self) -> bool:
+        """Ground truth: φ₁ satisfiable and φ₂ unsatisfiable."""
+        return self.instance.answer()
+
+    def solve(self) -> bool:
+        return is_maximum_bound(self.problem, self.bound).is_maximum_bound
+
+
+def mbp_from_sat_unsat_cq(instance: SATUNSATInstance) -> SatUnsatMBPCombinedEncoding:
+    """B = 2 is the maximum bound iff (1,0) ∈ Q(D) and no tuple rated 3 exists."""
+    encoding = rpp_from_sat_unsat_cq(instance)
+    problem = encoding.problem
+    return SatUnsatMBPCombinedEncoding(instance=instance, problem=problem, bound=2.0)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 5.3: counting reductions
+# ---------------------------------------------------------------------------
+@dataclass
+class Pi1CountingEncoding:
+    """#Π₁SAT → CPP (with Qc): valid packages ↔ Y-assignments with ∀X ψ."""
+
+    instance: SigmaPiCountingInstance
+    problem: RecommendationProblem
+    rating_bound: float
+
+    def expected(self) -> int:
+        """Ground truth via the reference counter."""
+        return self.instance.answer()
+
+    def solve(self) -> int:
+        return count_valid_packages(self.problem, self.rating_bound).count
+
+
+def cpp_from_pi1_dnf(
+    quantified: Tuple[str, ...], free: Tuple[str, ...], matrix: DNFFormula
+) -> Pi1CountingEncoding:
+    """``ϕ = ∀X (T1 ∨ ... ∨ Tr)`` — count the Y-assignments making ϕ true."""
+    instance = SigmaPiCountingInstance(tuple(quantified), tuple(free), dnf_matrix=matrix, universal=True)
+    database = boolean_gadget_database()
+    query, y_map = _truth_assignment_query(tuple(free))
+
+    # Qc: ∃ x̄ with ψ false for the package's ȳ.
+    y_vars = [Var(f"cy{i}") for i in range(1, len(free) + 1)]
+    atoms = [RelationAtom(ANSWER, y_vars)]
+    atoms += [RelationAtom(R01, [variable]) for variable in y_vars]
+    x_mapping, x_atoms = assignment_atoms(tuple(quantified), prefix="cx")
+    atoms += x_atoms
+    variable_map = dict(zip(free, y_vars))
+    variable_map.update(x_mapping)
+    builder = CircuitBuilder(variable_map, prefix="cc_g")
+    output = builder.compile_dnf(matrix)
+    atoms += builder.atoms
+    comparisons = list(builder.comparisons) + [Comparison(ComparisonOp.EQ, output, 0)]
+    constraint_query = ConjunctiveQuery([], atoms, comparisons, name="Qc", answer_name=ANSWER)
+
+    problem = RecommendationProblem(
+        database=database,
+        query=query,
+        cost=CountCost(),
+        val=ConstantRating(1.0),
+        budget=1.0,
+        k=1,
+        compatibility=QueryConstraint(constraint_query, answer_relation=ANSWER),
+        size_bound=SINGLETON_BOUND,
+        monotone_cost=True,
+        name="#Π₁SAT → CPP",
+    )
+    return Pi1CountingEncoding(instance=instance, problem=problem, rating_bound=1.0)
+
+
+@dataclass
+class Sigma1CountingEncoding:
+    """#Σ₁SAT → CPP (without Qc): valid packages ↔ Y-assignments with ∃X ψ."""
+
+    instance: SigmaPiCountingInstance
+    problem: RecommendationProblem
+    rating_bound: float
+
+    def expected(self) -> int:
+        """Ground truth via the reference counter."""
+        return self.instance.answer()
+
+    def solve(self) -> int:
+        return count_valid_packages(self.problem, self.rating_bound).count
+
+
+def cpp_from_sigma1_cnf(
+    quantified: Tuple[str, ...], free: Tuple[str, ...], matrix: CNFFormula
+) -> Sigma1CountingEncoding:
+    """``ϕ = ∃X (C1 ∧ ... ∧ Cr)`` — count the Y-assignments making ϕ true."""
+    instance = SigmaPiCountingInstance(tuple(quantified), tuple(free), cnf_matrix=matrix, universal=False)
+    database = boolean_gadget_database()
+
+    y_mapping, y_atoms = assignment_atoms(tuple(free), prefix="fy")
+    x_mapping, x_atoms = assignment_atoms(tuple(quantified), prefix="fx")
+    variable_map = dict(y_mapping)
+    variable_map.update(x_mapping)
+    builder = CircuitBuilder(variable_map, prefix="f_g")
+    output = builder.compile_cnf(matrix)
+    atoms = list(y_atoms) + list(x_atoms) + list(builder.atoms)
+    comparisons = list(builder.comparisons) + [Comparison(ComparisonOp.EQ, output, 1)]
+    head = [y_mapping[v] for v in free]
+    query = ConjunctiveQuery(head, atoms, comparisons, name="Q", answer_name=ANSWER)
+
+    problem = RecommendationProblem(
+        database=database,
+        query=query,
+        cost=CountCost(),
+        val=ConstantRating(1.0),
+        budget=1.0,
+        k=1,
+        compatibility=EmptyConstraint(),
+        size_bound=SINGLETON_BOUND,
+        monotone_cost=True,
+        name="#Σ₁SAT → CPP",
+    )
+    return Sigma1CountingEncoding(instance=instance, problem=problem, rating_bound=1.0)

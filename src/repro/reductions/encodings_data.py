@@ -1,0 +1,334 @@
+"""Data-complexity reductions (fixed queries, growing databases).
+
+These executable encodings realise the paper's data-complexity lower bounds:
+
+* Lemma 4.4 — 3SAT → the *compatibility problem* (does a valid package rated
+  above B exist?) with a fixed identity query and no ``Qc``;
+* Theorem 4.5 / Lemma 4.4 — 3SAT → RPP: a designated candidate selection is a
+  top-1 selection iff the formula is unsatisfiable (coNP-hardness);
+* Theorem 5.1 — MAX-WEIGHT SAT → FRP: the rating of a top-1 package equals the
+  maximum satisfiable weight (FPᴺᴾ-hardness);
+* Theorem 5.2 — SAT-UNSAT → MBP: B = 1 is the maximum bound iff φ₁ is
+  satisfiable and φ₂ is not (DP-hardness);
+* Theorem 5.3 — #SAT → CPP: the number of valid packages rated ≥ r equals the
+  number of models (#P-hardness).
+
+Every encoding returns a dataclass with the constructed
+:class:`~repro.core.model.RecommendationProblem`, the auxiliary inputs of the
+specific problem (candidate selection, bound, ...), and an ``expected()``
+method computing the ground truth with the propositional reference solvers —
+the tests check that running the recommendation solver on the encoding agrees
+with the ground truth, which validates reduction and solver against each
+other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.compatibility import EmptyConstraint
+from repro.core.cpp import count_valid_packages
+from repro.core.enumeration import exists_valid_package
+from repro.core.frp import compute_top_k
+from repro.core.functions import (
+    CallableRating,
+    CountRating,
+    PredicateCost,
+)
+from repro.core.mbp import is_maximum_bound
+from repro.core.model import PolynomialBound, RecommendationProblem
+from repro.core.packages import Package, Selection
+from repro.core.rpp import is_top_k_selection
+from repro.logic.formulas import CNFFormula
+from repro.logic.problems import MaxWeightSATInstance, SATUNSATInstance
+from repro.logic.solvers import count_models, dpll_satisfiable, max_weight_assignment
+from repro.queries.sp import identity_query
+from repro.reductions.clause_encoding import (
+    CLAUSE_ATTRIBUTES,
+    CLAUSE_RELATION,
+    clause_database,
+    clause_relation_schema,
+    clause_tuples,
+    covers_all_clauses,
+    package_clause_ids,
+    package_is_consistent,
+)
+from repro.relational.database import Database, Relation
+
+#: The dummy tuple used by the RPP encoding; its clause id 0 never clashes.
+DUMMY_ITEM = (0, "#", 0, "#", 0, "#", 0)
+
+
+def _identity_problem(
+    database: Database,
+    cost,
+    val,
+    budget: float,
+    k: int = 1,
+    name: str = "reduction",
+) -> RecommendationProblem:
+    """A problem over the clause relation with the fixed identity query."""
+    query = identity_query(CLAUSE_RELATION, CLAUSE_ATTRIBUTES, name="identity")
+    return RecommendationProblem(
+        database=database,
+        query=query,
+        cost=cost,
+        val=val,
+        budget=budget,
+        k=k,
+        compatibility=EmptyConstraint(),
+        size_bound=PolynomialBound(1.0, 1),
+        name=name,
+        # Every cost used by these encodings is a consistency predicate (or a
+        # variant of it): supersets of an over-budget package stay over budget,
+        # so the enumerator may prune them.
+        monotone_cost=True,
+    )
+
+
+def _consistency_cost(description: str) -> PredicateCost:
+    return PredicateCost(
+        predicate=package_is_consistent,
+        low=1.0,
+        high=2.0,
+        description=description,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lemma 4.4: 3SAT → the compatibility problem (NP-hardness, fixed query)
+# ---------------------------------------------------------------------------
+@dataclass
+class SatCompatibilityEncoding:
+    """3SAT encoded as "does a valid package rated above B exist?"."""
+
+    formula: CNFFormula
+    problem: RecommendationProblem
+    rating_bound: float  # B = r - 1; a package rated > B covers every clause
+
+    def expected(self) -> bool:
+        """Ground truth: satisfiability of the formula."""
+        return dpll_satisfiable(self.formula) is not None
+
+    def solve(self) -> bool:
+        """Run the recommendation side: does a valid package rated > B exist?"""
+        witness = exists_valid_package(self.problem, rating_bound=self.rating_bound, strict=True)
+        return witness is not None
+
+
+def compatibility_from_3sat(formula: CNFFormula) -> SatCompatibilityEncoding:
+    """Lemma 4.4: ``cost`` rewards consistent packages, ``val`` counts items."""
+    database = clause_database(formula)
+    problem = _identity_problem(
+        database,
+        cost=_consistency_cost("1 if the package encodes a consistent partial assignment"),
+        val=CountRating(),
+        budget=1.0,
+        name="Lemma 4.4 compatibility problem",
+    )
+    return SatCompatibilityEncoding(
+        formula=formula, problem=problem, rating_bound=float(len(formula.clauses) - 1)
+    )
+
+
+# ---------------------------------------------------------------------------
+# 3SAT → RPP (coNP-hardness of the decision problem, fixed query)
+# ---------------------------------------------------------------------------
+@dataclass
+class SatRPPEncoding:
+    """3SAT encoded as an RPP instance.
+
+    The candidate selection holds the dummy package ``{DUMMY_ITEM}`` rated
+    ``r − 1``; consistent clause-covering packages are rated ``r``, so the
+    candidate is a top-1 selection iff the formula is unsatisfiable.
+    """
+
+    formula: CNFFormula
+    problem: RecommendationProblem
+    candidate: Selection
+
+    def expected(self) -> bool:
+        """Ground truth: the candidate is top-1 iff the formula is unsatisfiable."""
+        return dpll_satisfiable(self.formula) is None
+
+    def solve(self) -> bool:
+        """Run RPP on the encoded instance."""
+        return is_top_k_selection(self.problem, self.candidate).is_top_k
+
+
+def rpp_from_3sat(formula: CNFFormula) -> SatRPPEncoding:
+    """The dummy-package RPP encoding described above."""
+    num_clauses = len(formula.clauses)
+    schema = clause_relation_schema()
+    rows = clause_tuples(formula) + (DUMMY_ITEM,)
+    database = Database([Relation(schema, rows)])
+
+    def cost_predicate(package: Package) -> bool:
+        items = package.items
+        if items == frozenset({DUMMY_ITEM}):
+            return True
+        if DUMMY_ITEM in items:
+            return False
+        return package_is_consistent(package)
+
+    def rating(package: Package) -> float:
+        items = package.items
+        if items == frozenset({DUMMY_ITEM}):
+            return float(num_clauses - 1)
+        if DUMMY_ITEM in items:
+            return 0.0
+        return float(len(items))
+
+    problem = _identity_problem(
+        database,
+        cost=PredicateCost(cost_predicate, description="1 for the dummy or a consistent package"),
+        val=CallableRating(rating, description="r-1 for the dummy, |N| otherwise"),
+        budget=1.0,
+        name="3SAT → RPP",
+    )
+    candidate = Selection([problem.package_from_items([DUMMY_ITEM])])
+    return SatRPPEncoding(formula=formula, problem=problem, candidate=candidate)
+
+
+# ---------------------------------------------------------------------------
+# MAX-WEIGHT SAT → FRP (FPᴺᴾ-hardness of the function problem, fixed query)
+# ---------------------------------------------------------------------------
+@dataclass
+class MaxWeightFRPEncoding:
+    """MAX-WEIGHT SAT encoded as FRP: the top-1 rating is the maximum weight."""
+
+    instance: MaxWeightSATInstance
+    problem: RecommendationProblem
+
+    def expected(self) -> int:
+        """Ground truth: the maximum total weight of simultaneously satisfiable clauses."""
+        return self.instance.answer()
+
+    def solve(self) -> int:
+        """Rating of the package returned by the FRP solver."""
+        result = compute_top_k(self.problem)
+        if result.selection is None:
+            return 0
+        return int(result.ratings[0])
+
+
+def frp_from_max_weight_sat(instance: MaxWeightSATInstance) -> MaxWeightFRPEncoding:
+    """Theorem 5.1 (data complexity): weights become the rating of covered clauses."""
+    database = clause_database(instance.formula)
+    weights = {index + 1: weight for index, weight in enumerate(instance.weights)}
+
+    def rating(package: Package) -> float:
+        return float(sum(weights[cid] for cid in package_clause_ids(package)))
+
+    problem = _identity_problem(
+        database,
+        cost=_consistency_cost("1 if the package encodes a consistent partial assignment"),
+        val=CallableRating(rating, description="total weight of the clauses covered"),
+        budget=1.0,
+        name="MAX-WEIGHT SAT → FRP",
+    )
+    return MaxWeightFRPEncoding(instance=instance, problem=problem)
+
+
+# ---------------------------------------------------------------------------
+# SAT-UNSAT → MBP (DP-hardness of the maximum-bound problem, fixed query)
+# ---------------------------------------------------------------------------
+@dataclass
+class SatUnsatMBPEncoding:
+    """SAT-UNSAT encoded as MBP with bound B = 1."""
+
+    instance: SATUNSATInstance
+    problem: RecommendationProblem
+    bound: float
+
+    def expected(self) -> bool:
+        """Ground truth: φ₁ satisfiable and φ₂ unsatisfiable."""
+        return self.instance.answer()
+
+    def solve(self) -> bool:
+        """Run MBP on the encoded instance."""
+        return is_maximum_bound(self.problem, self.bound).is_maximum_bound
+
+
+def mbp_from_sat_unsat(instance: SATUNSATInstance) -> SatUnsatMBPEncoding:
+    """Theorem 5.2 (data complexity): the two-formula clause relation.
+
+    The paper's proof steers the coverage requirement ("one tuple per clause of
+    φ1, and per clause of φ2 when any is present") through the cost function
+    and the variable split through the rating.  We fold both into the rating —
+    a package rates 1 when it consistently covers exactly φ1, 2 when it
+    consistently covers φ1 and φ2, and 0 otherwise — so the cost function can
+    stay the plain consistency predicate, which is monotone and therefore
+    prunable.  The characterisation "B = 1 is the maximum bound iff φ1 is
+    satisfiable and φ2 is not" is unchanged.
+    """
+    phi1, phi2 = instance.phi1, instance.phi2
+    r, s = len(phi1.clauses), len(phi2.clauses)
+    schema = clause_relation_schema()
+    rows = clause_tuples(phi1) + clause_tuples(phi2, cid_offset=r)
+    database = Database([Relation(schema, rows)])
+    phi1_ids = frozenset(range(1, r + 1))
+    phi2_ids = frozenset(range(r + 1, r + s + 1))
+
+    def rating(package: Package) -> float:
+        if not package_is_consistent(package):
+            return 0.0
+        ids = frozenset(package_clause_ids(package))
+        if ids == phi1_ids:
+            return 1.0
+        if ids == phi1_ids | phi2_ids:
+            return 2.0
+        return 0.0
+
+    problem = _identity_problem(
+        database,
+        cost=_consistency_cost("1 if the package encodes a consistent partial assignment"),
+        val=CallableRating(
+            rating, description="1: consistent cover of φ1; 2: consistent cover of φ1 and φ2"
+        ),
+        budget=1.0,
+        name="SAT-UNSAT → MBP",
+    )
+    return SatUnsatMBPEncoding(instance=instance, problem=problem, bound=1.0)
+
+
+# ---------------------------------------------------------------------------
+# #SAT → CPP (#P-hardness of the counting problem, fixed query)
+# ---------------------------------------------------------------------------
+@dataclass
+class SharpSatCPPEncoding:
+    """#SAT encoded as CPP: valid packages rated ≥ r correspond to models."""
+
+    formula: CNFFormula
+    problem: RecommendationProblem
+    rating_bound: float
+
+    def expected(self) -> int:
+        """Ground truth: the number of models of the formula."""
+        return count_models(self.formula)
+
+    def solve(self) -> int:
+        """Run CPP on the encoded instance."""
+        return count_valid_packages(self.problem, self.rating_bound).count
+
+
+def cpp_from_3sat(formula: CNFFormula) -> SharpSatCPPEncoding:
+    """Theorem 5.3 (data complexity): every model yields exactly one valid package.
+
+    The correspondence is exact when every variable of the formula occurs in
+    some clause (always true for our CNF representation): a consistent package
+    with one tuple per clause fixes the value of every variable it mentions and
+    any two models that agree on those are the same model.
+    """
+    database = clause_database(formula)
+    problem = _identity_problem(
+        database,
+        cost=_consistency_cost("1 if the package encodes a consistent partial assignment"),
+        val=CountRating(),
+        budget=1.0,
+        name="#SAT → CPP",
+    )
+    return SharpSatCPPEncoding(
+        formula=formula, problem=problem, rating_bound=float(len(formula.clauses))
+    )

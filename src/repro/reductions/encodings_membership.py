@@ -1,0 +1,146 @@
+"""Membership-based reductions for the FO / Datalog rows of Table 8.1.
+
+For DATALOG_nr, FO and DATALOG, the paper's combined-complexity lower bounds
+(PSPACE and EXPTIME) are all reductions from the *membership problem*
+``t ∈ Q(D)``: wrap the query so that the singleton ``{t}`` is a top-1 package
+selection exactly when ``t`` is an answer.  Because our solvers are
+deterministic, we can phrase the wrapping without modifying the query at all:
+
+* RPP — with a constant rating and budget 1, ``{t}`` is a valid (hence top-1)
+  selection iff ``t ∈ Q(D)``;
+* MBP — rating 2 for ``{t}`` and 1 for every other singleton makes ``B = 2``
+  the maximum bound iff ``t ∈ Q(D)``;
+* FRP — the same rating makes the top-1 package equal ``{t}`` iff
+  ``t ∈ Q(D)`` (otherwise some other answer tuple, or nothing, is returned).
+
+These constructions work uniformly for every language, which is how the
+benchmark sweeps a single harness across CQ, ∃FO+, DATALOG_nr, FO and DATALOG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.compatibility import EmptyConstraint
+from repro.core.frp import compute_top_k
+from repro.core.functions import CallableRating, ConstantRating, CountCost
+from repro.core.mbp import is_maximum_bound
+from repro.core.model import RecommendationProblem, SINGLETON_BOUND
+from repro.core.packages import Package, Selection
+from repro.core.rpp import is_top_k_selection
+from repro.queries.base import Query
+from repro.relational.database import Database, Row
+
+
+@dataclass
+class MembershipRPPEncoding:
+    """``t ∈ Q(D)`` phrased as RPP: is ``{t}`` a top-1 selection?"""
+
+    query: Query
+    database: Database
+    target: Row
+    problem: RecommendationProblem
+    candidate: Selection
+
+    def expected(self) -> bool:
+        """Ground truth via direct membership evaluation."""
+        return self.query.contains(self.database, self.target)
+
+    def solve(self) -> bool:
+        return is_top_k_selection(self.problem, self.candidate).is_top_k
+
+
+def rpp_from_membership(query: Query, database: Database, target: Row) -> MembershipRPPEncoding:
+    """Theorem 4.1 (DATALOG_nr / FO / DATALOG rows): membership → RPP."""
+    target = tuple(target)
+    problem = RecommendationProblem(
+        database=database,
+        query=query,
+        cost=CountCost(),
+        val=ConstantRating(1.0),
+        budget=1.0,
+        k=1,
+        compatibility=EmptyConstraint(),
+        size_bound=SINGLETON_BOUND,
+        monotone_cost=True,
+        name=f"membership → RPP ({type(query).__name__})",
+    )
+    candidate = Selection([problem.package_from_items([target])])
+    return MembershipRPPEncoding(
+        query=query, database=database, target=target, problem=problem, candidate=candidate
+    )
+
+
+@dataclass
+class MembershipMBPEncoding:
+    """``t ∈ Q(D)`` phrased as MBP: is B = 2 the maximum rating bound?"""
+
+    query: Query
+    database: Database
+    target: Row
+    problem: RecommendationProblem
+    bound: float
+
+    def expected(self) -> bool:
+        """Ground truth via direct membership evaluation."""
+        return self.query.contains(self.database, self.target)
+
+    def solve(self) -> bool:
+        return is_maximum_bound(self.problem, self.bound).is_maximum_bound
+
+
+def mbp_from_membership(query: Query, database: Database, target: Row) -> MembershipMBPEncoding:
+    """Theorem 5.2 (DATALOG_nr / FO / DATALOG rows): membership → MBP."""
+    target = tuple(target)
+
+    def rating(package: Package) -> float:
+        if len(package) != 1:
+            return 0.0
+        (item,) = package.items
+        return 2.0 if item == target else 1.0
+
+    problem = RecommendationProblem(
+        database=database,
+        query=query,
+        cost=CountCost(),
+        val=CallableRating(rating, description="2 for the target tuple, 1 otherwise"),
+        budget=1.0,
+        k=1,
+        compatibility=EmptyConstraint(),
+        size_bound=SINGLETON_BOUND,
+        monotone_cost=True,
+        name=f"membership → MBP ({type(query).__name__})",
+    )
+    return MembershipMBPEncoding(
+        query=query, database=database, target=target, problem=problem, bound=2.0
+    )
+
+
+@dataclass
+class MembershipFRPEncoding:
+    """``t ∈ Q(D)`` phrased as FRP: does the top-1 package equal ``{t}``?"""
+
+    query: Query
+    database: Database
+    target: Row
+    problem: RecommendationProblem
+
+    def expected(self) -> bool:
+        """Ground truth via direct membership evaluation."""
+        return self.query.contains(self.database, self.target)
+
+    def solve(self) -> bool:
+        result = compute_top_k(self.problem)
+        if result.selection is None:
+            return False
+        (package,) = result.selection.packages
+        return package.items == frozenset({self.target})
+
+
+def frp_from_membership(query: Query, database: Database, target: Row) -> MembershipFRPEncoding:
+    """Theorem 5.1 (DATALOG_nr / FO / DATALOG rows): membership → FRP."""
+    encoding = mbp_from_membership(query, database, target)
+    return MembershipFRPEncoding(
+        query=query, database=database, target=tuple(target), problem=encoding.problem
+    )

@@ -1,0 +1,77 @@
+"""The Boolean gadget relations of Figure 4.1.
+
+The paper's combined-complexity lower bounds all share four small relations:
+
+* ``I01`` over ``R01(X)`` — the Boolean domain {0, 1};
+* ``I∨`` over ``ROR(B, A1, A2)`` — the graph of disjunction, ``B = A1 ∨ A2``;
+* ``I∧`` over ``RAND(B, A1, A2)`` — the graph of conjunction, ``B = A1 ∧ A2``;
+* ``I¬`` over ``RNOT(A, NA)`` — the graph of negation.
+
+Cartesian products of ``R01`` enumerate truth assignments; joining against the
+gate relations evaluates a Boolean formula inside a conjunctive query.  The
+relation names below are the identifiers used by every encoding in
+:mod:`repro.reductions`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.relational.database import Database, Relation
+from repro.relational.schema import RelationSchema
+
+#: Canonical relation names used by all reductions.
+R01 = "R01"
+R_OR = "ROR"
+R_AND = "RAND"
+R_NOT = "RNOT"
+
+
+def boolean_domain_relation() -> Relation:
+    """``I01``: the unary Boolean domain {0, 1}."""
+    return Relation(RelationSchema(R01, ["X"]), [(0,), (1,)])
+
+
+def disjunction_relation() -> Relation:
+    """``I∨``: all rows ``(a1 ∨ a2, a1, a2)``."""
+    schema = RelationSchema(R_OR, ["B", "A1", "A2"])
+    rows = [(a1 | a2, a1, a2) for a1 in (0, 1) for a2 in (0, 1)]
+    return Relation(schema, rows)
+
+
+def conjunction_relation() -> Relation:
+    """``I∧``: all rows ``(a1 ∧ a2, a1, a2)``."""
+    schema = RelationSchema(R_AND, ["B", "A1", "A2"])
+    rows = [(a1 & a2, a1, a2) for a1 in (0, 1) for a2 in (0, 1)]
+    return Relation(schema, rows)
+
+
+def negation_relation() -> Relation:
+    """``I¬``: the rows ``(0, 1)`` and ``(1, 0)``."""
+    return Relation(RelationSchema(R_NOT, ["A", "NA"]), [(0, 1), (1, 0)])
+
+
+def figure_4_1_relations() -> Dict[str, Relation]:
+    """All four gadget relations keyed by name — the content of Figure 4.1."""
+    relations = (
+        boolean_domain_relation(),
+        disjunction_relation(),
+        conjunction_relation(),
+        negation_relation(),
+    )
+    return {relation.name: relation for relation in relations}
+
+
+def boolean_gadget_database(extra_relations: Iterable[Relation] = ()) -> Database:
+    """A database holding the Figure 4.1 relations plus any extra relations."""
+    database = Database(figure_4_1_relations().values())
+    for relation in extra_relations:
+        database.add_relation(relation)
+    return database
+
+
+def figure_4_1_rows() -> Dict[str, Tuple[Tuple[int, ...], ...]]:
+    """The figure's content as plain tuples (what the figure benchmark prints)."""
+    return {
+        name: relation.sorted_rows() for name, relation in figure_4_1_relations().items()
+    }

@@ -1,0 +1,152 @@
+"""A small relational-algebra layer.
+
+The query evaluators in :mod:`repro.queries` are implemented directly on
+bindings for efficiency, but a classical algebra is still useful for the SP
+fragment, for tests (independent cross-checks of the evaluators) and for the
+examples.  Operators are pure: they return new :class:`Relation` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.relational.database import Relation, Row
+from repro.relational.errors import SchemaError
+from repro.relational.schema import RelationSchema, Value
+
+RowPredicate = Callable[[Mapping[str, Value]], bool]
+
+
+def select(relation: Relation, predicate: RowPredicate, name: Optional[str] = None) -> Relation:
+    """``σ_predicate(relation)`` — keep rows satisfying ``predicate``.
+
+    ``predicate`` receives each row as an attribute-name keyed mapping.
+    """
+    schema = relation.schema if name is None else relation.schema.rename(name)
+    result = Relation(schema)
+    for row in relation:
+        if predicate(relation.schema.as_dict(row)):
+            result.add(row)
+    return result
+
+
+def project(
+    relation: Relation, attributes: Sequence[str], name: Optional[str] = None
+) -> Relation:
+    """``π_attributes(relation)`` — keep only the given columns (set semantics)."""
+    schema = relation.schema.project(attributes, name=name or relation.schema.name)
+    indexes = [relation.schema.index_of(a) for a in attributes]
+    result = Relation(schema)
+    for row in relation:
+        result.add(tuple(row[i] for i in indexes))
+    return result
+
+
+def rename(relation: Relation, new_name: str, attribute_map: Optional[Mapping[str, str]] = None) -> Relation:
+    """``ρ`` — rename the relation and optionally some of its attributes."""
+    if attribute_map is None:
+        attribute_map = {}
+    new_attrs = [attribute_map.get(a, a) for a in relation.schema.attribute_names]
+    schema = RelationSchema(new_name, new_attrs)
+    return Relation(schema, relation.rows())
+
+
+def _check_union_compatible(left: Relation, right: Relation) -> None:
+    if left.arity != right.arity:
+        raise SchemaError(
+            f"union-incompatible relations: {left.name} has arity {left.arity}, "
+            f"{right.name} has arity {right.arity}"
+        )
+
+
+def union(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """``left ∪ right`` over union-compatible relations."""
+    _check_union_compatible(left, right)
+    schema = left.schema if name is None else left.schema.rename(name)
+    result = Relation(schema, left.rows())
+    result.add_all(right.rows())
+    return result
+
+
+def intersection(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """``left ∩ right`` over union-compatible relations."""
+    _check_union_compatible(left, right)
+    schema = left.schema if name is None else left.schema.rename(name)
+    return Relation(schema, left.rows() & right.rows())
+
+
+def difference(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """``left − right`` over union-compatible relations."""
+    _check_union_compatible(left, right)
+    schema = left.schema if name is None else left.schema.rename(name)
+    return Relation(schema, left.rows() - right.rows())
+
+
+def cartesian_product(left: Relation, right: Relation, name: str = "product") -> Relation:
+    """``left × right``; attribute clashes are disambiguated with prefixes."""
+    left_names = list(left.schema.attribute_names)
+    right_names = list(right.schema.attribute_names)
+    out_names = []
+    for attr in left_names:
+        out_names.append(attr if attr not in right_names else f"{left.name}.{attr}")
+    for attr in right_names:
+        out_names.append(attr if attr not in left_names else f"{right.name}.{attr}")
+    schema = RelationSchema(name, out_names)
+    result = Relation(schema)
+    for lrow in left:
+        for rrow in right:
+            result.add(lrow + rrow)
+    return result
+
+
+def natural_join(left: Relation, right: Relation, name: str = "join") -> Relation:
+    """``left ⋈ right`` on attributes with equal names.
+
+    Implemented as a hash join on the shared attributes.  Output attributes
+    are the left attributes followed by the non-shared right attributes.
+    """
+    shared = [a for a in left.schema.attribute_names if a in right.schema.attribute_names]
+    right_only = [a for a in right.schema.attribute_names if a not in shared]
+    schema = RelationSchema(name, list(left.schema.attribute_names) + right_only)
+
+    left_idx = [left.schema.index_of(a) for a in shared]
+    right_idx = [right.schema.index_of(a) for a in shared]
+    right_only_idx = [right.schema.index_of(a) for a in right_only]
+
+    buckets: dict = {}
+    for rrow in right:
+        key = tuple(rrow[i] for i in right_idx)
+        buckets.setdefault(key, []).append(rrow)
+
+    result = Relation(schema)
+    for lrow in left:
+        key = tuple(lrow[i] for i in left_idx)
+        for rrow in buckets.get(key, ()):
+            result.add(lrow + tuple(rrow[i] for i in right_only_idx))
+    return result
+
+
+def aggregate(
+    relation: Relation,
+    group_by: Sequence[str],
+    aggregations: Mapping[str, Callable[[Iterable[Row]], Value]],
+    name: str = "aggregate",
+) -> Relation:
+    """Group-by aggregation.
+
+    ``aggregations`` maps output attribute names to functions applied to the
+    full rows of each group.  Used by the workload generators and examples,
+    not by the query-language semantics (which follow the paper and keep
+    aggregation inside the PTIME ``cost``/``val`` functions).
+    """
+    group_idx = [relation.schema.index_of(a) for a in group_by]
+    groups: dict = {}
+    for row in relation:
+        key = tuple(row[i] for i in group_idx)
+        groups.setdefault(key, []).append(row)
+    schema = RelationSchema(name, list(group_by) + list(aggregations))
+    result = Relation(schema)
+    for key, rows in groups.items():
+        agg_values = tuple(fn(rows) for fn in aggregations.values())
+        result.add(key + agg_values)
+    return result

@@ -1,0 +1,81 @@
+"""CSV import/export for relations and databases.
+
+Kept deliberately small: the first row is the header, values are parsed as
+``int`` then ``float`` then left as strings.  This is enough to ship the
+example workloads as data files and to let users load their own item
+collections.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.relational.database import Database, Relation
+from repro.relational.schema import RelationSchema, Value
+
+PathLike = Union[str, Path]
+
+
+def _parse_value(text: str) -> Value:
+    """Best-effort scalar parsing: int, then float, then raw string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def read_relation(path: PathLike, name: str | None = None) -> Relation:
+    """Load a relation from a CSV file with a header row."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"{path}: empty CSV file, expected at least a header row")
+    header = rows[0]
+    schema = RelationSchema(name or path.stem, header)
+    relation = Relation(schema)
+    for raw in rows[1:]:
+        if not raw:
+            continue
+        relation.add(tuple(_parse_value(cell) for cell in raw))
+    return relation
+
+
+def write_relation(relation: Relation, path: PathLike) -> None:
+    """Write a relation to a CSV file with a header row (deterministic order)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.attribute_names)
+        for row in relation.sorted_rows():
+            writer.writerow(row)
+
+
+def read_database(directory: PathLike) -> Database:
+    """Load every ``*.csv`` file in ``directory`` as one relation each."""
+    directory = Path(directory)
+    database = Database()
+    for csv_path in sorted(directory.glob("*.csv")):
+        database.add_relation(read_relation(csv_path))
+    return database
+
+
+def write_database(database: Database, directory: PathLike) -> None:
+    """Write every relation of ``database`` to ``directory`` as CSV files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for relation in database.relations():
+        write_relation(relation, directory / f"{relation.name}.csv")
+
+
+def relation_from_rows(name: str, attributes: Iterable[str], rows: Iterable[Iterable[Value]]) -> Relation:
+    """Convenience constructor mirroring :func:`read_relation` for in-memory data."""
+    return Relation(RelationSchema(name, list(attributes)), [tuple(r) for r in rows])

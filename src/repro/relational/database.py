@@ -1,0 +1,244 @@
+"""Relations and databases.
+
+A :class:`Relation` is a named, schema-checked set of tuples; a
+:class:`Database` is a collection of relations.  Both are the concrete
+counterparts of the paper's item collection ``D``.
+
+Relations are set-semantics (no duplicates), matching the paper's model where
+packages are subsets of the query answer ``Q(D)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.relational.errors import IntegrityError, SchemaError, UnknownRelationError
+from repro.relational.schema import DatabaseSchema, RelationSchema, Value
+
+Row = Tuple[Value, ...]
+
+
+class Relation:
+    """A finite set of tuples over a :class:`RelationSchema`."""
+
+    __slots__ = ("schema", "_rows")
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Sequence[Value]] = ()) -> None:
+        self.schema = schema
+        self._rows: Set[Row] = set()
+        for row in rows:
+            self.add(row)
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_dicts(
+        cls, schema: RelationSchema, rows: Iterable[Mapping[str, Value]]
+    ) -> "Relation":
+        """Build a relation from attribute-name keyed dictionaries."""
+        relation = cls(schema)
+        for row in rows:
+            relation.add(schema.tuple_from_mapping(row))
+        return relation
+
+    # -- mutation -------------------------------------------------------------
+    def add(self, row: Sequence[Value]) -> Row:
+        """Insert a tuple (validated against the schema) and return it."""
+        validated = self.schema.validate_tuple(row)
+        self._rows.add(validated)
+        return validated
+
+    def add_all(self, rows: Iterable[Sequence[Value]]) -> None:
+        """Insert every tuple in ``rows``."""
+        for row in rows:
+            self.add(row)
+
+    def discard(self, row: Sequence[Value]) -> bool:
+        """Remove a tuple if present; return whether it was present."""
+        validated = self.schema.validate_tuple(row)
+        if validated in self._rows:
+            self._rows.remove(validated)
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Remove every tuple."""
+        self._rows.clear()
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The relation name from its schema."""
+        return self.schema.name
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return self.schema.arity
+
+    def rows(self) -> FrozenSet[Row]:
+        """An immutable snapshot of the tuples."""
+        return frozenset(self._rows)
+
+    def sorted_rows(self) -> Tuple[Row, ...]:
+        """Tuples in a deterministic order (useful for printing and tests)."""
+        return tuple(sorted(self._rows, key=repr))
+
+    def __contains__(self, row: Sequence[Value]) -> bool:
+        try:
+            validated = self.schema.validate_tuple(row)
+        except IntegrityError:
+            return False
+        return validated in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.schema.name == other.schema.name and self._rows == other._rows
+
+    def __hash__(self) -> int:  # pragma: no cover - relations used as dict keys rarely
+        return hash((self.schema.name, frozenset(self._rows)))
+
+    def column(self, attribute: str) -> Set[Value]:
+        """All distinct values of ``attribute``."""
+        index = self.schema.index_of(attribute)
+        return {row[index] for row in self._rows}
+
+    def active_domain(self) -> Set[Value]:
+        """All constants appearing anywhere in the relation."""
+        return {value for row in self._rows for value in row}
+
+    def copy(self) -> "Relation":
+        """A shallow, independent copy."""
+        return Relation(self.schema, self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self.schema.name}, {len(self._rows)} tuples)"
+
+    def pretty(self, limit: Optional[int] = 20) -> str:
+        """A small textual table, used by the examples."""
+        header = " | ".join(self.schema.attribute_names)
+        lines = [header, "-" * len(header)]
+        rows = self.sorted_rows()
+        shown = rows if limit is None else rows[:limit]
+        for row in shown:
+            lines.append(" | ".join(str(v) for v in row))
+        if limit is not None and len(rows) > limit:
+            lines.append(f"... ({len(rows) - limit} more)")
+        return "\n".join(lines)
+
+
+class Database:
+    """A collection of relations; the item collection ``D`` of the paper."""
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        self._relations: Dict[str, Relation] = {}
+        for relation in relations:
+            self.add_relation(relation)
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def from_schema(cls, schema: DatabaseSchema) -> "Database":
+        """An empty database with one empty relation per schema entry."""
+        return cls(Relation(rel_schema) for rel_schema in schema)
+
+    def add_relation(self, relation: Relation) -> None:
+        """Register a relation; duplicate names are rejected."""
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation: {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def create_relation(
+        self, name: str, attributes: Sequence[str], rows: Iterable[Sequence[Value]] = ()
+    ) -> Relation:
+        """Create, register and return a new relation."""
+        relation = Relation(RelationSchema(name, attributes), rows)
+        self.add_relation(relation)
+        return relation
+
+    # -- access ------------------------------------------------------------------
+    def relation(self, name: str) -> Relation:
+        """The relation called ``name``; raises :class:`UnknownRelationError`."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relation(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """All relation names, sorted."""
+        return tuple(sorted(self._relations))
+
+    def relations(self) -> Tuple[Relation, ...]:
+        """All relations, sorted by name."""
+        return tuple(self._relations[name] for name in self.relation_names())
+
+    def schema(self) -> DatabaseSchema:
+        """The database schema induced by the registered relations."""
+        return DatabaseSchema(rel.schema for rel in self.relations())
+
+    # -- statistics -----------------------------------------------------------------
+    def size(self) -> int:
+        """Total number of tuples; the ``|D|`` of the paper."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def active_domain(self) -> Set[Value]:
+        """All constants appearing in any relation (``adom(D)``)."""
+        domain: Set[Value] = set()
+        for relation in self._relations.values():
+            domain |= relation.active_domain()
+        return domain
+
+    # -- copying / combining -----------------------------------------------------------
+    def copy(self) -> "Database":
+        """A deep-enough copy: relations are copied, tuples are shared."""
+        return Database(rel.copy() for rel in self._relations.values())
+
+    def with_relation(self, relation: Relation) -> "Database":
+        """A copy of this database with ``relation`` added or replaced.
+
+        Used to evaluate compatibility constraints, which mention both the
+        database relations and the answer relation ``RQ`` holding a candidate
+        package.
+        """
+        new = Database()
+        for name, rel in self._relations.items():
+            if name != relation.name:
+                new.add_relation(rel)
+        new.add_relation(relation)
+        return new
+
+    def without_relation(self, name: str) -> "Database":
+        """A copy of this database with relation ``name`` removed."""
+        new = Database()
+        for rel_name, rel in self._relations.items():
+            if rel_name != name:
+                new.add_relation(rel)
+        return new
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        if self.relation_names() != other.relation_names():
+            return False
+        return all(
+            self._relations[name].rows() == other._relations[name].rows()
+            for name in self._relations
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{name}:{len(rel)}" for name, rel in sorted(self._relations.items()))
+        return f"Database({parts})"

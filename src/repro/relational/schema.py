@@ -1,0 +1,204 @@
+"""Relation and database schemas.
+
+A database is specified by a relational schema ``R = (R1, ..., Rn)`` where
+each relation schema ``Ri`` is defined over a fixed list of attributes
+(Section 2 of the paper).  Attributes carry an optional domain used for
+validation and for query relaxation (which needs per-attribute distance
+functions and active domains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.relational.errors import IntegrityError, SchemaError, UnknownAttributeError
+
+#: Values stored in relations.  Any hashable Python value is accepted; the
+#: built-in comparison predicates of the query languages additionally require
+#: values that support ``<`` within one attribute.
+Value = Any
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single attribute of a relation schema.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within its relation schema.
+    domain:
+        Optional finite domain.  When given, tuples are validated against it
+        and query relaxation uses it as ``dom(R.A)``.
+    dtype:
+        Optional Python type used for lightweight validation (``int``,
+        ``float``, ``str``...).  ``None`` disables type checking.
+    """
+
+    name: str
+    domain: Optional[Tuple[Value, ...]] = None
+    dtype: Optional[type] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.domain is not None and not isinstance(self.domain, tuple):
+            object.__setattr__(self, "domain", tuple(self.domain))
+
+    def validate(self, value: Value, relation: str) -> None:
+        """Raise :class:`IntegrityError` if ``value`` is not in this attribute."""
+        if self.dtype is not None and not isinstance(value, self.dtype):
+            raise IntegrityError(
+                f"{relation}.{self.name}: value {value!r} is not of type "
+                f"{self.dtype.__name__}"
+            )
+        if self.domain is not None and value not in self.domain:
+            raise IntegrityError(
+                f"{relation}.{self.name}: value {value!r} not in declared domain"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _as_attribute(spec: "str | Attribute") -> Attribute:
+    if isinstance(spec, Attribute):
+        return spec
+    return Attribute(str(spec))
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of one relation: a name plus an ordered list of attributes."""
+
+    name: str
+    attributes: Tuple[Attribute, ...]
+
+    def __init__(self, name: str, attributes: Iterable["str | Attribute"]) -> None:
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        attrs = tuple(_as_attribute(a) for a in attributes)
+        seen = set()
+        for attr in attrs:
+            if attr.name in seen:
+                raise SchemaError(
+                    f"relation {name!r}: duplicate attribute {attr.name!r}"
+                )
+            seen.add(attr.name)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attrs)
+
+    # -- basic introspection -------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """Attribute names in schema order."""
+        return tuple(a.name for a in self.attributes)
+
+    def index_of(self, attribute: str) -> int:
+        """Position of ``attribute`` in the schema.
+
+        Raises :class:`UnknownAttributeError` for unknown names.
+        """
+        for i, attr in enumerate(self.attributes):
+            if attr.name == attribute:
+                return i
+        raise UnknownAttributeError(self.name, attribute)
+
+    def attribute(self, name: str) -> Attribute:
+        """The :class:`Attribute` called ``name``."""
+        return self.attributes[self.index_of(name)]
+
+    def __contains__(self, attribute: str) -> bool:
+        return any(a.name == attribute for a in self.attributes)
+
+    # -- tuple handling ------------------------------------------------------
+    def validate_tuple(self, values: Sequence[Value]) -> Tuple[Value, ...]:
+        """Validate and normalise a tuple against this schema.
+
+        Returns the values as a plain tuple.  Raises :class:`IntegrityError`
+        on arity or domain violations.
+        """
+        values = tuple(values)
+        if len(values) != self.arity:
+            raise IntegrityError(
+                f"relation {self.name!r} has arity {self.arity}, "
+                f"got tuple of length {len(values)}"
+            )
+        for attr, value in zip(self.attributes, values):
+            attr.validate(value, self.name)
+        return values
+
+    def tuple_from_mapping(self, mapping: Mapping[str, Value]) -> Tuple[Value, ...]:
+        """Build a tuple from an attribute-name keyed mapping."""
+        missing = [a.name for a in self.attributes if a.name not in mapping]
+        if missing:
+            raise IntegrityError(
+                f"relation {self.name!r}: missing attributes {missing}"
+            )
+        extra = [k for k in mapping if k not in self.attribute_names]
+        if extra:
+            raise IntegrityError(f"relation {self.name!r}: unknown attributes {extra}")
+        return self.validate_tuple(tuple(mapping[a.name] for a in self.attributes))
+
+    def as_dict(self, values: Sequence[Value]) -> "dict[str, Value]":
+        """Expose a tuple as an attribute-name keyed dictionary."""
+        values = self.validate_tuple(values)
+        return dict(zip(self.attribute_names, values))
+
+    def rename(self, new_name: str) -> "RelationSchema":
+        """A copy of this schema under a different relation name."""
+        return RelationSchema(new_name, self.attributes)
+
+    def project(self, attributes: Sequence[str], name: Optional[str] = None) -> "RelationSchema":
+        """Schema of the projection onto ``attributes`` (kept in given order)."""
+        attrs = tuple(self.attribute(a) for a in attributes)
+        return RelationSchema(name or self.name, attrs)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        cols = ", ".join(self.attribute_names)
+        return f"{self.name}({cols})"
+
+
+@dataclass
+class DatabaseSchema:
+    """A collection of relation schemas keyed by relation name."""
+
+    relations: "dict[str, RelationSchema]" = field(default_factory=dict)
+
+    def __init__(self, schemas: Iterable[RelationSchema] = ()) -> None:
+        self.relations = {}
+        for schema in schemas:
+            self.add(schema)
+
+    def add(self, schema: RelationSchema) -> None:
+        """Register a relation schema; duplicate names are rejected."""
+        if schema.name in self.relations:
+            raise SchemaError(f"duplicate relation schema: {schema.name!r}")
+        self.relations[schema.name] = schema
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self.relations[name]
+        except KeyError:
+            from repro.relational.errors import UnknownRelationError
+
+            raise UnknownRelationError(name) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """All relation names, sorted for determinism."""
+        return tuple(sorted(self.relations))
+
+    def __iter__(self):
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)

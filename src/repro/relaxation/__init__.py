@@ -1,0 +1,41 @@
+"""Query relaxation recommendations (Section 7 of the paper)."""
+
+from repro.relaxation.distance import (
+    AbsoluteDifference,
+    DiscreteDistance,
+    DistanceFunction,
+    TableDistance,
+    distance_table,
+)
+from repro.relaxation.relax import (
+    JoinBreakPoint,
+    Relaxation,
+    RelaxationPoint,
+    RelaxationSpace,
+    RelaxedQuery,
+)
+from repro.relaxation.qrpp import (
+    ItemQRPPResult,
+    QRPPResult,
+    find_item_relaxation,
+    find_package_relaxation,
+    qrpp_decision,
+)
+
+__all__ = [
+    "AbsoluteDifference",
+    "DiscreteDistance",
+    "DistanceFunction",
+    "ItemQRPPResult",
+    "JoinBreakPoint",
+    "QRPPResult",
+    "Relaxation",
+    "RelaxationPoint",
+    "RelaxationSpace",
+    "RelaxedQuery",
+    "TableDistance",
+    "distance_table",
+    "find_item_relaxation",
+    "find_package_relaxation",
+    "qrpp_decision",
+]

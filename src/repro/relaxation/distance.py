@@ -1,0 +1,84 @@
+"""Distance functions Γ used by query relaxation.
+
+Section 7 assumes a distance function ``dist_{R.A}(a, b)`` per attribute; a
+constant ``c`` in the query may be relaxed to any value ``b`` with
+``dist(c, b) ≤ d``, and the threshold ``d`` is the *level* of that relaxation.
+Three concrete families cover the paper's examples (cities within 15 miles,
+dates within 3 days, categorical generalisation):
+
+* :class:`AbsoluteDifference` — ``|a − b|`` for numeric attributes;
+* :class:`DiscreteDistance` — 0 when equal, 1 otherwise (pure generalisation);
+* :class:`TableDistance` — an explicit symmetric lookup table (e.g. road miles
+  between airports, taxonomy hops between POI types).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.relational.schema import Value
+
+
+class DistanceFunction:
+    """Base class: a symmetric, non-negative distance on attribute values."""
+
+    def __call__(self, a: Value, b: Value) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class AbsoluteDifference(DistanceFunction):
+    """``dist(a, b) = |a − b|`` for numeric values."""
+
+    def __call__(self, a: Value, b: Value) -> float:
+        return abs(float(a) - float(b))
+
+    def describe(self) -> str:
+        return "absolute difference"
+
+
+@dataclass
+class DiscreteDistance(DistanceFunction):
+    """``dist(a, b) = 0`` iff ``a = b`` else ``mismatch`` (default 1)."""
+
+    mismatch: float = 1.0
+
+    def __call__(self, a: Value, b: Value) -> float:
+        return 0.0 if a == b else self.mismatch
+
+    def describe(self) -> str:
+        return f"discrete (≠ costs {self.mismatch})"
+
+
+@dataclass
+class TableDistance(DistanceFunction):
+    """A distance given by an explicit table of unordered pairs.
+
+    Missing pairs default to ``default`` (∞ by default, i.e. not relaxable to
+    each other); the diagonal is always 0.
+    """
+
+    table: Mapping[Tuple[Value, Value], float]
+    default: float = math.inf
+
+    def __call__(self, a: Value, b: Value) -> float:
+        if a == b:
+            return 0.0
+        if (a, b) in self.table:
+            return float(self.table[(a, b)])
+        if (b, a) in self.table:
+            return float(self.table[(b, a)])
+        return self.default
+
+    def describe(self) -> str:
+        return f"table distance over {len(self.table)} pairs"
+
+
+def distance_table(pairs: Mapping[Tuple[Value, Value], float], default: float = math.inf) -> TableDistance:
+    """Convenience constructor for :class:`TableDistance`."""
+    return TableDistance(dict(pairs), default)

@@ -1,0 +1,205 @@
+"""The course-package workload (the [27, 28] motivation of the paper).
+
+Relations:
+
+* ``course(cid, title, area, credits, score)`` — the catalogue;
+* ``prereq(cid, pre)`` — the prerequisite graph.
+
+A course *package* is a term plan; the compatibility constraint requires the
+plan to be prerequisite-closed ("for each course in N, its prerequisites are
+also in N"), which the paper points out needs a query over both ``RQ`` and the
+database — and needs FO (or Datalog, for transitive closure) rather than CQ
+because it is a universal condition.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.compatibility import PredicateConstraint, QueryConstraint
+from repro.core.functions import AttributeSumCost, AttributeSumRating
+from repro.core.model import PolynomialBound, RecommendationProblem
+from repro.core.packages import Package
+from repro.queries.ast import And, Comparison, ComparisonOp, Exists, ForAll, Not, Or, RelationAtom, Var
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.datalog import DatalogProgram, DatalogRule
+from repro.queries.fo import FirstOrderQuery
+from repro.queries.sp import SPQuery
+from repro.relational.database import Database, Relation
+from repro.relational.schema import RelationSchema
+
+COURSE = "course"
+PREREQ = "prereq"
+
+COURSE_ATTRIBUTES = ("cid", "title", "area", "credits", "score")
+AREAS = ("db", "systems", "theory", "ml", "pl")
+
+
+def course_schema() -> RelationSchema:
+    """Schema of the ``course`` relation."""
+    return RelationSchema(COURSE, COURSE_ATTRIBUTES)
+
+
+def prereq_schema() -> RelationSchema:
+    """Schema of the ``prereq`` relation."""
+    return RelationSchema(PREREQ, ["cid", "pre"])
+
+
+def small_course_database() -> Database:
+    """A hand-written catalogue with a two-level prerequisite chain."""
+    courses = Relation(
+        course_schema(),
+        [
+            ("db101", "Intro to Databases", "db", 10, 7),
+            ("db201", "Query Processing", "db", 10, 8),
+            ("db301", "Advanced Databases", "db", 20, 9),
+            ("th101", "Discrete Mathematics", "theory", 10, 6),
+            ("th201", "Complexity Theory", "theory", 20, 9),
+            ("ml101", "Machine Learning", "ml", 20, 8),
+            ("sys101", "Operating Systems", "systems", 10, 7),
+            ("pl101", "Functional Programming", "pl", 10, 6),
+        ],
+    )
+    prereqs = Relation(
+        prereq_schema(),
+        [
+            ("db201", "db101"),
+            ("db301", "db201"),
+            ("th201", "th101"),
+            ("ml101", "th101"),
+        ],
+    )
+    return Database([courses, prereqs])
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+def course_selection_query(min_score: int = 0) -> SPQuery:
+    """An SP selection: all courses scoring at least ``min_score``."""
+    variables = [Var(a) for a in COURSE_ATTRIBUTES]
+    comparisons = [Comparison(ComparisonOp.GE, Var("score"), min_score)] if min_score else []
+    return SPQuery(COURSE, variables, variables, comparisons, name="eligible_courses")
+
+
+def prerequisite_closure_constraint() -> QueryConstraint:
+    """The FO compatibility constraint "prerequisites are included".
+
+    Violation query (CQ suffices to *detect* a violation): some course in the
+    package has a prerequisite course that is not in the package.  Expressed in
+    FO with negation over ``RQ``:
+
+    ``Qc() = ∃ c, p: RQ(c, ...) ∧ prereq(c, p) ∧ ¬ ∃ ...: RQ(p, ...)``
+    """
+    cid, pre = Var("cid"), Var("pre")
+    t1, a1, cr1, s1 = Var("t1"), Var("a1"), Var("cr1"), Var("s1")
+    t2, a2, cr2, s2 = Var("t2"), Var("a2"), Var("cr2"), Var("s2")
+    in_package = RelationAtom("RQ", [cid, t1, a1, cr1, s1])
+    has_prereq = RelationAtom(PREREQ, [cid, pre])
+    prereq_in_package = Exists(
+        (t2, a2, cr2, s2), RelationAtom("RQ", [pre, t2, a2, cr2, s2])
+    )
+    violation = Exists(
+        (cid, pre, t1, a1, cr1, s1), And(in_package, has_prereq, Not(prereq_in_package))
+    )
+    query = FirstOrderQuery([], violation, name="missing_prerequisite")
+    return QueryConstraint(query, answer_relation="RQ")
+
+
+def prerequisite_closure_predicate() -> PredicateConstraint:
+    """The same constraint as a PTIME predicate (the Corollary 6.3 variant)."""
+
+    def closed(package: Package, database: Database) -> bool:
+        chosen = {item[0] for item in package.items}
+        for cid, pre in database.relation(PREREQ):
+            if cid in chosen and pre not in chosen:
+                return False
+        return True
+
+    return PredicateConstraint(closed, "prerequisites of every chosen course are chosen")
+
+
+def transitive_prerequisites_program() -> DatalogProgram:
+    """The (recursive) Datalog query computing all transitive prerequisites."""
+    cid, pre, mid = Var("c"), Var("p"), Var("m")
+    rules = [
+        DatalogRule(RelationAtom("requires", [cid, pre]), [RelationAtom(PREREQ, [cid, pre])]),
+        DatalogRule(
+            RelationAtom("requires", [cid, pre]),
+            [RelationAtom("requires", [cid, mid]), RelationAtom(PREREQ, [mid, pre])],
+        ),
+    ]
+    return DatalogProgram(rules, output="requires", name="transitive_prerequisites")
+
+
+# ---------------------------------------------------------------------------
+# The packaged scenario
+# ---------------------------------------------------------------------------
+@dataclass
+class CourseScenario:
+    """A ready-to-solve course-recommendation problem."""
+
+    database: Database
+    problem: RecommendationProblem
+
+
+def course_plan_scenario(
+    credit_budget: int = 40,
+    min_score: int = 0,
+    k: int = 2,
+    use_fo_constraint: bool = True,
+    database: Optional[Database] = None,
+) -> CourseScenario:
+    """Top-k prerequisite-closed course plans within a credit budget.
+
+    ``use_fo_constraint`` switches between the FO compatibility query and the
+    equivalent PTIME predicate — the pair the Corollary 6.3 ablation compares.
+    """
+    database = database or small_course_database()
+    constraint = (
+        prerequisite_closure_constraint() if use_fo_constraint else prerequisite_closure_predicate()
+    )
+    problem = RecommendationProblem(
+        database=database,
+        query=course_selection_query(min_score),
+        cost=AttributeSumCost("credits"),
+        val=AttributeSumRating("score"),
+        budget=float(credit_budget),
+        k=k,
+        compatibility=constraint,
+        size_bound=PolynomialBound(1.0, 1),
+        name="course plans",
+        monotone_cost=True,
+        # Prerequisite closure is NOT anti-monotone (adding the missing
+        # prerequisite can fix a violating package), so no pruning on Qc.
+        antimonotone_compatibility=False,
+    )
+    return CourseScenario(database=database, problem=problem)
+
+
+def random_course_database(
+    num_courses: int,
+    prereq_probability: float = 0.25,
+    seed: Optional[int] = None,
+) -> Database:
+    """A random catalogue whose prerequisite graph is acyclic by construction."""
+    rng = random.Random(seed)
+    courses = Relation(course_schema())
+    for index in range(num_courses):
+        courses.add(
+            (
+                f"c{index:03d}",
+                f"Course {index}",
+                rng.choice(AREAS),
+                rng.choice([10, 10, 20]),
+                rng.randrange(5, 10),
+            )
+        )
+    prereqs = Relation(prereq_schema())
+    for index in range(1, num_courses):
+        for earlier in range(index):
+            if rng.random() < prereq_probability / max(1, index):
+                prereqs.add((f"c{index:03d}", f"c{earlier:03d}"))
+    return Database([courses, prereqs])

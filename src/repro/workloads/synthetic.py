@@ -1,0 +1,136 @@
+"""Generic synthetic databases and queries for scaling studies.
+
+The benchmark harness needs knobs the domain workloads do not expose directly:
+the exact number of tuples, the number of answer tuples of the selection
+query, the size of query bodies.  The generators here provide those knobs with
+deterministic seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.compatibility import EmptyConstraint, PredicateConstraint
+from repro.core.functions import AttributeSumCost, AttributeSumRating
+from repro.core.model import (
+    ConstantBound,
+    PolynomialBound,
+    RecommendationProblem,
+    SizeBound,
+)
+from repro.core.packages import Package
+from repro.queries.ast import Comparison, ComparisonOp, RelationAtom, Var
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.sp import SPQuery, identity_query
+from repro.relational.database import Database, Relation
+from repro.relational.schema import RelationSchema
+
+ITEMS = "items"
+ITEM_ATTRIBUTES = ("iid", "category", "price", "quality")
+CATEGORIES = ("a", "b", "c", "d")
+
+
+def item_schema() -> RelationSchema:
+    """Schema of the generic ``items`` relation."""
+    return RelationSchema(ITEMS, ITEM_ATTRIBUTES)
+
+
+def random_item_database(num_items: int, seed: Optional[int] = None) -> Database:
+    """``num_items`` random items with integer prices and qualities."""
+    rng = random.Random(seed)
+    relation = Relation(item_schema())
+    for index in range(num_items):
+        relation.add(
+            (
+                index,
+                rng.choice(CATEGORIES),
+                rng.randrange(1, 50),
+                rng.randrange(1, 20),
+            )
+        )
+    return Database([relation])
+
+
+def item_selection_query(max_price: Optional[int] = None) -> SPQuery:
+    """An SP selection over the generic items (optionally price-filtered)."""
+    variables = [Var(a) for a in ITEM_ATTRIBUTES]
+    comparisons = (
+        [Comparison(ComparisonOp.LE, Var("price"), max_price)] if max_price is not None else []
+    )
+    return SPQuery(ITEMS, variables, variables, comparisons, name="item_selection")
+
+
+def no_duplicate_category_constraint() -> PredicateConstraint:
+    """At most one item per category (an anti-monotone PTIME constraint)."""
+
+    def compatible(package: Package, database: Database) -> bool:
+        categories = package.column("category")
+        return len(categories) == len(set(categories))
+
+    return PredicateConstraint(compatible, "at most one item per category")
+
+
+@dataclass
+class SyntheticProblem:
+    """A synthetic recommendation problem plus the knobs that produced it."""
+
+    problem: RecommendationProblem
+    num_items: int
+    seed: Optional[int]
+
+
+def synthetic_package_problem(
+    num_items: int,
+    budget: float = 60.0,
+    k: int = 2,
+    size_bound: Optional[SizeBound] = None,
+    with_constraint: bool = True,
+    seed: Optional[int] = None,
+) -> SyntheticProblem:
+    """A knapsack-flavoured package problem over random items.
+
+    cost = total price, val = total quality, optional "one per category"
+    compatibility constraint.  With the default polynomial size bound this sits
+    in the hard data-complexity regime; pass ``ConstantBound(b)`` to move to
+    the Corollary 6.1 regime.
+    """
+    database = random_item_database(num_items, seed=seed)
+    problem = RecommendationProblem(
+        database=database,
+        query=identity_query(ITEMS, ITEM_ATTRIBUTES, name="all_items"),
+        cost=AttributeSumCost("price"),
+        val=AttributeSumRating("quality"),
+        budget=budget,
+        k=k,
+        compatibility=no_duplicate_category_constraint() if with_constraint else EmptyConstraint(),
+        size_bound=size_bound or PolynomialBound(1.0, 1),
+        name=f"synthetic packages over {num_items} items",
+        monotone_cost=True,
+        antimonotone_compatibility=True,
+    )
+    return SyntheticProblem(problem=problem, num_items=num_items, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Random graph databases + chain queries (combined-complexity scaling)
+# ---------------------------------------------------------------------------
+def random_graph_database(
+    num_nodes: int, num_edges: int, seed: Optional[int] = None, relation: str = "edge"
+) -> Database:
+    """A random directed graph as a binary ``edge`` relation."""
+    rng = random.Random(seed)
+    edges = Relation(RelationSchema(relation, ["src", "dst"]))
+    while len(edges) < min(num_edges, num_nodes * (num_nodes - 1)):
+        src, dst = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if src != dst:
+            edges.add((src, dst))
+    return Database([edges])
+
+
+def path_query(length: int, relation: str = "edge") -> ConjunctiveQuery:
+    """``Q(x0, xk) :- edge(x0,x1), ..., edge(x(k-1),xk)`` — grows with ``length``."""
+    variables = [Var(f"x{i}") for i in range(length + 1)]
+    atoms = [RelationAtom(relation, [variables[i], variables[i + 1]]) for i in range(length)]
+    return ConjunctiveQuery([variables[0], variables[length]], atoms, name=f"path_{length}")

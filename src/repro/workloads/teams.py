@@ -1,0 +1,194 @@
+"""The team-formation workload (the [23] motivation of the paper).
+
+Relations:
+
+* ``expert(name, skill, fee, reputation)`` — one row per expert per skill;
+* ``worked_with(name1, name2)`` — a prior-collaboration graph.
+
+A *team* is a package of expert rows.  Two compatibility constraints are
+provided: "no skill is covered by more than one chosen expert" (a CQ over
+``RQ`` alone) and "every pair of chosen experts has worked together" (an FO
+constraint over ``RQ`` and the collaboration graph).  The rating rewards
+reputation, the cost is the total fee, and the required-skills check is folded
+into the rating so that the objective stays a single PTIME function as in the
+paper's model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.compatibility import QueryConstraint
+from repro.core.functions import AttributeSumCost, CallableRating
+from repro.core.model import PolynomialBound, RecommendationProblem
+from repro.core.packages import Package
+from repro.queries.ast import And, Comparison, ComparisonOp, Exists, ForAll, Not, Or, RelationAtom, Var
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.fo import FirstOrderQuery
+from repro.queries.sp import identity_query
+from repro.relational.database import Database, Relation
+from repro.relational.schema import RelationSchema
+
+EXPERT = "expert"
+WORKED_WITH = "worked_with"
+
+EXPERT_ATTRIBUTES = ("name", "skill", "fee", "reputation")
+SKILLS = ("backend", "frontend", "data", "ops", "design")
+
+
+def expert_schema() -> RelationSchema:
+    """Schema of the ``expert`` relation."""
+    return RelationSchema(EXPERT, EXPERT_ATTRIBUTES)
+
+
+def worked_with_schema() -> RelationSchema:
+    """Schema of the collaboration graph."""
+    return RelationSchema(WORKED_WITH, ["name1", "name2"])
+
+
+def small_team_database() -> Database:
+    """A hand-written pool of experts with a dense collaboration core."""
+    experts = Relation(
+        expert_schema(),
+        [
+            ("ada", "backend", 60, 9),
+            ("ada", "data", 60, 8),
+            ("grace", "backend", 50, 8),
+            ("alan", "data", 40, 7),
+            ("edsger", "frontend", 45, 9),
+            ("barbara", "frontend", 35, 7),
+            ("donald", "ops", 55, 9),
+            ("leslie", "ops", 30, 6),
+            ("margaret", "design", 40, 8),
+        ],
+    )
+    pairs = [
+        ("ada", "grace"),
+        ("ada", "edsger"),
+        ("ada", "donald"),
+        ("grace", "edsger"),
+        ("grace", "alan"),
+        ("edsger", "donald"),
+        ("barbara", "leslie"),
+        ("margaret", "ada"),
+        ("margaret", "edsger"),
+    ]
+    symmetric = pairs + [(b, a) for a, b in pairs] + [(a, a) for a in {p for pair in pairs for p in pair}]
+    collaboration = Relation(worked_with_schema(), symmetric)
+    return Database([experts, collaboration])
+
+
+# ---------------------------------------------------------------------------
+# Compatibility constraints
+# ---------------------------------------------------------------------------
+def no_duplicate_skill_constraint() -> QueryConstraint:
+    """CQ constraint: two distinct chosen experts must not share a skill."""
+    n1, n2, skill = Var("n1"), Var("n2"), Var("skill")
+    f1, r1, f2, r2 = Var("f1"), Var("r1"), Var("f2"), Var("r2")
+    query = ConjunctiveQuery(
+        [],
+        [
+            RelationAtom("RQ", [n1, skill, f1, r1]),
+            RelationAtom("RQ", [n2, skill, f2, r2]),
+        ],
+        [Comparison(ComparisonOp.NE, n1, n2)],
+        name="duplicate_skill",
+    )
+    return QueryConstraint(query, answer_relation="RQ")
+
+
+def prior_collaboration_constraint() -> QueryConstraint:
+    """FO constraint: some pair of chosen experts never worked together (violation)."""
+    n1, n2 = Var("n1"), Var("n2")
+    s1, f1, r1 = Var("s1"), Var("f1"), Var("r1")
+    s2, f2, r2 = Var("s2"), Var("f2"), Var("r2")
+    violation = Exists(
+        (n1, n2, s1, f1, r1, s2, f2, r2),
+        And(
+            RelationAtom("RQ", [n1, s1, f1, r1]),
+            RelationAtom("RQ", [n2, s2, f2, r2]),
+            Not(RelationAtom(WORKED_WITH, [n1, n2])),
+        ),
+    )
+    query = FirstOrderQuery([], violation, name="never_collaborated")
+    return QueryConstraint(query, answer_relation="RQ")
+
+
+def coverage_rating(required_skills: Sequence[str], bonus: float = 100.0) -> CallableRating:
+    """Rating = total reputation, plus ``bonus`` when every required skill is covered."""
+    required = tuple(required_skills)
+
+    def rating(package: Package) -> float:
+        if package.is_empty():
+            return 0.0
+        reputation = float(sum(item[3] for item in package.items))
+        covered = {item[1] for item in package.items}
+        if all(skill in covered for skill in required):
+            reputation += bonus
+        return reputation
+
+    return CallableRating(rating, description=f"reputation + {bonus} if {required} covered")
+
+
+@dataclass
+class TeamScenario:
+    """A ready-to-solve team-formation problem."""
+
+    database: Database
+    problem: RecommendationProblem
+    required_skills: Tuple[str, ...]
+
+
+def team_formation_scenario(
+    required_skills: Sequence[str] = ("backend", "frontend", "ops"),
+    fee_budget: int = 160,
+    k: int = 2,
+    require_collaboration: bool = True,
+    database: Optional[Database] = None,
+) -> TeamScenario:
+    """Top-k compatible teams covering the required skills within a fee budget."""
+    database = database or small_team_database()
+    constraint = (
+        prior_collaboration_constraint() if require_collaboration else no_duplicate_skill_constraint()
+    )
+    problem = RecommendationProblem(
+        database=database,
+        query=identity_query(EXPERT, EXPERT_ATTRIBUTES, name="expert_pool"),
+        cost=AttributeSumCost("fee"),
+        val=coverage_rating(required_skills),
+        budget=float(fee_budget),
+        k=k,
+        compatibility=constraint,
+        size_bound=PolynomialBound(1.0, 1),
+        name="team formation",
+        monotone_cost=True,
+        antimonotone_compatibility=True,
+    )
+    return TeamScenario(
+        database=database, problem=problem, required_skills=tuple(required_skills)
+    )
+
+
+def random_team_database(
+    num_experts: int,
+    collaboration_probability: float = 0.4,
+    seed: Optional[int] = None,
+) -> Database:
+    """A random expert pool with a seeded collaboration graph."""
+    rng = random.Random(seed)
+    experts = Relation(expert_schema())
+    names = [f"expert{i:03d}" for i in range(num_experts)]
+    for name in names:
+        for skill in rng.sample(SKILLS, rng.randint(1, 2)):
+            experts.add((name, skill, rng.randrange(20, 80), rng.randrange(5, 10)))
+    collaboration = Relation(worked_with_schema())
+    for name in names:
+        collaboration.add((name, name))
+    for first in names:
+        for second in names:
+            if first < second and rng.random() < collaboration_probability:
+                collaboration.add((first, second))
+                collaboration.add((second, first))
+    return Database([experts, collaboration])

@@ -1,0 +1,328 @@
+"""The travel-planning workload of Example 1.1.
+
+Two relations mirror the paper's running example:
+
+* ``flight(fno, origin, dest, dep_time, dep_date, arr_time, arr_date, price)``
+* ``poi(name, city, kind, ticket, time)``
+
+plus a ``distance(city1, city2, miles)`` relation backing the relaxation
+scenario ("a city within 15 miles of nyc").  The module offers both the small
+deterministic instance used throughout the examples/tests (where the expected
+answers are known by hand) and a seeded random generator for scaling
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.compatibility import ConjunctionConstraint, QueryConstraint, all_equal_on
+from repro.core.functions import AttributeSumCost, AttributeSumRating, WeightedItemUtility
+from repro.core.model import PolynomialBound, RecommendationProblem
+from repro.queries.ast import Comparison, ComparisonOp, RelationAtom, Var
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational.database import Database, Relation
+from repro.relational.schema import RelationSchema
+from repro.relaxation.distance import TableDistance
+from repro.relaxation.relax import RelaxationSpace
+
+FLIGHT = "flight"
+POI = "poi"
+CITY_DISTANCE = "distance"
+
+FLIGHT_ATTRIBUTES = ("fno", "origin", "dest", "dep_time", "dep_date", "arr_time", "arr_date", "price")
+POI_ATTRIBUTES = ("name", "city", "kind", "ticket", "time")
+
+POI_KINDS = ("museum", "theater", "park", "gallery", "landmark")
+
+
+def flight_schema() -> RelationSchema:
+    """Schema of the ``flight`` relation."""
+    return RelationSchema(FLIGHT, FLIGHT_ATTRIBUTES)
+
+
+def poi_schema() -> RelationSchema:
+    """Schema of the ``poi`` relation."""
+    return RelationSchema(POI, POI_ATTRIBUTES)
+
+
+def small_travel_database(include_direct_flight: bool = True) -> Database:
+    """The hand-written instance behind Example 1.1.
+
+    With ``include_direct_flight=False`` there is no direct edi → nyc flight on
+    1/1/2012 (only to ewr, 10 miles away), which is exactly the situation that
+    triggers the relaxation recommendation in the paper's narrative; the
+    one-stop options via lhr and cdg remain for the item-recommendation
+    variant.  The default instance adds two direct flights so that the package
+    scenario of Example 1.1(2) has non-empty answers.
+    """
+    direct_rows = [
+        ("DL2", "edi", "nyc", 930, "1/1/2012", 1300, "1/1/2012", 540),
+        ("UA15", "edi", "nyc", 1130, "1/1/2012", 1500, "1/1/2012", 495),
+    ]
+    flights = Relation(
+        flight_schema(),
+        [
+            ("BA100", "edi", "lhr", 700, "1/1/2012", 830, "1/1/2012", 90),
+            ("BA175", "lhr", "nyc", 1000, "1/1/2012", 1300, "1/1/2012", 420),
+            ("AF21", "edi", "cdg", 800, "1/1/2012", 1030, "1/1/2012", 110),
+            ("AF32", "cdg", "nyc", 1200, "1/1/2012", 1500, "1/1/2012", 380),
+            ("UA940", "edi", "ewr", 900, "1/1/2012", 1230, "1/1/2012", 520),
+            ("VS26", "edi", "ewr", 1100, "1/1/2012", 1430, "1/1/2012", 470),
+            ("DL1", "edi", "nyc", 900, "2/1/2012", 1230, "2/1/2012", 450),
+            ("BA117", "edi", "nyc", 1000, "3/1/2012", 1330, "3/1/2012", 610),
+        ],
+    )
+    if include_direct_flight:
+        flights.add_all(direct_rows)
+    pois = Relation(
+        poi_schema(),
+        [
+            ("met", "nyc", "museum", 25, 3),
+            ("moma", "nyc", "museum", 25, 2),
+            ("guggenheim", "nyc", "museum", 22, 2),
+            ("natural_history", "nyc", "museum", 23, 3),
+            ("broadway_show", "nyc", "theater", 120, 3),
+            ("off_broadway", "nyc", "theater", 65, 2),
+            ("high_line", "nyc", "park", 0, 2),
+            ("central_park", "nyc", "park", 0, 3),
+            ("liberty_island", "nyc", "landmark", 24, 4),
+            ("ironbound", "ewr", "landmark", 0, 2),
+            ("branch_brook", "ewr", "park", 0, 2),
+        ],
+    )
+    distances = Relation(
+        RelationSchema(CITY_DISTANCE, ["city1", "city2", "miles"]),
+        [
+            ("nyc", "ewr", 10),
+            ("nyc", "jfk", 15),
+            ("edi", "gla", 45),
+            ("nyc", "phl", 95),
+        ],
+    )
+    return Database([flights, pois, distances])
+
+
+def city_distance_function(database: Database) -> TableDistance:
+    """A :class:`TableDistance` between cities built from the ``distance`` relation."""
+    table: Dict[Tuple[object, object], float] = {}
+    for city1, city2, miles in database.relation(CITY_DISTANCE):
+        table[(city1, city2)] = float(miles)
+    return TableDistance(table)
+
+
+# ---------------------------------------------------------------------------
+# Queries of Example 1.1
+# ---------------------------------------------------------------------------
+def direct_flight_query(origin: str, destination: str, date: str) -> ConjunctiveQuery:
+    """``Q1``: direct flights from ``origin`` to ``destination`` on ``date``."""
+    fno, dep, arr, price = Var("fno"), Var("dep_time"), Var("arr_time"), Var("price")
+    dep_date, arr_date = Var("dep_date"), Var("arr_date")
+    atom = RelationAtom(
+        FLIGHT, [fno, origin, destination, dep, dep_date, arr, arr_date, price]
+    )
+    return ConjunctiveQuery(
+        [fno, dep, arr, price],
+        [atom],
+        [Comparison(ComparisonOp.EQ, dep_date, date)],
+        name="direct_flights",
+    )
+
+
+def one_stop_flight_query(origin: str, destination: str, date: str) -> ConjunctiveQuery:
+    """``Q2``: one-stop flights (two legs joined on the intermediate city)."""
+    f1, f2 = Var("fno"), Var("fno2")
+    stop = Var("stop")
+    dep1, arr1, dep2, arr2 = Var("dep_time"), Var("arr1"), Var("dep2"), Var("arr_time")
+    p1, p2 = Var("price"), Var("price2")
+    d1, d2, d3, d4 = Var("dd1"), Var("ad1"), Var("dd2"), Var("ad2")
+    leg1 = RelationAtom(FLIGHT, [f1, origin, stop, dep1, d1, arr1, d2, p1])
+    leg2 = RelationAtom(FLIGHT, [f2, stop, destination, dep2, d3, arr2, d4, p2])
+    comparisons = [
+        Comparison(ComparisonOp.EQ, d1, date),
+        Comparison(ComparisonOp.LT, arr1, dep2),
+        Comparison(ComparisonOp.NE, stop, destination),
+    ]
+    return ConjunctiveQuery(
+        [f1, dep1, arr2, p1], [leg1, leg2], comparisons, name="one_stop_flights"
+    )
+
+
+def flight_item_query(origin: str, destination: str, date: str) -> UnionOfConjunctiveQueries:
+    """The UCQ ``Q1 ∪ Q2`` of Example 1.1 (direct or one-stop flights)."""
+    return UnionOfConjunctiveQueries(
+        [direct_flight_query(origin, destination, date), one_stop_flight_query(origin, destination, date)],
+        name="flights_item_query",
+    )
+
+
+def travel_package_query(origin: str, destination: str, date: str) -> ConjunctiveQuery:
+    """The package query ``Q`` of Example 1.1: a direct flight paired with POIs."""
+    fno, price = Var("fno"), Var("price")
+    name, kind, ticket, time = Var("name"), Var("kind"), Var("ticket"), Var("time")
+    dep, arr = Var("dt"), Var("at")
+    dep_date, arr_date = Var("dd"), Var("ad")
+    city = Var("city")
+    flight_atom = RelationAtom(
+        FLIGHT, [fno, origin, city, dep, dep_date, arr, arr_date, price]
+    )
+    poi_atom = RelationAtom(POI, [name, city, kind, ticket, time])
+    comparisons = [
+        Comparison(ComparisonOp.EQ, dep_date, date),
+        Comparison(ComparisonOp.EQ, city, destination),
+    ]
+    return ConjunctiveQuery(
+        [fno, price, name, kind, ticket, time],
+        [flight_atom, poi_atom],
+        comparisons,
+        name="travel_packages",
+    )
+
+
+def museum_limit_constraint(limit: int = 2) -> QueryConstraint:
+    """The "no more than ``limit`` museums" CQ compatibility constraint of Example 1.1.
+
+    Expressed exactly as in the paper: a CQ over the answer relation ``RQ``
+    selecting ``limit + 1`` pairwise distinct museums; the package satisfies
+    the constraint iff the query returns nothing.
+    """
+    atoms = []
+    comparisons = []
+    fno, price = Var("fno"), Var("price")
+    names = [Var(f"n{i}") for i in range(limit + 1)]
+    for index, name in enumerate(names):
+        ticket, time = Var(f"tk{index}"), Var(f"tm{index}")
+        atoms.append(RelationAtom("RQ", [fno, price, name, "museum", ticket, time]))
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            comparisons.append(Comparison(ComparisonOp.NE, names[i], names[j]))
+    query = ConjunctiveQuery([], atoms, comparisons, name=f"more_than_{limit}_museums")
+    return QueryConstraint(query, answer_relation="RQ")
+
+
+@dataclass
+class TravelScenario:
+    """Everything needed to run the Example 1.1 scenarios end to end."""
+
+    database: Database
+    item_query: UnionOfConjunctiveQueries
+    package_query: ConjunctiveQuery
+    package_problem: RecommendationProblem
+    utility: WeightedItemUtility
+    origin: str = "edi"
+    destination: str = "nyc"
+    date: str = "1/1/2012"
+
+    def relaxation_space(self) -> RelaxationSpace:
+        """The relaxation space of Example 7.1: destination city and date."""
+        city_distance = city_distance_function(self.database)
+        return RelaxationSpace.for_constants(
+            self.package_query,
+            distances={self.destination: city_distance},
+            include=[self.destination],
+        )
+
+
+def example_1_1_scenario(
+    sightseeing_budget: int = 10,
+    museum_limit: int = 2,
+    k: int = 3,
+    database: Optional[Database] = None,
+    include_direct_flight: bool = True,
+) -> TravelScenario:
+    """The full Example 1.1 setup: database, queries, functions, constraints.
+
+    Pass ``include_direct_flight=False`` to reproduce the "no sensible
+    recommendation" situation that motivates query relaxation (Example 7.1)
+    and vendor adjustments (Section 8).
+    """
+    database = database or small_travel_database(include_direct_flight)
+    origin, destination, date = "edi", "nyc", "1/1/2012"
+    package_query = travel_package_query(origin, destination, date)
+    compatibility = ConjunctionConstraint(
+        all_equal_on("fno", "all POIs belong to the same flight's plan"),
+        museum_limit_constraint(museum_limit),
+    )
+    problem = RecommendationProblem(
+        database=database,
+        query=package_query,
+        cost=AttributeSumCost("time"),
+        val=AttributeSumRating("ticket", sign=-1.0),
+        budget=float(sightseeing_budget),
+        k=k,
+        compatibility=compatibility,
+        size_bound=PolynomialBound(1.0, 1),
+        name="Example 1.1 travel packages",
+        monotone_cost=True,
+        antimonotone_compatibility=True,
+    )
+    utility = WeightedItemUtility({"price": -1.0, "arr_time": -0.01})
+    return TravelScenario(
+        database=database,
+        item_query=flight_item_query(origin, destination, date),
+        package_query=package_query,
+        package_problem=problem,
+        utility=utility,
+        origin=origin,
+        destination=destination,
+        date=date,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Random instances for scaling benchmarks
+# ---------------------------------------------------------------------------
+def random_travel_database(
+    num_flights: int,
+    num_pois: int,
+    num_cities: int = 6,
+    seed: Optional[int] = None,
+) -> Database:
+    """A random travel database with the Example 1.1 schema.
+
+    Flights always include a spine of direct edi → nyc flights on 1/1/2012 so
+    the package query is never trivially empty; everything else is uniform.
+    """
+    rng = random.Random(seed)
+    cities = ["edi", "nyc", "ewr", "bos", "phl", "yul", "ord", "sfo"][: max(2, num_cities)]
+    flights = Relation(flight_schema())
+    for index in range(num_flights):
+        if index % 5 == 0:
+            origin, destination = "edi", "nyc"
+            date = "1/1/2012"
+        else:
+            origin, destination = rng.sample(cities, 2)
+            date = rng.choice(["1/1/2012", "2/1/2012", "3/1/2012"])
+        departure = rng.randrange(600, 2000, 5)
+        duration = rng.randrange(100, 900, 5)
+        flights.add(
+            (
+                f"FL{index:04d}",
+                origin,
+                destination,
+                departure,
+                date,
+                departure + duration,
+                date,
+                rng.randrange(60, 900),
+            )
+        )
+    pois = Relation(poi_schema())
+    for index in range(num_pois):
+        pois.add(
+            (
+                f"poi{index:04d}",
+                rng.choice(cities[1:]),
+                rng.choice(POI_KINDS),
+                rng.randrange(0, 120),
+                rng.randrange(1, 5),
+            )
+        )
+    distances = Relation(
+        RelationSchema(CITY_DISTANCE, ["city1", "city2", "miles"]),
+        [("nyc", "ewr", 10), ("nyc", "phl", 95), ("bos", "nyc", 215)],
+    )
+    return Database([flights, pois, distances])

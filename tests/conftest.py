@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core import (
+    AttributeSumCost,
+    AttributeSumRating,
+    PolynomialBound,
+    RecommendationProblem,
+    at_most_k_with_value,
+)
+from repro.queries import identity_query_for
+from repro.relational import Database
+
+
+@pytest.fixture
+def edge_database() -> Database:
+    """A small directed graph used by the query-evaluator tests."""
+    database = Database()
+    database.create_relation("edge", ["src", "dst"], [(1, 2), (2, 3), (3, 4), (2, 4)])
+    return database
+
+
+@pytest.fixture
+def poi_database() -> Database:
+    """A small POI relation used by the core-model tests."""
+    database = Database()
+    database.create_relation(
+        "poi",
+        ["name", "kind", "ticket", "time"],
+        [
+            ("met", "museum", 25, 3),
+            ("moma", "museum", 25, 2),
+            ("guggenheim", "museum", 22, 2),
+            ("broadway", "theater", 120, 3),
+            ("high_line", "park", 0, 2),
+            ("central_park", "park", 0, 3),
+        ],
+    )
+    return database
+
+
+@pytest.fixture
+def poi_problem(poi_database: Database) -> RecommendationProblem:
+    """A day-planning problem over the POI relation (with Qc, poly bound)."""
+    query = identity_query_for(poi_database.relation("poi"), name="all_pois")
+    return RecommendationProblem(
+        database=poi_database,
+        query=query,
+        cost=AttributeSumCost("time"),
+        val=AttributeSumRating("ticket", sign=-1.0),
+        budget=6,
+        k=2,
+        compatibility=at_most_k_with_value("kind", "museum", 1),
+        size_bound=PolynomialBound(1.0, 1),
+        name="poi day plans",
+        monotone_cost=True,
+        antimonotone_compatibility=True,
+    )

@@ -1,0 +1,166 @@
+"""Tests for adjustments Δ(D, D′) and the ARPP search."""
+
+import pytest
+
+from repro.adjustment import (
+    Adjustment,
+    arpp_decision,
+    candidate_modifications,
+    enumerate_adjustments,
+    find_item_adjustment,
+    find_package_adjustment,
+)
+from repro.core import CountCost, CountRating, RecommendationProblem
+from repro.queries import identity_query_for, parse_cq
+from repro.relational import Database, Relation, RelationSchema
+from repro.relational.errors import ModelError
+
+
+@pytest.fixture
+def shop_database() -> Database:
+    database = Database()
+    database.create_relation(
+        "shop", ["name", "city", "rating"], [("alpha", "nyc", 8), ("beta", "ewr", 9)]
+    )
+    return database
+
+
+@pytest.fixture
+def candidate_shops() -> Database:
+    database = Database()
+    database.create_relation(
+        "shop",
+        ["name", "city", "rating"],
+        [("gamma", "sfo", 7), ("delta", "sfo", 9), ("epsilon", "nyc", 5)],
+    )
+    return database
+
+
+class TestAdjustment:
+    def test_kind_validation(self):
+        with pytest.raises(ModelError):
+            Adjustment([("rename", "shop", ("x",))])
+
+    def test_apply_insert_and_delete(self, shop_database):
+        adjustment = Adjustment(
+            [("insert", "shop", ("gamma", "sfo", 7)), ("delete", "shop", ("alpha", "nyc", 8))]
+        )
+        adjusted = adjustment.apply(shop_database)
+        assert ("gamma", "sfo", 7) in adjusted.relation("shop")
+        assert ("alpha", "nyc", 8) not in adjusted.relation("shop")
+        # the original database is untouched
+        assert ("alpha", "nyc", 8) in shop_database.relation("shop")
+
+    def test_apply_is_idempotent_on_redundant_changes(self, shop_database):
+        adjustment = Adjustment(
+            [("insert", "shop", ("alpha", "nyc", 8)), ("delete", "shop", ("zeta", "nowhere", 1))]
+        )
+        adjusted = adjustment.apply(shop_database)
+        assert adjusted.relation("shop").rows() == shop_database.relation("shop").rows()
+
+    def test_constructors_and_accessors(self):
+        adjustment = Adjustment.inserting("shop", [("a", "b", 1)]).combined_with(
+            Adjustment.deleting("shop", [("c", "d", 2)])
+        )
+        assert len(adjustment) == 2
+        assert len(adjustment.insertions()) == 1
+        assert len(adjustment.deletions()) == 1
+        assert "insert" in adjustment.describe()
+
+    def test_candidate_modifications_pool(self, shop_database, candidate_shops):
+        pool = candidate_modifications(shop_database, candidate_shops)
+        kinds = {kind for kind, _, _ in pool}
+        assert kinds == {"insert", "delete"}
+        # insertions only for tuples not already present; deletions for present ones
+        assert ("insert", "shop", ("gamma", "sfo", 7)) in pool
+        assert ("delete", "shop", ("alpha", "nyc", 8)) in pool
+        no_deletions = candidate_modifications(shop_database, candidate_shops, allow_deletions=False)
+        assert all(kind == "insert" for kind, _, _ in no_deletions)
+
+    def test_candidate_modifications_ignores_unknown_relations(self, shop_database):
+        extra = Database()
+        extra.create_relation("other", ["x"], [(1,)])
+        assert candidate_modifications(shop_database, extra, allow_deletions=False) == ()
+
+    def test_enumeration_by_increasing_size(self, shop_database, candidate_shops):
+        pool = candidate_modifications(shop_database, candidate_shops, allow_deletions=False)
+        sizes = [len(a) for a in enumerate_adjustments(pool, max_size=2)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 0  # the empty adjustment comes first
+
+
+class TestARPP:
+    def build_problem(self, database: Database, city: str, k: int = 1) -> RecommendationProblem:
+        query = parse_cq(f"Q(n, r) :- shop(n, '{city}', r).", name="shops_in_city")
+        return RecommendationProblem(
+            database=database,
+            query=query,
+            cost=CountCost(),
+            val=CountRating(),
+            budget=1.0,
+            k=k,
+            monotone_cost=True,
+            name=f"shops in {city}",
+        )
+
+    def test_no_adjustment_needed(self, shop_database, candidate_shops):
+        problem = self.build_problem(shop_database, "nyc")
+        result = find_package_adjustment(problem, candidate_shops, rating_bound=1.0, max_changes=1)
+        assert result.found and result.size == 0
+
+    def test_minimum_size_adjustment_found(self, shop_database, candidate_shops):
+        problem = self.build_problem(shop_database, "sfo")
+        result = find_package_adjustment(
+            problem, candidate_shops, rating_bound=1.0, max_changes=2, allow_deletions=False
+        )
+        assert result.found
+        assert result.size == 1
+        (kind, relation, row) = result.adjustment.modifications[0]
+        assert kind == "insert" and row[1] == "sfo"
+
+    def test_budget_k_prime_respected(self, shop_database, candidate_shops):
+        problem = self.build_problem(shop_database, "sfo", k=3)
+        # Three distinct sfo shops would require at least two insertions (only two
+        # sfo candidates exist), so k = 3 packages is impossible within the pool.
+        assert not arpp_decision(
+            problem, candidate_shops, rating_bound=1.0, max_changes=1, allow_deletions=False
+        )
+
+    def test_second_package_requires_insertion(self, shop_database, candidate_shops):
+        # Two distinct nyc packages need a second nyc shop, which only the
+        # auxiliary collection can provide (epsilon).
+        problem = self.build_problem(shop_database, "nyc", k=2)
+        result = find_package_adjustment(
+            problem, candidate_shops, rating_bound=1.0, max_changes=1, allow_deletions=False
+        )
+        assert result.found
+        assert result.size == 1
+        assert ("insert", "shop", ("epsilon", "nyc", 5)) in result.adjustment.modifications
+
+    def test_item_adjustment(self, shop_database, candidate_shops):
+        query = identity_query_for(shop_database.relation("shop"))
+        result = find_item_adjustment(
+            shop_database,
+            query,
+            utility=lambda row: float(row[2]),
+            additions=candidate_shops,
+            rating_bound=9.5,
+            k=1,
+            max_changes=1,
+            allow_deletions=False,
+        )
+        # No candidate rated above 9.5 exists, so the search must fail...
+        assert not result.found
+        better = find_item_adjustment(
+            shop_database,
+            query,
+            utility=lambda row: float(row[2]),
+            additions=candidate_shops,
+            rating_bound=9.0,
+            k=2,
+            max_changes=1,
+            allow_deletions=False,
+        )
+        # ... but rating 9 with k = 2 works after inserting delta (rated 9).
+        assert better.found
+        assert better.adjustment is not None and len(better.adjustment) == 1

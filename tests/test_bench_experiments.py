@@ -1,0 +1,107 @@
+"""Tests for the experiment runner behind EXPERIMENTS.md."""
+
+import pytest
+
+from repro.bench import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    MeasurementRow,
+    SweepReport,
+    render_markdown,
+    run_all_experiments,
+    write_report,
+)
+from repro.bench.experiments import (
+    run_exp_ablations,
+    run_exp_figure_4_1,
+    run_exp_special_cases,
+    run_exp_travel_example,
+)
+
+
+class TestExperimentResult:
+    def test_observation_marks_agreement(self):
+        result = ExperimentResult("EXP-X", "title", "claim")
+        result.add_observation("matches", agrees=True)
+        assert result.agreement
+        result.add_observation("does not match", agrees=False)
+        assert not result.agreement
+        assert result.observations[0].startswith("✓")
+        assert result.observations[1].startswith("✗")
+
+
+class TestIndividualExperiments:
+    """The cheap experiments run as part of the unit suite; the rest are benchmarks."""
+
+    def test_figure_4_1_regeneration_agrees(self):
+        result = run_exp_figure_4_1(quick=True)
+        assert result.experiment_id == "EXP-F4.1"
+        assert result.agreement
+        assert result.reports and result.reports[0].rows
+
+    def test_travel_example_agrees(self):
+        result = run_exp_travel_example(quick=True)
+        assert result.agreement
+        assert len(result.observations) == 3
+
+    def test_special_cases_constant_bound_faster(self):
+        result = run_exp_special_cases(quick=True)
+        assert result.reports[0].rows
+        labels = {row.label for row in result.reports[0].rows}
+        assert "poly bound, query Qc" in labels
+        assert "items (singletons, no Qc)" in labels
+
+    def test_ablations_report_pruning_and_heuristics(self):
+        result = run_exp_ablations(quick=True)
+        assert result.experiment_id == "EXP-ABL"
+        labels = {row.label for row in result.reports[0].rows}
+        assert "exhaustive, pruning off" in labels
+        assert "greedy heuristic" in labels
+
+
+class TestRunner:
+    def test_registry_ids_are_unique(self):
+        ids = [experiment_id for experiment_id, _ in ALL_EXPERIMENTS]
+        assert len(ids) == len(set(ids))
+        assert "EXP-T8.1" in ids and "EXP-S8" in ids
+
+    def test_only_filter(self):
+        results = run_all_experiments(quick=True, only=["EXP-F4.1"])
+        assert [result.experiment_id for result in results] == ["EXP-F4.1"]
+
+    def test_unknown_only_returns_nothing(self):
+        assert run_all_experiments(quick=True, only=["EXP-NOPE"]) == []
+
+
+class TestRendering:
+    def _fake_results(self):
+        report = SweepReport(title="sweep", paper_cell="coNP-complete")
+        report.add(MeasurementRow(label="n = 2", size=2, seconds=0.001))
+        report.add(MeasurementRow(label="n = 4", size=4, seconds=0.004))
+        good = ExperimentResult("EXP-OK", "ok — something", "a claim")
+        good.reports = [report]
+        good.add_observation("as expected")
+        bad = ExperimentResult("EXP-BAD", "bad — something else", "another claim")
+        bad.add_observation("mismatch", agrees=False)
+        return [good, bad]
+
+    def test_render_contains_summary_and_sections(self):
+        text = render_markdown(self._fake_results())
+        assert "# EXPERIMENTS" in text
+        assert "| EXP-OK |" in text and "| EXP-BAD |" in text
+        assert "NO — see below" in text
+        assert "## EXP-OK — ok — something" in text
+        assert "log-log growth exponent" in text
+        assert "coNP-complete" in text
+
+    def test_render_includes_reference_tables(self):
+        text = render_markdown(self._fake_results())
+        assert "Reference tables" in text
+        assert "EXPTIME" in text
+
+    def test_write_report_creates_file(self, tmp_path):
+        path = tmp_path / "EXPERIMENTS.md"
+        text = write_report(str(path), quick=True, only=["EXP-F4.1"])
+        assert path.exists()
+        assert path.read_text(encoding="utf-8") == text
+        assert "EXP-F4.1" in text

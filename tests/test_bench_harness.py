@@ -1,0 +1,101 @@
+"""Tests for the measurement helpers shared by the benchmark harnesses."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import (
+    MeasurementRow,
+    SweepReport,
+    estimate_growth_exponent,
+    format_report,
+    time_callable,
+)
+
+
+class TestTimeCallable:
+    def test_returns_elapsed_and_value(self):
+        seconds, value = time_callable(lambda: sum(range(1000)))
+        assert seconds >= 0.0
+        assert value == sum(range(1000))
+
+    def test_repeat_takes_the_best(self):
+        calls = []
+
+        def function():
+            calls.append(1)
+            return len(calls)
+
+        seconds, value = time_callable(function, repeat=3)
+        assert len(calls) == 3
+        assert value == 3
+        assert seconds >= 0.0
+
+    def test_repeat_clamped_to_one(self):
+        seconds, value = time_callable(lambda: 42, repeat=0)
+        assert value == 42
+
+
+class TestGrowthExponent:
+    def test_linear_series_has_slope_one(self):
+        points = [(n, 2.0 * n) for n in (1, 2, 4, 8, 16)]
+        assert estimate_growth_exponent(points) == pytest.approx(1.0)
+
+    def test_cubic_series_has_slope_three(self):
+        points = [(n, n**3) for n in (1, 2, 4, 8)]
+        assert estimate_growth_exponent(points) == pytest.approx(3.0)
+
+    def test_needs_two_positive_points(self):
+        assert estimate_growth_exponent([(1, 1.0)]) is None
+        assert estimate_growth_exponent([(0, 1.0), (0, 2.0)]) is None
+
+    def test_identical_sizes_rejected(self):
+        assert estimate_growth_exponent([(2, 1.0), (2, 3.0)]) is None
+
+    @given(
+        exponent=st.integers(min_value=1, max_value=4),
+        scale=st.floats(min_value=0.001, max_value=10.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_recovers_polynomial_exponent(self, exponent, scale):
+        points = [(n, scale * n**exponent) for n in (1, 2, 4, 8, 16)]
+        estimate = estimate_growth_exponent(points)
+        assert estimate == pytest.approx(exponent, rel=1e-6)
+
+
+class TestSweepReport:
+    def _report(self):
+        report = SweepReport(title="FRP sweep", paper_cell="FPᴺᴾ-complete", notes="poly regime")
+        for size, seconds in [(2, 0.01), (4, 0.04), (8, 0.16)]:
+            report.add(MeasurementRow(label=f"n={size}", size=size, seconds=seconds, work=size * 10))
+        return report
+
+    def test_growth_exponent_from_rows(self):
+        assert self._report().growth_exponent() == pytest.approx(2.0)
+
+    def test_doubling_ratio(self):
+        assert self._report().doubling_ratio() == pytest.approx(4.0)
+
+    def test_doubling_ratio_empty(self):
+        assert SweepReport(title="empty", paper_cell="-").doubling_ratio() is None
+
+    def test_growth_exponent_requires_positive_times(self):
+        report = SweepReport(title="zeroes", paper_cell="-")
+        report.add(MeasurementRow(label="a", size=1, seconds=0.0))
+        report.add(MeasurementRow(label="b", size=2, seconds=0.0))
+        assert report.growth_exponent() is None
+
+    def test_format_report_lists_rows_and_cell(self):
+        text = format_report(self._report())
+        assert "FRP sweep" in text
+        assert "FPᴺᴾ-complete" in text
+        assert "poly regime" in text
+        assert "n=8" in text
+        assert "log-log growth exponent" in text
+
+    def test_format_report_without_work_counter(self):
+        report = SweepReport(title="t", paper_cell="c")
+        report.add(MeasurementRow(label="only", size=1, seconds=0.5))
+        assert "-" in format_report(report)

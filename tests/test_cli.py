@@ -1,0 +1,88 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import pytest
+
+from repro import __version__
+from repro.cli import EXAMPLE_NAMES, build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "usage: repro" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_example_names_match_shipped_scripts(self):
+        parser = build_parser()
+        args = parser.parse_args(["example", "quickstart"])
+        assert args.name == "quickstart"
+        assert "travel_planning" in EXAMPLE_NAMES
+
+
+class TestTables:
+    def test_tables_prints_both_tables_and_findings(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "RPP" in out and "ARPP" in out
+        assert "EXPTIME" in out
+        assert "Section 9 findings" in out
+
+
+class TestDemo:
+    def test_demo_solves_all_four_problems(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "FRP: top-3 day plans" in out
+        assert "RPP:" in out and "True" in out
+        assert "MBP:" in out
+        assert "CPP:" in out
+
+    def test_demo_respects_k(self, capsys):
+        assert main(["demo", "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "top-1 day plans" in out
+
+    def test_demo_fails_cleanly_when_unsatisfiable(self, capsys):
+        # A zero budget admits no non-empty package, so no top-k selection exists.
+        assert main(["demo", "--budget", "0"]) == 1
+        assert "no top-k selection exists" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_experiments_subset_to_stdout(self, capsys):
+        code = main(["experiments", "--only", "EXP-F4.1", "--stdout"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXP-F4.1" in out
+        assert "paper vs. measured" in out
+
+    def test_experiments_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        code = main(["experiments", "--only", "EXP-F4.1", "--output", str(target)])
+        assert code == 0
+        assert target.exists()
+        assert "EXP-F4.1" in target.read_text(encoding="utf-8")
+
+    def test_experiments_unknown_id_errors(self, capsys):
+        assert main(["experiments", "--only", "EXP-NOPE", "--stdout"]) == 2
+        assert "EXP-T8.1" in capsys.readouterr().err
+
+
+class TestExample:
+    def test_example_runs_quickstart(self, capsys):
+        assert main(["example", "quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "top-3 packages" in out
+
+    def test_example_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            main(["example", "not_an_example"])

@@ -1,0 +1,141 @@
+"""Tests for the complexity-class taxonomy and the machine-readable tables."""
+
+import pytest
+
+from repro.complexity import (
+    ComplexityClass,
+    LanguageGroup,
+    Problem,
+    QueryLanguage,
+    TABLE_8_1,
+    TABLE_8_2,
+    at_least_as_hard,
+    combined_complexity,
+    data_complexity,
+    hardness_rank,
+    paper_findings,
+    render_table_8_1,
+    render_table_8_2,
+)
+from repro.complexity.classes import SearchRegime
+
+
+class TestClasses:
+    def test_tractability_flags(self):
+        assert ComplexityClass.PTIME.is_tractable
+        assert ComplexityClass.FP.is_tractable
+        assert not ComplexityClass.NP.is_tractable
+
+    def test_counting_and_function_classes(self):
+        assert ComplexityClass.SHARP_P.is_counting_class
+        assert ComplexityClass.FPNP.is_function_class
+        assert not ComplexityClass.NP.is_function_class
+
+    def test_hardness_order_is_total_over_used_classes(self):
+        used = {cell.with_qc for cell in TABLE_8_1.values()}
+        used |= {cell.without_qc for cell in TABLE_8_1.values()}
+        used |= {cell.poly_bounded for cell in TABLE_8_2.values()}
+        used |= {cell.constant_bounded for cell in TABLE_8_2.values()}
+        for complexity_class in used:
+            assert hardness_rank(complexity_class) >= 0
+
+    def test_at_least_as_hard(self):
+        assert at_least_as_hard(ComplexityClass.EXPTIME, ComplexityClass.PSPACE)
+        assert at_least_as_hard(ComplexityClass.PI2P, ComplexityClass.NP)
+        assert not at_least_as_hard(ComplexityClass.PTIME, ComplexityClass.NP)
+
+    def test_regimes(self):
+        assert ComplexityClass.PTIME.regime is SearchRegime.POLYNOMIAL
+        assert ComplexityClass.EXPTIME.regime is SearchRegime.DOUBLY_EXPONENTIAL
+        assert ComplexityClass.CONP.regime is SearchRegime.EXPONENTIAL_IN_DATA
+
+
+class TestLanguageGroups:
+    def test_group_assignment(self):
+        assert LanguageGroup.of(QueryLanguage.CQ) is LanguageGroup.CQ_GROUP
+        assert LanguageGroup.of(QueryLanguage.SP) is LanguageGroup.CQ_GROUP
+        assert LanguageGroup.of(QueryLanguage.FO) is LanguageGroup.FO_GROUP
+        assert LanguageGroup.of(QueryLanguage.DATALOG_NR) is LanguageGroup.FO_GROUP
+        assert LanguageGroup.of(QueryLanguage.DATALOG) is LanguageGroup.DATALOG_GROUP
+
+
+class TestTable81:
+    def test_every_problem_and_group_covered(self):
+        for problem in Problem:
+            for group in LanguageGroup:
+                assert (problem, group) in TABLE_8_1
+
+    def test_headline_cells_match_the_paper(self):
+        assert TABLE_8_1[(Problem.RPP, LanguageGroup.CQ_GROUP)].with_qc is ComplexityClass.PI2P
+        assert TABLE_8_1[(Problem.RPP, LanguageGroup.CQ_GROUP)].without_qc is ComplexityClass.DP
+        assert TABLE_8_1[(Problem.MBP, LanguageGroup.CQ_GROUP)].with_qc is ComplexityClass.DP2
+        assert TABLE_8_1[(Problem.FRP, LanguageGroup.CQ_GROUP)].with_qc is ComplexityClass.FPSIGMA2P
+        assert (
+            TABLE_8_1[(Problem.CPP, LanguageGroup.DATALOG_GROUP)].with_qc
+            is ComplexityClass.SHARP_EXPTIME
+        )
+        assert TABLE_8_1[(Problem.QRPP, LanguageGroup.CQ_GROUP)].without_qc is ComplexityClass.NP
+
+    def test_finding_dropping_qc_only_helps_the_cq_group(self):
+        for (problem, group), cell in TABLE_8_1.items():
+            if group is LanguageGroup.CQ_GROUP:
+                assert cell.changes_without_qc(), (problem, group)
+            else:
+                assert not cell.changes_without_qc(), (problem, group)
+
+    def test_finding_languages_dominate_combined_complexity(self):
+        # Within every problem, the DATALOG group cell is at least as hard as the
+        # FO group cell, which is at least as hard as the CQ group cell.
+        for problem in Problem:
+            cq = TABLE_8_1[(problem, LanguageGroup.CQ_GROUP)].with_qc
+            fo = TABLE_8_1[(problem, LanguageGroup.FO_GROUP)].with_qc
+            datalog = TABLE_8_1[(problem, LanguageGroup.DATALOG_GROUP)].with_qc
+            assert at_least_as_hard(fo, cq)
+            assert at_least_as_hard(datalog, fo)
+
+    def test_lookup_helper(self):
+        assert (
+            combined_complexity(Problem.RPP, QueryLanguage.UCQ, with_qc=True)
+            is ComplexityClass.PI2P
+        )
+        assert (
+            combined_complexity(Problem.RPP, QueryLanguage.DATALOG, with_qc=False)
+            is ComplexityClass.EXPTIME
+        )
+
+    def test_render_contains_every_class_name(self):
+        text = render_table_8_1()
+        assert "Π^p_2" in text and "EXPTIME" in text and "FP^Σp2" in text
+
+
+class TestTable82:
+    def test_every_problem_covered(self):
+        assert set(TABLE_8_2) == set(Problem)
+
+    def test_headline_cells_match_the_paper(self):
+        assert TABLE_8_2[Problem.RPP].poly_bounded is ComplexityClass.CONP
+        assert TABLE_8_2[Problem.FRP].poly_bounded is ComplexityClass.FPNP
+        assert TABLE_8_2[Problem.MBP].poly_bounded is ComplexityClass.DP
+        assert TABLE_8_2[Problem.CPP].poly_bounded is ComplexityClass.SHARP_P
+        assert TABLE_8_2[Problem.QRPP].constant_bounded is ComplexityClass.PTIME
+        assert TABLE_8_2[Problem.ARPP].constant_bounded is ComplexityClass.NP
+
+    def test_finding_constant_bound_helps_everywhere_except_arpp(self):
+        for problem, cell in TABLE_8_2.items():
+            if problem is Problem.ARPP:
+                assert not cell.constant_bound_helps()
+            else:
+                assert cell.constant_bound_helps()
+                assert cell.constant_bounded.is_tractable
+
+    def test_lookup_helper(self):
+        assert data_complexity(Problem.CPP, constant_bound=True) is ComplexityClass.FP
+        assert data_complexity(Problem.CPP, constant_bound=False) is ComplexityClass.SHARP_P
+
+    def test_render_contains_problems(self):
+        text = render_table_8_2()
+        for problem in Problem:
+            assert problem.value in text
+
+    def test_findings_list_is_nonempty(self):
+        assert len(paper_findings()) == 5

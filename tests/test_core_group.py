@@ -1,0 +1,316 @@
+"""Tests for group recommendations (repro.core.group)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AttributeSumCost,
+    AttributeSumRating,
+    AverageRating,
+    CallableRating,
+    DisagreementPenalisedRating,
+    GroupMember,
+    GroupRecommendationProblem,
+    LeastMiseryRating,
+    MostPleasureRating,
+    Package,
+    PolynomialBound,
+    RecommendationProblem,
+    Selection,
+    aggregation_strategy,
+    at_most_k_with_value,
+    compute_group_top_k,
+    compute_top_k,
+    fairness_report,
+    strategy_comparison,
+)
+from repro.queries import identity_query_for
+from repro.relational import Database
+from repro.relational.errors import ModelError
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+def _attribute_rating(attribute, sign=1.0):
+    return AttributeSumRating(attribute, sign=sign)
+
+
+@pytest.fixture
+def group_members():
+    """Two members with opposing tastes: one minimises price, one maximises time."""
+    cheapskate = GroupMember("cheapskate", _attribute_rating("ticket", sign=-1.0))
+    sightseer = GroupMember("sightseer", _attribute_rating("time"))
+    return [cheapskate, sightseer]
+
+
+@pytest.fixture
+def group_problem(poi_database, group_members):
+    query = identity_query_for(poi_database.relation("poi"), name="all_pois")
+    return GroupRecommendationProblem(
+        database=poi_database,
+        query=query,
+        cost=AttributeSumCost("time"),
+        budget=6,
+        members=group_members,
+        k=2,
+        compatibility=at_most_k_with_value("kind", "museum", 1),
+        size_bound=PolynomialBound(1.0, 1),
+        monotone_cost=True,
+        antimonotone_compatibility=True,
+    )
+
+
+def _package(poi_database, *names):
+    relation = poi_database.relation("poi")
+    rows = [row for row in relation if row[0] in names]
+    return Package(relation.schema, rows)
+
+
+# ---------------------------------------------------------------------------
+# Members
+# ---------------------------------------------------------------------------
+class TestGroupMember:
+    def test_requires_positive_weight(self):
+        with pytest.raises(ModelError):
+            GroupMember("bad", _attribute_rating("time"), weight=0.0)
+
+    def test_from_utility_rates_singletons(self, poi_database):
+        member = GroupMember.from_utility("u", lambda row: float(row[3]))
+        package = _package(poi_database, "met")
+        assert member.rating(package) == 3.0
+
+    def test_from_utility_rejects_larger_packages(self, poi_database):
+        member = GroupMember.from_utility("u", lambda row: float(row[3]))
+        package = _package(poi_database, "met", "moma")
+        assert member.rating(package) == float("-inf")
+
+    def test_describe_mentions_name_and_weight(self):
+        member = GroupMember("ann", _attribute_rating("time"), weight=2.0)
+        assert "ann" in member.describe()
+        assert "2.0" in member.describe()
+
+    def test_group_requires_members(self, poi_database):
+        query = identity_query_for(poi_database.relation("poi"))
+        with pytest.raises(ModelError):
+            GroupRecommendationProblem(
+                database=poi_database,
+                query=query,
+                cost=AttributeSumCost("time"),
+                budget=6,
+                members=[],
+            )
+
+    def test_group_rejects_duplicate_names(self, poi_database, group_members):
+        query = identity_query_for(poi_database.relation("poi"))
+        with pytest.raises(ModelError):
+            GroupRecommendationProblem(
+                database=poi_database,
+                query=query,
+                cost=AttributeSumCost("time"),
+                budget=6,
+                members=[group_members[0], group_members[0]],
+            )
+
+
+# ---------------------------------------------------------------------------
+# Aggregation strategies
+# ---------------------------------------------------------------------------
+class TestAggregation:
+    def test_average_of_two_members(self, poi_database, group_members):
+        package = _package(poi_database, "met", "high_line")  # tickets 25, time 5
+        rating = AverageRating(group_members)(package)
+        assert rating == pytest.approx((-25.0 + 5.0) / 2)
+
+    def test_weighted_average(self, poi_database):
+        heavy = GroupMember("heavy", _attribute_rating("time"), weight=3.0)
+        light = GroupMember("light", _attribute_rating("ticket", sign=-1.0), weight=1.0)
+        package = _package(poi_database, "met")  # ticket 25, time 3
+        rating = AverageRating([heavy, light])(package)
+        assert rating == pytest.approx((3 * 3.0 + 1 * -25.0) / 4)
+
+    def test_least_misery_is_minimum(self, poi_database, group_members):
+        package = _package(poi_database, "met")
+        assert LeastMiseryRating(group_members)(package) == -25.0
+
+    def test_most_pleasure_is_maximum(self, poi_database, group_members):
+        package = _package(poi_database, "met")
+        assert MostPleasureRating(group_members)(package) == 3.0
+
+    def test_disagreement_penalty_reduces_average(self, poi_database, group_members):
+        package = _package(poi_database, "met")
+        average = AverageRating(group_members)(package)
+        penalised = DisagreementPenalisedRating(group_members, penalty=0.5)(package)
+        assert penalised == pytest.approx(average - 0.5 * (3.0 - (-25.0)))
+
+    def test_zero_penalty_equals_average(self, poi_database, group_members):
+        package = _package(poi_database, "high_line", "central_park")
+        average = AverageRating(group_members)(package)
+        penalised = DisagreementPenalisedRating(group_members, penalty=0.0)(package)
+        assert penalised == pytest.approx(average)
+
+    def test_negative_penalty_rejected(self, group_members):
+        with pytest.raises(ModelError):
+            DisagreementPenalisedRating(group_members, penalty=-1.0)
+
+    def test_strategy_factory(self, group_members):
+        assert isinstance(aggregation_strategy("average", group_members), AverageRating)
+        assert isinstance(aggregation_strategy("least_misery", group_members), LeastMiseryRating)
+        assert isinstance(aggregation_strategy("most_pleasure", group_members), MostPleasureRating)
+        strategy = aggregation_strategy("disagreement", group_members, penalty=0.25)
+        assert isinstance(strategy, DisagreementPenalisedRating)
+        assert strategy.penalty == 0.25
+
+    def test_unknown_strategy_rejected(self, group_members):
+        with pytest.raises(ModelError):
+            aggregation_strategy("dictatorship", group_members)
+
+    def test_member_ratings_report(self, poi_database, group_members):
+        package = _package(poi_database, "met")
+        report = AverageRating(group_members).member_ratings(package)
+        assert report == {"cheapskate": -25.0, "sightseer": 3.0}
+
+    @given(
+        tickets=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=4),
+        times=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_least_misery_below_average_below_most_pleasure(self, tickets, times):
+        """For equal weights, min ≤ mean ≤ max holds for every package."""
+        database = Database()
+        size = min(len(tickets), len(times))
+        rows = [(f"p{i}", "park", tickets[i], times[i]) for i in range(size)]
+        relation = database.create_relation("poi", ["name", "kind", "ticket", "time"], rows)
+        members = [
+            GroupMember("a", _attribute_rating("ticket", sign=-1.0)),
+            GroupMember("b", _attribute_rating("time")),
+        ]
+        package = Package(relation.schema, rows)
+        low = LeastMiseryRating(members)(package)
+        mid = AverageRating(members)(package)
+        high = MostPleasureRating(members)(package)
+        assert low <= mid + 1e-9
+        assert mid <= high + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Solving group problems
+# ---------------------------------------------------------------------------
+class TestGroupSolving:
+    def test_single_member_group_matches_individual_problem(self, poi_database):
+        """A one-member group is exactly the paper's single-user model."""
+        query = identity_query_for(poi_database.relation("poi"), name="all_pois")
+        rating = _attribute_rating("ticket", sign=-1.0)
+        individual = RecommendationProblem(
+            database=poi_database,
+            query=query,
+            cost=AttributeSumCost("time"),
+            val=rating,
+            budget=6,
+            k=2,
+            compatibility=at_most_k_with_value("kind", "museum", 1),
+            size_bound=PolynomialBound(1.0, 1),
+            monotone_cost=True,
+            antimonotone_compatibility=True,
+        )
+        group = GroupRecommendationProblem(
+            database=poi_database,
+            query=query,
+            cost=AttributeSumCost("time"),
+            budget=6,
+            members=[GroupMember("solo", rating)],
+            k=2,
+            compatibility=at_most_k_with_value("kind", "museum", 1),
+            size_bound=PolynomialBound(1.0, 1),
+            monotone_cost=True,
+            antimonotone_compatibility=True,
+        )
+        individual_result = compute_top_k(individual)
+        group_result = compute_group_top_k(group)
+        assert group_result.found and individual_result.found
+        assert set(group_result.selection.as_set()) == set(individual_result.selection.as_set())
+        assert group_result.group_ratings == individual_result.ratings
+
+    def test_group_top_k_returns_member_breakdown(self, group_problem):
+        result = compute_group_top_k(group_problem)
+        assert result.found
+        assert len(result.member_ratings) == len(result.selection)
+        for breakdown in result.member_ratings:
+            assert set(breakdown) == {"cheapskate", "sightseer"}
+
+    def test_group_packages_are_valid(self, group_problem):
+        result = compute_group_top_k(group_problem)
+        problem = group_problem.to_problem()
+        for package in result.selection:
+            assert problem.is_valid_package(package)
+
+    def test_least_misery_avoids_expensive_packages(self, group_problem):
+        """Least misery never picks a package a member rates below the average pick."""
+        misery = compute_group_top_k(group_problem.with_strategy("least_misery"))
+        assert misery.found
+        top = misery.selection.packages[0]
+        # the cheapskate's rating of the top least-misery package must be the
+        # best achievable minimum, so it is at least the cheapskate rating of
+        # every other valid package's minimum — spot-check against the average pick
+        average = compute_group_top_k(group_problem.with_strategy("average"))
+        misery_rating = group_problem.with_strategy("least_misery").group_rating()(top)
+        average_top = average.selection.packages[0]
+        assert misery_rating >= group_problem.with_strategy("least_misery").group_rating()(
+            average_top
+        )
+
+    def test_with_strategy_does_not_mutate_original(self, group_problem):
+        other = group_problem.with_strategy("most_pleasure")
+        assert group_problem.strategy == "average"
+        assert other.strategy == "most_pleasure"
+
+    def test_strategy_comparison_runs_all(self, group_problem):
+        results = strategy_comparison(group_problem)
+        assert set(results) == {"average", "least_misery", "most_pleasure"}
+        assert all(result.found for result in results.values())
+
+    def test_group_problem_not_found_when_k_too_large(self, group_problem):
+        import dataclasses
+
+        starved = dataclasses.replace(group_problem, k=1000)
+        assert not compute_group_top_k(starved).found
+
+
+# ---------------------------------------------------------------------------
+# Fairness reporting
+# ---------------------------------------------------------------------------
+class TestFairness:
+    def test_report_totals_and_spread(self, poi_database, group_problem):
+        selection = Selection([_package(poi_database, "high_line", "central_park")])
+        report = fairness_report(group_problem, selection)
+        assert report.member_totals["cheapskate"] == 0.0
+        assert report.member_totals["sightseer"] == 5.0
+        assert report.least_satisfied == "cheapskate"
+        assert report.most_satisfied == "sightseer"
+        assert report.spread == 5.0
+
+    def test_report_rejects_empty_selection(self, group_problem):
+        with pytest.raises(ModelError):
+            fairness_report(group_problem, Selection([]))
+
+    def test_describe_mentions_members(self, poi_database, group_problem):
+        selection = Selection([_package(poi_database, "high_line")])
+        text = fairness_report(group_problem, selection).describe()
+        assert "cheapskate" in text and "sightseer" in text
+
+    def test_balanced_selection_has_zero_spread(self, poi_database):
+        members = [
+            GroupMember("a", CallableRating(lambda package: float(len(package)))),
+            GroupMember("b", CallableRating(lambda package: float(len(package)))),
+        ]
+        query = identity_query_for(poi_database.relation("poi"))
+        group = GroupRecommendationProblem(
+            database=poi_database,
+            query=query,
+            cost=AttributeSumCost("time"),
+            budget=6,
+            members=members,
+        )
+        selection = Selection([_package(poi_database, "met")])
+        assert fairness_report(group, selection).spread == 0.0

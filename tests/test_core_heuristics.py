@@ -1,0 +1,252 @@
+"""Tests for tractable-case detection and the heuristic FRP solvers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AttributeSumCost,
+    AttributeSumRating,
+    CallableRating,
+    ConstantBound,
+    EmptyConstraint,
+    PolynomialBound,
+    RecommendationProblem,
+    TractableCase,
+    approximation_quality,
+    beam_search_top_k,
+    compute_top_k,
+    detect_tractable_case,
+    greedy_package,
+    greedy_top_k,
+    solve_if_tractable,
+)
+from repro.queries import identity_query_for
+from repro.relational import Database
+from repro.relational.errors import ModelError
+from repro.workloads import synthetic_package_problem
+
+
+# ---------------------------------------------------------------------------
+# Tractable-case detection
+# ---------------------------------------------------------------------------
+class TestTractableDetection:
+    def test_polynomial_bound_is_not_tractable(self, poi_problem):
+        assert detect_tractable_case(poi_problem) is None
+
+    def test_constant_bound_detected(self, poi_problem):
+        assert detect_tractable_case(poi_problem.with_constant_bound(2)) is (
+            TractableCase.CONSTANT_BOUND
+        )
+
+    def test_item_embedding_detected(self, poi_problem):
+        problem = poi_problem.with_constant_bound(1).without_compatibility()
+        assert detect_tractable_case(problem) is TractableCase.ITEM_EMBEDDING
+
+    def test_singleton_bound_with_qc_is_constant_case(self, poi_problem):
+        problem = poi_problem.with_constant_bound(1)
+        assert detect_tractable_case(problem) is TractableCase.CONSTANT_BOUND
+
+    def test_cases_have_descriptions(self):
+        for case in TractableCase:
+            assert case.describe()
+
+    def test_solve_if_tractable_dispatches_to_polynomial_solver(self, poi_problem):
+        problem = poi_problem.with_constant_bound(2)
+        result, case = solve_if_tractable(problem)
+        assert case is TractableCase.CONSTANT_BOUND
+        exact = compute_top_k(problem)
+        assert result.found and exact.found
+        assert result.ratings == exact.ratings
+
+    def test_solve_if_tractable_falls_back_to_exact(self, poi_problem):
+        result, case = solve_if_tractable(poi_problem)
+        assert case is None
+        assert result.ratings == compute_top_k(poi_problem).ratings
+
+
+# ---------------------------------------------------------------------------
+# Greedy construction
+# ---------------------------------------------------------------------------
+class TestGreedy:
+    def test_greedy_package_is_valid(self, poi_problem):
+        package, examined = greedy_package(poi_problem)
+        assert package is not None
+        assert poi_problem.is_valid_package(package)
+        assert examined > 0
+
+    def test_greedy_respects_exclusions(self, poi_problem):
+        first, _ = greedy_package(poi_problem)
+        second, _ = greedy_package(poi_problem, exclude=[first])
+        assert second is None or second != first
+
+    def test_greedy_with_seed_item(self, poi_problem):
+        seed = next(iter(poi_problem.candidate_items().rows()))
+        package, _ = greedy_package(poi_problem, seed_item=seed)
+        assert package is not None
+        assert seed in package
+
+    def test_greedy_none_when_no_valid_singleton(self, poi_database):
+        query = identity_query_for(poi_database.relation("poi"))
+        impossible = RecommendationProblem(
+            database=poi_database,
+            query=query,
+            cost=AttributeSumCost("time"),
+            val=AttributeSumRating("ticket"),
+            budget=0,  # every non-empty package is over budget
+            k=1,
+        )
+        package, _ = greedy_package(impossible)
+        assert package is None
+
+    def test_greedy_top_k_packages_are_valid_and_distinct(self, poi_problem):
+        result = greedy_top_k(poi_problem)
+        assert result.found
+        assert result.selection.distinct()
+        for package in result.selection:
+            assert poi_problem.is_valid_package(package)
+
+    def test_greedy_matches_exact_on_additive_instance(self, poi_problem):
+        """On the (monotone, additive) POI workload greedy finds the optimum."""
+        heuristic = greedy_top_k(poi_problem)
+        exact = compute_top_k(poi_problem)
+        assert heuristic.ratings[0] == exact.ratings[0]
+
+    def test_greedy_never_beats_exact(self, poi_problem):
+        heuristic = greedy_top_k(poi_problem)
+        exact = compute_top_k(poi_problem)
+        for ours, best in zip(heuristic.ratings, exact.ratings):
+            assert ours <= best + 1e-9
+
+    def test_greedy_not_found_when_k_unreachable(self, poi_problem):
+        starved = poi_problem.with_k(10_000)
+        assert not greedy_top_k(starved).found
+
+    def test_greedy_can_be_suboptimal_on_adversarial_rating(self, poi_database):
+        """A rating that only pays off for one specific pair defeats the greedy rule."""
+        query = identity_query_for(poi_database.relation("poi"))
+        winning_pair = {"broadway", "central_park"}
+
+        def adversarial(package):
+            names = {item[0] for item in package.items}
+            if names == winning_pair:
+                return 100.0
+            return -float(len(package))
+
+        problem = RecommendationProblem(
+            database=poi_database,
+            query=query,
+            cost=AttributeSumCost("time"),
+            val=CallableRating(adversarial),
+            budget=50,
+            k=1,
+            size_bound=PolynomialBound(1.0, 1),
+        )
+        heuristic = greedy_top_k(problem)
+        exact = compute_top_k(problem)
+        assert exact.ratings[0] == 100.0
+        assert heuristic.ratings[0] <= exact.ratings[0]
+
+
+# ---------------------------------------------------------------------------
+# Beam search
+# ---------------------------------------------------------------------------
+class TestBeamSearch:
+    def test_rejects_non_positive_width(self, poi_problem):
+        with pytest.raises(ModelError):
+            beam_search_top_k(poi_problem, beam_width=0)
+
+    def test_beam_packages_are_valid(self, poi_problem):
+        result = beam_search_top_k(poi_problem, beam_width=3)
+        assert result.found
+        for package in result.selection:
+            assert poi_problem.is_valid_package(package)
+
+    def test_wide_beam_is_exact(self, poi_problem):
+        exact = compute_top_k(poi_problem)
+        wide = beam_search_top_k(poi_problem, beam_width=1_000)
+        assert wide.ratings == exact.ratings
+
+    def test_wider_beam_never_hurts(self, poi_problem):
+        narrow = beam_search_top_k(poi_problem, beam_width=1)
+        wide = beam_search_top_k(poi_problem, beam_width=8)
+        assert narrow.ratings[0] <= wide.ratings[0] + 1e-9
+
+    def test_beam_never_beats_exact(self, poi_problem):
+        exact = compute_top_k(poi_problem)
+        beam = beam_search_top_k(poi_problem, beam_width=2)
+        for ours, best in zip(beam.ratings, exact.ratings):
+            assert ours <= best + 1e-9
+
+    def test_beam_not_found_when_k_unreachable(self, poi_problem):
+        assert not beam_search_top_k(poi_problem.with_k(10_000)).found
+
+
+# ---------------------------------------------------------------------------
+# Approximation quality
+# ---------------------------------------------------------------------------
+class TestApproximationQuality:
+    def test_perfect_ratio_when_equal(self, poi_problem):
+        exact = compute_top_k(poi_problem)
+        heuristic = greedy_top_k(poi_problem)
+        quality = approximation_quality(poi_problem, heuristic, exact)
+        assert quality.ratio <= 1.0 + 1e-9
+        assert quality.exact_found and quality.heuristic_found
+
+    def test_ratio_zero_when_heuristic_fails(self, poi_problem):
+        heuristic = greedy_top_k(poi_problem.with_k(10_000))
+        quality = approximation_quality(poi_problem, heuristic)
+        assert quality.ratio == 0.0
+        assert not quality.heuristic_found
+
+    def test_describe_reports_totals(self, poi_problem):
+        quality = approximation_quality(poi_problem, greedy_top_k(poi_problem))
+        assert "ratio" in quality.describe()
+
+    def test_describe_when_nothing_exists(self, poi_database):
+        query = identity_query_for(poi_database.relation("poi"))
+        impossible = RecommendationProblem(
+            database=poi_database,
+            query=query,
+            cost=AttributeSumCost("time"),
+            val=AttributeSumRating("ticket"),
+            budget=0,
+            k=1,
+        )
+        quality = approximation_quality(impossible, greedy_top_k(impossible))
+        assert "no exact" in quality.describe()
+
+
+# ---------------------------------------------------------------------------
+# Property-based comparison on random knapsack-style instances
+# ---------------------------------------------------------------------------
+class TestHeuristicProperties:
+    @given(
+        num_items=st.integers(min_value=3, max_value=7),
+        budget=st.integers(min_value=10, max_value=60),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_heuristics_valid_and_bounded_by_exact(self, num_items, budget, seed):
+        problem = synthetic_package_problem(
+            num_items, budget=float(budget), k=1, seed=seed
+        ).problem
+        exact = compute_top_k(problem)
+        for heuristic in (greedy_top_k(problem), beam_search_top_k(problem, beam_width=4)):
+            if not exact.found:
+                assert not heuristic.found
+                continue
+            if heuristic.found:
+                for package in heuristic.selection:
+                    assert problem.is_valid_package(package)
+                assert heuristic.ratings[0] <= exact.ratings[0] + 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_wide_beam_matches_exact_on_random_instances(self, seed):
+        problem = synthetic_package_problem(5, budget=50.0, k=1, seed=seed).problem
+        exact = compute_top_k(problem)
+        wide = beam_search_top_k(problem, beam_width=64)
+        assert wide.found == exact.found
+        if exact.found:
+            assert wide.ratings == exact.ratings

@@ -1,0 +1,217 @@
+"""Tests for the recommendation-problem model: validity, bounds, compatibility."""
+
+import pytest
+
+from repro.core import (
+    ConstantBound,
+    EmptyConstraint,
+    Package,
+    PolynomialBound,
+    PredicateConstraint,
+    QueryConstraint,
+    RecommendationProblem,
+    Selection,
+    all_distinct_on,
+    at_most_k_with_value,
+    candidate_space_size,
+    classify_regime,
+    item_recommendation_problem,
+)
+from repro.queries import QueryLanguage, identity_query_for, parse_cq
+from repro.relational import Database
+from repro.relational.errors import ModelError
+
+
+class TestSizeBounds:
+    def test_constant_bound(self):
+        bound = ConstantBound(3)
+        assert bound.max_size(1000) == 3
+        assert bound.is_constant()
+
+    def test_polynomial_bound(self):
+        bound = PolynomialBound(2.0, 1)
+        assert bound.max_size(10) == 20
+        assert not bound.is_constant()
+
+    def test_quadratic_bound(self):
+        assert PolynomialBound(1.0, 2).max_size(5) == 25
+
+
+class TestCompatibilityConstraints:
+    def test_empty_constraint_accepts_everything(self, poi_problem):
+        package = poi_problem.package_from_items([("met", "museum", 25, 3)])
+        assert EmptyConstraint().is_satisfied(package, poi_problem.database)
+        assert EmptyConstraint().is_empty_constraint()
+
+    def test_predicate_constraint(self, poi_problem):
+        package = poi_problem.package_from_items(
+            [("met", "museum", 25, 3), ("moma", "museum", 25, 2)]
+        )
+        constraint = at_most_k_with_value("kind", "museum", 1)
+        assert not constraint.is_satisfied(package, poi_problem.database)
+        assert not constraint.is_empty_constraint()
+
+    def test_all_distinct_on(self, poi_problem):
+        constraint = all_distinct_on("kind")
+        ok = poi_problem.package_from_items([("met", "museum", 25, 3), ("high_line", "park", 0, 2)])
+        bad = poi_problem.package_from_items([("met", "museum", 25, 3), ("moma", "museum", 25, 2)])
+        assert constraint.is_satisfied(ok, poi_problem.database)
+        assert not constraint.is_satisfied(bad, poi_problem.database)
+
+    def test_query_constraint_over_rq(self, poi_problem):
+        # Violation: two distinct museums in the package.
+        violation = parse_cq(
+            "Qc() :- RQ(n1, 'museum', t1, h1), RQ(n2, 'museum', t2, h2), n1 != n2."
+        )
+        constraint = QueryConstraint(violation, answer_relation="RQ")
+        one_museum = poi_problem.package_from_items([("met", "museum", 25, 3)])
+        two_museums = poi_problem.package_from_items(
+            [("met", "museum", 25, 3), ("moma", "museum", 25, 2)]
+        )
+        assert constraint.is_satisfied(one_museum, poi_problem.database)
+        assert not constraint.is_satisfied(two_museums, poi_problem.database)
+
+    def test_query_constraint_can_consult_database(self):
+        # Constraint: the package must not contain an item flagged as banned in D.
+        database = Database()
+        database.create_relation("item", ["iid", "price"], [(1, 10), (2, 20), (3, 30)])
+        database.create_relation("banned", ["iid"], [(2,)])
+        query = identity_query_for(database.relation("item"))
+        violation = parse_cq("Qc() :- RQ(i, p), banned(i).")
+        constraint = QueryConstraint(violation)
+        problem = RecommendationProblem(
+            database=database,
+            query=query,
+            cost=__import__("repro.core", fromlist=["CountCost"]).CountCost(),
+            val=__import__("repro.core", fromlist=["CountRating"]).CountRating(),
+            budget=3,
+            k=1,
+            compatibility=constraint,
+        )
+        good = problem.package_from_items([(1, 10)])
+        bad = problem.package_from_items([(2, 20)])
+        assert constraint.is_satisfied(good, database)
+        assert not constraint.is_satisfied(bad, database)
+
+
+class TestRecommendationProblem:
+    def test_k_must_be_positive(self, poi_problem):
+        with pytest.raises(ModelError):
+            poi_problem.with_k(0)
+
+    def test_language_classification(self, poi_problem):
+        assert poi_problem.language() is QueryLanguage.SP
+
+    def test_candidate_items_is_query_answer(self, poi_problem):
+        assert poi_problem.candidate_items().rows() == poi_problem.database.relation("poi").rows()
+
+    def test_validity_conditions(self, poi_problem):
+        valid = poi_problem.package_from_items([("met", "museum", 25, 3), ("high_line", "park", 0, 2)])
+        assert poi_problem.is_valid_package(valid)
+        # over budget: 3 + 3 + 2 > 6
+        over_budget = poi_problem.package_from_items(
+            [("met", "museum", 25, 3), ("broadway", "theater", 120, 3), ("high_line", "park", 0, 2)]
+        )
+        assert not poi_problem.is_valid_package(over_budget)
+        # incompatible: two museums
+        incompatible = poi_problem.package_from_items(
+            [("met", "museum", 25, 3), ("moma", "museum", 25, 2)]
+        )
+        assert not poi_problem.is_valid_package(incompatible)
+        # not a subset of Q(D)
+        foreign = poi_problem.package_from_items([("zoo", "park", 1, 1)])
+        assert not poi_problem.is_valid_package(foreign)
+
+    def test_validity_report_names_failures(self, poi_problem):
+        foreign = poi_problem.package_from_items([("zoo", "park", 1, 1)])
+        report = poi_problem.validity_report(foreign)
+        assert report["subset_of_answers"] is False
+        assert report["within_budget"] is True
+
+    def test_rating_bound_check(self, poi_problem):
+        cheap = poi_problem.package_from_items([("high_line", "park", 0, 2)])
+        assert poi_problem.is_valid_package(cheap, rating_bound=-1.0)
+        assert not poi_problem.is_valid_package(cheap, rating_bound=1.0)
+        assert not poi_problem.is_valid_package(cheap, rating_bound=0.0, strict=True)
+
+    def test_size_bound_enforced(self, poi_problem):
+        small = poi_problem.with_constant_bound(1)
+        two_items = small.package_from_items([("high_line", "park", 0, 2), ("central_park", "park", 0, 3)])
+        assert not small.is_valid_package(two_items)
+        assert small.max_package_size() == 1
+
+    def test_transform_helpers(self, poi_problem):
+        assert poi_problem.without_compatibility().has_compatibility_constraint() is False
+        assert poi_problem.with_budget(99).budget == 99
+        assert poi_problem.with_k(5).k == 5
+        assert poi_problem.with_constant_bound(2).size_bound.is_constant()
+
+    def test_describe_mentions_language_and_k(self, poi_problem):
+        text = poi_problem.describe()
+        assert "top-2" in text
+        assert "SP" in text
+
+    def test_min_rating_of_selection(self, poi_problem):
+        selection = Selection(
+            [
+                poi_problem.package_from_items([("high_line", "park", 0, 2)]),
+                poi_problem.package_from_items([("guggenheim", "museum", 22, 2)]),
+            ]
+        )
+        assert poi_problem.min_rating(selection) == -22.0
+
+    def test_classify_regime(self, poi_problem):
+        regime = classify_regime(poi_problem)
+        assert regime.polynomial_data is False
+        constant = classify_regime(poi_problem.with_constant_bound(2))
+        assert constant.polynomial_data is True
+        assert "constant" in constant.describe()
+
+    def test_candidate_space_size(self, poi_problem):
+        # 6 answers, bound 1: six singletons.
+        assert candidate_space_size(poi_problem.with_constant_bound(1)) == 6
+
+
+class TestItemRecommendationEmbedding:
+    def test_embedding_shapes(self, poi_database):
+        query = identity_query_for(poi_database.relation("poi"))
+        problem = item_recommendation_problem(poi_database, query, lambda item: -item[2], k=2)
+        assert problem.budget == 1.0
+        assert problem.max_package_size() == 1
+        assert not problem.has_compatibility_constraint()
+        single = problem.package_from_items([("met", "museum", 25, 3)])
+        assert problem.val(single) == -25
+
+
+class TestConjunctionConstraint:
+    def test_conjunction_requires_all_parts(self, poi_problem):
+        from repro.core import ConjunctionConstraint, all_equal_on, at_most_k_with_value
+
+        constraint = ConjunctionConstraint(
+            all_equal_on("kind"), at_most_k_with_value("kind", "museum", 1)
+        )
+        same_kind = poi_problem.package_from_items(
+            [("high_line", "park", 0, 2), ("central_park", "park", 0, 3)]
+        )
+        mixed_kind = poi_problem.package_from_items(
+            [("high_line", "park", 0, 2), ("met", "museum", 25, 3)]
+        )
+        two_museums = poi_problem.package_from_items(
+            [("met", "museum", 25, 3), ("moma", "museum", 25, 2)]
+        )
+        assert constraint.is_satisfied(same_kind, poi_problem.database)
+        assert not constraint.is_satisfied(mixed_kind, poi_problem.database)
+        assert not constraint.is_satisfied(two_museums, poi_problem.database)
+
+    def test_empty_conjunction_is_absent_qc(self, poi_problem):
+        from repro.core import ConjunctionConstraint, EmptyConstraint
+
+        assert ConjunctionConstraint().is_empty_constraint()
+        assert ConjunctionConstraint(EmptyConstraint()).is_empty_constraint()
+
+    def test_all_equal_on(self, poi_problem):
+        from repro.core import all_equal_on
+
+        constraint = all_equal_on("kind")
+        single = poi_problem.package_from_items([("met", "museum", 25, 3)])
+        assert constraint.is_satisfied(single, poi_problem.database)

@@ -1,0 +1,163 @@
+"""Tests for packages, selections, and the cost/rating/utility function library."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AttributeSumCost,
+    AttributeSumRating,
+    AttributeUtility,
+    CallableRating,
+    ConstantRating,
+    CountCost,
+    CountRating,
+    INFINITY,
+    MinAttributeRating,
+    Package,
+    PredicateCost,
+    Selection,
+    TableRating,
+    UtilityRating,
+    WeightedItemUtility,
+    WeightedSumRating,
+    item_embedding_functions,
+)
+from repro.relational import RelationSchema
+from repro.relational.errors import ModelError
+
+
+@pytest.fixture
+def schema() -> RelationSchema:
+    return RelationSchema("RQ", ["name", "kind", "price", "time"])
+
+
+@pytest.fixture
+def museum_package(schema: RelationSchema) -> Package:
+    return Package(schema, [("met", "museum", 25, 3), ("moma", "museum", 25, 2)])
+
+
+class TestPackage:
+    def test_len_iter_contains(self, museum_package: Package):
+        assert len(museum_package) == 2
+        assert ("met", "museum", 25, 3) in museum_package
+        assert set(museum_package) == museum_package.items
+
+    def test_empty_and_singleton(self, schema: RelationSchema):
+        assert Package.empty(schema).is_empty()
+        single = Package.singleton(schema, ("met", "museum", 25, 3))
+        assert len(single) == 1
+
+    def test_duplicates_collapse(self, schema: RelationSchema):
+        package = Package(schema, [("met", "museum", 25, 3), ("met", "museum", 25, 3)])
+        assert len(package) == 1
+
+    def test_equality_and_hashing(self, schema: RelationSchema, museum_package: Package):
+        again = Package(schema, reversed(museum_package.sorted_items()))
+        assert museum_package == again
+        assert len({museum_package, again}) == 1
+
+    def test_column(self, museum_package: Package):
+        assert sorted(museum_package.column("price")) == [25, 25]
+        assert set(museum_package.column("name")) == {"met", "moma"}
+
+    def test_value_of_requires_membership(self, schema, museum_package: Package):
+        assert museum_package.value_of(("met", "museum", 25, 3), "time") == 3
+        with pytest.raises(ModelError):
+            museum_package.value_of(("zoo", "park", 0, 1), "time")
+
+    def test_as_relation_renames(self, museum_package: Package):
+        relation = museum_package.as_relation("CANDIDATE")
+        assert relation.name == "CANDIDATE"
+        assert len(relation) == 2
+
+    def test_with_item_and_union(self, schema, museum_package: Package):
+        extended = museum_package.with_item(("high_line", "park", 0, 2))
+        assert len(extended) == 3 and len(museum_package) == 2
+        other = Package(schema, [("broadway", "theater", 120, 3)])
+        assert len(museum_package.union(other)) == 3
+
+    def test_schema_validation(self, schema: RelationSchema):
+        from repro.relational.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            Package(schema, [("too", "short")])
+
+
+class TestSelection:
+    def test_distinctness(self, schema, museum_package: Package):
+        other = Package(schema, [("broadway", "theater", 120, 3)])
+        assert Selection([museum_package, other]).distinct()
+        assert not Selection([museum_package, museum_package]).distinct()
+
+    def test_contains_and_as_set(self, schema, museum_package: Package):
+        selection = Selection([museum_package])
+        assert museum_package in selection
+        assert selection.as_set() == frozenset({museum_package})
+
+
+class TestCostFunctions:
+    def test_count_cost(self, schema, museum_package: Package):
+        cost = CountCost()
+        assert cost(museum_package) == 2
+        assert cost(Package.empty(schema)) == INFINITY
+
+    def test_attribute_sum_cost(self, museum_package: Package):
+        assert AttributeSumCost("time")(museum_package) == 5
+
+    def test_predicate_cost(self, museum_package: Package):
+        cost = PredicateCost(lambda package: len(package) <= 1, low=1, high=9)
+        assert cost(museum_package) == 9
+
+    def test_describe_strings(self):
+        assert "cost" in CountCost().describe()
+        assert "time" in AttributeSumCost("time").describe()
+
+
+class TestRatingFunctions:
+    def test_constant_and_count(self, museum_package: Package):
+        assert ConstantRating(7.0)(museum_package) == 7.0
+        assert CountRating()(museum_package) == 2
+
+    def test_attribute_sum_rating_signs(self, museum_package: Package):
+        assert AttributeSumRating("price")(museum_package) == 50
+        assert AttributeSumRating("price", sign=-1.0)(museum_package) == -50
+
+    def test_weighted_sum_rating(self, museum_package: Package):
+        rating = WeightedSumRating({"price": 1.0, "time": -2.0})
+        assert rating(museum_package) == 50 - 2 * 5
+
+    def test_min_attribute_rating(self, museum_package: Package):
+        assert MinAttributeRating("time")(museum_package) == 2
+
+    def test_table_rating(self, schema, museum_package: Package):
+        rating = TableRating({museum_package: 42.0}, default=-1.0)
+        assert rating(museum_package) == 42.0
+        assert rating(Package.empty(schema)) == -1.0
+
+    def test_callable_rating(self, museum_package: Package):
+        rating = CallableRating(lambda package: len(package) * 10)
+        assert rating(museum_package) == 20
+
+
+class TestItemUtilities:
+    def test_attribute_utility(self, schema):
+        utility = AttributeUtility("price", sign=-1.0).for_schema(schema)
+        assert utility(("met", "museum", 25, 3)) == -25
+
+    def test_weighted_item_utility(self, schema):
+        utility = WeightedItemUtility({"price": -1.0, "time": -10.0}).for_schema(schema)
+        assert utility(("met", "museum", 25, 3)) == -25 - 30
+
+    def test_utility_rating_only_on_singletons(self, schema, museum_package: Package):
+        utility = AttributeUtility("price").for_schema(schema)
+        rating = UtilityRating(utility)
+        assert rating(Package.singleton(schema, ("met", "museum", 25, 3))) == 25
+        assert rating(museum_package) == -INFINITY
+
+    def test_item_embedding_functions(self, schema):
+        cost, rating, budget = item_embedding_functions(lambda item: item[2])
+        assert budget == 1.0
+        single = Package.singleton(schema, ("met", "museum", 25, 3))
+        assert cost(single) == 1
+        assert rating(single) == 25

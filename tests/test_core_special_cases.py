@@ -1,0 +1,94 @@
+"""Tests for the Section 6 special cases (constant bound, SP, PTIME Qc, items)."""
+
+import pytest
+
+from repro.core import (
+    RecommendationProblem,
+    compute_top_k,
+    count_valid_packages,
+    cpp_constant_bound,
+    frp_constant_bound,
+    is_maximum_bound,
+    is_top_k_selection,
+    maximum_bound,
+    mbp_constant_bound,
+    restrict_to_constant_bound,
+    restrict_to_ptime_compatibility,
+    rpp_constant_bound,
+    candidate_space_size,
+)
+from repro.relational.errors import ModelError
+
+
+class TestConstantBoundRegime:
+    def test_restriction_requires_positive_bound(self, poi_problem):
+        with pytest.raises(ModelError):
+            restrict_to_constant_bound(poi_problem, 0)
+
+    def test_fast_paths_require_constant_bound(self, poi_problem):
+        with pytest.raises(ModelError):
+            frp_constant_bound(poi_problem)
+        with pytest.raises(ModelError):
+            mbp_constant_bound(poi_problem, 0.0)
+        with pytest.raises(ModelError):
+            cpp_constant_bound(poi_problem, 0.0)
+
+    def test_constant_bound_results_subset_of_general(self, poi_problem):
+        bounded = restrict_to_constant_bound(poi_problem, 2)
+        result = frp_constant_bound(bounded)
+        assert result.found
+        # every package in the bounded answer is also valid in the general problem
+        for package in result.selection:
+            assert poi_problem.is_valid_package(package)
+
+    def test_rpp_and_mbp_constant_bound(self, poi_problem):
+        bounded = restrict_to_constant_bound(poi_problem, 2)
+        result = frp_constant_bound(bounded)
+        assert rpp_constant_bound(bounded, result.selection).is_top_k
+        bound = maximum_bound(bounded)
+        assert mbp_constant_bound(bounded, bound).is_maximum_bound
+
+    def test_cpp_constant_bound_counts_less_than_poly(self, poi_problem):
+        bounded = restrict_to_constant_bound(poi_problem, 1)
+        assert cpp_constant_bound(bounded, -1000.0).count <= count_valid_packages(
+            poi_problem, -1000.0
+        ).count
+
+    def test_candidate_space_shrinks_with_constant_bound(self, poi_problem):
+        assert candidate_space_size(poi_problem.with_constant_bound(1)) < candidate_space_size(
+            poi_problem
+        )
+
+    def test_bound_one_equals_item_semantics(self, poi_problem):
+        bounded = restrict_to_constant_bound(poi_problem, 1)
+        result = frp_constant_bound(bounded)
+        assert all(len(package) == 1 for package in result.selection)
+
+
+class TestPtimeCompatibility:
+    def test_predicate_constraint_equivalent_to_query_constraint(self, poi_problem):
+        """Corollary 6.3: swapping Qc for an equivalent PTIME predicate changes nothing."""
+
+        def at_most_one_museum(package, database):
+            return sum(1 for kind in package.column("kind") if kind == "museum") <= 1
+
+        swapped = restrict_to_ptime_compatibility(
+            poi_problem, at_most_one_museum, "at most one museum (predicate)"
+        )
+        original = compute_top_k(poi_problem)
+        replaced = compute_top_k(swapped)
+        assert list(original.ratings) == list(replaced.ratings)
+        assert maximum_bound(poi_problem) == maximum_bound(swapped)
+        assert (
+            count_valid_packages(poi_problem, -1000.0).count
+            == count_valid_packages(swapped, -1000.0).count
+        )
+
+    def test_dropping_qc_only_adds_packages(self, poi_problem):
+        without = poi_problem.without_compatibility()
+        assert (
+            count_valid_packages(without, -1000.0).count
+            >= count_valid_packages(poi_problem, -1000.0).count
+        )
+        # and the maximum bound can only improve (or stay put)
+        assert maximum_bound(without) >= maximum_bound(poi_problem)

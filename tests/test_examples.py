@@ -1,0 +1,53 @@
+"""Smoke tests: every bundled example runs end to end and prints a result.
+
+The examples double as integration tests of the public API; each one is
+executed exactly as ``python examples/<name>.py`` would run it.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script name, a fragment its output must contain)
+EXAMPLE_EXPECTATIONS = [
+    ("quickstart", "top-3 packages"),
+    ("travel_planning", "top-3 flights"),
+    ("course_packages", ""),
+    ("team_formation", ""),
+    ("query_relaxation", "minimum gap"),
+    ("adjustment", "insert course"),
+    ("group_recommendation", "least misery"),
+    ("query_languages", ""),
+    ("complexity_tables", ""),
+]
+
+
+def _run_example(name: str, capsys) -> str:
+    script = EXAMPLES_DIR / f"{name}.py"
+    assert script.exists(), f"example script missing: {script}"
+    runpy.run_path(str(script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name,fragment", EXAMPLE_EXPECTATIONS, ids=[n for n, _ in EXAMPLE_EXPECTATIONS])
+def test_example_runs(name, fragment, capsys):
+    output = _run_example(name, capsys)
+    assert output.strip(), f"example {name} printed nothing"
+    if fragment:
+        assert fragment in output
+
+
+def test_every_shipped_example_is_covered():
+    shipped = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {name for name, _ in EXAMPLE_EXPECTATIONS}
+    assert shipped == covered, f"uncovered examples: {shipped ^ covered}"
+
+
+def test_examples_are_registered_with_the_cli():
+    from repro.cli import EXAMPLE_NAMES
+
+    shipped = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert shipped == set(EXAMPLE_NAMES)

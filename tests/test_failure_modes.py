@@ -1,0 +1,241 @@
+"""Failure injection: the library fails loudly and precisely on bad inputs.
+
+Every exception raised by the library derives from
+:class:`~repro.relational.errors.ReproError`; these tests pin down which
+subclass each misuse raises, so error handling by downstream users stays
+stable.  A few regression tests for robustness fixes (mixed-type active
+domains during relaxation) live here as well.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AttributeSumCost,
+    AttributeSumRating,
+    CountCost,
+    CountRating,
+    Package,
+    PolynomialBound,
+    RecommendationProblem,
+    compute_top_k,
+)
+from repro.queries import identity_query_for, parse_cq
+from repro.queries.builder import atom, cq, eq, le, variables
+from repro.relational import Database, Relation, RelationSchema
+from repro.relational.errors import (
+    IntegrityError,
+    ModelError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+from repro.relaxation import AbsoluteDifference, RelaxationSpace, distance_table, find_item_relaxation
+from repro.relaxation.relax import RelaxedQuery, Relaxation
+
+
+# ---------------------------------------------------------------------------
+# Relational substrate
+# ---------------------------------------------------------------------------
+class TestRelationalFailures:
+    def test_unknown_relation(self):
+        database = Database()
+        with pytest.raises(UnknownRelationError) as excinfo:
+            database.relation("nope")
+        assert excinfo.value.name == "nope"
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_wrong_arity_tuple(self):
+        relation = Relation(RelationSchema("r", ["a", "b"]))
+        with pytest.raises(IntegrityError):
+            relation.add((1, 2, 3))
+
+    def test_unknown_attribute_in_schema(self):
+        schema = RelationSchema("r", ["a", "b"])
+        with pytest.raises(UnknownAttributeError) as excinfo:
+            schema.index_of("c")
+        assert excinfo.value.attribute == "c"
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ["a", "a"])
+
+
+# ---------------------------------------------------------------------------
+# Model specification
+# ---------------------------------------------------------------------------
+class TestModelFailures:
+    def _database(self):
+        database = Database()
+        database.create_relation("item", ["name", "price"], [("a", 1), ("b", 2)])
+        return database
+
+    def _problem(self, **overrides):
+        database = self._database()
+        defaults = dict(
+            database=database,
+            query=identity_query_for(database.relation("item")),
+            cost=CountCost(),
+            val=CountRating(),
+            budget=2.0,
+            k=1,
+        )
+        defaults.update(overrides)
+        return RecommendationProblem(**defaults)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ModelError):
+            self._problem(k=0)
+
+    def test_package_value_of_unknown_item(self):
+        problem = self._problem()
+        package = problem.package_from_items([("a", 1)])
+        with pytest.raises(ModelError):
+            package.value_of(("b", 2), "price")
+
+    def test_cost_on_missing_attribute_is_a_schema_error(self):
+        problem = self._problem(cost=AttributeSumCost("weight"))
+        package = problem.package_from_items([("a", 1)])
+        with pytest.raises(UnknownAttributeError):
+            problem.cost(package)
+
+    def test_rating_on_missing_attribute_is_a_schema_error(self):
+        problem = self._problem(val=AttributeSumRating("stars"))
+        package = problem.package_from_items([("a", 1)])
+        with pytest.raises(UnknownAttributeError):
+            problem.val(package)
+
+    def test_validity_report_names_the_failing_condition(self):
+        problem = self._problem(budget=0.0)
+        package = problem.package_from_items([("a", 1)])
+        report = problem.validity_report(package)
+        assert report["within_budget"] is False
+        assert report["subset_of_answers"] is True
+
+    def test_package_items_validated_against_schema(self):
+        problem = self._problem()
+        with pytest.raises(IntegrityError):
+            problem.package_from_items([("a", 1, "extra")])
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+class TestQueryFailures:
+    def test_unsafe_cq_rejected(self):
+        name, price = variables("name price")
+        with pytest.raises(QueryError):
+            cq([name, price], [atom("item", name)], name="unsafe")
+
+    def test_parse_error_is_a_query_error(self):
+        with pytest.raises(QueryError):
+            parse_cq("this is not a rule")
+
+    def test_evaluating_against_missing_relation(self):
+        query = cq(list(variables("a b")), [atom("missing", *variables("a b"))])
+        with pytest.raises(UnknownRelationError):
+            query.evaluate(Database())
+
+
+# ---------------------------------------------------------------------------
+# Relaxation robustness
+# ---------------------------------------------------------------------------
+class TestRelaxationRobustness:
+    def _database(self):
+        database = Database()
+        database.create_relation(
+            "shop",
+            ["name", "city", "price"],
+            [("alpha", "soho", 10), ("beta", "chelsea", 20), ("gamma", "soho", 35)],
+        )
+        return database
+
+    def _query(self):
+        name, city, price = variables("name city price")
+        return cq(
+            [name, city, price],
+            [atom("shop", name, city, price)],
+            [eq(city, "soho"), le(price, 5)],
+            name="cheap_soho_shops",
+        )
+
+    def test_mixed_type_active_domain_does_not_crash(self):
+        """Numeric distances skip string values of the active domain (regression)."""
+        database = self._database()
+        space = RelaxationSpace.for_constants(
+            self._query(),
+            distances={5: AbsoluteDifference(), "soho": distance_table({("soho", "chelsea"): 3})},
+            include=[5, "soho"],
+        )
+        result = find_item_relaxation(
+            database, space, lambda row: -float(row[2]), rating_bound=-1000.0, k=1, max_gap=40.0
+        )
+        assert result.found
+        assert result.gap is not None and result.gap > 0
+
+    def test_relaxing_a_non_conjunctive_query_is_a_model_error(self):
+        from repro.queries.ast import Not, RelationAtom, Var
+        from repro.queries.fo import FirstOrderQuery
+
+        x = Var("x")
+        fo_query = FirstOrderQuery([x], Not(RelationAtom("shop", [x, x, x])), name="negated")
+        with pytest.raises(ModelError):
+            RelaxationSpace.for_constants(fo_query)
+
+    def test_relaxed_query_preserves_output_schema(self):
+        database = self._database()
+        query = self._query()
+        space = RelaxationSpace.for_constants(query, include=["soho"])
+        relaxations = list(space.enumerate_relaxations(database, max_gap=1.0))
+        relaxed = space.relax(relaxations[-1])
+        assert relaxed.output_attributes == query.output_attributes
+        answers = relaxed.evaluate(database)
+        assert answers.schema.arity == 3
+
+    def test_empty_relaxation_space_yields_only_the_trivial_relaxation(self):
+        database = self._database()
+        query = self._query()
+        space = RelaxationSpace.for_constants(query, include=["not-a-constant-of-the-query"])
+        relaxations = list(space.enumerate_relaxations(database, max_gap=10.0))
+        assert len(relaxations) == 1
+        assert relaxations[0].is_trivial()
+
+
+# ---------------------------------------------------------------------------
+# Solvers on degenerate instances
+# ---------------------------------------------------------------------------
+class TestDegenerateInstances:
+    def test_empty_database_means_no_selection(self):
+        database = Database()
+        database.create_relation("item", ["name", "price"], [])
+        problem = RecommendationProblem(
+            database=database,
+            query=identity_query_for(database.relation("item")),
+            cost=CountCost(),
+            val=CountRating(),
+            budget=3.0,
+            k=1,
+        )
+        assert not compute_top_k(problem).found
+
+    def test_budget_below_every_package_cost(self):
+        database = Database()
+        database.create_relation("item", ["name", "price"], [("a", 1)])
+        problem = RecommendationProblem(
+            database=database,
+            query=identity_query_for(database.relation("item")),
+            cost=AttributeSumCost("price"),
+            val=CountRating(),
+            budget=0.5,
+            k=1,
+            size_bound=PolynomialBound(1.0, 1),
+        )
+        assert not compute_top_k(problem).found
+
+    def test_infinite_empty_cost_excludes_the_empty_package(self):
+        cost = CountCost()
+        schema = RelationSchema("rq", ["a"])
+        assert cost(Package.empty(schema)) == math.inf

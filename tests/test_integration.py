@@ -1,0 +1,195 @@
+"""Cross-module integration tests.
+
+These tests tie several subsystems together: the item/package equivalence of
+Section 2, agreement between independent evaluators, the end-to-end Example
+1.1 pipeline (packages → relaxation → adjustment), and the example scripts
+themselves.
+"""
+
+import pytest
+
+from repro.adjustment import find_item_adjustment
+from repro.core import (
+    compute_top_k,
+    compute_top_k_with_oracle,
+    count_valid_packages,
+    is_top_k_selection,
+    maximum_bound,
+    top_k_items,
+    top_k_items_via_packages,
+)
+from repro.queries import (
+    ConjunctiveQuery,
+    FirstOrderQuery,
+    PositiveExistentialQuery,
+    parse_cq,
+    parse_program,
+)
+from repro.queries.ast import And, Exists, Or, RelationAtom, Var
+from repro.relational import Database, Relation
+from repro.relational.algebra import natural_join, project
+from repro.relaxation import RelaxationSpace, find_item_relaxation
+from repro.workloads.travel import (
+    city_distance_function,
+    direct_flight_query,
+    example_1_1_scenario,
+    flight_schema,
+)
+
+
+class TestEvaluatorAgreement:
+    """Independent evaluation paths must give identical answers."""
+
+    @pytest.fixture
+    def database(self) -> Database:
+        db = Database()
+        db.create_relation(
+            "employee", ["name", "dept"], [("ada", "eng"), ("grace", "eng"), ("alan", "research")]
+        )
+        db.create_relation("department", ["dept", "floor"], [("eng", 2), ("research", 3)])
+        return db
+
+    def test_cq_join_matches_relational_algebra(self, database):
+        name, dept, floor = Var("name"), Var("dept"), Var("floor")
+        query = ConjunctiveQuery(
+            [name, floor],
+            [RelationAtom("employee", [name, dept]), RelationAtom("department", [dept, floor])],
+        )
+        via_algebra = project(
+            natural_join(database.relation("employee"), database.relation("department")),
+            ["name", "floor"],
+        )
+        assert query.evaluate(database).rows() == via_algebra.rows()
+
+    def test_cq_efo_fo_agree_on_positive_queries(self, database):
+        name, dept, floor = Var("name"), Var("dept"), Var("floor")
+        body = And(
+            RelationAtom("employee", [name, dept]), RelationAtom("department", [dept, floor])
+        )
+        cq = ConjunctiveQuery(
+            [name],
+            [RelationAtom("employee", [name, dept]), RelationAtom("department", [dept, floor])],
+        )
+        efo = PositiveExistentialQuery([name], Exists((dept, floor), body))
+        fo = FirstOrderQuery([name], Exists((dept, floor), body))
+        assert cq.evaluate(database).rows() == efo.evaluate(database).rows()
+        assert cq.evaluate(database).rows() == fo.evaluate(database).rows()
+
+    def test_nonrecursive_datalog_matches_cq_unfolding(self, database):
+        program = parse_program(
+            "on_floor(n, f) :- employee(n, d), department(d, f). answer(n) :- on_floor(n, 2).",
+            output="answer",
+        )
+        cq = parse_cq("Q(n) :- employee(n, d), department(d, 2).")
+        assert program.evaluate(database).rows() == cq.evaluate(database).rows()
+
+
+class TestItemPackageEquivalence:
+    """Section 2: item selections are exactly the singleton-package selections."""
+
+    def test_top_k_items_agree_across_formulations(self, poi_database):
+        from repro.queries import identity_query_for
+
+        query = identity_query_for(poi_database.relation("poi"))
+        utility = lambda item: -float(item[2]) - float(item[3])
+        for k in (1, 2, 3):
+            direct = top_k_items(poi_database, query, utility, k)
+            embedded = top_k_items_via_packages(poi_database, query, utility, k)
+            assert direct.found == embedded.found
+            if direct.found:
+                assert sorted(direct.utilities) == sorted(embedded.utilities)
+
+
+class TestOracleAlgorithm:
+    def test_oracle_and_exhaustive_agree_on_scenarios(self, poi_problem):
+        for k in (1, 2, 3):
+            problem = poi_problem.with_k(k)
+            exhaustive = compute_top_k(problem)
+            oracle = compute_top_k_with_oracle(problem)
+            assert exhaustive.found == oracle.found
+            if exhaustive.found:
+                assert list(exhaustive.ratings) == list(oracle.ratings)
+                assert is_top_k_selection(problem, oracle.selection).is_top_k
+
+
+class TestExampleOneOneFullPipeline:
+    """The complete narrative of Example 1.1: recommend, relax, adjust."""
+
+    def test_packages_then_relaxation_then_adjustment(self):
+        # (1) With direct flights present, packages exist and verify.
+        scenario = example_1_1_scenario(k=2)
+        result = compute_top_k(scenario.package_problem)
+        assert result.found
+        assert is_top_k_selection(scenario.package_problem, result.selection).is_top_k
+        assert maximum_bound(scenario.package_problem) == result.ratings[-1]
+
+        # (2) Without direct flights the item query over direct flights is empty...
+        broken = example_1_1_scenario(include_direct_flight=False)
+        query = direct_flight_query("edi", "nyc", "1/1/2012")
+        assert len(query.evaluate(broken.database)) == 0
+
+        # (3) ... relaxing the destination within 15 miles finds the ewr flights ...
+        space = RelaxationSpace.for_constants(
+            query,
+            distances={"nyc": city_distance_function(broken.database)},
+            include=["nyc"],
+        )
+        relaxed = find_item_relaxation(
+            broken.database, space, lambda row: -float(row[3]), rating_bound=-10_000.0, k=1, max_gap=15
+        )
+        assert relaxed.found and relaxed.gap == 10.0
+
+        # (4) ... and alternatively a single-flight adjustment fixes the collection.
+        additions = Database(
+            [
+                Relation(
+                    flight_schema(),
+                    [("NEW1", "edi", "nyc", 950, "1/1/2012", 1320, "1/1/2012", 505)],
+                )
+            ]
+        )
+        adjusted = find_item_adjustment(
+            broken.database,
+            query,
+            lambda row: -float(row[3]),
+            additions,
+            rating_bound=-600.0,
+            k=1,
+            max_changes=1,
+            allow_deletions=False,
+        )
+        assert adjusted.found and len(adjusted.adjustment) == 1
+
+    def test_counting_travel_packages(self):
+        scenario = example_1_1_scenario(k=1)
+        counted = count_valid_packages(scenario.package_problem, -50.0)
+        assert counted.count > 0
+        # every counted package respects the museum limit by construction
+        assert counted.count <= count_valid_packages(scenario.package_problem, -100.0).count
+
+
+class TestExampleScripts:
+    """The shipped examples must run unmodified (they double as documentation)."""
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "quickstart",
+            "travel_planning",
+            "course_packages",
+            "team_formation",
+            "complexity_tables",
+            "query_languages",
+        ],
+    )
+    def test_example_main_runs(self, module_name, capsys):
+        import importlib.util
+        import pathlib
+
+        path = pathlib.Path(__file__).resolve().parent.parent / "examples" / f"{module_name}.py"
+        spec = importlib.util.spec_from_file_location(f"example_{module_name}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        output = capsys.readouterr().out
+        assert output.strip()

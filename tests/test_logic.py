@@ -1,0 +1,169 @@
+"""Tests for the propositional/QBF substrate."""
+
+import pytest
+
+from repro.logic import (
+    CNFFormula,
+    Clause,
+    DNFFormula,
+    Literal,
+    MaxWeightSATInstance,
+    SATUNSATInstance,
+    Term3,
+    count_models,
+    count_pi1_assignments,
+    count_sigma1_assignments,
+    dpll_satisfiable,
+    enumerate_assignments,
+    exists_forall_dnf_true,
+    max_weight_assignment,
+    random_3cnf,
+    random_3dnf,
+    random_exists_forall_dnf,
+    random_max_weight_sat,
+    random_sat_unsat,
+)
+from repro.logic.formulas import cnf, dnf
+from repro.logic.generators import unsatisfiable_3cnf
+from repro.logic.problems import ExistsForallDNF, SigmaPiCountingInstance
+from repro.logic.solvers import complete_assignment, last_witness
+
+
+class TestFormulas:
+    def test_literal_evaluation(self):
+        assert Literal("x").evaluate({"x": True}) is True
+        assert Literal("x", False).evaluate({"x": True}) is False
+        assert Literal("x").negate() == Literal("x", False)
+
+    def test_clause_evaluation(self):
+        clause = Clause([Literal("x"), Literal("y", False)])
+        assert clause.evaluate({"x": False, "y": False}) is True
+        assert clause.evaluate({"x": False, "y": True}) is False
+
+    def test_clause_satisfying_local_assignments(self):
+        clause = Clause([Literal("x"), Literal("y")])
+        assignments = clause.satisfying_local_assignments()
+        assert len(assignments) == 3  # all but x=y=False
+        assert all(clause.evaluate(a) for a in assignments)
+
+    def test_cnf_and_dnf_evaluation(self):
+        phi = cnf([("x", True), ("y", True)], [("x", False)])
+        assert phi.evaluate({"x": False, "y": True}) is True
+        assert phi.evaluate({"x": True, "y": True}) is False
+        psi = dnf([("x", True), ("y", True)], [("z", True)])
+        assert psi.evaluate({"x": True, "y": True, "z": False}) is True
+        assert psi.evaluate({"x": True, "y": False, "z": False}) is False
+
+    def test_variables_sorted(self):
+        phi = cnf([("b", True)], [("a", True), ("c", False)])
+        assert phi.variables() == ("a", "b", "c")
+
+    def test_negate_dnf_to_cnf(self):
+        psi = dnf([("x", True), ("y", False)])
+        negated = psi.negate_to_cnf()
+        for assignment in enumerate_assignments(["x", "y"]):
+            assert negated.evaluate(assignment) == (not psi.evaluate(assignment))
+
+    def test_is_3cnf_and_3dnf(self):
+        assert random_3cnf(4, 5, seed=0).is_3cnf()
+        assert random_3dnf(4, 5, seed=0).is_3dnf()
+
+
+class TestSolvers:
+    def test_dpll_on_satisfiable(self):
+        phi = random_3cnf(5, 8, seed=3)
+        model = dpll_satisfiable(phi)
+        expected_satisfiable = any(phi.evaluate(a) for a in enumerate_assignments(phi.variables()))
+        assert (model is not None) == expected_satisfiable
+        if model is not None:
+            assert phi.evaluate(complete_assignment(phi, model))
+
+    def test_dpll_on_unsatisfiable(self):
+        assert dpll_satisfiable(unsatisfiable_3cnf()) is None
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dpll_agrees_with_brute_force(self, seed):
+        phi = random_3cnf(4, 6, seed=seed)
+        brute = any(phi.evaluate(a) for a in enumerate_assignments(phi.variables()))
+        assert (dpll_satisfiable(phi) is not None) == brute
+
+    def test_count_models_matches_brute_force(self):
+        phi = random_3cnf(4, 4, seed=1)
+        brute = sum(1 for a in enumerate_assignments(phi.variables()) if phi.evaluate(a))
+        assert count_models(phi) == brute
+
+    def test_max_weight_assignment(self):
+        instance = random_max_weight_sat(4, 5, seed=2)
+        assignment, weight = max_weight_assignment(instance)
+        assert instance.weight_of(assignment) == weight
+        assert weight == instance.answer()
+        # No assignment can beat the reported optimum.
+        assert all(
+            instance.weight_of(a) <= weight
+            for a in enumerate_assignments(instance.formula.variables())
+        )
+
+    def test_exists_forall_dnf(self):
+        # ∃x ∀y: (x ∧ y) ∨ (x ∧ ¬y) is true with x = True.
+        instance = ExistsForallDNF(
+            ("x",),
+            ("y",),
+            DNFFormula([Term3([Literal("x"), Literal("y")]), Term3([Literal("x"), Literal("y", False)])]),
+        )
+        assert exists_forall_dnf_true(instance) is True
+        assert instance.witness() == {"x": True}
+        assert last_witness(instance) == {"x": True}
+
+    def test_exists_forall_dnf_false(self):
+        # ∃x ∀y: (x ∧ y) is false (y = False defeats it).
+        instance = ExistsForallDNF(("x",), ("y",), DNFFormula([Term3([Literal("x"), Literal("y")])]))
+        assert exists_forall_dnf_true(instance) is False
+        assert instance.witness() is None
+
+    def test_quantifier_blocks_must_be_disjoint(self):
+        with pytest.raises(ValueError):
+            ExistsForallDNF(("x",), ("x",), DNFFormula([Term3([Literal("x")])]))
+
+    def test_counting_sigma1_and_pi1(self):
+        # ϕ(X, Y) = ∃x (x ∨ y): true for every y, so #Σ1 = 2.
+        matrix_cnf = CNFFormula([Clause([Literal("x"), Literal("y")])])
+        assert count_sigma1_assignments(("x",), ("y",), matrix_cnf) == 2
+        # ϕ(X, Y) = ∀x (x ∧ y): never true (x = False defeats it), so #Π1 = 0.
+        matrix_dnf = DNFFormula([Term3([Literal("x"), Literal("y")])])
+        assert count_pi1_assignments(("x",), ("y",), matrix_dnf) == 0
+
+    def test_sat_unsat_instance(self):
+        instance = SATUNSATInstance(random_3cnf(3, 3, seed=5), unsatisfiable_3cnf())
+        sat1, sat2 = instance.components()
+        assert instance.answer() == (sat1 and not sat2)
+        assert sat2 is False
+
+    def test_counting_instance_validation(self):
+        with pytest.raises(ValueError):
+            SigmaPiCountingInstance(("x",), ("y",))
+
+
+class TestGenerators:
+    def test_generators_are_deterministic_per_seed(self):
+        assert random_3cnf(4, 5, seed=9).clauses == random_3cnf(4, 5, seed=9).clauses
+        first = random_max_weight_sat(4, 5, seed=9)
+        second = random_max_weight_sat(4, 5, seed=9)
+        assert first.weights == second.weights
+
+    def test_weight_count_matches_clause_count(self):
+        instance = random_max_weight_sat(4, 6, seed=1)
+        assert len(instance.weights) == len(instance.formula.clauses)
+
+    def test_weight_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MaxWeightSATInstance(random_3cnf(3, 3, seed=0), (1, 2))
+
+    def test_sat_unsat_uses_disjoint_variables(self):
+        instance = random_sat_unsat(3, 4, seed=4)
+        assert not set(instance.phi1.variables()) & set(instance.phi2.variables())
+
+    def test_exists_forall_generator_blocks(self):
+        instance = random_exists_forall_dnf(2, 3, 4, seed=5)
+        assert len(instance.exists_variables) == 2
+        assert len(instance.forall_variables) == 3
+        assert len(instance.matrix.terms) == 4

@@ -1,0 +1,182 @@
+"""Q and Qc in different query languages.
+
+The paper assumes, purely to simplify its statements, that the selection query
+Q and the compatibility query Qc come from the same language LQ, and lists the
+mixed setting as future work (Section 2 and Section 9).  The implementation
+has no such restriction: Qc is just a query evaluated over ``RQ`` and the
+database.  These tests exercise the mixed combinations the motivating examples
+actually need — an SP/CQ selection with an FO prerequisite constraint, a CQ
+selection with a recursive Datalog constraint — and check the Corollary 6.3
+equivalence between a query Qc and the same condition as a PTIME predicate.
+"""
+
+import pytest
+
+from repro.core import (
+    CountCost,
+    CountRating,
+    PolynomialBound,
+    QueryConstraint,
+    RecommendationProblem,
+    compute_top_k,
+    count_valid_packages,
+    is_top_k_selection,
+)
+from repro.queries import QueryLanguage, classify_query, identity_query_for
+from repro.queries.ast import RelationAtom, Var
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.datalog import DatalogProgram, DatalogRule
+from repro.relational import Database
+from repro.workloads.courses import (
+    course_plan_scenario,
+    prerequisite_closure_constraint,
+    prerequisite_closure_predicate,
+    small_course_database,
+)
+
+
+class TestSPSelectionWithFOConstraint:
+    """The course workload: Q is an SP query, Qc is an FO query with negation."""
+
+    def test_languages_differ(self):
+        scenario = course_plan_scenario(use_fo_constraint=True)
+        assert classify_query(scenario.problem.query) in (QueryLanguage.SP, QueryLanguage.CQ)
+        constraint = scenario.problem.compatibility
+        assert isinstance(constraint, QueryConstraint)
+        assert classify_query(constraint.query) is QueryLanguage.FO
+
+    def test_plans_are_prerequisite_closed(self):
+        scenario = course_plan_scenario(use_fo_constraint=True)
+        result = compute_top_k(scenario.problem)
+        assert result.found
+        prereqs = dict()
+        for cid, pre in scenario.database.relation("prereq"):
+            prereqs.setdefault(cid, set()).add(pre)
+        for package in result.selection:
+            chosen = {item[0] for item in package.items}
+            for cid in chosen:
+                assert prereqs.get(cid, set()) <= chosen
+
+    def test_fo_constraint_equals_ptime_predicate(self):
+        """Corollary 6.3 in practice: the FO Qc and the PTIME predicate agree."""
+        fo_scenario = course_plan_scenario(use_fo_constraint=True)
+        ptime_scenario = course_plan_scenario(use_fo_constraint=False)
+        fo_result = compute_top_k(fo_scenario.problem)
+        ptime_result = compute_top_k(ptime_scenario.problem)
+        assert fo_result.ratings == ptime_result.ratings
+        assert set(fo_result.selection.as_set()) == set(ptime_result.selection.as_set())
+
+    def test_rpp_accepts_the_mixed_language_selection(self):
+        scenario = course_plan_scenario(use_fo_constraint=True)
+        result = compute_top_k(scenario.problem)
+        assert is_top_k_selection(scenario.problem, result.selection).is_top_k
+
+    def test_counting_agrees_across_constraint_representations(self):
+        fo_problem = course_plan_scenario(use_fo_constraint=True).problem
+        ptime_problem = course_plan_scenario(use_fo_constraint=False).problem
+        bound = 15.0
+        assert count_valid_packages(fo_problem, bound).count == count_valid_packages(
+            ptime_problem, bound
+        ).count
+
+
+class TestCQSelectionWithDatalogConstraint:
+    """An antichain problem: CQ selection, recursive-Datalog compatibility."""
+
+    @pytest.fixture
+    def dag_database(self) -> Database:
+        database = Database()
+        database.create_relation("node", ["nid"], [(i,) for i in range(1, 8)])
+        database.create_relation(
+            "edge", ["src", "dst"], [(1, 2), (2, 3), (1, 4), (4, 5), (3, 6)]
+        )
+        return database
+
+    @pytest.fixture
+    def antichain_problem(self, dag_database) -> RecommendationProblem:
+        query = identity_query_for(dag_database.relation("node"), name="all_nodes")
+        x, y, z = Var("x"), Var("y"), Var("z")
+        rules = [
+            DatalogRule(RelationAtom("reach", [x, y]), [RelationAtom("edge", [x, y])]),
+            DatalogRule(
+                RelationAtom("reach", [x, z]),
+                [RelationAtom("reach", [x, y]), RelationAtom("edge", [y, z])],
+            ),
+            DatalogRule(
+                RelationAtom("viol", [x, y]),
+                [RelationAtom("RQ", [x]), RelationAtom("RQ", [y]), RelationAtom("reach", [x, y])],
+            ),
+        ]
+        constraint = QueryConstraint(
+            DatalogProgram(rules, output="viol", name="comparable_pair"), answer_relation="RQ"
+        )
+        return RecommendationProblem(
+            database=dag_database,
+            query=query,
+            cost=CountCost(),
+            val=CountRating(),
+            budget=6.0,
+            k=1,
+            compatibility=constraint,
+            size_bound=PolynomialBound(1.0, 1),
+            name="maximum antichain",
+            monotone_cost=True,
+            antimonotone_compatibility=True,
+        )
+
+    def test_languages_differ(self, antichain_problem):
+        assert classify_query(antichain_problem.query) in (QueryLanguage.SP, QueryLanguage.CQ)
+        assert classify_query(antichain_problem.compatibility.query) is QueryLanguage.DATALOG
+
+    def test_top_package_is_a_maximum_antichain(self, antichain_problem, dag_database):
+        result = compute_top_k(antichain_problem)
+        assert result.found
+        package = result.selection.packages[0]
+        chosen = {item[0] for item in package.items}
+        # Compute reachability by hand and check no chosen node reaches another.
+        edges = dag_database.relation("edge").rows()
+        reach = {(a, b) for a, b in edges}
+        changed = True
+        while changed:
+            changed = False
+            for a, b in list(reach):
+                for c, d in edges:
+                    if b == c and (a, d) not in reach:
+                        reach.add((a, d))
+                        changed = True
+        assert not any((a, b) in reach for a in chosen for b in chosen)
+        # The DAG 1→2→3→6, 1→4→5 plus the isolated node 7 has maximum antichains
+        # of size 3 (e.g. {2, 4, 7}); the solver must find one of them.
+        assert len(chosen) == 3
+
+    def test_constraint_rejects_comparable_pairs(self, antichain_problem, dag_database):
+        schema = antichain_problem.query.output_schema()
+        from repro.core import Package
+
+        comparable = Package(schema, [(1,), (3,)])  # 1 reaches 3 through 2
+        incomparable = Package(schema, [(2,), (4,)])
+        assert not antichain_problem.compatibility.is_satisfied(comparable, dag_database)
+        assert antichain_problem.compatibility.is_satisfied(incomparable, dag_database)
+
+
+class TestConjunctionAcrossLanguages:
+    """A single problem can mix an FO part and a PTIME predicate part in one Qc."""
+
+    def test_conjunction_of_fo_and_predicate(self):
+        from repro.core import ConjunctionConstraint, all_distinct_on
+
+        database = small_course_database()
+        fo_part = prerequisite_closure_constraint()
+        predicate_part = all_distinct_on("area", "one course per area")
+        scenario = course_plan_scenario(database=database)
+        problem = scenario.problem
+        problem.compatibility = ConjunctionConstraint(fo_part, predicate_part)
+        result = compute_top_k(problem)
+        assert result.found
+        for package in result.selection:
+            areas = [item[2] for item in package.items]
+            assert len(areas) == len(set(areas))
+            chosen = {item[0] for item in package.items}
+            for cid, pre in database.relation("prereq"):
+                if cid in chosen:
+                    assert pre in chosen

@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AttributeSumCost,
+    AttributeSumRating,
+    CountCost,
+    Package,
+    PolynomialBound,
+    RecommendationProblem,
+    compute_top_k,
+    count_valid_packages,
+    enumerate_valid_packages,
+    is_top_k_selection,
+    maximum_bound,
+)
+from repro.logic.formulas import CNFFormula, Clause, Literal
+from repro.logic.solvers import count_models, dpll_satisfiable, enumerate_assignments
+from repro.queries import ConjunctiveQuery, identity_query
+from repro.queries.ast import Comparison, ComparisonOp, RelationAtom, Var
+from repro.reductions import compatibility_from_3sat, cpp_from_3sat
+from repro.relational import Database, Relation, RelationSchema
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+values = st.one_of(st.integers(min_value=-5, max_value=5), st.sampled_from(["a", "b", "c"]))
+
+rows = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4)),
+    min_size=0,
+    max_size=12,
+)
+
+
+def small_cnf() -> st.SearchStrategy[CNFFormula]:
+    literal = st.builds(
+        Literal,
+        variable=st.sampled_from(["p", "q", "r"]),
+        positive=st.booleans(),
+    )
+    clause = st.builds(Clause, st.lists(literal, min_size=1, max_size=3))
+    return st.builds(CNFFormula, st.lists(clause, min_size=1, max_size=3))
+
+
+def item_rows() -> st.SearchStrategy:
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),
+            st.sampled_from(["a", "b"]),
+            st.integers(min_value=1, max_value=9),
+            st.integers(min_value=1, max_value=9),
+        ),
+        min_size=1,
+        max_size=6,
+        unique_by=lambda row: row[0],
+    )
+
+
+def problem_from_rows(rows_list, budget: float, k: int = 1) -> RecommendationProblem:
+    schema = RelationSchema("items", ["iid", "category", "price", "quality"])
+    database = Database([Relation(schema, rows_list)])
+    return RecommendationProblem(
+        database=database,
+        query=identity_query("items", ["iid", "category", "price", "quality"]),
+        cost=AttributeSumCost("price"),
+        val=AttributeSumRating("quality"),
+        budget=budget,
+        k=k,
+        size_bound=PolynomialBound(1.0, 1),
+        monotone_cost=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Relational / query properties
+# ---------------------------------------------------------------------------
+@given(rows)
+def test_relation_set_semantics(edge_rows):
+    schema = RelationSchema("edge", ["src", "dst"])
+    relation = Relation(schema, edge_rows)
+    assert len(relation) == len(set(map(tuple, edge_rows)))
+    for row in edge_rows:
+        assert tuple(row) in relation
+
+
+@given(rows)
+def test_cq_join_matches_python_semantics(edge_rows):
+    """Q(x, z) :- edge(x, y), edge(y, z) computed by the evaluator equals a
+    straightforward nested-loop computation in Python."""
+    schema = RelationSchema("edge", ["src", "dst"])
+    database = Database([Relation(schema, edge_rows)])
+    x, y, z = Var("x"), Var("y"), Var("z")
+    query = ConjunctiveQuery([x, z], [RelationAtom("edge", [x, y]), RelationAtom("edge", [y, z])])
+    expected = {
+        (a, d)
+        for (a, b) in set(map(tuple, edge_rows))
+        for (c, d) in set(map(tuple, edge_rows))
+        if b == c
+    }
+    assert query.evaluate(database).rows() == expected
+
+
+@given(rows, st.integers(min_value=0, max_value=4))
+def test_cq_selection_constant_matches_filter(edge_rows, pivot):
+    schema = RelationSchema("edge", ["src", "dst"])
+    database = Database([Relation(schema, edge_rows)])
+    x, y = Var("x"), Var("y")
+    query = ConjunctiveQuery(
+        [x, y], [RelationAtom("edge", [x, y])], [Comparison(ComparisonOp.GE, y, pivot)]
+    )
+    expected = {(a, b) for (a, b) in set(map(tuple, edge_rows)) if b >= pivot}
+    assert query.evaluate(database).rows() == expected
+
+
+# ---------------------------------------------------------------------------
+# Logic properties
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+@given(small_cnf())
+def test_dpll_agrees_with_enumeration(formula):
+    brute = any(formula.evaluate(a) for a in enumerate_assignments(formula.variables()))
+    assert (dpll_satisfiable(formula) is not None) == brute
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+@given(small_cnf())
+def test_model_count_bounds(formula):
+    count = count_models(formula)
+    assert 0 <= count <= 2 ** len(formula.variables())
+    assert (count > 0) == (dpll_satisfiable(formula) is not None)
+
+
+# ---------------------------------------------------------------------------
+# Reduction properties
+# ---------------------------------------------------------------------------
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(small_cnf())
+def test_sat_compatibility_reduction_agrees_with_dpll(formula):
+    encoding = compatibility_from_3sat(formula)
+    assert encoding.solve() == encoding.expected()
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(small_cnf())
+def test_sharp_sat_reduction_counts_models(formula):
+    encoding = cpp_from_3sat(formula)
+    assert encoding.solve() == encoding.expected()
+
+
+# ---------------------------------------------------------------------------
+# Recommendation model invariants
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(item_rows(), st.integers(min_value=1, max_value=20))
+def test_top_k_selection_is_always_verified_by_rpp(rows_list, budget):
+    problem = problem_from_rows(rows_list, float(budget), k=1)
+    result = compute_top_k(problem)
+    if result.found:
+        assert is_top_k_selection(problem, result.selection).is_top_k
+        # and its rating equals the maximum bound
+        assert math.isclose(result.ratings[0], maximum_bound(problem))
+    else:
+        assert maximum_bound(problem) is None
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(item_rows(), st.integers(min_value=1, max_value=20))
+def test_every_enumerated_package_is_valid_and_within_budget(rows_list, budget):
+    problem = problem_from_rows(rows_list, float(budget))
+    for package in enumerate_valid_packages(problem):
+        assert problem.cost(package) <= problem.budget
+        assert len(package) <= problem.max_package_size()
+        assert problem.is_valid_package(package)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(item_rows(), st.integers(min_value=1, max_value=15), st.integers(min_value=0, max_value=20))
+def test_cpp_is_antitone_in_the_rating_bound(rows_list, budget, bound):
+    problem = problem_from_rows(rows_list, float(budget))
+    lower = count_valid_packages(problem, float(bound)).count
+    higher = count_valid_packages(problem, float(bound) + 1.0).count
+    assert higher <= lower
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(item_rows(), st.integers(min_value=1, max_value=15))
+def test_constant_bound_never_beats_polynomial_bound(rows_list, budget):
+    poly = problem_from_rows(rows_list, float(budget))
+    constant = poly.with_constant_bound(1)
+    poly_best = maximum_bound(poly)
+    constant_best = maximum_bound(constant)
+    if constant_best is not None:
+        assert poly_best is not None and poly_best >= constant_best
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(item_rows())
+def test_package_hash_equality_invariant(rows_list):
+    schema = RelationSchema("items", ["iid", "category", "price", "quality"])
+    first = Package(schema, rows_list)
+    second = Package(schema, list(reversed(rows_list)))
+    assert first == second
+    assert hash(first) == hash(second)
+    assert len(first) == len(set(map(tuple, rows_list)))

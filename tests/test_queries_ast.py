@@ -1,0 +1,142 @@
+"""Tests for the query AST: terms, atoms, comparisons, formulas."""
+
+import pytest
+
+from repro.queries.ast import (
+    And,
+    Comparison,
+    ComparisonOp,
+    Const,
+    Exists,
+    ForAll,
+    Not,
+    Or,
+    RelationAtom,
+    Var,
+    all_variables,
+    formula_constants,
+    free_variables,
+    is_conjunctive,
+    is_positive_existential,
+    relation_names,
+    substitute,
+)
+from repro.relational.errors import QueryError
+
+
+class TestTerms:
+    def test_var_requires_name(self):
+        with pytest.raises(QueryError):
+            Var("")
+
+    def test_terms_are_hashable_and_equal_by_value(self):
+        assert Var("x") == Var("x")
+        assert Const(3) == Const(3)
+        assert len({Var("x"), Var("x"), Const(3)}) == 2
+
+
+class TestComparisonOp:
+    @pytest.mark.parametrize(
+        "op, left, right, expected",
+        [
+            (ComparisonOp.EQ, 1, 1, True),
+            (ComparisonOp.NE, 1, 2, True),
+            (ComparisonOp.LT, 1, 2, True),
+            (ComparisonOp.LE, 2, 2, True),
+            (ComparisonOp.GT, 3, 2, True),
+            (ComparisonOp.GE, 2, 3, False),
+        ],
+    )
+    def test_apply(self, op, left, right, expected):
+        assert op.apply(left, right) is expected
+
+    def test_negation_is_involutive(self):
+        for op in ComparisonOp:
+            assert op.negate().negate() is op
+
+    def test_negation_semantics(self):
+        for op in ComparisonOp:
+            for left, right in [(1, 2), (2, 2), (3, 2)]:
+                assert op.apply(left, right) != op.negate().apply(left, right)
+
+    def test_flip_semantics(self):
+        for op in ComparisonOp:
+            for left, right in [(1, 2), (2, 2), (3, 2)]:
+                assert op.apply(left, right) == op.flip().apply(right, left)
+
+    def test_from_symbol_aliases(self):
+        assert ComparisonOp.from_symbol("==") is ComparisonOp.EQ
+        assert ComparisonOp.from_symbol("<>") is ComparisonOp.NE
+        with pytest.raises(QueryError):
+            ComparisonOp.from_symbol("~")
+
+
+class TestAtoms:
+    def test_relation_atom_coerces_constants(self):
+        atom = RelationAtom("poi", [Var("x"), "museum", 3])
+        assert atom.terms[1] == Const("museum")
+        assert atom.variables() == frozenset({Var("x")})
+        assert atom.constants() == ("museum", 3)
+
+    def test_relation_atom_substitute(self):
+        atom = RelationAtom("edge", [Var("x"), Var("y")])
+        result = atom.substitute({Var("x"): Const(1)})
+        assert result.terms == (Const(1), Var("y"))
+
+    def test_comparison_evaluate(self):
+        comparison = Comparison("<", Var("x"), 5)
+        assert comparison.evaluate({"x": 3}) is True
+        assert comparison.evaluate({"x": 7}) is False
+
+    def test_comparison_is_ground_under(self):
+        comparison = Comparison("=", Var("x"), Var("y"))
+        assert comparison.is_ground_under({"x": 1, "y": 2}) is True
+        assert comparison.is_ground_under({"x": 1}) is False
+
+
+class TestFormulas:
+    def setup_method(self):
+        self.x, self.y, self.z = Var("x"), Var("y"), Var("z")
+        self.edge_xy = RelationAtom("edge", [self.x, self.y])
+        self.edge_yz = RelationAtom("edge", [self.y, self.z])
+
+    def test_and_flattens(self):
+        formula = And(And(self.edge_xy, self.edge_yz), self.edge_xy)
+        assert len(formula.operands) == 3
+
+    def test_or_flattens(self):
+        formula = Or(Or(self.edge_xy, self.edge_yz), self.edge_xy)
+        assert len(formula.operands) == 3
+
+    def test_free_variables_under_quantifier(self):
+        formula = Exists(self.y, And(self.edge_xy, self.edge_yz))
+        assert free_variables(formula) == frozenset({self.x, self.z})
+        assert all_variables(formula) == frozenset({self.x, self.y, self.z})
+
+    def test_free_variables_forall_and_not(self):
+        formula = ForAll(self.z, Not(self.edge_yz))
+        assert free_variables(formula) == frozenset({self.y})
+
+    def test_relation_names(self):
+        formula = And(self.edge_xy, RelationAtom("poi", [self.x]), Comparison("=", self.x, 1))
+        assert relation_names(formula) == frozenset({"edge", "poi"})
+
+    def test_formula_constants(self):
+        formula = Exists(self.y, And(RelationAtom("edge", [self.x, 7]), Comparison(">", self.x, 2)))
+        assert sorted(formula_constants(formula)) == [2, 7]
+
+    def test_substitute_respects_binding(self):
+        formula = Exists(self.y, self.edge_xy)
+        substituted = substitute(formula, {self.x: Const(1), self.y: Const(99)})
+        # x is free and gets substituted; y is bound and must not be touched.
+        inner = substituted.operand
+        assert inner.terms == (Const(1), self.y)
+
+    def test_language_fragments(self):
+        cq_formula = Exists(self.y, And(self.edge_xy, self.edge_yz))
+        ucq_formula = Or(self.edge_xy, self.edge_yz)
+        fo_formula = Not(self.edge_xy)
+        assert is_conjunctive(cq_formula) is True
+        assert is_conjunctive(ucq_formula) is False
+        assert is_positive_existential(ucq_formula) is True
+        assert is_positive_existential(fo_formula) is False

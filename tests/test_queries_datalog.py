@@ -1,0 +1,148 @@
+"""Tests for Datalog and non-recursive Datalog programs."""
+
+import pytest
+
+from repro.queries import DatalogProgram, DatalogRule, NonRecursiveDatalogProgram
+from repro.queries.ast import Comparison, RelationAtom, Var
+from repro.relational import Database
+from repro.relational.errors import QueryError
+
+
+@pytest.fixture
+def graph(edge_database: Database) -> Database:
+    return edge_database
+
+
+def reachability_program() -> DatalogProgram:
+    x, y, z = Var("x"), Var("y"), Var("z")
+    rules = [
+        DatalogRule(RelationAtom("reach", [x, y]), [RelationAtom("edge", [x, y])]),
+        DatalogRule(
+            RelationAtom("reach", [x, z]),
+            [RelationAtom("reach", [x, y]), RelationAtom("edge", [y, z])],
+        ),
+    ]
+    return DatalogProgram(rules, output="reach")
+
+
+class TestDatalogRule:
+    def test_unsafe_head_rejected(self):
+        x, y = Var("x"), Var("y")
+        with pytest.raises(QueryError):
+            DatalogRule(RelationAtom("p", [x, y]), [RelationAtom("edge", [x, x])])
+
+    def test_unsafe_comparison_rejected(self):
+        x, z = Var("x"), Var("z")
+        with pytest.raises(QueryError):
+            DatalogRule(
+                RelationAtom("p", [x]),
+                [RelationAtom("edge", [x, x])],
+                [Comparison(">", z, 1)],
+            )
+
+    def test_constants_collected(self):
+        x = Var("x")
+        rule = DatalogRule(RelationAtom("p", [x]), [RelationAtom("edge", [x, 7])])
+        assert 7 in rule.constants()
+
+
+class TestDatalogProgram:
+    def test_transitive_closure(self, graph: Database):
+        program = reachability_program()
+        expected = {(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)}
+        assert program.evaluate(graph).rows() == expected
+
+    def test_is_recursive(self, graph: Database):
+        assert reachability_program().is_recursive() is True
+
+    def test_output_predicate_must_exist(self):
+        x = Var("x")
+        rule = DatalogRule(RelationAtom("p", [x]), [RelationAtom("edge", [x, x])])
+        with pytest.raises(QueryError):
+            DatalogProgram([rule], output="missing")
+
+    def test_arity_conflict_rejected(self):
+        x, y = Var("x"), Var("y")
+        rules = [
+            DatalogRule(RelationAtom("p", [x]), [RelationAtom("edge", [x, y])]),
+            DatalogRule(RelationAtom("p", [x, y]), [RelationAtom("edge", [x, y])]),
+        ]
+        with pytest.raises(QueryError):
+            DatalogProgram(rules, output="p")
+
+    def test_edb_and_idb_predicates(self):
+        program = reachability_program()
+        assert program.idb_predicates() == frozenset({"reach"})
+        assert program.edb_predicates() == frozenset({"edge"})
+        assert program.relations_used() == frozenset({"edge"})
+
+    def test_contains(self, graph: Database):
+        program = reachability_program()
+        assert program.contains(graph, (1, 4)) is True
+        assert program.contains(graph, (4, 1)) is False
+
+    def test_comparisons_in_rules(self, graph: Database):
+        x, y = Var("x"), Var("y")
+        rules = [
+            DatalogRule(
+                RelationAtom("big_edge", [x, y]),
+                [RelationAtom("edge", [x, y])],
+                [Comparison(">=", y, 4)],
+            )
+        ]
+        program = DatalogProgram(rules, output="big_edge")
+        assert program.evaluate(graph).rows() == {(3, 4), (2, 4)}
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(QueryError):
+            DatalogProgram([], output="p")
+
+    def test_extra_relations_override(self, graph: Database):
+        from repro.relational import Relation, RelationSchema
+
+        program = reachability_program()
+        override = Relation(RelationSchema("edge", ["a", "b"]), [(10, 11)])
+        result = program.evaluate(graph, extra_relations={"edge": override})
+        assert result.rows() == {(10, 11)}
+
+
+class TestNonRecursiveDatalog:
+    def build_program(self) -> NonRecursiveDatalogProgram:
+        x, y, z = Var("x"), Var("y"), Var("z")
+        rules = [
+            DatalogRule(RelationAtom("hop", [x, z]), [RelationAtom("edge", [x, y]), RelationAtom("edge", [y, z])]),
+            DatalogRule(RelationAtom("answer", [x]), [RelationAtom("hop", [x, 4])]),
+        ]
+        return NonRecursiveDatalogProgram(rules, output="answer")
+
+    def test_layered_evaluation(self, graph: Database):
+        program = self.build_program()
+        assert program.evaluate(graph).rows() == {(1,), (2,)}
+
+    def test_stratification_order(self):
+        program = self.build_program()
+        order = program.stratification()
+        assert order.index("hop") < order.index("answer")
+
+    def test_recursive_program_rejected(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        rules = [
+            DatalogRule(RelationAtom("reach", [x, y]), [RelationAtom("edge", [x, y])]),
+            DatalogRule(
+                RelationAtom("reach", [x, z]),
+                [RelationAtom("reach", [x, y]), RelationAtom("edge", [y, z])],
+            ),
+        ]
+        with pytest.raises(QueryError):
+            NonRecursiveDatalogProgram(rules, output="reach")
+
+    def test_stratification_rejected_for_recursive_program(self, graph: Database):
+        program = reachability_program()
+        with pytest.raises(QueryError):
+            program.stratification()
+
+    def test_agrees_with_fixpoint_evaluation(self, graph: Database):
+        nonrecursive = self.build_program()
+        # The same rules evaluated by the generic fixpoint engine must agree.
+        generic = DatalogProgram(nonrecursive.rules, output="answer")
+        assert generic.evaluate(graph).rows() == nonrecursive.evaluate(graph).rows()

@@ -1,0 +1,117 @@
+"""Tests for first-order queries under active-domain semantics."""
+
+import pytest
+
+from repro.queries import FirstOrderQuery
+from repro.queries.ast import (
+    And,
+    Comparison,
+    Exists,
+    ForAll,
+    Not,
+    Or,
+    RelationAtom,
+    Var,
+)
+from repro.relational import Database
+from repro.relational.errors import QueryError
+
+
+@pytest.fixture
+def graph(edge_database: Database) -> Database:
+    return edge_database
+
+
+class TestFirstOrderQuery:
+    def test_atomic(self, graph: Database):
+        x, y = Var("x"), Var("y")
+        query = FirstOrderQuery([x, y], RelationAtom("edge", [x, y]))
+        assert query.evaluate(graph).rows() == graph.relation("edge").rows()
+
+    def test_negation(self, graph: Database):
+        # Nodes with an incoming edge but no outgoing edge: only 4.
+        x, y, z = Var("x"), Var("y"), Var("z")
+        query = FirstOrderQuery(
+            [x],
+            And(
+                Exists(y, RelationAtom("edge", [y, x])),
+                Not(Exists(z, RelationAtom("edge", [x, z]))),
+            ),
+        )
+        assert query.evaluate(graph).rows() == {(4,)}
+
+    def test_universal_quantification(self, graph: Database):
+        # Nodes x such that every edge out of x ends in 4 (vacuously true for sinks).
+        x, y = Var("x"), Var("y")
+        query = FirstOrderQuery(
+            [x],
+            ForAll(y, Or(Not(RelationAtom("edge", [x, y])), Comparison("=", y, 4))),
+        )
+        assert query.evaluate(graph).rows() == {(3,), (4,), (1,), (2,)} - {(1,), (2,)}
+
+    def test_implication_pattern(self, graph: Database):
+        # "if x reaches y in one step then y > x" holds for every edge here.
+        x, y = Var("x"), Var("y")
+        query = FirstOrderQuery(
+            [x],
+            ForAll(y, Or(Not(RelationAtom("edge", [x, y])), Comparison(">", y, x))),
+        )
+        # True for all nodes in the active domain.
+        assert len(query.evaluate(graph)) == 4
+
+    def test_head_variable_must_be_free(self):
+        x, y = Var("x"), Var("y")
+        with pytest.raises(QueryError):
+            FirstOrderQuery([x], Exists((x, y), RelationAtom("edge", [x, y])))
+
+    def test_boolean_query(self, graph: Database):
+        x = Var("x")
+        true_query = FirstOrderQuery([], Exists(x, RelationAtom("edge", [x, 4])))
+        false_query = FirstOrderQuery([], ForAll(x, RelationAtom("edge", [x, 4])))
+        assert true_query.is_boolean_true(graph) is True
+        assert false_query.is_boolean_true(graph) is False
+
+    def test_is_boolean_true_requires_empty_head(self, graph: Database):
+        x, y = Var("x"), Var("y")
+        query = FirstOrderQuery([x], Exists(y, RelationAtom("edge", [x, y])))
+        with pytest.raises(QueryError):
+            query.is_boolean_true(graph)
+
+    def test_contains(self, graph: Database):
+        x, y = Var("x"), Var("y")
+        query = FirstOrderQuery([x], Exists(y, RelationAtom("edge", [x, y])))
+        assert query.contains(graph, (1,))
+        assert not query.contains(graph, (4,))
+
+    def test_active_domain_includes_query_constants(self, graph: Database):
+        x = Var("x")
+        query = FirstOrderQuery([x], Or(RelationAtom("edge", [x, 2]), Comparison("=", x, 99)))
+        domain = query.active_domain(graph)
+        assert 99 in domain
+        # 99 satisfies the second disjunct even though it is not in the data.
+        assert (99,) in query.evaluate(graph).rows()
+
+    def test_guided_existential_matches_plain_iteration(self, graph: Database):
+        # The same query evaluated with quantifier-block sizes that force both
+        # the join-guided path and the fall-back iteration must agree.
+        x, y, z = Var("x"), Var("y"), Var("z")
+        guided = FirstOrderQuery(
+            [x], Exists((y, z), And(RelationAtom("edge", [x, y]), RelationAtom("edge", [y, z])))
+        )
+        plain = FirstOrderQuery(
+            [x],
+            Exists(y, And(RelationAtom("edge", [x, y]), Exists(z, RelationAtom("edge", [y, z])))),
+        )
+        assert guided.evaluate(graph).rows() == plain.evaluate(graph).rows() == {(1,), (2,)}
+
+    def test_equivalence_with_cq_on_positive_fragment(self, graph: Database):
+        from repro.queries import ConjunctiveQuery
+
+        x, y, z = Var("x"), Var("y"), Var("z")
+        fo_query = FirstOrderQuery(
+            [x, z], Exists(y, And(RelationAtom("edge", [x, y]), RelationAtom("edge", [y, z])))
+        )
+        cq_query = ConjunctiveQuery(
+            [x, z], [RelationAtom("edge", [x, y]), RelationAtom("edge", [y, z])]
+        )
+        assert fo_query.evaluate(graph).rows() == cq_query.evaluate(graph).rows()

@@ -1,0 +1,150 @@
+"""Tests for SP queries, identity queries, the parser and language classification."""
+
+import pytest
+
+from repro.queries import (
+    ConjunctiveQuery,
+    DatalogProgram,
+    NonRecursiveDatalogProgram,
+    QueryLanguage,
+    SPQuery,
+    UnionOfConjunctiveQueries,
+    classify_query,
+    identity_query,
+    identity_query_for,
+    parse_cq,
+    parse_program,
+    parse_rule,
+)
+from repro.queries.ast import Comparison, ComparisonOp, Const, RelationAtom, Var
+from repro.queries.languages import ALL_LANGUAGES, CQ_GROUP, FO_GROUP
+from repro.relational import Database
+from repro.relational.errors import QueryError
+
+
+@pytest.fixture
+def pois(poi_database: Database) -> Database:
+    return poi_database
+
+
+class TestSPQuery:
+    def test_selection_and_projection(self, pois: Database):
+        name, kind, ticket, time = Var("name"), Var("kind"), Var("ticket"), Var("time")
+        query = SPQuery(
+            "poi",
+            [name, kind, ticket, time],
+            [name, ticket],
+            [Comparison("=", kind, "museum")],
+        )
+        assert query.evaluate(pois).rows() == {("met", 25), ("moma", 25), ("guggenheim", 22)}
+
+    def test_constant_in_atom(self, pois: Database):
+        name, ticket, time = Var("name"), Var("ticket"), Var("time")
+        query = SPQuery("poi", [name, "park", ticket, time], [name])
+        assert query.evaluate(pois).rows() == {("high_line",), ("central_park",)}
+
+    def test_unsafe_head_rejected(self):
+        name, other = Var("name"), Var("other")
+        with pytest.raises(QueryError):
+            SPQuery("poi", [name, name, name, name], [other])
+
+    def test_unsafe_comparison_rejected(self):
+        name, other = Var("name"), Var("other")
+        with pytest.raises(QueryError):
+            SPQuery("poi", [name, name, name, name], [name], [Comparison("=", other, 1)])
+
+    def test_to_cq_equivalence(self, pois: Database):
+        name, kind, ticket, time = Var("name"), Var("kind"), Var("ticket"), Var("time")
+        query = SPQuery("poi", [name, kind, ticket, time], [name], [Comparison("<", ticket, 10)])
+        assert query.evaluate(pois).rows() == query.to_cq().evaluate(pois).rows()
+
+    def test_identity_query_int_arity(self, pois: Database):
+        query = identity_query("poi", 4)
+        assert query.evaluate(pois).rows() == pois.relation("poi").rows()
+        assert query.output_attributes == ("x1", "x2", "x3", "x4")
+
+    def test_identity_query_named_attributes(self, pois: Database):
+        query = identity_query_for(pois.relation("poi"))
+        assert query.output_attributes == ("name", "kind", "ticket", "time")
+        assert query.contains(pois, ("met", "museum", 25, 3))
+
+    def test_constants(self):
+        name, kind, ticket, time = Var("name"), Var("kind"), Var("ticket"), Var("time")
+        query = SPQuery("poi", [name, "park", ticket, time], [name], [Comparison("<", ticket, 10)])
+        assert set(query.constants()) == {"park", 10}
+
+
+class TestParser:
+    def test_parse_cq(self, edge_database: Database):
+        query = parse_cq("Q(x, z) :- edge(x, y), edge(y, z), x != z.")
+        assert isinstance(query, ConjunctiveQuery)
+        assert query.evaluate(edge_database).rows() == {(1, 3), (1, 4), (2, 4)}
+
+    def test_parse_constants_and_strings(self, poi_database: Database):
+        query = parse_cq("Q(n) :- poi(n, 'museum', t, h), t <= 24.")
+        assert query.evaluate(poi_database).rows() == {("guggenheim",)}
+
+    def test_parse_floats_and_negative_numbers(self):
+        rule = parse_rule("p(x) :- r(x, -2, 3.5).")
+        constants = rule.constants()
+        assert -2 in constants and 3.5 in constants
+
+    def test_parse_program_recursive(self, edge_database: Database):
+        program = parse_program(
+            "reach(x, y) :- edge(x, y). reach(x, z) :- reach(x, y), edge(y, z).",
+            output="reach",
+        )
+        assert isinstance(program, DatalogProgram)
+        assert not isinstance(program, NonRecursiveDatalogProgram)
+        assert (1, 4) in program.evaluate(edge_database).rows()
+
+    def test_parse_program_nonrecursive_classified(self, edge_database: Database):
+        program = parse_program(
+            "hop(x, z) :- edge(x, y), edge(y, z). out(x) :- hop(x, 4).", output="out"
+        )
+        assert isinstance(program, NonRecursiveDatalogProgram)
+
+    def test_parse_error_reported(self):
+        with pytest.raises(QueryError):
+            parse_cq("Q(x) :- edge(x, ???).")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            parse_rule("p(x) :- r(x). surprise")
+
+
+class TestLanguageClassification:
+    def test_classify_each_language(self, edge_database: Database):
+        x, y = Var("x"), Var("y")
+        sp = identity_query("edge", 2)
+        cq = parse_cq("Q(x) :- edge(x, y).")
+        ucq = UnionOfConjunctiveQueries([cq, parse_cq("Q(y) :- edge(x, y).")])
+        assert classify_query(sp) is QueryLanguage.SP
+        assert classify_query(cq) is QueryLanguage.CQ
+        assert classify_query(ucq) is QueryLanguage.UCQ
+
+    def test_single_disjunct_ucq_is_cq(self):
+        cq = parse_cq("Q(x) :- edge(x, y).")
+        assert classify_query(UnionOfConjunctiveQueries([cq])) is QueryLanguage.CQ
+
+    def test_datalog_classification_depends_on_recursion(self, edge_database: Database):
+        recursive = parse_program(
+            "reach(x, y) :- edge(x, y). reach(x, z) :- reach(x, y), edge(y, z).", output="reach"
+        )
+        layered = parse_program("p(x) :- edge(x, y). q(x) :- p(x).", output="q")
+        assert classify_query(recursive) is QueryLanguage.DATALOG
+        assert classify_query(layered) is QueryLanguage.DATALOG_NR
+
+    def test_classify_rejects_non_queries(self):
+        with pytest.raises(TypeError):
+            classify_query("not a query")
+
+    def test_language_lattice(self):
+        assert QueryLanguage.FO.subsumes(QueryLanguage.CQ)
+        assert QueryLanguage.DATALOG.subsumes(QueryLanguage.DATALOG_NR)
+        assert not QueryLanguage.CQ.subsumes(QueryLanguage.FO)
+        assert QueryLanguage.SP.has_ptime_membership_combined
+        assert not QueryLanguage.CQ.has_ptime_membership_combined
+
+    def test_groups_cover_all_languages(self):
+        assert set(ALL_LANGUAGES) >= set(CQ_GROUP) | set(FO_GROUP)

@@ -1,0 +1,122 @@
+"""Tests for unions of conjunctive queries and positive existential queries."""
+
+import pytest
+
+from repro.queries import (
+    ConjunctiveQuery,
+    PositiveExistentialQuery,
+    UnionOfConjunctiveQueries,
+)
+from repro.queries.ast import And, Comparison, Exists, Not, Or, RelationAtom, Var
+from repro.relational import Database
+from repro.relational.errors import QueryError
+
+
+@pytest.fixture
+def graph(edge_database: Database) -> Database:
+    return edge_database
+
+
+def single_atom_cq(constant: int) -> ConjunctiveQuery:
+    x = Var("x")
+    return ConjunctiveQuery([x], [RelationAtom("edge", [x, constant])])
+
+
+class TestUCQ:
+    def test_union_of_answers(self, graph: Database):
+        query = UnionOfConjunctiveQueries([single_atom_cq(2), single_atom_cq(4)])
+        assert query.evaluate(graph).rows() == {(1,), (3,), (2,)}
+
+    def test_requires_at_least_one_disjunct(self):
+        with pytest.raises(QueryError):
+            UnionOfConjunctiveQueries([])
+
+    def test_mismatched_arity_rejected(self, graph: Database):
+        x, y = Var("x"), Var("y")
+        binary = ConjunctiveQuery([x, y], [RelationAtom("edge", [x, y])])
+        with pytest.raises(QueryError):
+            UnionOfConjunctiveQueries([single_atom_cq(2), binary])
+
+    def test_contains_and_satisfiable(self, graph: Database):
+        query = UnionOfConjunctiveQueries([single_atom_cq(2), single_atom_cq(4)])
+        assert query.contains(graph, (3,))
+        assert not query.contains(graph, (4,))
+        assert query.is_satisfiable_on(graph)
+
+    def test_relations_used_and_len(self, graph: Database):
+        query = UnionOfConjunctiveQueries([single_atom_cq(2), single_atom_cq(4)])
+        assert query.relations_used() == frozenset({"edge"})
+        assert len(query) == 2
+        assert query.body_size() == 2
+
+
+class TestPositiveExistentialQuery:
+    def test_disjunction(self, graph: Database):
+        x = Var("x")
+        query = PositiveExistentialQuery(
+            [x], Or(RelationAtom("edge", [x, 2]), RelationAtom("edge", [x, 4]))
+        )
+        assert query.evaluate(graph).rows() == {(1,), (3,), (2,)}
+
+    def test_conjunction_with_existential(self, graph: Database):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        query = PositiveExistentialQuery(
+            [x],
+            Exists((y, z), And(RelationAtom("edge", [x, y]), RelationAtom("edge", [y, z]))),
+        )
+        assert query.evaluate(graph).rows() == {(1,), (2,)}
+
+    def test_distribution_over_and_or(self, graph: Database):
+        # (edge(x,2) OR edge(x,3)) AND edge(x,y) — DNF has two disjuncts.
+        x, y = Var("x"), Var("y")
+        query = PositiveExistentialQuery(
+            [x],
+            And(
+                Or(RelationAtom("edge", [x, 2]), RelationAtom("edge", [x, 3])),
+                Exists(y, RelationAtom("edge", [x, y])),
+            ),
+        )
+        assert len(query.to_ucq()) == 2
+        assert query.evaluate(graph).rows() == {(1,), (2,)}
+
+    def test_shared_bound_names_are_standardised_apart(self, graph: Database):
+        # EXISTS y edge(x, y) AND EXISTS y edge(y, x): the two y's are different.
+        x, y = Var("x"), Var("y")
+        query = PositiveExistentialQuery(
+            [x],
+            And(
+                Exists(y, RelationAtom("edge", [x, y])),
+                Exists(y, RelationAtom("edge", [y, x])),
+            ),
+        )
+        # Nodes with both an outgoing and an incoming edge: 2 and 3.
+        assert query.evaluate(graph).rows() == {(2,), (3,)}
+
+    def test_negation_rejected(self):
+        x = Var("x")
+        with pytest.raises(QueryError):
+            PositiveExistentialQuery([x], Not(RelationAtom("edge", [x, x])))
+
+    def test_comparisons_supported(self, graph: Database):
+        x, y = Var("x"), Var("y")
+        query = PositiveExistentialQuery(
+            [x], Exists(y, And(RelationAtom("edge", [x, y]), Comparison(">", y, 3)))
+        )
+        assert query.evaluate(graph).rows() == {(3,), (2,)}
+
+    def test_contains_and_constants(self, graph: Database):
+        x = Var("x")
+        query = PositiveExistentialQuery(
+            [x], Or(RelationAtom("edge", [x, 2]), RelationAtom("edge", [x, 4]))
+        )
+        assert query.contains(graph, (1,))
+        assert not query.contains(graph, (4,))
+        assert set(query.constants()) == {2, 4}
+
+    def test_equivalence_with_manual_ucq(self, graph: Database):
+        x = Var("x")
+        efo = PositiveExistentialQuery(
+            [x], Or(RelationAtom("edge", [x, 2]), RelationAtom("edge", [x, 4]))
+        )
+        ucq = UnionOfConjunctiveQueries([single_atom_cq(2), single_atom_cq(4)])
+        assert efo.evaluate(graph).rows() == ucq.evaluate(graph).rows()

@@ -1,0 +1,116 @@
+"""Tests for the Figure 4.1 gadget relations and the formula→CQ circuit compiler."""
+
+import pytest
+
+from repro.logic.formulas import CNFFormula, Clause, DNFFormula, Literal, Term3
+from repro.logic.generators import random_3cnf, random_3dnf
+from repro.logic.solvers import enumerate_assignments
+from repro.queries import ConjunctiveQuery
+from repro.queries.ast import Comparison, ComparisonOp, Var
+from repro.reductions import (
+    CircuitBuilder,
+    R01,
+    R_AND,
+    R_NOT,
+    R_OR,
+    assignment_atoms,
+    boolean_gadget_database,
+    figure_4_1_relations,
+    figure_4_1_rows,
+)
+
+
+class TestFigure41:
+    def test_relation_names_and_sizes(self):
+        relations = figure_4_1_relations()
+        assert set(relations) == {R01, R_OR, R_AND, R_NOT}
+        assert len(relations[R01]) == 2
+        assert len(relations[R_OR]) == 4
+        assert len(relations[R_AND]) == 4
+        assert len(relations[R_NOT]) == 2
+
+    def test_disjunction_truth_table(self):
+        rows = figure_4_1_relations()[R_OR].rows()
+        for a1 in (0, 1):
+            for a2 in (0, 1):
+                assert (a1 | a2, a1, a2) in rows
+
+    def test_conjunction_truth_table(self):
+        rows = figure_4_1_relations()[R_AND].rows()
+        for a1 in (0, 1):
+            for a2 in (0, 1):
+                assert (a1 & a2, a1, a2) in rows
+
+    def test_negation_truth_table(self):
+        assert figure_4_1_relations()[R_NOT].rows() == {(0, 1), (1, 0)}
+
+    def test_figure_rows_match_paper_figure(self):
+        rows = figure_4_1_rows()
+        assert rows[R01] == ((0,), (1,))
+        assert (0, 0, 0) in rows[R_OR] and (1, 1, 1) in rows[R_OR]
+        assert (0, 0, 1) in rows[R_AND] and (0, 1, 0) in rows[R_AND]
+
+    def test_gadget_database_with_extras(self):
+        from repro.relational import Relation, RelationSchema
+
+        extra = Relation(RelationSchema("extra", ["x"]), [(42,)])
+        database = boolean_gadget_database([extra])
+        assert "extra" in database
+        assert R01 in database
+
+
+class TestAssignmentAtoms:
+    def test_cartesian_product_enumerates_assignments(self):
+        mapping, atoms = assignment_atoms(["p", "q", "r"])
+        query = ConjunctiveQuery([mapping["p"], mapping["q"], mapping["r"]], atoms)
+        answers = query.evaluate(boolean_gadget_database()).rows()
+        assert len(answers) == 8
+        assert (0, 1, 0) in answers
+
+
+class TestCircuitCompiler:
+    def evaluate_circuit(self, formula, compile_method: str):
+        """Compile a formula and read off the forced output value per assignment."""
+        variables = formula.variables()
+        mapping, atoms = assignment_atoms(variables)
+        builder = CircuitBuilder(dict(mapping))
+        output = getattr(builder, compile_method)(formula)
+        head = [mapping[v] for v in variables] + [output]
+        query = ConjunctiveQuery(head, list(atoms) + builder.atoms, builder.comparisons)
+        answers = query.evaluate(boolean_gadget_database()).rows()
+        observed = {}
+        for row in answers:
+            assignment = {variable: bool(value) for variable, value in zip(variables, row[:-1])}
+            key = tuple(sorted(assignment.items()))
+            observed.setdefault(key, set()).add(row[-1])
+        return variables, observed
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_cnf_circuit_matches_semantics(self, seed):
+        formula = random_3cnf(3, 3, seed=seed)
+        variables, observed = self.evaluate_circuit(formula, "compile_cnf")
+        for assignment in enumerate_assignments(variables):
+            key = tuple(sorted(assignment.items()))
+            expected = 1 if formula.evaluate(assignment) else 0
+            assert observed[key] == {expected}
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_dnf_circuit_matches_semantics(self, seed):
+        formula = random_3dnf(3, 3, seed=seed)
+        variables, observed = self.evaluate_circuit(formula, "compile_dnf")
+        for assignment in enumerate_assignments(variables):
+            key = tuple(sorted(assignment.items()))
+            expected = 1 if formula.evaluate(assignment) else 0
+            assert observed[key] == {expected}
+
+    def test_single_literal_clause(self):
+        formula = CNFFormula([Clause([Literal("x", False)])])
+        variables, observed = self.evaluate_circuit(formula, "compile_cnf")
+        assert observed[(("x", False),)] == {1}
+        assert observed[(("x", True),)] == {0}
+
+    def test_single_term_dnf(self):
+        formula = DNFFormula([Term3([Literal("x"), Literal("y", False)])])
+        variables, observed = self.evaluate_circuit(formula, "compile_dnf")
+        assert observed[(("x", True), ("y", False))] == {1}
+        assert observed[(("x", True), ("y", True))] == {0}

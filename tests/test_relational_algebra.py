@@ -1,0 +1,95 @@
+"""Tests for the relational-algebra operators."""
+
+import pytest
+
+from repro.relational import Relation, RelationSchema
+from repro.relational.algebra import (
+    aggregate,
+    cartesian_product,
+    difference,
+    intersection,
+    natural_join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.errors import SchemaError
+
+
+@pytest.fixture
+def employees() -> Relation:
+    schema = RelationSchema("employee", ["name", "dept", "salary"])
+    return Relation(
+        schema,
+        [("ada", "eng", 100), ("grace", "eng", 90), ("alan", "research", 80)],
+    )
+
+
+@pytest.fixture
+def departments() -> Relation:
+    schema = RelationSchema("department", ["dept", "floor"])
+    return Relation(schema, [("eng", 2), ("research", 3)])
+
+
+def test_select(employees: Relation):
+    rich = select(employees, lambda row: row["salary"] >= 90)
+    assert len(rich) == 2
+    assert ("alan", "research", 80) not in rich
+
+
+def test_project_removes_duplicates(employees: Relation):
+    depts = project(employees, ["dept"])
+    assert depts.rows() == {("eng",), ("research",)}
+    assert depts.schema.attribute_names == ("dept",)
+
+
+def test_rename(employees: Relation):
+    renamed = rename(employees, "staff", {"name": "who"})
+    assert renamed.name == "staff"
+    assert renamed.schema.attribute_names == ("who", "dept", "salary")
+    assert ("ada", "eng", 100) in renamed
+
+
+def test_union_and_intersection_and_difference(employees: Relation):
+    engineers = select(employees, lambda row: row["dept"] == "eng")
+    researchers = select(employees, lambda row: row["dept"] == "research")
+    assert union(engineers, researchers).rows() == employees.rows()
+    assert intersection(engineers, employees).rows() == engineers.rows()
+    assert difference(employees, engineers).rows() == researchers.rows()
+
+
+def test_union_incompatible_arity_rejected(employees: Relation, departments: Relation):
+    with pytest.raises(SchemaError):
+        union(employees, departments)
+
+
+def test_cartesian_product_size(employees: Relation, departments: Relation):
+    product = cartesian_product(employees, departments)
+    assert len(product) == len(employees) * len(departments)
+    # shared attribute names are disambiguated
+    assert "employee.dept" in product.schema.attribute_names
+    assert "department.dept" in product.schema.attribute_names
+
+
+def test_natural_join(employees: Relation, departments: Relation):
+    joined = natural_join(employees, departments)
+    assert len(joined) == 3
+    assert ("ada", "eng", 100, 2) in joined
+    assert joined.schema.attribute_names == ("name", "dept", "salary", "floor")
+
+
+def test_natural_join_without_shared_attributes_is_product(departments: Relation):
+    other = Relation(RelationSchema("other", ["colour"]), [("red",), ("blue",)])
+    joined = natural_join(departments, other)
+    assert len(joined) == 4
+
+
+def test_aggregate_group_by(employees: Relation):
+    totals = aggregate(
+        employees,
+        ["dept"],
+        {"total": lambda rows: sum(r[2] for r in rows), "headcount": lambda rows: len(list(rows))},
+    )
+    assert ("eng", 190, 2) in totals
+    assert ("research", 80, 1) in totals

@@ -1,0 +1,64 @@
+"""Tests for CSV import/export."""
+
+from repro.relational import Database, Relation, RelationSchema
+from repro.relational.csvio import (
+    read_database,
+    read_relation,
+    relation_from_rows,
+    write_database,
+    write_relation,
+)
+
+
+def test_relation_roundtrip(tmp_path):
+    schema = RelationSchema("poi", ["name", "price", "rating"])
+    original = Relation(schema, [("met", 25, 4.5), ("high_line", 0, 4.8)])
+    path = tmp_path / "poi.csv"
+    write_relation(original, path)
+    loaded = read_relation(path)
+    assert loaded.name == "poi"
+    assert loaded.rows() == original.rows()
+
+
+def test_value_parsing_types(tmp_path):
+    path = tmp_path / "mixed.csv"
+    path.write_text("a,b,c\n1,2.5,hello\n")
+    relation = read_relation(path)
+    (row,) = relation.rows()
+    assert row == (1, 2.5, "hello")
+    assert isinstance(row[0], int)
+    assert isinstance(row[1], float)
+
+
+def test_read_relation_custom_name(tmp_path):
+    path = tmp_path / "whatever.csv"
+    path.write_text("x\n1\n")
+    relation = read_relation(path, name="renamed")
+    assert relation.name == "renamed"
+
+
+def test_empty_file_raises(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    try:
+        read_relation(path)
+    except ValueError as error:
+        assert "empty" in str(error)
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError")
+
+
+def test_database_roundtrip(tmp_path):
+    database = Database()
+    database.create_relation("a", ["x"], [(1,), (2,)])
+    database.create_relation("b", ["y", "z"], [("p", 3)])
+    directory = tmp_path / "db"
+    write_database(database, directory)
+    loaded = read_database(directory)
+    assert loaded == database
+
+
+def test_relation_from_rows():
+    relation = relation_from_rows("edges", ["a", "b"], [(1, 2), (2, 3)])
+    assert relation.name == "edges"
+    assert len(relation) == 2

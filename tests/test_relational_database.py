@@ -1,0 +1,132 @@
+"""Tests for relations and databases."""
+
+import pytest
+
+from repro.relational import Database, Relation, RelationSchema
+from repro.relational.errors import IntegrityError, SchemaError, UnknownRelationError
+
+
+@pytest.fixture
+def poi_relation() -> Relation:
+    schema = RelationSchema("poi", ["name", "kind", "price"])
+    return Relation(schema, [("met", "museum", 25), ("high_line", "park", 0)])
+
+
+class TestRelation:
+    def test_len_and_contains(self, poi_relation: Relation):
+        assert len(poi_relation) == 2
+        assert ("met", "museum", 25) in poi_relation
+        assert ("met", "museum", 99) not in poi_relation
+
+    def test_contains_wrong_arity_is_false(self, poi_relation: Relation):
+        assert ("met",) not in poi_relation
+
+    def test_set_semantics_on_duplicate_insert(self, poi_relation: Relation):
+        poi_relation.add(("met", "museum", 25))
+        assert len(poi_relation) == 2
+
+    def test_add_validates_arity(self, poi_relation: Relation):
+        with pytest.raises(IntegrityError):
+            poi_relation.add(("too", "short"))
+
+    def test_discard(self, poi_relation: Relation):
+        assert poi_relation.discard(("met", "museum", 25)) is True
+        assert poi_relation.discard(("met", "museum", 25)) is False
+        assert len(poi_relation) == 1
+
+    def test_from_dicts(self):
+        schema = RelationSchema("poi", ["name", "price"])
+        relation = Relation.from_dicts(schema, [{"name": "met", "price": 25}])
+        assert ("met", 25) in relation
+
+    def test_column(self, poi_relation: Relation):
+        assert poi_relation.column("kind") == {"museum", "park"}
+
+    def test_active_domain(self, poi_relation: Relation):
+        assert "met" in poi_relation.active_domain()
+        assert 25 in poi_relation.active_domain()
+
+    def test_sorted_rows_is_deterministic(self, poi_relation: Relation):
+        assert poi_relation.sorted_rows() == poi_relation.sorted_rows()
+
+    def test_copy_is_independent(self, poi_relation: Relation):
+        copy = poi_relation.copy()
+        copy.add(("moma", "museum", 25))
+        assert len(copy) == 3
+        assert len(poi_relation) == 2
+
+    def test_equality(self, poi_relation: Relation):
+        same = Relation(poi_relation.schema, poi_relation.rows())
+        assert poi_relation == same
+
+    def test_pretty_prints_header(self, poi_relation: Relation):
+        assert "name | kind | price" in poi_relation.pretty()
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        database = Database()
+        database.create_relation("edge", ["a", "b"], [(1, 2)])
+        assert "edge" in database
+        assert len(database.relation("edge")) == 1
+        assert database["edge"].arity == 2
+
+    def test_unknown_relation(self):
+        database = Database()
+        with pytest.raises(UnknownRelationError):
+            database.relation("missing")
+
+    def test_duplicate_relation_rejected(self):
+        database = Database()
+        database.create_relation("edge", ["a", "b"])
+        with pytest.raises(SchemaError):
+            database.create_relation("edge", ["a", "b"])
+
+    def test_size_counts_all_tuples(self):
+        database = Database()
+        database.create_relation("a", ["x"], [(1,), (2,)])
+        database.create_relation("b", ["y"], [(3,)])
+        assert database.size() == 3
+        assert len(database) == 3
+
+    def test_active_domain_spans_relations(self):
+        database = Database()
+        database.create_relation("a", ["x"], [(1,)])
+        database.create_relation("b", ["y"], [("z",)])
+        assert database.active_domain() == {1, "z"}
+
+    def test_with_relation_replaces(self):
+        database = Database()
+        database.create_relation("a", ["x"], [(1,)])
+        replacement = Relation(RelationSchema("a", ["x"]), [(2,)])
+        updated = database.with_relation(replacement)
+        assert (2,) in updated.relation("a")
+        assert (1,) in database.relation("a")  # original untouched
+
+    def test_without_relation(self):
+        database = Database()
+        database.create_relation("a", ["x"], [(1,)])
+        database.create_relation("b", ["y"], [(2,)])
+        smaller = database.without_relation("a")
+        assert "a" not in smaller
+        assert "a" in database
+
+    def test_copy_is_independent(self):
+        database = Database()
+        database.create_relation("a", ["x"], [(1,)])
+        copy = database.copy()
+        copy.relation("a").add((2,))
+        assert len(database.relation("a")) == 1
+
+    def test_equality(self):
+        first = Database()
+        first.create_relation("a", ["x"], [(1,)])
+        second = Database()
+        second.create_relation("a", ["x"], [(1,)])
+        assert first == second
+
+    def test_schema_roundtrip(self):
+        database = Database()
+        database.create_relation("a", ["x", "y"])
+        schema = database.schema()
+        assert schema["a"].attribute_names == ("x", "y")

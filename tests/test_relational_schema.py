@@ -1,0 +1,123 @@
+"""Tests for attributes, relation schemas and database schemas."""
+
+import pytest
+
+from repro.relational import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.errors import IntegrityError, SchemaError, UnknownAttributeError
+
+
+class TestAttribute:
+    def test_basic_construction(self):
+        attribute = Attribute("price")
+        assert attribute.name == "price"
+        assert attribute.domain is None
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_domain_is_normalised_to_tuple(self):
+        attribute = Attribute("kind", domain=["museum", "park"])
+        assert attribute.domain == ("museum", "park")
+
+    def test_validate_accepts_domain_value(self):
+        attribute = Attribute("kind", domain=("museum", "park"))
+        attribute.validate("museum", "poi")  # does not raise
+
+    def test_validate_rejects_out_of_domain_value(self):
+        attribute = Attribute("kind", domain=("museum", "park"))
+        with pytest.raises(IntegrityError):
+            attribute.validate("zoo", "poi")
+
+    def test_validate_rejects_wrong_type(self):
+        attribute = Attribute("price", dtype=int)
+        with pytest.raises(IntegrityError):
+            attribute.validate("not a number", "poi")
+
+
+class TestRelationSchema:
+    def test_attribute_names_and_arity(self):
+        schema = RelationSchema("poi", ["name", "kind", "price"])
+        assert schema.arity == 3
+        assert schema.attribute_names == ("name", "kind", "price")
+
+    def test_accepts_attribute_objects(self):
+        schema = RelationSchema("poi", [Attribute("name"), Attribute("price", dtype=int)])
+        assert schema.attribute("price").dtype is int
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("poi", ["name", "name"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ["a"])
+
+    def test_index_of(self):
+        schema = RelationSchema("poi", ["name", "kind", "price"])
+        assert schema.index_of("kind") == 1
+
+    def test_index_of_unknown_attribute(self):
+        schema = RelationSchema("poi", ["name"])
+        with pytest.raises(UnknownAttributeError):
+            schema.index_of("missing")
+
+    def test_contains(self):
+        schema = RelationSchema("poi", ["name", "kind"])
+        assert "kind" in schema
+        assert "price" not in schema
+
+    def test_validate_tuple_checks_arity(self):
+        schema = RelationSchema("poi", ["name", "kind"])
+        with pytest.raises(IntegrityError):
+            schema.validate_tuple(("met",))
+
+    def test_tuple_from_mapping(self):
+        schema = RelationSchema("poi", ["name", "kind"])
+        assert schema.tuple_from_mapping({"kind": "museum", "name": "met"}) == ("met", "museum")
+
+    def test_tuple_from_mapping_missing_attribute(self):
+        schema = RelationSchema("poi", ["name", "kind"])
+        with pytest.raises(IntegrityError):
+            schema.tuple_from_mapping({"name": "met"})
+
+    def test_tuple_from_mapping_extra_attribute(self):
+        schema = RelationSchema("poi", ["name"])
+        with pytest.raises(IntegrityError):
+            schema.tuple_from_mapping({"name": "met", "kind": "museum"})
+
+    def test_as_dict(self):
+        schema = RelationSchema("poi", ["name", "kind"])
+        assert schema.as_dict(("met", "museum")) == {"name": "met", "kind": "museum"}
+
+    def test_rename_keeps_attributes(self):
+        schema = RelationSchema("poi", ["name", "kind"])
+        renamed = schema.rename("RQ")
+        assert renamed.name == "RQ"
+        assert renamed.attribute_names == schema.attribute_names
+
+    def test_project(self):
+        schema = RelationSchema("poi", ["name", "kind", "price"])
+        projected = schema.project(["price", "name"])
+        assert projected.attribute_names == ("price", "name")
+
+
+class TestDatabaseSchema:
+    def test_add_and_lookup(self):
+        schema = DatabaseSchema([RelationSchema("a", ["x"]), RelationSchema("b", ["y"])])
+        assert "a" in schema
+        assert schema["b"].attribute_names == ("y",)
+        assert schema.names() == ("a", "b")
+        assert len(schema) == 2
+
+    def test_duplicate_rejected(self):
+        schema = DatabaseSchema([RelationSchema("a", ["x"])])
+        with pytest.raises(SchemaError):
+            schema.add(RelationSchema("a", ["y"]))
+
+    def test_unknown_relation(self):
+        from repro.relational.errors import UnknownRelationError
+
+        schema = DatabaseSchema()
+        with pytest.raises(UnknownRelationError):
+            schema["missing"]

@@ -1,0 +1,213 @@
+"""Tests for query relaxation (distances, relaxed queries, QRPP search)."""
+
+import math
+
+import pytest
+
+from repro.core import CountCost, CountRating, RecommendationProblem
+from repro.queries import ConjunctiveQuery, parse_cq
+from repro.queries.ast import Comparison, RelationAtom, Var
+from repro.relational import Database
+from repro.relational.errors import ModelError
+from repro.relaxation import (
+    AbsoluteDifference,
+    DiscreteDistance,
+    Relaxation,
+    RelaxationSpace,
+    RelaxedQuery,
+    TableDistance,
+    distance_table,
+    find_item_relaxation,
+    find_package_relaxation,
+    qrpp_decision,
+)
+from repro.workloads.travel import (
+    city_distance_function,
+    direct_flight_query,
+    example_1_1_scenario,
+    small_travel_database,
+)
+
+
+class TestDistances:
+    def test_absolute_difference(self):
+        assert AbsoluteDifference()(3, 7.5) == 4.5
+
+    def test_discrete(self):
+        distance = DiscreteDistance()
+        assert distance("a", "a") == 0
+        assert distance("a", "b") == 1
+
+    def test_table_distance_symmetric_with_default(self):
+        distance = distance_table({("nyc", "ewr"): 10})
+        assert distance("nyc", "ewr") == 10
+        assert distance("ewr", "nyc") == 10
+        assert distance("nyc", "nyc") == 0
+        assert distance("nyc", "sfo") == math.inf
+
+
+@pytest.fixture
+def shops() -> Database:
+    database = Database()
+    database.create_relation(
+        "shop",
+        ["name", "city", "rating"],
+        [
+            ("alpha", "nyc", 8),
+            ("beta", "ewr", 9),
+            ("gamma", "bos", 7),
+            ("delta", "nyc", 6),
+        ],
+    )
+    database.create_relation(
+        "distance", ["city1", "city2", "miles"], [("nyc", "ewr", 10), ("nyc", "bos", 215)]
+    )
+    return database
+
+
+def city_query(city: str) -> ConjunctiveQuery:
+    name, rating = Var("name"), Var("rating")
+    return ConjunctiveQuery([name, rating], [RelationAtom("shop", [name, city, rating])])
+
+
+class TestRelaxationSpaceAndRelaxedQuery:
+    def test_point_discovery_restricted_to_include(self, shops):
+        query = city_query("nyc")
+        space = RelaxationSpace.for_constants(query, include=["nyc"])
+        assert len(space) == 1
+        everything = RelaxationSpace.for_constants(query)
+        assert len(everything) == 1  # the only constant is the city
+
+    def test_candidate_levels_from_database(self, shops):
+        query = city_query("nyc")
+        miles = TableDistance({("nyc", "ewr"): 10, ("nyc", "bos"): 215})
+        space = RelaxationSpace.for_constants(query, distances={"nyc": miles})
+        (point,) = space.points
+        levels = space.candidate_levels(point, shops, max_gap=100)
+        assert levels == (0.0, 10.0)  # bos is too far for the gap budget
+
+    def test_trivial_relaxation_preserves_query(self, shops):
+        query = city_query("nyc")
+        space = RelaxationSpace.for_constants(query)
+        relaxation = Relaxation({space.points[0]: 0.0})
+        assert relaxation.is_trivial()
+        relaxed = space.relax(relaxation)
+        assert relaxed.evaluate(shops).rows() == query.evaluate(shops).rows()
+        assert relaxed.gap() == 0.0
+
+    def test_relaxed_atom_constant(self, shops):
+        query = city_query("nyc")
+        miles = TableDistance({("nyc", "ewr"): 10, ("nyc", "bos"): 215})
+        space = RelaxationSpace.for_constants(query, distances={"nyc": miles})
+        relaxed = space.relax(Relaxation({space.points[0]: 10.0}))
+        assert relaxed.evaluate(shops).rows() == {("alpha", 8), ("delta", 6), ("beta", 9)}
+        assert relaxed.gap() == 10.0
+        wider = space.relax(Relaxation({space.points[0]: 215.0}))
+        assert len(wider.evaluate(shops)) == 4
+
+    def test_relaxed_comparison_constant(self, shops):
+        query = parse_cq("Q(n) :- shop(n, c, r), r >= 9.")
+        space = RelaxationSpace.for_constants(
+            query, default_distance=AbsoluteDifference(), include=[9]
+        )
+        assert query.evaluate(shops).rows() == {("beta",)}
+        relaxed = space.relax(Relaxation({space.points[0]: 1.0}))
+        assert relaxed.evaluate(shops).rows() == {("beta",), ("alpha",)}
+
+    def test_join_break_points(self, shops):
+        # Join shops in the same city; breaking the join allows cross-city pairs.
+        n1, n2, c, r1, r2 = Var("n1"), Var("n2"), Var("c"), Var("r1"), Var("r2")
+        query = ConjunctiveQuery(
+            [n1, n2],
+            [RelationAtom("shop", [n1, c, r1]), RelationAtom("shop", [n2, c, r2])],
+            [Comparison("!=", n1, n2)],
+        )
+        space = RelaxationSpace.for_constants(query).with_join_breaks()
+        assert any(point.__class__.__name__ == "JoinBreakPoint" for point in space.points)
+        base_answers = query.evaluate(shops).rows()
+        assert ("alpha", "delta") in base_answers and ("alpha", "beta") not in base_answers
+        join_point = [p for p in space.points if p.__class__.__name__ == "JoinBreakPoint"][0]
+        relaxed = space.relax(Relaxation({join_point: 1.0}))
+        assert ("alpha", "beta") in relaxed.evaluate(shops).rows()
+
+    def test_relaxation_requires_cq_like_query(self):
+        from repro.queries import DatalogProgram, DatalogRule
+
+        x = Var("x")
+        program = DatalogProgram(
+            [DatalogRule(RelationAtom("p", [x]), [RelationAtom("edge", [x, x])])], output="p"
+        )
+        with pytest.raises(ModelError):
+            RelaxedQuery(program, Relaxation({}))
+
+    def test_enumeration_orders_by_gap(self, shops):
+        query = city_query("nyc")
+        miles = TableDistance({("nyc", "ewr"): 10, ("nyc", "bos"): 215})
+        space = RelaxationSpace.for_constants(query, distances={"nyc": miles})
+        gaps = [relaxation.gap() for relaxation in space.enumerate_relaxations(shops, 500)]
+        assert gaps == sorted(gaps)
+        assert gaps[0] == 0.0
+
+
+class TestQRPPSearch:
+    def build_problem(self, shops, city: str, k: int = 1) -> RecommendationProblem:
+        return RecommendationProblem(
+            database=shops,
+            query=city_query(city),
+            cost=CountCost(),
+            val=CountRating(),
+            budget=1.0,
+            k=k,
+            monotone_cost=True,
+            name="shops in a city",
+        )
+
+    def test_no_relaxation_needed(self, shops):
+        problem = self.build_problem(shops, "nyc")
+        space = RelaxationSpace.for_constants(problem.query)
+        result = find_package_relaxation(problem, space, rating_bound=1.0, max_gap=10.0)
+        assert result.found and result.gap == 0.0
+
+    def test_minimal_gap_relaxation_found(self, shops):
+        problem = self.build_problem(shops, "sfo")  # no shop in sfo at all
+        miles = TableDistance({("sfo", "nyc"): 2900, ("sfo", "bos"): 3000})
+        space = RelaxationSpace.for_constants(
+            problem.query, distances={"sfo": miles}, include=["sfo"]
+        )
+        result = find_package_relaxation(problem, space, rating_bound=1.0, max_gap=3000.0)
+        assert result.found
+        assert result.gap == 2900.0  # nyc is closer than bos
+        assert result.witnesses is not None and len(result.witnesses) == 1
+
+    def test_gap_budget_respected(self, shops):
+        problem = self.build_problem(shops, "sfo")
+        miles = TableDistance({("sfo", "nyc"): 2900})
+        space = RelaxationSpace.for_constants(
+            problem.query, distances={"sfo": miles}, include=["sfo"]
+        )
+        assert not qrpp_decision(problem, space, rating_bound=1.0, max_gap=100.0)
+
+    def test_item_relaxation_example_7_1(self):
+        """Example 7.1: relax nyc to a city within 15 miles and find the ewr flights."""
+        database = small_travel_database(include_direct_flight=False)
+        query = direct_flight_query("edi", "nyc", "1/1/2012")
+        assert len(query.evaluate(database)) == 0
+        space = RelaxationSpace.for_constants(
+            query, distances={"nyc": city_distance_function(database)}, include=["nyc"]
+        )
+        result = find_item_relaxation(
+            database, space, lambda row: -float(row[3]), rating_bound=-10_000.0, k=1, max_gap=15.0
+        )
+        assert result.found
+        assert result.gap == 10.0
+        assert {row[0] for row in result.items} <= {"UA940", "VS26"}
+
+    def test_item_relaxation_failure_reported(self):
+        database = small_travel_database(include_direct_flight=False)
+        query = direct_flight_query("edi", "nyc", "1/1/2012")
+        space = RelaxationSpace.for_constants(query, include=["nyc"])  # discrete distance
+        result = find_item_relaxation(
+            database, space, lambda row: -float(row[3]), rating_bound=-10.0, k=1, max_gap=0.5
+        )
+        assert not result.found
+        assert result.relaxations_tried >= 1

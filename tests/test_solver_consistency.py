@@ -1,0 +1,92 @@
+"""Cross-solver consistency properties.
+
+The four POI problems are not independent: the maximum rating bound (MBP) is
+exactly the smallest rating in a top-k selection (FRP), the counting problem
+(CPP) at that bound must see at least k packages, and the Theorem 5.1 oracle
+solver must agree with the exhaustive reference solver.  These properties are
+checked on randomly generated knapsack-style instances.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    compute_top_k,
+    compute_top_k_with_oracle,
+    count_valid_packages,
+    is_maximum_bound,
+    is_top_k_selection,
+    maximum_bound,
+)
+from repro.workloads import synthetic_package_problem
+
+
+def _random_problem(num_items: int, budget: int, k: int, seed: int):
+    return synthetic_package_problem(
+        num_items, budget=float(budget), k=k, seed=seed
+    ).problem
+
+
+@given(
+    num_items=st.integers(min_value=3, max_value=7),
+    budget=st.integers(min_value=10, max_value=60),
+    k=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=150),
+)
+@settings(max_examples=25, deadline=None)
+def test_oracle_solver_agrees_with_exhaustive_solver(num_items, budget, k, seed):
+    problem = _random_problem(num_items, budget, k, seed)
+    exhaustive = compute_top_k(problem)
+    oracle = compute_top_k_with_oracle(problem)
+    assert exhaustive.found == oracle.found
+    if exhaustive.found:
+        assert exhaustive.ratings == oracle.ratings
+
+
+@given(
+    num_items=st.integers(min_value=3, max_value=7),
+    budget=st.integers(min_value=10, max_value=60),
+    k=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=150),
+)
+@settings(max_examples=25, deadline=None)
+def test_maximum_bound_is_the_kth_best_rating(num_items, budget, k, seed):
+    problem = _random_problem(num_items, budget, k, seed)
+    frp = compute_top_k(problem)
+    bound = maximum_bound(problem)
+    if not frp.found:
+        assert bound is None
+        return
+    assert bound == min(frp.ratings)
+    assert is_maximum_bound(problem, bound).is_maximum_bound
+    # Any strictly larger bound is not achievable by k distinct packages.
+    assert not is_maximum_bound(problem, bound + 1).is_maximum_bound
+
+
+@given(
+    num_items=st.integers(min_value=3, max_value=6),
+    budget=st.integers(min_value=10, max_value=50),
+    k=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=150),
+)
+@settings(max_examples=25, deadline=None)
+def test_counting_at_the_maximum_bound_sees_at_least_k_packages(num_items, budget, k, seed):
+    problem = _random_problem(num_items, budget, k, seed)
+    bound = maximum_bound(problem)
+    if bound is None:
+        return
+    assert count_valid_packages(problem, bound).count >= k
+
+
+@given(
+    num_items=st.integers(min_value=3, max_value=6),
+    budget=st.integers(min_value=10, max_value=50),
+    k=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=150),
+)
+@settings(max_examples=25, deadline=None)
+def test_frp_output_is_accepted_by_rpp(num_items, budget, k, seed):
+    problem = _random_problem(num_items, budget, k, seed)
+    frp = compute_top_k(problem)
+    if frp.found:
+        assert is_top_k_selection(problem, frp.selection).is_top_k

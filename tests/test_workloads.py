@@ -1,0 +1,175 @@
+"""Tests for the travel, course, team and synthetic workloads."""
+
+import pytest
+
+from repro.core import compute_top_k, is_top_k_selection, top_k_items
+from repro.queries import QueryLanguage, classify_query
+from repro.workloads import (
+    course_plan_scenario,
+    example_1_1_scenario,
+    path_query,
+    random_course_database,
+    random_graph_database,
+    random_item_database,
+    random_team_database,
+    random_travel_database,
+    small_course_database,
+    small_team_database,
+    small_travel_database,
+    synthetic_package_problem,
+    team_formation_scenario,
+    transitive_prerequisites_program,
+)
+from repro.workloads.travel import direct_flight_query, flight_item_query, travel_package_query
+
+
+class TestTravelWorkload:
+    def test_small_database_shape(self):
+        database = small_travel_database()
+        assert {"flight", "poi", "distance"} <= set(database.relation_names())
+        assert len(database.relation("flight")) >= 8
+
+    def test_direct_flight_query_empty_without_direct_flights(self):
+        database = small_travel_database(include_direct_flight=False)
+        query = direct_flight_query("edi", "nyc", "1/1/2012")
+        assert len(query.evaluate(database)) == 0
+        with_direct = small_travel_database(include_direct_flight=True)
+        assert len(query.evaluate(with_direct)) == 2
+
+    def test_item_query_is_ucq_and_finds_one_stop_flights(self):
+        database = small_travel_database(include_direct_flight=False)
+        query = flight_item_query("edi", "nyc", "1/1/2012")
+        assert classify_query(query) is QueryLanguage.UCQ
+        answers = query.evaluate(database).rows()
+        assert {row[0] for row in answers} == {"BA100", "AF21"}
+
+    def test_package_query_joins_flight_and_poi(self):
+        database = small_travel_database()
+        query = travel_package_query("edi", "nyc", "1/1/2012")
+        answers = query.evaluate(database).rows()
+        assert answers
+        assert all(row[0] in {"DL2", "UA15"} for row in answers)
+
+    def test_example_scenario_end_to_end(self):
+        scenario = example_1_1_scenario(k=2)
+        result = compute_top_k(scenario.package_problem)
+        assert result.found
+        assert is_top_k_selection(scenario.package_problem, result.selection).is_top_k
+        # the museum limit is respected
+        for package in result.selection:
+            museums = sum(1 for item in package.items if item[3] == "museum")
+            assert museums <= 2
+
+    def test_top_items_from_scenario(self):
+        scenario = example_1_1_scenario()
+        utility = scenario.utility.for_schema(scenario.item_query.output_schema())
+        result = top_k_items(scenario.database, scenario.item_query, utility, 3)
+        assert result.found
+        assert len(result.items) == 3
+
+    def test_relaxation_space_points(self):
+        scenario = example_1_1_scenario(include_direct_flight=False)
+        space = scenario.relaxation_space()
+        assert len(space) >= 1
+
+    def test_random_travel_database_sizes(self):
+        database = random_travel_database(30, 20, seed=1)
+        assert len(database.relation("flight")) == 30
+        assert len(database.relation("poi")) == 20
+        # seeded generation is deterministic
+        again = random_travel_database(30, 20, seed=1)
+        assert database.relation("flight").rows() == again.relation("flight").rows()
+
+
+class TestCourseWorkload:
+    def test_plans_are_prerequisite_closed(self):
+        scenario = course_plan_scenario(credit_budget=40, k=2)
+        result = compute_top_k(scenario.problem)
+        assert result.found
+        prereqs = dict()
+        for cid, pre in scenario.database.relation("prereq"):
+            prereqs.setdefault(cid, set()).add(pre)
+        for package in result.selection:
+            chosen = {item[0] for item in package.items}
+            for course in chosen:
+                assert prereqs.get(course, set()) <= chosen
+
+    def test_fo_and_predicate_constraints_agree(self):
+        fo_result = compute_top_k(course_plan_scenario(use_fo_constraint=True).problem)
+        predicate_result = compute_top_k(course_plan_scenario(use_fo_constraint=False).problem)
+        assert list(fo_result.ratings) == list(predicate_result.ratings)
+
+    def test_transitive_prerequisites(self):
+        closure = transitive_prerequisites_program().evaluate(small_course_database())
+        assert ("db301", "db101") in closure.rows()
+        assert ("db201", "db101") in closure.rows()
+        assert ("db101", "db301") not in closure.rows()
+
+    def test_random_course_database_prereqs_acyclic(self):
+        database = random_course_database(15, seed=3)
+        # prerequisites always point to earlier course ids, so no cycles
+        for cid, pre in database.relation("prereq"):
+            assert pre < cid
+
+
+class TestTeamWorkload:
+    def test_collaboration_constraint_respected(self):
+        scenario = team_formation_scenario(k=1, require_collaboration=True)
+        result = compute_top_k(scenario.problem)
+        assert result.found
+        collaboration = scenario.database.relation("worked_with").rows()
+        (team,) = result.selection.packages
+        members = {item[0] for item in team.items}
+        for first in members:
+            for second in members:
+                assert (first, second) in collaboration
+
+    def test_best_team_covers_required_skills(self):
+        scenario = team_formation_scenario(k=1)
+        result = compute_top_k(scenario.problem)
+        (team,) = result.selection.packages
+        covered = {item[1] for item in team.items}
+        assert set(scenario.required_skills) <= covered
+
+    def test_fee_budget_enforced(self):
+        scenario = team_formation_scenario(k=1, fee_budget=160)
+        result = compute_top_k(scenario.problem)
+        (team,) = result.selection.packages
+        assert sum(item[2] for item in team.items) <= 160
+
+    def test_random_team_database(self):
+        database = random_team_database(10, seed=2)
+        assert len(database.relation("expert")) >= 10
+        # the collaboration graph includes the reflexive pairs
+        for name in {row[0] for row in database.relation("expert")}:
+            assert (name, name) in database.relation("worked_with")
+
+
+class TestSyntheticWorkload:
+    def test_item_database_and_problem(self):
+        synthetic = synthetic_package_problem(12, seed=0)
+        assert synthetic.problem.database.size() == 12
+        result = compute_top_k(synthetic.problem)
+        assert result.found
+
+    def test_constraint_toggle(self):
+        constrained = synthetic_package_problem(10, seed=1, with_constraint=True)
+        unconstrained = synthetic_package_problem(10, seed=1, with_constraint=False)
+        assert constrained.problem.has_compatibility_constraint()
+        assert not unconstrained.problem.has_compatibility_constraint()
+
+    def test_graph_and_path_query(self):
+        database = random_graph_database(8, 15, seed=4)
+        assert len(database.relation("edge")) == 15
+        query = path_query(2)
+        assert query.body_size() == 2
+        # every answer really is a 2-step path
+        edges = database.relation("edge").rows()
+        for start, end in query.evaluate(database).rows():
+            assert any((start, mid) in edges and (mid, end) in edges for mid in range(8))
+
+    def test_random_item_database_deterministic(self):
+        assert (
+            random_item_database(9, seed=7).relation("items").rows()
+            == random_item_database(9, seed=7).relation("items").rows()
+        )
