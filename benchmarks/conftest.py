@@ -10,15 +10,64 @@ Run with::
 
     pytest benchmarks/ --benchmark-only
     pytest benchmarks/ --benchmark-only --benchmark-group-by=group
+
+Smoke mode — ``pytest benchmarks/ -m bench_smoke`` — runs the *smallest*
+parametrization of every benchmark in every ``bench_*.py`` module (the hook
+below marks the first collected instance of each test function, and sweeps are
+listed ascending).  CI runs this so a refactor can never silently rot a
+benchmark script: every entry point is exercised end to end, just at a size
+that finishes in seconds.
 """
 
+import pathlib
+
 import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).parent.resolve()
 
 
 def pytest_configure(config):
     # Benchmarks are self-contained; make accidental plain `pytest benchmarks/`
     # runs behave (collect-only markers are not needed, everything is a benchmark).
     config.addinivalue_line("markers", "paper_cell(cell): the Table 8.1/8.2 cell a benchmark illustrates")
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: the smallest-size instance of a benchmark, runnable as a smoke test",
+    )
+    config.addinivalue_line(
+        "markers",
+        "bench_full: full-size or timing-sensitive benchmarks excluded from bench_smoke",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark the smallest parametrization of every benchmark as ``bench_smoke``.
+
+    Sweeps list their sizes ascending, so the first collected item of each test
+    function is the cheapest one.  Explicit ``bench_smoke`` marks are honoured
+    and suppress the automatic one for that function; ``bench_full`` opts a
+    test out entirely (full-size runs and wall-clock assertions that would be
+    flaky on a loaded smoke runner).
+    """
+    chosen = {}
+    explicit = set()
+    for item in items:
+        try:
+            in_benchmarks = _BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents
+        except OSError:  # pragma: no cover - exotic collection sources
+            in_benchmarks = False
+        if not in_benchmarks:
+            continue
+        if item.get_closest_marker("bench_full"):
+            continue
+        base = item.nodeid.split("[", 1)[0]
+        if item.get_closest_marker("bench_smoke"):
+            explicit.add(base)
+            continue
+        chosen.setdefault(base, item)
+    for base, item in chosen.items():
+        if base not in explicit:
+            item.add_marker(pytest.mark.bench_smoke)
 
 
 @pytest.fixture

@@ -10,6 +10,12 @@ witness packages.  The item variant mirrors Corollary 8.2: unlike every other
 problem in the paper, restricting to items does **not** lower the complexity —
 the search over adjustments is the dominant cost either way, which the
 adjustment benchmark demonstrates empirically.
+
+Each adjusted problem (via
+:meth:`~repro.core.model.RecommendationProblem.with_database`) gets a fresh
+memoized compatibility oracle — verdicts are database-dependent, so sharing
+across adjustments would be unsound — but within one adjusted database the
+witness search still reuses verdicts across the package lattice.
 """
 
 from __future__ import annotations

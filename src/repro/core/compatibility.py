@@ -13,16 +13,25 @@ Three implementations are provided:
 * :class:`QueryConstraint` — a query over the answer relation ``RQ`` and the
   database relations.
 * :class:`PredicateConstraint` — a PTIME Python predicate on (package, database).
+
+On top of those, :class:`CompatibilityOracle` memoizes verdicts for one
+``(constraint, database)`` pair keyed by package item-set: the enumeration of
+valid packages, the pruning hints, the greedy/beam heuristics and the
+QRPP/ARPP searches all probe compatibility for overlapping sub-packages many
+times, and with ``Qc`` a query every probe is itself a query evaluation.  The
+oracle invalidates itself when the database mutates (it compares
+:meth:`~repro.relational.database.Database.version` snapshots), so sharing it
+across problems over the same database is always safe.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.core.packages import Package
 from repro.queries.base import Query
-from repro.relational.database import Database
+from repro.relational.database import Database, Row
 
 
 class CompatibilityConstraint:
@@ -116,6 +125,94 @@ class PredicateConstraint(CompatibilityConstraint):
 
     def describe(self) -> str:
         return self.description
+
+
+class CompatibilityOracle:
+    """Memoized compatibility verdicts for one ``(constraint, database)`` pair.
+
+    Verdicts are keyed by the package's item-set (plus its answer-schema
+    attribute names, which constraints may address): two packages with the same
+    items always receive the same verdict, so the second probe is a dictionary
+    hit instead of a constraint evaluation.  ``hits``/``misses`` account for
+    cache effectiveness; the evaluator benchmark and the oracle tests read
+    them.
+
+    The oracle snapshots the database's version on creation and re-checks it on
+    every probe; any in-place mutation of a relation clears the cache, so stale
+    verdicts can never be served.  With ``enabled=False`` the oracle degrades
+    to a transparent pass-through (no caching, no accounting), which the tests
+    use to show cached and uncached runs are byte-identical.
+    """
+
+    __slots__ = (
+        "constraint",
+        "database",
+        "enabled",
+        "hits",
+        "misses",
+        "_cache",
+        "_database_version",
+        "_always_true",
+    )
+
+    def __init__(
+        self,
+        constraint: CompatibilityConstraint,
+        database: Database,
+        enabled: bool = True,
+    ) -> None:
+        self.constraint = constraint
+        self.database = database
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._cache: Dict[Tuple[Tuple[str, ...], FrozenSet[Row]], bool] = {}
+        self._database_version = database.version()
+        # The absent-Qc case is constant-true; caching one entry per distinct
+        # package for it would grow the cache along the whole package lattice.
+        self._always_true = constraint.is_empty_constraint()
+
+    def is_satisfied(self, package: Package) -> bool:
+        """The constraint's verdict on ``package``, served from cache when possible."""
+        if self._always_true:
+            return True
+        if not self.enabled:
+            return self.constraint.is_satisfied(package, self.database)
+        version = self.database.version()
+        if version != self._database_version:
+            self._cache.clear()
+            self._database_version = version
+        key = (package.schema.attribute_names, package.items)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        verdict = self.constraint.is_satisfied(package, self.database)
+        self._cache[key] = verdict
+        return verdict
+
+    def cache_info(self) -> "dict[str, object]":
+        """Hit/miss accounting plus the current cache size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._cache),
+            "enabled": self.enabled,
+        }
+
+    def clear(self) -> None:
+        """Drop every cached verdict and reset the accounting."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+        self._database_version = self.database.version()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompatibilityOracle({self.constraint.describe()}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
 
 
 def at_most_k_with_value(

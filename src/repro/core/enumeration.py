@@ -59,11 +59,17 @@ def enumerate_candidate_packages(
 
 
 def _prunable(problem: RecommendationProblem, package: Package) -> bool:
-    """Whether the whole superset subtree of ``package`` can be skipped."""
+    """Whether the whole superset subtree of ``package`` can be skipped.
+
+    The compatibility probe goes through the problem's memoized oracle: the
+    same package is typically probed again by the full validity check (and by
+    heuristics exploring the same region of the lattice), so the second look
+    is a cache hit instead of a ``Qc`` evaluation.
+    """
     if problem.monotone_cost and problem.cost(package) > problem.budget:
         return True
-    if problem.antimonotone_compatibility and not problem.compatibility.is_satisfied(
-        package, problem.database
+    if problem.antimonotone_compatibility and not problem.compatibility_oracle().is_satisfied(
+        package
     ):
         return True
     return False

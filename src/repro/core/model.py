@@ -18,7 +18,11 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
-from repro.core.compatibility import CompatibilityConstraint, EmptyConstraint
+from repro.core.compatibility import (
+    CompatibilityConstraint,
+    CompatibilityOracle,
+    EmptyConstraint,
+)
 from repro.core.functions import (
     CountCost,
     PackageCost,
@@ -106,6 +110,14 @@ class RecommendationProblem:
     #: (true for all "forbidden sub-pattern" constraints such as "no more than
     #: two museums" and for every Qc built from positive queries over RQ).
     antimonotone_compatibility: bool = False
+    #: Whether compatibility verdicts are memoized (see
+    #: :class:`~repro.core.compatibility.CompatibilityOracle`).  Caching never
+    #: changes results — the oracle invalidates on database mutation — so this
+    #: knob exists for the cache-on/off equivalence tests and ablations.
+    cache_compatibility: bool = True
+    _compatibility_oracle: Optional[CompatibilityOracle] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -119,6 +131,47 @@ class RecommendationProblem:
     def has_compatibility_constraint(self) -> bool:
         """Whether ``Qc`` is present (not the empty query)."""
         return not self.compatibility.is_empty_constraint()
+
+    def compatibility_oracle(self) -> CompatibilityOracle:
+        """The (lazily created) memoized compatibility oracle for this problem.
+
+        Every compatibility probe of this problem — validity checks, the
+        enumerator's pruning hints, the heuristics — goes through one shared
+        oracle, so overlapping sub-packages are checked against ``Qc`` once.
+        The oracle is rebuilt if the constraint or database object changes
+        (e.g. after :func:`dataclasses.replace`), and the problem transforms
+        that keep both (``with_query``, ``with_budget``, ``with_k``,
+        ``with_constant_bound``) carry the oracle over so QRPP-style searches
+        share verdicts across derived problems.
+        """
+        oracle = self._compatibility_oracle
+        if (
+            oracle is None
+            or oracle.constraint is not self.compatibility
+            or oracle.database is not self.database
+            or oracle.enabled != self.cache_compatibility
+        ):
+            oracle = CompatibilityOracle(
+                self.compatibility, self.database, enabled=self.cache_compatibility
+            )
+            self._compatibility_oracle = oracle
+        return oracle
+
+    def _carrying_oracle(self, new: "RecommendationProblem") -> "RecommendationProblem":
+        """Propagate the oracle onto a derived problem when it is still valid.
+
+        The parent's oracle is created here if it does not exist yet (creation
+        is cheap — an empty dict plus a version snapshot), so sibling problems
+        derived from an untouched parent still end up sharing one cache; this
+        is what makes the QRPP search reuse verdicts across relaxations.
+        """
+        if (
+            new.database is self.database
+            and new.compatibility is self.compatibility
+            and new.cache_compatibility == self.cache_compatibility
+        ):
+            new._compatibility_oracle = self.compatibility_oracle()
+        return new
 
     def max_package_size(self) -> int:
         """The effective bound on ``|N|`` for the current database."""
@@ -155,7 +208,7 @@ class RecommendationProblem:
         answer_rows = answers.rows()
         if not all(item in answer_rows for item in package.items):
             return False
-        if not self.compatibility.is_satisfied(package, self.database):
+        if not self.compatibility_oracle().is_satisfied(package):
             return False
         if self.cost(package) > self.budget:
             return False
@@ -172,7 +225,7 @@ class RecommendationProblem:
         return {
             "within_size_bound": len(package) <= self.max_package_size(),
             "subset_of_answers": all(item in answers for item in package.items),
-            "compatible": self.compatibility.is_satisfied(package, self.database),
+            "compatible": self.compatibility_oracle().is_satisfied(package),
             "within_budget": self.cost(package) <= self.budget,
         }
 
@@ -192,23 +245,28 @@ class RecommendationProblem:
 
     def with_constant_bound(self, limit: int) -> "RecommendationProblem":
         """The same problem with a constant package-size bound (Corollary 6.1)."""
-        return replace(self, size_bound=ConstantBound(limit))
+        return self._carrying_oracle(replace(self, size_bound=ConstantBound(limit)))
 
     def with_budget(self, budget: float) -> "RecommendationProblem":
         """The same problem with a different cost budget."""
-        return replace(self, budget=budget)
+        return self._carrying_oracle(replace(self, budget=budget))
 
     def with_k(self, k: int) -> "RecommendationProblem":
         """The same problem asking for a different number of packages."""
-        return replace(self, k=k)
+        return self._carrying_oracle(replace(self, k=k))
 
     def with_database(self, database: Database) -> "RecommendationProblem":
         """The same problem over a different database (used by ARPP)."""
         return replace(self, database=database)
 
     def with_query(self, query: Query) -> "RecommendationProblem":
-        """The same problem with a different selection query (used by QRPP)."""
-        return replace(self, query=query)
+        """The same problem with a different selection query (used by QRPP).
+
+        The compatibility oracle is shared with the derived problem: ``Qc``
+        and ``D`` are unchanged, so the relaxation search re-uses every verdict
+        already computed for other relaxations of the same problem.
+        """
+        return self._carrying_oracle(replace(self, query=query))
 
     def describe(self) -> str:
         """A one-paragraph description used by examples and benchmarks."""

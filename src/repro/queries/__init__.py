@@ -21,7 +21,7 @@ from repro.queries.ast import (
     free_variables,
 )
 from repro.queries.base import Query
-from repro.queries.bindings import StepCounter, enumerate_bindings
+from repro.queries.bindings import StepCounter, enumerate_bindings, enumerate_bindings_naive
 from repro.queries.cq import ConjunctiveQuery, cq_from_formula
 from repro.queries.datalog import DatalogProgram, DatalogRule, NonRecursiveDatalogProgram
 from repro.queries.efo import PositiveExistentialQuery
@@ -36,6 +36,7 @@ from repro.queries.languages import (
 )
 from repro.queries.membership import answer_size, is_empty, is_member
 from repro.queries.parser import parse_cq, parse_program, parse_rule
+from repro.queries.plan import JoinPlan, PlannedAtom, plan_conjunction
 from repro.queries.sp import SPQuery, identity_query, identity_query_for
 from repro.queries.ucq import UnionOfConjunctiveQueries
 
@@ -55,6 +56,8 @@ __all__ = [
     "FirstOrderQuery",
     "ForAll",
     "Formula",
+    "JoinPlan",
+    "PlannedAtom",
     "NonRecursiveDatalogProgram",
     "Not",
     "Or",
@@ -71,7 +74,9 @@ __all__ = [
     "classify_query",
     "cq_from_formula",
     "enumerate_bindings",
+    "enumerate_bindings_naive",
     "free_variables",
+    "plan_conjunction",
     "identity_query",
     "identity_query_for",
     "is_empty",

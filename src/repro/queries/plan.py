@@ -1,0 +1,177 @@
+"""Join planning for conjunctions of relation atoms.
+
+The backtracking evaluator in :mod:`repro.queries.bindings` historically chose
+the next atom dynamically and scanned its whole relation at every node.  The
+key observation enabling a *static* plan is that after an atom is matched
+against a row, **all** of its variables are bound — so the set of bound
+variables at depth ``d`` of the search depends only on which atoms were chosen
+at depths ``< d``, never on which rows matched.  The dynamic
+most-constrained-first choice is therefore a function of the prefix alone and
+can be compiled once per evaluation:
+
+* :func:`plan_conjunction` orders the atoms greedily by the number of
+  already-resolved term positions (constants, initially-bound variables, and
+  variables bound by earlier atoms), exactly replicating the historical
+  dynamic order including its first-wins tie-break;
+* each :class:`PlannedAtom` records which term positions are resolved when the
+  atom runs.  Positions holding constants or bound variables become *probe
+  positions*: at runtime the executor asks the relation's lazy hash index
+  (:meth:`repro.relational.database.Relation.probe`) for exactly the matching
+  rows instead of scanning the relation;
+* comparisons are scheduled at the earliest depth at which all their variables
+  are bound (again a static property), and comparisons whose variables are
+  bound by no atom are flagged so the executor can reject the unsafe query
+  with the same error as the naive evaluator.
+
+Adding a new access path (e.g. a sorted index for range comparisons) means
+extending :class:`PlannedAtom` with a new probe kind here and teaching the
+executor in :mod:`repro.queries.bindings` how to drive it; the planner's
+ordering and scheduling logic stay unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.queries.ast import Comparison, Const, RelationAtom, Term
+from repro.relational.schema import Value
+
+
+@dataclass(frozen=True)
+class PlannedAtom:
+    """One step of a join plan: an atom plus its access path.
+
+    ``probe_positions``/``probe_terms`` are the term positions (and the terms
+    occupying them) whose values are known before the step runs — constants and
+    variables bound earlier.  A non-empty probe means the executor uses a hash
+    index lookup; an empty probe means a full scan.  ``new_variables`` are the
+    variable names this step binds for the first time.
+    """
+
+    atom: RelationAtom
+    probe_positions: Tuple[int, ...]
+    probe_terms: Tuple[Term, ...]
+    new_variables: Tuple[str, ...]
+
+    @property
+    def uses_index(self) -> bool:
+        """Whether this step runs as an index probe rather than a full scan."""
+        return bool(self.probe_positions)
+
+    def probe_key(self, binding: Mapping[str, Value]) -> Tuple[Value, ...]:
+        """The index key for this step under the current binding."""
+        return tuple(
+            term.value if isinstance(term, Const) else binding[term.name]
+            for term in self.probe_terms
+        )
+
+    def describe(self) -> str:
+        if not self.uses_index:
+            return f"scan {self.atom}"
+        probes = ", ".join(
+            f"{position}={term}" for position, term in zip(self.probe_positions, self.probe_terms)
+        )
+        return f"probe {self.atom} on [{probes}]"
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """An ordered sequence of planned atoms plus a comparison schedule.
+
+    ``comparison_schedule`` has ``len(steps) + 1`` entries: entry ``d`` lists
+    the indices (into ``comparisons``) of the comparisons that first become
+    ground once ``d`` steps have bound their variables (entry ``0`` covers
+    comparisons ground under the initial binding alone).
+    ``unresolved_comparisons`` are never ground — the executor raises the
+    unsafe-query error when a complete binding is reached, matching the naive
+    evaluator.
+    """
+
+    steps: Tuple[PlannedAtom, ...]
+    comparisons: Tuple[Comparison, ...]
+    comparison_schedule: Tuple[Tuple[int, ...], ...]
+    unresolved_comparisons: Tuple[int, ...]
+
+    def describe(self) -> str:
+        """A textual rendering of the plan, one line per step."""
+        lines = [step.describe() for step in self.steps]
+        for depth, scheduled in enumerate(self.comparison_schedule):
+            for index in scheduled:
+                lines.append(f"check {self.comparisons[index]} at depth {depth}")
+        return "\n".join(lines) if lines else "empty plan"
+
+
+def most_constrained_index(
+    remaining: Sequence[RelationAtom], bound: "Set[str] | Mapping[str, Value]"
+) -> int:
+    """Index of the atom with the most resolved term positions (first wins ties).
+
+    ``bound`` is any container answering ``name in bound`` — the planner passes
+    the set of statically bound names, the naive evaluator its live binding
+    dict.  Sharing one scoring function is what keeps the planned and naive
+    search trees identical whenever no index is applicable.
+    """
+    best_index = 0
+    best_score = -1
+    for index, atom in enumerate(remaining):
+        score = 0
+        for term in atom.terms:
+            if isinstance(term, Const) or term.name in bound:
+                score += 1
+        if score > best_score:
+            best_score = score
+            best_index = index
+    return best_index
+
+
+def plan_conjunction(
+    relation_atoms: Iterable[RelationAtom],
+    comparisons: Iterable[Comparison] = (),
+    bound_variables: "FrozenSet[str] | Set[str]" = frozenset(),
+) -> JoinPlan:
+    """Compile a conjunction of atoms into an ordered :class:`JoinPlan`.
+
+    ``bound_variables`` are the names bound before the search starts (the
+    evaluator's ``initial_binding``); their values participate in index probes
+    from the first step on.
+    """
+    remaining: List[RelationAtom] = list(relation_atoms)
+    comparisons = tuple(comparisons)
+    bound: Set[str] = set(bound_variables)
+    scheduled: Set[int] = set()
+
+    def take_ready() -> Tuple[int, ...]:
+        ready = tuple(
+            index
+            for index, comparison in enumerate(comparisons)
+            if index not in scheduled
+            and all(var.name in bound for var in comparison.variables())
+        )
+        scheduled.update(ready)
+        return ready
+
+    schedule: List[Tuple[int, ...]] = [take_ready()]
+    steps: List[PlannedAtom] = []
+    while remaining:
+        atom = remaining.pop(most_constrained_index(remaining, bound))
+        probe_positions: List[int] = []
+        probe_terms: List[Term] = []
+        new_variables: List[str] = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Const) or term.name in bound:
+                probe_positions.append(position)
+                probe_terms.append(term)
+            elif term.name not in new_variables:
+                # A repeated unbound variable (e.g. R(x, x)) stays out of the
+                # probe; the executor's row matcher enforces the equality.
+                new_variables.append(term.name)
+        bound.update(new_variables)
+        steps.append(
+            PlannedAtom(atom, tuple(probe_positions), tuple(probe_terms), tuple(new_variables))
+        )
+        schedule.append(take_ready())
+    unresolved = tuple(
+        index for index in range(len(comparisons)) if index not in scheduled
+    )
+    return JoinPlan(tuple(steps), comparisons, tuple(schedule), unresolved)

@@ -6,6 +6,17 @@ counterparts of the paper's item collection ``D``.
 
 Relations are set-semantics (no duplicates), matching the paper's model where
 packages are subsets of the query answer ``Q(D)``.
+
+Relations additionally maintain *lazy hash indexes*: for any tuple of
+attribute positions, :meth:`Relation.index_on` builds (once) and caches a map
+from position-values to the rows carrying them, and :meth:`Relation.probe`
+answers point lookups through it.  The join planner in
+:mod:`repro.queries.plan` uses these indexes to turn full relation scans into
+hash probes whenever a variable is already bound.  Every mutation bumps the
+relation's :attr:`Relation.version` and drops the cached indexes, so a stale
+index can never serve a query; caches keyed on database contents (e.g. the
+compatibility oracle) compare :meth:`Database.version` snapshots for the same
+reason.
 """
 
 from __future__ import annotations
@@ -21,11 +32,13 @@ Row = Tuple[Value, ...]
 class Relation:
     """A finite set of tuples over a :class:`RelationSchema`."""
 
-    __slots__ = ("schema", "_rows")
+    __slots__ = ("schema", "_rows", "_indexes", "_version")
 
     def __init__(self, schema: RelationSchema, rows: Iterable[Sequence[Value]] = ()) -> None:
         self.schema = schema
         self._rows: Set[Row] = set()
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Value, ...], Tuple[Row, ...]]] = {}
+        self._version = 0
         for row in rows:
             self.add(row)
 
@@ -41,10 +54,18 @@ class Relation:
         return relation
 
     # -- mutation -------------------------------------------------------------
+    def _mutated(self) -> None:
+        """Record a change to the row set: bump the version, drop stale indexes."""
+        self._version += 1
+        if self._indexes:
+            self._indexes.clear()
+
     def add(self, row: Sequence[Value]) -> Row:
         """Insert a tuple (validated against the schema) and return it."""
         validated = self.schema.validate_tuple(row)
-        self._rows.add(validated)
+        if validated not in self._rows:
+            self._rows.add(validated)
+            self._mutated()
         return validated
 
     def add_all(self, rows: Iterable[Sequence[Value]]) -> None:
@@ -57,12 +78,74 @@ class Relation:
         validated = self.schema.validate_tuple(row)
         if validated in self._rows:
             self._rows.remove(validated)
+            self._mutated()
             return True
         return False
 
     def clear(self) -> None:
         """Remove every tuple."""
-        self._rows.clear()
+        if self._rows:
+            self._rows.clear()
+            self._mutated()
+
+    # -- hash indexes -----------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """A counter incremented on every mutation of the row set.
+
+        Caches derived from the rows (hash indexes, memoized compatibility
+        verdicts) compare versions to detect staleness.
+        """
+        return self._version
+
+    def _validated_positions(self, positions: Sequence[int]) -> Tuple[int, ...]:
+        key = tuple(positions)
+        for position in key:
+            if not 0 <= position < self.schema.arity:
+                raise SchemaError(
+                    f"relation {self.name!r}: index position {position} outside "
+                    f"arity {self.schema.arity}"
+                )
+        return key
+
+    def index_on(
+        self, positions: Sequence[int]
+    ) -> Mapping[Tuple[Value, ...], Tuple[Row, ...]]:
+        """The hash index on ``positions``: position-values → rows carrying them.
+
+        Built on first use and cached until the relation is mutated.  An empty
+        ``positions`` tuple is rejected — that would be a full copy of the
+        relation masquerading as an index.
+        """
+        key = self._validated_positions(positions)
+        if not key:
+            raise SchemaError(f"relation {self.name!r}: cannot index on zero positions")
+        index = self._indexes.get(key)
+        if index is None:
+            buckets: Dict[Tuple[Value, ...], list] = {}
+            for row in self._rows:
+                buckets.setdefault(tuple(row[p] for p in key), []).append(row)
+            index = {values: tuple(rows) for values, rows in buckets.items()}
+            self._indexes[key] = index
+        return index
+
+    def index_on_attributes(
+        self, attributes: Sequence[str]
+    ) -> Mapping[Tuple[Value, ...], Tuple[Row, ...]]:
+        """:meth:`index_on` addressed by attribute names instead of positions."""
+        return self.index_on(tuple(self.schema.index_of(a) for a in attributes))
+
+    def probe(self, positions: Sequence[int], values: Sequence[Value]) -> Tuple[Row, ...]:
+        """All rows whose ``positions`` carry exactly ``values`` (via the index)."""
+        return self.index_on(positions).get(tuple(values), ())
+
+    def indexed_position_sets(self) -> Tuple[Tuple[int, ...], ...]:
+        """The position tuples currently carrying a cached index (for tests/stats)."""
+        return tuple(sorted(self._indexes))
+
+    def invalidate_indexes(self) -> None:
+        """Drop every cached index without touching the rows."""
+        self._indexes.clear()
 
     # -- queries ---------------------------------------------------------------
     @property
@@ -201,6 +284,22 @@ class Database:
         for relation in self._relations.values():
             domain |= relation.active_domain()
         return domain
+
+    def version(self) -> Tuple[Tuple[str, int], ...]:
+        """A snapshot of every relation's mutation counter.
+
+        Two equal snapshots of the same :class:`Database` object guarantee the
+        contents have not changed in between; caches keyed on database contents
+        (e.g. the compatibility oracle) compare snapshots to invalidate.  The
+        snapshot relies on dict insertion order, which is stable per object —
+        snapshots of *different* databases are not comparable.
+        """
+        return tuple((name, relation.version) for name, relation in self._relations.items())
+
+    def invalidate_indexes(self) -> None:
+        """Drop every cached hash index in every relation (rows are untouched)."""
+        for relation in self._relations.values():
+            relation.invalidate_indexes()
 
     # -- copying / combining -----------------------------------------------------------
     def copy(self) -> "Database":

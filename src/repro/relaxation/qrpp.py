@@ -10,6 +10,12 @@ works, together with witnesses; :func:`qrpp_decision` is the paper's decision
 problem.  The item variants restrict packages to singletons rated by a
 utility function, which is the case whose data complexity drops to PTIME
 (Corollary 7.3).
+
+The relaxed problems are derived with
+:meth:`~repro.core.model.RecommendationProblem.with_query`, which shares the
+parent problem's memoized compatibility oracle: ``Qc`` and ``D`` do not change
+across relaxations, so a package judged (in)compatible under one relaxed query
+is never re-checked under another.
 """
 
 from __future__ import annotations

@@ -1,0 +1,201 @@
+"""Tests for the memoized compatibility oracle.
+
+Covers the cache contract end to end: hit/miss accounting, invalidation when
+the underlying database mutates, sharing across derived problems (the QRPP
+path), and — the property everything else rests on — that results of the
+counting and top-k solvers are byte-identical with the cache on and off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import (
+    CompatibilityOracle,
+    PredicateConstraint,
+    QueryConstraint,
+    compute_top_k,
+    count_valid_packages,
+)
+from repro.core.packages import Package
+from repro.queries.ast import Comparison, ComparisonOp, RelationAtom, Var
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.workloads.synthetic import synthetic_package_problem
+
+
+def _counting_constraint():
+    """A predicate constraint that records how often it is evaluated."""
+    calls = []
+
+    def predicate(package, database):
+        calls.append(package.items)
+        return len(package) <= 2
+
+    return PredicateConstraint(predicate, "at most two items"), calls
+
+
+@pytest.fixture
+def items_database() -> Database:
+    database = Database()
+    database.create_relation(
+        "items", ["iid", "kind"], [(1, "a"), (2, "b"), (3, "a"), (4, "c")]
+    )
+    return database
+
+
+def _package(database: Database, *iids: int) -> Package:
+    relation = database.relation("items")
+    rows = [row for row in relation if row[0] in iids]
+    return Package(relation.schema, rows)
+
+
+# ---------------------------------------------------------------------------
+# Accounting
+# ---------------------------------------------------------------------------
+def test_cache_hit_and_miss_accounting(items_database):
+    constraint, calls = _counting_constraint()
+    oracle = CompatibilityOracle(constraint, items_database)
+    package = _package(items_database, 1, 2)
+
+    assert oracle.is_satisfied(package)
+    assert oracle.is_satisfied(package)
+    assert oracle.is_satisfied(_package(items_database, 3))
+
+    assert oracle.hits == 1
+    assert oracle.misses == 2
+    assert len(calls) == 2
+    info = oracle.cache_info()
+    assert info["hits"] == 1 and info["misses"] == 2 and info["size"] == 2
+    assert info["enabled"] is True
+
+
+def test_disabled_oracle_is_a_pass_through(items_database):
+    constraint, calls = _counting_constraint()
+    oracle = CompatibilityOracle(constraint, items_database, enabled=False)
+    package = _package(items_database, 1)
+    assert oracle.is_satisfied(package)
+    assert oracle.is_satisfied(package)
+    assert len(calls) == 2
+    assert oracle.hits == 0 and oracle.misses == 0
+    assert oracle.cache_info()["size"] == 0
+
+
+def test_clear_resets_cache_and_accounting(items_database):
+    constraint, _ = _counting_constraint()
+    oracle = CompatibilityOracle(constraint, items_database)
+    oracle.is_satisfied(_package(items_database, 1))
+    oracle.is_satisfied(_package(items_database, 1))
+    oracle.clear()
+    assert oracle.hits == 0 and oracle.misses == 0
+    assert oracle.cache_info()["size"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Invalidation on database mutation
+# ---------------------------------------------------------------------------
+def test_database_mutation_invalidates_cached_verdicts():
+    """A Qc consulting a conflict relation must see in-place updates."""
+    database = Database()
+    database.create_relation("items", ["iid", "kind"], [(1, "a"), (2, "b")])
+    conflicts = database.create_relation("conflict", ["left", "right"])
+    # Qc: two package items whose ids are declared conflicting.
+    qc = ConjunctiveQuery(
+        [Var("x")],
+        [
+            RelationAtom("RQ", [Var("x"), Var("kx")]),
+            RelationAtom("RQ", [Var("y"), Var("ky")]),
+            RelationAtom("conflict", [Var("x"), Var("y")]),
+        ],
+        name="Qc",
+    )
+    oracle = CompatibilityOracle(QueryConstraint(qc), database)
+    package = _package(database, 1, 2)
+
+    assert oracle.is_satisfied(package)  # no conflicts declared yet
+    conflicts.add((1, 2))
+    assert not oracle.is_satisfied(package)  # stale verdict must not be served
+    conflicts.discard((1, 2))
+    assert oracle.is_satisfied(package)
+
+
+def test_oracle_reuse_across_problems_on_one_database(items_database):
+    """Two problems over the same database may share one oracle safely."""
+    constraint, calls = _counting_constraint()
+    oracle = CompatibilityOracle(constraint, items_database)
+    package = _package(items_database, 1, 2)
+    assert oracle.is_satisfied(package)
+    # A second "problem" probing the same package hits the shared cache.
+    assert oracle.is_satisfied(_package(items_database, 1, 2))
+    assert len(calls) == 1
+
+
+# ---------------------------------------------------------------------------
+# Problem wiring
+# ---------------------------------------------------------------------------
+def test_problem_transforms_share_the_oracle():
+    problem = synthetic_package_problem(6, seed=1).problem
+    oracle = problem.compatibility_oracle()
+    assert problem.with_budget(10.0).compatibility_oracle() is oracle
+    assert problem.with_k(2).compatibility_oracle() is oracle
+    assert problem.with_query(problem.query).compatibility_oracle() is oracle
+    assert problem.with_constant_bound(2).compatibility_oracle() is oracle
+
+
+def test_siblings_share_without_probing_the_parent_first():
+    """Deriving from an untouched parent still yields one shared oracle.
+
+    This is the QRPP flow: ``find_package_relaxation`` never probes the base
+    problem itself, only the relaxed problems derived from it — verdict
+    sharing must not depend on the parent's oracle already existing.
+    """
+    problem = synthetic_package_problem(6, seed=1).problem
+    first = problem.with_query(problem.query)
+    second = problem.with_budget(50.0)
+    assert first.compatibility_oracle() is second.compatibility_oracle()
+    assert first.compatibility_oracle() is problem.compatibility_oracle()
+
+
+def test_changing_database_or_constraint_gets_a_fresh_oracle():
+    problem = synthetic_package_problem(6, seed=1).problem
+    oracle = problem.compatibility_oracle()
+    other_database = synthetic_package_problem(6, seed=2).problem.database
+    assert problem.with_database(other_database).compatibility_oracle() is not oracle
+    assert problem.without_compatibility().compatibility_oracle() is not oracle
+
+
+def test_enumeration_actually_hits_the_cache():
+    problem = synthetic_package_problem(8, seed=3).problem
+    compute_top_k(problem)
+    oracle = problem.compatibility_oracle()
+    assert oracle.misses > 0
+    assert oracle.hits > 0  # pruning probe + validity probe share verdicts
+
+
+# ---------------------------------------------------------------------------
+# Cache on/off equivalence
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("num_items", [6, 8, 10])
+def test_count_valid_packages_identical_with_cache_on_and_off(num_items):
+    cached = synthetic_package_problem(num_items, seed=num_items).problem
+    uncached = replace(cached, cache_compatibility=False)
+    assert not uncached.compatibility_oracle().enabled
+    with_cache = count_valid_packages(cached, rating_bound=10.0)
+    without_cache = count_valid_packages(uncached, rating_bound=10.0)
+    assert repr(with_cache) == repr(without_cache)
+    assert with_cache.count == without_cache.count
+
+
+@pytest.mark.parametrize("num_items", [6, 8, 10])
+def test_compute_top_k_identical_with_cache_on_and_off(num_items):
+    cached = synthetic_package_problem(num_items, k=2, seed=num_items).problem
+    uncached = replace(cached, cache_compatibility=False)
+    with_cache = compute_top_k(cached)
+    without_cache = compute_top_k(uncached)
+    assert repr(with_cache) == repr(without_cache)
+    assert with_cache.ratings == without_cache.ratings
+    assert [p.sorted_items() for p in with_cache.selection] == [
+        p.sorted_items() for p in without_cache.selection
+    ]

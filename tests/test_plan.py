@@ -1,0 +1,260 @@
+"""Unit tests for the join planner (:mod:`repro.queries.plan`).
+
+Pins down the contract the indexed evaluator relies on: most-constrained-first
+atom ordering (replicating the naive evaluator's dynamic choice), index probes
+whenever a term position is resolved (bound variable or constant), and
+step-counter behaviour — identical tick counts to the naive path when no index
+applies, and the same abort semantics always.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries.ast import Comparison, ComparisonOp, Const, RelationAtom, Var
+from repro.queries.bindings import StepCounter, enumerate_bindings, enumerate_bindings_naive
+from repro.queries.plan import plan_conjunction
+from repro.relational.database import Database
+from repro.relational.errors import EvaluationError
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+@pytest.fixture
+def graph() -> Database:
+    database = Database()
+    database.create_relation(
+        "edge", ["src", "dst"], [(1, 2), (2, 3), (3, 4), (2, 4), (4, 1)]
+    )
+    database.create_relation("label", ["node", "tag"], [(1, "a"), (2, "b"), (4, "a")])
+    return database
+
+
+# ---------------------------------------------------------------------------
+# Atom ordering
+# ---------------------------------------------------------------------------
+def test_most_constrained_atom_runs_first():
+    """An atom with a constant outscores an all-variable atom."""
+    free = RelationAtom("edge", [X, Y])
+    constrained = RelationAtom("label", [Y, Const("a")])
+    plan = plan_conjunction([free, constrained])
+    assert [step.atom.relation for step in plan.steps] == ["label", "edge"]
+    # After `label` binds y, the edge atom probes its dst position.
+    assert plan.steps[1].probe_positions == (1,)
+
+
+def test_initially_bound_variables_drive_the_order():
+    """A variable from the initial binding counts as resolved for ordering."""
+    first = RelationAtom("edge", [X, Y])
+    second = RelationAtom("edge", [Y, Z])
+    plan = plan_conjunction([first, second], bound_variables={"z"})
+    assert plan.steps[0].atom is second
+    assert plan.steps[0].probe_positions == (1,)
+
+
+def test_ties_break_towards_the_first_atom():
+    """Equal scores keep body order — exactly the naive evaluator's rule."""
+    first = RelationAtom("edge", [X, Y])
+    second = RelationAtom("edge", [Y, Z])
+    plan = plan_conjunction([first, second])
+    assert plan.steps[0].atom is first
+
+
+def test_chain_query_orders_like_the_naive_evaluator():
+    """Each later atom of a chain joins on the variable the previous one bound."""
+    atoms = [
+        RelationAtom("edge", [Var("x0"), Var("x1")]),
+        RelationAtom("edge", [Var("x1"), Var("x2")]),
+        RelationAtom("edge", [Var("x2"), Var("x3")]),
+    ]
+    plan = plan_conjunction(atoms)
+    assert [step.atom for step in plan.steps] == atoms
+    assert not plan.steps[0].uses_index
+    assert plan.steps[1].probe_positions == (0,)
+    assert plan.steps[2].probe_positions == (0,)
+
+
+# ---------------------------------------------------------------------------
+# Access paths
+# ---------------------------------------------------------------------------
+def test_bound_variables_become_index_probes():
+    plan = plan_conjunction([RelationAtom("edge", [X, Y])], bound_variables={"x"})
+    step = plan.steps[0]
+    assert step.uses_index
+    assert step.probe_positions == (0,)
+    assert step.probe_key({"x": 3}) == (3,)
+    assert step.new_variables == ("y",)
+
+
+def test_constants_are_pushed_into_index_probes():
+    plan = plan_conjunction([RelationAtom("edge", [Const(2), Y])])
+    step = plan.steps[0]
+    assert step.uses_index
+    assert step.probe_positions == (0,)
+    assert step.probe_key({}) == (2,)
+
+
+def test_constants_and_bound_variables_combine_in_one_probe():
+    plan = plan_conjunction(
+        [RelationAtom("label", [X, Const("a")])], bound_variables={"x"}
+    )
+    step = plan.steps[0]
+    assert step.probe_positions == (0, 1)
+    assert step.probe_key({"x": 4}) == (4, "a")
+
+
+def test_repeated_unbound_variable_stays_out_of_the_probe():
+    """R(x, x) with x unbound: no probe, the row matcher enforces equality."""
+    plan = plan_conjunction([RelationAtom("edge", [X, X])])
+    step = plan.steps[0]
+    assert not step.uses_index
+    assert step.new_variables == ("x",)
+
+
+def test_executor_uses_the_relation_index(graph):
+    """Evaluating a probe-able atom materialises a hash index on the relation."""
+    edge = graph.relation("edge")
+    assert edge.indexed_position_sets() == ()
+    results = list(
+        enumerate_bindings(
+            graph, [RelationAtom("edge", [X, Y])], initial_binding={"x": 2}
+        )
+    )
+    assert sorted(binding["y"] for binding in results) == [3, 4]
+    assert (0,) in edge.indexed_position_sets()
+
+
+def test_precompiled_plan_can_be_reused(graph):
+    atoms = [RelationAtom("edge", [X, Y]), RelationAtom("edge", [Y, Z])]
+    plan = plan_conjunction(atoms)
+    direct = sorted(map(repr, enumerate_bindings(graph, atoms)))
+    replayed = sorted(map(repr, enumerate_bindings(graph, atoms, plan=plan)))
+    assert direct == replayed
+
+
+def test_plan_describe_names_access_paths():
+    plan = plan_conjunction(
+        [RelationAtom("edge", [X, Y]), RelationAtom("edge", [Y, Z])],
+        [Comparison(ComparisonOp.LT, X, Z)],
+    )
+    description = plan.describe()
+    assert "scan edge(x, y)" in description
+    assert "probe edge(y, z)" in description
+    assert "check x < z at depth 2" in description
+
+
+# ---------------------------------------------------------------------------
+# Comparison scheduling
+# ---------------------------------------------------------------------------
+def test_comparisons_scheduled_at_earliest_ground_depth():
+    atoms = [RelationAtom("edge", [X, Y]), RelationAtom("edge", [Y, Z])]
+    comparisons = [
+        Comparison(ComparisonOp.NE, X, Y),  # ground after step 1
+        Comparison(ComparisonOp.LT, X, Z),  # ground after step 2
+    ]
+    plan = plan_conjunction(atoms, comparisons)
+    assert plan.comparison_schedule == ((), (0,), (1,))
+    assert plan.unresolved_comparisons == ()
+
+
+def test_initially_ground_comparisons_run_before_any_atom():
+    plan = plan_conjunction(
+        [RelationAtom("edge", [X, Y])],
+        [Comparison(ComparisonOp.EQ, X, Const(1))],
+        bound_variables={"x"},
+    )
+    assert plan.comparison_schedule[0] == (0,)
+
+
+def test_unresolvable_comparisons_are_flagged():
+    plan = plan_conjunction(
+        [RelationAtom("edge", [X, Y])], [Comparison(ComparisonOp.LT, Var("w"), X)]
+    )
+    assert plan.unresolved_comparisons == (0,)
+
+
+# ---------------------------------------------------------------------------
+# StepCounter semantics
+# ---------------------------------------------------------------------------
+def _count_steps(evaluator, graph, atoms, comparisons=(), limit=None):
+    counter = StepCounter(limit)
+    list(evaluator(graph, atoms, comparisons, counter=counter))
+    return counter.steps
+
+
+def test_full_scan_tick_counts_match_the_naive_path(graph):
+    """With no probe-able position, planned and naive ticks are identical."""
+    single = [RelationAtom("edge", [X, Y])]
+    assert _count_steps(enumerate_bindings, graph, single) == _count_steps(
+        enumerate_bindings_naive, graph, single
+    )
+
+
+def test_indexed_path_never_ticks_more_than_naive(graph):
+    atoms = [
+        RelationAtom("edge", [Var("x0"), Var("x1")]),
+        RelationAtom("edge", [Var("x1"), Var("x2")]),
+        RelationAtom("edge", [Var("x2"), Var("x3")]),
+    ]
+    planned = _count_steps(enumerate_bindings, graph, atoms)
+    naive = _count_steps(enumerate_bindings_naive, graph, atoms)
+    assert planned < naive
+
+
+def test_step_limit_aborts_the_planned_path(graph):
+    atoms = [RelationAtom("edge", [X, Y]), RelationAtom("edge", [Y, Z])]
+    with pytest.raises(EvaluationError):
+        _count_steps(enumerate_bindings, graph, atoms, limit=3)
+    with pytest.raises(EvaluationError):
+        _count_steps(enumerate_bindings_naive, graph, atoms, limit=3)
+
+
+def test_step_limit_aborts_at_the_same_count_when_scanning(graph):
+    """In full-scan mode the two paths abort after exactly the same tick."""
+    single = [RelationAtom("edge", [X, Y])]
+    total = _count_steps(enumerate_bindings, graph, single)
+    for limit in range(1, total):
+        planned = StepCounter(limit)
+        naive = StepCounter(limit)
+        with pytest.raises(EvaluationError):
+            list(enumerate_bindings(graph, single, counter=planned))
+        with pytest.raises(EvaluationError):
+            list(enumerate_bindings_naive(graph, single, counter=naive))
+        assert planned.steps == naive.steps
+
+
+# ---------------------------------------------------------------------------
+# Unsafe-query error parity
+# ---------------------------------------------------------------------------
+def test_unsafe_comparison_raises_like_the_naive_path(graph):
+    atoms = [RelationAtom("edge", [X, Y])]
+    comparisons = [Comparison(ComparisonOp.LT, Var("w"), X)]
+    with pytest.raises(EvaluationError, match="not bound by any relation atom"):
+        list(enumerate_bindings(graph, atoms, comparisons))
+    with pytest.raises(EvaluationError, match="not bound by any relation atom"):
+        list(enumerate_bindings_naive(graph, atoms, comparisons))
+
+
+def test_mutation_during_indexed_iteration_fails_loudly(graph):
+    """Mutating a relation while a probe-backed generator is suspended raises.
+
+    The full-scan path already fails via the underlying set's RuntimeError;
+    the probe path iterates a frozen index bucket, so the executor checks the
+    relation version explicitly instead of silently mixing database states.
+    """
+    atom = RelationAtom("edge", [X, Y])
+    generator = enumerate_bindings(graph, [atom], initial_binding={"x": 2})
+    assert next(generator) is not None
+    graph.relation("edge").add((9, 9))
+    with pytest.raises(EvaluationError, match="mutated during evaluation"):
+        next(generator)
+
+
+def test_unsafe_comparison_is_silent_when_no_binding_completes():
+    """Neither path raises when the search never reaches a complete binding."""
+    database = Database()
+    database.create_relation("empty", ["a", "b"])
+    atoms = [RelationAtom("empty", [X, Y])]
+    comparisons = [Comparison(ComparisonOp.LT, Var("w"), X)]
+    assert list(enumerate_bindings(database, atoms, comparisons)) == []
+    assert list(enumerate_bindings_naive(database, atoms, comparisons)) == []

@@ -130,3 +130,115 @@ class TestDatabase:
         database.create_relation("a", ["x", "y"])
         schema = database.schema()
         assert schema["a"].attribute_names == ("x", "y")
+
+
+class TestRelationIndexes:
+    """Lazy hash indexes: build-on-demand, probe, and mutation invalidation."""
+
+    def test_index_on_groups_rows_by_position_values(self, poi_relation):
+        index = poi_relation.index_on((1,))
+        kinds = {key[0] for key in index}
+        assert kinds == set(poi_relation.column("kind"))
+        for key, rows in index.items():
+            assert all(row[1] == key[0] for row in rows)
+
+    def test_index_on_attributes_matches_positions(self, poi_relation):
+        assert poi_relation.index_on_attributes(["kind"]) == poi_relation.index_on((1,))
+
+    def test_probe_returns_matching_rows_only(self, poi_relation):
+        rows = poi_relation.probe((1,), ("museum",))
+        assert rows and all(row[1] == "museum" for row in rows)
+        assert poi_relation.probe((1,), ("volcano",)) == ()
+
+    def test_multi_position_probe(self, poi_relation):
+        rows = poi_relation.probe((1, 2), ("museum", 25))
+        assert all(row[1] == "museum" and row[2] == 25 for row in rows)
+
+    def test_index_is_cached_until_mutation(self, poi_relation):
+        first = poi_relation.index_on((0,))
+        assert poi_relation.index_on((0,)) is first
+        assert (0,) in poi_relation.indexed_position_sets()
+
+    def test_zero_position_index_rejected(self, poi_relation):
+        with pytest.raises(SchemaError):
+            poi_relation.index_on(())
+
+    def test_out_of_range_position_rejected(self, poi_relation):
+        with pytest.raises(SchemaError):
+            poi_relation.index_on((99,))
+
+    # -- the regression the refactor surfaced: mutate after indexing ---------
+    def test_add_after_index_built_invalidates_the_index(self, poi_relation):
+        before = poi_relation.probe((1,), ("museum",))
+        poi_relation.add(("louvre", "museum", 17))
+        after = poi_relation.probe((1,), ("museum",))
+        assert len(after) == len(before) + 1
+        assert ("louvre", "museum", 17) in after
+
+    def test_discard_after_index_built_invalidates_the_index(self, poi_relation):
+        target = poi_relation.probe((1,), ("museum",))[0]
+        poi_relation.discard(target)
+        assert target not in poi_relation.probe((1,), ("museum",))
+
+    def test_clear_after_index_built_invalidates_the_index(self, poi_relation):
+        assert poi_relation.probe((1,), ("museum",))
+        poi_relation.clear()
+        assert poi_relation.probe((1,), ("museum",)) == ()
+
+    def test_noop_mutations_do_not_bump_the_version(self, poi_relation):
+        version = poi_relation.version
+        poi_relation.add(("met", "museum", 25))  # already present
+        poi_relation.discard(("atlantis", "museum", 1))  # never present
+        assert poi_relation.version == version
+
+    def test_real_mutations_bump_the_version(self, poi_relation):
+        version = poi_relation.version
+        poi_relation.add(("louvre", "museum", 17))
+        assert poi_relation.version == version + 1
+        poi_relation.discard(("louvre", "museum", 17))
+        assert poi_relation.version == version + 2
+
+    def test_invalidate_indexes_drops_caches_but_keeps_rows(self, poi_relation):
+        poi_relation.index_on((0,))
+        count = len(poi_relation)
+        poi_relation.invalidate_indexes()
+        assert poi_relation.indexed_position_sets() == ()
+        assert len(poi_relation) == count
+
+    def test_mutate_then_requery_through_the_evaluator(self):
+        """End-to-end regression: the planned evaluator sees in-place updates."""
+        from repro.queries.ast import RelationAtom, Var
+        from repro.queries.bindings import enumerate_bindings
+
+        database = Database()
+        edges = database.create_relation("edge", ["src", "dst"], [(1, 2), (2, 3)])
+        atom = RelationAtom("edge", [Var("x"), Var("y")])
+
+        first = list(enumerate_bindings(database, [atom], initial_binding={"x": 2}))
+        assert sorted(b["y"] for b in first) == [3]
+        edges.add((2, 9))
+        second = list(enumerate_bindings(database, [atom], initial_binding={"x": 2}))
+        assert sorted(b["y"] for b in second) == [3, 9]
+        edges.discard((2, 3))
+        third = list(enumerate_bindings(database, [atom], initial_binding={"x": 2}))
+        assert sorted(b["y"] for b in third) == [9]
+
+
+class TestDatabaseVersion:
+    def test_version_snapshots_change_on_mutation(self):
+        database = Database()
+        relation = database.create_relation("a", ["x"], [(1,)])
+        before = database.version()
+        assert database.version() == before  # stable while unchanged
+        relation.add((2,))
+        assert database.version() != before
+
+    def test_invalidate_indexes_walks_every_relation(self):
+        database = Database()
+        a = database.create_relation("a", ["x"], [(1,)])
+        b = database.create_relation("b", ["y"], [(2,)])
+        a.index_on((0,))
+        b.index_on((0,))
+        database.invalidate_indexes()
+        assert a.indexed_position_sets() == ()
+        assert b.indexed_position_sets() == ()
