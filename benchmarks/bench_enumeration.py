@@ -1,0 +1,266 @@
+"""EXP-ENUM — the package-lattice search engine against the pre-engine search.
+
+PR 1 made each individual query evaluation fast; this benchmark quantifies
+what the PR 2 enumeration layer buys on top: the stateful incremental DFS
+(:class:`repro.core.enumeration.PackageSearchEngine`) with threaded
+cost/rating state, trusted package construction, single-probe compatibility,
+zero-copy ``Qc`` probes and branch-and-bound top-k, against the retained
+historical search (:func:`repro.core.enumeration.enumerate_valid_packages_reference`
+plus an exhaustive sort, with the per-probe database-copying ``Qc`` path).
+
+``test_engine_beats_reference_by_5x_at_largest_size`` is the acceptance gate:
+at the largest sweep size the engine must be at least 5x faster wall-clock
+than the pre-engine search while returning the identical top-k selection, and
+it records the sweep to ``BENCH_enumeration.json`` so the perf trajectory is
+tracked across PRs.
+
+Run stand-alone for the machine-readable report::
+
+    PYTHONPATH=src python benchmarks/bench_enumeration.py --json
+
+The smallest sweep size of every benchmark below is auto-registered under the
+``bench_smoke`` marker by ``benchmarks/conftest.py`` (sweeps are listed
+ascending), so CI's smoke pass exercises each entry point end to end.
+"""
+
+import argparse
+import json
+import pathlib
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.core import (
+    QueryConstraint,
+    best_valid_packages_reference,
+    compute_top_k,
+    enumerate_valid_packages_reference,
+)
+from repro.core.cpp import count_valid_packages as cpp_count
+from repro.core.enumeration import PackageSearchEngine
+from repro.queries.ast import Comparison, ComparisonOp, RelationAtom, Var
+from repro.queries.cq import ConjunctiveQuery
+from repro.workloads.synthetic import synthetic_package_problem
+
+# (num_items, budget) pairs, ascending; the knapsack-flavoured synthetic
+# workload (cost = total price, val = total quality, one item per category)
+# declares all three hints, so the sweep exercises threaded costs, single
+# probes AND the branch-and-bound mode.
+ENUM_SWEEP = [(12, 60.0), (16, 80.0), (20, 100.0), (28, 100.0)]
+TOP_K = 2
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_PATH = _REPO_ROOT / "BENCH_enumeration.json"
+
+
+def _problem(num_items: int, budget: float):
+    return synthetic_package_problem(num_items, budget=budget, k=TOP_K, seed=num_items).problem
+
+
+def _rendered(packages):
+    return [package.sorted_items() for package in packages]
+
+
+# ---------------------------------------------------------------------------
+# The pre-engine Qc probe (per-probe database copy), for the constraint sweep
+# ---------------------------------------------------------------------------
+class _CopyingQueryConstraint(QueryConstraint):
+    """A ``Qc`` that probes through the historical copy-per-probe path."""
+
+    def is_satisfied(self, package, database):
+        return self.is_satisfied_copying(package, database)
+
+
+def _duplicate_category_query(constraint_cls):
+    iid1, iid2, category = Var("iid1"), Var("iid2"), Var("category")
+    p1, q1, p2, q2 = Var("p1"), Var("q1"), Var("p2"), Var("q2")
+    violation = ConjunctiveQuery(
+        [],
+        [
+            RelationAtom("RQ", [iid1, category, p1, q1]),
+            RelationAtom("RQ", [iid2, category, p2, q2]),
+        ],
+        [Comparison(ComparisonOp.NE, iid1, iid2)],
+        name="duplicate_category",
+    )
+    return constraint_cls(violation, answer_relation="RQ")
+
+
+def _qc_problem(num_items: int, budget: float, copying: bool):
+    base = _problem(num_items, budget)
+    constraint_cls = _CopyingQueryConstraint if copying else QueryConstraint
+    return replace(base, compatibility=_duplicate_category_query(constraint_cls))
+
+
+# ---------------------------------------------------------------------------
+# The sweep: engine vs pre-engine search
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("num_items,budget", ENUM_SWEEP)
+def test_engine_top_k(benchmark, annotate, num_items, budget):
+    problem = _problem(num_items, budget)
+    annotate(
+        group="enumeration/top_k",
+        variant="engine (incremental DFS + B&B)",
+        db_size=num_items,
+        budget=budget,
+    )
+    result = benchmark(lambda: compute_top_k(problem))
+    assert result.found
+
+
+@pytest.mark.parametrize("num_items,budget", ENUM_SWEEP[:2])
+def test_reference_top_k(benchmark, annotate, num_items, budget):
+    """The pre-engine baseline; the largest size runs only in the speedup gate."""
+    problem = _problem(num_items, budget)
+    annotate(
+        group="enumeration/top_k",
+        variant="reference (pre-engine DFS)",
+        db_size=num_items,
+        budget=budget,
+    )
+    result = benchmark(lambda: best_valid_packages_reference(problem, TOP_K))
+    assert result
+
+
+@pytest.mark.parametrize("num_items,budget", ENUM_SWEEP[:3])
+def test_engine_counting(benchmark, annotate, num_items, budget):
+    """The non-materializing CPP scan."""
+    problem = _problem(num_items, budget)
+    annotate(
+        group="enumeration/count", variant="engine (counting scan)", db_size=num_items
+    )
+    result = benchmark(lambda: cpp_count(problem, 30.0))
+    assert result.count == sum(count for _, count in result.by_size)
+
+
+@pytest.mark.parametrize("num_items,budget", ENUM_SWEEP[:2])
+def test_reference_counting(benchmark, annotate, num_items, budget):
+    problem = _problem(num_items, budget)
+    annotate(
+        group="enumeration/count", variant="reference (materialised)", db_size=num_items
+    )
+    count = benchmark(
+        lambda: sum(
+            1 for _ in enumerate_valid_packages_reference(problem, rating_bound=30.0)
+        )
+    )
+    assert count == cpp_count(problem, 30.0).count
+
+
+@pytest.mark.parametrize("num_items,budget", ENUM_SWEEP[:3])
+def test_zero_copy_qc_probes(benchmark, annotate, num_items, budget):
+    """Valid-package counting with ``Qc`` a real query over ``RQ``."""
+    problem = _qc_problem(num_items, budget, copying=False)
+    annotate(group="enumeration/qc", variant="zero-copy probes", db_size=num_items)
+    result = benchmark(lambda: PackageSearchEngine(problem).count_valid())
+    assert result > 0
+
+
+@pytest.mark.parametrize("num_items,budget", ENUM_SWEEP[:2])
+def test_copying_qc_probes(benchmark, annotate, num_items, budget):
+    problem = _qc_problem(num_items, budget, copying=True)
+    annotate(group="enumeration/qc", variant="copy-per-probe (pre-engine)", db_size=num_items)
+    result = benchmark(
+        lambda: sum(1 for _ in enumerate_valid_packages_reference(problem))
+    )
+    assert result > 0
+
+
+# ---------------------------------------------------------------------------
+# The acceptance gate + machine-readable report
+# ---------------------------------------------------------------------------
+def _measure_pair(num_items: int, budget: float, repeats: int = 3):
+    """Time the pre-engine search and the engine on one instance.
+
+    The reference problem routes its ``Qc``-free compatibility predicate
+    through the same oracle as before the engine existed and pays the
+    historical per-node costs; both paths must return the identical top-k
+    selection (ratings and items) or the measurement itself fails.
+    """
+    reference_problem = _problem(num_items, budget)
+    engine_problem = _problem(num_items, budget)
+
+    start = time.perf_counter()
+    reference = best_valid_packages_reference(reference_problem, TOP_K)
+    reference_seconds = time.perf_counter() - start
+
+    engine_seconds = float("inf")
+    for _ in range(repeats):  # best-of-N shields the fast path from scheduler noise
+        engine_problem_fresh = _problem(num_items, budget)
+        start = time.perf_counter()
+        engine = compute_top_k(engine_problem_fresh)
+        engine_seconds = min(engine_seconds, time.perf_counter() - start)
+
+    assert engine.found
+    identical = (
+        _rendered(reference) == _rendered(engine.selection)
+        and [reference_problem.val(p) for p in reference] == list(engine.ratings)
+    )
+    return {
+        "num_items": num_items,
+        "budget": budget,
+        "reference_seconds": round(reference_seconds, 6),
+        "engine_seconds": round(engine_seconds, 6),
+        "speedup": round(reference_seconds / engine_seconds, 2),
+        "identical_results": identical,
+    }
+
+
+def run_sweep(sizes=tuple(ENUM_SWEEP)):
+    """Measure every sweep size and assemble the machine-readable report."""
+    results = [_measure_pair(num_items, budget) for num_items, budget in sizes]
+    return {
+        "benchmark": "enumeration",
+        "workload": "synthetic knapsack packages (cost=price, val=quality, one per category)",
+        "top_k": TOP_K,
+        "sizes": [num_items for num_items, _ in sizes],
+        "results": results,
+        "speedup_at_largest": results[-1]["speedup"],
+    }
+
+
+def write_report(report, path=RESULTS_PATH):
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+@pytest.mark.bench_full  # wall-clock assertion at the largest size: not a smoke test
+def test_engine_beats_reference_by_5x_at_largest_size(record_property):
+    """Acceptance gate: ≥5x wall-clock speedup at the largest sweep size."""
+    report = run_sweep()
+    write_report(report)
+    largest = report["results"][-1]
+    for key, value in largest.items():
+        record_property(key, value)
+    assert largest["identical_results"], "engine and reference disagree on the top-k"
+    assert largest["speedup"] >= 5.0, (
+        f"engine only {largest['speedup']:.1f}x faster than the pre-engine search "
+        f"({largest['engine_seconds']:.4f}s vs {largest['reference_seconds']:.4f}s)"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help=f"write the machine-readable sweep report to {RESULTS_PATH.name}",
+    )
+    args = parser.parse_args()
+    report = run_sweep()
+    width = max(len(str(s)) for s in report["sizes"])
+    for row in report["results"]:
+        print(
+            f"n={row['num_items']:>{width}}  reference={row['reference_seconds']:.4f}s  "
+            f"engine={row['engine_seconds']:.4f}s  speedup={row['speedup']:.1f}x  "
+            f"identical={row['identical_results']}"
+        )
+    print(f"speedup at largest size: {report['speedup_at_largest']:.1f}x")
+    if args.json:
+        path = write_report(report)
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

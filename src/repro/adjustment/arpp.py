@@ -29,7 +29,7 @@ from repro.adjustment.delta import (
     candidate_modifications,
     enumerate_adjustments,
 )
-from repro.core.enumeration import enumerate_valid_packages
+from repro.core.enumeration import PackageSearchEngine
 from repro.core.model import RecommendationProblem
 from repro.core.packages import Package, Selection
 from repro.queries.base import Query
@@ -55,8 +55,9 @@ class ARPPResult:
 
 
 def _k_witnesses(problem: RecommendationProblem, rating_bound: float) -> Optional[Selection]:
+    engine = PackageSearchEngine(problem)
     packages: List[Package] = []
-    for package in enumerate_valid_packages(problem, rating_bound=rating_bound):
+    for package in engine.iter_valid(rating_bound=rating_bound):
         packages.append(package)
         if len(packages) >= problem.k:
             return Selection(packages)

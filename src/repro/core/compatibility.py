@@ -31,7 +31,7 @@ from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.core.packages import Package
 from repro.queries.base import Query
-from repro.relational.database import Database, Row
+from repro.relational.database import Database, Relation, Row
 
 
 class CompatibilityConstraint:
@@ -69,19 +69,52 @@ class QueryConstraint(CompatibilityConstraint):
     The candidate package is materialised as a relation whose name is the
     answer-relation name of ``Qc`` (``RQ`` by default, or the name of the
     relation the constraint's atoms actually reference).
+
+    Probing is zero-copy: the constraint keeps one reusable *extended
+    database* per base database — the base :class:`Relation` objects shared
+    by reference plus a single mutable answer relation — and every probe
+    merely swaps that relation's rows in place via
+    :meth:`~repro.relational.database.Relation.replace_rows`.  The in-place
+    swap bumps the relation's version counter like any mutation, so the
+    evaluator's hash indexes on the answer relation can never go stale, while
+    the indexes on the base relations survive across probes.  The historical
+    probe (materialise a fresh relation, copy the database) is retained as
+    :meth:`is_satisfied_copying` for the differential suite and the
+    enumeration benchmark's pre-engine baseline.
     """
 
     query: Query
     answer_relation: str = "RQ"
 
     def is_satisfied(self, package: Package, database: Database) -> bool:
+        return len(self.query.evaluate(self._extended_view(package, database))) == 0
+
+    def is_satisfied_copying(self, package: Package, database: Database) -> bool:
+        """The historical per-probe copy path, kept as the reference semantics."""
         package_relation = package.as_relation(self.answer_relation)
         extended = database.with_relation(package_relation)
-        try:
-            answer = self.query.evaluate(extended)
-        except TypeError:  # pragma: no cover - queries without kwargs support
-            answer = self.query.evaluate(extended)
-        return len(answer) == 0
+        return len(self.query.evaluate(extended)) == 0
+
+    def _extended_view(self, package: Package, database: Database) -> Database:
+        """The reusable extended database with the package's items as ``RQ``."""
+        state = getattr(self, "_probe_state", None)
+        if (
+            state is None
+            or state[0] is not database
+            or state[1].schema.attribute_names != package.schema.attribute_names
+            or state[3] != database.relation_names()
+        ):
+            answer = Relation(package.schema.rename(self.answer_relation))
+            state = (
+                database,
+                answer,
+                database.with_relation(answer),
+                database.relation_names(),
+            )
+            self._probe_state = state
+        answer = state[1]
+        answer.replace_rows(package.items)
+        return state[2]
 
     def describe(self) -> str:
         name = getattr(self.query, "name", "Qc")

@@ -13,11 +13,10 @@ for polynomially bounded packages, polynomial for a constant bound
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
-from repro.core.enumeration import enumerate_valid_packages
+from repro.core.enumeration import PackageSearchEngine
 from repro.core.model import RecommendationProblem
-from repro.core.packages import Package
 
 
 @dataclass(frozen=True)
@@ -43,14 +42,15 @@ def count_valid_packages(
     statement but is cheap to produce and useful both in tests (it must sum to
     the count) and in the benchmark report (it shows where the mass of valid
     packages sits).
+
+    The count rides the engine's non-materializing scan: no package objects
+    survive a lattice node, no generator frames are kept alive — the solver
+    touches exactly the counters.
     """
-    histogram: Dict[int, int] = {}
-    total = 0
-    for package in enumerate_valid_packages(
-        problem, rating_bound=rating_bound, max_candidates=max_candidates
-    ):
-        total += 1
-        histogram[len(package)] = histogram.get(len(package), 0) + 1
+    engine = PackageSearchEngine(problem)
+    total, histogram = engine.count_valid(
+        rating_bound=rating_bound, max_candidates=max_candidates, by_size=True
+    )
     return CPPResult(
         count=total,
         rating_bound=rating_bound,
@@ -60,4 +60,4 @@ def count_valid_packages(
 
 def count_all_valid_packages(problem: RecommendationProblem) -> int:
     """Count the valid packages with no rating bound (B = -∞)."""
-    return sum(1 for _ in enumerate_valid_packages(problem))
+    return PackageSearchEngine(problem).count_valid()

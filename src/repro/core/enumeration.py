@@ -1,4 +1,4 @@
-"""Enumeration of candidate and valid packages.
+"""The package-lattice search engine.
 
 The deterministic counterpart of the "guess polynomially many tuples" steps in
 the paper's upper-bound algorithms: every subset of ``Q(D)`` up to the package
@@ -7,25 +7,604 @@ exponential in ``|Q(D)|`` when the bound is polynomial in ``|D|`` — exactly
 the data-complexity regime the paper proves NP/coNP/#P-hard — and polynomial
 when the bound is a constant (Corollary 6.1).
 
-Two pruning hints on :class:`~repro.core.model.RecommendationProblem` keep the
-search practical on realistic instances without changing its worst case:
-``monotone_cost`` prunes supersets of over-budget packages and
-``antimonotone_compatibility`` prunes supersets of incompatible packages.
-Both are declarations by the problem author; when unset the enumeration is
-fully exhaustive.
+Every solver (RPP, CPP, MBP, FRP, the heuristics and the QRPP/ARPP searches)
+rides one shared :class:`PackageSearchEngine`, an incremental depth-first
+traversal of the subset lattice that
+
+* threads running cost and rating state along the DFS whenever the problem's
+  functions expose an exact :class:`~repro.core.functions.IncrementalAggregate`
+  (falling back to whole-package evaluation otherwise),
+* builds packages through the trusted fast path
+  (:meth:`~repro.core.packages.Package.trusted`) — items drawn from ``Q(D)``
+  were already validated by the query evaluator,
+* probes the compatibility oracle exactly once per lattice node (the verdict
+  serves both the anti-monotone pruning hint and the validity check),
+* skips the ``N ⊆ Q(D)`` membership scan entirely (true by construction), and
+* supports a branch-and-bound top-k mode and a non-materializing counting
+  mode on top of the plain enumeration.
+
+Three pruning hints on :class:`~repro.core.model.RecommendationProblem` keep
+the search practical on realistic instances without changing its worst case:
+``monotone_cost`` prunes supersets of over-budget packages,
+``antimonotone_compatibility`` prunes supersets of incompatible packages, and
+``monotone_val`` lets :func:`best_valid_packages` bound subtrees whose best
+achievable rating cannot reach the current k-th best.  All three are
+declarations by the problem author; when unset the search is fully
+exhaustive.
+
+The pre-engine recursive enumerator is retained as
+:func:`enumerate_valid_packages_reference` (mirroring
+``enumerate_bindings_naive`` in the query evaluator), and
+``tests/test_enumeration_differential.py`` keeps engine and reference
+provably equivalent on 100+ random problems.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import insort
 from itertools import combinations
-from typing import Callable, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.model import RecommendationProblem
 from repro.core.packages import Package
 from repro.relational.database import Relation, Row
 from repro.relational.errors import BudgetExceededError
+from repro.relational.ordering import row_sort_key
 
 
+class _SearchDone(Exception):
+    """Internal signal: the counting scan reached its early-exit threshold."""
+
+
+def _prune_threshold(worst_rating: float) -> float:
+    """The bound value below which a subtree is provably outside the top-k.
+
+    For integer-valued ratings (the repo's workloads and reductions — the
+    Theorem 5.1 solver even *requires* them) the gains-based upper bound is
+    exact and any ``bound < worst`` subtree is safe to cut.  For float-valued
+    ratings the bound sums per-item gains in a different order than the
+    incremental rating fold, so non-associative float addition can leave the
+    true rating an ULP above the bound; the relative slack here makes the
+    comparison conservative enough to absorb that, at the cost of exploring a
+    vanishingly thin band of extra nodes.  Slack can only *reduce* pruning,
+    so results remain bit-identical to the exhaustive sort either way.
+    """
+    return worst_rating - 1e-9 * (1.0 + abs(worst_rating))
+
+
+class PackageSearchEngine:
+    """A stateful incremental DFS over the subset lattice of ``Q(D)``.
+
+    One engine is bound to one ``(problem, candidate items)`` pair; it
+    pre-sorts the candidate items by typed sort key, compiles the problem's
+    cost and rating functions into incremental evaluators when possible, and
+    exposes the search entry points every solver uses.  Engines are cheap to
+    construct (one sort plus a few closures) and are built per solver call,
+    so they can never observe a stale ``Q(D)``.
+    """
+
+    __slots__ = (
+        "problem",
+        "answers",
+        "schema",
+        "items",
+        "limit",
+        "max_size",
+        "oracle",
+        "budget",
+        "monotone_cost",
+        "antimonotone",
+        "_cost_inc",
+        "_val_inc",
+    )
+
+    def __init__(
+        self,
+        problem: RecommendationProblem,
+        candidate_items: Optional[Relation] = None,
+    ) -> None:
+        self.problem = problem
+        answers = candidate_items if candidate_items is not None else problem.candidate_items()
+        self.answers = answers
+        self.schema = problem.query.output_schema()
+        self.items: Tuple[Row, ...] = tuple(sorted(answers.rows(), key=row_sort_key))
+        self.max_size = problem.max_package_size()
+        self.limit = min(self.max_size, len(self.items))
+        self.oracle = problem.compatibility_oracle()
+        self.budget = problem.budget
+        self.monotone_cost = problem.monotone_cost
+        self.antimonotone = problem.antimonotone_compatibility
+        self._cost_inc = problem.cost.incremental(self.schema)
+        self._val_inc = problem.val.incremental(self.schema)
+
+    # -- trusted package construction ------------------------------------------
+    def singleton(self, item: Row) -> Package:
+        """A trusted one-item package over an item drawn from ``Q(D)``."""
+        return Package.trusted(self.schema, frozenset((item,)), (item,))
+
+    def extend(self, package: Package, item: Row) -> Package:
+        """A trusted copy of ``package`` with one more ``Q(D)`` item."""
+        return Package.trusted(self.schema, package.items | {item})
+
+    def package(self, items: Iterable[Row]) -> Package:
+        """A trusted package over items drawn from ``Q(D)``."""
+        return Package.trusted(self.schema, frozenset(items))
+
+    # -- validity for externally assembled candidates --------------------------
+    def is_valid_candidate(
+        self,
+        package: Package,
+        rating_bound: Optional[float] = None,
+        strict: bool = False,
+    ) -> bool:
+        """Validity of a package whose items are known to come from ``Q(D)``.
+
+        Same conditions as
+        :meth:`~repro.core.model.RecommendationProblem.is_valid_package`
+        minus the ``N ⊆ Q(D)`` membership scan, which holds by construction
+        for packages the heuristics assemble from engine items.
+        """
+        if len(package) > self.max_size:
+            return False
+        if not self.oracle.is_satisfied(package):
+            return False
+        if self.problem.cost(package) > self.budget:
+            return False
+        if rating_bound is not None:
+            rating = self.problem.val(package)
+            return rating > rating_bound if strict else rating >= rating_bound
+        return True
+
+    # -- cost/rating threading -------------------------------------------------
+    def _cost_path(self):
+        """(initial state, extend, value-at-node) for the cost function."""
+        if self._cost_inc is not None:
+            inc = self._cost_inc
+            return inc.initial, inc.extend, lambda state, size, package: inc.finish(state, size)
+        cost = self.problem.cost
+        return None, None, lambda state, size, package: cost(package)
+
+    def _val_path(self):
+        """(initial state, extend, value-at-node) for the rating function."""
+        if self._val_inc is not None:
+            inc = self._val_inc
+            return inc.initial, inc.extend, lambda state, size, package: inc.finish(state, size)
+        val = self.problem.val
+        return None, None, lambda state, size, package: val(package)
+
+    # -- enumeration -----------------------------------------------------------
+    def iter_valid(
+        self,
+        rating_bound: Optional[float] = None,
+        strict: bool = False,
+        exclude: Iterable[Package] = (),
+        max_candidates: Optional[int] = None,
+    ) -> Iterator[Package]:
+        """All valid packages, optionally rated ≥ (or >) ``rating_bound``.
+
+        Packages are yielded in DFS order over the typed-sorted items; every
+        yielded package has passed the full validity check, so the pruning
+        hints can only affect running time, never soundness.
+        """
+        items, limit = self.items, self.limit
+        if limit <= 0:
+            return
+        schema, oracle, budget = self.schema, self.oracle, self.budget
+        monotone_cost, antimonotone = self.monotone_cost, self.antimonotone
+        excluded: FrozenSet[Package] = frozenset(exclude)
+        check_rating = rating_bound is not None
+        cost_init, cost_extend, cost_at = self._cost_path()
+        val_init, val_extend, val_at = self._val_path()
+        if not check_rating:  # the rating never gets consulted: skip threading it
+            val_init, val_extend = None, None
+        examined = 0
+
+        def dfs(
+            start: int,
+            prefix: Tuple[Row, ...],
+            item_set: FrozenSet[Row],
+            cost_state,
+            val_state,
+        ) -> Iterator[Package]:
+            nonlocal examined
+            for index in range(start, len(items)):
+                item = items[index]
+                extended = prefix + (item,)
+                examined += 1
+                if max_candidates is not None and examined > max_candidates:
+                    raise BudgetExceededError(
+                        f"valid-package enumeration exceeded {max_candidates} candidates"
+                    )
+                size = len(extended)
+                next_cost = cost_extend(cost_state, item) if cost_extend else None
+                if monotone_cost and cost_extend:
+                    # Incremental cost: prune before materialising the node.
+                    cost_value = cost_at(next_cost, size, None)
+                    if cost_value > budget:
+                        continue
+                    extended_set = item_set | {item}
+                    # The DFS extends in sorted-item order, so the node's item
+                    # tuple *is* its sorted_items — pre-seed the cache.
+                    package = Package.trusted(schema, extended_set, extended)
+                else:
+                    extended_set = item_set | {item}
+                    package = Package.trusted(schema, extended_set, extended)
+                    cost_value = cost_at(next_cost, size, package) if monotone_cost else None
+                    if monotone_cost and cost_value > budget:
+                        continue
+                compatible: Optional[bool] = None
+                if antimonotone:
+                    compatible = oracle.is_satisfied(package)
+                    if not compatible:
+                        continue
+                next_val = val_extend(val_state, item) if val_extend else None
+                if package not in excluded:
+                    if compatible is None:
+                        compatible = oracle.is_satisfied(package)
+                    if compatible:
+                        if cost_value is None:
+                            cost_value = cost_at(next_cost, size, package)
+                        if cost_value <= budget:
+                            if check_rating:
+                                rating = val_at(next_val, size, package)
+                                ok = rating > rating_bound if strict else rating >= rating_bound
+                            else:
+                                ok = True
+                            if ok:
+                                yield package
+                if size < limit:
+                    yield from dfs(index + 1, extended, extended_set, next_cost, next_val)
+
+        yield from dfs(0, (), frozenset(), cost_init, val_init)
+
+    def first_valid(
+        self,
+        rating_bound: Optional[float] = None,
+        strict: bool = False,
+        exclude: Iterable[Package] = (),
+    ) -> Optional[Package]:
+        """The first valid package the DFS reaches, or ``None``."""
+        for package in self.iter_valid(rating_bound=rating_bound, strict=strict, exclude=exclude):
+            return package
+        return None
+
+    # -- counting (non-materializing) ------------------------------------------
+    def count_valid(
+        self,
+        rating_bound: Optional[float] = None,
+        strict: bool = False,
+        max_candidates: Optional[int] = None,
+        stop_at: Optional[int] = None,
+        by_size: bool = False,
+        collect_ratings: Optional[List[float]] = None,
+    ):
+        """``|{N valid : val(N) ≥ B}|`` without materialising the packages.
+
+        The counting scan shares the DFS of :meth:`iter_valid` but never
+        yields: no generator frames, no exclusion set, and no package objects
+        retained beyond the oracle probe of the current node.  ``stop_at``
+        short-circuits the scan once that many valid packages are seen (the
+        MBP witnesses check needs only "are there k?"); ``by_size`` also
+        returns the per-size histogram CPP reports; ``collect_ratings``
+        (a caller-supplied list) additionally receives every counted
+        package's rating — the MBP maximum-bound scan needs the ratings but
+        still no packages.
+        """
+        items, limit = self.items, self.limit
+        histogram: Dict[int, int] = {}
+        count = 0
+        if limit <= 0 or (stop_at is not None and stop_at <= 0):
+            return (count, histogram) if by_size else count
+        schema, oracle, budget = self.schema, self.oracle, self.budget
+        monotone_cost, antimonotone = self.monotone_cost, self.antimonotone
+        check_rating = rating_bound is not None
+        need_rating = check_rating or collect_ratings is not None
+        cost_init, cost_extend, cost_at = self._cost_path()
+        val_init, val_extend, val_at = self._val_path()
+        if not need_rating:  # the rating never gets consulted: skip threading it
+            val_init, val_extend = None, None
+        examined = 0
+
+        def dfs(start, prefix, item_set, cost_state, val_state) -> None:
+            nonlocal examined, count
+            for index in range(start, len(items)):
+                item = items[index]
+                extended = prefix + (item,)
+                examined += 1
+                if max_candidates is not None and examined > max_candidates:
+                    raise BudgetExceededError(
+                        f"valid-package enumeration exceeded {max_candidates} candidates"
+                    )
+                size = len(extended)
+                next_cost = cost_extend(cost_state, item) if cost_extend else None
+                if monotone_cost and cost_extend:
+                    # Incremental cost: prune before materialising the node.
+                    cost_value = cost_at(next_cost, size, None)
+                    if cost_value > budget:
+                        continue
+                    extended_set = item_set | {item}
+                    package = Package.trusted(schema, extended_set, extended)
+                else:
+                    extended_set = item_set | {item}
+                    package = Package.trusted(schema, extended_set, extended)
+                    cost_value = cost_at(next_cost, size, package) if monotone_cost else None
+                    if monotone_cost and cost_value > budget:
+                        continue
+                compatible = oracle.is_satisfied(package)
+                if antimonotone and not compatible:
+                    continue
+                next_val = val_extend(val_state, item) if val_extend else None
+                if compatible:
+                    if cost_value is None:
+                        cost_value = cost_at(next_cost, size, package)
+                    if cost_value <= budget:
+                        if need_rating:
+                            rating = val_at(next_val, size, package)
+                            if not check_rating:
+                                ok = True
+                            elif strict:
+                                ok = rating > rating_bound
+                            else:
+                                ok = rating >= rating_bound
+                        else:
+                            ok = True
+                        if ok:
+                            count += 1
+                            if by_size:
+                                histogram[size] = histogram.get(size, 0) + 1
+                            if collect_ratings is not None:
+                                collect_ratings.append(rating)
+                            if stop_at is not None and count >= stop_at:
+                                raise _SearchDone
+                if size < limit:
+                    dfs(index + 1, extended, extended_set, next_cost, next_val)
+
+        try:
+            dfs(0, (), frozenset(), cost_init, val_init)
+        except _SearchDone:
+            pass
+        return (count, histogram) if by_size else count
+
+    def valid_ratings(self) -> List[float]:
+        """Ratings of every valid package, without retaining the packages."""
+        ratings: List[float] = []
+        self.count_valid(collect_ratings=ratings)
+        return ratings
+
+    # -- branch-and-bound top-k -------------------------------------------------
+    def best_valid(
+        self,
+        how_many: int,
+        max_candidates: Optional[int] = None,
+    ) -> Tuple[List[Tuple[float, Package]], int, int]:
+        """The ``how_many`` best (rating, package) pairs, plus search counters.
+
+        Ties are broken by :meth:`Package.sort_key` — exactly the order the
+        exhaustive sort uses — so the result is bit-identical whether or not
+        branch-and-bound pruning fires.  Returns ``(scored, examined, total)``
+        where ``total`` is the number of valid packages *seen* (with pruning
+        active this undercounts the lattice total only once the selection is
+        already full, so ``total >= how_many`` iff a full selection exists).
+
+        The branch-and-bound mode engages when the problem declares
+        ``monotone_val``: the best rating reachable in a subtree is bounded by
+        the node's rating plus the positive per-item gains of the items still
+        ahead (exact for additive ratings via
+        :meth:`~repro.core.functions.PackageRating.item_gain`) or, lacking
+        gains, by the rating of the node united with every remaining item —
+        admissible because ``val`` is declared monotone.  Subtrees whose bound
+        falls strictly below the current k-th best rating cannot contribute:
+        a tying package could still lose on the tie key only to a package
+        *already* in the selection, so strict comparison preserves exact
+        tie-breaking.
+        """
+        items, limit = self.items, self.limit
+        scored: List[Tuple[Tuple[float, Tuple], Package, float]] = []
+        if limit <= 0 or how_many <= 0:
+            return [], 0, 0
+        schema, oracle, budget = self.schema, self.oracle, self.budget
+        monotone_cost, antimonotone = self.monotone_cost, self.antimonotone
+        cost_init, cost_extend, cost_at = self._cost_path()
+        val_init, val_extend, val_at = self._val_path()
+
+        use_bound = self.problem.monotone_val
+        gains = self.problem.val.item_gain(self.schema) if use_bound else None
+        cost_delta = self.problem.cost.item_delta(self.schema) if gains is not None else None
+        if gains is not None:
+            # suffix_top[i][m] = sum of the m largest positive gains among
+            # items[i:] — an admissible bound on the extra rating any
+            # ≤ m-item subset of them can add.  One backward pass maintains
+            # the descending gain list by insertion (each gain evaluated
+            # once), re-deriving the prefix sums per index.  ``bound_from``
+            # only ever asks for m ≤ limit more items (the size bound caps
+            # every extension), so both the maintained list and the stored
+            # prefix sums are truncated there, keeping setup O(n·limit)
+            # instead of O(n²).
+            count = len(items)
+            suffix_top: List[List[float]] = [[0.0]] * (count + 1)
+            descending: List[float] = []
+            for i in range(count - 1, -1, -1):
+                gain = max(0.0, gains(items[i]))
+                insort(descending, -gain)  # negated: insort keeps ascending order
+                del descending[limit:]  # only the top ``limit`` gains can ever be used
+                sums = [0.0]
+                for negated in descending:
+                    sums.append(sums[-1] - negated)
+                suffix_top[i] = sums
+            if cost_delta is not None and not math.isfinite(budget):
+                # An unbounded budget affords any number of items; the cap
+                # would divide infinities (inf // inf is nan).
+                cost_delta = None
+            if cost_delta is not None:
+                # min_delta[i] = the cheapest item still ahead; with an exact
+                # additive cost the remaining budget can afford at most
+                # ⌊remaining / min_delta⌋ more items, capping m further.
+                min_delta: Optional[List[float]] = [0.0] * (count + 1)
+                running = float("inf")
+                min_delta[count] = running
+                for i in range(count - 1, -1, -1):
+                    delta = cost_delta(items[i])
+                    running = delta if delta < running else running
+                    min_delta[i] = running
+                if any(d <= 0 for d in min_delta[:count]):
+                    # A non-positive item cost defeats the affordability cap.
+                    cost_delta, min_delta = None, None
+            else:
+                min_delta = None
+            suffix_sets: Optional[List[FrozenSet[Row]]] = None
+        elif use_bound:
+            # Generic monotone bound: val(node ∪ all remaining items).
+            suffix_top = None
+            min_delta = None
+            suffix_sets = [frozenset()] * (len(items) + 1)
+            for i in range(len(items) - 1, -1, -1):
+                suffix_sets[i] = suffix_sets[i + 1] | {items[i]}
+        else:
+            suffix_top = None
+            min_delta = None
+            suffix_sets = None
+
+        val_fn = self.problem.val
+        examined = 0
+        total_seen = 0
+        # ``scored`` stays sorted by (-rating, tie key); entries carry the
+        # rating separately so the pruning threshold needs no negation.
+        worst_rating: Optional[float] = None
+
+        def bound_from(
+            index: int,
+            node_rating: float,
+            node_set: FrozenSet[Row],
+            path_cost: float,
+            slots: int,
+        ) -> float:
+            """Best rating any package extending the node with items[index:] can reach."""
+            if suffix_top is not None:
+                available = len(items) - index
+                if available <= 0:
+                    return node_rating
+                m = slots if slots < available else available
+                if min_delta is not None:
+                    affordable = int((budget - path_cost) // min_delta[index])
+                    if affordable < m:
+                        m = affordable
+                if m <= 0:
+                    return node_rating
+                return node_rating + suffix_top[index][m]
+            remaining = suffix_sets[index]
+            if not remaining:
+                return node_rating
+            return val_fn(Package.trusted(schema, node_set | remaining))
+
+        def admit(rating: float, package: Package) -> None:
+            nonlocal worst_rating, total_seen
+            total_seen += 1
+            if len(scored) >= how_many:
+                if rating < worst_rating:
+                    return  # strictly worse: the tie key can never matter
+                key = (-rating, package.sort_key())
+                if key >= scored[-1][0]:
+                    return
+            else:
+                key = (-rating, package.sort_key())
+            insort(scored, (key, package, rating))
+            if len(scored) > how_many:
+                scored.pop()
+            if len(scored) >= how_many:
+                worst_rating = scored[-1][2]
+
+        def dfs(start, prefix, item_set, cost_state, val_state, node_rating, path_cost) -> None:
+            nonlocal examined
+            slots = limit - len(prefix)
+            for index in range(start, len(items)):
+                if (
+                    suffix_top is not None
+                    and worst_rating is not None
+                    and bound_from(index, node_rating, item_set, path_cost, slots)
+                    < _prune_threshold(worst_rating)
+                ):
+                    # The capped positive-gain bound is non-increasing in
+                    # ``index``, so nothing later in this loop can qualify
+                    # either.
+                    break
+                item = items[index]
+                extended = prefix + (item,)
+                examined += 1
+                if max_candidates is not None and examined > max_candidates:
+                    raise BudgetExceededError(
+                        f"valid-package enumeration exceeded {max_candidates} candidates"
+                    )
+                size = len(extended)
+                next_cost = cost_extend(cost_state, item) if cost_extend else None
+                if monotone_cost and cost_extend:
+                    # Incremental cost: prune before materialising the node.
+                    cost_value = cost_at(next_cost, size, None)
+                    if cost_value > budget:
+                        continue
+                    extended_set = item_set | {item}
+                    package = Package.trusted(schema, extended_set, extended)
+                else:
+                    extended_set = item_set | {item}
+                    package = Package.trusted(schema, extended_set, extended)
+                    cost_value = cost_at(next_cost, size, package) if monotone_cost else None
+                    if monotone_cost and cost_value > budget:
+                        continue
+                compatible = oracle.is_satisfied(package)
+                if antimonotone and not compatible:
+                    continue
+                next_val = val_extend(val_state, item) if val_extend else None
+                # The node's rating is needed for admission anyway whenever the
+                # node is valid, and for the subtree bound whenever branch and
+                # bound is active; only a bound-less search on an invalid node
+                # can skip it, which the lazy computation below arranges.
+                rating = val_at(next_val, size, package) if use_bound else None
+                if compatible:
+                    if cost_value is None:
+                        cost_value = cost_at(next_cost, size, package)
+                    if cost_value <= budget:
+                        if rating is None:
+                            rating = val_at(next_val, size, package)
+                        admit(rating, package)
+                if size < limit:
+                    child_cost = (
+                        path_cost + cost_delta(item) if cost_delta is not None else 0.0
+                    )
+                    if (
+                        use_bound
+                        and worst_rating is not None
+                        and bound_from(
+                            index + 1, rating, extended_set, child_cost, limit - size
+                        )
+                        < _prune_threshold(worst_rating)
+                    ):
+                        continue
+                    dfs(
+                        index + 1,
+                        extended,
+                        extended_set,
+                        next_cost,
+                        next_val,
+                        rating,
+                        child_cost,
+                    )
+
+        # Per-item gains are admissible only between non-empty packages (the
+        # rating may jump arbitrarily — even from -∞ — between ∅ and the
+        # first item), so the root level never prunes through them: seeding
+        # the root "rating" with +∞ disables the gains-based break for the
+        # top-level loop, and every deeper bound starts from a real node's
+        # rating.  The generic monotone bound evaluates val(∅ ∪ remaining)
+        # directly and needs no such guard.
+        root_rating = math.inf if use_bound else 0.0
+        dfs(0, (), frozenset(), cost_init, val_init, root_rating, 0.0)
+        return [(rating, package) for _, package, rating in scored], examined, total_seen
+
+
+# ---------------------------------------------------------------------------
+# Module-level entry points (stable API; every solver goes through these or
+# through an engine of its own)
+# ---------------------------------------------------------------------------
 def enumerate_candidate_packages(
     problem: RecommendationProblem,
     candidate_items: Optional[Relation] = None,
@@ -41,7 +620,7 @@ def enumerate_candidate_packages(
     configuration fails loudly instead of silently truncating results.
     """
     answers = candidate_items if candidate_items is not None else problem.candidate_items()
-    items: Tuple[Row, ...] = tuple(sorted(answers.rows(), key=repr))
+    items: Tuple[Row, ...] = tuple(sorted(answers.rows(), key=row_sort_key))
     schema = problem.query.output_schema()
     limit = min(problem.max_package_size(), len(items))
     produced = 0
@@ -55,24 +634,7 @@ def enumerate_candidate_packages(
                 raise BudgetExceededError(
                     f"candidate-package enumeration exceeded {max_candidates} packages"
                 )
-            yield Package(schema, subset)
-
-
-def _prunable(problem: RecommendationProblem, package: Package) -> bool:
-    """Whether the whole superset subtree of ``package`` can be skipped.
-
-    The compatibility probe goes through the problem's memoized oracle: the
-    same package is typically probed again by the full validity check (and by
-    heuristics exploring the same region of the lattice), so the second look
-    is a cache hit instead of a ``Qc`` evaluation.
-    """
-    if problem.monotone_cost and problem.cost(package) > problem.budget:
-        return True
-    if problem.antimonotone_compatibility and not problem.compatibility_oracle().is_satisfied(
-        package
-    ):
-        return True
-    return False
+            yield Package.trusted(schema, frozenset(subset), subset)
 
 
 def enumerate_valid_packages(
@@ -83,13 +645,89 @@ def enumerate_valid_packages(
     candidate_items: Optional[Relation] = None,
     max_candidates: Optional[int] = None,
 ) -> Iterator[Package]:
-    """All valid packages, optionally rated ≥ (or >) ``rating_bound`` and not excluded.
+    """All valid packages, optionally rated ≥ (or >) ``rating_bound`` and not excluded."""
+    engine = PackageSearchEngine(problem, candidate_items=candidate_items)
+    return engine.iter_valid(
+        rating_bound=rating_bound,
+        strict=strict,
+        exclude=exclude,
+        max_candidates=max_candidates,
+    )
 
-    The search is a depth-first traversal of the subset lattice of ``Q(D)``
-    restricted to the package size bound; the pruning hints of the problem cut
-    subtrees that provably contain no valid package.  Every yielded package has
-    passed the full validity check, so the hints can only affect running time,
-    never soundness.
+
+def count_valid_packages(
+    problem: RecommendationProblem,
+    rating_bound: Optional[float] = None,
+    strict: bool = False,
+    max_candidates: Optional[int] = None,
+) -> int:
+    """``|{N valid : val(N) ≥ B}|`` — the raw quantity behind CPP."""
+    engine = PackageSearchEngine(problem)
+    return engine.count_valid(
+        rating_bound=rating_bound, strict=strict, max_candidates=max_candidates
+    )
+
+
+def best_valid_packages(
+    problem: RecommendationProblem,
+    how_many: int,
+    candidate_items: Optional[Relation] = None,
+    max_candidates: Optional[int] = None,
+) -> Tuple[Package, ...]:
+    """The ``how_many`` highest-rated valid packages (ties broken deterministically)."""
+    engine = PackageSearchEngine(problem, candidate_items=candidate_items)
+    scored, _, _ = engine.best_valid(how_many, max_candidates=max_candidates)
+    return tuple(package for _, package in scored)
+
+
+def exists_valid_package(
+    problem: RecommendationProblem,
+    rating_bound: Optional[float] = None,
+    strict: bool = False,
+    exclude: Iterable[Package] = (),
+    candidate_items: Optional[Relation] = None,
+) -> Optional[Package]:
+    """A witness valid package meeting the rating condition, or ``None``.
+
+    This is the deterministic realisation of the paper's EXISTPACK≥ oracle;
+    because the implementation is a search rather than a nondeterministic
+    guess, it can return the witness itself, which the FRP solver exploits.
+    """
+    engine = PackageSearchEngine(problem, candidate_items=candidate_items)
+    return engine.first_valid(rating_bound=rating_bound, strict=strict, exclude=exclude)
+
+
+# ---------------------------------------------------------------------------
+# The pre-engine reference search (the historical implementation, retained —
+# like ``enumerate_bindings_naive`` — as the semantic baseline the
+# differential suite and the enumeration benchmark compare against)
+# ---------------------------------------------------------------------------
+def _prunable_reference(problem: RecommendationProblem, package: Package) -> bool:
+    """The historical per-node pruning check (recomputes cost from scratch)."""
+    if problem.monotone_cost and problem.cost(package) > problem.budget:
+        return True
+    if problem.antimonotone_compatibility and not problem.compatibility_oracle().is_satisfied(
+        package
+    ):
+        return True
+    return False
+
+
+def enumerate_valid_packages_reference(
+    problem: RecommendationProblem,
+    rating_bound: Optional[float] = None,
+    strict: bool = False,
+    exclude: Iterable[Package] = (),
+    candidate_items: Optional[Relation] = None,
+    max_candidates: Optional[int] = None,
+) -> Iterator[Package]:
+    """The historical recursive enumerator, byte-for-byte pre-engine semantics.
+
+    Every node pays a validating :class:`Package` construction, a from-scratch
+    ``cost``/``val`` evaluation, a second compatibility probe inside
+    ``is_valid_package`` and the ``N ⊆ Q(D)`` membership scan.  Items are
+    ordered by ``repr`` exactly as before the engine, so any order-dependence
+    in a caller would surface as a differential failure.
     """
     answers = candidate_items if candidate_items is not None else problem.candidate_items()
     items: Tuple[Row, ...] = tuple(sorted(answers.rows(), key=repr))
@@ -108,7 +746,7 @@ def enumerate_valid_packages(
                     f"valid-package enumeration exceeded {max_candidates} candidates"
                 )
             package = Package(schema, extended)
-            if _prunable(problem, package):
+            if _prunable_reference(problem, package):
                 continue
             if package not in excluded and problem.is_valid_package(
                 package, rating_bound=rating_bound, candidate_items=answers, strict=strict
@@ -120,58 +758,24 @@ def enumerate_valid_packages(
     yield from dfs(0, ())
 
 
-def count_valid_packages(
-    problem: RecommendationProblem,
-    rating_bound: Optional[float] = None,
-    strict: bool = False,
-    max_candidates: Optional[int] = None,
-) -> int:
-    """``|{N valid : val(N) ≥ B}|`` — the raw quantity behind CPP."""
-    return sum(
-        1
-        for _ in enumerate_valid_packages(
-            problem, rating_bound=rating_bound, strict=strict, max_candidates=max_candidates
-        )
-    )
-
-
-def best_valid_packages(
+def best_valid_packages_reference(
     problem: RecommendationProblem,
     how_many: int,
     candidate_items: Optional[Relation] = None,
     max_candidates: Optional[int] = None,
 ) -> Tuple[Package, ...]:
-    """The ``how_many`` highest-rated valid packages (ties broken deterministically)."""
+    """Exhaustive top-k over the reference enumerator (pre-engine semantics).
+
+    Uses the same ``(-rating, package.sort_key())`` order as the engine's
+    branch-and-bound mode, so the two must agree package-for-package — ties
+    included — on every problem; the differential suite asserts exactly that.
+    """
     answers = candidate_items if candidate_items is not None else problem.candidate_items()
     scored = [
         (problem.val(package), package)
-        for package in enumerate_valid_packages(
+        for package in enumerate_valid_packages_reference(
             problem, candidate_items=answers, max_candidates=max_candidates
         )
     ]
-    scored.sort(key=lambda pair: (-pair[0], repr(pair[1].sorted_items())))
+    scored.sort(key=lambda pair: (-pair[0], pair[1].sort_key()))
     return tuple(package for _, package in scored[:how_many])
-
-
-def exists_valid_package(
-    problem: RecommendationProblem,
-    rating_bound: Optional[float] = None,
-    strict: bool = False,
-    exclude: Iterable[Package] = (),
-    candidate_items: Optional[Relation] = None,
-) -> Optional[Package]:
-    """A witness valid package meeting the rating condition, or ``None``.
-
-    This is the deterministic realisation of the paper's EXISTPACK≥ oracle;
-    because the implementation is a search rather than a nondeterministic
-    guess, it can return the witness itself, which the FRP solver exploits.
-    """
-    for package in enumerate_valid_packages(
-        problem,
-        rating_bound=rating_bound,
-        strict=strict,
-        exclude=exclude,
-        candidate_items=candidate_items,
-    ):
-        return package
-    return None

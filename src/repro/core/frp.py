@@ -25,7 +25,7 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.enumeration import best_valid_packages, enumerate_valid_packages
+from repro.core.enumeration import PackageSearchEngine, best_valid_packages
 from repro.core.model import RecommendationProblem
 from repro.core.oracle import ExistPackOracle
 from repro.core.packages import Package, Selection
@@ -51,24 +51,25 @@ class FRPResult:
 
 
 def compute_top_k(problem: RecommendationProblem) -> FRPResult:
-    """Reference solver: exhaustive enumeration + sort.
+    """Exact solver: top-k search over the shared package-lattice engine.
 
     Returns ``selection=None`` when fewer than k distinct valid packages exist
-    (the paper's convention: a top-k selection then does not exist).
+    (the paper's convention: a top-k selection then does not exist).  When the
+    problem declares ``monotone_val`` the engine branch-and-bounds the search;
+    pruning engages only once k candidates are in hand, so the existence
+    verdict — and, by the strict-bound argument in
+    :meth:`~repro.core.enumeration.PackageSearchEngine.best_valid`, the
+    selection itself — is identical to the exhaustive sort.
+    ``packages_examined`` counts lattice nodes the search touched (pruned
+    subtrees are genuinely not examined).
     """
-    candidate_items = problem.candidate_items()
-    scored: List[Tuple[float, Package]] = []
-    examined = 0
-    for package in enumerate_valid_packages(problem, candidate_items=candidate_items):
-        examined += 1
-        scored.append((problem.val(package), package))
-    if len(scored) < problem.k:
+    engine = PackageSearchEngine(problem)
+    scored, examined, total_seen = engine.best_valid(problem.k)
+    if total_seen < problem.k:
         return FRPResult(None, packages_examined=examined)
-    scored.sort(key=lambda pair: (-pair[0], repr(pair[1].sorted_items())))
-    chosen = scored[: problem.k]
     return FRPResult(
-        Selection(package for _, package in chosen),
-        ratings=tuple(rating for rating, _ in chosen),
+        Selection(package for _, package in scored),
+        ratings=tuple(rating for rating, _ in scored),
         packages_examined=examined,
     )
 
@@ -82,9 +83,9 @@ def _rating_bounds(problem: RecommendationProblem, oracle: ExistPackOracle) -> T
     """
     ratings = [0.0]
     answers = oracle.candidate_items
-    schema = problem.query.output_schema()
+    engine = oracle.engine
     for item in answers.rows():
-        ratings.append(problem.val(Package(schema, [item])))
+        ratings.append(problem.val(engine.singleton(item)))
     finite = [r for r in ratings if math.isfinite(r)]
     low = math.floor(min(finite)) - 1
     high = math.ceil(max(finite)) + max(1, len(answers)) * (math.ceil(max(finite)) - math.floor(min(finite)) + 1)

@@ -35,11 +35,52 @@ PackageFunction = Callable[[Package], float]
 ItemUtility = Callable[[Row], float]
 
 
+@dataclass(frozen=True)
+class IncrementalAggregate:
+    """O(1)-per-item evaluation of a package function along a search path.
+
+    The enumeration engine extends packages one item at a time in sorted-item
+    order; a function that can maintain a running *state* under that extension
+    avoids re-aggregating the whole package at every lattice node.  The
+    contract is exact equivalence with the function's ``__call__``: for any
+    package built by folding ``extend`` over its sorted items,
+    ``finish(state, size)`` must return bit-identical floats to calling the
+    function on the materialised package (states are folded in the same order
+    as :meth:`Package.sorted_items`, so even order-dependent float sums
+    match).
+
+    ``initial`` is the state of the empty package; ``extend(state, item)``
+    returns the state after adding one item; ``finish(state, size)`` converts
+    a state plus the package size into the function's value.
+    """
+
+    initial: object
+    extend: Callable[[object, Row], object]
+    finish: Callable[[object, int], float]
+
+
 class PackageCost:
     """Base class of cost functions ``cost: packages → R``."""
 
     def __call__(self, package: Package) -> float:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def incremental(self, schema) -> Optional[IncrementalAggregate]:
+        """An exact incremental evaluator, or ``None`` when the function
+        cannot be threaded along a search path (the engine then falls back to
+        whole-package evaluation at every node)."""
+        return None
+
+    def item_delta(self, schema) -> Optional[Callable[[Row], float]]:
+        """The exact additive per-item cost, or ``None`` for non-additive costs.
+
+        Returns ``delta(item)`` with ``cost(N) = Σ_{s∈N} delta(s)`` for every
+        non-empty package ``N`` (the empty package may be special-cased to ∞).
+        The branch-and-bound top-k search uses the deltas to cap how many more
+        items a node's remaining budget can still afford, which tightens its
+        rating upper bound; it must therefore be exact, not approximate.
+        """
+        return None
 
     def describe(self) -> str:
         return type(self).__name__
@@ -50,6 +91,28 @@ class PackageRating:
 
     def __call__(self, package: Package) -> float:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def incremental(self, schema) -> Optional[IncrementalAggregate]:
+        """An exact incremental evaluator, or ``None`` (see PackageCost)."""
+        return None
+
+    def item_gain(self, schema) -> Optional[Callable[[Row], float]]:
+        """An admissible per-item bound on how much one item can raise ``val``.
+
+        Returns a callable ``gain(item)`` such that for every *non-empty*
+        package ``N`` not containing ``item``,
+        ``val(N ∪ {item}) - val(N) ≤ gain(item)``, or ``None`` when no such
+        bound is available.  The contract deliberately excludes the empty
+        package: ratings may jump arbitrarily (even from ``-∞``) between
+        ``∅`` and the first item, so the branch-and-bound search never
+        applies gains across that boundary — its root-level bound is
+        conservative instead.  Within the lattice the search sums the
+        positive gains of the items still reachable from a node to bound the
+        best rating in its subtree.  Admissibility is exact for
+        integer-valued attributes (the repo's workloads and reductions); the
+        bound is only consulted when the problem declares ``monotone_val``.
+        """
+        return None
 
     def describe(self) -> str:
         return type(self).__name__
@@ -72,6 +135,17 @@ class CountCost(PackageCost):
     def __call__(self, package: Package) -> float:
         return self.empty_cost if package.is_empty() else float(len(package))
 
+    def incremental(self, schema) -> IncrementalAggregate:
+        empty_cost = self.empty_cost
+        return IncrementalAggregate(
+            initial=None,
+            extend=lambda state, item: None,
+            finish=lambda state, size: empty_cost if size == 0 else float(size),
+        )
+
+    def item_delta(self, schema) -> Callable[[Row], float]:
+        return lambda item: 1.0
+
     def describe(self) -> str:
         return "cost(N) = |N|, cost(∅) = ∞"
 
@@ -87,6 +161,19 @@ class AttributeSumCost(PackageCost):
         if package.is_empty():
             return self.empty_cost
         return float(sum(package.column(self.attribute)))
+
+    def incremental(self, schema) -> IncrementalAggregate:
+        index = schema.index_of(self.attribute)
+        empty_cost = self.empty_cost
+        return IncrementalAggregate(
+            initial=0,
+            extend=lambda state, item: state + item[index],
+            finish=lambda state, size: empty_cost if size == 0 else float(state),
+        )
+
+    def item_delta(self, schema) -> Callable[[Row], float]:
+        index = schema.index_of(self.attribute)
+        return lambda item: float(item[index])
 
     def describe(self) -> str:
         return f"cost(N) = sum of {self.attribute}"
@@ -140,6 +227,17 @@ class ConstantRating(PackageRating):
     def __call__(self, package: Package) -> float:
         return self.value
 
+    def incremental(self, schema) -> IncrementalAggregate:
+        value = self.value
+        return IncrementalAggregate(
+            initial=None,
+            extend=lambda state, item: None,
+            finish=lambda state, size: value,
+        )
+
+    def item_gain(self, schema) -> Callable[[Row], float]:
+        return lambda item: 0.0
+
     def describe(self) -> str:
         return f"val(N) = {self.value}"
 
@@ -150,6 +248,16 @@ class CountRating(PackageRating):
 
     def __call__(self, package: Package) -> float:
         return float(len(package))
+
+    def incremental(self, schema) -> IncrementalAggregate:
+        return IncrementalAggregate(
+            initial=None,
+            extend=lambda state, item: None,
+            finish=lambda state, size: float(size),
+        )
+
+    def item_gain(self, schema) -> Callable[[Row], float]:
+        return lambda item: 1.0
 
     def describe(self) -> str:
         return "val(N) = |N|"
@@ -172,6 +280,20 @@ class AttributeSumRating(PackageRating):
             return self.empty_value
         return self.sign * float(sum(package.column(self.attribute)))
 
+    def incremental(self, schema) -> IncrementalAggregate:
+        index = schema.index_of(self.attribute)
+        sign, empty_value = self.sign, self.empty_value
+        return IncrementalAggregate(
+            initial=0,
+            extend=lambda state, item: state + item[index],
+            finish=lambda state, size: empty_value if size == 0 else sign * float(state),
+        )
+
+    def item_gain(self, schema) -> Callable[[Row], float]:
+        index = schema.index_of(self.attribute)
+        sign = self.sign
+        return lambda item: sign * float(item[index])
+
     def describe(self) -> str:
         direction = "maximise" if self.sign > 0 else "minimise"
         return f"val(N) = {direction} sum of {self.attribute}"
@@ -192,6 +314,33 @@ class WeightedSumRating(PackageRating):
             total += weight * float(sum(package.column(attribute)))
         return total
 
+    def incremental(self, schema) -> IncrementalAggregate:
+        # The state keeps one running sum per attribute so that ``finish``
+        # combines them in the same attribute-major order as ``__call__`` —
+        # float addition is order-dependent, and the contract is bit-identical
+        # results.
+        indexed = tuple((schema.index_of(attr), weight) for attr, weight in self.weights.items())
+        empty_value = self.empty_value
+
+        def extend(state, item):
+            return tuple(s + item[index] for s, (index, _) in zip(state, indexed))
+
+        def finish(state, size):
+            if size == 0:
+                return empty_value
+            total = 0.0
+            for s, (_, weight) in zip(state, indexed):
+                total += weight * float(s)
+            return total
+
+        return IncrementalAggregate(
+            initial=tuple(0 for _ in indexed), extend=extend, finish=finish
+        )
+
+    def item_gain(self, schema) -> Callable[[Row], float]:
+        indexed = tuple((schema.index_of(attr), weight) for attr, weight in self.weights.items())
+        return lambda item: sum(weight * float(item[index]) for index, weight in indexed)
+
     def describe(self) -> str:
         parts = " + ".join(f"{w}·{a}" for a, w in sorted(self.weights.items()))
         return f"val(N) = {parts}"
@@ -208,6 +357,25 @@ class MinAttributeRating(PackageRating):
         if package.is_empty():
             return self.empty_value
         return float(min(package.column(self.attribute)))
+
+    def incremental(self, schema) -> IncrementalAggregate:
+        index = schema.index_of(self.attribute)
+        empty_value = self.empty_value
+
+        def extend(state, item):
+            value = item[index]
+            return value if state is None or value < state else state
+
+        return IncrementalAggregate(
+            initial=None,
+            extend=extend,
+            finish=lambda state, size: empty_value if size == 0 else float(state),
+        )
+
+    def item_gain(self, schema) -> Callable[[Row], float]:
+        # Adding an item to a non-empty package can never raise a bottleneck
+        # rating (the ∅ boundary is outside the gain contract).
+        return lambda item: 0.0
 
     def describe(self) -> str:
         return f"val(N) = min {self.attribute}"
@@ -304,6 +472,17 @@ class UtilityRating(PackageRating):
             return -INFINITY
         (item,) = package.items
         return float(self.utility(item))
+
+    def incremental(self, schema) -> IncrementalAggregate:
+        # State: the first item added (only consulted when size == 1).  No
+        # ``item_gain`` is possible — the rating jumps from -∞ back up when an
+        # item is removed, so no per-item bound is admissible.
+        utility = self.utility
+        return IncrementalAggregate(
+            initial=None,
+            extend=lambda state, item: item if state is None else state,
+            finish=lambda state, size: float(utility(state)) if size == 1 else -INFINITY,
+        )
 
     def describe(self) -> str:
         return "val({s}) = f(s)"

@@ -201,6 +201,7 @@ class GroupRecommendationProblem:
     name: str = "group recommendation"
     monotone_cost: bool = False
     antimonotone_compatibility: bool = False
+    monotone_val: bool = False
 
     def __post_init__(self) -> None:
         self.members = _require_members(self.members)
@@ -223,6 +224,7 @@ class GroupRecommendationProblem:
             name=f"{self.name} [{self.strategy}]",
             monotone_cost=self.monotone_cost,
             antimonotone_compatibility=self.antimonotone_compatibility,
+            monotone_val=self.monotone_val,
         )
 
     def with_strategy(self, strategy: str, **options) -> "GroupRecommendationProblem":

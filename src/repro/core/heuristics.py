@@ -35,12 +35,14 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.core.enumeration import PackageSearchEngine
 from repro.core.frp import FRPResult, compute_top_k
 from repro.core.model import RecommendationProblem
 from repro.core.packages import Package, Selection
 from repro.core.special_cases import frp_constant_bound
-from repro.relational.database import Relation, Row
+from repro.relational.database import Row
 from repro.relational.errors import ModelError
+from repro.relational.ordering import row_sort_key
 
 
 # ---------------------------------------------------------------------------
@@ -113,10 +115,6 @@ class HeuristicResult:
         return self.found
 
 
-def _ordered_items(problem: RecommendationProblem, answers: Relation) -> Tuple[Row, ...]:
-    return tuple(sorted(answers.rows(), key=repr))
-
-
 def _package_key(package: Package) -> Tuple[Row, ...]:
     return package.sorted_items()
 
@@ -128,6 +126,7 @@ def greedy_package(
     problem: RecommendationProblem,
     exclude: Iterable[Package] = (),
     seed_item: Optional[Row] = None,
+    _engine: Optional[PackageSearchEngine] = None,
 ) -> Tuple[Optional[Package], int]:
     """Build one valid package by greedy marginal-gain extension.
 
@@ -137,25 +136,28 @@ def greedy_package(
     when not even a valid singleton exists outside ``exclude``) and the number
     of extensions examined.
     """
-    answers = problem.candidate_items()
-    items = _ordered_items(problem, answers)
-    schema = problem.query.output_schema()
+    engine = _engine if _engine is not None else PackageSearchEngine(problem)
+    items = engine.items
     excluded: Set[Tuple[Row, ...]] = {_package_key(package) for package in exclude}
     examined = 0
 
-    def valid(package: Package) -> bool:
-        return problem.is_valid_package(package, candidate_items=answers)
+    valid = engine.is_valid_candidate  # items come from Q(D): fast-path validity
 
     current: Optional[Package] = None
     if seed_item is not None:
-        seeded = Package(schema, [seed_item])
+        # The seed is caller-supplied, so membership in Q(D) is NOT implied
+        # the way it is for engine items: validate it loudly (malformed seeds
+        # raise, as the validating Package constructor used to) and probe the
+        # answer relation's O(1) membership before trusting the tuple.
+        seed = engine.schema.validate_tuple(seed_item)
+        seeded = engine.singleton(seed) if seed in engine.answers else None
         examined += 1
-        if valid(seeded) and _package_key(seeded) not in excluded:
+        if seeded is not None and valid(seeded) and _package_key(seeded) not in excluded:
             current = seeded
     if current is None:
         best_rating = None
         for item in items:
-            candidate = Package(schema, [item])
+            candidate = engine.singleton(item)
             examined += 1
             if _package_key(candidate) in excluded or not valid(candidate):
                 continue
@@ -175,7 +177,7 @@ def greedy_package(
         for item in items:
             if item in current:
                 continue
-            candidate = current.with_item(item)
+            candidate = engine.extend(current, item)
             examined += 1
             if _package_key(candidate) in excluded or not valid(candidate):
                 continue
@@ -198,8 +200,7 @@ def greedy_top_k(problem: RecommendationProblem) -> HeuristicResult:
     ``|Q(D)|`` and the package size bound, in contrast to the exponential
     candidate space of the exact solver.
     """
-    answers = problem.candidate_items()
-    items = _ordered_items(problem, answers)
+    engine = PackageSearchEngine(problem)
     examined = 0
     found: Dict[Tuple[Row, ...], Package] = {}
 
@@ -207,17 +208,17 @@ def greedy_top_k(problem: RecommendationProblem) -> HeuristicResult:
         if package is not None:
             found.setdefault(_package_key(package), package)
 
-    package, work = greedy_package(problem)
+    package, work = greedy_package(problem, _engine=engine)
     examined += work
     record(package)
-    for item in items:
-        package, work = greedy_package(problem, seed_item=item)
+    for item in engine.items:
+        package, work = greedy_package(problem, seed_item=item, _engine=engine)
         examined += work
         record(package)
 
     scored = sorted(
         ((problem.val(package), package) for package in found.values()),
-        key=lambda pair: (-pair[0], repr(pair[1].sorted_items())),
+        key=lambda pair: (-pair[0], pair[1].sort_key()),
     )
     if len(scored) < problem.k:
         return HeuristicResult(None, extensions_examined=examined)
@@ -244,24 +245,29 @@ def beam_search_top_k(problem: RecommendationProblem, beam_width: int = 8) -> He
     """
     if beam_width < 1:
         raise ModelError("beam width must be at least 1")
-    answers = problem.candidate_items()
-    items = _ordered_items(problem, answers)
-    schema = problem.query.output_schema()
-    max_size = problem.max_package_size()
+    engine = PackageSearchEngine(problem)
+    items = engine.items
+    schema = engine.schema
+    max_size = engine.max_size
     examined = 0
 
-    def valid(package: Package) -> bool:
-        return problem.is_valid_package(package, candidate_items=answers)
+    valid = engine.is_valid_candidate  # beam members are built from Q(D) items
+
+    # Beam ranking wants the *highest* (rating, tie) pairs while the final
+    # top-k wants ties ascending; reusing the typed sort key with an inverted
+    # rating keeps both deterministic and mutually consistent.
+    def beam_rank(package: Package) -> Tuple[float, Tuple]:
+        return (problem.val(package), package.sort_key())
 
     seen: Dict[Tuple[Row, ...], float] = {}
     beam: List[Package] = []
     for item in items:
-        candidate = Package(schema, [item])
+        candidate = engine.singleton(item)
         examined += 1
         if valid(candidate):
             seen[_package_key(candidate)] = problem.val(candidate)
             beam.append(candidate)
-    beam = heapq.nlargest(beam_width, beam, key=lambda p: (problem.val(p), repr(p.sorted_items())))
+    beam = heapq.nlargest(beam_width, beam, key=beam_rank)
 
     size = 1
     while beam and size < max_size:
@@ -270,7 +276,7 @@ def beam_search_top_k(problem: RecommendationProblem, beam_width: int = 8) -> He
             for item in items:
                 if item in package:
                     continue
-                candidate = package.with_item(item)
+                candidate = engine.extend(package, item)
                 key = _package_key(candidate)
                 if key in seen:
                     continue
@@ -279,15 +285,17 @@ def beam_search_top_k(problem: RecommendationProblem, beam_width: int = 8) -> He
                     continue
                 seen[key] = problem.val(candidate)
                 extensions.append(candidate)
-        beam = heapq.nlargest(
-            beam_width, extensions, key=lambda p: (problem.val(p), repr(p.sorted_items()))
-        )
+        beam = heapq.nlargest(beam_width, extensions, key=beam_rank)
         size += 1
 
-    scored = sorted(seen.items(), key=lambda pair: (-pair[1], repr(pair[0])))
+    scored = sorted(
+        seen.items(), key=lambda pair: (-pair[1], tuple(map(row_sort_key, pair[0])))
+    )
     if len(scored) < problem.k:
         return HeuristicResult(None, extensions_examined=examined)
-    packages = [Package(schema, key) for key, _ in scored[: problem.k]]
+    packages = [
+        Package.trusted(schema, frozenset(key), key) for key, _ in scored[: problem.k]
+    ]
     ratings = tuple(rating for _, rating in scored[: problem.k])
     return HeuristicResult(Selection(packages), ratings=ratings, extensions_examined=examined)
 

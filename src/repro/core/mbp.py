@@ -15,11 +15,10 @@ such B′ would have to be witnessed by k packages rated > B).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
-from repro.core.enumeration import enumerate_valid_packages
+from repro.core.enumeration import PackageSearchEngine
 from repro.core.model import RecommendationProblem
-from repro.core.packages import Package
 
 
 @dataclass(frozen=True)
@@ -38,13 +37,17 @@ class MBPResult:
 def _has_k_packages(
     problem: RecommendationProblem, rating_bound: float, strict: bool
 ) -> bool:
-    """Whether k distinct valid packages rated ≥ (or >) the bound exist."""
-    count = 0
-    for _ in enumerate_valid_packages(problem, rating_bound=rating_bound, strict=strict):
-        count += 1
-        if count >= problem.k:
-            return True
-    return False
+    """Whether k distinct valid packages rated ≥ (or >) the bound exist.
+
+    Runs the engine's counting scan with an early exit at ``k`` — packages are
+    never materialised, and the walk stops the moment the k-th witness is
+    counted.
+    """
+    engine = PackageSearchEngine(problem)
+    return (
+        engine.count_valid(rating_bound=rating_bound, strict=strict, stop_at=problem.k)
+        >= problem.k
+    )
 
 
 def is_rating_bound(problem: RecommendationProblem, bound: float) -> bool:
@@ -72,9 +75,7 @@ def maximum_bound(problem: RecommendationProblem) -> Optional[float]:
     the k best packages witness it, and any larger constant would exclude one
     of them with no replacement.
     """
-    ratings = sorted(
-        (problem.val(package) for package in enumerate_valid_packages(problem)), reverse=True
-    )
+    ratings = sorted(PackageSearchEngine(problem).valid_ratings(), reverse=True)
     if len(ratings) < problem.k:
         return None
     return ratings[problem.k - 1]

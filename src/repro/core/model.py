@@ -110,6 +110,16 @@ class RecommendationProblem:
     #: (true for all "forbidden sub-pattern" constraints such as "no more than
     #: two museums" and for every Qc built from positive queries over RQ).
     antimonotone_compatibility: bool = False
+    #: Declares that ``val`` never decreases when items are added to a package
+    #: (true e.g. for attribute sums over non-negative values and for count
+    #: ratings; false for the travel rating, which *minimises* total price).
+    #: When set, :func:`~repro.core.enumeration.best_valid_packages` switches
+    #: to a branch-and-bound top-k search that prunes lattice subtrees whose
+    #: admissible rating upper bound cannot reach the current k-th best.  Like
+    #: the other hints this is a declaration by the problem author: it can only
+    #: affect running time when it genuinely holds, and must not be set
+    #: otherwise.
+    monotone_val: bool = False
     #: Whether compatibility verdicts are memoized (see
     #: :class:`~repro.core.compatibility.CompatibilityOracle`).  Caching never
     #: changes results — the oracle invalidates on database mutation — so this

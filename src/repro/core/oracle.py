@@ -7,14 +7,20 @@ here it is a deterministic search that also returns a witness.  The class
 keeps a call counter so that benchmarks can report "number of oracle calls" —
 the machine-independent cost measure the paper's FP^NP / FP^Σ₂ᵖ upper bounds
 are stated in.
+
+The oracle owns one :class:`~repro.core.enumeration.PackageSearchEngine` over
+its snapshot of ``Q(D)``: the binary search of the Theorem 5.1 solver issues
+many calls against the same candidate pool, and sharing the engine means the
+item sort, the incremental cost/rating compilation and the compatibility
+oracle are paid once, not per call.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional
 
-from repro.core.enumeration import exists_valid_package
+from repro.core.enumeration import PackageSearchEngine
 from repro.core.model import RecommendationProblem
 from repro.core.packages import Package
 from repro.relational.database import Relation
@@ -27,10 +33,17 @@ class ExistPackOracle:
     problem: RecommendationProblem
     calls: int = 0
     candidate_items: Optional[Relation] = field(default=None, repr=False)
+    _engine: Optional[PackageSearchEngine] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.candidate_items is None:
             self.candidate_items = self.problem.candidate_items()
+        self._engine = PackageSearchEngine(self.problem, candidate_items=self.candidate_items)
+
+    @property
+    def engine(self) -> PackageSearchEngine:
+        """The shared search engine over the oracle's ``Q(D)`` snapshot."""
+        return self._engine
 
     def __call__(
         self,
@@ -40,12 +53,8 @@ class ExistPackOracle:
     ) -> Optional[Package]:
         """A valid package with ``val ≥ rating_bound`` (or ``>``) outside ``exclude``."""
         self.calls += 1
-        return exists_valid_package(
-            self.problem,
-            rating_bound=rating_bound,
-            strict=strict,
-            exclude=exclude,
-            candidate_items=self.candidate_items,
+        return self._engine.first_valid(
+            rating_bound=rating_bound, strict=strict, exclude=exclude
         )
 
     def exists(self, rating_bound: float, exclude: Iterable[Package] = (), strict: bool = False) -> bool:

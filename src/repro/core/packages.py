@@ -14,6 +14,7 @@ from typing import FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro.relational.database import Relation, Row
 from repro.relational.errors import ModelError
+from repro.relational.ordering import row_sort_key
 from repro.relational.schema import RelationSchema, Value
 
 
@@ -30,6 +31,31 @@ class Package:
         object.__setattr__(self, "items", validated)
 
     # -- constructors ---------------------------------------------------------
+    @classmethod
+    def trusted(
+        cls,
+        schema: RelationSchema,
+        items: FrozenSet[Row],
+        sorted_items: Optional[Tuple[Row, ...]] = None,
+    ) -> "Package":
+        """A package over items that are already validated answer tuples.
+
+        The search engine builds one package per lattice node; re-validating
+        every tuple against the schema there re-pays, per node, work the query
+        evaluator already did once when producing ``Q(D)``.  The caller
+        guarantees ``items`` is a frozenset of schema-valid plain tuples.
+        ``sorted_items`` may be supplied when the caller already holds the
+        items in :func:`~repro.relational.ordering.row_sort_key` order (the
+        DFS extends packages in exactly that order), pre-seeding the
+        :meth:`sorted_items` cache.
+        """
+        package = object.__new__(cls)
+        object.__setattr__(package, "schema", schema)
+        object.__setattr__(package, "items", items)
+        if sorted_items is not None:
+            object.__setattr__(package, "_sorted_items", sorted_items)
+        return package
+
     @classmethod
     def empty(cls, schema: RelationSchema) -> "Package":
         """The empty package (usually excluded by ``cost(∅) = ∞``)."""
@@ -69,8 +95,29 @@ class Package:
 
     # -- access helpers ---------------------------------------------------------------
     def sorted_items(self) -> Tuple[Row, ...]:
-        """Items in a deterministic order."""
-        return tuple(sorted(self.items, key=repr))
+        """Items in a deterministic order (typed sort key, computed once).
+
+        The order is defined by :func:`~repro.relational.ordering.row_sort_key`
+        — numbers numerically, strings lexicographically — rather than the
+        historical ``repr`` string order, which was slow on hot paths and
+        collided for distinct values with equal reprs.  The tuple is cached on
+        first use; packages are immutable, so the cache can never go stale.
+        """
+        cached = self.__dict__.get("_sorted_items")
+        if cached is None:
+            cached = tuple(sorted(self.items, key=row_sort_key))
+            object.__setattr__(self, "_sorted_items", cached)
+        return cached
+
+    def sort_key(self) -> Tuple:
+        """A total, deterministic order over packages with one schema.
+
+        Used as the tie-breaker wherever equal-rated packages must be ranked
+        (top-k selections, heuristic beams): packages compare by their
+        typed-sorted item lists, so the ordering is stable across runs and
+        independent of hash seeds and of ``repr`` formatting.
+        """
+        return tuple(row_sort_key(item) for item in self.sorted_items())
 
     def column(self, attribute: str) -> Tuple[Value, ...]:
         """All values of one attribute across the items (with duplicates)."""

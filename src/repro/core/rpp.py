@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Tuple
 
-from repro.core.enumeration import enumerate_valid_packages
+from repro.core.enumeration import PackageSearchEngine
 from repro.core.model import RecommendationProblem
 from repro.core.packages import Package, Selection
 from repro.relational.errors import ModelError
@@ -62,6 +62,9 @@ def is_top_k_selection(
         return RPPResult(False, "packages are not pairwise distinct")
 
     candidate_items = problem.candidate_items()
+    # The candidate packages come from the caller, not from ``Q(D)``: validity
+    # must include the full membership scan, so it stays on the problem's
+    # untrusted checker rather than the engine's fast path.
     for package in selection:
         if not problem.is_valid_package(package, candidate_items=candidate_items):
             report = problem.validity_report(package)
@@ -74,16 +77,18 @@ def is_top_k_selection(
 
     threshold = problem.min_rating(selection)
     chosen = selection.as_set()
-    for outsider in enumerate_valid_packages(
-        problem, candidate_items=candidate_items, exclude=chosen
-    ):
-        if problem.val(outsider) > threshold:
-            return RPPResult(
-                False,
-                "a valid package outside the selection has a higher rating "
-                f"({problem.val(outsider)} > {threshold})",
-                counterexample=outsider,
-            )
+    engine = PackageSearchEngine(problem, candidate_items=candidate_items)
+    # The rating condition is pushed into the engine (threaded incrementally
+    # along the DFS); the first package it yields is exactly the first
+    # dominating outsider the historical scan-then-test loop found.
+    outsider = engine.first_valid(rating_bound=threshold, strict=True, exclude=chosen)
+    if outsider is not None:
+        return RPPResult(
+            False,
+            "a valid package outside the selection has a higher rating "
+            f"({problem.val(outsider)} > {threshold})",
+            counterexample=outsider,
+        )
     return RPPResult(True, "selection is a top-k package selection")
 
 

@@ -88,6 +88,21 @@ class Relation:
             self._rows.clear()
             self._mutated()
 
+    def replace_rows(self, rows: Iterable[Row]) -> None:
+        """Replace the whole row set in place, skipping per-tuple validation.
+
+        This is the trusted bulk-update behind the reusable ``Qc`` probe view:
+        the caller guarantees ``rows`` are schema-valid plain tuples (e.g. rows
+        drawn from another relation, or the items of a
+        :class:`~repro.core.packages.Package` over the same schema).  The
+        mutation contract is preserved — the version counter is bumped and
+        cached indexes are dropped exactly as for :meth:`add`/:meth:`discard` —
+        so index caches and the compatibility oracle can never serve stale
+        state through this path.
+        """
+        self._rows = set(rows)
+        self._mutated()
+
     # -- hash indexes -----------------------------------------------------------
     @property
     def version(self) -> int:

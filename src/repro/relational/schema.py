@@ -88,6 +88,9 @@ class RelationSchema:
             seen.add(attr.name)
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "attributes", attrs)
+        # Precomputed once: ``attribute_names`` is on the hot path of the
+        # compatibility oracle's cache key (one lookup per lattice node).
+        object.__setattr__(self, "_attribute_names", tuple(a.name for a in attrs))
 
     # -- basic introspection -------------------------------------------------
     @property
@@ -98,7 +101,7 @@ class RelationSchema:
     @property
     def attribute_names(self) -> Tuple[str, ...]:
         """Attribute names in schema order."""
-        return tuple(a.name for a in self.attributes)
+        return self._attribute_names
 
     def index_of(self, attribute: str) -> int:
         """Position of ``attribute`` in the schema.

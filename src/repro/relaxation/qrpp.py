@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.core.enumeration import enumerate_valid_packages
+from repro.core.enumeration import PackageSearchEngine
 from repro.core.model import RecommendationProblem
 from repro.core.packages import Package, Selection
 from repro.relational.database import Row
@@ -52,9 +52,15 @@ class QRPPResult:
 def _k_witnesses(
     problem: RecommendationProblem, rating_bound: float
 ) -> Optional[Selection]:
-    """k distinct valid packages rated ≥ bound, or ``None``."""
+    """k distinct valid packages rated ≥ bound, or ``None``.
+
+    Each relaxed problem gets its own engine over its own ``Q(D)``, but the
+    compatibility oracle underneath is the one shared across relaxations via
+    ``with_query``, so verdict reuse still spans the whole search.
+    """
+    engine = PackageSearchEngine(problem)
     packages: List[Package] = []
-    for package in enumerate_valid_packages(problem, rating_bound=rating_bound):
+    for package in engine.iter_valid(rating_bound=rating_bound):
         packages.append(package)
         if len(packages) >= problem.k:
             return Selection(packages)

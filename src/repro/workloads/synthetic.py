@@ -109,6 +109,9 @@ def synthetic_package_problem(
         name=f"synthetic packages over {num_items} items",
         monotone_cost=True,
         antimonotone_compatibility=True,
+        # Qualities are drawn from [1, 20), so the total-quality rating is
+        # genuinely monotone: the top-k search may branch-and-bound.
+        monotone_val=True,
     )
     return SyntheticProblem(problem=problem, num_items=num_items, seed=seed)
 
