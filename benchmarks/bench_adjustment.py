@@ -7,17 +7,37 @@ Sweeps:
   problem, the item restriction does *not* tame ARPP (Corollary 8.2): the
   search over subsets of candidate modifications dominates either way, which
   the two series show by growing at the same rate.
+
+Like ``bench_enumeration.py``, the module doubles as a CLI with cross-PR
+tracking: ``PYTHONPATH=src python benchmarks/bench_adjustment.py --json``
+measures the incremental (PR 3, apply/undo deltas + maintained ``Q(D)``)
+against the retained recompute search over the pool-growth sweep and writes
+``BENCH_adjustment.json``.
 """
+
+import argparse
+import json
+import pathlib
+import time
 
 import pytest
 
-from repro.adjustment import find_item_adjustment, find_package_adjustment
+from repro.adjustment import (
+    find_item_adjustment,
+    find_item_adjustment_recompute,
+    find_package_adjustment,
+)
 from repro.complexity import Problem, TABLE_8_2
 from repro.logic.generators import random_3cnf
 from repro.queries import identity_query_for
 from repro.reductions import arpp_from_3sat
 from repro.relational import Database, Relation
 from repro.workloads.synthetic import item_schema, random_item_database
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_PATH = _REPO_ROOT / "BENCH_adjustment.json"
+
+POOL_SWEEP = [4, 6, 8]
 
 
 @pytest.mark.parametrize("variables", [2, 3])
@@ -38,7 +58,7 @@ def _candidate_pool(size: int, seed: int) -> Database:
     return Database([Relation(item_schema(), rows)])
 
 
-@pytest.mark.parametrize("pool_size", [4, 6, 8])
+@pytest.mark.parametrize("pool_size", POOL_SWEEP)
 def test_arpp_items_pool_growth(benchmark, annotate, pool_size):
     """Item-level ARPP: the candidate pool, not the package size, drives the cost."""
     database = random_item_database(10, seed=1)
@@ -112,3 +132,94 @@ def test_arpp_package_level_with_witness(benchmark, annotate):
         )
     )
     assert result.found
+
+
+# ---------------------------------------------------------------------------
+# Cross-PR tracking: incremental vs recompute over the pool sweep
+# ---------------------------------------------------------------------------
+def _item_search_kwargs(pool_size: int):
+    database = random_item_database(10, seed=1)
+    query = identity_query_for(database.relation("items"))
+    return database, query, dict(
+        utility=lambda row: float(row[3]),
+        additions=_candidate_pool(pool_size, seed=2),
+        rating_bound=1_000.0,  # unattainable: forces the full k'-bounded search
+        k=1,
+        max_changes=2,
+        allow_deletions=False,
+    )
+
+
+def _measure_pool(pool_size: int):
+    database, query, kwargs = _item_search_kwargs(pool_size)
+    start = time.perf_counter()
+    recompute = find_item_adjustment_recompute(database, query, **kwargs)
+    recompute_seconds = time.perf_counter() - start
+
+    database, query, kwargs = _item_search_kwargs(pool_size)
+    start = time.perf_counter()
+    incremental = find_item_adjustment(database, query, **kwargs)
+    incremental_seconds = time.perf_counter() - start
+    return {
+        "pool_size": pool_size,
+        "recompute_seconds": round(recompute_seconds, 6),
+        "incremental_seconds": round(incremental_seconds, 6),
+        "speedup": round(recompute_seconds / incremental_seconds, 2),
+        "identical_results": (
+            incremental.found == recompute.found
+            and incremental.adjustments_tried == recompute.adjustments_tried
+        ),
+    }
+
+
+def run_sweep(pool_sizes=tuple(POOL_SWEEP)):
+    """Measure every pool size and assemble the machine-readable report."""
+    results = [_measure_pool(pool_size) for pool_size in pool_sizes]
+    return {
+        "benchmark": "adjustment",
+        "workload": "item-level ARPP over growing candidate pools "
+        "(incremental apply/undo deltas vs per-candidate recompute)",
+        "sizes": [pool_size for pool_size in pool_sizes],
+        "results": results,
+        "speedup_at_largest": results[-1]["speedup"],
+    }
+
+
+def write_report(report, path=RESULTS_PATH):
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+@pytest.mark.bench_full  # timing-sensitive full sweep: not a smoke test
+def test_adjustment_sweep_is_tracked(record_property):
+    """Writes BENCH_adjustment.json; both paths must agree on every pool size."""
+    report = run_sweep()
+    write_report(report)
+    for key, value in report["results"][-1].items():
+        record_property(key, value)
+    assert all(row["identical_results"] for row in report["results"])
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help=f"write the machine-readable sweep report to {RESULTS_PATH.name}",
+    )
+    args = parser.parse_args()
+    report = run_sweep()
+    for row in report["results"]:
+        print(
+            f"pool={row['pool_size']:>2}  recompute={row['recompute_seconds']:.4f}s  "
+            f"incremental={row['incremental_seconds']:.4f}s  "
+            f"speedup={row['speedup']:.1f}x  identical={row['identical_results']}"
+        )
+    print(f"speedup at largest pool: {report['speedup_at_largest']:.1f}x")
+    if args.json:
+        path = write_report(report)
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -70,6 +70,7 @@ from repro.core import (
 )
 from repro.relaxation import RelaxationSpace, find_item_relaxation, find_package_relaxation
 from repro.adjustment import Adjustment, find_item_adjustment, find_package_adjustment
+from repro.incremental import MaintainedQuery, StreamingQRPP, apply_maintained
 from repro.complexity import Problem, render_table_8_1, render_table_8_2
 from repro.workloads import (
     course_plan_scenario,
@@ -87,6 +88,7 @@ __all__ = [
     "FirstOrderQuery",
     "GroupMember",
     "GroupRecommendationProblem",
+    "MaintainedQuery",
     "NonRecursiveDatalogProgram",
     "Package",
     "PositiveExistentialQuery",
@@ -98,7 +100,9 @@ __all__ = [
     "RelaxationSpace",
     "SPQuery",
     "Selection",
+    "StreamingQRPP",
     "UnionOfConjunctiveQueries",
+    "apply_maintained",
     "beam_search_top_k",
     "classify_query",
     "compute_group_top_k",

@@ -13,7 +13,9 @@ from repro.adjustment.arpp import (
     ItemARPPResult,
     arpp_decision,
     find_item_adjustment,
+    find_item_adjustment_recompute,
     find_package_adjustment,
+    find_package_adjustment_recompute,
 )
 
 __all__ = [
@@ -27,5 +29,7 @@ __all__ = [
     "candidate_modifications",
     "enumerate_adjustments",
     "find_item_adjustment",
+    "find_item_adjustment_recompute",
     "find_package_adjustment",
+    "find_package_adjustment_recompute",
 ]

@@ -11,17 +11,25 @@ problem in the paper, restricting to items does **not** lower the complexity —
 the search over adjustments is the dominant cost either way, which the
 adjustment benchmark demonstrates empirically.
 
-Each adjusted problem (via
-:meth:`~repro.core.model.RecommendationProblem.with_database`) gets a fresh
-memoized compatibility oracle — verdicts are database-dependent, so sharing
-across adjustments would be unsound — but within one adjusted database the
-witness search still reuses verdicts across the package lattice.
+Since PR 3 the search rides the delta-maintenance subsystem instead of paying
+``database.copy()`` per candidate adjustment: each candidate is applied *in
+place* through a :class:`~repro.incremental.views.MaintainedDelta` (undone
+before the next candidate), ``Q(D)`` is kept live by a
+:class:`~repro.incremental.views.MaintainedQuery` (delta joins instead of
+re-evaluation), and the problem's footprint-aware
+:class:`~repro.core.compatibility.CompatibilityOracle` is shared across the
+whole sweep — verdicts survive every adjustment that does not touch the
+relations ``Qc`` reads.  The historical copy-per-candidate implementations
+are retained as :func:`find_package_adjustment_recompute` /
+:func:`find_item_adjustment_recompute`; the incremental differential suite
+keeps both paths answer-identical over random update streams, and
+``benchmarks/bench_incremental.py`` gates the speedup.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.adjustment.delta import (
     Adjustment,
@@ -29,9 +37,10 @@ from repro.adjustment.delta import (
     candidate_modifications,
     enumerate_adjustments,
 )
-from repro.core.enumeration import PackageSearchEngine
+from repro.core.enumeration import find_k_witnesses
 from repro.core.model import RecommendationProblem
-from repro.core.packages import Package, Selection
+from repro.core.packages import Selection
+from repro.incremental.views import MaintainedQuery
 from repro.queries.base import Query
 from repro.relational.database import Database, Row
 
@@ -54,16 +63,6 @@ class ARPPResult:
         return self.found
 
 
-def _k_witnesses(problem: RecommendationProblem, rating_bound: float) -> Optional[Selection]:
-    engine = PackageSearchEngine(problem)
-    packages: List[Package] = []
-    for package in engine.iter_valid(rating_bound=rating_bound):
-        packages.append(package)
-        if len(packages) >= problem.k:
-            return Selection(packages)
-    return None
-
-
 def find_package_adjustment(
     problem: RecommendationProblem,
     additions: Database,
@@ -78,6 +77,45 @@ def find_package_adjustment(
     ``additions`` plays the role of ``D′``; ``max_changes`` is the paper's
     ``k′``.  ``pool`` may be passed to restrict the candidate modifications
     (useful in benchmarks to control the search-space size precisely).
+
+    Each candidate adjustment is applied to ``problem.database`` in place and
+    undone before the next one (or before returning), so the database the
+    caller sees is untouched; the witness search reads the maintained ``Q(D)``
+    and the problem's shared compatibility oracle.
+    """
+    if pool is None:
+        pool = candidate_modifications(problem.database, additions, allow_deletions)
+    maintained = MaintainedQuery(problem.query, problem.database)
+    tried = 0
+    for adjustment in enumerate_adjustments(pool, max_changes, include_empty=include_empty):
+        tried += 1
+        with maintained.apply(adjustment):
+            witnesses = find_k_witnesses(
+                problem, rating_bound, candidate_items=maintained.answers()
+            )
+            if witnesses is not None:
+                return ARPPResult(
+                    True, adjustment=adjustment, witnesses=witnesses, adjustments_tried=tried
+                )
+    return ARPPResult(False, adjustments_tried=tried)
+
+
+def find_package_adjustment_recompute(
+    problem: RecommendationProblem,
+    additions: Database,
+    rating_bound: float,
+    max_changes: int,
+    allow_deletions: bool = True,
+    pool: Optional[Sequence[Modification]] = None,
+    include_empty: bool = True,
+) -> ARPPResult:
+    """The historical from-scratch search: copy the database per candidate.
+
+    Each adjusted problem (via
+    :meth:`~repro.core.model.RecommendationProblem.with_database`) gets a
+    fresh memoized compatibility oracle and re-evaluates ``Q`` on the adjusted
+    copy.  Retained as the reference semantics for the differential suite and
+    as the baseline the incremental benchmark measures against.
     """
     if pool is None:
         pool = candidate_modifications(problem.database, additions, allow_deletions)
@@ -85,7 +123,7 @@ def find_package_adjustment(
     for adjustment in enumerate_adjustments(pool, max_changes, include_empty=include_empty):
         tried += 1
         adjusted_problem = problem.with_database(adjustment.apply(problem.database))
-        witnesses = _k_witnesses(adjusted_problem, rating_bound)
+        witnesses = find_k_witnesses(adjusted_problem, rating_bound)
         if witnesses is not None:
             return ARPPResult(
                 True, adjustment=adjustment, witnesses=witnesses, adjustments_tried=tried
@@ -122,6 +160,16 @@ class ItemARPPResult:
         return self.found
 
 
+def _qualifying_items(
+    rows, utility: Callable[[Row], float], rating_bound: float, k: int
+) -> Optional[Tuple[Row, ...]]:
+    answers = [row for row in rows if utility(row) >= rating_bound]
+    if len(answers) < k:
+        return None
+    answers.sort(key=lambda row: (-utility(row), repr(row)))
+    return tuple(answers[:k])
+
+
 def find_item_adjustment(
     database: Database,
     query: Query,
@@ -132,16 +180,44 @@ def find_item_adjustment(
     max_changes: int,
     allow_deletions: bool = True,
 ) -> ItemARPPResult:
-    """ARPP for items: adjust ≤ k′ tuples so that k items of utility ≥ B exist."""
+    """ARPP for items: adjust ≤ k′ tuples so that k items of utility ≥ B exist.
+
+    Rides the same apply/undo deltas and maintained ``Q(D)`` as the package
+    search; ``database`` is restored before returning.
+    """
+    pool = candidate_modifications(database, additions, allow_deletions)
+    maintained = MaintainedQuery(query, database)
+    tried = 0
+    for adjustment in enumerate_adjustments(pool, max_changes):
+        tried += 1
+        with maintained.apply(adjustment):
+            items = _qualifying_items(maintained.answer_rows(), utility, rating_bound, k)
+            if items is not None:
+                return ItemARPPResult(
+                    True, adjustment=adjustment, items=items, adjustments_tried=tried
+                )
+    return ItemARPPResult(False, adjustments_tried=tried)
+
+
+def find_item_adjustment_recompute(
+    database: Database,
+    query: Query,
+    utility: Callable[[Row], float],
+    additions: Database,
+    rating_bound: float,
+    k: int,
+    max_changes: int,
+    allow_deletions: bool = True,
+) -> ItemARPPResult:
+    """The historical item search: copy the database and re-evaluate per candidate."""
     pool = candidate_modifications(database, additions, allow_deletions)
     tried = 0
     for adjustment in enumerate_adjustments(pool, max_changes):
         tried += 1
         adjusted = adjustment.apply(database)
-        answers = [row for row in query.evaluate(adjusted).rows() if utility(row) >= rating_bound]
-        if len(answers) >= k:
-            answers.sort(key=lambda row: (-utility(row), repr(row)))
+        items = _qualifying_items(query.evaluate(adjusted).rows(), utility, rating_bound, k)
+        if items is not None:
             return ItemARPPResult(
-                True, adjustment=adjustment, items=tuple(answers[:k]), adjustments_tried=tried
+                True, adjustment=adjustment, items=items, adjustments_tried=tried
             )
     return ItemARPPResult(False, adjustments_tried=tried)

@@ -9,12 +9,12 @@ makes the users' requirements satisfiable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.relational.database import Database, Relation, Row
-from repro.relational.errors import ModelError, UnknownRelationError
+from repro.relational.database import Database, Row
+from repro.relational.errors import ModelError
 from repro.relational.schema import Value
 
 #: One modification: ("insert" | "delete", relation name, tuple).
@@ -26,18 +26,31 @@ DELETE = "delete"
 
 @dataclass(frozen=True)
 class Adjustment:
-    """``Δ(D, D′)``: a set of insertions and deletions."""
+    """``Δ(D, D′)``: a set of insertions and deletions.
+
+    The constructor *normalises* the modification list: duplicate
+    modifications collapse to one, and contradictory modifications on the same
+    ``(relation, tuple)`` pair (an insert and a delete of one tuple in one
+    adjustment) collapse to the **last** one given.  Under set semantics the
+    final state of a tuple depends only on the last modification touching it,
+    so normalisation preserves the effect of applying the raw list in order
+    while making ``len()``, :meth:`insertions`/:meth:`deletions` and
+    :meth:`combined_with` honest about the adjustment's true size.
+    """
 
     modifications: Tuple[Modification, ...]
 
     def __init__(self, modifications: Iterable[Modification] = ()) -> None:
-        normalised = tuple(
-            (kind, relation, tuple(row)) for kind, relation, row in modifications
-        )
-        for kind, _, _ in normalised:
+        net: dict = {}  # (relation, row) -> kind; insertion order preserved
+        for kind, relation, row in modifications:
             if kind not in (INSERT, DELETE):
                 raise ModelError(f"unknown modification kind: {kind!r}")
-        object.__setattr__(self, "modifications", normalised)
+            net[(relation, tuple(row))] = kind
+        object.__setattr__(
+            self,
+            "modifications",
+            tuple((kind, relation, row) for (relation, row), kind in net.items()),
+        )
 
     # -- constructors ----------------------------------------------------------
     @classmethod
@@ -66,7 +79,7 @@ class Adjustment:
         return tuple(m for m in self.modifications if m[0] == DELETE)
 
     def combined_with(self, other: "Adjustment") -> "Adjustment":
-        """The union of two adjustments."""
+        """The union of two adjustments (normalised; ``other`` wins conflicts)."""
         return Adjustment(self.modifications + other.modifications)
 
     # -- application ------------------------------------------------------------------
@@ -74,16 +87,25 @@ class Adjustment:
         """``D ⊕ Δ``: a new database with the modifications applied.
 
         Inserting an already-present tuple or deleting an absent one is a
-        no-op, matching the set semantics of relations.
+        no-op, matching the set semantics of relations.  Every modification row
+        is validated against the target relation's schema up front
+        (:meth:`~repro.relational.database.Database.validate_delta`), so a
+        malformed adjustment raises a clear
+        :class:`~repro.relational.errors.ModelError` instead of failing deep
+        inside :meth:`~repro.relational.database.Relation.add`.
+
+        This is the copying form; :func:`apply_in_place` (and
+        :meth:`~repro.relational.database.Database.apply_delta` underneath)
+        applies the same delta to the database itself and returns an undo
+        token — the O(|Δ|) path the incremental subsystem rides.
         """
         adjusted = database.copy()
-        for kind, relation_name, row in self.modifications:
-            relation = adjusted.relation(relation_name)
-            if kind == INSERT:
-                relation.add(row)
-            else:
-                relation.discard(row)
+        adjusted.apply_delta(self.modifications)
         return adjusted
+
+    def apply_in_place(self, database: Database):
+        """``D ⊕ Δ`` in place: mutate ``database``, return the undo token."""
+        return database.apply_delta(self.modifications)
 
     def describe(self) -> str:
         if not self.modifications:

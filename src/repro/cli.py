@@ -38,6 +38,7 @@ EXAMPLE_NAMES = (
     "team_formation",
     "query_relaxation",
     "adjustment",
+    "streaming_updates",
     "group_recommendation",
     "query_languages",
     "complexity_tables",

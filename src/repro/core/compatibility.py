@@ -44,6 +44,21 @@ class CompatibilityConstraint:
         """Whether this is the "absent Qc" case of the paper."""
         return False
 
+    def relation_footprint(self) -> Optional[FrozenSet[str]]:
+        """Database relations a verdict may depend on; ``None`` = unknown.
+
+        A verdict is a deterministic function of the package and of the rows
+        of the relations in this footprint.  The
+        :class:`CompatibilityOracle` uses it on a database delta to *retain*
+        every cached verdict when no footprint relation changed, instead of
+        clearing wholesale — the delta-maintenance subsystem's ARPP sweeps
+        depend on that.  ``None`` (the conservative default) means "could
+        touch anything": any mutation clears the cache.  An implementation
+        must only return a non-``None`` set when the guarantee genuinely
+        holds.
+        """
+        return None
+
     def describe(self) -> str:
         return type(self).__name__
 
@@ -57,6 +72,9 @@ class EmptyConstraint(CompatibilityConstraint):
 
     def is_empty_constraint(self) -> bool:
         return True
+
+    def relation_footprint(self) -> Optional[FrozenSet[str]]:
+        return frozenset()
 
     def describe(self) -> str:
         return "Qc absent (empty query)"
@@ -116,6 +134,21 @@ class QueryConstraint(CompatibilityConstraint):
         answer.replace_rows(package.items)
         return state[2]
 
+    def relation_footprint(self) -> Optional[FrozenSet[str]]:
+        """The query's relations minus the answer relation ``RQ``.
+
+        ``RQ`` holds the candidate package, which is part of the cache key,
+        not of the database — a verdict depends on the database only through
+        the base relations ``Qc`` actually reads.  That reasoning only holds
+        for query classes declaring
+        :attr:`~repro.queries.base.Query.active_domain_independent`: an FO
+        ``Qc`` quantifies over the whole active domain, so a delta to *any*
+        relation can flip its verdicts and the footprint must stay unknown.
+        """
+        if not getattr(self.query, "active_domain_independent", False):
+            return None
+        return frozenset(self.query.relations_used()) - {self.answer_relation}
+
     def describe(self) -> str:
         name = getattr(self.query, "name", "Qc")
         return f"Qc = {name} over {self.answer_relation} (satisfied iff empty)"
@@ -142,19 +175,41 @@ class ConjunctionConstraint(CompatibilityConstraint):
     def is_empty_constraint(self) -> bool:
         return all(part.is_empty_constraint() for part in self.parts)
 
+    def relation_footprint(self) -> Optional[FrozenSet[str]]:
+        footprint: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            part_footprint = part.relation_footprint()
+            if part_footprint is None:
+                return None
+            footprint |= part_footprint
+        return footprint
+
     def describe(self) -> str:
         return " AND ".join(part.describe() for part in self.parts) or "Qc absent"
 
 
 @dataclass
 class PredicateConstraint(CompatibilityConstraint):
-    """An arbitrary PTIME predicate ``compatible(N, D)`` (Corollary 6.3)."""
+    """An arbitrary PTIME predicate ``compatible(N, D)`` (Corollary 6.3).
+
+    ``relations`` is an optional declaration of which database relations the
+    predicate may read — ``()`` for package-only predicates (the common case:
+    "at most two museums" never opens ``D``), a tuple of names for predicates
+    consulting specific relations, ``None`` (default) when unknown.  Like the
+    problem-level pruning hints, it is a promise by the author: it feeds the
+    oracle's delta-retention logic and must not name fewer relations than the
+    predicate actually touches.
+    """
 
     predicate: Callable[[Package, Database], bool]
     description: str = "PTIME compatibility predicate"
+    relations: Optional[Tuple[str, ...]] = None
 
     def is_satisfied(self, package: Package, database: Database) -> bool:
         return bool(self.predicate(package, database))
+
+    def relation_footprint(self) -> Optional[FrozenSet[str]]:
+        return None if self.relations is None else frozenset(self.relations)
 
     def describe(self) -> str:
         return self.description
@@ -170,8 +225,15 @@ class CompatibilityOracle:
     cache effectiveness; the evaluator benchmark and the oracle tests read
     them.
 
-    The oracle snapshots the database's version on creation and re-checks it on
-    every probe; any in-place mutation of a relation clears the cache, so stale
+    The oracle snapshots the database's version on creation and re-checks it
+    on every probe.  Invalidation is *footprint-aware*: the constraint
+    declares which relations its verdicts may depend on
+    (:meth:`CompatibilityConstraint.relation_footprint`), and a mutation is
+    compared per relation against the snapshot — when every changed relation
+    lies outside the footprint, the cached verdicts are provably still
+    correct and are **retained** (the ``retentions`` counter accounts for
+    those events); otherwise the cache clears as before (``invalidations``).
+    A constraint with an unknown footprint (``None``) always clears, so stale
     verdicts can never be served.  With ``enabled=False`` the oracle degrades
     to a transparent pass-through (no caching, no accounting), which the tests
     use to show cached and uncached runs are byte-identical.
@@ -183,8 +245,11 @@ class CompatibilityOracle:
         "enabled",
         "hits",
         "misses",
+        "invalidations",
+        "retentions",
         "_cache",
         "_database_version",
+        "_footprint",
         "_always_true",
     )
 
@@ -199,11 +264,34 @@ class CompatibilityOracle:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
+        self.retentions = 0
         self._cache: Dict[Tuple[Tuple[str, ...], FrozenSet[Row]], bool] = {}
         self._database_version = database.version()
+        self._footprint = constraint.relation_footprint()
         # The absent-Qc case is constant-true; caching one entry per distinct
         # package for it would grow the cache along the whole package lattice.
         self._always_true = constraint.is_empty_constraint()
+
+    def _on_database_change(self, version: Tuple[Tuple[str, int], ...]) -> None:
+        """React to a version-snapshot mismatch: retain or clear the cache."""
+        footprint = self._footprint
+        if footprint is not None and self._cache:
+            old = dict(self._database_version)
+            new = dict(version)
+            changed = {
+                name
+                for name in old.keys() | new.keys()
+                if old.get(name) != new.get(name)
+            }
+            if footprint.isdisjoint(changed):
+                self.retentions += 1
+                self._database_version = version
+                return
+        if self._cache:
+            self.invalidations += 1
+        self._cache.clear()
+        self._database_version = version
 
     def is_satisfied(self, package: Package) -> bool:
         """The constraint's verdict on ``package``, served from cache when possible."""
@@ -213,8 +301,7 @@ class CompatibilityOracle:
             return self.constraint.is_satisfied(package, self.database)
         version = self.database.version()
         if version != self._database_version:
-            self._cache.clear()
-            self._database_version = version
+            self._on_database_change(version)
         key = (package.schema.attribute_names, package.items)
         cached = self._cache.get(key)
         if cached is not None:
@@ -232,6 +319,8 @@ class CompatibilityOracle:
             "misses": self.misses,
             "size": len(self._cache),
             "enabled": self.enabled,
+            "invalidations": self.invalidations,
+            "retentions": self.retentions,
         }
 
     def clear(self) -> None:
@@ -239,6 +328,8 @@ class CompatibilityOracle:
         self._cache.clear()
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
+        self.retentions = 0
         self._database_version = self.database.version()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -263,6 +354,7 @@ def at_most_k_with_value(
     return PredicateConstraint(
         predicate,
         description or f"at most {limit} items with {attribute} = {value!r}",
+        relations=(),
     )
 
 
@@ -273,7 +365,9 @@ def all_distinct_on(attribute: str, description: Optional[str] = None) -> Predic
         values = package.column(attribute)
         return len(values) == len(set(values))
 
-    return PredicateConstraint(predicate, description or f"items pairwise distinct on {attribute}")
+    return PredicateConstraint(
+        predicate, description or f"items pairwise distinct on {attribute}", relations=()
+    )
 
 
 def all_equal_on(attribute: str, description: Optional[str] = None) -> PredicateConstraint:
@@ -287,4 +381,6 @@ def all_equal_on(attribute: str, description: Optional[str] = None) -> Predicate
         values = set(package.column(attribute))
         return len(values) <= 1
 
-    return PredicateConstraint(predicate, description or f"items agree on {attribute}")
+    return PredicateConstraint(
+        predicate, description or f"items agree on {attribute}", relations=()
+    )

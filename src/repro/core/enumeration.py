@@ -47,7 +47,7 @@ from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.model import RecommendationProblem
-from repro.core.packages import Package
+from repro.core.packages import Package, Selection
 from repro.relational.database import Relation, Row
 from repro.relational.errors import BudgetExceededError
 from repro.relational.ordering import row_sort_key
@@ -695,6 +695,27 @@ def exists_valid_package(
     """
     engine = PackageSearchEngine(problem, candidate_items=candidate_items)
     return engine.first_valid(rating_bound=rating_bound, strict=strict, exclude=exclude)
+
+
+def find_k_witnesses(
+    problem: RecommendationProblem,
+    rating_bound: float,
+    candidate_items: Optional[Relation] = None,
+) -> Optional[Selection]:
+    """``k`` distinct valid packages rated ≥ ``rating_bound``, or ``None``.
+
+    The witness check shared by the QRPP and ARPP searches (each candidate
+    relaxation/adjustment asks exactly this question).  ``candidate_items``
+    may be passed to reuse an already-known — e.g. incrementally maintained —
+    ``Q(D)`` instead of re-evaluating the selection query.
+    """
+    engine = PackageSearchEngine(problem, candidate_items=candidate_items)
+    packages: List[Package] = []
+    for package in engine.iter_valid(rating_bound=rating_bound):
+        packages.append(package)
+        if len(packages) >= problem.k:
+            return Selection(packages)
+    return None
 
 
 # ---------------------------------------------------------------------------

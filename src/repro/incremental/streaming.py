@@ -1,0 +1,117 @@
+"""Streaming update workloads: recommendation searches kept live under deltas.
+
+The vendor-facing problems of Section 8 become much more interesting when the
+database is *evolving*: after every batch of insertions/deletions the vendor
+re-asks "does a small relaxation now work?" (QRPP) or "which adjustment fixes
+the requirements?" (ARPP).  Recomputing each answer from scratch pays the full
+query-evaluation and lattice-search bill per update; the classes here ride the
+delta-maintenance subsystem instead:
+
+* :class:`StreamingQRPP` keeps one incrementally maintained view per candidate
+  relaxation (the widened CQ of each
+  :class:`~repro.relaxation.relax.RelaxedQuery` is delta-maintained; the
+  distance filters are re-applied on read) and shares the problem's
+  footprint-aware compatibility oracle across the whole stream, so each
+  :meth:`StreamingQRPP.current` call after a delta does join work proportional
+  to the delta, not to the database.
+
+Answer-identity with the from-scratch searches
+(:func:`~repro.relaxation.qrpp.find_package_relaxation` re-run on the mutated
+database) is pinned by the incremental differential suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.enumeration import find_k_witnesses
+from repro.core.model import RecommendationProblem
+from repro.incremental.views import MaintainedDelta, MaintainedQuery, apply_maintained
+from repro.relational.database import DeltaModification
+from repro.relaxation.qrpp import QRPPResult
+from repro.relaxation.relax import Relaxation, RelaxationSpace
+
+
+class StreamingQRPP:
+    """The QRPP search kept live across a stream of database modifications.
+
+    One maintained view exists per relaxation the search has ever considered;
+    relaxations are re-enumerated per :meth:`current` call because candidate
+    levels are data-dependent (they are distances to values *present in the
+    database*, which a delta can change), and views for relaxations that are
+    new to the stream are created lazily from the live database.  Views for
+    relaxations that have dropped out of the candidate set are kept maintained
+    — levels tend to recur as data oscillates — bounded by the number of
+    D-equivalence classes the stream ever surfaces.
+
+    Feed modifications through :meth:`apply` (or pass ``self.views()`` to
+    :func:`~repro.incremental.views.apply_maintained` alongside other views);
+    the returned token undoes database and views together.
+    """
+
+    def __init__(
+        self,
+        problem: RecommendationProblem,
+        space: RelaxationSpace,
+        rating_bound: float,
+        max_gap: float,
+        include_trivial: bool = True,
+    ) -> None:
+        self.problem = problem
+        self.space = space
+        self.rating_bound = rating_bound
+        self.max_gap = max_gap
+        self.include_trivial = include_trivial
+        self._views: Dict[Relaxation, MaintainedQuery] = {}
+
+    def views(self) -> Tuple[MaintainedQuery, ...]:
+        """Every maintained relaxed-query view created so far."""
+        return tuple(self._views.values())
+
+    def apply(self, modifications: Iterable[DeltaModification]) -> MaintainedDelta:
+        """Apply a delta to the problem database and every maintained view."""
+        return apply_maintained(self.problem.database, modifications, self.views())
+
+    def _view(self, relaxation: Relaxation) -> MaintainedQuery:
+        view = self._views.get(relaxation)
+        if view is None:
+            view = MaintainedQuery(
+                self.space.relax(relaxation), self.problem.database
+            )
+            self._views[relaxation] = view
+        return view
+
+    def current(self) -> QRPPResult:
+        """The minimum-gap relaxation admitting k valid packages, right now.
+
+        Mirrors :func:`~repro.relaxation.qrpp.find_package_relaxation` over
+        the live database — same enumeration order, same witness condition —
+        but each relaxed ``QΓ(D)`` is read from its maintained view and the
+        compatibility oracle is the problem's one (shared, footprint-aware)
+        instead of a fresh evaluation per relaxation.
+        """
+        tried = 0
+        for relaxation in self.space.enumerate_relaxations(
+            self.problem.database, self.max_gap, include_trivial=self.include_trivial
+        ):
+            tried += 1
+            view = self._view(relaxation)
+            relaxed_problem = self.problem.with_query(view.query)
+            witnesses = find_k_witnesses(
+                relaxed_problem, self.rating_bound, candidate_items=view.answers()
+            )
+            if witnesses is not None:
+                return QRPPResult(
+                    True,
+                    relaxation=relaxation,
+                    relaxed_query=view.query,
+                    witnesses=witnesses,
+                    relaxations_tried=tried,
+                )
+        return QRPPResult(False, relaxations_tried=tried)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingQRPP({self.problem.name!r}, {len(self._views)} maintained "
+            f"relaxations, max_gap={self.max_gap})"
+        )

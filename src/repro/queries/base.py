@@ -25,6 +25,15 @@ class Query(abc.ABC):
     #: Name of the answer relation ``RQ``; compatibility constraints refer to it.
     answer_name: str = DEFAULT_ANSWER_NAME
 
+    #: Whether ``Q(D)`` is a function of the :meth:`relations_used` relations
+    #: *alone*.  False (the conservative default) means evaluation may consult
+    #: other parts of the database — e.g. FO quantifiers range over the full
+    #: active domain, so inserting a tuple into an unrelated relation can
+    #: change the answer.  Delta-driven caches (the footprint-aware
+    #: compatibility oracle, the incremental view maintainers) may only skip
+    #: work for modifications outside ``relations_used()`` when this is True.
+    active_domain_independent: bool = False
+
     @property
     @abc.abstractmethod
     def output_attributes(self) -> Tuple[str, ...]:

@@ -66,6 +66,8 @@ class ConjunctiveQuery(Query):
     comparisons: Tuple[Comparison, ...] = ()
     name: str = "Q"
     answer_name: str = Query.answer_name
+    #: Bindings come only from matching body atoms against their relations.
+    active_domain_independent = True
 
     def __init__(
         self,

@@ -86,6 +86,9 @@ class DatalogRule:
 class DatalogProgram(Query):
     """A (possibly recursive) Datalog program with a designated output predicate."""
 
+    #: Rule bodies join EDB/IDB atoms; no quantification over the active domain.
+    active_domain_independent = True
+
     def __init__(
         self,
         rules: Iterable[DatalogRule],

@@ -105,6 +105,8 @@ class PositiveExistentialQuery(Query):
     formula: Formula
     name: str = "Q"
     answer_name: str = Query.answer_name
+    #: Evaluated through the UCQ rewriting, which reads only its relations.
+    active_domain_independent = True
 
     def __init__(
         self,

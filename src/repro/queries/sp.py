@@ -33,6 +33,8 @@ class SPQuery(Query):
     comparisons: Tuple[Comparison, ...] = ()
     name: str = "Q"
     answer_name: str = Query.answer_name
+    #: A single scan of the one relation; nothing else is consulted.
+    active_domain_independent = True
 
     def __init__(
         self,

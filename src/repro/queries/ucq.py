@@ -24,6 +24,8 @@ class UnionOfConjunctiveQueries(Query):
     disjuncts: Tuple[ConjunctiveQuery, ...]
     name: str = "Q"
     answer_name: str = Query.answer_name
+    #: Each disjunct is a CQ, so the union reads only its own relations.
+    active_domain_independent = True
 
     def __init__(
         self,

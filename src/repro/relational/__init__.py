@@ -14,7 +14,7 @@ from repro.relational.errors import (
     UnknownRelationError,
 )
 from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
-from repro.relational.database import Database, Relation
+from repro.relational.database import AppliedDelta, Database, Relation
 from repro.relational.algebra import (
     cartesian_product,
     difference,
@@ -27,6 +27,7 @@ from repro.relational.algebra import (
 )
 
 __all__ = [
+    "AppliedDelta",
     "Attribute",
     "Database",
     "DatabaseSchema",

@@ -13,20 +13,83 @@ from position-values to the rows carrying them, and :meth:`Relation.probe`
 answers point lookups through it.  The join planner in
 :mod:`repro.queries.plan` uses these indexes to turn full relation scans into
 hash probes whenever a variable is already bound.  Every mutation bumps the
-relation's :attr:`Relation.version` and drops the cached indexes, so a stale
-index can never serve a query; caches keyed on database contents (e.g. the
-compatibility oracle) compare :meth:`Database.version` snapshots for the same
-reason.
+relation's :attr:`Relation.version`; point mutations (:meth:`Relation.add`,
+:meth:`Relation.discard`) additionally maintain the cached indexes *in place*
+— the delta-maintenance subsystem streams single-tuple updates, and paying an
+O(rows) index rebuild per update would defeat its O(|Δ|) budget — while bulk
+mutations (:meth:`Relation.clear`, :meth:`Relation.replace_rows`) drop them
+wholesale.  Either way a stale index can never serve a query; caches keyed on
+database contents (e.g. the compatibility oracle) compare
+:meth:`Database.version` snapshots to detect change.
+
+:meth:`Database.apply_delta` is the in-place transaction primitive on top:
+apply a set of modifications, get back an :class:`AppliedDelta` undo token.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.relational.errors import IntegrityError, SchemaError, UnknownRelationError
+from repro.relational.errors import IntegrityError, ModelError, SchemaError, UnknownRelationError
 from repro.relational.schema import DatabaseSchema, RelationSchema, Value
 
 Row = Tuple[Value, ...]
+
+#: One delta modification: ("insert" | "delete", relation name, tuple).  The
+#: same shape as :data:`repro.adjustment.delta.Modification`; the relational
+#: layer duck-types it so it does not depend on the adjustment package.
+DeltaModification = Tuple[str, str, Row]
+
+_DELTA_INSERT = "insert"
+_DELTA_DELETE = "delete"
+
+
+class AppliedDelta:
+    """Undo token for an in-place :meth:`Database.apply_delta` transaction.
+
+    Records the modifications that *actually changed* the database (inserting
+    a present tuple or deleting an absent one is a no-op under set semantics
+    and is not recorded), in application order.  :meth:`undo` replays the
+    inverse modifications in reverse order, restoring the exact pre-delta row
+    sets; version counters keep moving forward (an undo is itself a mutation),
+    so caches keyed on :meth:`Database.version` snapshots never see time run
+    backwards.
+
+    Also usable as a context manager: ``with database.apply_delta(delta): ...``
+    undoes the delta on exit.
+    """
+
+    __slots__ = ("database", "effective", "_undone")
+
+    def __init__(self, database: "Database", effective: Tuple[DeltaModification, ...]) -> None:
+        self.database = database
+        self.effective = effective
+        self._undone = False
+
+    def __len__(self) -> int:
+        return len(self.effective)
+
+    def undo(self) -> None:
+        """Revert the effective modifications (idempotent)."""
+        if self._undone:
+            return
+        self._undone = True
+        self.database._apply_validated(
+            tuple(
+                (_DELTA_DELETE if kind == _DELTA_INSERT else _DELTA_INSERT, name, row)
+                for kind, name, row in reversed(self.effective)
+            )
+        )
+
+    def __enter__(self) -> "AppliedDelta":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.undo()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "undone" if self._undone else "applied"
+        return f"AppliedDelta({len(self.effective)} effective modifications, {state})"
 
 
 class Relation:
@@ -55,17 +118,40 @@ class Relation:
 
     # -- mutation -------------------------------------------------------------
     def _mutated(self) -> None:
-        """Record a change to the row set: bump the version, drop stale indexes."""
+        """Record a bulk change to the row set: bump the version, drop indexes."""
         self._version += 1
         if self._indexes:
             self._indexes.clear()
 
+    def _index_added_row(self, row: Row) -> None:
+        """Fold one inserted row into every cached index (O(indexes), not O(rows))."""
+        for key, index in self._indexes.items():
+            values = tuple(row[p] for p in key)
+            index[values] = index.get(values, ()) + (row,)
+
+    def _index_removed_row(self, row: Row) -> None:
+        """Remove one row from every cached index."""
+        for key, index in self._indexes.items():
+            values = tuple(row[p] for p in key)
+            bucket = tuple(r for r in index.get(values, ()) if r != row)
+            if bucket:
+                index[values] = bucket
+            else:
+                index.pop(values, None)
+
     def add(self, row: Sequence[Value]) -> Row:
-        """Insert a tuple (validated against the schema) and return it."""
+        """Insert a tuple (validated against the schema) and return it.
+
+        A *point* mutation: the version is bumped and the cached hash indexes
+        are maintained in place (the row is folded into each bucket), so a
+        stream of single-tuple deltas never pays an O(rows) index rebuild.
+        """
         validated = self.schema.validate_tuple(row)
         if validated not in self._rows:
             self._rows.add(validated)
-            self._mutated()
+            self._version += 1
+            if self._indexes:
+                self._index_added_row(validated)
         return validated
 
     def add_all(self, rows: Iterable[Sequence[Value]]) -> None:
@@ -74,11 +160,16 @@ class Relation:
             self.add(row)
 
     def discard(self, row: Sequence[Value]) -> bool:
-        """Remove a tuple if present; return whether it was present."""
+        """Remove a tuple if present; return whether it was present.
+
+        Like :meth:`add`, maintains the cached indexes in place.
+        """
         validated = self.schema.validate_tuple(row)
         if validated in self._rows:
             self._rows.remove(validated)
-            self._mutated()
+            self._version += 1
+            if self._indexes:
+                self._index_removed_row(validated)
             return True
         return False
 
@@ -95,10 +186,10 @@ class Relation:
         the caller guarantees ``rows`` are schema-valid plain tuples (e.g. rows
         drawn from another relation, or the items of a
         :class:`~repro.core.packages.Package` over the same schema).  The
-        mutation contract is preserved — the version counter is bumped and
-        cached indexes are dropped exactly as for :meth:`add`/:meth:`discard` —
-        so index caches and the compatibility oracle can never serve stale
-        state through this path.
+        mutation contract is preserved — the version counter is bumped, and as
+        a *bulk* mutation the cached indexes are dropped wholesale (point
+        mutations maintain them instead) — so index caches and the
+        compatibility oracle can never serve stale state through this path.
         """
         self._rows = set(rows)
         self._mutated()
@@ -128,7 +219,8 @@ class Relation:
     ) -> Mapping[Tuple[Value, ...], Tuple[Row, ...]]:
         """The hash index on ``positions``: position-values → rows carrying them.
 
-        Built on first use and cached until the relation is mutated.  An empty
+        Built on first use and cached; point mutations keep it current in
+        place, bulk mutations drop it for a lazy rebuild.  An empty
         ``positions`` tuple is rejected — that would be a full copy of the
         relation masquerading as an index.
         """
@@ -315,6 +407,75 @@ class Database:
         """Drop every cached hash index in every relation (rows are untouched)."""
         for relation in self._relations.values():
             relation.invalidate_indexes()
+
+    # -- in-place deltas ---------------------------------------------------------------
+    def validate_delta(
+        self, modifications: Iterable[DeltaModification]
+    ) -> Tuple[DeltaModification, ...]:
+        """Check a delta against the schema without applying anything.
+
+        Every row is validated against its target relation's arity/types and
+        domains; malformed modifications raise :class:`ModelError` naming the
+        offending modification instead of failing deep inside
+        :meth:`Relation.add` mid-application.  Returns the modifications with
+        their rows normalised to validated plain tuples.
+        """
+        validated: list = []
+        for modification in modifications:
+            kind, name, row = modification
+            if kind not in (_DELTA_INSERT, _DELTA_DELETE):
+                raise ModelError(f"unknown modification kind: {kind!r}")
+            relation = self.relation(name)
+            try:
+                checked = relation.schema.validate_tuple(row)
+            except IntegrityError as error:
+                raise ModelError(
+                    f"invalid {kind} into relation {name!r}: {error}"
+                ) from error
+            validated.append((kind, name, checked))
+        return tuple(validated)
+
+    def apply_delta(self, modifications: Iterable[DeltaModification]) -> AppliedDelta:
+        """Apply a delta *in place* and return an :class:`AppliedDelta` undo token.
+
+        The whole delta is schema-validated up front (see
+        :meth:`validate_delta`), so a malformed modification raises
+        :class:`ModelError` before any row set changes.  Modifications are then
+        applied in order; only relations actually touched have their version
+        counters bumped, so indexes and verdict caches keyed off untouched
+        relations survive the transaction.  The token records the effective
+        modifications and reverts them with :meth:`AppliedDelta.undo` (or on
+        context-manager exit).
+        """
+        return self._apply_validated(self.validate_delta(modifications))
+
+    def _apply_validated(
+        self, validated: Sequence[DeltaModification]
+    ) -> AppliedDelta:
+        """Apply modifications already normalised by :meth:`validate_delta`.
+
+        The O(|Δ|) inner loop behind :meth:`apply_delta` and the incremental
+        subsystem's per-modification transactions — callers guarantee the
+        rows are validated plain tuples so no schema work is repeated here.
+        """
+        effective: list = []
+        for kind, name, row in validated:
+            relation = self._relations[name]
+            if kind == _DELTA_INSERT:
+                if row not in relation._rows:
+                    relation._rows.add(row)
+                    relation._version += 1
+                    if relation._indexes:
+                        relation._index_added_row(row)
+                    effective.append((kind, name, row))
+            else:
+                if row in relation._rows:
+                    relation._rows.remove(row)
+                    relation._version += 1
+                    if relation._indexes:
+                        relation._index_removed_row(row)
+                    effective.append((kind, name, row))
+        return AppliedDelta(self, tuple(effective))
 
     # -- copying / combining -----------------------------------------------------------
     def copy(self) -> "Database":

@@ -16,16 +16,21 @@ The relaxed problems are derived with
 parent problem's memoized compatibility oracle: ``Qc`` and ``D`` do not change
 across relaxations, so a package judged (in)compatible under one relaxed query
 is never re-checked under another.
+
+For *evolving* databases, :class:`~repro.incremental.streaming.StreamingQRPP`
+keeps this search live across a stream of modifications — each relaxed
+``QΓ(D)`` is incrementally maintained instead of re-evaluated — and the
+incremental differential suite pins it to the from-scratch functions below.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Tuple
 
-from repro.core.enumeration import PackageSearchEngine
+from repro.core.enumeration import find_k_witnesses
 from repro.core.model import RecommendationProblem
-from repro.core.packages import Package, Selection
+from repro.core.packages import Selection
 from repro.relational.database import Row
 from repro.relaxation.relax import Relaxation, RelaxationSpace, RelaxedQuery
 
@@ -47,24 +52,6 @@ class QRPPResult:
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.found
-
-
-def _k_witnesses(
-    problem: RecommendationProblem, rating_bound: float
-) -> Optional[Selection]:
-    """k distinct valid packages rated ≥ bound, or ``None``.
-
-    Each relaxed problem gets its own engine over its own ``Q(D)``, but the
-    compatibility oracle underneath is the one shared across relaxations via
-    ``with_query``, so verdict reuse still spans the whole search.
-    """
-    engine = PackageSearchEngine(problem)
-    packages: List[Package] = []
-    for package in engine.iter_valid(rating_bound=rating_bound):
-        packages.append(package)
-        if len(packages) >= problem.k:
-            return Selection(packages)
-    return None
 
 
 def find_package_relaxation(
@@ -89,7 +76,10 @@ def find_package_relaxation(
         tried += 1
         relaxed_query = space.relax(relaxation)
         relaxed_problem = problem.with_query(relaxed_query)
-        witnesses = _k_witnesses(relaxed_problem, rating_bound)
+        # Each relaxed problem gets its own engine over its own Q(D), but the
+        # compatibility oracle underneath is the one shared across relaxations
+        # via with_query, so verdict reuse spans the whole search.
+        witnesses = find_k_witnesses(relaxed_problem, rating_bound)
         if witnesses is not None:
             return QRPPResult(
                 True,

@@ -257,17 +257,55 @@ class RelaxedQuery(Query):
         """``gap(QΓ)`` of this relaxed query."""
         return self.relaxation.gap()
 
+    @property
+    def active_domain_independent(self) -> bool:
+        """True unless a *comparison* was relaxed.
+
+        Relaxed comparisons quantify over the database's active domain ("some
+        value within distance d of the constant"), so any tuple inserted
+        anywhere can change the answer; relaxed constants and broken joins
+        only re-read the query's own relations.
+        """
+        return not any(spec.kind == "comparison" for spec in self._filters)
+
+    @property
+    def widened_query(self) -> ConjunctiveQuery:
+        """The rewritten CQ whose answers carry the relaxation witnesses.
+
+        Its head is the base head plus one extra column per relaxed position;
+        :meth:`project_filtered` turns its answers into the relaxed answers.
+        The incremental subsystem maintains *this* query across deltas (it is
+        a plain CQ, so the delta rules apply) and re-projects on read.
+        """
+        return self._rewritten
+
+    def project_filtered(
+        self, widened_rows: Iterable[Row], database: Database
+    ) -> Iterator[Row]:
+        """Relaxed answer rows from widened-query answer rows.
+
+        Applies the distance filters to the witness columns and projects back
+        onto the base head.  The active domain (needed only by relaxed
+        *comparisons*, which quantify over it) is taken from ``database`` at
+        call time, so callers holding incrementally maintained widened answers
+        still see relaxation semantics over the current data.
+        """
+        base_arity = self.base.output_arity
+        if any(spec.kind == "comparison" for spec in self._filters):
+            domain: Tuple[Value, ...] = tuple(sorted(database.active_domain(), key=repr))
+        else:
+            domain = ()
+        for row in widened_rows:
+            if self._passes_filters(row[base_arity:], domain):
+                yield row[:base_arity]
+
     def evaluate(self, database: Database, counter=None, extra_relations=None) -> Relation:
         widened_answer = self._rewritten.evaluate(
             database, counter=counter, extra_relations=extra_relations
         )
-        base_arity = self.base.output_arity
-        domain = tuple(sorted(database.active_domain(), key=repr))
         result = self.empty_answer()
-        for row in widened_answer:
-            extras = row[base_arity:]
-            if self._passes_filters(extras, domain):
-                result.add(row[:base_arity])
+        for row in self.project_filtered(widened_answer, database):
+            result.add(row)
         return result
 
     def _passes_filters(self, extras: Row, domain: Sequence[Value]) -> bool:

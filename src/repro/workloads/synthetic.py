@@ -69,7 +69,11 @@ def no_duplicate_category_constraint() -> PredicateConstraint:
         categories = package.column("category")
         return len(categories) == len(set(categories))
 
-    return PredicateConstraint(compatible, "at most one item per category")
+    # ``relations=()``: the predicate only inspects the package, so cached
+    # verdicts survive any database delta (the oracle's retention path).
+    return PredicateConstraint(
+        compatible, "at most one item per category", relations=()
+    )
 
 
 @dataclass
@@ -137,3 +141,66 @@ def path_query(length: int, relation: str = "edge") -> ConjunctiveQuery:
     variables = [Var(f"x{i}") for i in range(length + 1)]
     atoms = [RelationAtom(relation, [variables[i], variables[i + 1]]) for i in range(length)]
     return ConjunctiveQuery([variables[0], variables[length]], atoms, name=f"path_{length}")
+
+
+# ---------------------------------------------------------------------------
+# Streaming update workloads (the PR 3 scenario class)
+# ---------------------------------------------------------------------------
+@dataclass
+class StreamingWorkload:
+    """A database, a join query over it, and a stream of update batches.
+
+    The scenario the delta-maintenance subsystem opens: a live ``Q(D)`` must
+    be kept current while single-tuple insertions and deletions arrive.  The
+    stream is deterministic in the seed and mixes inserts of fresh edges with
+    deletes of randomly chosen *existing* edges (sampled against the evolving
+    edge set, so deletes are effective rather than no-ops).
+    """
+
+    database: Database
+    query: ConjunctiveQuery
+    stream: Tuple[Tuple[Tuple[str, str, Tuple], ...], ...]
+    num_nodes: int
+    seed: Optional[int]
+
+
+def streaming_update_workload(
+    num_nodes: int,
+    num_edges: int,
+    num_updates: int,
+    batch_size: int = 1,
+    path_length: int = 2,
+    seed: Optional[int] = None,
+) -> StreamingWorkload:
+    """A random graph, a ``path_length``-join query, and an update stream.
+
+    The stream is generated against a scratch copy of the edge set so that the
+    returned :class:`StreamingWorkload` leaves ``database`` pristine — both
+    the incremental and the from-scratch consumer replay the identical
+    batches.
+    """
+    rng = random.Random(seed)
+    database = random_graph_database(num_nodes, num_edges, seed=seed)
+    live = set(database.relation("edge").rows())
+    batches: List[Tuple[Tuple[str, str, Tuple], ...]] = []
+    for _ in range(num_updates):
+        batch = []
+        for _ in range(batch_size):
+            if live and rng.random() < 0.5:
+                row = rng.choice(sorted(live))
+                live.discard(row)
+                batch.append(("delete", "edge", row))
+            else:
+                src, dst = rng.randrange(num_nodes), rng.randrange(num_nodes)
+                while src == dst:
+                    src, dst = rng.randrange(num_nodes), rng.randrange(num_nodes)
+                live.add((src, dst))
+                batch.append(("insert", "edge", (src, dst)))
+        batches.append(tuple(batch))
+    return StreamingWorkload(
+        database=database,
+        query=path_query(path_length),
+        stream=tuple(batches),
+        num_nodes=num_nodes,
+        seed=seed,
+    )

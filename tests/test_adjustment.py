@@ -88,6 +88,50 @@ class TestAdjustment:
         assert sizes == sorted(sizes)
         assert sizes[0] == 0  # the empty adjustment comes first
 
+    def test_duplicate_modifications_are_normalised(self):
+        adjustment = Adjustment(
+            [("insert", "shop", ("a", "b", 1)), ("insert", "shop", ("a", "b", 1))]
+        )
+        assert len(adjustment) == 1
+
+    def test_contradictory_modifications_collapse_to_the_last(self, shop_database):
+        insert_then_delete = Adjustment(
+            [("insert", "shop", ("gamma", "sfo", 7)), ("delete", "shop", ("gamma", "sfo", 7))]
+        )
+        assert insert_then_delete.modifications == (("delete", "shop", ("gamma", "sfo", 7)),)
+        delete_then_insert = Adjustment(
+            [("delete", "shop", ("alpha", "nyc", 8)), ("insert", "shop", ("alpha", "nyc", 8))]
+        )
+        assert delete_then_insert.modifications == (("insert", "shop", ("alpha", "nyc", 8)),)
+        # the normalised adjustment has the same effect as in-order application
+        assert delete_then_insert.apply(shop_database) == shop_database
+
+    def test_combined_with_normalises_across_operands(self):
+        combined = Adjustment.inserting("shop", [("a", "b", 1)]).combined_with(
+            Adjustment.deleting("shop", [("a", "b", 1)])
+        )
+        assert combined.modifications == (("delete", "shop", ("a", "b", 1)),)
+
+    def test_apply_validates_rows_with_a_clear_model_error(self, shop_database):
+        wrong_arity = Adjustment.inserting("shop", [("only-a-name",)])
+        with pytest.raises(ModelError, match="invalid insert into relation 'shop'"):
+            wrong_arity.apply(shop_database)
+        # deletions are validated too, and the database is untouched
+        wrong_delete = Adjustment.deleting("shop", [("x",)])
+        with pytest.raises(ModelError, match="invalid delete"):
+            wrong_delete.apply(shop_database)
+        assert len(shop_database.relation("shop")) == 2
+
+    def test_apply_in_place_returns_an_undo_token(self, shop_database):
+        adjustment = Adjustment(
+            [("insert", "shop", ("gamma", "sfo", 7)), ("delete", "shop", ("alpha", "nyc", 8))]
+        )
+        before = shop_database.relation("shop").rows()
+        token = adjustment.apply_in_place(shop_database)
+        assert ("gamma", "sfo", 7) in shop_database.relation("shop")
+        token.undo()
+        assert shop_database.relation("shop").rows() == before
+
 
 class TestARPP:
     def build_problem(self, database: Database, city: str, k: int = 1) -> RecommendationProblem:

@@ -133,6 +133,123 @@ def test_oracle_reuse_across_problems_on_one_database(items_database):
 
 
 # ---------------------------------------------------------------------------
+# Footprint-aware retention on database deltas (PR 3)
+# ---------------------------------------------------------------------------
+def test_delta_outside_footprint_retains_cached_verdicts():
+    """A Qc reading only ``conflict`` keeps its verdicts across item deltas."""
+    database = Database()
+    items = database.create_relation("items", ["iid", "kind"], [(1, "a"), (2, "b")])
+    database.create_relation("conflict", ["left", "right"])
+    qc = ConjunctiveQuery(
+        [Var("x")],
+        [
+            RelationAtom("RQ", [Var("x"), Var("kx")]),
+            RelationAtom("RQ", [Var("y"), Var("ky")]),
+            RelationAtom("conflict", [Var("x"), Var("y")]),
+        ],
+        name="Qc",
+    )
+    constraint = QueryConstraint(qc)
+    assert constraint.relation_footprint() == frozenset({"conflict"})
+    oracle = CompatibilityOracle(constraint, database)
+    package = _package(database, 1, 2)
+    assert oracle.is_satisfied(package)
+    items.add((3, "c"))  # outside the footprint
+    assert oracle.is_satisfied(package)
+    assert oracle.hits == 1 and oracle.misses == 1
+    assert oracle.retentions == 1 and oracle.invalidations == 0
+
+
+def test_delta_inside_footprint_still_clears():
+    database = Database()
+    database.create_relation("items", ["iid", "kind"], [(1, "a"), (2, "b")])
+    conflicts = database.create_relation("conflict", ["left", "right"])
+    qc = ConjunctiveQuery(
+        [Var("x")],
+        [
+            RelationAtom("RQ", [Var("x"), Var("kx")]),
+            RelationAtom("RQ", [Var("y"), Var("ky")]),
+            RelationAtom("conflict", [Var("x"), Var("y")]),
+        ],
+        name="Qc",
+    )
+    oracle = CompatibilityOracle(QueryConstraint(qc), database)
+    package = _package(database, 1, 2)
+    assert oracle.is_satisfied(package)
+    conflicts.add((1, 2))
+    assert not oracle.is_satisfied(package)
+    assert oracle.invalidations == 1 and oracle.retentions == 0
+
+
+def test_unknown_footprint_always_clears(items_database):
+    """PredicateConstraint without a declared footprint stays conservative."""
+    constraint, calls = _counting_constraint()
+    assert constraint.relation_footprint() is None
+    oracle = CompatibilityOracle(constraint, items_database)
+    package = _package(items_database, 1, 2)
+    oracle.is_satisfied(package)
+    items_database.relation("items").add((9, "z"))
+    oracle.is_satisfied(package)
+    assert len(calls) == 2  # re-evaluated: the cache was cleared
+    assert oracle.invalidations == 1 and oracle.retentions == 0
+
+
+def test_declared_empty_footprint_survives_every_delta(items_database):
+    """relations=() promises a package-only predicate: verdicts always survive."""
+    from repro.core.compatibility import all_distinct_on
+
+    constraint = all_distinct_on("kind")
+    assert constraint.relation_footprint() == frozenset()
+    oracle = CompatibilityOracle(constraint, items_database)
+    package = _package(items_database, 1, 2)
+    assert oracle.is_satisfied(package)
+    items_database.relation("items").add((9, "z"))
+    assert oracle.is_satisfied(package)
+    assert oracle.hits == 1 and oracle.misses == 1 and oracle.retentions == 1
+
+
+def test_active_domain_dependent_qc_has_no_footprint():
+    """An FO Qc quantifies over the whole active domain: any delta can flip
+    its verdicts, so the footprint must stay unknown (always clear)."""
+    from repro.queries.ast import Not
+    from repro.queries.fo import FirstOrderQuery
+
+    database = Database()
+    items = database.create_relation("items", ["iid"], [(1,), (2,)])
+    other = database.create_relation("other", ["v"])
+    qc = FirstOrderQuery([Var("x")], Not(RelationAtom("RQ", [Var("x")])), name="fo_qc")
+    constraint = QueryConstraint(qc)
+    assert constraint.relation_footprint() is None
+    oracle = CompatibilityOracle(constraint, database)
+    # the package covers the whole active domain, so Qc(N, D) is empty ...
+    package = Package(items.schema.rename("RQ"), [(1,), (2,)])
+    assert oracle.is_satisfied(package) is True
+    other.add((42,))  # ... until a delta to an unrelated relation grows adom
+    assert oracle.is_satisfied(package) is False  # stale verdict not served
+    assert oracle.is_satisfied(package) == constraint.is_satisfied(package, database)
+
+
+def test_conjunction_footprint_is_the_union():
+    from repro.core.compatibility import (
+        ConjunctionConstraint,
+        all_distinct_on,
+        at_most_k_with_value,
+    )
+
+    package_only = ConjunctionConstraint(all_distinct_on("kind"), at_most_k_with_value("kind", "a", 2))
+    assert package_only.relation_footprint() == frozenset()
+    qc = ConjunctiveQuery(
+        [Var("x")], [RelationAtom("RQ", [Var("x"), Var("k")]), RelationAtom("conflict", [Var("x"), Var("x")])],
+        name="Qc",
+    )
+    mixed = ConjunctionConstraint(all_distinct_on("kind"), QueryConstraint(qc))
+    assert mixed.relation_footprint() == frozenset({"conflict"})
+    constraint, _ = _counting_constraint()
+    unknown = ConjunctionConstraint(all_distinct_on("kind"), constraint)
+    assert unknown.relation_footprint() is None
+
+
+# ---------------------------------------------------------------------------
 # Problem wiring
 # ---------------------------------------------------------------------------
 def test_problem_transforms_share_the_oracle():

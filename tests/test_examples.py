@@ -19,6 +19,7 @@ EXAMPLE_EXPECTATIONS = [
     ("team_formation", ""),
     ("query_relaxation", "minimum gap"),
     ("adjustment", "insert course"),
+    ("streaming_updates", "maintained answers"),
     ("group_recommendation", "least misery"),
     ("query_languages", ""),
     ("complexity_tables", ""),

@@ -1,0 +1,378 @@
+"""Unit tests for the delta-maintenance subsystem (``repro.incremental``).
+
+Covers the maintained-view mechanics directly: delta rules for single- and
+multi-occurrence queries, support counting under deletes, UCQ and SP and
+relaxed-query maintainers, the recompute fallback, multi-view coordination
+with undo tokens, and the wiring into the ARPP search.  The end-to-end
+answer-identity guarantees live in ``tests/test_incremental_differential.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CountCost, CountRating, RecommendationProblem
+from repro.incremental import (
+    MaintainedQuery,
+    StreamingQRPP,
+    apply_maintained,
+    maintainer_for,
+    register_maintainer,
+)
+from repro.incremental.views import ConjunctiveMaintainer, RecomputeMaintainer
+from repro.queries import parse_cq
+from repro.queries.ast import Comparison, ComparisonOp, RelationAtom, Var
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.fo import FirstOrderQuery
+from repro.queries.sp import identity_query_for
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational import Database
+from repro.relational.errors import ModelError
+
+
+@pytest.fixture
+def graph_database() -> Database:
+    database = Database()
+    database.create_relation("edge", ["src", "dst"], [(1, 2), (2, 3), (3, 4)])
+    return database
+
+
+def _path2() -> ConjunctiveQuery:
+    x, y, z = Var("x"), Var("y"), Var("z")
+    return ConjunctiveQuery(
+        [x, z],
+        [RelationAtom("edge", [x, y]), RelationAtom("edge", [y, z])],
+        name="path2",
+    )
+
+
+class TestMaintainedCQ:
+    def test_initial_answers_match_evaluate(self, graph_database):
+        query = _path2()
+        maintained = MaintainedQuery(query, graph_database)
+        assert maintained.is_incremental
+        assert maintained.answer_rows() == query.evaluate(graph_database).rows()
+
+    def test_insert_extends_answers(self, graph_database):
+        query = _path2()
+        maintained = MaintainedQuery(query, graph_database)
+        maintained.apply([("insert", "edge", (4, 5))])
+        assert (3, 5) in maintained.answer_rows()
+        assert maintained.answer_rows() == query.evaluate(graph_database).rows()
+
+    def test_delete_shrinks_answers(self, graph_database):
+        query = _path2()
+        maintained = MaintainedQuery(query, graph_database)
+        maintained.apply([("delete", "edge", (2, 3))])
+        assert maintained.answer_rows() == query.evaluate(graph_database).rows()
+        assert (1, 3) not in maintained.answer_rows()
+
+    def test_self_join_insert_counts_each_derivation_once(self, graph_database):
+        """A self-loop matches both atoms of the path query simultaneously."""
+        query = _path2()
+        maintained = MaintainedQuery(query, graph_database)
+        maintained.apply([("insert", "edge", (5, 5))])
+        assert maintained.answer_rows() == query.evaluate(graph_database).rows()
+        assert maintained.support((5, 5)) == 1
+
+    def test_support_counting_keeps_rows_with_other_derivations(self):
+        database = Database()
+        database.create_relation("R", ["a", "b"], [(1, 1), (1, 2)])
+        query = ConjunctiveQuery(
+            [Var("a")], [RelationAtom("R", [Var("a"), Var("b")])], name="proj"
+        )
+        maintained = MaintainedQuery(query, database)
+        assert maintained.support((1,)) == 2
+        maintained.apply([("delete", "R", (1, 2))])
+        assert maintained.support((1,)) == 1
+        assert (1,) in maintained.answer_rows()  # still derivable
+        maintained.apply([("delete", "R", (1, 1))])
+        assert maintained.support((1,)) == 0
+        assert maintained.answer_rows() == frozenset()
+
+    def test_undo_restores_answers_and_supports(self, graph_database):
+        query = _path2()
+        maintained = MaintainedQuery(query, graph_database)
+        before_rows = maintained.answer_rows()
+        token = maintained.apply(
+            [("insert", "edge", (4, 5)), ("delete", "edge", (1, 2))]
+        )
+        assert maintained.answer_rows() != before_rows
+        token.undo()
+        assert maintained.answer_rows() == before_rows
+        assert graph_database.relation("edge").rows() == frozenset(
+            {(1, 2), (2, 3), (3, 4)}
+        )
+
+    def test_comparisons_participate_in_delta_rules(self, graph_database):
+        x, y = Var("x"), Var("y")
+        query = ConjunctiveQuery(
+            [x, y],
+            [RelationAtom("edge", [x, y])],
+            [Comparison(ComparisonOp.LT, x, 3)],
+            name="small_src",
+        )
+        maintained = MaintainedQuery(query, graph_database)
+        maintained.apply([("insert", "edge", (9, 9)), ("insert", "edge", (0, 9))])
+        assert maintained.answer_rows() == query.evaluate(graph_database).rows()
+        assert (9, 9) not in maintained.answer_rows()
+        assert (0, 9) in maintained.answer_rows()
+
+    def test_untouched_relation_modifications_are_cheap_noops(self, graph_database):
+        graph_database.create_relation("other", ["x"])
+        query = _path2()
+        maintained = MaintainedQuery(query, graph_database)
+        before = maintained.answer_rows()
+        maintained.apply([("insert", "other", (1,))])
+        assert maintained.answer_rows() == before
+
+
+class TestOtherQueryClasses:
+    def test_ucq_maintenance_sums_supports_across_disjuncts(self, graph_database):
+        x, y = Var("x"), Var("y")
+        forward = ConjunctiveQuery([x, y], [RelationAtom("edge", [x, y])], name="fwd")
+        backward = ConjunctiveQuery([y, x], [RelationAtom("edge", [x, y])], name="bwd")
+        query = UnionOfConjunctiveQueries([forward, backward], name="either")
+        maintained = MaintainedQuery(query, graph_database)
+        assert maintained.is_incremental
+        assert maintained.answer_rows() == query.evaluate(graph_database).rows()
+        maintained.apply([("insert", "edge", (7, 8))])
+        assert {(7, 8), (8, 7)} <= set(maintained.answer_rows())
+        # (7, 8) is derived once; a reverse edge adds a second derivation
+        token = maintained.apply([("insert", "edge", (8, 7))])
+        assert maintained.support((7, 8)) == 2
+        token.undo()
+        assert maintained.support((7, 8)) == 1
+
+    def test_sp_query_maintenance(self, graph_database):
+        query = identity_query_for(graph_database.relation("edge"))
+        maintained = MaintainedQuery(query, graph_database)
+        assert maintained.is_incremental
+        maintained.apply([("insert", "edge", (9, 1)), ("delete", "edge", (1, 2))])
+        assert maintained.answer_rows() == query.evaluate(graph_database).rows()
+
+    def test_unsupported_query_falls_back_to_recompute(self, graph_database):
+        query = FirstOrderQuery(
+            [Var("x"), Var("y")],
+            RelationAtom("edge", [Var("x"), Var("y")]),
+            name="fo_edges",
+        )
+        maintained = MaintainedQuery(query, graph_database)
+        assert not maintained.is_incremental
+        maintained.apply([("insert", "edge", (8, 9))])
+        assert maintained.answer_rows() == query.evaluate(graph_database).rows()
+
+    def test_fo_fallback_refreshes_on_unrelated_relation_deltas(self, graph_database):
+        """FO answers range over the whole active domain, so a delta to a
+        relation the query never mentions can still change them."""
+        from repro.queries.ast import Not
+
+        graph_database.create_relation("other", ["v"])
+        query = FirstOrderQuery(
+            [Var("x")], Not(RelationAtom("edge", [Var("x"), Var("x")])), name="no_loop"
+        )
+        assert not query.active_domain_independent
+        maintained = MaintainedQuery(query, graph_database)
+        maintained.apply([("insert", "other", (99,))])  # grows the active domain
+        assert (99,) in maintained.answer_rows()
+        assert maintained.answer_rows() == query.evaluate(graph_database).rows()
+
+    def test_registry_override_and_fallback_lookup(self, graph_database):
+        class FancyQuery(ConjunctiveQuery):
+            pass
+
+        query = FancyQuery([Var("x")], [RelationAtom("edge", [Var("x"), Var("y")])])
+        # subclass resolves through the CQ maintainer by isinstance
+        assert isinstance(maintainer_for(query, graph_database), ConjunctiveMaintainer)
+        register_maintainer(FancyQuery, RecomputeMaintainer)
+        try:
+            assert isinstance(
+                maintainer_for(query, graph_database), RecomputeMaintainer
+            )
+        finally:
+            from repro.incremental import views
+
+            views._MAINTAINER_FACTORIES.remove((FancyQuery, RecomputeMaintainer))
+
+    def test_pre_state_name_collision_is_rejected(self):
+        database = Database()
+        database.create_relation("edge", ["a", "b"])
+        database.create_relation("__pre__::edge", ["a", "b"])
+        with pytest.raises(ModelError, match="collides"):
+            MaintainedQuery(_path2(), database)
+
+
+class TestMultiViewCoordination:
+    def test_apply_maintained_updates_every_view(self, graph_database):
+        query = _path2()
+        first = MaintainedQuery(query, graph_database)
+        second = MaintainedQuery(
+            identity_query_for(graph_database.relation("edge")), graph_database
+        )
+        token = apply_maintained(
+            graph_database, [("insert", "edge", (4, 5))], (first, second)
+        )
+        assert (3, 5) in first.answer_rows()
+        assert (4, 5) in second.answer_rows()
+        token.undo()
+        assert (3, 5) not in first.answer_rows()
+        assert (4, 5) not in second.answer_rows()
+
+    def test_views_bound_to_other_databases_are_rejected(self, graph_database):
+        other = Database()
+        other.create_relation("edge", ["src", "dst"])
+        view = MaintainedQuery(_path2(), other)
+        with pytest.raises(ModelError, match="different database"):
+            apply_maintained(graph_database, [("insert", "edge", (1, 9))], (view,))
+
+    def test_out_of_band_mutations_trigger_a_rebuild_on_read(self, graph_database):
+        """A view can never serve stale answers, even when the database was
+        mutated behind its back (direct relation access, or an undo token from
+        a transaction the view was not part of)."""
+        query = _path2()
+        maintained = MaintainedQuery(query, graph_database)
+        graph_database.relation("edge").add((4, 5))  # bypasses the view
+        assert (3, 5) in maintained.answer_rows()  # detected + rebuilt on read
+        assert maintained.answer_rows() == query.evaluate(graph_database).rows()
+
+    def test_validation_happens_before_any_application(self, graph_database):
+        view = MaintainedQuery(_path2(), graph_database)
+        before = graph_database.relation("edge").rows()
+        with pytest.raises(ModelError):
+            apply_maintained(
+                graph_database,
+                [("insert", "edge", (9, 9)), ("insert", "edge", ("bad",))],
+                (view,),
+            )
+        assert graph_database.relation("edge").rows() == before
+        assert view.answer_rows() == _path2().evaluate(graph_database).rows()
+
+
+class TestARPPWiring:
+    def _problem(self, database: Database, city: str, k: int = 1) -> RecommendationProblem:
+        query = parse_cq(f"Q(n, r) :- shop(n, '{city}', r).", name="shops_in_city")
+        return RecommendationProblem(
+            database=database,
+            query=query,
+            cost=CountCost(),
+            val=CountRating(),
+            budget=1.0,
+            k=k,
+            monotone_cost=True,
+            name=f"shops in {city}",
+        )
+
+    def test_incremental_arpp_leaves_the_database_untouched(self):
+        from repro.adjustment import find_package_adjustment
+
+        database = Database()
+        database.create_relation(
+            "shop", ["name", "city", "rating"], [("alpha", "nyc", 8)]
+        )
+        additions = Database()
+        additions.create_relation(
+            "shop", ["name", "city", "rating"], [("gamma", "sfo", 7)]
+        )
+        before = database.relation("shop").rows()
+        problem = self._problem(database, "sfo")
+        result = find_package_adjustment(
+            problem, additions, rating_bound=1.0, max_changes=1, allow_deletions=False
+        )
+        assert result.found and result.size == 1
+        assert database.relation("shop").rows() == before
+
+    def test_oracle_survives_the_adjustment_sweep(self):
+        """Footprint-disjoint adjustments retain verdicts across candidates."""
+        from repro.adjustment import find_package_adjustment
+        from repro.core.compatibility import all_distinct_on
+
+        database = Database()
+        database.create_relation(
+            "shop",
+            ["name", "city", "rating"],
+            [("alpha", "nyc", 8), ("beta", "nyc", 9)],
+        )
+        additions = Database()
+        additions.create_relation(
+            "shop", ["name", "city", "rating"], [("gamma", "nyc", 7), ("delta", "nyc", 6)]
+        )
+        query = parse_cq("Q(n, r) :- shop(n, 'nyc', r).", name="shops_in_city")
+        problem = RecommendationProblem(
+            database=database,
+            query=query,
+            cost=CountCost(),
+            val=CountRating(),
+            budget=1.0,
+            k=4,
+            monotone_cost=True,
+            compatibility=all_distinct_on("n"),
+            name="shops in nyc",
+        )
+        oracle = problem.compatibility_oracle()
+        find_package_adjustment(
+            problem, additions, rating_bound=1.0, max_changes=2, allow_deletions=False
+        )
+        assert oracle.retentions > 0
+        assert oracle.invalidations == 0
+
+
+class TestStreamingQRPP:
+    def test_streaming_matches_from_scratch_after_deltas(self):
+        from repro.relaxation import RelaxationSpace, find_package_relaxation
+
+        database = Database()
+        database.create_relation(
+            "shop",
+            ["name", "city", "rating"],
+            [("alpha", "nyc", 8), ("beta", "ewr", 9)],
+        )
+        problem = self._qrpp_problem(database)
+        space = RelaxationSpace.for_constants(problem.query)
+        streaming = StreamingQRPP(problem, space, rating_bound=1.0, max_gap=1.0)
+        for delta in (
+            [("insert", "shop", ("gamma", "sfo", 7))],
+            [("delete", "shop", ("alpha", "nyc", 8))],
+            [("insert", "shop", ("zeta", "nyc", 5))],
+        ):
+            streaming.apply(delta)
+            live = streaming.current()
+            scratch = find_package_relaxation(
+                problem, space, rating_bound=1.0, max_gap=1.0
+            )
+            assert live.found == scratch.found
+            assert live.gap == scratch.gap
+            assert live.relaxations_tried == scratch.relaxations_tried
+
+    def test_views_created_after_an_apply_survive_its_undo(self):
+        """A view built lazily between apply() and undo() must not go stale."""
+        from repro.relaxation import RelaxationSpace, find_package_relaxation
+
+        database = Database()
+        database.create_relation(
+            "shop", ["name", "city", "rating"], [("alpha", "nyc", 8)]
+        )
+        problem = self._qrpp_problem(database)
+        space = RelaxationSpace.for_constants(problem.query)
+        streaming = StreamingQRPP(problem, space, rating_bound=1.0, max_gap=1.0)
+        token = streaming.apply([("delete", "shop", ("alpha", "nyc", 8))])
+        streaming.current()  # lazily creates views from the post-delete state
+        token.undo()  # the new views were not part of the token
+        live = streaming.current()
+        scratch = find_package_relaxation(problem, space, rating_bound=1.0, max_gap=1.0)
+        assert live.found == scratch.found
+        assert live.gap == scratch.gap
+        assert live.relaxations_tried == scratch.relaxations_tried
+
+    @staticmethod
+    def _qrpp_problem(database: Database) -> RecommendationProblem:
+        query = parse_cq("Q(n, r) :- shop(n, 'nyc', r).", name="nyc_shops")
+        return RecommendationProblem(
+            database=database,
+            query=query,
+            cost=CountCost(),
+            val=CountRating(),
+            budget=1.0,
+            k=1,
+            monotone_cost=True,
+            name="nyc shops",
+        )

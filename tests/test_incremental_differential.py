@@ -1,0 +1,372 @@
+"""Differential suite: incremental maintenance ≡ recompute-from-scratch.
+
+Every guarantee of the delta-maintenance subsystem is pinned here against the
+retained from-scratch paths, in the seeded-random style of the evaluator and
+enumeration differential suites — each seed derives a random database, a
+random query/problem and a random *update stream*, runs the incremental and
+the from-scratch path side by side, and asserts exact agreement after every
+modification:
+
+* maintained ``Q(D)`` answers vs a fresh ``query.evaluate`` (CQ with
+  self-joins, UCQ, comparisons, constants), plus undo round-trips;
+* footprint-retaining oracle verdicts vs direct constraint evaluation;
+* the incremental ARPP searches vs ``find_package_adjustment_recompute`` /
+  ``find_item_adjustment_recompute``;
+* :class:`~repro.incremental.StreamingQRPP` vs
+  :func:`~repro.relaxation.qrpp.find_package_relaxation` re-run from scratch.
+
+Across the parametrized seeds the suite covers well over 100 random update
+streams; any divergence fails with the seed in the test id.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.adjustment import (
+    find_item_adjustment,
+    find_item_adjustment_recompute,
+    find_package_adjustment,
+    find_package_adjustment_recompute,
+)
+from repro.core import RecommendationProblem
+from repro.core.compatibility import CompatibilityOracle, QueryConstraint, all_distinct_on
+from repro.core.functions import AttributeSumCost, AttributeSumRating
+from repro.core.model import PolynomialBound
+from repro.core.packages import Package
+from repro.incremental import MaintainedQuery, StreamingQRPP
+from repro.queries import identity_query_for, parse_cq
+from repro.queries.ast import Comparison, ComparisonOp, Const, RelationAtom, Var
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational import Database, Relation
+from repro.workloads.synthetic import item_schema, random_item_database
+
+VALUES = range(6)
+VARIABLES = ["x0", "x1", "x2", "x3"]
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+def _random_database(rng: random.Random) -> Database:
+    database = Database()
+    for index in range(rng.randint(1, 3)):
+        arity = rng.randint(1, 3)
+        rows = {
+            tuple(rng.choice(VALUES) for _ in range(arity))
+            for _ in range(rng.randint(0, 6))
+        }
+        database.create_relation(f"R{index}", [f"a{i}" for i in range(arity)], rows)
+    return database
+
+
+def _random_query(rng: random.Random, database: Database):
+    """A random CQ or UCQ; self-joins and repeated variables are likely."""
+
+    def random_cq(name: str, head_vars=None) -> ConjunctiveQuery:
+        atoms: List[RelationAtom] = []
+        for _ in range(rng.randint(1, 3)):
+            relation = rng.choice(database.relation_names())
+            arity = database.relation(relation).arity
+            terms = [
+                Var(rng.choice(VARIABLES))
+                if rng.random() < 0.8
+                else Const(rng.choice(VALUES))
+                for _ in range(arity)
+            ]
+            atoms.append(RelationAtom(relation, terms))
+        body_vars = sorted({v.name for atom in atoms for v in atom.variables()})
+        comparisons = []
+        if body_vars and rng.random() < 0.4:
+            left = Var(rng.choice(body_vars))
+            right = (
+                Var(rng.choice(body_vars))
+                if rng.random() < 0.5
+                else Const(rng.choice(VALUES))
+            )
+            comparisons.append(Comparison(rng.choice(list(ComparisonOp)), left, right))
+        if head_vars is None:
+            head_vars = rng.sample(body_vars, min(len(body_vars), rng.randint(1, 2))) if body_vars else []
+        head = [Var(v) for v in head_vars]
+        return ConjunctiveQuery(head, atoms, comparisons, name=name)
+
+    first = random_cq("d1")
+    if rng.random() < 0.3:
+        # a UCQ whose disjuncts agree on the output arity
+        arity = first.output_arity
+        disjuncts = [first]
+        for index in range(rng.randint(1, 2)):
+            for _ in range(8):  # retry until a disjunct with matching arity appears
+                candidate = random_cq(f"d{index + 2}")
+                if candidate.output_arity == arity:
+                    disjuncts.append(candidate)
+                    break
+        if len(disjuncts) > 1:
+            return UnionOfConjunctiveQueries(disjuncts, name="ucq")
+    return first
+
+
+def _random_modification(rng: random.Random, database: Database):
+    relation = rng.choice(database.relation_names())
+    arity = database.relation(relation).arity
+    kind = rng.choice(["insert", "delete"])
+    if kind == "delete" and len(database.relation(relation)) and rng.random() < 0.6:
+        row = rng.choice(sorted(database.relation(relation).rows()))
+    else:
+        row = tuple(rng.choice(VALUES) for _ in range(arity))
+    return (kind, relation, row)
+
+
+def _random_stream(rng: random.Random, database: Database, length: int):
+    """A stream of single- and multi-modification deltas (some no-ops)."""
+    stream = []
+    for _ in range(length):
+        batch = [
+            _random_modification(rng, database) for _ in range(rng.randint(1, 3))
+        ]
+        stream.append(batch)
+    return stream
+
+
+# ---------------------------------------------------------------------------
+# Maintained query answers (60 streams)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(60))
+def test_maintained_answers_match_recompute_over_stream(seed):
+    rng = random.Random(1000 + seed)
+    database = _random_database(rng)
+    query = _random_query(rng, database)
+    maintained = MaintainedQuery(query, database)
+    assert maintained.is_incremental
+    assert maintained.answer_rows() == query.evaluate(database).rows()
+    for batch in _random_stream(rng, database, 10):
+        token = maintained.apply(batch)
+        assert maintained.answer_rows() == query.evaluate(database).rows()
+        if rng.random() < 0.3:
+            before = query.evaluate(database).rows()
+            token.undo()
+            assert maintained.answer_rows() == query.evaluate(database).rows()
+            assert before is not None  # stream continues from the undone state
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_undo_roundtrip_restores_exact_state(seed):
+    rng = random.Random(2000 + seed)
+    database = _random_database(rng)
+    query = _random_query(rng, database)
+    maintained = MaintainedQuery(query, database)
+    rows_before = {name: database.relation(name).rows() for name in database.relation_names()}
+    answers_before = maintained.answer_rows()
+    tokens = [maintained.apply(batch) for batch in _random_stream(rng, database, 6)]
+    for token in reversed(tokens):
+        token.undo()
+    assert maintained.answer_rows() == answers_before
+    for name, rows in rows_before.items():
+        assert database.relation(name).rows() == rows
+
+
+# ---------------------------------------------------------------------------
+# Oracle verdicts under deltas (30 streams)
+# ---------------------------------------------------------------------------
+def _conflict_constraint(answer_arity: int) -> QueryConstraint:
+    """Qc: two package items conflict according to relation ``R0``."""
+    xs = [Var(f"p{i}") for i in range(answer_arity)]
+    ys = [Var(f"q{i}") for i in range(answer_arity)]
+    atoms = [
+        RelationAtom("RQ", xs),
+        RelationAtom("RQ", ys),
+        RelationAtom("R0", [xs[0], ys[0]]),
+    ]
+    return QueryConstraint(ConjunctiveQuery([], atoms, name="conflict"))
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_oracle_verdicts_match_direct_evaluation_over_stream(seed):
+    rng = random.Random(3000 + seed)
+    database = Database()
+    database.create_relation(
+        "R0",
+        ["a", "b"],
+        {(rng.choice(VALUES), rng.choice(VALUES)) for _ in range(rng.randint(0, 5))},
+    )
+    database.create_relation(
+        "items",
+        ["iid", "kind"],
+        {(i, rng.choice(VALUES)) for i in range(rng.randint(2, 5))},
+    )
+    constraint = (
+        _conflict_constraint(2) if rng.random() < 0.6 else all_distinct_on("kind")
+    )
+    oracle = CompatibilityOracle(constraint, database)
+    schema = database.relation("items").schema.rename("RQ")
+    for _ in range(12):
+        modification = _random_modification(rng, database)
+        database.apply_delta([modification])
+        for _ in range(3):
+            rows = sorted(database.relation("items").rows())
+            if not rows:
+                break
+            package = Package(
+                schema, rng.sample(rows, rng.randint(1, min(2, len(rows))))
+            )
+            assert oracle.is_satisfied(package) == constraint.is_satisfied(
+                package, database
+            )
+    # with the package-only constraint the whole stream must have retained
+    if constraint.relation_footprint() == frozenset() and oracle.hits:
+        assert oracle.invalidations == 0
+
+
+# ---------------------------------------------------------------------------
+# ARPP: incremental vs recompute (20 + 10 streams)
+# ---------------------------------------------------------------------------
+def _arpp_instance(rng: random.Random):
+    database = random_item_database(rng.randint(5, 8), seed=rng.randrange(10**6))
+    additions_rows = [
+        (100 + i, rng.choice("abcd"), rng.randrange(1, 50), rng.randrange(1, 60))
+        for i in range(rng.randint(2, 4))
+    ]
+    additions = Database([Relation(item_schema(), additions_rows)])
+    problem = RecommendationProblem(
+        database=database,
+        query=identity_query_for(database.relation("items")),
+        cost=AttributeSumCost("price"),
+        val=AttributeSumRating("quality"),
+        budget=rng.choice([40.0, 60.0]),
+        k=rng.randint(1, 2),
+        compatibility=all_distinct_on("category") if rng.random() < 0.5 else QueryConstraint(
+            ConjunctiveQuery(
+                [],
+                [
+                    RelationAtom("RQ", [Var("i1"), Var("c"), Var("p1"), Var("q1")]),
+                    RelationAtom("RQ", [Var("i2"), Var("c"), Var("p2"), Var("q2")]),
+                ],
+                [Comparison(ComparisonOp.NE, Var("i1"), Var("i2"))],
+                name="dup_category",
+            )
+        ),
+        size_bound=PolynomialBound(1.0, 1),
+        monotone_cost=True,
+        antimonotone_compatibility=True,
+        name="arpp differential",
+    )
+    return problem, additions
+
+
+def _render_selection(selection):
+    if selection is None:
+        return None
+    return [package.sorted_items() for package in selection]
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_package_arpp_matches_recompute(seed):
+    rng = random.Random(4000 + seed)
+    problem, additions = _arpp_instance(rng)
+    rating_bound = rng.choice([30.0, 60.0, 120.0])
+    before = {
+        name: problem.database.relation(name).rows()
+        for name in problem.database.relation_names()
+    }
+    kwargs = dict(
+        rating_bound=rating_bound,
+        max_changes=rng.randint(1, 2),
+        allow_deletions=rng.random() < 0.5,
+    )
+    incremental = find_package_adjustment(problem, additions, **kwargs)
+    recompute = find_package_adjustment_recompute(problem, additions, **kwargs)
+    assert incremental.found == recompute.found
+    assert incremental.adjustments_tried == recompute.adjustments_tried
+    if incremental.found:
+        assert incremental.adjustment.modifications == recompute.adjustment.modifications
+        assert _render_selection(incremental.witnesses) == _render_selection(
+            recompute.witnesses
+        )
+    # the incremental search must leave the database exactly as it found it
+    for name, rows in before.items():
+        assert problem.database.relation(name).rows() == rows
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_item_arpp_matches_recompute(seed):
+    rng = random.Random(5000 + seed)
+    database = random_item_database(rng.randint(5, 8), seed=rng.randrange(10**6))
+    additions_rows = [
+        (100 + i, rng.choice("abcd"), rng.randrange(1, 50), rng.randrange(1, 60))
+        for i in range(rng.randint(2, 4))
+    ]
+    additions = Database([Relation(item_schema(), additions_rows)])
+    query = identity_query_for(database.relation("items"))
+    kwargs = dict(
+        utility=lambda row: float(row[3]),
+        additions=additions,
+        rating_bound=rng.choice([10.0, 40.0, 80.0]),
+        k=rng.randint(1, 2),
+        max_changes=rng.randint(1, 2),
+        allow_deletions=rng.random() < 0.5,
+    )
+    incremental = find_item_adjustment(database, query, **kwargs)
+    recompute = find_item_adjustment_recompute(database, query, **kwargs)
+    assert incremental.found == recompute.found
+    assert incremental.adjustments_tried == recompute.adjustments_tried
+    if incremental.found:
+        assert incremental.adjustment.modifications == recompute.adjustment.modifications
+        assert incremental.items == recompute.items
+
+
+# ---------------------------------------------------------------------------
+# Streaming QRPP vs from-scratch relaxation search (12 streams)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(12))
+def test_streaming_qrpp_matches_from_scratch_over_stream(seed):
+    rng = random.Random(6000 + seed)
+    database = Database()
+    cities = ["nyc", "ewr", "sfo"]
+    database.create_relation(
+        "shop",
+        ["name", "city", "rating"],
+        {
+            (f"s{i}", rng.choice(cities), rng.randrange(1, 9))
+            for i in range(rng.randint(2, 5))
+        },
+    )
+    query = parse_cq("Q(n, r) :- shop(n, 'nyc', r).", name="nyc_shops")
+    from repro.core import CountCost, CountRating
+    from repro.relaxation import RelaxationSpace, find_package_relaxation
+
+    problem = RecommendationProblem(
+        database=database,
+        query=query,
+        cost=CountCost(),
+        val=CountRating(),
+        budget=1.0,
+        k=rng.randint(1, 2),
+        monotone_cost=True,
+        name="qrpp differential",
+    )
+    space = RelaxationSpace.for_constants(query)
+    rating_bound, max_gap = 1.0, 1.0
+    streaming = StreamingQRPP(problem, space, rating_bound, max_gap)
+    for _ in range(5):
+        batch = [
+            (
+                rng.choice(["insert", "delete"]),
+                "shop",
+                (f"s{rng.randrange(8)}", rng.choice(cities), rng.randrange(1, 9)),
+            )
+            for _ in range(rng.randint(1, 2))
+        ]
+        streaming.apply(batch)
+        live = streaming.current()
+        scratch = find_package_relaxation(problem, space, rating_bound, max_gap)
+        assert live.found == scratch.found
+        assert live.gap == scratch.gap
+        assert live.relaxations_tried == scratch.relaxations_tried
+        if live.found:
+            assert _render_selection(live.witnesses) == _render_selection(
+                scratch.witnesses
+            )

@@ -224,6 +224,141 @@ class TestRelationIndexes:
         assert sorted(b["y"] for b in third) == [9]
 
 
+class TestReplaceRows:
+    """Edge cases of the trusted bulk update behind the zero-copy Qc probe."""
+
+    def test_replace_rows_swaps_the_row_set(self, poi_relation):
+        poi_relation.replace_rows({("louvre", "museum", 17)})
+        assert poi_relation.rows() == frozenset({("louvre", "museum", 17)})
+
+    def test_replace_with_identical_rows_still_bumps_the_version(self, poi_relation):
+        """replace_rows cannot inspect the new rows cheaply, so it must assume
+        a change — even a no-op swap participates in the invalidation contract."""
+        version = poi_relation.version
+        poi_relation.replace_rows(set(poi_relation.rows()))
+        assert poi_relation.version == version + 1
+
+    def test_replace_rows_drops_indexes(self, poi_relation):
+        poi_relation.index_on((1,))
+        assert poi_relation.indexed_position_sets() == ((1,),)
+        poi_relation.replace_rows(set(poi_relation.rows()))
+        assert poi_relation.indexed_position_sets() == ()
+
+    def test_replace_rows_with_empty_set(self, poi_relation):
+        version = poi_relation.version
+        poi_relation.replace_rows(())
+        assert len(poi_relation) == 0
+        assert poi_relation.version == version + 1
+
+    def test_oracle_observes_replace_rows_invalidation(self):
+        """The compatibility oracle must treat replace_rows like any mutation."""
+        from repro.core.compatibility import CompatibilityOracle, PredicateConstraint
+        from repro.core.packages import Package
+
+        database = Database()
+        allowed = database.create_relation("allowed", ["iid"], [(1,)])
+        items = database.create_relation("items", ["iid"], [(1,), (2,)])
+
+        def predicate(package, db):
+            rows = db.relation("allowed").rows()
+            return all(item in rows for item in package.items)
+
+        oracle = CompatibilityOracle(
+            PredicateConstraint(predicate, "items allowed", relations=("allowed",)),
+            database,
+        )
+        package = Package(items.schema, [(1,)])
+        assert oracle.is_satisfied(package) is True
+        allowed.replace_rows(set())  # same API the zero-copy Qc probe uses
+        assert oracle.is_satisfied(package) is False  # stale verdict not served
+        allowed.replace_rows({(1,)})
+        assert oracle.is_satisfied(package) is True
+
+    def test_replace_rows_on_untouched_relation_retains_footprint_verdicts(self):
+        """replace_rows on a relation outside the footprint keeps the cache."""
+        from repro.core.compatibility import CompatibilityOracle, PredicateConstraint
+        from repro.core.packages import Package
+
+        database = Database()
+        database.create_relation("allowed", ["iid"], [(1,)])
+        other = database.create_relation("other", ["x"], [(9,)])
+        items = database.create_relation("items", ["iid"], [(1,)])
+        constraint = PredicateConstraint(
+            lambda package, db: True, "package-only", relations=()
+        )
+        oracle = CompatibilityOracle(constraint, database)
+        oracle.is_satisfied(Package(items.schema, [(1,)]))
+        assert oracle.cache_info()["size"] == 1
+        other.replace_rows({(7,)})
+        oracle.is_satisfied(Package(items.schema, [(1,)]))
+        assert oracle.hits == 1  # served from the retained cache
+        assert oracle.retentions == 1
+
+
+class TestApplyDelta:
+    def test_apply_and_undo_roundtrip(self):
+        database = Database()
+        shop = database.create_relation("shop", ["name"], [("alpha",), ("beta",)])
+        token = database.apply_delta(
+            [("insert", "shop", ("gamma",)), ("delete", "shop", ("alpha",))]
+        )
+        assert shop.rows() == frozenset({("beta",), ("gamma",)})
+        assert len(token) == 2
+        token.undo()
+        assert shop.rows() == frozenset({("alpha",), ("beta",)})
+        token.undo()  # idempotent
+        assert shop.rows() == frozenset({("alpha",), ("beta",)})
+
+    def test_noop_modifications_are_not_recorded(self):
+        database = Database()
+        shop = database.create_relation("shop", ["name"], [("alpha",)])
+        token = database.apply_delta(
+            [("insert", "shop", ("alpha",)), ("delete", "shop", ("zeta",))]
+        )
+        assert token.effective == ()
+        token.undo()
+        assert shop.rows() == frozenset({("alpha",)})
+
+    def test_context_manager_undoes_on_exit(self):
+        database = Database()
+        shop = database.create_relation("shop", ["name"], [("alpha",)])
+        with database.apply_delta([("insert", "shop", ("gamma",))]):
+            assert ("gamma",) in shop
+        assert ("gamma",) not in shop
+
+    def test_only_touched_relations_bump_their_version(self):
+        database = Database()
+        a = database.create_relation("a", ["x"], [(1,)])
+        b = database.create_relation("b", ["y"], [(2,)])
+        b_version = b.version
+        token = database.apply_delta([("insert", "a", (5,))])
+        assert b.version == b_version
+        token.undo()
+        assert b.version == b_version
+
+    def test_invalid_row_raises_model_error_before_any_change(self):
+        from repro.relational.errors import ModelError
+
+        database = Database()
+        shop = database.create_relation("shop", ["name", "city"], [("alpha", "nyc")])
+        with pytest.raises(ModelError, match="invalid insert into relation 'shop'"):
+            database.apply_delta(
+                [("insert", "shop", ("gamma", "sfo")), ("insert", "shop", ("bad",))]
+            )
+        # validation is up front: the valid first modification was not applied
+        assert shop.rows() == frozenset({("alpha", "nyc")})
+
+    def test_unknown_relation_and_kind_rejected(self):
+        from repro.relational.errors import ModelError
+
+        database = Database()
+        database.create_relation("shop", ["name"])
+        with pytest.raises(UnknownRelationError):
+            database.apply_delta([("insert", "nowhere", ("x",))])
+        with pytest.raises(ModelError, match="unknown modification kind"):
+            database.apply_delta([("rename", "shop", ("x",))])
+
+
 class TestDatabaseVersion:
     def test_version_snapshots_change_on_mutation(self):
         database = Database()
