@@ -12,9 +12,18 @@ whole relations per atom.  These benchmarks quantify what the join planner of
 
 ``test_planned_beats_naive_by_5x_at_largest_size`` is the acceptance gate: at
 the largest sweep size the planned path must be at least 5x faster wall-clock
-than the naive path while returning the identical answer multiset.
+than the naive path while returning the identical answer multiset, and it
+records the whole sweep to ``BENCH_evaluator.json`` so the perf trajectory is
+tracked across PRs.
+
+Run stand-alone for the machine-readable report::
+
+    PYTHONPATH=src python benchmarks/bench_evaluator.py --json
 """
 
+import argparse
+import json
+import pathlib
 import time
 from dataclasses import replace
 
@@ -32,6 +41,9 @@ from repro.workloads.synthetic import (
 # count for the length-3 chain query, the planned path near-linear.
 GRAPH_SWEEP = [(40, 160), (80, 320), (160, 640)]
 PATH_LENGTH = 3
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_PATH = _REPO_ROOT / "BENCH_evaluator.json"
 
 
 def _graph(nodes: int, edges: int):
@@ -67,10 +79,8 @@ def test_naive_chain_query(benchmark, annotate, nodes, edges):
     assert result
 
 
-@pytest.mark.bench_full  # wall-clock assertion at the largest size: not a smoke test
-def test_planned_beats_naive_by_5x_at_largest_size(record_property):
-    """Acceptance gate: ≥5x wall-clock speedup at the largest sweep size."""
-    nodes, edges = GRAPH_SWEEP[-1]
+def _measure_pair(nodes, edges, repeats: int = 3):
+    """Time the naive and the planned path on one sweep size."""
     database = _graph(nodes, edges)
     query = path_query(PATH_LENGTH)
 
@@ -79,21 +89,55 @@ def test_planned_beats_naive_by_5x_at_largest_size(record_property):
     naive_seconds = time.perf_counter() - start
 
     planned_seconds = float("inf")
-    for _ in range(3):  # best-of-3 to shield the fast path from scheduler noise
+    planned = None
+    for _ in range(repeats):  # best-of-N shields the fast path from scheduler noise
         start = time.perf_counter()
         planned = _bindings(enumerate_bindings, database, query)
         planned_seconds = min(planned_seconds, time.perf_counter() - start)
 
-    assert planned == naive
-    speedup = naive_seconds / planned_seconds
-    record_property("nodes", nodes)
-    record_property("edges", edges)
-    record_property("naive_seconds", round(naive_seconds, 4))
-    record_property("planned_seconds", round(planned_seconds, 4))
-    record_property("speedup", round(speedup, 1))
+    return {
+        "nodes": nodes,
+        "edges": edges,
+        "naive_seconds": round(naive_seconds, 6),
+        "planned_seconds": round(planned_seconds, 6),
+        "speedup": round(naive_seconds / planned_seconds, 2),
+        "identical_results": planned == naive,
+    }
+
+
+def run_sweep(sizes=tuple(GRAPH_SWEEP)):
+    """Measure every sweep size and assemble the machine-readable report."""
+    results = [_measure_pair(*size) for size in sizes]
+    return {
+        "benchmark": "evaluator",
+        "workload": f"length-{PATH_LENGTH} chain query over random graphs, "
+        "planned (indexed) vs naive (full scans)",
+        "sizes": [list(size) for size in sizes],
+        "results": results,
+        "speedup_at_largest": results[-1]["speedup"],
+    }
+
+
+def write_report(report, path=RESULTS_PATH):
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+@pytest.mark.bench_full  # wall-clock assertion at the largest size: not a smoke test
+def test_planned_beats_naive_by_5x_at_largest_size(record_property):
+    """Acceptance gate: ≥5x wall-clock speedup at the largest sweep size."""
+    report = run_sweep()
+    write_report(report)
+    largest = report["results"][-1]
+    for key, value in largest.items():
+        record_property(key, value)
+    assert all(row["identical_results"] for row in report["results"]), (
+        "planned and naive answers diverged"
+    )
+    speedup = largest["speedup"]
     assert speedup >= 5.0, (
         f"planned path only {speedup:.1f}x faster than naive "
-        f"({planned_seconds:.3f}s vs {naive_seconds:.3f}s)"
+        f"({largest['planned_seconds']:.3f}s vs {largest['naive_seconds']:.3f}s)"
     )
 
 
@@ -123,3 +167,28 @@ def test_top_k_without_compatibility_cache(benchmark, annotate, num_items):
     assert result.found
     # Byte-identical answers regardless of caching.
     assert result.ratings == compute_top_k(base).ratings
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help=f"write the machine-readable sweep report to {RESULTS_PATH.name}",
+    )
+    args = parser.parse_args()
+    report = run_sweep()
+    for row in report["results"]:
+        print(
+            f"chain n={row['nodes']:>3} e={row['edges']:>4}  "
+            f"naive={row['naive_seconds']:.4f}s  planned={row['planned_seconds']:.4f}s  "
+            f"speedup={row['speedup']:.1f}x  identical={row['identical_results']}"
+        )
+    print(f"speedup at largest size: {report['speedup_at_largest']:.1f}x")
+    if args.json:
+        path = write_report(report)
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,10 +20,24 @@ that finishes in seconds.
 """
 
 import pathlib
+import re
 
 import pytest
 
 _BENCH_DIR = pathlib.Path(__file__).parent.resolve()
+
+#: Convention: a benchmark module that writes a machine-readable
+#: ``BENCH_*.json`` report declares its target as ``RESULTS_PATH``.
+_RESULTS_PATH_PATTERN = re.compile(r"^RESULTS_PATH\s*=.*BENCH_\w+\.json", re.MULTILINE)
+
+
+def _bench_report_writers():
+    """The ``bench_*.py`` modules that write a ``BENCH_*.json`` report."""
+    return {
+        path.resolve()
+        for path in _BENCH_DIR.glob("bench_*.py")
+        if _RESULTS_PATH_PATTERN.search(path.read_text(encoding="utf-8"))
+    }
 
 
 def pytest_configure(config):
@@ -48,16 +62,24 @@ def pytest_collection_modifyitems(config, items):
     and suppress the automatic one for that function; ``bench_full`` opts a
     test out entirely (full-size runs and wall-clock assertions that would be
     flaky on a loaded smoke runner).
+
+    After marking, every collected module that writes a ``BENCH_*.json``
+    report (it defines a ``RESULTS_PATH``) must carry at least one
+    ``bench_smoke`` item — otherwise CI's smoke pass could no longer catch
+    that module rotting, and the cross-PR perf tracking would silently stop.
     """
     chosen = {}
     explicit = set()
+    collected_modules = set()
     for item in items:
         try:
-            in_benchmarks = _BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents
+            module_path = pathlib.Path(str(item.fspath)).resolve()
+            in_benchmarks = _BENCH_DIR in module_path.parents
         except OSError:  # pragma: no cover - exotic collection sources
-            in_benchmarks = False
+            continue
         if not in_benchmarks:
             continue
+        collected_modules.add(module_path)
         if item.get_closest_marker("bench_full"):
             continue
         base = item.nodeid.split("[", 1)[0]
@@ -68,6 +90,29 @@ def pytest_collection_modifyitems(config, items):
     for base, item in chosen.items():
         if base not in explicit:
             item.add_marker(pytest.mark.bench_smoke)
+
+    smoke_modules = {
+        pathlib.Path(str(item.fspath)).resolve()
+        for item in items
+        if item.get_closest_marker("bench_smoke")
+    }
+    # A module addressed by a single ``::node`` id collects only that test, so
+    # its smoke coverage cannot be judged from this partial collection.
+    partially_collected = {
+        pathlib.Path(arg.split("::", 1)[0]).resolve()
+        for arg in config.args
+        if "::" in arg
+    }
+    uncovered = sorted(
+        path.name
+        for path in _bench_report_writers() & collected_modules - partially_collected
+        if path not in smoke_modules
+    )
+    if uncovered:
+        raise pytest.UsageError(
+            "benchmark modules write a BENCH_*.json report but have no "
+            f"bench_smoke-covered test: {', '.join(uncovered)}"
+        )
 
 
 @pytest.fixture

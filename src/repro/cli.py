@@ -17,6 +17,12 @@ Four small commands expose the library's deliverables without writing code:
     Run one of the bundled example scripts (quickstart, travel_planning,
     course_packages, team_formation, query_relaxation, adjustment,
     query_languages, complexity_tables) by importing and calling its ``main``.
+
+``python -m repro explain QUERY``
+    Compile a workload query against its synthetic database and print the
+    cost-based :class:`~repro.queries.plan.JoinPlan` — atom order, probe
+    kinds (hash / range / scan), comparison schedule and the semi-join
+    verdict — plus the statistics the planner costed it with.
 """
 
 from __future__ import annotations
@@ -28,6 +34,10 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro import __version__
+
+
+#: Workload queries ``repro explain`` can compile and describe.
+EXPLAIN_QUERIES = ("path2", "path3", "items", "items_under_30")
 
 
 #: Example scripts shipped under ``examples/`` that ``repro example`` can run.
@@ -85,6 +95,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     example = commands.add_parser("example", help="run one of the bundled example scripts")
     example.add_argument("name", choices=EXAMPLE_NAMES, help="which example to run")
+
+    explain = commands.add_parser(
+        "explain", help="print the compiled join plan for a workload query"
+    )
+    explain.add_argument(
+        "query", choices=EXPLAIN_QUERIES, help="which workload query to compile"
+    )
+    explain.add_argument(
+        "--seed", type=int, default=7, help="seed for the synthetic database"
+    )
+    explain.add_argument(
+        "--no-statistics",
+        action="store_true",
+        help="compile with the statistics-blind fallback order instead",
+    )
 
     return parser
 
@@ -214,6 +239,43 @@ def _command_example(name: str) -> int:
     return 0
 
 
+def _command_explain(query_name: str, seed: int, no_statistics: bool) -> int:
+    from repro.queries.plan import plan_conjunction
+    from repro.workloads.synthetic import (
+        item_selection_query,
+        path_query,
+        random_graph_database,
+        random_item_database,
+    )
+
+    if query_name in ("path2", "path3"):
+        length = int(query_name[-1])
+        database = random_graph_database(60, 180, seed=seed)
+        query = path_query(length)
+    else:
+        database = random_item_database(200, seed=seed)
+        max_price = 30 if query_name == "items_under_30" else None
+        query = item_selection_query(max_price).to_cq()
+
+    statistics = None
+    if not no_statistics:
+        statistics = {
+            atom.relation: database.relation(atom.relation).statistics()
+            for atom in query.atoms
+        }
+    plan = plan_conjunction(query.atoms, query.comparisons, statistics=statistics)
+
+    print(f"query: {query}")
+    for name in sorted({atom.relation for atom in query.atoms}):
+        stats = database.relation(name).statistics()
+        distinct = ", ".join(str(count) for count in stats.distinct_counts)
+        print(f"relation {name}: {stats.cardinality} rows, distinct per position [{distinct}]")
+    mode = "statistics-blind fallback order" if no_statistics else "cost-based order"
+    print(f"plan ({mode}):")
+    print(plan.describe())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
     parser = build_parser()
@@ -229,6 +291,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_experiments(args.output, args.full, args.only, args.stdout)
     if args.command == "example":
         return _command_example(args.name)
+    if args.command == "explain":
+        return _command_explain(args.query, args.seed, args.no_statistics)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
     return 2  # pragma: no cover
 

@@ -742,16 +742,17 @@ def enumerate_valid_packages_reference(
     candidate_items: Optional[Relation] = None,
     max_candidates: Optional[int] = None,
 ) -> Iterator[Package]:
-    """The historical recursive enumerator, byte-for-byte pre-engine semantics.
+    """The historical recursive enumerator, pre-engine node-by-node semantics.
 
     Every node pays a validating :class:`Package` construction, a from-scratch
     ``cost``/``val`` evaluation, a second compatibility probe inside
-    ``is_valid_package`` and the ``N ⊆ Q(D)`` membership scan.  Items are
-    ordered by ``repr`` exactly as before the engine, so any order-dependence
-    in a caller would surface as a differential failure.
+    ``is_valid_package`` and the ``N ⊆ Q(D)`` membership scan.  Items follow
+    the same typed :func:`~repro.relational.ordering.row_sort_key` order as
+    the engine, so the differential suite compares the two traversals
+    node-for-node without repr-collision ambiguity.
     """
     answers = candidate_items if candidate_items is not None else problem.candidate_items()
-    items: Tuple[Row, ...] = tuple(sorted(answers.rows(), key=repr))
+    items: Tuple[Row, ...] = tuple(sorted(answers.rows(), key=row_sort_key))
     schema = problem.query.output_schema()
     limit = min(problem.max_package_size(), len(items))
     excluded: FrozenSet[Package] = frozenset(exclude)

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Type
 
-from repro.queries.ast import RelationAtom, Term, Var
+from repro.queries.ast import ComparisonOp, RelationAtom, Term, Var
 from repro.queries.base import Query
 from repro.queries.bindings import (
     _match_atom_against_row,
@@ -187,6 +187,31 @@ class _PreStateView:
             extra[p] == value for p, value in zip(positions, values)
         ):
             rows = rows + (extra,)
+        return rows
+
+    def range_rows(self, position, op_symbol, bound) -> Optional[Tuple[Row, ...]]:
+        """Range probes delegate to the live relation's sorted index.
+
+        The one-row adjustment mirrors :meth:`probe`; when the extra row's
+        value cannot be compared against the bound the whole probe declines
+        (returns ``None``) so the executor falls back to the scan, which
+        raises exactly as the reference path would.
+        """
+        rows = self.base.range_rows(position, op_symbol, bound)
+        if rows is None:
+            return None
+        if self.removed_row is not None and self.removed_row in rows:
+            rows = tuple(row for row in rows if row != self.removed_row)
+        extra = self.extra_row
+        if extra is not None:
+            try:
+                satisfied = ComparisonOp.from_symbol(op_symbol).apply(
+                    extra[position], bound
+                )
+            except TypeError:
+                return None
+            if satisfied:
+                rows = rows + (extra,)
         return rows
 
 

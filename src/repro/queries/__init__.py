@@ -36,7 +36,15 @@ from repro.queries.languages import (
 )
 from repro.queries.membership import answer_size, is_empty, is_member
 from repro.queries.parser import parse_cq, parse_program, parse_rule
-from repro.queries.plan import JoinPlan, PlannedAtom, plan_conjunction
+from repro.queries.plan import (
+    JoinPlan,
+    PlannedAtom,
+    PlannedRange,
+    cached_plan,
+    clear_plan_cache,
+    plan_cache_info,
+    plan_conjunction,
+)
 from repro.queries.sp import SPQuery, identity_query, identity_query_for
 from repro.queries.ucq import UnionOfConjunctiveQueries
 
@@ -58,6 +66,7 @@ __all__ = [
     "Formula",
     "JoinPlan",
     "PlannedAtom",
+    "PlannedRange",
     "NonRecursiveDatalogProgram",
     "Not",
     "Or",
@@ -71,11 +80,14 @@ __all__ = [
     "UnionOfConjunctiveQueries",
     "Var",
     "answer_size",
+    "cached_plan",
     "classify_query",
+    "clear_plan_cache",
     "cq_from_formula",
     "enumerate_bindings",
     "enumerate_bindings_naive",
     "free_variables",
+    "plan_cache_info",
     "plan_conjunction",
     "identity_query",
     "identity_query_for",

@@ -9,14 +9,22 @@ Two evaluation paths are provided and kept semantically identical:
 
 * :func:`enumerate_bindings` — the production path.  It compiles the
   conjunction into a :class:`~repro.queries.plan.JoinPlan` (see
-  :mod:`repro.queries.plan`): atoms are ordered most-constrained-first, and a
-  step whose atom carries constants or already-bound variables runs as a hash
+  :mod:`repro.queries.plan`): atoms are ordered by estimated cost when the
+  relations supply statistics (most-constrained-first otherwise), and a step
+  whose atom carries constants or already-bound variables runs as a hash
   *index probe* against the relation's lazy index
-  (:meth:`repro.relational.database.Relation.probe`) instead of a full scan.
-  Only rows returned by the probe are considered — and ticked — so the
-  tractable fragments of the paper (SP/CQ decision variants) run in the low
-  polynomial time their upper bounds promise instead of re-scanning whole
-  relations per atom.
+  (:meth:`repro.relational.database.Relation.probe`) instead of a full scan;
+  a scan step with a ground one-sided comparison runs as a sorted-index
+  *range probe* (:meth:`repro.relational.database.Relation.range_rows`), and
+  for acyclic conjunctions whose statistics predict a large intermediate
+  result a Yannakakis semi-join reduction prunes dangling tuples before the
+  join runs.  Only rows surfaced by the access path are considered — and
+  ticked — so the tractable fragments of the paper (SP/CQ decision variants)
+  run in the low polynomial time their upper bounds promise instead of
+  re-scanning whole relations per atom.  Compiled plans are served from the
+  plan cache (:func:`~repro.queries.plan.cached_plan`), keyed on the
+  conjunction plus the statistics snapshot, so repeated probes of one query
+  stop re-planning.
 
 * :func:`enumerate_bindings_naive` — the historical backtracking search,
   retained as the reference implementation.  It chooses atoms dynamically and
@@ -31,9 +39,9 @@ only surfaces rows that match the bound positions, the planned path ticks at
 most as often as the naive one — and exactly as often when no index applies
 (no constants and no bound variables), which the planner tests pin down.
 
-**Extending the evaluator with a new access path** (e.g. sorted indexes for
-range predicates, or a worst-case-optimal multiway step): add the new probe
-kind to :class:`~repro.queries.plan.PlannedAtom`, emit it in
+**Extending the evaluator with a new access path** (e.g. a worst-case-optimal
+multiway step): add the new probe kind to
+:class:`~repro.queries.plan.PlannedAtom`, emit it in
 :func:`~repro.queries.plan.plan_conjunction`, and add the corresponding
 ``rows`` selection branch in the executor below.  The differential suite then
 checks the new path against the naive reference for free.
@@ -41,11 +49,11 @@ checks the new path against the naive reference for free.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from repro.queries.ast import Comparison, Const, RelationAtom, Term
-from repro.queries.plan import JoinPlan, most_constrained_index, plan_conjunction
-from repro.relational.database import Database, Relation
+from repro.queries.ast import Comparison, Const, RelationAtom, Term, Var
+from repro.queries.plan import JoinPlan, cached_plan, most_constrained_index
+from repro.relational.database import Database, Relation, Row
 from repro.relational.errors import EvaluationError
 from repro.relational.schema import Value
 
@@ -132,6 +140,70 @@ def _unsafe_comparison_error(
     )
 
 
+def _semijoin_reduce(
+    lookup, plan: JoinPlan, binding: Binding
+) -> Tuple[Dict[int, Tuple[Row, ...]], Dict[int, FrozenSet[Row]], Dict[int, Dict]]:
+    """The two Yannakakis semi-join passes over the plan's join tree.
+
+    Materialises, per step, the rows matching the atom under the initial
+    binding, then filters dangling rows bottom-up (parent ⋉ child, in
+    ear-removal order) and top-down (child ⋉ parent, in reverse).  The result
+    is a superset of every row that participates in some answer — scan steps
+    iterate it instead of the relation, probe steps probe an ephemeral hash
+    index over it (built here, so per-node work stays proportional to the
+    *reduced* matches), range steps intersect with it.
+    """
+    steps = plan.steps
+    rows_per_step: List[List[Row]] = []
+    var_positions: List[Dict[str, int]] = []
+    for step in steps:
+        relation = lookup(step.atom.relation)
+        rows_per_step.append(
+            [
+                row
+                for row in relation
+                if _match_atom_against_row(step.atom, row, binding) is not None
+            ]
+        )
+        positions: Dict[str, int] = {}
+        for position, term in enumerate(step.atom.terms):
+            if isinstance(term, Var) and term.name not in positions:
+                positions[term.name] = position
+        var_positions.append(positions)
+
+    def semijoin(target: int, source: int, shared: Tuple[str, ...]) -> None:
+        source_positions = var_positions[source]
+        target_positions = var_positions[target]
+        keys = {
+            tuple(row[source_positions[name]] for name in shared)
+            for row in rows_per_step[source]
+        }
+        rows_per_step[target] = [
+            row
+            for row in rows_per_step[target]
+            if tuple(row[target_positions[name]] for name in shared) in keys
+        ]
+
+    for child, parent, shared in plan.semijoin_tree:  # bottom-up: parent ⋉ child
+        if parent >= 0 and shared:
+            semijoin(parent, child, shared)
+    for child, parent, shared in reversed(plan.semijoin_tree):  # top-down: child ⋉ parent
+        if parent >= 0 and shared:
+            semijoin(child, parent, shared)
+    reduced_rows = {index: tuple(rows) for index, rows in enumerate(rows_per_step)}
+    reduced_sets = {index: frozenset(rows) for index, rows in enumerate(rows_per_step)}
+    reduced_probes: Dict[int, Dict] = {}
+    for index, step in enumerate(steps):
+        if not step.probe_positions:
+            continue
+        buckets: Dict[Tuple[Value, ...], Tuple[Row, ...]] = {}
+        for row in rows_per_step[index]:
+            key = tuple(row[position] for position in step.probe_positions)
+            buckets[key] = buckets.get(key, ()) + (row,)
+        reduced_probes[index] = buckets
+    return reduced_rows, reduced_sets, reduced_probes
+
+
 def enumerate_bindings(
     database: Database,
     relation_atoms: Sequence[RelationAtom],
@@ -140,6 +212,10 @@ def enumerate_bindings(
     counter: Optional[StepCounter] = None,
     extra_relations: Optional[Mapping[str, Relation]] = None,
     plan: Optional[JoinPlan] = None,
+    *,
+    use_statistics: Optional[bool] = None,
+    use_semijoin: Optional[bool] = None,
+    use_range_probes: Optional[bool] = None,
 ) -> Iterator[Binding]:
     """Yield every binding satisfying all atoms, via an indexed join plan.
 
@@ -160,9 +236,24 @@ def enumerate_bindings(
         checks).
     plan:
         A precompiled :class:`~repro.queries.plan.JoinPlan` for this
-        conjunction.  When omitted, one is compiled here; callers evaluating
-        the same conjunction with the same pre-bound variable *names* many
-        times may compile once and pass it in.
+        conjunction.  When omitted, one is served from the plan cache, costed
+        with the relations' current statistics; callers evaluating the same
+        conjunction with the same pre-bound variable *names* many times may
+        compile once and pass it in.
+    use_statistics, use_semijoin, use_range_probes:
+        Differential/benchmark axes.  ``None`` (the default) means automatic:
+        statistics are gathered when every relation provides them, range
+        probes are compiled, and the semi-join reduction follows the
+        planner's cost-based verdict (suppressed under an ``initial_binding``
+        — the delta rules' seeded evaluations must stay O(|Δ|), never
+        O(|D|)).  ``False`` disables an axis outright (all three ``False``
+        reproduces the statistics-blind PR 1 planner); ``use_semijoin=True``
+        forces the reduction whenever the conjunction is acyclic.  None of
+        the axes can change answers, only cost — the differential suite pins
+        this.  (On malformed data with ``TypeError``-raising mixed-type
+        comparisons the surfaced error may differ by axis, since join order
+        and semi-join pruning decide which rows ever reach a comparison; see
+        :mod:`repro.queries.plan`.)
     """
     extra_relations = extra_relations or {}
 
@@ -177,9 +268,36 @@ def enumerate_bindings(
 
     base_binding: Binding = dict(initial_binding or {})
     if plan is None:
-        plan = plan_conjunction(relation_atoms, comparisons, frozenset(base_binding))
+        statistics = None
+        if use_statistics is not False:
+            statistics = {}
+            for atom in relation_atoms:
+                getter = getattr(lookup(atom.relation), "statistics", None)
+                if getter is None:
+                    statistics = None
+                    break
+                statistics[atom.relation] = getter()
+        plan = cached_plan(
+            tuple(relation_atoms),
+            tuple(comparisons),
+            frozenset(base_binding),
+            statistics=statistics,
+            compile_ranges=use_range_probes is not False,
+        )
     planned_comparisons = plan.comparisons
     steps = plan.steps
+
+    if use_semijoin is None:
+        run_semijoin = plan.run_semijoin and not base_binding
+    else:
+        run_semijoin = use_semijoin
+    reduced_rows: Optional[Dict[int, Tuple[Row, ...]]] = None
+    reduced_sets: Optional[Dict[int, FrozenSet[Row]]] = None
+    reduced_probes: Optional[Dict[int, Dict]] = None
+    if run_semijoin and plan.semijoin_tree:
+        reduced_rows, reduced_sets, reduced_probes = _semijoin_reduce(
+            lookup, plan, base_binding
+        )
 
     def execute(depth: int, binding: Binding) -> Iterator[Binding]:
         if counter is not None:
@@ -196,15 +314,38 @@ def enumerate_bindings(
         step = steps[depth]
         relation = lookup(step.atom.relation)
         if step.uses_index:
-            rows: Iterable[Tuple[Value, ...]] = relation.probe(
-                step.probe_positions, step.probe_key(binding)
+            if reduced_probes is not None:
+                rows: Iterable[Tuple[Value, ...]] = reduced_probes[depth].get(
+                    step.probe_key(binding), ()
+                )
+            else:
+                rows = relation.probe(step.probe_positions, step.probe_key(binding))
+        elif step.range_probe is not None:
+            probe = step.range_probe
+            range_rows = getattr(relation, "range_rows", None)
+            ranged = (
+                range_rows(probe.position, probe.op.value, probe.bound_value(binding))
+                if range_rows is not None
+                else None
             )
+            if ranged is None:
+                # The sorted index cannot answer exactly: fall back to the scan
+                # (or its semi-join-reduced row set), preserving semantics.
+                rows = reduced_rows[depth] if reduced_rows is not None else relation
+            elif reduced_sets is not None:
+                keep = reduced_sets[depth]
+                rows = tuple(row for row in ranged if row in keep)
+            else:
+                rows = ranged
+        elif reduced_rows is not None:
+            rows = reduced_rows[depth]
         else:
             rows = relation
         # A full scan iterates the live row set, so mutating the relation while
         # this generator is suspended raises the usual RuntimeError; the index
-        # probe iterates a frozen bucket, so check the version explicitly to
-        # fail just as loudly instead of mixing pre- and post-mutation states.
+        # probe (and any reduced/ranged row set) iterates a frozen sequence, so
+        # check the version explicitly to fail just as loudly instead of mixing
+        # pre- and post-mutation states.
         version = relation.version
         for row in rows:
             if relation.version != version:

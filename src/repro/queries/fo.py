@@ -38,6 +38,7 @@ from repro.queries.base import Query
 from repro.queries.bindings import StepCounter
 from repro.relational.database import Database, Relation, Row
 from repro.relational.errors import EvaluationError, QueryError
+from repro.relational.ordering import value_sort_key
 from repro.relational.schema import Value
 
 
@@ -89,7 +90,7 @@ class FirstOrderQuery(Query):
         if extra_relations:
             for relation in extra_relations.values():
                 domain |= relation.active_domain()
-        return tuple(sorted(domain, key=repr))
+        return tuple(sorted(domain, key=value_sort_key))
 
     def evaluate(
         self,

@@ -1,41 +1,127 @@
-"""Join planning for conjunctions of relation atoms.
+"""Cost-based join planning for conjunctions of relation atoms.
 
 The backtracking evaluator in :mod:`repro.queries.bindings` historically chose
 the next atom dynamically and scanned its whole relation at every node.  The
 key observation enabling a *static* plan is that after an atom is matched
 against a row, **all** of its variables are bound — so the set of bound
 variables at depth ``d`` of the search depends only on which atoms were chosen
-at depths ``< d``, never on which rows matched.  The dynamic
-most-constrained-first choice is therefore a function of the prefix alone and
-can be compiled once per evaluation:
+at depths ``< d``, never on which rows matched.  The atom order is therefore a
+function of the prefix alone and can be compiled once per evaluation:
 
-* :func:`plan_conjunction` orders the atoms greedily by the number of
-  already-resolved term positions (constants, initially-bound variables, and
-  variables bound by earlier atoms), exactly replicating the historical
-  dynamic order including its first-wins tie-break;
+* :func:`plan_conjunction` orders the atoms.  Given per-relation
+  :class:`~repro.relational.statistics.RelationStatistics` it picks, at every
+  depth, the atom with the lowest *estimated cost* — cardinality scaled by
+  ``1/distinct`` for every resolved position (the textbook independence
+  estimate) and by a constant selectivity for an applicable range predicate.
+  Without statistics it falls back to the historical most-constrained-first
+  greedy (resolved-position count, first-wins tie-break), exactly replicating
+  the naive evaluator's dynamic order.  Either order yields identical answers
+  — only cost may differ — which the differential suite proves across its
+  on/off axes.  One honest carve-out: on malformed data whose scheduled
+  comparisons are *partial* (a ``TypeError``-raising mixed-type column), which
+  rows ever reach a comparison depends on the join order and on semi-join
+  pruning, so a reordered or reduced plan may complete where the historical
+  order raises (the access paths themselves never widen this: a range probe
+  declines rather than filter where the scan would raise).  Answers on
+  well-typed data are always identical;
 * each :class:`PlannedAtom` records which term positions are resolved when the
   atom runs.  Positions holding constants or bound variables become *probe
   positions*: at runtime the executor asks the relation's lazy hash index
   (:meth:`repro.relational.database.Relation.probe`) for exactly the matching
   rows instead of scanning the relation;
+* a step with no probe positions but a *ground one-sided comparison* on one of
+  the variables it binds (``price < 30`` with ``30`` a constant or an
+  already-bound variable) carries a :class:`PlannedRange`: the executor
+  answers it through the relation's sorted index
+  (:meth:`repro.relational.database.Relation.range_rows`) with two bisections
+  instead of a scan.  The comparison stays in the schedule — the range probe
+  is purely an access path, so semantics never depend on it;
 * comparisons are scheduled at the earliest depth at which all their variables
   are bound (again a static property), and comparisons whose variables are
   bound by no atom are flagged so the executor can reject the unsafe query
-  with the same error as the naive evaluator.
+  with the same error as the naive evaluator;
+* for *acyclic* conjunctions the planner attaches a join tree
+  (:attr:`JoinPlan.semijoin_tree`, computed by GYO ear removal) and, when the
+  statistics estimate a large intermediate result, sets
+  :attr:`JoinPlan.run_semijoin`: the executor then runs the two Yannakakis
+  semi-join passes to prune dangling tuples before the join proper.
 
-Adding a new access path (e.g. a sorted index for range comparisons) means
-extending :class:`PlannedAtom` with a new probe kind here and teaching the
-executor in :mod:`repro.queries.bindings` how to drive it; the planner's
-ordering and scheduling logic stay unchanged.
+Compiled plans are cached (:func:`cached_plan`) keyed on the conjunction, the
+pre-bound variable names and the statistics snapshot they were costed with —
+repeated solver probes of the same ``Qc`` against a database whose statistics
+have not drifted stop re-planning entirely.  A plan is semantically valid for
+*any* database (statistics only steer cost), so a cache hit can never change
+answers.
+
+**Adding a new access path** (a worst-case-optimal multiway step, a
+composite sorted index, ...): extend :class:`PlannedAtom` with the new probe
+kind, emit it here — teaching :func:`_estimated_cost` its selectivity so the
+ordering can favour it — and add the matching ``rows`` selection branch in
+:func:`repro.queries.bindings.enumerate_bindings`.  The access path must
+surface a *superset* of the matching rows (the executor re-checks every row
+against the atom and the comparison schedule), which is what lets the
+differential suite certify it against the naive reference for free.  If the
+path needs new maintained state on :class:`~repro.relational.database.Relation`
+follow the statistics contract: build lazily, maintain under point mutations,
+drop under bulk mutations.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
-from repro.queries.ast import Comparison, Const, RelationAtom, Term
+from repro.queries.ast import Comparison, ComparisonOp, Const, RelationAtom, Term, Var
 from repro.relational.schema import Value
+from repro.relational.statistics import RelationStatistics
+
+#: Assumed fraction of a relation a ground one-sided comparison retains when
+#: no histogram is available; only steers atom ordering, never answers.
+RANGE_SELECTIVITY = 0.3
+
+#: The semi-join reduction runs when the estimated largest intermediate result
+#: exceeds this multiple of the total rows the reduction passes must touch.
+SEMIJOIN_INTERMEDIATE_FACTOR = 4.0
+
+#: Comparison operators a sorted index can answer with a contiguous range.
+_RANGE_OPS = (
+    ComparisonOp.LT,
+    ComparisonOp.LE,
+    ComparisonOp.GT,
+    ComparisonOp.GE,
+    ComparisonOp.EQ,
+)
+
+
+@dataclass(frozen=True)
+class PlannedRange:
+    """A range access path: ``row[position] <op> term`` with ``term`` ground.
+
+    Normalised so the step's own variable is on the left; ``term`` is a
+    constant or a variable bound before the step runs.
+    """
+
+    position: int
+    op: ComparisonOp
+    term: Term
+
+    def bound_value(self, binding: Mapping[str, Value]) -> Value:
+        """The ground comparison bound under the current binding."""
+        return self.term.value if isinstance(self.term, Const) else binding[self.term.name]
+
+    def describe(self) -> str:
+        return f"[{self.position}] {self.op.value} {self.term}"
 
 
 @dataclass(frozen=True)
@@ -45,18 +131,21 @@ class PlannedAtom:
     ``probe_positions``/``probe_terms`` are the term positions (and the terms
     occupying them) whose values are known before the step runs — constants and
     variables bound earlier.  A non-empty probe means the executor uses a hash
-    index lookup; an empty probe means a full scan.  ``new_variables`` are the
-    variable names this step binds for the first time.
+    index lookup; with an empty probe, a non-``None`` ``range_probe`` means a
+    sorted-index range lookup, and otherwise the step is a full scan.
+    ``new_variables`` are the variable names this step binds for the first
+    time.
     """
 
     atom: RelationAtom
     probe_positions: Tuple[int, ...]
     probe_terms: Tuple[Term, ...]
     new_variables: Tuple[str, ...]
+    range_probe: Optional[PlannedRange] = None
 
     @property
     def uses_index(self) -> bool:
-        """Whether this step runs as an index probe rather than a full scan."""
+        """Whether this step runs as a hash-index probe rather than a scan."""
         return bool(self.probe_positions)
 
     def probe_key(self, binding: Mapping[str, Value]) -> Tuple[Value, ...]:
@@ -67,12 +156,22 @@ class PlannedAtom:
         )
 
     def describe(self) -> str:
-        if not self.uses_index:
-            return f"scan {self.atom}"
-        probes = ", ".join(
-            f"{position}={term}" for position, term in zip(self.probe_positions, self.probe_terms)
-        )
-        return f"probe {self.atom} on [{probes}]"
+        if self.uses_index:
+            probes = ", ".join(
+                f"{position}={term}"
+                for position, term in zip(self.probe_positions, self.probe_terms)
+            )
+            return f"probe {self.atom} on [{probes}]"
+        if self.range_probe is not None:
+            return f"range {self.atom} on {self.range_probe.describe()}"
+        return f"scan {self.atom}"
+
+
+#: One edge of the semi-join tree: (child step index, parent step index,
+#: shared variable names).  A parent of ``-1`` marks the root of a connected
+#: component (no filtering edge).  Edges are listed in GYO ear-removal order,
+#: which is a valid bottom-up pass order for the Yannakakis reduction.
+SemiJoinEdge = Tuple[int, int, Tuple[str, ...]]
 
 
 @dataclass(frozen=True)
@@ -86,12 +185,19 @@ class JoinPlan:
     ``unresolved_comparisons`` are never ground — the executor raises the
     unsafe-query error when a complete binding is reached, matching the naive
     evaluator.
+
+    ``semijoin_tree`` is the GYO join tree when the conjunction is acyclic
+    (empty otherwise); ``run_semijoin`` is the planner's cost-based verdict on
+    whether the Yannakakis reduction passes are worth their scans.  The
+    executor may override the verdict but never the tree.
     """
 
     steps: Tuple[PlannedAtom, ...]
     comparisons: Tuple[Comparison, ...]
     comparison_schedule: Tuple[Tuple[int, ...], ...]
     unresolved_comparisons: Tuple[int, ...]
+    semijoin_tree: Tuple[SemiJoinEdge, ...] = ()
+    run_semijoin: bool = False
 
     def describe(self) -> str:
         """A textual rendering of the plan, one line per step."""
@@ -99,6 +205,13 @@ class JoinPlan:
         for depth, scheduled in enumerate(self.comparison_schedule):
             for index in scheduled:
                 lines.append(f"check {self.comparisons[index]} at depth {depth}")
+        if self.semijoin_tree:
+            state = "on" if self.run_semijoin else "off"
+            edges = ", ".join(
+                f"{child}→{parent}" if parent >= 0 else f"{child}→·"
+                for child, parent, _ in self.semijoin_tree
+            )
+            lines.append(f"semi-join reduction {state} (acyclic: {edges})")
         return "\n".join(lines) if lines else "empty plan"
 
 
@@ -125,21 +238,158 @@ def most_constrained_index(
     return best_index
 
 
+# ---------------------------------------------------------------------------
+# Range-probe detection
+# ---------------------------------------------------------------------------
+def _range_form(
+    atom: RelationAtom, bound: Set[str], comparison: Comparison
+) -> Optional[PlannedRange]:
+    """``comparison`` as a range probe for ``atom``, or ``None``.
+
+    Eligible when one side is a variable the atom binds for the first time and
+    the other side is ground before the step (a constant or a bound variable);
+    the operator is normalised so the atom's variable is on the left.
+    """
+    for var_side, ground_side, op in (
+        (comparison.left, comparison.right, comparison.op),
+        (comparison.right, comparison.left, comparison.op.flip()),
+    ):
+        if not isinstance(var_side, Var) or var_side.name in bound:
+            continue
+        if isinstance(ground_side, Var) and ground_side.name not in bound:
+            continue
+        if op not in _RANGE_OPS:
+            continue
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Var) and term.name == var_side.name:
+                return PlannedRange(position, op, ground_side)
+    return None
+
+
+def _first_range_form(
+    atom: RelationAtom, bound: Set[str], comparisons: Sequence[Comparison]
+) -> Optional[PlannedRange]:
+    for comparison in comparisons:
+        form = _range_form(atom, bound, comparison)
+        if form is not None:
+            return form
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Cost estimation
+# ---------------------------------------------------------------------------
+def _estimated_cost(
+    atom: RelationAtom,
+    bound: Set[str],
+    comparisons: Sequence[Comparison],
+    stats: RelationStatistics,
+) -> float:
+    """Estimated candidate rows the step surfaces (the executor's tick count).
+
+    Cardinality scaled by ``1/distinct`` per resolved position (independence
+    assumption); a scan with an applicable range predicate is credited the
+    flat :data:`RANGE_SELECTIVITY`.
+    """
+    estimate = float(stats.cardinality)
+    resolved = False
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Const) or (isinstance(term, Var) and term.name in bound):
+            estimate /= max(1, stats.distinct(position))
+            resolved = True
+    if not resolved and _first_range_form(atom, bound, comparisons) is not None:
+        estimate *= RANGE_SELECTIVITY
+    return estimate
+
+
+def _cheapest_index(
+    remaining: Sequence[RelationAtom],
+    bound: Set[str],
+    comparisons: Sequence[Comparison],
+    statistics: Mapping[str, RelationStatistics],
+) -> Tuple[int, float]:
+    """Index (and cost) of the cheapest remaining atom; first wins ties."""
+    best_index = 0
+    best_cost: Optional[float] = None
+    for index, atom in enumerate(remaining):
+        cost = _estimated_cost(atom, bound, comparisons, statistics[atom.relation])
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_index = index
+    assert best_cost is not None
+    return best_index, best_cost
+
+
+# ---------------------------------------------------------------------------
+# Acyclicity / join tree (GYO ear removal)
+# ---------------------------------------------------------------------------
+def _join_tree(
+    atoms: Sequence[RelationAtom], bound_variables: FrozenSet[str]
+) -> Optional[Tuple[SemiJoinEdge, ...]]:
+    """The GYO join tree over the atoms' free variables, or ``None`` if cyclic.
+
+    Initially-bound variables act as constants and drop out of the hypergraph.
+    Edges are returned in ear-removal order: each entry ``(child, parent,
+    shared)`` says the child atom hangs off ``parent`` via the shared variable
+    names (``parent == -1`` for the isolated root of a component).
+    """
+    var_sets = [
+        frozenset(v.name for v in atom.variables()) - bound_variables for atom in atoms
+    ]
+    alive = set(range(len(atoms)))
+    edges: List[SemiJoinEdge] = []
+    while len(alive) > 1:
+        ear: Optional[SemiJoinEdge] = None
+        for index in sorted(alive):
+            others = sorted(alive - {index})
+            shared = var_sets[index] & frozenset().union(*(var_sets[j] for j in others))
+            if not shared:
+                ear = (index, -1, ())
+                break
+            parent = next((j for j in others if shared <= var_sets[j]), None)
+            if parent is not None:
+                ear = (index, parent, tuple(sorted(shared)))
+                break
+        if ear is None:
+            return None  # no ear: the hypergraph is cyclic
+        edges.append(ear)
+        alive.discard(ear[0])
+    return tuple(edges)
+
+
+# ---------------------------------------------------------------------------
+# The planner
+# ---------------------------------------------------------------------------
 def plan_conjunction(
     relation_atoms: Iterable[RelationAtom],
     comparisons: Iterable[Comparison] = (),
     bound_variables: "FrozenSet[str] | Set[str]" = frozenset(),
+    statistics: Optional[Mapping[str, RelationStatistics]] = None,
+    compile_ranges: bool = True,
 ) -> JoinPlan:
     """Compile a conjunction of atoms into an ordered :class:`JoinPlan`.
 
     ``bound_variables`` are the names bound before the search starts (the
     evaluator's ``initial_binding``); their values participate in index probes
-    from the first step on.
+    from the first step on.  ``statistics`` maps relation names to
+    :class:`~repro.relational.statistics.RelationStatistics`; when present for
+    *every* atom it drives cost-based atom ordering and the semi-join verdict,
+    otherwise the historical most-constrained-first order is used wholesale.
+    ``compile_ranges=False`` suppresses range probes (the pre-statistics
+    planner, kept addressable for benchmarks and differential axes).
     """
     remaining: List[RelationAtom] = list(relation_atoms)
     comparisons = tuple(comparisons)
-    bound: Set[str] = set(bound_variables)
+    initially_bound = frozenset(bound_variables)
+    bound: Set[str] = set(initially_bound)
     scheduled: Set[int] = set()
+
+    costed = statistics is not None and all(
+        atom.relation in statistics for atom in remaining
+    )
+    total_rows = (
+        sum(statistics[atom.relation].cardinality for atom in remaining) if costed else 0
+    )
 
     def take_ready() -> Tuple[int, ...]:
         ready = tuple(
@@ -153,8 +403,16 @@ def plan_conjunction(
 
     schedule: List[Tuple[int, ...]] = [take_ready()]
     steps: List[PlannedAtom] = []
+    prefix = 1.0
+    max_intermediate = 0.0
     while remaining:
-        atom = remaining.pop(most_constrained_index(remaining, bound))
+        if costed:
+            choice, cost = _cheapest_index(remaining, bound, comparisons, statistics)
+            prefix *= max(cost, 1e-9)
+            max_intermediate = max(max_intermediate, prefix)
+        else:
+            choice = most_constrained_index(remaining, bound)
+        atom = remaining.pop(choice)
         probe_positions: List[int] = []
         probe_terms: List[Term] = []
         new_variables: List[str] = []
@@ -166,12 +424,115 @@ def plan_conjunction(
                 # A repeated unbound variable (e.g. R(x, x)) stays out of the
                 # probe; the executor's row matcher enforces the equality.
                 new_variables.append(term.name)
+        range_probe = None
+        if compile_ranges and not probe_positions:
+            range_probe = _first_range_form(atom, bound, comparisons)
         bound.update(new_variables)
         steps.append(
-            PlannedAtom(atom, tuple(probe_positions), tuple(probe_terms), tuple(new_variables))
+            PlannedAtom(
+                atom,
+                tuple(probe_positions),
+                tuple(probe_terms),
+                tuple(new_variables),
+                range_probe,
+            )
         )
         schedule.append(take_ready())
     unresolved = tuple(
         index for index in range(len(comparisons)) if index not in scheduled
     )
-    return JoinPlan(tuple(steps), comparisons, tuple(schedule), unresolved)
+    tree = _join_tree([step.atom for step in steps], initially_bound) if len(steps) > 1 else None
+    run_semijoin = bool(
+        tree
+        and costed
+        # A tree without a filtering edge (a cross product of components)
+        # cannot prune anything, so the reduction passes would be pure cost.
+        and any(parent >= 0 and shared for _, parent, shared in tree)
+        and max_intermediate > SEMIJOIN_INTERMEDIATE_FACTOR * max(total_rows, 1)
+    )
+    return JoinPlan(
+        tuple(steps),
+        comparisons,
+        tuple(schedule),
+        unresolved,
+        tree or (),
+        run_semijoin,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The plan cache
+# ---------------------------------------------------------------------------
+_PLAN_CACHE: "OrderedDict[tuple, JoinPlan]" = OrderedDict()
+_PLAN_CACHE_LIMIT = 1024
+_PLAN_CACHE_COUNTERS = {"hits": 0, "misses": 0}
+
+
+def _quantized_stats_key(stats: RelationStatistics) -> Tuple:
+    """A log2-bucketed rendering of a statistics snapshot, for cache keying.
+
+    Cost-based choices are stable under small cardinality drift, so keying
+    the cache on exact counts would turn every single-tuple delta — and every
+    ``Qc`` probe's answer-relation swap — into a miss.  Bucketing by bit
+    length replans only when a relation roughly doubles or halves; the cached
+    plan was costed with the first-seen exact statistics of its bucket, which
+    can only steer cost, never answers.
+    """
+    return (
+        stats.relation,
+        stats.cardinality.bit_length(),
+        tuple(count.bit_length() for count in stats.distinct_counts),
+    )
+
+
+def cached_plan(
+    relation_atoms: Tuple[RelationAtom, ...],
+    comparisons: Tuple[Comparison, ...],
+    bound_names: FrozenSet[str],
+    statistics: Optional[Mapping[str, RelationStatistics]] = None,
+    compile_ranges: bool = True,
+) -> JoinPlan:
+    """:func:`plan_conjunction` behind an LRU keyed on its semantic inputs.
+
+    The key includes a *quantized* statistics snapshot rather than a database
+    identity: repeated probes of one conjunction replan only when the
+    statistics drift across a power-of-two bucket, and identically-shaped
+    databases share plans.  Safe by construction — a compiled plan answers
+    correctly on any database; a stale or colliding entry can only cost time,
+    never answers.
+    """
+    stats_key = (
+        tuple(sorted(_quantized_stats_key(stats) for stats in statistics.values()))
+        if statistics is not None
+        else None
+    )
+    key = (relation_atoms, comparisons, bound_names, stats_key, compile_ranges)
+    plan = _PLAN_CACHE.get(key)
+    if plan is not None:
+        _PLAN_CACHE_COUNTERS["hits"] += 1
+        _PLAN_CACHE.move_to_end(key)
+        return plan
+    _PLAN_CACHE_COUNTERS["misses"] += 1
+    plan = plan_conjunction(
+        relation_atoms,
+        comparisons,
+        bound_names,
+        statistics=statistics,
+        compile_ranges=compile_ranges,
+    )
+    _PLAN_CACHE[key] = plan
+    if len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
+        _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+def plan_cache_info() -> Dict[str, int]:
+    """Hit/miss counters and current size of the plan cache (for tests)."""
+    return {**_PLAN_CACHE_COUNTERS, "size": len(_PLAN_CACHE)}
+
+
+def clear_plan_cache() -> None:
+    """Empty the plan cache and reset its counters."""
+    _PLAN_CACHE.clear()
+    _PLAN_CACHE_COUNTERS["hits"] = 0
+    _PLAN_CACHE_COUNTERS["misses"] = 0

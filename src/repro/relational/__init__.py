@@ -15,6 +15,7 @@ from repro.relational.errors import (
 )
 from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
 from repro.relational.database import AppliedDelta, Database, Relation
+from repro.relational.statistics import RelationStatistics, SortedPositionIndex
 from repro.relational.algebra import (
     cartesian_product,
     difference,
@@ -34,7 +35,9 @@ __all__ = [
     "IntegrityError",
     "Relation",
     "RelationSchema",
+    "RelationStatistics",
     "ReproError",
+    "SortedPositionIndex",
     "SchemaError",
     "UnknownAttributeError",
     "UnknownRelationError",

@@ -12,15 +12,21 @@ attribute positions, :meth:`Relation.index_on` builds (once) and caches a map
 from position-values to the rows carrying them, and :meth:`Relation.probe`
 answers point lookups through it.  The join planner in
 :mod:`repro.queries.plan` uses these indexes to turn full relation scans into
-hash probes whenever a variable is already bound.  Every mutation bumps the
-relation's :attr:`Relation.version`; point mutations (:meth:`Relation.add`,
-:meth:`Relation.discard`) additionally maintain the cached indexes *in place*
-— the delta-maintenance subsystem streams single-tuple updates, and paying an
-O(rows) index rebuild per update would defeat its O(|Δ|) budget — while bulk
-mutations (:meth:`Relation.clear`, :meth:`Relation.replace_rows`) drop them
-wholesale.  Either way a stale index can never serve a query; caches keyed on
-database contents (e.g. the compatibility oracle) compare
-:meth:`Database.version` snapshots to detect change.
+hash probes whenever a variable is already bound.  Two further lazy caches
+serve the cost-based planner: *sorted indexes*
+(:meth:`Relation.sorted_index_on` / :meth:`Relation.range_rows`) answer
+ground range predicates (``price < 30``) with bisections instead of scans,
+and *statistics* (:meth:`Relation.statistics`: cardinality plus per-position
+distinct counts) drive the planner's selectivity estimates.  Every mutation
+bumps the relation's :attr:`Relation.version`; point mutations
+(:meth:`Relation.add`, :meth:`Relation.discard`) additionally maintain all
+cached structures *in place* — the delta-maintenance subsystem streams
+single-tuple updates, and paying an O(rows) rebuild per update would defeat
+its O(|Δ|) budget — while bulk mutations (:meth:`Relation.clear`,
+:meth:`Relation.replace_rows`) drop them wholesale.  Either way a stale cache
+can never serve a query; caches keyed on database contents (e.g. the
+compatibility oracle) compare :meth:`Database.version` snapshots to detect
+change.
 
 :meth:`Database.apply_delta` is the in-place transaction primitive on top:
 apply a set of modifications, get back an :class:`AppliedDelta` undo token.
@@ -31,7 +37,9 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.relational.errors import IntegrityError, ModelError, SchemaError, UnknownRelationError
+from repro.relational.ordering import row_sort_key
 from repro.relational.schema import DatabaseSchema, RelationSchema, Value
+from repro.relational.statistics import RelationStatistics, SortedPositionIndex
 
 Row = Tuple[Value, ...]
 
@@ -95,12 +103,14 @@ class AppliedDelta:
 class Relation:
     """A finite set of tuples over a :class:`RelationSchema`."""
 
-    __slots__ = ("schema", "_rows", "_indexes", "_version")
+    __slots__ = ("schema", "_rows", "_indexes", "_sorted_indexes", "_stats", "_version")
 
     def __init__(self, schema: RelationSchema, rows: Iterable[Sequence[Value]] = ()) -> None:
         self.schema = schema
         self._rows: Set[Row] = set()
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Value, ...], Tuple[Row, ...]]] = {}
+        self._sorted_indexes: Dict[int, SortedPositionIndex] = {}
+        self._stats: Optional[list] = None
         self._version = 0
         for row in rows:
             self.add(row)
@@ -118,10 +128,13 @@ class Relation:
 
     # -- mutation -------------------------------------------------------------
     def _mutated(self) -> None:
-        """Record a bulk change to the row set: bump the version, drop indexes."""
+        """Record a bulk change to the row set: bump the version, drop caches."""
         self._version += 1
         if self._indexes:
             self._indexes.clear()
+        if self._sorted_indexes:
+            self._sorted_indexes.clear()
+        self._stats = None
 
     def _index_added_row(self, row: Row) -> None:
         """Fold one inserted row into every cached index (O(indexes), not O(rows))."""
@@ -139,6 +152,32 @@ class Relation:
             else:
                 index.pop(values, None)
 
+    def _caches_added_row(self, row: Row) -> None:
+        """Maintain every lazy cache in place after one point insertion."""
+        if self._indexes:
+            self._index_added_row(row)
+        for position, index in self._sorted_indexes.items():
+            index.add(row[position])
+        if self._stats is not None:
+            for position, counts in enumerate(self._stats):
+                value = row[position]
+                counts[value] = counts.get(value, 0) + 1
+
+    def _caches_removed_row(self, row: Row) -> None:
+        """Maintain every lazy cache in place after one point deletion."""
+        if self._indexes:
+            self._index_removed_row(row)
+        for position, index in self._sorted_indexes.items():
+            index.remove(row[position])
+        if self._stats is not None:
+            for position, counts in enumerate(self._stats):
+                value = row[position]
+                remaining = counts.get(value, 0) - 1
+                if remaining > 0:
+                    counts[value] = remaining
+                else:
+                    counts.pop(value, None)
+
     def add(self, row: Sequence[Value]) -> Row:
         """Insert a tuple (validated against the schema) and return it.
 
@@ -150,8 +189,7 @@ class Relation:
         if validated not in self._rows:
             self._rows.add(validated)
             self._version += 1
-            if self._indexes:
-                self._index_added_row(validated)
+            self._caches_added_row(validated)
         return validated
 
     def add_all(self, rows: Iterable[Sequence[Value]]) -> None:
@@ -168,8 +206,7 @@ class Relation:
         if validated in self._rows:
             self._rows.remove(validated)
             self._version += 1
-            if self._indexes:
-                self._index_removed_row(validated)
+            self._caches_removed_row(validated)
             return True
         return False
 
@@ -251,8 +288,71 @@ class Relation:
         return tuple(sorted(self._indexes))
 
     def invalidate_indexes(self) -> None:
-        """Drop every cached index without touching the rows."""
+        """Drop every cached index (hash and sorted) without touching the rows."""
         self._indexes.clear()
+        self._sorted_indexes.clear()
+
+    # -- sorted indexes and statistics ------------------------------------------
+    def sorted_index_on(self, position: int) -> SortedPositionIndex:
+        """The sorted index on ``position``: distinct values in bisectable order.
+
+        Built on first use and cached under the same contract as the hash
+        indexes — point mutations maintain it in place, bulk mutations drop
+        it.  The planner's range probes drive it through :meth:`range_rows`.
+        """
+        (key,) = self._validated_positions((position,))
+        index = self._sorted_indexes.get(key)
+        if index is None:
+            index = SortedPositionIndex(row[key] for row in self._rows)
+            self._sorted_indexes[key] = index
+        return index
+
+    def sorted_indexed_positions(self) -> Tuple[int, ...]:
+        """The positions currently carrying a cached sorted index (for tests)."""
+        return tuple(sorted(self._sorted_indexes))
+
+    def range_rows(
+        self, position: int, op_symbol: str, bound: Value
+    ) -> Optional[Tuple[Row, ...]]:
+        """All rows whose ``position`` value satisfies ``value <op> bound``.
+
+        The access path behind the planner's range probes: two bisections on
+        the sorted index select the qualifying distinct values, and the hash
+        index on ``position`` supplies their rows.  Returns ``None`` when the
+        sorted index cannot answer exactly (mixed-type column, unsupported
+        value family) — the caller must fall back to a scan, which reproduces
+        the reference semantics including any ``TypeError``.
+        """
+        values = self.sorted_index_on(position).range_values(op_symbol, bound)
+        if values is None:
+            return None
+        buckets = self.index_on((position,))
+        rows: list = []
+        for value in values:
+            rows.extend(buckets.get((value,), ()))
+        return tuple(rows)
+
+    def statistics(self) -> RelationStatistics:
+        """A snapshot of cardinality and per-position distinct counts.
+
+        The backing per-position value counts are built lazily on first use
+        and maintained in place by point mutations (bulk mutations drop
+        them), so a stream of single-tuple deltas keeps statistics current in
+        O(arity) per update.  The snapshot itself is immutable and hashable —
+        the plan cache keys compiled plans on it.
+        """
+        if self._stats is None:
+            counts: list = [dict() for _ in range(self.schema.arity)]
+            for row in self._rows:
+                for position, value in enumerate(row):
+                    column = counts[position]
+                    column[value] = column.get(value, 0) + 1
+            self._stats = counts
+        return RelationStatistics(
+            self.name,
+            len(self._rows),
+            tuple(len(column) for column in self._stats),
+        )
 
     # -- queries ---------------------------------------------------------------
     @property
@@ -271,7 +371,7 @@ class Relation:
 
     def sorted_rows(self) -> Tuple[Row, ...]:
         """Tuples in a deterministic order (useful for printing and tests)."""
-        return tuple(sorted(self._rows, key=repr))
+        return tuple(sorted(self._rows, key=row_sort_key))
 
     def __contains__(self, row: Sequence[Value]) -> bool:
         try:
@@ -465,15 +565,13 @@ class Database:
                 if row not in relation._rows:
                     relation._rows.add(row)
                     relation._version += 1
-                    if relation._indexes:
-                        relation._index_added_row(row)
+                    relation._caches_added_row(row)
                     effective.append((kind, name, row))
             else:
                 if row in relation._rows:
                     relation._rows.remove(row)
                     relation._version += 1
-                    if relation._indexes:
-                        relation._index_removed_row(row)
+                    relation._caches_removed_row(row)
                     effective.append((kind, name, row))
         return AppliedDelta(self, tuple(effective))
 

@@ -1,0 +1,195 @@
+"""Maintained relation statistics and sorted per-position indexes.
+
+The cost-based join planner (:mod:`repro.queries.plan`) needs two things from
+the storage layer that the lazy hash indexes cannot provide:
+
+* **Statistics** — how many rows a relation holds and how many *distinct*
+  values each attribute position carries.  :class:`RelationStatistics` is the
+  immutable snapshot the planner consumes; the backing per-position value
+  counts live on the :class:`~repro.relational.database.Relation` and follow
+  the same maintenance contract as the hash indexes (point mutations update
+  them in place, bulk mutations drop them for a lazy rebuild).
+
+* **Sorted indexes** — a :class:`SortedPositionIndex` keeps the distinct
+  values of one attribute position in sorted order so a ground one-sided
+  comparison (``price < 30``, ``start >= d``) can be answered with two
+  bisections instead of a full scan.  Row retrieval for the values inside the
+  range goes through the relation's existing hash index on that position, so
+  the two index families share their buckets.
+
+Range probes must be *exactly* equivalent to post-filtering a scan, including
+error behaviour: a scan over a column mixing strings and numbers raises
+``TypeError`` when the comparison is evaluated, so
+:meth:`SortedPositionIndex.range_values` refuses (returns ``None``) unless the
+whole column shares the probe value's type family.  Only numbers
+(bool/int/float compare numerically) and strings are served; anything else —
+tuples, user objects, NaN — permanently disables the index until the next
+rebuild and the executor falls back to scanning.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.relational.schema import Value
+
+#: Type families a sorted index can order totally and consistently with the
+#: comparison predicates' own semantics.  ``bool`` joins the numeric family
+#: because Python compares it numerically (``True < 30``).
+_TAG_NUMBER = "num"
+_TAG_STRING = "str"
+
+
+def order_key(value: Value) -> Optional[Tuple[str, Value]]:
+    """The sorted-index key of a value, or ``None`` when unsupported.
+
+    Supported values map to ``(family, value)`` pairs: all numbers compare
+    numerically within the ``num`` family (so ``1``, ``1.0`` and ``True`` sort
+    together, matching ``==``/``<`` semantics), strings lexicographically
+    within ``str``.  NaN is rejected — it would break the total order bisect
+    relies on.
+    """
+    if isinstance(value, (bool, int, float)):
+        if isinstance(value, float) and value != value:  # NaN
+            return None
+        return (_TAG_NUMBER, value)
+    if isinstance(value, str):
+        return (_TAG_STRING, value)
+    return None
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """A cheap snapshot of one relation's planner-relevant statistics.
+
+    ``distinct_counts[p]`` is the number of distinct values at attribute
+    position ``p``.  Snapshots are immutable and hashable, which is what lets
+    the plan cache key compiled plans directly on the statistics they were
+    costed with (two databases with identical statistics share plans — a plan
+    is semantically valid for *any* database, statistics only steer cost).
+    """
+
+    relation: str
+    cardinality: int
+    distinct_counts: Tuple[int, ...]
+
+    def distinct(self, position: int) -> int:
+        """Distinct values at ``position`` (0 for an empty relation)."""
+        return self.distinct_counts[position]
+
+
+class SortedPositionIndex:
+    """The distinct values of one attribute position, in sorted order.
+
+    Mirrors the hash-index maintenance contract: built once from the live
+    rows, then :meth:`add`/:meth:`remove` keep it current under point
+    mutations (a value insertion/removal costs one bisect plus an O(distinct)
+    list shift — far below the O(rows log rows) rebuild), while bulk mutations
+    drop the whole index.  Values whose type family is unsupported mark the
+    index dead (:attr:`ok` false) rather than corrupting the order; a dead
+    index answers every range query with ``None`` and the executor scans.
+    """
+
+    __slots__ = ("_counts", "_keys", "_values", "_ok")
+
+    def __init__(self, values: Iterable[Value] = ()) -> None:
+        self._counts: Dict[Value, int] = {}
+        self._ok = True
+        for value in values:
+            self._counts[value] = self._counts.get(value, 0) + 1
+        keyed: List[Tuple[Tuple[str, Value], Value]] = []
+        for value in self._counts:
+            key = order_key(value)
+            if key is None:
+                self._mark_dead()
+                return
+            keyed.append((key, value))
+        keyed.sort(key=lambda pair: pair[0])
+        self._keys: List[Tuple[str, Value]] = [key for key, _ in keyed]
+        self._values: List[Value] = [value for _, value in keyed]
+
+    def _mark_dead(self) -> None:
+        self._ok = False
+        self._keys = []
+        self._values = []
+
+    @property
+    def ok(self) -> bool:
+        """Whether the index can serve range queries at all."""
+        return self._ok
+
+    def __len__(self) -> int:
+        """Number of distinct values currently indexed."""
+        return len(self._counts)
+
+    # -- point maintenance ---------------------------------------------------
+    def add(self, value: Value) -> None:
+        """Record one more row carrying ``value`` at the indexed position."""
+        count = self._counts.get(value, 0)
+        self._counts[value] = count + 1
+        if count or not self._ok:
+            return
+        key = order_key(value)
+        if key is None:
+            self._mark_dead()
+            return
+        index = bisect_left(self._keys, key)
+        self._keys.insert(index, key)
+        self._values.insert(index, value)
+
+    def remove(self, value: Value) -> None:
+        """Record one fewer row carrying ``value`` at the indexed position."""
+        count = self._counts.get(value, 0)
+        if count > 1:
+            self._counts[value] = count - 1
+            return
+        self._counts.pop(value, None)
+        if not self._ok or count == 0:
+            return
+        key = order_key(value)
+        if key is None:  # pragma: no cover - dead indexes never stored the key
+            return
+        index = bisect_left(self._keys, key)
+        # Numerically equal values of different types (1, 1.0) share a key;
+        # dict-equal values collapse to one entry, so the first key match with
+        # an equal stored value is ours.
+        while index < len(self._keys) and self._keys[index] == key:
+            if self._values[index] == value:
+                del self._keys[index]
+                del self._values[index]
+                return
+            index += 1  # pragma: no cover - equal values collapse in _counts
+
+    # -- range queries -------------------------------------------------------
+    def range_values(self, op_symbol: str, bound: Value) -> Optional[List[Value]]:
+        """Distinct values satisfying ``value <op> bound``, sorted ascending.
+
+        Returns ``None`` when the index cannot answer *exactly* — unsupported
+        bound, a dead index, or a column whose values do not all share the
+        bound's type family (a scan would raise ``TypeError`` there, and the
+        range probe must not silently succeed where the scan errors).
+        """
+        if not self._ok:
+            return None
+        bound_key = order_key(bound)
+        if bound_key is None:
+            return None
+        if self._keys and (
+            self._keys[0][0] != bound_key[0] or self._keys[-1][0] != bound_key[0]
+        ):
+            return None
+        if op_symbol == "<":
+            return self._values[: bisect_left(self._keys, bound_key)]
+        if op_symbol == "<=":
+            return self._values[: bisect_right(self._keys, bound_key)]
+        if op_symbol == ">":
+            return self._values[bisect_right(self._keys, bound_key) :]
+        if op_symbol == ">=":
+            return self._values[bisect_left(self._keys, bound_key) :]
+        if op_symbol == "=":
+            return self._values[
+                bisect_left(self._keys, bound_key) : bisect_right(self._keys, bound_key)
+            ]
+        return None

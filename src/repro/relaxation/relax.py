@@ -36,6 +36,7 @@ from repro.queries.cq import ConjunctiveQuery
 from repro.queries.sp import SPQuery
 from repro.relational.database import Database, Relation, Row
 from repro.relational.errors import ModelError
+from repro.relational.ordering import value_sort_key
 from repro.relational.schema import Value
 from repro.relaxation.distance import DiscreteDistance, DistanceFunction
 
@@ -292,7 +293,9 @@ class RelaxedQuery(Query):
         """
         base_arity = self.base.output_arity
         if any(spec.kind == "comparison" for spec in self._filters):
-            domain: Tuple[Value, ...] = tuple(sorted(database.active_domain(), key=repr))
+            domain: Tuple[Value, ...] = tuple(
+                sorted(database.active_domain(), key=value_sort_key)
+            )
         else:
             domain = ()
         for row in widened_rows:
@@ -460,12 +463,16 @@ class RelaxationSpace:
         if isinstance(point, RelaxationPoint) and point.location == ATOM:
             atom = cq_query.atoms[point.index]
             relation = database.relation(atom.relation)
-            return tuple(sorted({row[point.position] for row in relation}, key=repr))
+            return tuple(
+                sorted({row[point.position] for row in relation}, key=value_sort_key)
+            )
         if isinstance(point, JoinBreakPoint):
             atom = cq_query.atoms[point.index]
             relation = database.relation(atom.relation)
-            return tuple(sorted({row[point.position] for row in relation}, key=repr))
-        return tuple(sorted(database.active_domain(), key=repr))
+            return tuple(
+                sorted({row[point.position] for row in relation}, key=value_sort_key)
+            )
+        return tuple(sorted(database.active_domain(), key=value_sort_key))
 
     def enumerate_relaxations(
         self, database: Database, max_gap: float, include_trivial: bool = True

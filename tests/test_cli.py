@@ -77,6 +77,32 @@ class TestExperiments:
         assert "EXP-T8.1" in capsys.readouterr().err
 
 
+class TestExplain:
+    def test_explain_prints_range_probe_for_price_filtered_items(self, capsys):
+        assert main(["explain", "items_under_30"]) == 0
+        out = capsys.readouterr().out
+        assert "plan (cost-based order):" in out
+        assert "range items" in out  # the price <= 30 comparison drives a range probe
+        assert "check price <= 30" in out
+        assert "relation items: 200 rows" in out
+
+    def test_explain_prints_probe_chain_for_path_query(self, capsys):
+        assert main(["explain", "path3"]) == 0
+        out = capsys.readouterr().out
+        assert "scan edge" in out
+        assert "probe edge" in out
+        assert "semi-join reduction" in out
+
+    def test_explain_without_statistics_uses_fallback_order(self, capsys):
+        assert main(["explain", "path2", "--no-statistics"]) == 0
+        out = capsys.readouterr().out
+        assert "statistics-blind fallback order" in out
+
+    def test_explain_rejects_unknown_query(self):
+        with pytest.raises(SystemExit):
+            main(["explain", "not_a_query"])
+
+
 class TestExample:
     def test_example_runs_quickstart(self, capsys):
         assert main(["example", "quickstart"]) == 0
