@@ -30,6 +30,22 @@ _BENCH_DIR = pathlib.Path(__file__).parent.resolve()
 #: ``BENCH_*.json`` report declares its target as ``RESULTS_PATH``.
 _RESULTS_PATH_PATTERN = re.compile(r"^RESULTS_PATH\s*=.*BENCH_\w+\.json", re.MULTILINE)
 
+#: The report writers CI must keep ``bench_smoke``-covered.  The glob below
+#: discovers writers automatically; this explicit roster guards the discovery
+#: itself — a refactor that renamed a module or stopped it matching the
+#: ``RESULTS_PATH`` convention would otherwise silently drop it from the
+#: coverage enforcement (and from the cross-PR perf tracking).
+_EXPECTED_REPORT_WRITERS = frozenset(
+    {
+        "bench_adjustment.py",
+        "bench_enumeration.py",
+        "bench_evaluator.py",
+        "bench_incremental.py",
+        "bench_multiway.py",
+        "bench_planner.py",
+    }
+)
+
 
 def _bench_report_writers():
     """The ``bench_*.py`` modules that write a ``BENCH_*.json`` report."""
@@ -103,9 +119,16 @@ def pytest_collection_modifyitems(config, items):
         for arg in config.args
         if "::" in arg
     }
+    report_writers = _bench_report_writers()
+    missing = sorted(_EXPECTED_REPORT_WRITERS - {path.name for path in report_writers})
+    if missing:
+        raise pytest.UsageError(
+            "expected benchmark report writers are no longer discovered (renamed, "
+            f"or their RESULTS_PATH convention broke): {', '.join(missing)}"
+        )
     uncovered = sorted(
         path.name
-        for path in _bench_report_writers() & collected_modules - partially_collected
+        for path in report_writers & collected_modules - partially_collected
         if path not in smoke_modules
     )
     if uncovered:

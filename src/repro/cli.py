@@ -21,8 +21,10 @@ Four small commands expose the library's deliverables without writing code:
 ``python -m repro explain QUERY``
     Compile a workload query against its synthetic database and print the
     cost-based :class:`~repro.queries.plan.JoinPlan` — atom order, probe
-    kinds (hash / range / scan), comparison schedule and the semi-join
-    verdict — plus the statistics the planner costed it with.
+    kinds (hash / range / scan), comparison schedule, the semi-join verdict
+    and, for cyclic queries (``triangle``, ``four_cycle``), the
+    worst-case-optimal multiway step with its variable elimination order —
+    plus the statistics the planner costed it with.
 """
 
 from __future__ import annotations
@@ -37,7 +39,7 @@ from repro import __version__
 
 
 #: Workload queries ``repro explain`` can compile and describe.
-EXPLAIN_QUERIES = ("path2", "path3", "items", "items_under_30")
+EXPLAIN_QUERIES = ("path2", "path3", "triangle", "four_cycle", "items", "items_under_30")
 
 
 #: Example scripts shipped under ``examples/`` that ``repro example`` can run.
@@ -242,16 +244,21 @@ def _command_example(name: str) -> int:
 def _command_explain(query_name: str, seed: int, no_statistics: bool) -> int:
     from repro.queries.plan import plan_conjunction
     from repro.workloads.synthetic import (
+        cycle_query,
         item_selection_query,
         path_query,
         random_graph_database,
         random_item_database,
+        triangle_query,
     )
 
     if query_name in ("path2", "path3"):
         length = int(query_name[-1])
         database = random_graph_database(60, 180, seed=seed)
         query = path_query(length)
+    elif query_name in ("triangle", "four_cycle"):
+        database = random_graph_database(60, 180, seed=seed)
+        query = triangle_query() if query_name == "triangle" else cycle_query(4)
     else:
         database = random_item_database(200, seed=seed)
         max_price = 30 if query_name == "items_under_30" else None

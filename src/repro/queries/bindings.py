@@ -15,10 +15,14 @@ Two evaluation paths are provided and kept semantically identical:
   *index probe* against the relation's lazy index
   (:meth:`repro.relational.database.Relation.probe`) instead of a full scan;
   a scan step with a ground one-sided comparison runs as a sorted-index
-  *range probe* (:meth:`repro.relational.database.Relation.range_rows`), and
+  *range probe* (:meth:`repro.relational.database.Relation.range_rows`),
   for acyclic conjunctions whose statistics predict a large intermediate
   result a Yannakakis semi-join reduction prunes dangling tuples before the
-  join runs.  Only rows surfaced by the access path are considered — and
+  join runs, and *cyclic* conjunctions (triangles, 4-cycles) run a
+  worst-case-optimal leapfrog triejoin over composite trie indexes
+  (:meth:`repro.relational.database.Relation.trie_index_on`) instead of a
+  sequence of binary steps, bounding the work by the AGM fractional-cover
+  size of the query.  Only rows surfaced by the access path are considered — and
   ticked — so the tractable fragments of the paper (SP/CQ decision variants)
   run in the low polynomial time their upper bounds promise instead of
   re-scanning whole relations per atom.  Compiled plans are served from the
@@ -39,12 +43,14 @@ only surfaces rows that match the bound positions, the planned path ticks at
 most as often as the naive one — and exactly as often when no index applies
 (no constants and no bound variables), which the planner tests pin down.
 
-**Extending the evaluator with a new access path** (e.g. a worst-case-optimal
-multiway step): add the new probe kind to
-:class:`~repro.queries.plan.PlannedAtom`, emit it in
-:func:`~repro.queries.plan.plan_conjunction`, and add the corresponding
-``rows`` selection branch in the executor below.  The differential suite then
-checks the new path against the naive reference for free.
+**Extending the evaluator with a new access path**: the multiway leapfrog
+branch below is the worked example — see the ROADMAP's "Adding a new access
+path" recipe.  Add the new plan vocabulary in
+:mod:`repro.queries.plan`, emit it in
+:func:`~repro.queries.plan.plan_conjunction` behind a cost verdict, and add
+the corresponding execution branch below behind a knob defaulting to that
+verdict.  The differential suite's axes matrix then checks the new path
+against the naive reference for free.
 """
 
 from __future__ import annotations
@@ -52,10 +58,11 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.queries.ast import Comparison, Const, RelationAtom, Term, Var
-from repro.queries.plan import JoinPlan, cached_plan, most_constrained_index
+from repro.queries.plan import JoinPlan, PlannedMultiway, cached_plan, most_constrained_index
 from repro.relational.database import Database, Relation, Row
 from repro.relational.errors import EvaluationError
 from repro.relational.schema import Value
+from repro.relational.statistics import leapfrog_intersect
 
 Binding = Dict[str, Value]
 
@@ -204,6 +211,136 @@ def _semijoin_reduce(
     return reduced_rows, reduced_sets, reduced_probes
 
 
+def _multiway_state(lookup, multiway: PlannedMultiway):
+    """Per-atom trie nodes after the constant descent, or ``None`` to decline.
+
+    ``None`` means some trie cannot serve the step (a dead mixed-type trie,
+    or a relation-like view without tries) and the caller must fall back to
+    the binary steps.  Otherwise returns ``(roots, relations, empty)`` where
+    ``empty`` flags an atom whose constant prefix matches no row — the whole
+    conjunction has no answers.
+    """
+    roots = []
+    relations = []
+    empty = False
+    for matom in multiway.atoms:
+        relation = lookup(matom.atom.relation)
+        if not matom.trie_positions:
+            # A nullary atom has no positions to index: it is a pure
+            # membership test — the relation either holds the empty tuple or
+            # the conjunction has no answers.  It participates at no level.
+            if len(relation) == 0:
+                empty = True
+            roots.append(None)
+            relations.append(relation)
+            continue
+        index_on = getattr(relation, "trie_index_on", None)
+        if index_on is None:
+            return None
+        trie = index_on(matom.trie_positions)
+        if not trie.ok:
+            return None
+        node = trie.root
+        for value in matom.const_values:
+            node = node.child(value)
+            if node is None:
+                empty = True
+                break
+        roots.append(node)
+        relations.append(relation)
+    return roots, relations, empty
+
+
+def _execute_multiway(
+    plan: JoinPlan,
+    binding: Binding,
+    counter: Optional[StepCounter],
+    roots: List,
+    relations: List[Relation],
+) -> Iterator[Binding]:
+    """The unified-iterator leapfrog branch: resolve one variable per level.
+
+    At every level the candidates for the variable are the leapfrog
+    intersection of the current trie levels of the atoms containing it
+    (a pre-bound variable is its own singleton candidate); a surviving
+    candidate advances each participating trie through the variable's levels
+    — repeated occurrences (``R(x, x)``) descend twice with the same value —
+    and a full-depth path is a complete binding whose matching row in every
+    relation exists by construction.  Ticks mirror the binary branch: one
+    per search node entered plus one per candidate value considered.
+    """
+    multiway = plan.multiway
+    assert multiway is not None
+    comparisons = plan.comparisons
+    var_order = multiway.var_order
+    level_of = {name: level for level, name in enumerate(var_order)}
+    participants: List[List[Tuple[int, int]]] = [[] for _ in var_order]
+    for atom_index, matom in enumerate(multiway.atoms):
+        for name, count in matom.var_levels:
+            participants[level_of[name]].append((atom_index, count))
+    nodes = list(roots)
+    versions = [relation.version for relation in relations]
+
+    def check_versions() -> None:
+        for relation, version in zip(relations, versions):
+            if relation.version != version:
+                raise EvaluationError(
+                    f"relation {relation.name!r} was mutated during evaluation"
+                )
+
+    def descend(level: int) -> Iterator[Binding]:
+        if counter is not None:
+            counter.tick()
+        check_versions()
+        for index in multiway.comparison_schedule[level]:
+            if not comparisons[index].evaluate(binding):
+                return
+        if level == len(var_order):
+            if plan.unresolved_comparisons:
+                # Some comparison still has unbound variables: unsafe query.
+                raise _unsafe_comparison_error(comparisons, plan.unresolved_comparisons)
+            yield dict(binding)
+            return
+        name = var_order[level]
+        group = participants[level]
+        pre_bound = binding.get(name, _UNBOUND)
+        if pre_bound is not _UNBOUND:
+            candidates: Iterable[Value] = (pre_bound,)
+        else:
+            candidates = leapfrog_intersect([nodes[ai] for ai, _ in group])
+        saved = [nodes[ai] for ai, _ in group]
+        try:
+            for value in candidates:
+                if counter is not None:
+                    counter.tick()
+                check_versions()
+                children = []
+                for ai, count in group:
+                    node = nodes[ai]
+                    for _ in range(count):
+                        node = node.child(value)
+                        if node is None:
+                            break
+                    if node is None:
+                        break
+                    children.append(node)
+                if len(children) != len(group):
+                    continue
+                for (ai, _), child in zip(group, children):
+                    nodes[ai] = child
+                binding[name] = value
+                yield from descend(level + 1)
+                for (ai, _), previous in zip(group, saved):
+                    nodes[ai] = previous
+        finally:
+            if pre_bound is _UNBOUND:
+                binding.pop(name, None)
+            else:
+                binding[name] = pre_bound
+
+    yield from descend(0)
+
+
 def enumerate_bindings(
     database: Database,
     relation_atoms: Sequence[RelationAtom],
@@ -216,6 +353,7 @@ def enumerate_bindings(
     use_statistics: Optional[bool] = None,
     use_semijoin: Optional[bool] = None,
     use_range_probes: Optional[bool] = None,
+    use_multiway: Optional[bool] = None,
 ) -> Iterator[Binding]:
     """Yield every binding satisfying all atoms, via an indexed join plan.
 
@@ -240,20 +378,28 @@ def enumerate_bindings(
         with the relations' current statistics; callers evaluating the same
         conjunction with the same pre-bound variable *names* many times may
         compile once and pass it in.
-    use_statistics, use_semijoin, use_range_probes:
+    use_statistics, use_semijoin, use_range_probes, use_multiway:
         Differential/benchmark axes.  ``None`` (the default) means automatic:
         statistics are gathered when every relation provides them, range
-        probes are compiled, and the semi-join reduction follows the
-        planner's cost-based verdict (suppressed under an ``initial_binding``
-        — the delta rules' seeded evaluations must stay O(|Δ|), never
-        O(|D|)).  ``False`` disables an axis outright (all three ``False``
-        reproduces the statistics-blind PR 1 planner); ``use_semijoin=True``
-        forces the reduction whenever the conjunction is acyclic.  None of
-        the axes can change answers, only cost — the differential suite pins
-        this.  (On malformed data with ``TypeError``-raising mixed-type
-        comparisons the surfaced error may differ by axis, since join order
-        and semi-join pruning decide which rows ever reach a comparison; see
-        :mod:`repro.queries.plan`.)
+        probes are compiled, the semi-join reduction follows the planner's
+        cost-based verdict, and cyclic conjunctions run the worst-case-optimal
+        leapfrog branch when the planner's AGM-vs-worst-case verdict favours
+        it (both verdicts suppressed under an ``initial_binding`` — the delta
+        rules' seeded evaluations must stay O(|Δ|), never O(|D|)).  ``False``
+        disables an axis outright (all four ``False`` reproduces the
+        statistics-blind PR 1 planner; ``use_multiway=False`` alone is
+        exactly the PR 4 binary planner); ``use_semijoin=True`` forces the
+        reduction whenever the conjunction is acyclic, ``use_multiway=True``
+        forces the leapfrog branch whenever the plan compiled one (cyclic
+        conjunction with statistics), with a pre-bound variable acting as its
+        own singleton candidate.  None of the axes can change answers, only
+        cost — the differential suite pins this.  (On malformed data with
+        ``TypeError``-raising mixed-type comparisons the surfaced error may
+        differ by axis, since join order, semi-join pruning and the variable
+        elimination order decide which rows ever reach a comparison; see
+        :mod:`repro.queries.plan`.  The multiway access paths themselves
+        never widen this: a mixed-type trie declines and the binary steps
+        take over.)
     """
     extra_relations = extra_relations or {}
 
@@ -286,6 +432,33 @@ def enumerate_bindings(
         )
     planned_comparisons = plan.comparisons
     steps = plan.steps
+
+    if use_multiway is None:
+        # Auto: follow the planner's AGM-vs-worst-case verdict, suppressed
+        # under an initial binding — the delta rules' seeded evaluations must
+        # stay O(|Δ|), and a seeded leapfrog re-walks whole tries.
+        run_multiway = plan.run_multiway and not base_binding
+    else:
+        run_multiway = bool(use_multiway) and plan.multiway is not None
+    if run_multiway:
+        state = _multiway_state(lookup, plan.multiway)
+        if state is None:
+            run_multiway = False  # a trie declined: the binary steps take over
+        else:
+            roots, multiway_relations, multiway_empty = state
+            if multiway_empty:
+                # A constant prefix matched no row: no answers.  Still
+                # evaluate the comparisons ground under the initial binding
+                # alone, exactly as the binary root node does before touching
+                # any rows — so a TypeError the reference path raises at the
+                # root is not silently swallowed into an empty result.
+                for index in plan.multiway.comparison_schedule[0]:
+                    plan.comparisons[index].evaluate(base_binding)
+                return
+            yield from _execute_multiway(
+                plan, dict(base_binding), counter, roots, multiway_relations
+            )
+            return
 
     if use_semijoin is None:
         run_semijoin = plan.run_semijoin and not base_binding

@@ -44,7 +44,21 @@ function of the prefix alone and can be compiled once per evaluation:
   (:attr:`JoinPlan.semijoin_tree`, computed by GYO ear removal) and, when the
   statistics estimate a large intermediate result, sets
   :attr:`JoinPlan.run_semijoin`: the executor then runs the two Yannakakis
-  semi-join passes to prune dangling tuples before the join proper.
+  semi-join passes to prune dangling tuples before the join proper;
+* for *cyclic* conjunctions (GYO finds no ear — triangles, 4-cycles,
+  stars-with-chords) no join order avoids a large intermediate, so the
+  planner compiles a :class:`PlannedMultiway`: a worst-case-optimal
+  leapfrog-triejoin step with a statistics-driven global variable
+  elimination order, executed against composite trie indexes
+  (:meth:`repro.relational.database.Relation.trie_index_on`).  The cost
+  model is AGM-style: :func:`multiway_estimate` bounds the multiway
+  enumeration by a fractional-edge-cover product of the cardinalities,
+  while the binary plan is charged its *worst-case* intermediate (prefix
+  products of per-position heavy-hitter frequencies — the independence
+  estimate that orders atoms is an average-case figure and is exactly what
+  cyclic skew breaks).  :attr:`JoinPlan.run_multiway` records the verdict;
+  the executor may override it through the ``use_multiway`` knob but never
+  the compiled step.
 
 Compiled plans are cached (:func:`cached_plan`) keyed on the conjunction, the
 pre-bound variable names and the statistics snapshot they were costed with —
@@ -53,17 +67,21 @@ have not drifted stop re-planning entirely.  A plan is semantically valid for
 *any* database (statistics only steer cost), so a cache hit can never change
 answers.
 
-**Adding a new access path** (a worst-case-optimal multiway step, a
-composite sorted index, ...): extend :class:`PlannedAtom` with the new probe
-kind, emit it here — teaching :func:`_estimated_cost` its selectivity so the
-ordering can favour it — and add the matching ``rows`` selection branch in
-:func:`repro.queries.bindings.enumerate_bindings`.  The access path must
-surface a *superset* of the matching rows (the executor re-checks every row
-against the atom and the comparison schedule), which is what lets the
-differential suite certify it against the naive reference for free.  If the
-path needs new maintained state on :class:`~repro.relational.database.Relation`
-follow the statistics contract: build lazily, maintain under point mutations,
-drop under bulk mutations.
+**Adding a new access path**: the multiway step above is the worked example —
+see the ROADMAP's "Adding a new access path" recipe, which walks through it
+layer by layer.  In short: extend the plan vocabulary (a new field on
+:class:`PlannedAtom` for a per-step path, or a plan-level section like
+:class:`PlannedMultiway` for a whole-conjunction strategy), emit it here
+behind a cost verdict so the cost-based choice can prefer it, and add the
+matching branch in :func:`repro.queries.bindings.enumerate_bindings` behind a
+knob defaulting to the planner's verdict.  The access path must surface a
+*superset* of the matching rows — or, like the multiway step, prove each
+binding it yields row-by-row — and any maintained state it needs on
+:class:`~repro.relational.database.Relation` follows the statistics contract:
+build lazily, maintain under point mutations, drop under bulk mutations,
+*decline* (fall back to the reference semantics) on data it cannot serve
+exactly.  The differential suite's axes matrix then certifies the new knob
+against the naive reference for free.
 """
 
 from __future__ import annotations
@@ -167,6 +185,59 @@ class PlannedAtom:
         return f"scan {self.atom}"
 
 
+@dataclass(frozen=True)
+class MultiwayAtom:
+    """One atom's trie access for a :class:`PlannedMultiway` step.
+
+    ``trie_positions`` is the variable order the relation's composite trie is
+    built in: positions holding constants first (descended once, before the
+    search), then the variable positions grouped per variable in global
+    elimination order — so at every global level the atom's trie is parked
+    exactly above the levels of the variable being resolved.
+    ``const_values`` parallels the leading constant positions;
+    ``var_levels`` lists ``(variable, consecutive trie levels)`` pairs — a
+    repeated variable (``R(x, x)``) owns two adjacent levels and both are
+    descended with the same value.
+    """
+
+    atom: RelationAtom
+    trie_positions: Tuple[int, ...]
+    const_values: Tuple[Value, ...]
+    var_levels: Tuple[Tuple[str, int], ...]
+
+    def describe(self) -> str:
+        order = ", ".join(str(p) for p in self.trie_positions)
+        return f"trie {self.atom} on [{order}]"
+
+
+@dataclass(frozen=True)
+class PlannedMultiway:
+    """A worst-case-optimal multiway step over a whole cyclic conjunction.
+
+    Executed by the leapfrog branch of
+    :func:`repro.queries.bindings.enumerate_bindings`: variables are resolved
+    one at a time in ``var_order``, the candidates of each variable obtained
+    by leapfrog-intersecting the sorted current trie levels of every atom
+    containing it.  ``comparison_schedule`` has ``len(var_order) + 1``
+    entries scheduling each comparison at the earliest level at which it is
+    ground (entry ``0`` covers comparisons ground under the initial binding
+    alone); ``estimated_answers`` is the AGM-style fractional-cover bound the
+    planner's verdict weighed against the binary plan's worst-case
+    intermediate.
+    """
+
+    var_order: Tuple[str, ...]
+    atoms: Tuple[MultiwayAtom, ...]
+    comparison_schedule: Tuple[Tuple[int, ...], ...]
+    estimated_answers: float
+
+    def describe(self) -> str:
+        order = ", ".join(self.var_order)
+        lines = [f"multiway leapfrog, variable order [{order}] (AGM ~ {self.estimated_answers:.0f})"]
+        lines.extend(f"  {matom.describe()}" for matom in self.atoms)
+        return "\n".join(lines)
+
+
 #: One edge of the semi-join tree: (child step index, parent step index,
 #: shared variable names).  A parent of ``-1`` marks the root of a connected
 #: component (no filtering edge).  Edges are listed in GYO ear-removal order,
@@ -190,6 +261,13 @@ class JoinPlan:
     (empty otherwise); ``run_semijoin`` is the planner's cost-based verdict on
     whether the Yannakakis reduction passes are worth their scans.  The
     executor may override the verdict but never the tree.
+
+    ``multiway`` is the compiled worst-case-optimal step when the conjunction
+    is *cyclic* and statistics were available (``None`` otherwise);
+    ``run_multiway`` is the planner's verdict — AGM bound below the binary
+    plan's worst-case intermediate.  The binary ``steps`` are always compiled
+    too: they are the fallback when a trie declines (mixed-type columns) and
+    the path taken when the ``use_multiway`` knob is off.
     """
 
     steps: Tuple[PlannedAtom, ...]
@@ -198,6 +276,8 @@ class JoinPlan:
     unresolved_comparisons: Tuple[int, ...]
     semijoin_tree: Tuple[SemiJoinEdge, ...] = ()
     run_semijoin: bool = False
+    multiway: Optional[PlannedMultiway] = None
+    run_multiway: bool = False
 
     def describe(self) -> str:
         """A textual rendering of the plan, one line per step."""
@@ -212,6 +292,10 @@ class JoinPlan:
                 for child, parent, _ in self.semijoin_tree
             )
             lines.append(f"semi-join reduction {state} (acyclic: {edges})")
+        if self.multiway is not None:
+            state = "on" if self.run_multiway else "off"
+            lines.append(f"multiway {state} (cyclic):")
+            lines.append(self.multiway.describe())
         return "\n".join(lines) if lines else "empty plan"
 
 
@@ -357,6 +441,160 @@ def _join_tree(
     return tuple(edges)
 
 
+def _take_ready_comparisons(
+    comparisons: Sequence[Comparison], scheduled: Set[int], bound: Set[str]
+) -> Tuple[int, ...]:
+    """Indices of comparisons newly ground under ``bound``; marks them scheduled.
+
+    The earliest-ground scheduling rule shared by the binary plan (one entry
+    per join step) and the multiway plan (one entry per elimination level) —
+    one implementation so the two schedules can never drift apart.
+    """
+    ready = tuple(
+        index
+        for index, comparison in enumerate(comparisons)
+        if index not in scheduled
+        and all(var.name in bound for var in comparison.variables())
+    )
+    scheduled.update(ready)
+    return ready
+
+
+# ---------------------------------------------------------------------------
+# Worst-case-optimal multiway compilation
+# ---------------------------------------------------------------------------
+def multiway_estimate(
+    atoms: Sequence[RelationAtom],
+    bound_variables: FrozenSet[str],
+    statistics: Mapping[str, RelationStatistics],
+) -> float:
+    """An AGM-style bound on the answers of a conjunction: ∏ |Rᵢ|^wᵢ.
+
+    The weights are a (generally sub-optimal but always valid) fractional
+    edge cover: an atom holding a variable no other atom mentions must carry
+    weight 1; every other atom carries weight ½, which covers each remaining
+    variable because it occurs in at least two atoms.  For the canonical
+    cyclic shapes this is exact — a triangle or a 4-cycle of ``n``-row
+    relations is bounded by ``n^{3/2}`` / ``n²`` respectively — and it is the
+    enumeration bound the leapfrog executor meets, so the verdict weighs it
+    against the binary plan's worst-case intermediate.  Initially bound
+    variables act as constants and need no cover.
+    """
+    occurrences: Dict[str, int] = {}
+    for atom in atoms:
+        for name in {v.name for v in atom.variables()} - bound_variables:
+            occurrences[name] = occurrences.get(name, 0) + 1
+    estimate = 1.0
+    for atom in atoms:
+        names = {v.name for v in atom.variables()} - bound_variables
+        if not names:
+            continue  # a ground atom is a membership test: weight 0
+        weight = 1.0 if any(occurrences[name] == 1 for name in names) else 0.5
+        estimate *= float(max(statistics[atom.relation].cardinality, 1)) ** weight
+    return estimate
+
+
+def _elimination_order(
+    atoms: Sequence[RelationAtom],
+    bound_variables: FrozenSet[str],
+    statistics: Mapping[str, RelationStatistics],
+) -> Tuple[str, ...]:
+    """A cost-ordered global variable elimination order for the leapfrog join.
+
+    Initially bound variables come first (they are singleton candidates at
+    runtime, so resolving them early prunes every trie below them).  The rest
+    are chosen greedily: the variable with the fewest candidate values — the
+    minimum, over its occurrences, of the position's distinct count — among
+    those *connected* to the variables already placed (sharing an atom), so
+    the intersections stay selective instead of degenerating into a cross
+    product.  Ties break towards variables occurring in more atoms, then by
+    name, keeping the order deterministic for the plan cache.
+    """
+    occurrences: Dict[str, List[Tuple[str, int]]] = {}
+    for atom in atoms:
+        seen: Set[str] = set()
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Var) and term.name not in seen:
+                seen.add(term.name)
+                occurrences.setdefault(term.name, []).append((atom.relation, position))
+
+    def score(name: str) -> Tuple[float, int, str]:
+        candidates = min(
+            max(1, statistics[relation].distinct(position))
+            for relation, position in occurrences[name]
+        )
+        return (float(candidates), -len(occurrences[name]), name)
+
+    order = sorted(name for name in occurrences if name in bound_variables)
+    placed = set(order)
+    remaining = {name for name in occurrences if name not in placed}
+    atom_vars = [
+        {v.name for v in atom.variables()} for atom in atoms
+    ]
+    while remaining:
+        connected = {
+            name
+            for names in atom_vars
+            if names & placed
+            for name in names & remaining
+        }
+        pool = connected or remaining
+        choice = min(pool, key=score)
+        order.append(choice)
+        placed.add(choice)
+        remaining.discard(choice)
+    return tuple(order)
+
+
+def _compile_multiway(
+    atoms: Sequence[RelationAtom],
+    comparisons: Sequence[Comparison],
+    bound_variables: FrozenSet[str],
+    statistics: Mapping[str, RelationStatistics],
+) -> PlannedMultiway:
+    """Compile the leapfrog step: elimination order, per-atom tries, schedule."""
+    var_order = _elimination_order(atoms, bound_variables, statistics)
+    order_index = {name: level for level, name in enumerate(var_order)}
+
+    multiway_atoms: List[MultiwayAtom] = []
+    for atom in atoms:
+        const_positions: List[int] = []
+        var_positions: "OrderedDict[str, List[int]]" = OrderedDict()
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Const):
+                const_positions.append(position)
+            else:
+                var_positions.setdefault(term.name, []).append(position)
+        ordered_names = sorted(var_positions, key=order_index.__getitem__)
+        trie_positions = tuple(const_positions) + tuple(
+            position for name in ordered_names for position in var_positions[name]
+        )
+        multiway_atoms.append(
+            MultiwayAtom(
+                atom,
+                trie_positions,
+                tuple(atom.terms[p].value for p in const_positions),
+                tuple((name, len(var_positions[name])) for name in ordered_names),
+            )
+        )
+
+    scheduled: Set[int] = set()
+    bound: Set[str] = set(bound_variables)
+    schedule: List[Tuple[int, ...]] = [
+        _take_ready_comparisons(comparisons, scheduled, bound)
+    ]
+    for name in var_order:
+        bound.add(name)
+        schedule.append(_take_ready_comparisons(comparisons, scheduled, bound))
+
+    return PlannedMultiway(
+        var_order,
+        tuple(multiway_atoms),
+        tuple(schedule),
+        multiway_estimate(atoms, bound_variables, statistics),
+    )
+
+
 # ---------------------------------------------------------------------------
 # The planner
 # ---------------------------------------------------------------------------
@@ -379,6 +617,7 @@ def plan_conjunction(
     planner, kept addressable for benchmarks and differential axes).
     """
     remaining: List[RelationAtom] = list(relation_atoms)
+    conjunction = tuple(remaining)
     comparisons = tuple(comparisons)
     initially_bound = frozenset(bound_variables)
     bound: Set[str] = set(initially_bound)
@@ -391,20 +630,14 @@ def plan_conjunction(
         sum(statistics[atom.relation].cardinality for atom in remaining) if costed else 0
     )
 
-    def take_ready() -> Tuple[int, ...]:
-        ready = tuple(
-            index
-            for index, comparison in enumerate(comparisons)
-            if index not in scheduled
-            and all(var.name in bound for var in comparison.variables())
-        )
-        scheduled.update(ready)
-        return ready
-
-    schedule: List[Tuple[int, ...]] = [take_ready()]
+    schedule: List[Tuple[int, ...]] = [
+        _take_ready_comparisons(comparisons, scheduled, bound)
+    ]
     steps: List[PlannedAtom] = []
     prefix = 1.0
     max_intermediate = 0.0
+    worst_prefix = 1.0
+    worst_intermediate = 0.0
     while remaining:
         if costed:
             choice, cost = _cheapest_index(remaining, bound, comparisons, statistics)
@@ -424,6 +657,22 @@ def plan_conjunction(
                 # A repeated unbound variable (e.g. R(x, x)) stays out of the
                 # probe; the executor's row matcher enforces the equality.
                 new_variables.append(term.name)
+        if costed:
+            # The *worst-case* intermediate the binary order could surface: a
+            # probed step yields at most the heavy-hitter bucket of its most
+            # selective probe position, an unprobed step the whole relation.
+            # This is the degree bound the multiway verdict weighs the AGM
+            # estimate against — the average-case `prefix` above is exactly
+            # what skewed cyclic data breaks.
+            step_stats = statistics[atom.relation]
+            if probe_positions:
+                worst_step = min(
+                    step_stats.max_frequency(position) for position in probe_positions
+                )
+            else:
+                worst_step = step_stats.cardinality
+            worst_prefix *= float(worst_step)
+            worst_intermediate = max(worst_intermediate, worst_prefix)
         range_probe = None
         if compile_ranges and not probe_positions:
             range_probe = _first_range_form(atom, bound, comparisons)
@@ -437,7 +686,7 @@ def plan_conjunction(
                 range_probe,
             )
         )
-        schedule.append(take_ready())
+        schedule.append(_take_ready_comparisons(comparisons, scheduled, bound))
     unresolved = tuple(
         index for index in range(len(comparisons)) if index not in scheduled
     )
@@ -450,6 +699,14 @@ def plan_conjunction(
         and any(parent >= 0 and shared for _, parent, shared in tree)
         and max_intermediate > SEMIJOIN_INTERMEDIATE_FACTOR * max(total_rows, 1)
     )
+    multiway: Optional[PlannedMultiway] = None
+    run_multiway = False
+    if costed and tree is None and len(steps) >= 3:
+        # Cyclic (GYO found no ear) and costed: compile the leapfrog step.
+        # Statistics are required — the elimination order and the verdict are
+        # both cost-based, so the statistics-blind planner stays binary.
+        multiway = _compile_multiway(conjunction, comparisons, initially_bound, statistics)
+        run_multiway = multiway.estimated_answers < worst_intermediate
     return JoinPlan(
         tuple(steps),
         comparisons,
@@ -457,6 +714,8 @@ def plan_conjunction(
         unresolved,
         tree or (),
         run_semijoin,
+        multiway,
+        run_multiway,
     )
 
 
@@ -482,6 +741,10 @@ def _quantized_stats_key(stats: RelationStatistics) -> Tuple:
         stats.relation,
         stats.cardinality.bit_length(),
         tuple(count.bit_length() for count in stats.distinct_counts),
+        # Heavy-hitter frequencies below 8 share one bucket: they can steer
+        # no verdict, and without the floor every single-tuple delta to a
+        # small bucket (3 → 4 rows of one value) would needlessly replan.
+        tuple(max(count, 8).bit_length() for count in stats.max_frequencies),
     )
 
 

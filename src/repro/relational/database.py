@@ -12,12 +12,15 @@ attribute positions, :meth:`Relation.index_on` builds (once) and caches a map
 from position-values to the rows carrying them, and :meth:`Relation.probe`
 answers point lookups through it.  The join planner in
 :mod:`repro.queries.plan` uses these indexes to turn full relation scans into
-hash probes whenever a variable is already bound.  Two further lazy caches
+hash probes whenever a variable is already bound.  Three further lazy caches
 serve the cost-based planner: *sorted indexes*
 (:meth:`Relation.sorted_index_on` / :meth:`Relation.range_rows`) answer
 ground range predicates (``price < 30``) with bisections instead of scans,
-and *statistics* (:meth:`Relation.statistics`: cardinality plus per-position
-distinct counts) drive the planner's selectivity estimates.  Every mutation
+*composite trie indexes* (:meth:`Relation.trie_index_on`) nest several
+positions in a caller-chosen variable order for the worst-case-optimal
+multiway join, and *statistics* (:meth:`Relation.statistics`: cardinality
+plus per-position distinct counts and heavy-hitter frequencies) drive the
+planner's selectivity estimates.  Every mutation
 bumps the relation's :attr:`Relation.version`; point mutations
 (:meth:`Relation.add`, :meth:`Relation.discard`) additionally maintain all
 cached structures *in place* — the delta-maintenance subsystem streams
@@ -39,7 +42,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Seque
 from repro.relational.errors import IntegrityError, ModelError, SchemaError, UnknownRelationError
 from repro.relational.ordering import row_sort_key
 from repro.relational.schema import DatabaseSchema, RelationSchema, Value
-from repro.relational.statistics import RelationStatistics, SortedPositionIndex
+from repro.relational.statistics import RelationStatistics, SortedPositionIndex, TrieIndex
 
 Row = Tuple[Value, ...]
 
@@ -103,14 +106,30 @@ class AppliedDelta:
 class Relation:
     """A finite set of tuples over a :class:`RelationSchema`."""
 
-    __slots__ = ("schema", "_rows", "_indexes", "_sorted_indexes", "_stats", "_version")
+    __slots__ = (
+        "schema",
+        "_rows",
+        "_indexes",
+        "_sorted_indexes",
+        "_trie_indexes",
+        "_stats",
+        "_stats_max",
+        "_stats_snapshot",
+        "_version",
+    )
 
     def __init__(self, schema: RelationSchema, rows: Iterable[Sequence[Value]] = ()) -> None:
         self.schema = schema
         self._rows: Set[Row] = set()
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Value, ...], Tuple[Row, ...]]] = {}
         self._sorted_indexes: Dict[int, SortedPositionIndex] = {}
+        self._trie_indexes: Dict[Tuple[int, ...], TrieIndex] = {}
         self._stats: Optional[list] = None
+        #: Per-position max frequency, maintained alongside ``_stats``; a
+        #: ``None`` entry is dirty (a deletion removed a row of the maximal
+        #: value) and is recomputed lazily at the next snapshot.
+        self._stats_max: Optional[list] = None
+        self._stats_snapshot: Optional[Tuple[int, RelationStatistics]] = None
         self._version = 0
         for row in rows:
             self.add(row)
@@ -134,7 +153,10 @@ class Relation:
             self._indexes.clear()
         if self._sorted_indexes:
             self._sorted_indexes.clear()
+        if self._trie_indexes:
+            self._trie_indexes.clear()
         self._stats = None
+        self._stats_max = None
 
     def _index_added_row(self, row: Row) -> None:
         """Fold one inserted row into every cached index (O(indexes), not O(rows))."""
@@ -158,10 +180,16 @@ class Relation:
             self._index_added_row(row)
         for position, index in self._sorted_indexes.items():
             index.add(row[position])
+        for trie in self._trie_indexes.values():
+            trie.add(row)
         if self._stats is not None:
             for position, counts in enumerate(self._stats):
                 value = row[position]
-                counts[value] = counts.get(value, 0) + 1
+                count = counts.get(value, 0) + 1
+                counts[value] = count
+                current = self._stats_max[position]
+                if current is not None and count > current:
+                    self._stats_max[position] = count
 
     def _caches_removed_row(self, row: Row) -> None:
         """Maintain every lazy cache in place after one point deletion."""
@@ -169,6 +197,8 @@ class Relation:
             self._index_removed_row(row)
         for position, index in self._sorted_indexes.items():
             index.remove(row[position])
+        for trie in self._trie_indexes.values():
+            trie.remove(row)
         if self._stats is not None:
             for position, counts in enumerate(self._stats):
                 value = row[position]
@@ -177,6 +207,12 @@ class Relation:
                     counts[value] = remaining
                 else:
                     counts.pop(value, None)
+                # Removing a row of the maximal value may or may not lower
+                # the max (another value can share it); mark the position
+                # dirty and recompute lazily at the next snapshot, keeping
+                # the per-delta maintenance cost O(arity).
+                if self._stats_max[position] == remaining + 1:
+                    self._stats_max[position] = None
 
     def add(self, row: Sequence[Value]) -> Row:
         """Insert a tuple (validated against the schema) and return it.
@@ -288,9 +324,10 @@ class Relation:
         return tuple(sorted(self._indexes))
 
     def invalidate_indexes(self) -> None:
-        """Drop every cached index (hash and sorted) without touching the rows."""
+        """Drop every cached index (hash, sorted, trie) without touching the rows."""
         self._indexes.clear()
         self._sorted_indexes.clear()
+        self._trie_indexes.clear()
 
     # -- sorted indexes and statistics ------------------------------------------
     def sorted_index_on(self, position: int) -> SortedPositionIndex:
@@ -310,6 +347,33 @@ class Relation:
     def sorted_indexed_positions(self) -> Tuple[int, ...]:
         """The positions currently carrying a cached sorted index (for tests)."""
         return tuple(sorted(self._sorted_indexes))
+
+    def trie_index_on(self, positions: Sequence[int]) -> TrieIndex:
+        """The composite trie index nesting ``positions`` in the given order.
+
+        The access path behind the worst-case-optimal multiway join: level
+        ``i`` of the trie holds the sorted distinct values of
+        ``positions[i]`` among the rows matching the path so far, so the
+        leapfrog executor can intersect one level per participating atom.
+        Built on first use and cached per position *order* (the same
+        positions in a different order are a different trie), under the same
+        contract as every other lazy cache — point mutations maintain it in
+        place, bulk mutations drop it.  A value outside the orderable
+        families at any level marks the trie dead (:attr:`TrieIndex.ok`
+        false) and the executor falls back to the binary plan.
+        """
+        key = self._validated_positions(positions)
+        if not key:
+            raise SchemaError(f"relation {self.name!r}: cannot build a trie on zero positions")
+        trie = self._trie_indexes.get(key)
+        if trie is None:
+            trie = TrieIndex(key, self._rows)
+            self._trie_indexes[key] = trie
+        return trie
+
+    def trie_indexed_position_sets(self) -> Tuple[Tuple[int, ...], ...]:
+        """The position tuples currently carrying a cached trie (for tests)."""
+        return tuple(sorted(self._trie_indexes))
 
     def range_rows(
         self, position: int, op_symbol: str, bound: Value
@@ -333,14 +397,19 @@ class Relation:
         return tuple(rows)
 
     def statistics(self) -> RelationStatistics:
-        """A snapshot of cardinality and per-position distinct counts.
+        """A snapshot of cardinality, per-position distinct counts and degrees.
 
         The backing per-position value counts are built lazily on first use
         and maintained in place by point mutations (bulk mutations drop
         them), so a stream of single-tuple deltas keeps statistics current in
         O(arity) per update.  The snapshot itself is immutable and hashable —
-        the plan cache keys compiled plans on it.
+        the plan cache keys compiled plans on it — and is memoized per
+        version, so repeated probes of an unchanged relation pay nothing for
+        the per-position max-frequency maximums.
         """
+        snapshot = self._stats_snapshot
+        if snapshot is not None and snapshot[0] == self._version:
+            return snapshot[1]
         if self._stats is None:
             counts: list = [dict() for _ in range(self.schema.arity)]
             for row in self._rows:
@@ -348,11 +417,19 @@ class Relation:
                     column = counts[position]
                     column[value] = column.get(value, 0) + 1
             self._stats = counts
-        return RelationStatistics(
+            self._stats_max = [None] * self.schema.arity
+        maxes = self._stats_max
+        for position, current in enumerate(maxes):
+            if current is None:  # fresh build, or dirtied by a deletion
+                maxes[position] = max(self._stats[position].values(), default=0)
+        stats = RelationStatistics(
             self.name,
             len(self._rows),
             tuple(len(column) for column in self._stats),
+            tuple(maxes),
         )
+        self._stats_snapshot = (self._version, stats)
+        return stats
 
     # -- queries ---------------------------------------------------------------
     @property

@@ -1,14 +1,16 @@
-"""Maintained relation statistics and sorted per-position indexes.
+"""Maintained relation statistics, sorted per-position indexes and tries.
 
-The cost-based join planner (:mod:`repro.queries.plan`) needs two things from
-the storage layer that the lazy hash indexes cannot provide:
+The cost-based join planner (:mod:`repro.queries.plan`) needs three things
+from the storage layer that the lazy hash indexes cannot provide:
 
-* **Statistics** — how many rows a relation holds and how many *distinct*
-  values each attribute position carries.  :class:`RelationStatistics` is the
-  immutable snapshot the planner consumes; the backing per-position value
-  counts live on the :class:`~repro.relational.database.Relation` and follow
-  the same maintenance contract as the hash indexes (point mutations update
-  them in place, bulk mutations drop them for a lazy rebuild).
+* **Statistics** — how many rows a relation holds, how many *distinct*
+  values each attribute position carries, and how often the *most frequent*
+  value of each position occurs (the heavy-hitter degree bound behind the
+  planner's worst-case intermediate estimates).  :class:`RelationStatistics`
+  is the immutable snapshot the planner consumes; the backing per-position
+  value counts live on the :class:`~repro.relational.database.Relation` and
+  follow the same maintenance contract as the hash indexes (point mutations
+  update them in place, bulk mutations drop them for a lazy rebuild).
 
 * **Sorted indexes** — a :class:`SortedPositionIndex` keeps the distinct
   values of one attribute position in sorted order so a ground one-sided
@@ -17,6 +19,13 @@ the storage layer that the lazy hash indexes cannot provide:
   range goes through the relation's existing hash index on that position, so
   the two index families share their buckets.
 
+* **Composite trie indexes** — a :class:`TrieIndex` nests the distinct values
+  of *several* attribute positions, in a caller-chosen variable order, with
+  the values at every level kept sorted.  This is the storage side of the
+  worst-case-optimal multiway join: the leapfrog executor intersects the
+  sorted child lists of one trie level per participating atom instead of
+  materialising binary intermediate results.
+
 Range probes must be *exactly* equivalent to post-filtering a scan, including
 error behaviour: a scan over a column mixing strings and numbers raises
 ``TypeError`` when the comparison is evaluated, so
@@ -24,14 +33,17 @@ error behaviour: a scan over a column mixing strings and numbers raises
 whole column shares the probe value's type family.  Only numbers
 (bool/int/float compare numerically) and strings are served; anything else —
 tuples, user objects, NaN — permanently disables the index until the next
-rebuild and the executor falls back to scanning.
+rebuild and the executor falls back to scanning.  :class:`TrieIndex` follows
+the same honesty rule: a value outside the supported families at *any* level
+marks the whole trie dead (:attr:`TrieIndex.ok` false) so the multiway
+executor declines and the binary plan reproduces reference semantics.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.relational.schema import Value
 
@@ -65,19 +77,33 @@ class RelationStatistics:
     """A cheap snapshot of one relation's planner-relevant statistics.
 
     ``distinct_counts[p]`` is the number of distinct values at attribute
-    position ``p``.  Snapshots are immutable and hashable, which is what lets
-    the plan cache key compiled plans directly on the statistics they were
-    costed with (two databases with identical statistics share plans — a plan
-    is semantically valid for *any* database, statistics only steer cost).
+    position ``p``; ``max_frequencies[p]`` is the number of rows carrying the
+    most frequent value there (the degree bound worst-case intermediate
+    estimates multiply by).  Snapshots are immutable and hashable, which is
+    what lets the plan cache key compiled plans directly on the statistics
+    they were costed with (two databases with identical statistics share
+    plans — a plan is semantically valid for *any* database, statistics only
+    steer cost).
     """
 
     relation: str
     cardinality: int
     distinct_counts: Tuple[int, ...]
+    max_frequencies: Tuple[int, ...] = ()
 
     def distinct(self, position: int) -> int:
         """Distinct values at ``position`` (0 for an empty relation)."""
         return self.distinct_counts[position]
+
+    def max_frequency(self, position: int) -> int:
+        """Rows carrying the most frequent value at ``position``.
+
+        Falls back to the cardinality (the trivially correct degree bound)
+        when the snapshot predates the heavy-hitter counts.
+        """
+        if position < len(self.max_frequencies):
+            return self.max_frequencies[position]
+        return self.cardinality
 
 
 class SortedPositionIndex:
@@ -193,3 +219,215 @@ class SortedPositionIndex:
                 bisect_left(self._keys, bound_key) : bisect_right(self._keys, bound_key)
             ]
         return None
+
+
+# ---------------------------------------------------------------------------
+# Composite trie indexes (the multiway-join access path)
+# ---------------------------------------------------------------------------
+class TrieNode:
+    """One level of a :class:`TrieIndex`: sorted distinct values → children.
+
+    ``_keys`` holds the :func:`order_key` of every child value in sorted
+    order, ``_values`` the values themselves in the matching positions —
+    exactly the :class:`SortedPositionIndex` layout, so the leapfrog
+    executor's sorted intersection and the point lookups
+    (:meth:`child`) share one structure.  A leaf node (the last indexed
+    position) has no children; :attr:`count` tracks how many rows reach the
+    node, which is what lets point deletions prune emptied paths exactly.
+    """
+
+    __slots__ = ("_children", "_keys", "_values", "count")
+
+    def __init__(self) -> None:
+        self._children: Dict[Value, "TrieNode"] = {}
+        self._keys: List[Tuple[str, Value]] = []
+        self._values: List[Value] = []
+        self.count = 0
+
+    def child(self, value: Value) -> Optional["TrieNode"]:
+        """The child reached by ``value``, or ``None`` (a point lookup)."""
+        return self._children.get(value)
+
+    def values(self) -> Tuple[Value, ...]:
+        """The distinct child values, ascending in :func:`order_key` order."""
+        return tuple(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- maintenance ---------------------------------------------------------
+    def _ensure_child(self, value: Value) -> Optional["TrieNode"]:
+        child = self._children.get(value)
+        if child is None:
+            key = order_key(value)
+            if key is None:
+                return None
+            child = TrieNode()
+            self._children[value] = child
+            index = bisect_left(self._keys, key)
+            self._keys.insert(index, key)
+            self._values.insert(index, value)
+        return child
+
+    def _drop_child(self, value: Value) -> None:
+        self._children.pop(value, None)
+        key = order_key(value)
+        if key is None:  # pragma: no cover - unsupported values never stored
+            return
+        index = bisect_left(self._keys, key)
+        while index < len(self._keys) and self._keys[index] == key:
+            if self._values[index] == value:
+                del self._keys[index]
+                del self._values[index]
+                return
+            index += 1  # pragma: no cover - equal values collapse in the dict
+
+
+def leapfrog_intersect(nodes: "Sequence[TrieNode]") -> "Iterator[Value]":
+    """Values present at *every* node's level, ascending in key order.
+
+    The unified-iterator core of the leapfrog triejoin: one cursor per node,
+    the lagging cursors repeatedly seek (bisect) to the largest current key,
+    and a value is emitted whenever all cursors agree.  Work is
+    O(k · min(level sizes) · log) — independent of the sizes of the larger
+    levels, which is what makes the multiway join worst-case optimal.
+    """
+    if not nodes:
+        return
+    keys = [node._keys for node in nodes]
+    if any(not level for level in keys):
+        return
+    if len(nodes) == 1:
+        yield from nodes[0]._values
+        return
+    cursors = [0] * len(nodes)
+    while True:
+        hi = max(keys[i][cursors[i]] for i in range(len(keys)))
+        aligned = True
+        for i in range(len(keys)):
+            if keys[i][cursors[i]] != hi:
+                cursors[i] = bisect_left(keys[i], hi, cursors[i])
+                if cursors[i] >= len(keys[i]):
+                    return
+                if keys[i][cursors[i]] != hi:
+                    aligned = False
+        if not aligned:
+            continue
+        yield nodes[0]._values[cursors[0]]
+        for i in range(len(keys)):
+            cursors[i] += 1
+            if cursors[i] >= len(keys[i]):
+                return
+
+
+class TrieIndex:
+    """Distinct value tuples of several positions, nested in a fixed order.
+
+    The composite index behind the worst-case-optimal multiway join: for
+    positions ``(p0, ..., pk)`` the trie's level ``i`` holds the sorted
+    distinct values at ``p_i`` among the rows matching the path so far, so a
+    leapfrog join can intersect one level per participating atom.  The
+    *variable order* is the caller's: the same relation may carry several
+    tries over the same positions in different orders
+    (:meth:`~repro.relational.database.Relation.trie_index_on` caches one per
+    position tuple).
+
+    Maintenance mirrors the sorted-index contract: built once from the live
+    rows, :meth:`add`/:meth:`remove` keep it current under point mutations
+    (bulk mutations drop the whole trie), and a value outside the supported
+    order families at any level marks the trie dead (:attr:`ok` false) —
+    dead tries answer nothing and the executor falls back to the binary
+    plan, which reproduces reference semantics including ``TypeError``s.
+    """
+
+    __slots__ = ("positions", "root", "_ok", "_families")
+
+    def __init__(self, positions: Iterable[int], rows: Iterable[Iterable[Value]] = ()) -> None:
+        self.positions = tuple(positions)
+        self.root = TrieNode()
+        self._ok = True
+        #: The order family every value of each level must share; a level
+        #: mixing numbers and strings declines like a sorted index does —
+        #: the trie must never be the reason a comparison that would raise
+        #: ``TypeError`` under a scan silently evaluates.
+        self._families: List[Optional[str]] = [None] * len(self.positions)
+        for row in rows:
+            self.add(row)
+            if not self._ok:
+                break
+
+    @property
+    def ok(self) -> bool:
+        """Whether the trie can serve the multiway executor at all."""
+        return self._ok
+
+    def _mark_dead(self) -> None:
+        self._ok = False
+        self.root = TrieNode()
+
+    # -- point maintenance ---------------------------------------------------
+    def add(self, row: "Iterable[Value]") -> None:
+        """Fold one inserted row's indexed positions into the trie."""
+        if not self._ok:
+            return
+        row = tuple(row)
+        node = self.root
+        node.count += 1
+        for level, position in enumerate(self.positions):
+            value = row[position]
+            key = order_key(value)
+            if key is None or self._families[level] not in (None, key[0]):
+                self._mark_dead()
+                return
+            self._families[level] = key[0]
+            node = node._ensure_child(value)
+            assert node is not None  # order_key succeeded above
+            node.count += 1
+
+    def remove(self, row: "Iterable[Value]") -> None:
+        """Remove one row's indexed positions, pruning emptied paths."""
+        if not self._ok:
+            return
+        row = tuple(row)
+        node = self.root
+        node.count -= 1
+        for position in self.positions:
+            value = row[position]
+            child = node.child(value)
+            if child is None:  # pragma: no cover - adds and removes are paired
+                return
+            child.count -= 1
+            if child.count == 0:
+                node._drop_child(value)
+                return
+            node = child
+
+    # -- probes ---------------------------------------------------------------
+    def descend(self, values: "Iterable[Value]") -> Optional[TrieNode]:
+        """The node reached by following ``values`` from the root, or ``None``.
+
+        ``None`` either because the trie is dead or because no row carries the
+        prefix; callers that must distinguish check :attr:`ok` first.
+        """
+        if not self._ok:
+            return None
+        node: Optional[TrieNode] = self.root
+        for value in values:
+            node = node.child(value)
+            if node is None:
+                return None
+        return node
+
+    def as_nested(self) -> "Dict[Value, object] | int":
+        """The whole trie as nested ``{value: subtrie}`` dicts with leaf counts.
+
+        A canonical rendering for the maintenance property tests: two tries
+        agree iff their nested forms are equal.
+        """
+
+        def render(node: TrieNode, depth: int) -> "Dict[Value, object] | int":
+            if depth == len(self.positions):
+                return node.count
+            return {value: render(node.child(value), depth + 1) for value in node.values()}
+
+        return render(self.root, 0)

@@ -143,6 +143,28 @@ def path_query(length: int, relation: str = "edge") -> ConjunctiveQuery:
     return ConjunctiveQuery([variables[0], variables[length]], atoms, name=f"path_{length}")
 
 
+def cycle_query(length: int, relation: str = "edge") -> ConjunctiveQuery:
+    """``Q(x0, ..., x(k-1)) :- edge(x0,x1), ..., edge(x(k-1),x0)`` — cyclic.
+
+    The canonical worst-case-optimal workload: no binary join order over a
+    ``length``-cycle avoids a large intermediate, while the leapfrog multiway
+    step is bounded by the AGM fractional-cover size (``|E|^{k/2}``).
+    """
+    if length < 3:
+        raise ValueError(f"a cycle query needs length >= 3, got {length}")
+    variables = [Var(f"x{i}") for i in range(length)]
+    atoms = [
+        RelationAtom(relation, [variables[i], variables[(i + 1) % length]])
+        for i in range(length)
+    ]
+    return ConjunctiveQuery(list(variables), atoms, name=f"cycle_{length}")
+
+
+def triangle_query(relation: str = "edge") -> ConjunctiveQuery:
+    """``Q(x0, x1, x2) :- edge(x0,x1), edge(x1,x2), edge(x2,x0)``."""
+    return cycle_query(3, relation)
+
+
 # ---------------------------------------------------------------------------
 # Streaming update workloads (the PR 3 scenario class)
 # ---------------------------------------------------------------------------

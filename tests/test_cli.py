@@ -98,6 +98,30 @@ class TestExplain:
         out = capsys.readouterr().out
         assert "statistics-blind fallback order" in out
 
+    def test_explain_triangle_renders_the_multiway_step(self, capsys):
+        assert main(["explain", "triangle"]) == 0
+        out = capsys.readouterr().out
+        assert "multiway on (cyclic):" in out
+        # The leapfrog step prints its global variable elimination order ...
+        assert "multiway leapfrog, variable order [x0, x1, x2]" in out
+        assert "AGM ~" in out
+        # ... and one composite trie per atom, the closing edge in reversed
+        # position order (x2 is resolved after x0 in the elimination order).
+        assert "trie edge(x2, x0) on [1, 0]" in out
+
+    def test_explain_four_cycle_renders_the_multiway_step(self, capsys):
+        assert main(["explain", "four_cycle"]) == 0
+        out = capsys.readouterr().out
+        assert "multiway" in out and "x3" in out
+
+    def test_explain_cyclic_without_statistics_falls_back_to_binary(self, capsys):
+        """The statistics-blind planner compiles no multiway step at all."""
+        assert main(["explain", "triangle", "--no-statistics"]) == 0
+        out = capsys.readouterr().out
+        assert "statistics-blind fallback order" in out
+        assert "multiway" not in out
+        assert "scan edge" in out and "probe edge" in out
+
     def test_explain_rejects_unknown_query(self):
         with pytest.raises(SystemExit):
             main(["explain", "not_a_query"])

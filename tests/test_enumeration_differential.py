@@ -2,10 +2,11 @@
 pre-engine recursive enumerator.
 
 Property-based in the seeded-random style of ``test_evaluator_differential``:
-every case derives a random recommendation problem from an integer seed —
-random item database, cost/rating functions drawn from the standard function
-classes, compatibility as a predicate or as a real ``Qc`` query over ``RQ``,
-random budget and size bound — evaluates it through the production path
+every case derives a random recommendation problem from an integer seed
+through the shared scenario kit (:mod:`scenarios`) — random item database,
+cost/rating functions drawn from the standard function classes, compatibility
+as a predicate or as a real ``Qc`` query over ``RQ``, random budget and size
+bound — evaluates it through the production path
 (:class:`repro.core.enumeration.PackageSearchEngine` and the solvers riding
 it) and through the retained reference path
 (:func:`repro.core.enumeration.enumerate_valid_packages_reference`, the
@@ -49,113 +50,22 @@ from repro.core import (
     is_top_k_selection,
     maximum_bound,
 )
-from repro.core.compatibility import EmptyConstraint
 from repro.core.enumeration import count_valid_packages as raw_count_valid_packages
-from repro.core.functions import (
-    AttributeSumCost,
-    AttributeSumRating,
-    ConstantRating,
-    MinAttributeRating,
-)
-from repro.core.model import ConstantBound, PolynomialBound, RecommendationProblem
-from repro.queries.ast import Comparison, ComparisonOp, RelationAtom, Var
+from repro.core.model import PolynomialBound, RecommendationProblem
+from repro.queries.ast import RelationAtom, Var
 from repro.queries.cq import ConjunctiveQuery
 from repro.relational.database import Database
 from repro.relaxation.qrpp import find_package_relaxation
 from repro.relaxation.relax import RelaxationSpace
-from repro.workloads.synthetic import (
-    item_selection_query,
-    no_duplicate_category_constraint,
-    random_item_database,
-)
+
+from scenarios import random_problem
 
 NUM_DIFFERENTIAL_SEEDS = 110
 
 
-def _duplicate_category_qc() -> QueryConstraint:
-    """"At most one item per category" as a CQ violation query over ``RQ``."""
-    iid1, iid2, category = Var("iid1"), Var("iid2"), Var("category")
-    p1, q1, p2, q2 = Var("p1"), Var("q1"), Var("p2"), Var("q2")
-    violation = ConjunctiveQuery(
-        [],
-        [
-            RelationAtom("RQ", [iid1, category, p1, q1]),
-            RelationAtom("RQ", [iid2, category, p2, q2]),
-        ],
-        [Comparison(ComparisonOp.NE, iid1, iid2)],
-        name="duplicate_category",
-    )
-    return QueryConstraint(violation, answer_relation="RQ")
-
-
 def _random_problem(seed: int) -> Tuple[RecommendationProblem, float]:
-    """A random recommendation problem plus a rating bound that bites.
-
-    The declared hints (``monotone_cost``, ``antimonotone_compatibility``,
-    ``monotone_val``) are randomly withheld even when the property holds, so
-    the suite exercises both the pruned and the exhaustive regimes of every
-    search mode; they are never declared when the property does NOT hold.
-    """
-    rng = random.Random(seed)
-    num_items = rng.randint(3, 7)
-    database = random_item_database(num_items, seed=seed)
-
-    max_price = rng.choice([None, 20, 35])
-    query = item_selection_query(max_price)
-
-    cost = rng.choice([CountCost(), AttributeSumCost("price")])
-    # Prices and qualities are ≥ 1, so both costs are monotone.
-    cost_is_monotone = True
-
-    val_kind = rng.randrange(5)
-    if val_kind == 0:
-        val, val_is_monotone = AttributeSumRating("quality"), True
-    elif val_kind == 1:
-        val, val_is_monotone = AttributeSumRating("quality", sign=-1.0), False
-    elif val_kind == 2:
-        val, val_is_monotone = CountRating(), True
-    elif val_kind == 3:
-        val, val_is_monotone = MinAttributeRating("quality"), False
-    else:
-        val, val_is_monotone = ConstantRating(float(rng.randint(1, 5))), True
-
-    constraint_kind = rng.randrange(3)
-    if constraint_kind == 0:
-        compatibility = EmptyConstraint()
-    elif constraint_kind == 1:
-        compatibility = no_duplicate_category_constraint()
-    else:
-        compatibility = _duplicate_category_qc()
-
-    if isinstance(cost, CountCost):
-        budget = float(rng.randint(1, 4))
-    else:
-        budget = float(rng.randint(10, 90))
-
-    size_bound = rng.choice(
-        [ConstantBound(rng.randint(1, 3)), PolynomialBound(1.0, 1)]
-    )
-
-    problem = RecommendationProblem(
-        database=database,
-        query=query,
-        cost=cost,
-        val=val,
-        budget=budget,
-        k=rng.randint(1, 3),
-        compatibility=compatibility,
-        size_bound=size_bound,
-        name=f"differential seed {seed}",
-        monotone_cost=cost_is_monotone and rng.random() < 0.8,
-        antimonotone_compatibility=rng.random() < 0.8,
-        monotone_val=val_is_monotone and rng.random() < 0.8,
-        cache_compatibility=rng.random() < 0.8,
-    )
-    if val_kind == 1:
-        rating_bound = float(-rng.randint(5, 40))
-    else:
-        rating_bound = float(rng.randint(1, 25))
-    return problem, rating_bound
+    """A random problem + rating bound from the shared scenario kit."""
+    return random_problem(seed)
 
 
 def _unpruned(problem: RecommendationProblem) -> RecommendationProblem:

@@ -1,9 +1,10 @@
 """Differential tests: the planned evaluator against the naive reference.
 
 Property-based in the seeded-random style: every case derives a random
-database plus a random query (CQ, UCQ or ∃FO+) from an integer seed, evaluates
-it through the production path (:func:`repro.queries.bindings.enumerate_bindings`,
-which compiles an indexed join plan) and through the retained reference path
+database plus a random query (CQ, UCQ or ∃FO+) from an integer seed through
+the shared scenario kit (:mod:`scenarios`), evaluates it through the
+production path (:func:`repro.queries.bindings.enumerate_bindings`, which
+compiles an indexed join plan) and through the retained reference path
 (:func:`repro.queries.bindings.enumerate_bindings_naive`, the historical
 backtracking scan), and asserts the answer multisets are identical.
 
@@ -13,101 +14,49 @@ seed in the test id, so a mismatch is reproducible by construction.
 
 The cost-based planner of PR 4 added three knobs that may change *cost* but
 never answers — statistics-driven atom ordering, sorted-index range probes,
-and the Yannakakis semi-join reduction.  The axes matrix below re-runs the
-random pairs under every combination (including the all-off configuration,
-which is exactly the PR 1 planner) against the same naive reference.  The
-generated databases are well-typed (every comparison is total), which is the
-scope of the equivalence contract: on malformed mixed-type data the surfaced
-``TypeError`` may differ by join order (see :mod:`repro.queries.plan`).
+and the Yannakakis semi-join reduction — and PR 5 a fourth, the
+worst-case-optimal multiway leapfrog join.  The axes matrix below re-runs
+random pairs under every one of the 2⁴ knob combinations (including the
+all-off configuration, which is exactly the PR 1 planner, and the
+multiway-off configuration, which is exactly the PR 4 planner) against the
+same naive reference — once over the kit's generic conjunctions and once over
+its *cyclic* shapes (triangle, 4-cycle, star-with-chord), the workloads the
+multiway path exists for.  The generated databases are well-typed (every
+comparison is total), which is the scope of the equivalence contract: on
+malformed mixed-type data the surfaced ``TypeError`` may differ by join order
+(see :mod:`repro.queries.plan`).
 """
 
 from __future__ import annotations
 
+import itertools
 import random
-from typing import List, Tuple
 
 import pytest
 
-from repro.queries.ast import (
-    And,
-    Comparison,
-    ComparisonOp,
-    Const,
-    Exists,
-    Or,
-    RelationAtom,
-    Var,
-)
 from repro.queries.bindings import enumerate_bindings, enumerate_bindings_naive, project_binding
 from repro.queries.cq import ConjunctiveQuery
-from repro.queries.efo import PositiveExistentialQuery
-from repro.queries.ucq import UnionOfConjunctiveQueries
-from repro.relational.database import Database
 
-VALUES = range(7)
-VARIABLES = ["x0", "x1", "x2", "x3", "x4"]
-COMPARISON_OPS = list(ComparisonOp)
+from scenarios import (
+    CYCLIC_SHAPES,
+    EVALUATOR_VALUES,
+    random_conjunction,
+    random_cyclic_conjunction,
+    random_cyclic_database,
+    random_database,
+    random_efo_query,
+    random_ucq,
+)
 
-
-def _random_database(rng: random.Random) -> Database:
-    """A small random database: 1-3 relations of arity 1-3 over a tiny domain."""
-    database = Database()
-    for index in range(rng.randint(1, 3)):
-        arity = rng.randint(1, 3)
-        rows = {
-            tuple(rng.choice(VALUES) for _ in range(arity))
-            for _ in range(rng.randint(0, 6))
-        }
-        database.create_relation(f"R{index}", [f"a{i}" for i in range(arity)], rows)
-    return database
+VALUES = EVALUATOR_VALUES
 
 
-def _random_atoms(rng: random.Random, database: Database) -> List[RelationAtom]:
-    """1-4 random atoms; the first term of the first atom is always a variable."""
-    atoms: List[RelationAtom] = []
-    for atom_index in range(rng.randint(1, 4)):
-        name = rng.choice(database.relation_names())
-        arity = database.relation(name).arity
-        terms: List = []
-        for position in range(arity):
-            if (atom_index == 0 and position == 0) or rng.random() < 0.75:
-                terms.append(Var(rng.choice(VARIABLES)))
-            else:
-                terms.append(Const(rng.choice(VALUES)))
-        atoms.append(RelationAtom(name, terms))
-    return atoms
-
-
-def _random_comparisons(
-    rng: random.Random, atoms: List[RelationAtom]
-) -> List[Comparison]:
-    """0-2 comparisons over variables that occur in the atoms (safety)."""
-    body_vars = sorted({v.name for atom in atoms for v in atom.variables()})
-    if not body_vars:
-        return []
-    comparisons = []
-    for _ in range(rng.randint(0, 2)):
-        left = Var(rng.choice(body_vars))
-        right = (
-            Var(rng.choice(body_vars)) if rng.random() < 0.5 else Const(rng.choice(VALUES))
-        )
-        comparisons.append(Comparison(rng.choice(COMPARISON_OPS), left, right))
-    return comparisons
-
-
-def _random_conjunction(
-    rng: random.Random, database: Database
-) -> Tuple[List[RelationAtom], List[Comparison]]:
-    atoms = _random_atoms(rng, database)
-    return atoms, _random_comparisons(rng, atoms)
-
-
-def _binding_multiset(bindings) -> List[Tuple[Tuple[str, object], ...]]:
+def _binding_multiset(bindings):
     """Bindings as a sorted multiset of sorted (name, value) item tuples."""
     return sorted(tuple(sorted(binding.items())) for binding in bindings)
 
 
-def _naive_answer_rows(database: Database, cq: ConjunctiveQuery):
+def _naive_answer_rows(database, cq: ConjunctiveQuery):
     """The reference answer set of a CQ: naive bindings projected on the head."""
     return {
         project_binding(binding, cq.head)
@@ -121,8 +70,8 @@ def _naive_answer_rows(database: Database, cq: ConjunctiveQuery):
 @pytest.mark.parametrize("seed", range(120))
 def test_cq_bindings_match_naive(seed):
     rng = random.Random(seed)
-    database = _random_database(rng)
-    atoms, comparisons = _random_conjunction(rng, database)
+    database = random_database(rng)
+    atoms, comparisons = random_conjunction(rng, database)
     planned = _binding_multiset(enumerate_bindings(database, atoms, comparisons))
     naive = _binding_multiset(enumerate_bindings_naive(database, atoms, comparisons))
     assert planned == naive
@@ -132,8 +81,8 @@ def test_cq_bindings_match_naive(seed):
 def test_cq_bindings_match_naive_under_initial_binding(seed):
     """Pre-bound variables (the Datalog / FO entry mode) agree across paths."""
     rng = random.Random(1_000 + seed)
-    database = _random_database(rng)
-    atoms, comparisons = _random_conjunction(rng, database)
+    database = random_database(rng)
+    atoms, comparisons = random_conjunction(rng, database)
     body_vars = sorted({v.name for atom in atoms for v in atom.variables()})
     initial = {rng.choice(body_vars): rng.choice(VALUES)} if body_vars else {}
     planned = _binding_multiset(
@@ -148,33 +97,14 @@ def test_cq_bindings_match_naive_under_initial_binding(seed):
 # ---------------------------------------------------------------------------
 # Unions of conjunctive queries (30 pairs of 2-3 disjuncts each)
 # ---------------------------------------------------------------------------
-def _random_cq(rng: random.Random, database: Database, name: str) -> ConjunctiveQuery:
-    atoms, comparisons = _random_conjunction(rng, database)
-    head_vars = sorted({v.name for atom in atoms for v in atom.variables()})
-    head = [Var(v) for v in rng.sample(head_vars, rng.randint(1, min(2, len(head_vars))))]
-    return ConjunctiveQuery(head, atoms, comparisons, name=name)
-
-
 @pytest.mark.parametrize("seed", range(30))
 def test_ucq_evaluation_matches_naive_union(seed):
     rng = random.Random(2_000 + seed)
-    database = _random_database(rng)
-    disjuncts = []
-    width = rng.randint(2, 3)
-    for index in range(width):
-        cq = _random_cq(rng, database, f"Q{index}")
-        # All disjuncts of a UCQ must share one output arity; pad or trim the
-        # head by repeating its first term.
-        if disjuncts and cq.output_arity != disjuncts[0].output_arity:
-            target = disjuncts[0].output_arity
-            cq = ConjunctiveQuery(
-                (cq.head * target)[:target], cq.atoms, cq.comparisons, name=cq.name
-            )
-        disjuncts.append(cq)
-    ucq = UnionOfConjunctiveQueries(disjuncts, name="U")
+    database = random_database(rng)
+    ucq = random_ucq(rng, database)
     planned_rows = ucq.evaluate(database).rows()
     naive_rows = set()
-    for cq in disjuncts:
+    for cq in ucq.disjuncts:
         naive_rows |= _naive_answer_rows(database, cq)
     assert planned_rows == naive_rows
 
@@ -185,24 +115,8 @@ def test_ucq_evaluation_matches_naive_union(seed):
 @pytest.mark.parametrize("seed", range(40))
 def test_efo_evaluation_matches_naive_dnf(seed):
     rng = random.Random(3_000 + seed)
-    database = _random_database(rng)
-    branches = []
-    for _ in range(rng.randint(1, 3)):
-        atoms = _random_atoms(rng, database)
-        # Share x0 across every branch so a head variable exists in all of them.
-        atoms[0] = RelationAtom(atoms[0].relation, [Var("x0")] + list(atoms[0].terms[1:]))
-        comparisons = _random_comparisons(rng, atoms)
-        branches.append(And(*(atoms + comparisons)))
-    formula = Or(*branches) if len(branches) > 1 else branches[0]
-    branch_vars = sorted(
-        {v.name for branch in branches for v in _formula_vars(branch)} - {"x0"}
-    )
-    if branch_vars and rng.random() < 0.7:
-        formula = Exists(
-            tuple(Var(v) for v in rng.sample(branch_vars, rng.randint(1, len(branch_vars)))),
-            formula,
-        )
-    query = PositiveExistentialQuery([Var("x0")], formula, name="E")
+    database = random_database(rng)
+    query = random_efo_query(rng, database)
     planned_rows = query.evaluate(database).rows()
     naive_rows = set()
     for cq in query.to_ucq().disjuncts:
@@ -210,51 +124,46 @@ def test_efo_evaluation_matches_naive_dnf(seed):
     assert planned_rows == naive_rows
 
 
-def _formula_vars(formula):
-    if isinstance(formula, (RelationAtom, Comparison)):
-        return formula.variables()
-    if isinstance(formula, (And, Or)):
-        result = frozenset()
-        for operand in formula.operands:
-            result |= _formula_vars(operand)
-        return result
-    return _formula_vars(formula.operand)
-
-
 # ---------------------------------------------------------------------------
-# Planner axes: statistics / range probes / semi-join on-off (30 pairs x 5)
+# Planner axes: the full 2⁴ knob matrix, on generic and cyclic scenarios
 # ---------------------------------------------------------------------------
+AXES_KNOBS = ("use_statistics", "use_range_probes", "use_semijoin", "use_multiway")
+
 PLANNER_AXES = [
     pytest.param(
-        {"use_statistics": False, "use_range_probes": False, "use_semijoin": False},
-        id="pr1-baseline",
-    ),
-    pytest.param(
-        {"use_statistics": True, "use_range_probes": False, "use_semijoin": False},
-        id="statistics-only",
-    ),
-    pytest.param(
-        {"use_statistics": False, "use_range_probes": True, "use_semijoin": False},
-        id="ranges-only",
-    ),
-    pytest.param(
-        {"use_statistics": False, "use_range_probes": False, "use_semijoin": True},
-        id="semijoin-only",
-    ),
-    pytest.param(
-        {"use_statistics": True, "use_range_probes": True, "use_semijoin": True},
-        id="all-on",
-    ),
+        dict(zip(AXES_KNOBS, bits)),
+        id="pr1-baseline"
+        if not any(bits)
+        else "+".join(
+            knob.replace("use_", "") for knob, bit in zip(AXES_KNOBS, bits) if bit
+        ),
+    )
+    for bits in itertools.product((False, True), repeat=len(AXES_KNOBS))
 ]
 
 
 @pytest.mark.parametrize("axes", PLANNER_AXES)
-@pytest.mark.parametrize("seed", range(30))
+@pytest.mark.parametrize("seed", range(12))
 def test_planner_axes_match_naive(seed, axes):
     """No combination of planner knobs may change answers, only cost."""
     rng = random.Random(4_000 + seed)
-    database = _random_database(rng)
-    atoms, comparisons = _random_conjunction(rng, database)
+    database = random_database(rng)
+    atoms, comparisons = random_conjunction(rng, database)
+    planned = _binding_multiset(
+        enumerate_bindings(database, atoms, comparisons, **axes)
+    )
+    naive = _binding_multiset(enumerate_bindings_naive(database, atoms, comparisons))
+    assert planned == naive
+
+
+@pytest.mark.parametrize("axes", PLANNER_AXES)
+@pytest.mark.parametrize("shape", CYCLIC_SHAPES)
+@pytest.mark.parametrize("seed", range(5))
+def test_planner_axes_match_naive_on_cyclic_shapes(seed, shape, axes):
+    """The knob matrix again, on the shapes the multiway step compiles for."""
+    rng = random.Random(6_000 + seed)
+    database = random_cyclic_database(rng)
+    atoms, comparisons = random_cyclic_conjunction(rng, database, shape)
     planned = _binding_multiset(
         enumerate_bindings(database, atoms, comparisons, **axes)
     )
@@ -266,8 +175,8 @@ def test_planner_axes_match_naive(seed, axes):
 def test_forced_semijoin_matches_naive_under_initial_binding(seed):
     """The reduction respects pre-bound variables (the delta-rule entry mode)."""
     rng = random.Random(5_000 + seed)
-    database = _random_database(rng)
-    atoms, comparisons = _random_conjunction(rng, database)
+    database = random_database(rng)
+    atoms, comparisons = random_conjunction(rng, database)
     body_vars = sorted({v.name for atom in atoms for v in atom.variables()})
     initial = {rng.choice(body_vars): rng.choice(VALUES)} if body_vars else {}
     planned = _binding_multiset(
@@ -281,8 +190,55 @@ def test_forced_semijoin_matches_naive_under_initial_binding(seed):
     assert planned == naive
 
 
+@pytest.mark.parametrize("shape", CYCLIC_SHAPES)
+@pytest.mark.parametrize("seed", range(8))
+def test_forced_multiway_matches_naive_under_initial_binding(seed, shape):
+    """A pre-bound variable is a singleton leapfrog candidate, never a widening."""
+    rng = random.Random(7_000 + seed)
+    database = random_cyclic_database(rng)
+    atoms, comparisons = random_cyclic_conjunction(rng, database, shape)
+    body_vars = sorted({v.name for atom in atoms for v in atom.variables()})
+    initial = {rng.choice(body_vars): rng.choice(range(12))}
+    planned = _binding_multiset(
+        enumerate_bindings(
+            database, atoms, comparisons, initial_binding=initial, use_multiway=True
+        )
+    )
+    naive = _binding_multiset(
+        enumerate_bindings_naive(database, atoms, comparisons, initial_binding=initial)
+    )
+    assert planned == naive
+
+
+def test_multiway_actually_compiles_on_the_cyclic_shapes():
+    """At least one generated cyclic scenario per shape carries a leapfrog step.
+
+    Guards the matrix against silently degenerating: if the planner stopped
+    compiling multiway steps, the ``use_multiway`` axis would be testing
+    nothing.
+    """
+    from repro.queries.plan import plan_conjunction
+
+    for shape in CYCLIC_SHAPES:
+        compiled = 0
+        for seed in range(5):
+            rng = random.Random(6_000 + seed)
+            database = random_cyclic_database(rng)
+            atoms, comparisons = random_cyclic_conjunction(rng, database, shape)
+            statistics = {
+                atom.relation: database.relation(atom.relation).statistics()
+                for atom in atoms
+            }
+            plan = plan_conjunction(atoms, comparisons, statistics=statistics)
+            if plan.multiway is not None:
+                compiled += 1
+        assert compiled > 0, f"no multiway step compiled for shape {shape}"
+
+
 def test_suite_covers_at_least_200_pairs():
     """The acceptance criterion: ≥200 generated query/database pairs."""
     assert 120 + 30 + 30 + 40 >= 200
-    # ... and the PR 4 axes matrix re-proves planned ≡ naive on 170 more.
-    assert 30 * len(PLANNER_AXES) + 20 == 170
+    # ... and the axes matrix re-proves planned ≡ naive under all 2⁴ knob
+    # combinations, on generic and cyclic scenarios alike.
+    assert len(PLANNER_AXES) == 2 ** 4
+    assert 12 * len(PLANNER_AXES) + 5 * len(CYCLIC_SHAPES) * len(PLANNER_AXES) == 432

@@ -3,9 +3,9 @@
 Every guarantee of the delta-maintenance subsystem is pinned here against the
 retained from-scratch paths, in the seeded-random style of the evaluator and
 enumeration differential suites — each seed derives a random database, a
-random query/problem and a random *update stream*, runs the incremental and
-the from-scratch path side by side, and asserts exact agreement after every
-modification:
+random query/problem and a random *update stream* through the shared scenario
+kit (:mod:`scenarios`), runs the incremental and the from-scratch path side
+by side, and asserts exact agreement after every modification:
 
 * maintained ``Q(D)`` answers vs a fresh ``query.evaluate`` (CQ with
   self-joins, UCQ, comparisons, constants), plus undo round-trips;
@@ -22,7 +22,6 @@ streams; any divergence fails with the seed in the test id.
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
 
 import pytest
 
@@ -39,97 +38,39 @@ from repro.core.model import PolynomialBound
 from repro.core.packages import Package
 from repro.incremental import MaintainedQuery, StreamingQRPP
 from repro.queries import identity_query_for, parse_cq
-from repro.queries.ast import Comparison, ComparisonOp, Const, RelationAtom, Var
+from repro.queries.ast import Comparison, ComparisonOp, RelationAtom, Var
 from repro.queries.cq import ConjunctiveQuery
-from repro.queries.ucq import UnionOfConjunctiveQueries
 from repro.relational import Database, Relation
 from repro.workloads.synthetic import item_schema, random_item_database
 
-VALUES = range(6)
-VARIABLES = ["x0", "x1", "x2", "x3"]
+from scenarios import (
+    INCREMENTAL_VALUES,
+    random_cq_or_ucq,
+    random_database,
+    random_modification,
+    random_update_stream,
+)
+
+VALUES = INCREMENTAL_VALUES
 
 
 # ---------------------------------------------------------------------------
-# Generators
+# Generators — the shared scenario kit, with this suite's historical pools
 # ---------------------------------------------------------------------------
 def _random_database(rng: random.Random) -> Database:
-    database = Database()
-    for index in range(rng.randint(1, 3)):
-        arity = rng.randint(1, 3)
-        rows = {
-            tuple(rng.choice(VALUES) for _ in range(arity))
-            for _ in range(rng.randint(0, 6))
-        }
-        database.create_relation(f"R{index}", [f"a{i}" for i in range(arity)], rows)
-    return database
+    return random_database(rng, values=VALUES)
 
 
 def _random_query(rng: random.Random, database: Database):
-    """A random CQ or UCQ; self-joins and repeated variables are likely."""
-
-    def random_cq(name: str, head_vars=None) -> ConjunctiveQuery:
-        atoms: List[RelationAtom] = []
-        for _ in range(rng.randint(1, 3)):
-            relation = rng.choice(database.relation_names())
-            arity = database.relation(relation).arity
-            terms = [
-                Var(rng.choice(VARIABLES))
-                if rng.random() < 0.8
-                else Const(rng.choice(VALUES))
-                for _ in range(arity)
-            ]
-            atoms.append(RelationAtom(relation, terms))
-        body_vars = sorted({v.name for atom in atoms for v in atom.variables()})
-        comparisons = []
-        if body_vars and rng.random() < 0.4:
-            left = Var(rng.choice(body_vars))
-            right = (
-                Var(rng.choice(body_vars))
-                if rng.random() < 0.5
-                else Const(rng.choice(VALUES))
-            )
-            comparisons.append(Comparison(rng.choice(list(ComparisonOp)), left, right))
-        if head_vars is None:
-            head_vars = rng.sample(body_vars, min(len(body_vars), rng.randint(1, 2))) if body_vars else []
-        head = [Var(v) for v in head_vars]
-        return ConjunctiveQuery(head, atoms, comparisons, name=name)
-
-    first = random_cq("d1")
-    if rng.random() < 0.3:
-        # a UCQ whose disjuncts agree on the output arity
-        arity = first.output_arity
-        disjuncts = [first]
-        for index in range(rng.randint(1, 2)):
-            for _ in range(8):  # retry until a disjunct with matching arity appears
-                candidate = random_cq(f"d{index + 2}")
-                if candidate.output_arity == arity:
-                    disjuncts.append(candidate)
-                    break
-        if len(disjuncts) > 1:
-            return UnionOfConjunctiveQueries(disjuncts, name="ucq")
-    return first
+    return random_cq_or_ucq(rng, database)
 
 
 def _random_modification(rng: random.Random, database: Database):
-    relation = rng.choice(database.relation_names())
-    arity = database.relation(relation).arity
-    kind = rng.choice(["insert", "delete"])
-    if kind == "delete" and len(database.relation(relation)) and rng.random() < 0.6:
-        row = rng.choice(sorted(database.relation(relation).rows()))
-    else:
-        row = tuple(rng.choice(VALUES) for _ in range(arity))
-    return (kind, relation, row)
+    return random_modification(rng, database)
 
 
 def _random_stream(rng: random.Random, database: Database, length: int):
-    """A stream of single- and multi-modification deltas (some no-ops)."""
-    stream = []
-    for _ in range(length):
-        batch = [
-            _random_modification(rng, database) for _ in range(rng.randint(1, 3))
-        ]
-        stream.append(batch)
-    return stream
+    return random_update_stream(rng, database, length)
 
 
 # ---------------------------------------------------------------------------

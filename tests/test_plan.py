@@ -258,3 +258,199 @@ def test_unsafe_comparison_is_silent_when_no_binding_completes():
     comparisons = [Comparison(ComparisonOp.LT, Var("w"), X)]
     assert list(enumerate_bindings(database, atoms, comparisons)) == []
     assert list(enumerate_bindings_naive(database, atoms, comparisons)) == []
+
+
+# ---------------------------------------------------------------------------
+# Worst-case-optimal multiway compilation
+# ---------------------------------------------------------------------------
+def _triangle_atoms():
+    return [
+        RelationAtom("edge", [X, Y]),
+        RelationAtom("edge", [Y, Z]),
+        RelationAtom("edge", [Z, X]),
+    ]
+
+
+def _stats_for(database, atoms):
+    return {
+        atom.relation: database.relation(atom.relation).statistics() for atom in atoms
+    }
+
+
+@pytest.fixture
+def skewed_graph() -> Database:
+    """A hub-heavy edge relation: binary joins explode, the AGM bound does not."""
+    database = Database()
+    rows = {(i, i % 3) for i in range(60)} | {(i % 3, i) for i in range(60)}
+    database.create_relation("edge", ["src", "dst"], rows)
+    return database
+
+
+class TestMultiwayPlanning:
+    def test_cyclic_costed_conjunction_compiles_a_multiway_step(self, skewed_graph):
+        plan = plan_conjunction(
+            _triangle_atoms(), statistics=_stats_for(skewed_graph, _triangle_atoms())
+        )
+        assert plan.multiway is not None
+        assert plan.semijoin_tree == ()  # cyclic: GYO found no ear
+        assert tuple(sorted(plan.multiway.var_order)) == ("x", "y", "z")
+        # One composite trie per atom; the closing atom nests its positions in
+        # elimination order, not schema order.
+        by_atom = {str(m.atom): m.trie_positions for m in plan.multiway.atoms}
+        order_index = {name: i for i, name in enumerate(plan.multiway.var_order)}
+        closing = by_atom["edge(z, x)"]
+        assert closing == ((1, 0) if order_index["x"] < order_index["z"] else (0, 1))
+
+    def test_statistics_blind_planner_compiles_no_multiway(self):
+        plan = plan_conjunction(_triangle_atoms())
+        assert plan.multiway is None
+        assert not plan.run_multiway
+
+    def test_acyclic_conjunction_compiles_no_multiway(self, skewed_graph):
+        chain = [
+            RelationAtom("edge", [X, Y]),
+            RelationAtom("edge", [Y, Z]),
+        ]
+        plan = plan_conjunction(chain, statistics=_stats_for(skewed_graph, chain))
+        assert plan.multiway is None
+
+    def test_verdict_fires_on_skew_and_rests_on_uniform(self, skewed_graph):
+        """AGM below the worst-case binary intermediate <=> run_multiway."""
+        skewed_plan = plan_conjunction(
+            _triangle_atoms(), statistics=_stats_for(skewed_graph, _triangle_atoms())
+        )
+        assert skewed_plan.run_multiway  # hub degree ~60: binary worst case explodes
+
+        uniform = Database()
+        uniform.create_relation("edge", ["src", "dst"], [(i, i + 1) for i in range(40)])
+        uniform_plan = plan_conjunction(
+            _triangle_atoms(), statistics=_stats_for(uniform, _triangle_atoms())
+        )
+        # Every degree is 1: the binary plan's worst case is tiny, the AGM
+        # bound (40^1.5) is not — the verdict keeps the binary plan.
+        assert uniform_plan.multiway is not None
+        assert not uniform_plan.run_multiway
+
+    def test_agm_estimate_is_the_fractional_cover_product(self, skewed_graph):
+        from repro.queries.plan import multiway_estimate
+
+        stats = _stats_for(skewed_graph, _triangle_atoms())
+        cardinality = stats["edge"].cardinality
+        # A triangle: every variable occurs in two atoms, so each atom weighs
+        # 1/2 and the bound is |E|^{3/2}.
+        assert multiway_estimate(_triangle_atoms(), frozenset(), stats) == pytest.approx(
+            cardinality ** 1.5
+        )
+        # A variable unique to one atom forces that atom to weight 1: in the
+        # open chain both end atoms carry one (x resp. w), the middle stays ½.
+        chain = [
+            RelationAtom("edge", [X, Y]),
+            RelationAtom("edge", [Y, Z]),
+            RelationAtom("edge", [Z, Var("w")]),
+        ]
+        assert multiway_estimate(chain, frozenset(), stats) == pytest.approx(
+            cardinality ** 2.5
+        )
+        # Binding the end variables releases both end atoms back to weight ½.
+        assert multiway_estimate(chain, frozenset({"x", "w"}), stats) == pytest.approx(
+            cardinality ** 1.5
+        )
+
+    def test_initially_bound_variables_lead_the_elimination_order(self, skewed_graph):
+        # A pendant atom keeps the triangle cyclic while carrying the bound
+        # variable w; binding a triangle vertex itself would break the cycle
+        # (bound variables drop out of the GYO hypergraph) and void the step.
+        atoms = _triangle_atoms() + [RelationAtom("edge", [Z, Var("w")])]
+        plan = plan_conjunction(
+            atoms,
+            bound_variables={"w"},
+            statistics=_stats_for(skewed_graph, atoms),
+        )
+        assert plan.multiway is not None
+        assert plan.multiway.var_order[0] == "w"
+
+    def test_binding_a_cycle_vertex_voids_the_multiway_step(self, skewed_graph):
+        """A bound vertex acts as a constant: the residual hypergraph is acyclic."""
+        plan = plan_conjunction(
+            _triangle_atoms(),
+            bound_variables={"z"},
+            statistics=_stats_for(skewed_graph, _triangle_atoms()),
+        )
+        assert plan.multiway is None
+        assert plan.semijoin_tree  # GYO now finds ears
+
+    def test_repeated_variable_owns_consecutive_trie_levels(self, skewed_graph):
+        atoms = [
+            RelationAtom("edge", [X, X]),
+            RelationAtom("edge", [X, Y]),
+            RelationAtom("edge", [Y, Z]),
+            RelationAtom("edge", [Z, X]),
+        ]
+        plan = plan_conjunction(atoms, statistics=_stats_for(skewed_graph, atoms))
+        assert plan.multiway is not None
+        loop = next(m for m in plan.multiway.atoms if str(m.atom) == "edge(x, x)")
+        assert loop.var_levels == (("x", 2),)
+        assert loop.trie_positions == (0, 1)
+
+    def test_multiway_comparison_schedule_is_earliest_ground(self, skewed_graph):
+        comparisons = [Comparison(ComparisonOp.LT, X, Y)]
+        plan = plan_conjunction(
+            _triangle_atoms(),
+            comparisons,
+            statistics=_stats_for(skewed_graph, _triangle_atoms()),
+        )
+        multiway = plan.multiway
+        assert multiway is not None
+        depth = max(multiway.var_order.index("x"), multiway.var_order.index("y")) + 1
+        assert multiway.comparison_schedule[depth] == (0,)
+        assert sum(len(entry) for entry in multiway.comparison_schedule) == 1
+
+    def test_describe_renders_the_multiway_section(self, skewed_graph):
+        plan = plan_conjunction(
+            _triangle_atoms(), statistics=_stats_for(skewed_graph, _triangle_atoms())
+        )
+        text = plan.describe()
+        assert "multiway on (cyclic):" in text
+        assert "multiway leapfrog, variable order [" in text
+        assert "trie edge" in text
+
+    def test_nullary_atom_in_a_cyclic_conjunction_is_a_membership_test(self):
+        """An arity-0 atom cannot be trie-indexed; it must not crash the path."""
+        database = Database()
+        rows = {(i, i % 3) for i in range(30)} | {(i % 3, i) for i in range(30)}
+        database.create_relation("edge", ["src", "dst"], rows)
+        database.create_relation("flag", [], {()})
+        atoms = _triangle_atoms() + [RelationAtom("flag", [])]
+
+        def multiset(bindings):
+            return sorted(tuple(sorted(b.items())) for b in bindings)
+
+        expected = multiset(enumerate_bindings_naive(database, atoms))
+        assert expected  # the flag is set: the triangle answers survive
+        assert multiset(enumerate_bindings(database, atoms, use_multiway=True)) == expected
+        assert multiset(enumerate_bindings(database, atoms)) == expected
+        # An empty nullary relation empties the conjunction instead.
+        database.relation("flag").clear()
+        assert multiset(enumerate_bindings(database, atoms, use_multiway=True)) == []
+        assert multiset(enumerate_bindings_naive(database, atoms)) == []
+
+    def test_empty_constant_prefix_still_checks_root_comparisons(self, skewed_graph):
+        """The no-answers early exit must not swallow a root-level TypeError."""
+        atoms = _triangle_atoms() + [RelationAtom("edge", [X, Const(999)])]
+        comparisons = [Comparison(ComparisonOp.LT, Var("w"), 3)]
+        with pytest.raises(TypeError):
+            list(
+                enumerate_bindings_naive(
+                    skewed_graph, atoms, comparisons, initial_binding={"w": "zzz"}
+                )
+            )
+        with pytest.raises(TypeError):
+            list(
+                enumerate_bindings(
+                    skewed_graph,
+                    atoms,
+                    comparisons,
+                    initial_binding={"w": "zzz"},
+                    use_multiway=True,
+                )
+            )

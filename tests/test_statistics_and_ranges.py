@@ -88,6 +88,33 @@ class TestRelationStatistics:
         assert relation.statistics().cardinality == 2
         assert relation.statistics().distinct_counts == (2, 1)
 
+    def test_max_frequencies_track_the_heavy_hitter(self):
+        relation = Relation(
+            RelationSchema("r", ["a", "b"]), [(1, "x"), (2, "x"), (3, "y")]
+        )
+        stats = relation.statistics()
+        assert stats.max_frequencies == (1, 2)
+        assert stats.max_frequency(1) == 2
+
+    def test_max_frequencies_maintained_in_place_and_dirtied_by_deletes(self):
+        relation = Relation(RelationSchema("r", ["a"]), [(1,), (2,)])
+        relation.statistics()
+        # Inserting rows of one value raises the max in O(1) per update.
+        relation.add((3,))
+        assert relation.statistics().max_frequencies == (1,)
+        relation2 = Relation(RelationSchema("s", ["a", "b"]), [(1, 9), (2, 9)])
+        relation2.statistics()
+        relation2.add((3, 9))
+        assert relation2.statistics().max_frequencies == (1, 3)
+        # Deleting a row of the maximal value dirties the position; the next
+        # snapshot recomputes it (another value may share the max).
+        relation2.discard((3, 9))
+        assert relation2._stats_max[1] is None
+        assert relation2.statistics().max_frequencies == (1, 2)
+        # A snapshot equals a from-scratch build after any of it.
+        fresh = Relation(relation2.schema, relation2.rows())
+        assert relation2.statistics() == fresh.statistics()
+
     def test_snapshots_are_hashable_and_comparable(self):
         relation = Relation(RelationSchema("r", ["a"]), [(1,)])
         first = relation.statistics()
