@@ -105,7 +105,16 @@ class QueryConstraint(CompatibilityConstraint):
     answer_relation: str = "RQ"
 
     def is_satisfied(self, package: Package, database: Database) -> bool:
-        return len(self.query.evaluate(self._extended_view(package, database))) == 0
+        extended, answer = self._extended_view(package, database)
+        try:
+            return len(self.query.evaluate(extended)) == 0
+        finally:
+            # Restore the reusable view no matter how the probe ends: a
+            # mid-probe exception (a step-limit abort, a ``TypeError`` from a
+            # mixed-type comparison) must not leave the shared answer relation
+            # holding this package's rows — the next consumer of the view
+            # would silently evaluate against a stale package.
+            answer.replace_rows(())
 
     def is_satisfied_copying(self, package: Package, database: Database) -> bool:
         """The historical per-probe copy path, kept as the reference semantics."""
@@ -113,8 +122,14 @@ class QueryConstraint(CompatibilityConstraint):
         extended = database.with_relation(package_relation)
         return len(self.query.evaluate(extended)) == 0
 
-    def _extended_view(self, package: Package, database: Database) -> Database:
-        """The reusable extended database with the package's items as ``RQ``."""
+    def _extended_view(
+        self, package: Package, database: Database
+    ) -> Tuple[Database, Relation]:
+        """The reusable extended database with the package's items as ``RQ``.
+
+        Returns the extended database *and* the answer relation so the caller
+        can restore the view (``replace_rows(())``) when the probe finishes.
+        """
         state = getattr(self, "_probe_state", None)
         if (
             state is None
@@ -132,7 +147,7 @@ class QueryConstraint(CompatibilityConstraint):
             self._probe_state = state
         answer = state[1]
         answer.replace_rows(package.items)
-        return state[2]
+        return state[2], answer
 
     def relation_footprint(self) -> Optional[FrozenSet[str]]:
         """The query's relations minus the answer relation ``RQ``.

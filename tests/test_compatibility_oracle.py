@@ -250,6 +250,61 @@ def test_conjunction_footprint_is_the_union():
 
 
 # ---------------------------------------------------------------------------
+# The reusable probe view is restored even when a probe explodes
+# ---------------------------------------------------------------------------
+def test_failed_probe_restores_the_reusable_extended_view(items_database):
+    """A mid-probe exception must not leave the shared answer relation swapped.
+
+    The zero-copy probe evaluates ``Qc`` against a reusable extended database
+    whose answer relation is bulk-swapped to the candidate package.  Inject a
+    failure *during* the evaluation — a mixed-type comparison raising
+    ``TypeError`` once the swapped rows reach it — and check the view is
+    restored: the answer relation is empty again, and subsequent probes see
+    exactly the reference (copying) semantics.
+    """
+    qc = ConjunctiveQuery(
+        [Var("x")],
+        [RelationAtom("RQ", [Var("x"), Var("k")])],
+        [Comparison(ComparisonOp.LT, Var("x"), 5)],
+        name="exploding_qc",
+    )
+    constraint = QueryConstraint(qc)
+    schema = items_database.relation("items").schema.rename("RQ")
+    poisoned = Package(schema, [("not-an-int", "a")])  # "not-an-int" < 5 raises
+
+    with pytest.raises(TypeError):
+        constraint.is_satisfied(poisoned, items_database)
+
+    # The reusable view must have been restored by the finally-block ...
+    state = constraint._probe_state
+    assert len(state[1]) == 0, "answer relation left holding the failed package"
+    # ... so the next probe runs against a clean view and agrees with the
+    # per-probe copying reference.
+    clean = _package(items_database, 1, 2)
+    assert constraint.is_satisfied(clean, items_database) is False  # 1 < 5 matched
+    assert constraint.is_satisfied(clean, items_database) == (
+        constraint.is_satisfied_copying(clean, items_database)
+    )
+
+
+def test_successful_probe_also_leaves_the_view_empty(items_database):
+    """Between probes the shared view never dangles the previous package."""
+    qc = ConjunctiveQuery(
+        [Var("x")],
+        [
+            RelationAtom("RQ", [Var("x"), Var("kx")]),
+            RelationAtom("RQ", [Var("y"), Var("ky")]),
+        ],
+        [Comparison(ComparisonOp.NE, Var("x"), Var("y"))],
+        name="Qc",
+    )
+    constraint = QueryConstraint(qc)
+    package = _package(items_database, 1, 2)
+    assert constraint.is_satisfied(package, items_database) is False  # 1 ≠ 2 found
+    assert len(constraint._probe_state[1]) == 0
+
+
+# ---------------------------------------------------------------------------
 # Problem wiring
 # ---------------------------------------------------------------------------
 def test_problem_transforms_share_the_oracle():
