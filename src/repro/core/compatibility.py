@@ -26,12 +26,13 @@ across problems over the same database is always safe.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import inspect
+from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.core.packages import Package
 from repro.queries.base import Query
-from repro.relational.database import Database, Relation, Row
+from repro.relational.database import Database, DatabaseSnapshot, Relation, Row
 
 
 class CompatibilityConstraint:
@@ -99,12 +100,31 @@ class QueryConstraint(CompatibilityConstraint):
     probe (materialise a fresh relation, copy the database) is retained as
     :meth:`is_satisfied_copying` for the differential suite and the
     enumeration benchmark's pre-engine baseline.
+
+    The in-place swap makes the constraint object single-threaded.  The
+    *overlay* probe is the shared-nothing alternative (PR 6): the package is
+    materialised as a per-call relation passed to the query's
+    ``extra_relations`` overlay, so nothing on the constraint or the database
+    mutates and any number of reader threads may probe one constraint
+    concurrently.  ``use_snapshot_overlay`` selects the path — ``None`` (the
+    default) probes via the overlay exactly when ``database`` is a pinned
+    :class:`~repro.relational.database.DatabaseSnapshot` (the serving read
+    path), keeping the mutating fast path for the single-user solvers;
+    ``True``/``False`` force one path, which the differential coverage uses
+    to pin both agree verdict-for-verdict.  A query class whose ``evaluate``
+    does not take ``extra_relations`` falls back to the copying reference.
     """
 
     query: Query
     answer_relation: str = "RQ"
+    use_snapshot_overlay: Optional[bool] = field(default=None, compare=False)
 
     def is_satisfied(self, package: Package, database: Database) -> bool:
+        overlay = self.use_snapshot_overlay
+        if overlay is None:
+            overlay = isinstance(database, DatabaseSnapshot)
+        if overlay:
+            return self._is_satisfied_overlay(package, database)
         extended, answer = self._extended_view(package, database)
         try:
             return len(self.query.evaluate(extended)) == 0
@@ -115,6 +135,40 @@ class QueryConstraint(CompatibilityConstraint):
             # holding this package's rows — the next consumer of the view
             # would silently evaluate against a stale package.
             answer.replace_rows(())
+
+    def _is_satisfied_overlay(self, package: Package, database: Database) -> bool:
+        """The thread-safe probe: a per-call answer relation overlays by name.
+
+        Builds a fresh relation holding the package and passes it through the
+        evaluator's ``extra_relations`` parameter, which shadows ``database``'s
+        relations by name without copying or mutating anything — the snapshot
+        counterpart of the ``replace_rows`` swap.  Verdict-identical to both
+        other probes; the compatibility-oracle tests pin the equivalence.
+        """
+        if not self._query_accepts_extra_relations():
+            return self.is_satisfied_copying(package, database)
+        answer = package.as_relation(self.answer_relation)
+        result = self.query.evaluate(
+            database, extra_relations={self.answer_relation: answer}
+        )
+        return len(result) == 0
+
+    def _query_accepts_extra_relations(self) -> bool:
+        """Whether ``query.evaluate`` takes the ``extra_relations`` overlay.
+
+        Every shipped query class does; a user subclass implementing only the
+        base ``evaluate(database)`` signature gets the copying fallback.
+        """
+        cached = getattr(self, "_overlay_supported", None)
+        if cached is None:
+            try:
+                parameters = inspect.signature(self.query.evaluate).parameters
+            except (TypeError, ValueError):  # pragma: no cover - exotic callables
+                cached = False
+            else:
+                cached = "extra_relations" in parameters
+            self._overlay_supported = cached
+        return cached
 
     def is_satisfied_copying(self, package: Package, database: Database) -> bool:
         """The historical per-probe copy path, kept as the reference semantics."""
@@ -136,6 +190,12 @@ class QueryConstraint(CompatibilityConstraint):
             or state[0] is not database
             or state[1].schema.attribute_names != package.schema.attribute_names
             or state[3] != database.relation_names()
+            # The version component catches a copy-on-write commit: the swap
+            # replaces relation *objects* under unchanged names, so a view
+            # built before it would keep probing the frozen pre-commit
+            # relations.  (The clone preserves the version counter, so an
+            # unchanged version genuinely means unchanged objects and rows.)
+            or state[4] != database.version()
         ):
             answer = Relation(package.schema.rename(self.answer_relation))
             state = (
@@ -143,6 +203,7 @@ class QueryConstraint(CompatibilityConstraint):
                 answer,
                 database.with_relation(answer),
                 database.relation_names(),
+                database.version(),
             )
             self._probe_state = state
         answer = state[1]

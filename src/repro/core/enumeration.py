@@ -82,6 +82,16 @@ class PackageSearchEngine:
     exposes the search entry points every solver uses.  Engines are cheap to
     construct (one sort plus a few closures) and are built per solver call,
     so they can never observe a stale ``Q(D)``.
+
+    Concurrency: an engine's search state lives on the stack of each entry
+    point, but every probe funnels into the problem's shared
+    :class:`~repro.core.compatibility.CompatibilityOracle`, whose
+    version-check-then-clear is not synchronised.  Against a *live* database
+    that makes engines single-threaded; against a problem pinned to a
+    :class:`~repro.relational.database.DatabaseSnapshot` the version check
+    can never fire (pinned relations are frozen), so any number of reader
+    threads may run solvers over one pinned problem concurrently — the
+    serving layer's whole read path is built on that guarantee.
     """
 
     __slots__ = (

@@ -269,6 +269,22 @@ class RecommendationProblem:
         """The same problem over a different database (used by ARPP)."""
         return replace(self, database=database)
 
+    def pinned(self) -> "RecommendationProblem":
+        """The same problem over a snapshot of its database, pinned now.
+
+        The serving entry point: every read of the returned problem —
+        candidate enumeration, compatibility probes, the solvers — resolves
+        against the epoch current at this call, unaffected by later
+        :meth:`~repro.relational.database.Database.apply_delta` commits on
+        the live database.  The pinned problem gets its own fresh
+        compatibility oracle (like any ``with_database``), whose verdicts are
+        valid for exactly this epoch; share the *problem object* between the
+        readers of one epoch to share those verdicts.  Pinning a problem
+        whose database is already a snapshot returns an equivalent pin of the
+        same epoch.
+        """
+        return self.with_database(self.database.snapshot())
+
     def with_query(self, query: Query) -> "RecommendationProblem":
         """The same problem with a different selection query (used by QRPP).
 

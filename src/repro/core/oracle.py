@@ -13,6 +13,15 @@ its snapshot of ``Q(D)``: the binary search of the Theorem 5.1 solver issues
 many calls against the same candidate pool, and sharing the engine means the
 item sort, the incremental cost/rating compilation and the compatibility
 oracle are paid once, not per call.
+
+``candidate_items`` is captured at construction and never refreshed, so an
+oracle built over a *live* database silently answers as of its construction
+time once the database mutates.  Under snapshot isolation that pitfall
+disappears: build the oracle over a pinned problem
+(:meth:`~repro.core.model.RecommendationProblem.pinned`) and the captured
+pool *provably* equals the pinned epoch's ``Q(D)`` forever — the serving
+layer (:mod:`repro.serving`) relies on this to share one oracle between all
+readers of an epoch.
 """
 
 from __future__ import annotations

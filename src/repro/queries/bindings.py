@@ -354,6 +354,7 @@ def enumerate_bindings(
     use_semijoin: Optional[bool] = None,
     use_range_probes: Optional[bool] = None,
     use_multiway: Optional[bool] = None,
+    use_snapshot_overlay: Optional[bool] = None,
 ) -> Iterator[Binding]:
     """Yield every binding satisfying all atoms, via an indexed join plan.
 
@@ -400,7 +401,25 @@ def enumerate_bindings(
         :mod:`repro.queries.plan`.  The multiway access paths themselves
         never widen this: a mixed-type trie declines and the binary steps
         take over.)
+    use_snapshot_overlay:
+        The snapshot-isolation axis (PR 6).  ``True`` pins a fresh
+        :class:`~repro.relational.database.DatabaseSnapshot` of ``database``
+        at entry and enumerates against it, so a concurrent writer committing
+        deltas mid-enumeration can never be observed (answers are as of the
+        entry epoch); ``extra_relations`` still overlay the pinned view by
+        name, which is how the ``Qc`` overlay probe works.  ``None`` (the
+        default) and ``False`` evaluate against ``database`` exactly as
+        before — the PR 5 reference behaviour, where a mid-enumeration
+        mutation raises :class:`~repro.relational.errors.EvaluationError` —
+        and passing a snapshot *as* the database is already pinned under
+        every setting.  Like the planner axes, the knob can never change
+        answers on a quiescent database, only which epoch a racing
+        enumeration observes.
     """
+    if use_snapshot_overlay:
+        pin = getattr(database, "snapshot", None)
+        if pin is not None:
+            database = pin()
     extra_relations = extra_relations or {}
 
     def lookup(name: str) -> Relation:
@@ -429,6 +448,10 @@ def enumerate_bindings(
             frozenset(base_binding),
             statistics=statistics,
             compile_ranges=use_range_probes is not False,
+            # Snapshots carry a (source, epoch) component so readers pinned
+            # to one epoch share compiled plans without colliding across
+            # epochs; the live database contributes None (unchanged keying).
+            epoch=getattr(database, "plan_epoch", None),
         )
     planned_comparisons = plan.comparisons
     steps = plan.steps

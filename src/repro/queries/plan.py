@@ -86,6 +86,7 @@ against the naive reference for free.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
@@ -725,6 +726,11 @@ def plan_conjunction(
 _PLAN_CACHE: "OrderedDict[tuple, JoinPlan]" = OrderedDict()
 _PLAN_CACHE_LIMIT = 1024
 _PLAN_CACHE_COUNTERS = {"hits": 0, "misses": 0}
+#: Serving readers share the cache across threads; the lock keeps the
+#: get/move_to_end/popitem LRU bookkeeping atomic (planning itself runs
+#: outside it — two threads may race to compile the same plan, and the
+#: loser's insert simply overwrites an identical entry).
+_PLAN_CACHE_LOCK = threading.Lock()
 
 
 def _quantized_stats_key(stats: RelationStatistics) -> Tuple:
@@ -754,6 +760,7 @@ def cached_plan(
     bound_names: FrozenSet[str],
     statistics: Optional[Mapping[str, RelationStatistics]] = None,
     compile_ranges: bool = True,
+    epoch: Optional[Tuple] = None,
 ) -> JoinPlan:
     """:func:`plan_conjunction` behind an LRU keyed on its semantic inputs.
 
@@ -763,19 +770,28 @@ def cached_plan(
     databases share plans.  Safe by construction — a compiled plan answers
     correctly on any database; a stale or colliding entry can only cost time,
     never answers.
+
+    ``epoch`` is the snapshot-isolation component: a
+    :class:`~repro.relational.database.DatabaseSnapshot` exposes
+    ``plan_epoch = (id(source), epoch)`` and the evaluator threads it through,
+    so plans resolved at one pinned epoch are shared by every reader at that
+    epoch and never collide across epochs.  The live database contributes
+    ``None`` (no ``plan_epoch`` attribute), preserving the PR 4-5 keying
+    byte-for-byte.
     """
     stats_key = (
         tuple(sorted(_quantized_stats_key(stats) for stats in statistics.values()))
         if statistics is not None
         else None
     )
-    key = (relation_atoms, comparisons, bound_names, stats_key, compile_ranges)
-    plan = _PLAN_CACHE.get(key)
-    if plan is not None:
-        _PLAN_CACHE_COUNTERS["hits"] += 1
-        _PLAN_CACHE.move_to_end(key)
-        return plan
-    _PLAN_CACHE_COUNTERS["misses"] += 1
+    key = (relation_atoms, comparisons, bound_names, stats_key, compile_ranges, epoch)
+    with _PLAN_CACHE_LOCK:
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            _PLAN_CACHE_COUNTERS["hits"] += 1
+            _PLAN_CACHE.move_to_end(key)
+            return plan
+        _PLAN_CACHE_COUNTERS["misses"] += 1
     plan = plan_conjunction(
         relation_atoms,
         comparisons,
@@ -783,19 +799,22 @@ def cached_plan(
         statistics=statistics,
         compile_ranges=compile_ranges,
     )
-    _PLAN_CACHE[key] = plan
-    if len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
-        _PLAN_CACHE.popitem(last=False)
+    with _PLAN_CACHE_LOCK:
+        _PLAN_CACHE[key] = plan
+        if len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
+            _PLAN_CACHE.popitem(last=False)
     return plan
 
 
 def plan_cache_info() -> Dict[str, int]:
     """Hit/miss counters and current size of the plan cache (for tests)."""
-    return {**_PLAN_CACHE_COUNTERS, "size": len(_PLAN_CACHE)}
+    with _PLAN_CACHE_LOCK:
+        return {**_PLAN_CACHE_COUNTERS, "size": len(_PLAN_CACHE)}
 
 
 def clear_plan_cache() -> None:
     """Empty the plan cache and reset its counters."""
-    _PLAN_CACHE.clear()
-    _PLAN_CACHE_COUNTERS["hits"] = 0
-    _PLAN_CACHE_COUNTERS["misses"] = 0
+    with _PLAN_CACHE_LOCK:
+        _PLAN_CACHE.clear()
+        _PLAN_CACHE_COUNTERS["hits"] = 0
+        _PLAN_CACHE_COUNTERS["misses"] = 0

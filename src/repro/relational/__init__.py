@@ -14,7 +14,7 @@ from repro.relational.errors import (
     UnknownRelationError,
 )
 from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
-from repro.relational.database import AppliedDelta, Database, Relation
+from repro.relational.database import AppliedDelta, Database, DatabaseSnapshot, Relation
 from repro.relational.statistics import RelationStatistics, SortedPositionIndex
 from repro.relational.algebra import (
     cartesian_product,
@@ -32,6 +32,7 @@ __all__ = [
     "Attribute",
     "Database",
     "DatabaseSchema",
+    "DatabaseSnapshot",
     "IntegrityError",
     "Relation",
     "RelationSchema",

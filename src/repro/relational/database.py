@@ -33,10 +33,29 @@ change.
 
 :meth:`Database.apply_delta` is the in-place transaction primitive on top:
 apply a set of modifications, get back an :class:`AppliedDelta` undo token.
+
+On top of the version counters and the delta transactions sits *snapshot
+isolation* (PR 6): :meth:`Database.snapshot` returns an immutable
+:class:`DatabaseSnapshot` pinned to the database's current *epoch*.  Every
+committing transaction (:meth:`Database.apply_delta` or an
+:class:`AppliedDelta` undo) first performs **copy-on-write at relation
+granularity**: any relation referenced by a live snapshot is cloned before it
+is mutated, so the snapshot keeps the untouched original — including every
+lazy index and statistic ever built on it, which can never go stale because
+the pinned relation objects are simply never mutated again — while relations
+no snapshot pinned are updated in place exactly as before.  Readers holding a
+snapshot therefore resolve rows, hash/sorted/trie indexes, statistics and
+(through the compatibility oracle's version checks) ``Qc`` verdicts against
+their pinned epoch, concurrently with a writer committing new epochs.  The
+copy-on-write guard covers the transactional write path only: direct
+:meth:`Relation.add`/:meth:`Relation.discard` calls on a live relation bypass
+it, so concurrent serving must funnel writes through :meth:`apply_delta`.
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.relational.errors import IntegrityError, ModelError, SchemaError, UnknownRelationError
@@ -416,8 +435,11 @@ class Relation:
                 for position, value in enumerate(row):
                     column = counts[position]
                     column[value] = column.get(value, 0) + 1
-            self._stats = counts
+            # ``_stats_max`` before ``_stats``: a concurrent reader (a pinned
+            # snapshot shares frozen relations across threads) that observes
+            # ``_stats`` non-None must never find ``_stats_max`` still None.
             self._stats_max = [None] * self.schema.arity
+            self._stats = counts
         maxes = self._stats_max
         for position, current in enumerate(maxes):
             if current is None:  # fresh build, or dirtied by a deletion
@@ -484,6 +506,30 @@ class Relation:
         """A shallow, independent copy."""
         return Relation(self.schema, self._rows)
 
+    def _cow_clone(self) -> "Relation":
+        """The copy-on-write clone taken before mutating a snapshot-pinned relation.
+
+        Unlike :meth:`copy` — which re-validates rows and restarts the version
+        counter at the row count — the clone *preserves the version counter*:
+        the clone replaces the original inside the live database, and caches
+        keyed on :meth:`Database.version` snapshots (the compatibility oracle)
+        must not observe time jumping when the swap itself changed no rows.
+        Rows are shared as a fresh set over the same tuples; every lazy cache
+        starts empty (the original keeps its built indexes for its snapshot
+        readers, the clone rebuilds on demand for the live writer).
+        """
+        clone = Relation.__new__(Relation)
+        clone.schema = self.schema
+        clone._rows = set(self._rows)
+        clone._indexes = {}
+        clone._sorted_indexes = {}
+        clone._trie_indexes = {}
+        clone._stats = None
+        clone._stats_max = None
+        clone._stats_snapshot = None
+        clone._version = self._version
+        return clone
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Relation({self.schema.name}, {len(self._rows)} tuples)"
 
@@ -505,6 +551,14 @@ class Database:
 
     def __init__(self, relations: Iterable[Relation] = ()) -> None:
         self._relations: Dict[str, Relation] = {}
+        #: Monotone commit counter: bumped by every effective delta commit.
+        self._epoch = 0
+        #: Live snapshots pinning relation objects (weakly: a dropped snapshot
+        #: stops forcing copy-on-write).  Guarded by ``_snapshot_lock``, which
+        #: serialises commits against snapshot creation so a snapshot can
+        #: never observe a half-applied delta.
+        self._snapshots: "weakref.WeakSet[DatabaseSnapshot]" = weakref.WeakSet()
+        self._snapshot_lock = threading.RLock()
         for relation in relations:
             self.add_relation(relation)
 
@@ -516,9 +570,10 @@ class Database:
 
     def add_relation(self, relation: Relation) -> None:
         """Register a relation; duplicate names are rejected."""
-        if relation.name in self._relations:
-            raise SchemaError(f"duplicate relation: {relation.name!r}")
-        self._relations[relation.name] = relation
+        with self._snapshot_lock:
+            if relation.name in self._relations:
+                raise SchemaError(f"duplicate relation: {relation.name!r}")
+            self._relations[relation.name] = relation
 
     def create_relation(
         self, name: str, attributes: Sequence[str], rows: Iterable[Sequence[Value]] = ()
@@ -585,6 +640,55 @@ class Database:
         for relation in self._relations.values():
             relation.invalidate_indexes()
 
+    # -- snapshot isolation ------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The commit counter: how many effective delta commits have landed.
+
+        Every :meth:`apply_delta` (and every :meth:`AppliedDelta.undo`) that
+        actually changed a row set advances the epoch by one; no-op deltas do
+        not.  :meth:`snapshot` pins the current epoch.
+        """
+        return self._epoch
+
+    def snapshot(self) -> "DatabaseSnapshot":
+        """An immutable view of the database pinned to the current epoch.
+
+        The snapshot shares the live :class:`Relation` objects by reference —
+        taking one is O(relations), never O(rows) — and the commit path's
+        copy-on-write guard guarantees those objects are never mutated again
+        while the snapshot is alive: a later commit touching a pinned relation
+        swaps a clone into the live database and leaves the pinned original
+        frozen.  Reads, index builds and statistics on the snapshot therefore
+        always answer as of the pinned epoch, concurrently with a committing
+        writer.  Snapshots are tracked weakly; dropping every reference to one
+        lifts its copy-on-write protection.
+        """
+        with self._snapshot_lock:
+            snapshot = DatabaseSnapshot(self, self._epoch, dict(self._relations))
+            self._snapshots.add(snapshot)
+            return snapshot
+
+    def _copy_on_write(self, names: Iterable[str]) -> None:
+        """Clone every about-to-be-mutated relation that a live snapshot pins.
+
+        Called under ``_snapshot_lock`` by the commit path.  A relation is
+        pinned iff some live snapshot holds the *same object*; the clone
+        (:meth:`Relation._cow_clone`) replaces it in the live database, so the
+        mutation lands on the clone and the snapshot keeps the frozen
+        original.  Relations no snapshot pins are mutated in place — the
+        single-user fast path of PRs 1-5 is unchanged when no snapshot exists.
+        """
+        snapshots = tuple(self._snapshots)
+        if not snapshots:
+            return
+        for name in names:
+            relation = self._relations.get(name)
+            if relation is None:
+                continue
+            if any(snap._relations.get(name) is relation for snap in snapshots):
+                self._relations[name] = relation._cow_clone()
+
     # -- in-place deltas ---------------------------------------------------------------
     def validate_delta(
         self, modifications: Iterable[DeltaModification]
@@ -634,23 +738,33 @@ class Database:
         The O(|Δ|) inner loop behind :meth:`apply_delta` and the incremental
         subsystem's per-modification transactions — callers guarantee the
         rows are validated plain tuples so no schema work is repeated here.
+
+        This is the *commit* of the snapshot-isolation story: the whole
+        application runs under the snapshot lock, pinned relations are cloned
+        first (:meth:`_copy_on_write`), and an effective commit advances the
+        epoch — so a snapshot taken at any moment sees either none or all of
+        the delta, never a prefix.
         """
-        effective: list = []
-        for kind, name, row in validated:
-            relation = self._relations[name]
-            if kind == _DELTA_INSERT:
-                if row not in relation._rows:
-                    relation._rows.add(row)
-                    relation._version += 1
-                    relation._caches_added_row(row)
-                    effective.append((kind, name, row))
-            else:
-                if row in relation._rows:
-                    relation._rows.remove(row)
-                    relation._version += 1
-                    relation._caches_removed_row(row)
-                    effective.append((kind, name, row))
-        return AppliedDelta(self, tuple(effective))
+        with self._snapshot_lock:
+            self._copy_on_write({name for _, name, _ in validated})
+            effective: list = []
+            for kind, name, row in validated:
+                relation = self._relations[name]
+                if kind == _DELTA_INSERT:
+                    if row not in relation._rows:
+                        relation._rows.add(row)
+                        relation._version += 1
+                        relation._caches_added_row(row)
+                        effective.append((kind, name, row))
+                else:
+                    if row in relation._rows:
+                        relation._rows.remove(row)
+                        relation._version += 1
+                        relation._caches_removed_row(row)
+                        effective.append((kind, name, row))
+            if effective:
+                self._epoch += 1
+            return AppliedDelta(self, tuple(effective))
 
     # -- copying / combining -----------------------------------------------------------
     def copy(self) -> "Database":
@@ -692,3 +806,94 @@ class Database:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(f"{name}:{len(rel)}" for name, rel in sorted(self._relations.items()))
         return f"Database({parts})"
+
+
+class DatabaseSnapshot(Database):
+    """An immutable :class:`Database` view pinned to one epoch of its source.
+
+    Produced by :meth:`Database.snapshot`.  Shares the source's
+    :class:`Relation` objects by reference; the source's commit path clones
+    any of them before mutating (copy-on-write), so this view's contents —
+    rows, lazy indexes, statistics, version counters — are frozen at the
+    pinned :attr:`epoch` forever.  All read APIs of :class:`Database` work
+    unchanged; the mutating APIs raise :class:`ModelError`.  To branch a
+    mutable database off a snapshot (e.g. for a serial re-execution check),
+    use :meth:`Database.copy`, which is inherited and returns a plain
+    independent :class:`Database`.
+
+    The immutability also makes every per-snapshot lazy structure a
+    *per-epoch* structure: an index or statistics snapshot built through this
+    view can be shared freely between reader threads at the same epoch and
+    never needs invalidation.
+    """
+
+    #: Snapshots hash by identity (``Database.__eq__`` would otherwise make
+    #: them unhashable): the source tracks them in a ``WeakSet``, and two
+    #: snapshots are distinct pins even when their contents are equal.
+    __hash__ = object.__hash__
+
+    def __init__(self, source: Database, epoch: int, relations: Dict[str, Relation]) -> None:
+        # Deliberately no super().__init__(): the relations dict is installed
+        # directly (the names were validated when they entered the source),
+        # and a snapshot needs no lock or snapshot registry of its own.
+        self._relations = relations
+        self._source = source
+        self._pinned_epoch = epoch
+
+    @property
+    def epoch(self) -> int:
+        """The source epoch this snapshot is pinned to."""
+        return self._pinned_epoch
+
+    @property
+    def plan_epoch(self) -> Tuple[int, int]:
+        """The component the plan cache keys compiled plans on for this view.
+
+        ``(id(source), epoch)``: plans resolved through a snapshot are cached
+        per source database *and* per epoch, so two readers pinned to the same
+        epoch share compiled plans while readers on different epochs never
+        collide.  The live :class:`Database` exposes no ``plan_epoch`` (the
+        attribute probe yields ``None``), keeping the single-user cache
+        behaviour of PRs 4-5 byte-identical.
+        """
+        return (id(self._source), self._pinned_epoch)
+
+    def source(self) -> Database:
+        """The live database this snapshot was taken from."""
+        return self._source
+
+    def snapshot(self) -> "DatabaseSnapshot":
+        """A snapshot of a snapshot is itself (already immutable and pinned)."""
+        return self
+
+    # -- the write surface is closed -----------------------------------------------
+    def _immutable(self, operation: str) -> "ModelError":
+        return ModelError(
+            f"DatabaseSnapshot is immutable: cannot {operation} on a view "
+            f"pinned to epoch {self._pinned_epoch}; mutate the source "
+            f"database (via apply_delta) and take a new snapshot instead"
+        )
+
+    def add_relation(self, relation: Relation) -> None:
+        raise self._immutable("add a relation")
+
+    def create_relation(
+        self, name: str, attributes: Sequence[str], rows: Iterable[Sequence[Value]] = ()
+    ) -> Relation:
+        raise self._immutable("create a relation")
+
+    def apply_delta(self, modifications: Iterable[DeltaModification]) -> AppliedDelta:
+        raise self._immutable("apply a delta")
+
+    def _apply_validated(self, validated: Sequence[DeltaModification]) -> AppliedDelta:
+        raise self._immutable("apply a delta")
+
+    def invalidate_indexes(self) -> None:
+        # Dropping caches on *shared* relation objects would not corrupt
+        # anything, but it would silently degrade the source database and
+        # every sibling snapshot — reject it like the mutations.
+        raise self._immutable("invalidate indexes")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{name}:{len(rel)}" for name, rel in sorted(self._relations.items()))
+        return f"DatabaseSnapshot(epoch={self._pinned_epoch}, {parts})"

@@ -37,6 +37,14 @@ rebuild and the executor falls back to scanning.  :class:`TrieIndex` follows
 the same honesty rule: a value outside the supported families at *any* level
 marks the whole trie dead (:attr:`TrieIndex.ok` false) so the multiway
 executor declines and the binary plan reproduces reference semantics.
+
+Under snapshot isolation (PR 6) all three structures double as *per-epoch*
+caches for free: a :class:`~repro.relational.database.DatabaseSnapshot` pins
+its relation objects, the commit path's copy-on-write guarantees a pinned
+relation is never mutated again, so any statistics snapshot, sorted index or
+trie built through a snapshot describes its pinned epoch forever and may be
+shared between reader threads without invalidation.  The maintenance contract
+above applies to the *live* relation (or its copy-on-write clone) only.
 """
 
 from __future__ import annotations
@@ -90,6 +98,15 @@ class RelationStatistics:
     cardinality: int
     distinct_counts: Tuple[int, ...]
     max_frequencies: Tuple[int, ...] = ()
+
+    def as_dict(self) -> "dict[str, object]":
+        """A JSON-serialisable rendering (benchmark reports embed these)."""
+        return {
+            "relation": self.relation,
+            "cardinality": self.cardinality,
+            "distinct_counts": list(self.distinct_counts),
+            "max_frequencies": list(self.max_frequencies),
+        }
 
     def distinct(self, position: int) -> int:
         """Distinct values at ``position`` (0 for an empty relation)."""

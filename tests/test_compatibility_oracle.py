@@ -305,6 +305,99 @@ def test_successful_probe_also_leaves_the_view_empty(items_database):
 
 
 # ---------------------------------------------------------------------------
+# Overlay vs in-place vs copying probes (PR 6)
+# ---------------------------------------------------------------------------
+def _conflict_qc_database():
+    database = Database()
+    database.create_relation("items", ["iid", "kind"], [(1, "a"), (2, "b"), (3, "a")])
+    database.create_relation("conflict", ["left", "right"], [(1, 3)])
+    qc = ConjunctiveQuery(
+        [Var("x")],
+        [
+            RelationAtom("RQ", [Var("x"), Var("kx")]),
+            RelationAtom("RQ", [Var("y"), Var("ky")]),
+            RelationAtom("conflict", [Var("x"), Var("y")]),
+        ],
+        name="Qc",
+    )
+    return database, qc
+
+
+@pytest.mark.parametrize("iids", [(1,), (1, 2), (1, 3), (1, 2, 3), ()])
+def test_overlay_swap_and_copying_probes_agree(iids):
+    """All three probe paths return the same verdict on every package."""
+    database, qc = _conflict_qc_database()
+    package = _package(database, *iids)
+    swap = QueryConstraint(qc, use_snapshot_overlay=False)
+    overlay = QueryConstraint(qc, use_snapshot_overlay=True)
+    reference = QueryConstraint(qc).is_satisfied_copying(package, database)
+    assert swap.is_satisfied(package, database) is reference
+    assert overlay.is_satisfied(package, database) is reference
+
+
+def test_overlay_probe_mutates_nothing():
+    """The overlay path touches neither the constraint nor the database."""
+    database, qc = _conflict_qc_database()
+    constraint = QueryConstraint(qc, use_snapshot_overlay=True)
+    versions_before = database.version()
+    assert constraint.is_satisfied(_package(database, 1, 3), database) is False
+    assert database.version() == versions_before
+    assert "RQ" not in database
+    # No reusable swapped view was ever created.
+    assert getattr(constraint, "_probe_state", None) is None
+
+
+def test_snapshot_database_auto_selects_the_overlay_probe():
+    """Default ``use_snapshot_overlay=None``: snapshots probe via the overlay."""
+    database, qc = _conflict_qc_database()
+    snapshot = database.snapshot()
+    constraint = QueryConstraint(qc)
+    package = _package(database, 1, 3)
+    assert constraint.is_satisfied(package, snapshot) is False
+    assert getattr(constraint, "_probe_state", None) is None  # overlay, no swap
+    # ... while the live database keeps the zero-copy swap fast path.
+    assert constraint.is_satisfied(package, database) is False
+    assert constraint._probe_state is not None
+
+
+def test_overlay_falls_back_to_copying_without_extra_relations_support():
+    """A query class without the ``extra_relations`` overlay still probes right."""
+    database, qc = _conflict_qc_database()
+
+    class _BareQuery:
+        def __init__(self, inner):
+            self._inner = inner
+
+        def evaluate(self, database):
+            return self._inner.evaluate(database)
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+    constraint = QueryConstraint(_BareQuery(qc), use_snapshot_overlay=True)
+    assert constraint._query_accepts_extra_relations() is False
+    package = _package(database, 1, 3)
+    assert constraint.is_satisfied(package, database) is False
+    assert constraint.is_satisfied(_package(database, 1, 2), database) is True
+
+
+def test_pinned_oracle_never_leaks_verdicts_across_epochs():
+    """An oracle over a pinned problem keeps answering as of its epoch."""
+    database, qc = _conflict_qc_database()
+    constraint = QueryConstraint(qc)
+    snapshot = database.snapshot()
+    oracle = CompatibilityOracle(constraint, snapshot)
+    package = _package(database, 1, 2)
+    assert oracle.is_satisfied(package) is True
+    # A writer commits a conflict making (1, 2) incompatible on the *live* db.
+    database.apply_delta([("insert", "conflict", (1, 2))])
+    assert oracle.is_satisfied(package) is True  # pinned epoch: still valid
+    assert oracle.invalidations == 0  # the snapshot's version never moved
+    fresh = CompatibilityOracle(constraint, database.snapshot())
+    assert fresh.is_satisfied(package) is False  # the new epoch sees the delta
+
+
+# ---------------------------------------------------------------------------
 # Problem wiring
 # ---------------------------------------------------------------------------
 def test_problem_transforms_share_the_oracle():

@@ -15,10 +15,14 @@ seed in the test id, so a mismatch is reproducible by construction.
 The cost-based planner of PR 4 added three knobs that may change *cost* but
 never answers — statistics-driven atom ordering, sorted-index range probes,
 and the Yannakakis semi-join reduction — and PR 5 a fourth, the
-worst-case-optimal multiway leapfrog join.  The axes matrix below re-runs
-random pairs under every one of the 2⁴ knob combinations (including the
-all-off configuration, which is exactly the PR 1 planner, and the
-multiway-off configuration, which is exactly the PR 4 planner) against the
+worst-case-optimal multiway leapfrog join.  PR 6 added a fifth knob that is
+not a planner axis at all — ``use_snapshot_overlay`` evaluates against a
+pinned database snapshot instead of the live database, which on a quiescent
+database must be invisible.  The axes matrix below re-runs
+random pairs under every one of the 2⁵ knob combinations (including the
+all-off configuration, which is exactly the PR 1 planner evaluating the live
+database, and the multiway-off configuration, which is exactly the PR 4
+planner) against the
 same naive reference — once over the kit's generic conjunctions and once over
 its *cyclic* shapes (triangle, 4-cycle, star-with-chord), the workloads the
 multiway path exists for.  The generated databases are well-typed (every
@@ -125,9 +129,20 @@ def test_efo_evaluation_matches_naive_dnf(seed):
 
 
 # ---------------------------------------------------------------------------
-# Planner axes: the full 2⁴ knob matrix, on generic and cyclic scenarios
+# Planner axes: the full 2⁵ knob matrix, on generic and cyclic scenarios
 # ---------------------------------------------------------------------------
-AXES_KNOBS = ("use_statistics", "use_range_probes", "use_semijoin", "use_multiway")
+# ``use_snapshot_overlay`` (PR 6) joins the four planner knobs: ``True``
+# enumerates against a freshly pinned DatabaseSnapshot instead of the live
+# database, which must be invisible on a quiescent database under every
+# combination of the other axes.  All-off remains bit-identical to the PR 5
+# in-place reference.
+AXES_KNOBS = (
+    "use_statistics",
+    "use_range_probes",
+    "use_semijoin",
+    "use_multiway",
+    "use_snapshot_overlay",
+)
 
 PLANNER_AXES = [
     pytest.param(
@@ -238,7 +253,7 @@ def test_multiway_actually_compiles_on_the_cyclic_shapes():
 def test_suite_covers_at_least_200_pairs():
     """The acceptance criterion: ≥200 generated query/database pairs."""
     assert 120 + 30 + 30 + 40 >= 200
-    # ... and the axes matrix re-proves planned ≡ naive under all 2⁴ knob
+    # ... and the axes matrix re-proves planned ≡ naive under all 2⁵ knob
     # combinations, on generic and cyclic scenarios alike.
-    assert len(PLANNER_AXES) == 2 ** 4
-    assert 12 * len(PLANNER_AXES) + 5 * len(CYCLIC_SHAPES) * len(PLANNER_AXES) == 432
+    assert len(PLANNER_AXES) == 2 ** 5
+    assert 12 * len(PLANNER_AXES) + 5 * len(CYCLIC_SHAPES) * len(PLANNER_AXES) == 864
