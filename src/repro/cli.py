@@ -25,6 +25,13 @@ Four small commands expose the library's deliverables without writing code:
     and, for cyclic queries (``triangle``, ``four_cycle``), the
     worst-case-optimal multiway step with its variable elimination order —
     plus the statistics the planner costed it with.
+
+``python -m repro serve [--items N] [--rounds R] [--batch B] ...``
+    Replay a mixed read/update trace through the snapshot-isolated serving
+    layer (:mod:`repro.serving`) and print per-round throughput plus the
+    p50/p99 request latency; ``--baseline`` also replays the identical
+    trace through the global-lock reference server, checks the answer
+    sequences match exactly, and reports the speedup.
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ EXAMPLE_NAMES = (
     "query_relaxation",
     "adjustment",
     "streaming_updates",
+    "serving_trace",
     "group_recommendation",
     "query_languages",
     "complexity_tables",
@@ -111,6 +119,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-statistics",
         action="store_true",
         help="compile with the statistics-blind fallback order instead",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="replay a mixed read/update trace through the snapshot server"
+    )
+    serve.add_argument("--items", type=int, default=80, help="catalog size (random items)")
+    serve.add_argument("--rounds", type=int, default=4, help="trace rounds (one commit each)")
+    serve.add_argument("--batch", type=int, default=24, help="requests per round")
+    serve.add_argument("--workers", type=int, default=8, help="reader thread-pool size")
+    serve.add_argument("--seed", type=int, default=7, help="trace seed")
+    serve.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also replay through the global-lock reference server and report the speedup",
     )
 
     return parser
@@ -283,6 +305,70 @@ def _command_explain(query_name: str, seed: int, no_statistics: bool) -> int:
     return 0
 
 
+def _command_serve(
+    items: int, rounds: int, batch: int, workers: int, seed: int, baseline: bool
+) -> int:
+    import time
+
+    from repro.serving import (
+        GlobalLockServer,
+        SnapshotServer,
+        build_trace,
+        latency_percentiles,
+    )
+
+    trace = build_trace(items, rounds, batch, seed=seed)
+    server = SnapshotServer(trace.problem, max_workers=workers)
+    print(trace.problem.describe())
+    print(f"trace: {rounds} rounds x {batch} requests, one delta commit per round")
+
+    snapshot_results = []
+    start = time.perf_counter()
+    for round_index, (delta, requests) in enumerate(trace.rounds):
+        if delta:
+            server.apply(list(delta))
+        round_start = time.perf_counter()
+        results = server.serve_batch(requests)
+        round_seconds = time.perf_counter() - round_start
+        snapshot_results.extend(results)
+        unique = len(set(requests))
+        print(
+            f"  round {round_index}: epoch {server.epoch}, {len(requests)} requests "
+            f"({unique} unique) in {round_seconds * 1000:.0f}ms"
+        )
+    snapshot_seconds = time.perf_counter() - start
+    latency = latency_percentiles(snapshot_results)
+    print(
+        f"snapshot server: {len(snapshot_results) / snapshot_seconds:.0f} requests/s, "
+        f"p50 = {latency['p50'] * 1000:.1f}ms, p99 = {latency['p99'] * 1000:.1f}ms"
+    )
+
+    if not baseline:
+        return 0
+
+    reference_trace = build_trace(items, rounds, batch, seed=seed)
+    reference = GlobalLockServer(reference_trace.problem, max_workers=workers)
+    baseline_results = []
+    start = time.perf_counter()
+    for delta, requests in reference_trace.rounds:
+        if delta:
+            reference.apply(list(delta))
+        baseline_results.extend(reference.serve_batch(requests))
+    baseline_seconds = time.perf_counter() - start
+    identical = [
+        (ours.epoch, ours.answer) for ours in snapshot_results
+    ] == [(theirs.epoch, theirs.answer) for theirs in baseline_results]
+    print(
+        f"global-lock baseline: {len(baseline_results) / baseline_seconds:.0f} requests/s; "
+        f"identical answers = {identical}; "
+        f"speedup = {baseline_seconds / snapshot_seconds:.1f}x"
+    )
+    if not identical:
+        print("ERROR: snapshot and baseline answer sequences diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
     parser = build_parser()
@@ -300,6 +386,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_example(args.name)
     if args.command == "explain":
         return _command_explain(args.query, args.seed, args.no_statistics)
+    if args.command == "serve":
+        return _command_serve(
+            args.items, args.rounds, args.batch, args.workers, args.seed, args.baseline
+        )
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
     return 2  # pragma: no cover
 

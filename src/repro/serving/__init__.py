@@ -1,0 +1,34 @@
+"""The snapshot-isolated serving layer (PR 6).
+
+``repro.serving`` is the batch front end over the MVCC snapshot machinery of
+:mod:`repro.relational.database`: N recommendation requests in, N package
+answers out, while one writer keeps committing deltas.  See
+:mod:`repro.serving.server` for the two server implementations (the MVCC
+:class:`SnapshotServer` and the retained :class:`GlobalLockServer` baseline)
+and :mod:`repro.serving.trace` for the mixed read/update traces that drive
+them in the benchmark, the CLI and the example walkthrough.
+"""
+
+from repro.serving.server import (
+    REQUEST_KINDS,
+    GlobalLockServer,
+    ServeRequest,
+    ServeResult,
+    SnapshotServer,
+    execute_request,
+    latency_percentiles,
+)
+from repro.serving.trace import ServingTrace, build_trace, serving_problem
+
+__all__ = [
+    "REQUEST_KINDS",
+    "GlobalLockServer",
+    "ServeRequest",
+    "ServeResult",
+    "ServingTrace",
+    "SnapshotServer",
+    "build_trace",
+    "execute_request",
+    "latency_percentiles",
+    "serving_problem",
+]

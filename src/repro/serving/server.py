@@ -1,0 +1,356 @@
+"""Snapshot-isolated serving: batched reads over pinned epochs, one writer.
+
+The PR 1–5 stack answers one request at a time over a mutable
+:class:`~repro.relational.database.Database`.  This module turns it into a
+*service*: N recommendation requests in, N package answers out, while a
+writer keeps committing :meth:`~repro.relational.database.Database.apply_delta`
+batches.  Two server implementations share one request vocabulary:
+
+:class:`SnapshotServer`
+    The MVCC front end.  Readers never touch the live database: the server
+    pins one :meth:`~repro.core.model.RecommendationProblem.pinned` problem
+    per epoch and shares it — and everything warmed through it (the memoized
+    compatibility verdicts, the :class:`~repro.core.oracle.ExistPackOracle`'s
+    sorted candidate pool, the per-epoch plan-cache entries) — between every
+    reader of that epoch.  Because a pinned epoch is immutable, answers are
+    also *memoizable*: identical requests within an epoch are computed once
+    and the answer is re-served, which is where most of the measured
+    throughput win comes from (see ``benchmarks/bench_serving.py``).  A
+    commit simply makes the next request pin a fresh epoch; in-flight
+    requests finish on the old one.
+
+:class:`GlobalLockServer`
+    The pre-MVCC baseline, retained as the reference: one lock serialises
+    every request *and* every commit against the shared live database, and
+    each request rebuilds its problem state from scratch — over a mutable
+    database neither verdicts nor whole answers can be soundly reused across
+    requests, because any commit in between would have invalidated them.
+
+Both servers answer through the same pure :func:`execute_request`, so the
+tests can re-execute any request serially against a
+:meth:`~repro.relational.database.Database.copy` of the pinned epoch and
+demand bit-identical answers (ties included).
+
+Requests are canonical, hashable values (:class:`ServeRequest`) and answers
+are plain comparable tuples, so results can be deduplicated, memoized and
+asserted on without knowing the solver result types.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import (
+    ExistPackOracle,
+    RecommendationProblem,
+    compute_top_k,
+    count_valid_packages,
+    is_top_k_selection,
+    selection_from_items,
+)
+
+Row = Tuple[Any, ...]
+Answer = Tuple[Any, ...]
+
+#: The request kinds the servers understand, mapping 1:1 onto the paper's
+#: problems: FRP (``top_k``), the EXISTPACK≥ oracle (``exists``), CPP
+#: (``count``) and RPP (``check``).
+REQUEST_KINDS = ("top_k", "exists", "count", "check")
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One recommendation request, canonicalised so it is hashable.
+
+    ``selection_items`` (for ``check``) is a tuple of packages, each a tuple
+    of item rows — the raw-tuple form
+    :func:`~repro.core.rpp.selection_from_items` accepts.
+    """
+
+    kind: str
+    rating_bound: Optional[float] = None
+    strict: bool = False
+    selection_items: Optional[Tuple[Tuple[Row, ...], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ValueError(f"unknown request kind {self.kind!r}; expected one of {REQUEST_KINDS}")
+        if self.kind in ("exists", "count") and self.rating_bound is None:
+            raise ValueError(f"a {self.kind!r} request needs a rating_bound")
+        if self.kind == "check" and self.selection_items is None:
+            raise ValueError("a 'check' request needs selection_items")
+        if self.selection_items is not None:
+            canonical = tuple(
+                tuple(tuple(item) for item in package) for package in self.selection_items
+            )
+            object.__setattr__(self, "selection_items", canonical)
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def top_k(cls) -> "ServeRequest":
+        """FRP: the top-k package selection of the problem."""
+        return cls("top_k")
+
+    @classmethod
+    def exists(cls, rating_bound: float, strict: bool = False) -> "ServeRequest":
+        """EXISTPACK≥: is there a valid package rated ≥ (or >) the bound?"""
+        return cls("exists", rating_bound=rating_bound, strict=strict)
+
+    @classmethod
+    def count(cls, rating_bound: float) -> "ServeRequest":
+        """CPP: how many valid packages are rated ≥ the bound?"""
+        return cls("count", rating_bound=rating_bound)
+
+    @classmethod
+    def check(cls, selection_items: Iterable[Iterable[Row]]) -> "ServeRequest":
+        """RPP: is this candidate selection really a top-k selection?"""
+        return cls(
+            "check",
+            selection_items=tuple(tuple(package) for package in selection_items),
+        )
+
+    def describe(self) -> str:
+        if self.kind == "top_k":
+            return "top_k"
+        if self.kind == "exists":
+            op = ">" if self.strict else "≥"
+            return f"exists(val {op} {self.rating_bound})"
+        if self.kind == "count":
+            return f"count(val ≥ {self.rating_bound})"
+        return f"check({len(self.selection_items)} packages)"
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One answered request: the canonical answer plus serving metadata."""
+
+    request: ServeRequest
+    answer: Answer
+    epoch: int
+    latency_s: float
+
+
+def execute_request(
+    problem: RecommendationProblem,
+    request: ServeRequest,
+    oracle: Optional[ExistPackOracle] = None,
+) -> Answer:
+    """Answer one request against one problem; pure, no shared state touched.
+
+    This is the single semantics both servers (and the tests' serial
+    re-execution) go through.  Answers are canonical tuples built from sorted
+    item rows, so two executions agree exactly iff the underlying solver
+    results agree — including rating ties, which surface as the same chosen
+    packages because the search engine is deterministic over a fixed epoch.
+
+    ``oracle`` optionally supplies a shared
+    :class:`~repro.core.oracle.ExistPackOracle` for ``exists`` requests so a
+    server can pay the candidate sort once per epoch; semantics are identical
+    to a fresh oracle as long as the oracle was built over ``problem``.
+    """
+    if request.kind == "top_k":
+        result = compute_top_k(problem)
+        if result.selection is None:
+            return ("top_k", None, ())
+        return (
+            "top_k",
+            tuple(package.sorted_items() for package in result.selection),
+            result.ratings,
+        )
+    if request.kind == "exists":
+        if oracle is None:
+            oracle = ExistPackOracle(problem)
+        witness = oracle(request.rating_bound, strict=request.strict)
+        return (
+            "exists",
+            witness is not None,
+            witness.sorted_items() if witness is not None else None,
+        )
+    if request.kind == "count":
+        result = count_valid_packages(problem, rating_bound=request.rating_bound)
+        return ("count", result.count)
+    candidate = selection_from_items(problem, request.selection_items)
+    result = is_top_k_selection(problem, candidate)
+    return ("check", result.is_top_k, result.reason)
+
+
+class _EpochContext:
+    """Everything the readers of one pinned epoch share.
+
+    One pinned problem (hence one memoized
+    :class:`~repro.core.compatibility.CompatibilityOracle` whose verdicts can
+    never be invalidated — the pinned relations' versions are frozen), one
+    :class:`~repro.core.oracle.ExistPackOracle` whose captured pool provably
+    equals the epoch's ``Q(D)``, and one answer memo.  All of it is safe to
+    share across threads *because* the epoch is immutable; the only lock is
+    around the memo dictionary, never around solver work.
+    """
+
+    __slots__ = ("problem", "oracle", "epoch", "_memo", "_lock")
+
+    def __init__(self, pinned: RecommendationProblem) -> None:
+        self.problem = pinned
+        self.oracle = ExistPackOracle(pinned)
+        self.epoch = pinned.database.epoch
+        self._memo: Dict[ServeRequest, Answer] = {}
+        self._lock = threading.Lock()
+
+    def answer(self, request: ServeRequest) -> Answer:
+        with self._lock:
+            cached = self._memo.get(request)
+        if cached is not None:
+            return cached
+        # Compute outside the lock: two racing threads may duplicate work on
+        # the same request, never corrupt it (the epoch is immutable, so both
+        # compute the identical answer and setdefault keeps exactly one).
+        answer = execute_request(self.problem, request, oracle=self.oracle)
+        with self._lock:
+            return self._memo.setdefault(request, answer)
+
+
+class SnapshotServer:
+    """The MVCC serving front end: batched readers, one concurrent writer.
+
+    Readers resolve every request against the epoch current when the request
+    starts executing; the writer commits through :meth:`apply` without ever
+    blocking them.  ``serve_batch`` deduplicates identical requests up front
+    (sound because every answer is tagged with the immutable epoch it was
+    computed against) and fans the unique ones out over a thread pool.
+    """
+
+    def __init__(self, problem: RecommendationProblem, max_workers: int = 8) -> None:
+        self._template = problem
+        self._database = problem.database
+        self._max_workers = max_workers
+        self._guard = threading.Lock()
+        self._context: Optional[_EpochContext] = None
+
+    @property
+    def problem(self) -> RecommendationProblem:
+        """The live problem template requests are pinned from."""
+        return self._template
+
+    @property
+    def database(self):
+        """The live database the writer commits to."""
+        return self._database
+
+    @property
+    def epoch(self) -> int:
+        return self._database.epoch
+
+    def _current_context(self) -> _EpochContext:
+        """The shared context for the current epoch, pinning one if stale.
+
+        Pinning happens under the guard so exactly one thread warms each
+        epoch; ``Database.snapshot()`` itself serialises against commits, so
+        the pinned epoch is always a consistent world even if a writer races
+        the staleness check.
+        """
+        with self._guard:
+            context = self._context
+            if context is None or context.epoch != self._database.epoch:
+                context = _EpochContext(self._template.pinned())
+                self._context = context
+            return context
+
+    def serve_one(self, request: ServeRequest) -> ServeResult:
+        """Answer one request against the epoch current at call time."""
+        start = time.perf_counter()
+        context = self._current_context()
+        answer = context.answer(request)
+        return ServeResult(request, answer, context.epoch, time.perf_counter() - start)
+
+    def serve_batch(
+        self,
+        requests: Sequence[ServeRequest],
+        max_workers: Optional[int] = None,
+    ) -> List[ServeResult]:
+        """Answer N requests, preserving order; duplicates share one compute."""
+        requests = list(requests)
+        unique = list(dict.fromkeys(requests))
+        if not unique:
+            return []
+        workers = max(1, min(max_workers or self._max_workers, len(unique)))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            served = dict(zip(unique, pool.map(self.serve_one, unique)))
+        return [served[request] for request in requests]
+
+    def apply(self, delta):
+        """The writer's entry point: commit a delta batch, return its undo token."""
+        return self._database.apply_delta(delta)
+
+
+class GlobalLockServer:
+    """The pre-MVCC baseline: one global lock, fresh state per request.
+
+    Every request takes the lock for its whole execution (readers on the
+    live database are not otherwise safe against the writer) and rebuilds
+    the problem via
+    :meth:`~repro.core.model.RecommendationProblem.with_database`, so each
+    request pays a fresh compatibility oracle and a fresh ``Q(D)``
+    evaluation.  No answer memo and no batch deduplication: between two
+    occurrences of the same request a commit may have changed the world, so
+    over the live database reuse would be unsound — which is precisely the
+    capability the snapshot server's immutable epochs add.
+    """
+
+    def __init__(self, problem: RecommendationProblem, max_workers: int = 8) -> None:
+        self._template = problem
+        self._database = problem.database
+        self._max_workers = max_workers
+        self._lock = threading.Lock()
+
+    @property
+    def problem(self) -> RecommendationProblem:
+        return self._template
+
+    @property
+    def database(self):
+        return self._database
+
+    @property
+    def epoch(self) -> int:
+        return self._database.epoch
+
+    def serve_one(self, request: ServeRequest) -> ServeResult:
+        start = time.perf_counter()
+        with self._lock:
+            fresh = self._template.with_database(self._database)
+            answer = execute_request(fresh, request)
+            epoch = self._database.epoch
+        return ServeResult(request, answer, epoch, time.perf_counter() - start)
+
+    def serve_batch(
+        self,
+        requests: Sequence[ServeRequest],
+        max_workers: Optional[int] = None,
+    ) -> List[ServeResult]:
+        requests = list(requests)
+        if not requests:
+            return []
+        workers = max(1, min(max_workers or self._max_workers, len(requests)))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self.serve_one, requests))
+
+    def apply(self, delta):
+        with self._lock:
+            return self._database.apply_delta(delta)
+
+
+def latency_percentiles(
+    results: Iterable[ServeResult], percentiles: Sequence[float] = (50.0, 99.0)
+) -> Dict[str, float]:
+    """Nearest-rank latency percentiles (seconds) over a batch of results."""
+    latencies = sorted(result.latency_s for result in results)
+    if not latencies:
+        return {f"p{percentile:g}": 0.0 for percentile in percentiles}
+    summary = {}
+    for percentile in percentiles:
+        rank = max(0, min(len(latencies) - 1, int(len(latencies) * percentile / 100.0)))
+        summary[f"p{percentile:g}"] = latencies[rank]
+    return summary

@@ -127,6 +127,28 @@ class TestExplain:
             main(["explain", "not_a_query"])
 
 
+class TestServe:
+    def test_serve_replays_a_trace_and_reports_latency(self, capsys):
+        assert main(["serve", "--items", "30", "--rounds", "2", "--batch", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "round 0: epoch 0" in out
+        assert "round 1: epoch 1" in out
+        assert "requests/s" in out and "p99" in out
+
+    def test_serve_baseline_agrees_and_reports_speedup(self, capsys):
+        code = main(
+            ["serve", "--items", "30", "--rounds", "2", "--batch", "6", "--baseline"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "identical answers = True" in out
+        assert "speedup = " in out
+
+    def test_serve_rejects_bad_flags(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--items", "not-a-number"])
+
+
 class TestExample:
     def test_example_runs_quickstart(self, capsys):
         assert main(["example", "quickstart"]) == 0

@@ -20,6 +20,7 @@ EXAMPLE_EXPECTATIONS = [
     ("query_relaxation", "minimum gap"),
     ("adjustment", "insert course"),
     ("streaming_updates", "maintained answers"),
+    ("serving_trace", "pinned reader still sees"),
     ("group_recommendation", "least misery"),
     ("query_languages", ""),
     ("complexity_tables", ""),
