@@ -43,6 +43,7 @@ _EXPECTED_REPORT_WRITERS = frozenset(
         "bench_incremental.py",
         "bench_multiway.py",
         "bench_planner.py",
+        "bench_resilience.py",
         "bench_serving.py",
     }
 )

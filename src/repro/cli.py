@@ -130,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=8, help="reader thread-pool size")
     serve.add_argument("--seed", type=int, default=7, help="trace seed")
     serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline in milliseconds (expired requests return a "
+        "typed timeout error instead of running forever)",
+    )
+    serve.add_argument(
         "--baseline",
         action="store_true",
         help="also replay through the global-lock reference server and report the speedup",
@@ -306,21 +313,35 @@ def _command_explain(query_name: str, seed: int, no_statistics: bool) -> int:
 
 
 def _command_serve(
-    items: int, rounds: int, batch: int, workers: int, seed: int, baseline: bool
+    items: int,
+    rounds: int,
+    batch: int,
+    workers: int,
+    seed: int,
+    baseline: bool,
+    deadline_ms: Optional[float] = None,
 ) -> int:
     import time
 
     from repro.serving import (
         GlobalLockServer,
+        ResilienceConfig,
         SnapshotServer,
         build_trace,
         latency_percentiles,
     )
 
+    resilience = (
+        ResilienceConfig(deadline_s=deadline_ms / 1000.0)
+        if deadline_ms is not None
+        else None
+    )
     trace = build_trace(items, rounds, batch, seed=seed)
-    server = SnapshotServer(trace.problem, max_workers=workers)
+    server = SnapshotServer(trace.problem, max_workers=workers, resilience=resilience)
     print(trace.problem.describe())
     print(f"trace: {rounds} rounds x {batch} requests, one delta commit per round")
+    if resilience is not None:
+        print(f"resilience: per-request deadline {deadline_ms:g}ms")
 
     snapshot_results = []
     start = time.perf_counter()
@@ -338,8 +359,11 @@ def _command_serve(
         )
     snapshot_seconds = time.perf_counter() - start
     latency = latency_percentiles(snapshot_results)
+    errors = sum(1 for result in snapshot_results if not result.ok)
+    answered = len(snapshot_results) - errors
     print(
-        f"snapshot server: {len(snapshot_results) / snapshot_seconds:.0f} requests/s, "
+        f"snapshot server: {answered / snapshot_seconds:.0f} answered requests/s "
+        f"({errors} typed errors), "
         f"p50 = {latency['p50'] * 1000:.1f}ms, p99 = {latency['p99'] * 1000:.1f}ms"
     )
 
@@ -355,9 +379,14 @@ def _command_serve(
             reference.apply(list(delta))
         baseline_results.extend(reference.serve_batch(requests))
     baseline_seconds = time.perf_counter() - start
-    identical = [
-        (ours.epoch, ours.answer) for ours in snapshot_results
-    ] == [(theirs.epoch, theirs.answer) for theirs in baseline_results]
+    # Under a deadline some snapshot results are typed errors, which the
+    # unguarded baseline never produces; the agreement check covers every
+    # answered request (deadline off ≡ the historical full identity check).
+    identical = all(
+        (ours.epoch, ours.answer) == (theirs.epoch, theirs.answer)
+        for ours, theirs in zip(snapshot_results, baseline_results)
+        if ours.ok
+    ) and len(snapshot_results) == len(baseline_results)
     print(
         f"global-lock baseline: {len(baseline_results) / baseline_seconds:.0f} requests/s; "
         f"identical answers = {identical}; "
@@ -388,7 +417,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_explain(args.query, args.seed, args.no_statistics)
     if args.command == "serve":
         return _command_serve(
-            args.items, args.rounds, args.batch, args.workers, args.seed, args.baseline
+            args.items,
+            args.rounds,
+            args.batch,
+            args.workers,
+            args.seed,
+            args.baseline,
+            args.deadline_ms,
         )
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
     return 2  # pragma: no cover

@@ -51,6 +51,12 @@ from repro.core.packages import Package, Selection
 from repro.relational.database import Relation, Row
 from repro.relational.errors import BudgetExceededError
 from repro.relational.ordering import row_sort_key
+from repro.resilience.deadline import current_deadline
+
+#: Check the request deadline once per this many lattice nodes.  A power of
+#: two, so ``examined & (N - 1)`` is the gate; the overshoot past an expired
+#: deadline is bounded by one stride.
+_DEADLINE_STRIDE = 64
 
 
 class _SearchDone(Exception):
@@ -209,6 +215,12 @@ class PackageSearchEngine:
         if not check_rating:  # the rating never gets consulted: skip threading it
             val_init, val_extend = None, None
         examined = 0
+        # Read at call time, never in __init__: the ExistPack oracle shares
+        # one engine across requests, so a construction-time capture would
+        # leak the first request's deadline into every later one.
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check()
 
         def dfs(
             start: int,
@@ -226,6 +238,8 @@ class PackageSearchEngine:
                     raise BudgetExceededError(
                         f"valid-package enumeration exceeded {max_candidates} candidates"
                     )
+                if deadline is not None and not examined & (_DEADLINE_STRIDE - 1):
+                    deadline.tick(_DEADLINE_STRIDE)
                 size = len(extended)
                 next_cost = cost_extend(cost_state, item) if cost_extend else None
                 if monotone_cost and cost_extend:
@@ -315,6 +329,9 @@ class PackageSearchEngine:
         if not need_rating:  # the rating never gets consulted: skip threading it
             val_init, val_extend = None, None
         examined = 0
+        deadline = current_deadline()  # call-time, as in iter_valid
+        if deadline is not None:
+            deadline.check()
 
         def dfs(start, prefix, item_set, cost_state, val_state) -> None:
             nonlocal examined, count
@@ -326,6 +343,8 @@ class PackageSearchEngine:
                     raise BudgetExceededError(
                         f"valid-package enumeration exceeded {max_candidates} candidates"
                     )
+                if deadline is not None and not examined & (_DEADLINE_STRIDE - 1):
+                    deadline.tick(_DEADLINE_STRIDE)
                 size = len(extended)
                 next_cost = cost_extend(cost_state, item) if cost_extend else None
                 if monotone_cost and cost_extend:
@@ -478,6 +497,9 @@ class PackageSearchEngine:
         val_fn = self.problem.val
         examined = 0
         total_seen = 0
+        deadline = current_deadline()  # call-time, as in iter_valid
+        if deadline is not None:
+            deadline.check()
         # ``scored`` stays sorted by (-rating, tie key); entries carry the
         # rating separately so the pruning threshold needs no negation.
         worst_rating: Optional[float] = None
@@ -545,6 +567,8 @@ class PackageSearchEngine:
                     raise BudgetExceededError(
                         f"valid-package enumeration exceeded {max_candidates} candidates"
                     )
+                if deadline is not None and not examined & (_DEADLINE_STRIDE - 1):
+                    deadline.tick(_DEADLINE_STRIDE)
                 size = len(extended)
                 next_cost = cost_extend(cost_state, item) if cost_extend else None
                 if monotone_cost and cost_extend:

@@ -60,11 +60,17 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional,
 from repro.queries.ast import Comparison, Const, RelationAtom, Term, Var
 from repro.queries.plan import JoinPlan, PlannedMultiway, cached_plan, most_constrained_index
 from repro.relational.database import Database, Relation, Row
-from repro.relational.errors import EvaluationError
+from repro.relational.errors import EvaluationError, StepLimitExceeded
 from repro.relational.schema import Value
 from repro.relational.statistics import leapfrog_intersect
+from repro.resilience.deadline import Deadline, current_deadline
 
 Binding = Dict[str, Value]
+
+#: How many ticks a :class:`StepCounter` accumulates before flushing them to
+#: its deadline.  Amortises the wall-clock read; a request can overshoot its
+#: deadline by at most this many search steps.
+_DEADLINE_FLUSH_EVERY = 128
 
 
 class StepCounter:
@@ -73,19 +79,52 @@ class StepCounter:
     The hardness reductions intentionally create exponential searches; the
     benchmark harness uses a counter both to abort runaway configurations and
     to report the number of explored nodes as a machine-independent cost
-    measure.
+    measure.  A counter may also carry a request
+    :class:`~repro.resilience.deadline.Deadline`: ticks are batched and
+    flushed to it every :data:`_DEADLINE_FLUSH_EVERY` steps, so wall-clock /
+    cancellation checks cost one comparison per step on average while the
+    step accounting itself stays exact.
     """
 
-    def __init__(self, limit: Optional[int] = None) -> None:
+    def __init__(
+        self, limit: Optional[int] = None, deadline: Optional[Deadline] = None
+    ) -> None:
         self.limit = limit
         self.steps = 0
+        self.deadline = deadline
+        self._unflushed = 0
 
     def tick(self, amount: int = 1) -> None:
         self.steps += amount
         if self.limit is not None and self.steps > self.limit:
-            raise EvaluationError(
-                f"evaluation exceeded the step limit of {self.limit} search steps"
-            )
+            raise StepLimitExceeded(self.limit, self.steps)
+        if self.deadline is not None:
+            self._unflushed += amount
+            if self._unflushed >= _DEADLINE_FLUSH_EVERY:
+                flushed, self._unflushed = self._unflushed, 0
+                self.deadline.tick(flushed)
+
+
+def _deadline_guarded(counter: Optional[StepCounter]) -> Optional[StepCounter]:
+    """Attach the ambient request deadline (if any) to an evaluation's counter.
+
+    Called once at each evaluator entry point: with no ambient deadline the
+    caller's counter passes through untouched (the unguarded path stays
+    bit-identical); otherwise the deadline is checked fail-fast and wired
+    into the counter — creating one if the caller passed none — so the hot
+    loops' existing ``counter.tick()`` calls enforce it from then on.  A
+    counter that already carries a deadline keeps it (the innermost request
+    scope owns the budget).
+    """
+    deadline = current_deadline()
+    if deadline is None:
+        return counter
+    deadline.check()
+    if counter is None:
+        return StepCounter(deadline=deadline)
+    if counter.deadline is None:
+        counter.deadline = deadline
+    return counter
 
 
 def _match_atom_against_row(
@@ -416,6 +455,7 @@ def enumerate_bindings(
         answers on a quiescent database, only which epoch a racing
         enumeration observes.
     """
+    counter = _deadline_guarded(counter)
     if use_snapshot_overlay:
         pin = getattr(database, "snapshot", None)
         if pin is not None:
@@ -573,6 +613,7 @@ def enumerate_bindings_naive(
     benchmark measures the indexed path against.  Takes the same parameters
     except for ``plan`` (it never plans).
     """
+    counter = _deadline_guarded(counter)
     extra_relations = extra_relations or {}
 
     def lookup(name: str) -> Relation:

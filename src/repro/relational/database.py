@@ -56,14 +56,56 @@ from __future__ import annotations
 
 import threading
 import weakref
+from contextlib import contextmanager
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.relational.errors import IntegrityError, ModelError, SchemaError, UnknownRelationError
+from repro.relational.errors import (
+    IntegrityError,
+    ModelError,
+    SchemaError,
+    SnapshotViolationError,
+    UnknownRelationError,
+)
 from repro.relational.ordering import row_sort_key
 from repro.relational.schema import DatabaseSchema, RelationSchema, Value
 from repro.relational.statistics import RelationStatistics, SortedPositionIndex, TrieIndex
+from repro.resilience import faults as _faults
 
 Row = Tuple[Value, ...]
+
+#: The opt-in snapshot-safety guard (see :func:`set_snapshot_safety_guard`):
+#: when enabled, direct point/bulk mutations on a relation pinned by a live
+#: snapshot raise :class:`~repro.relational.errors.SnapshotViolationError`
+#: instead of silently corrupting the snapshot's frozen view.
+_DIRECT_MUTATION_GUARD = False
+
+
+def set_snapshot_safety_guard(enabled: bool) -> bool:
+    """Enable/disable the snapshot-safety debug guard; returns the old value.
+
+    The transactional write path (:meth:`Database.apply_delta`) performs
+    copy-on-write for snapshot-pinned relations, but direct
+    :meth:`Relation.add` / :meth:`Relation.discard` / :meth:`Relation.clear` /
+    :meth:`Relation.replace_rows` calls bypass it — the ROADMAP's known scope
+    limit.  With the guard on, such a call on a pinned relation raises
+    :class:`~repro.relational.errors.SnapshotViolationError`, turning the
+    silent corruption into detection.  Off (the default) is bit-identical to
+    the historical behaviour.  Process-global, like the chaos harness.
+    """
+    global _DIRECT_MUTATION_GUARD
+    previous = _DIRECT_MUTATION_GUARD
+    _DIRECT_MUTATION_GUARD = bool(enabled)
+    return previous
+
+
+@contextmanager
+def snapshot_safety_guard(enabled: bool = True) -> Iterator[None]:
+    """Scope the snapshot-safety guard to a ``with`` block (tests, debugging)."""
+    previous = set_snapshot_safety_guard(enabled)
+    try:
+        yield
+    finally:
+        set_snapshot_safety_guard(previous)
 
 #: One delta modification: ("insert" | "delete", relation name, tuple).  The
 #: same shape as :data:`repro.adjustment.delta.Modification`; the relational
@@ -135,10 +177,17 @@ class Relation:
         "_stats_max",
         "_stats_snapshot",
         "_version",
+        "_pinned_by",
+        "__weakref__",
     )
 
     def __init__(self, schema: RelationSchema, rows: Iterable[Sequence[Value]] = ()) -> None:
         self.schema = schema
+        #: Live snapshots pinning this exact relation object (weakly), kept by
+        #: :meth:`Database.snapshot` purely for the opt-in snapshot-safety
+        #: guard — the commit path's copy-on-write decision still consults the
+        #: database's snapshot registry, not this set.
+        self._pinned_by: "weakref.WeakSet" = weakref.WeakSet()
         self._rows: Set[Row] = set()
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Value, ...], Tuple[Row, ...]]] = {}
         self._sorted_indexes: Dict[int, SortedPositionIndex] = {}
@@ -165,6 +214,20 @@ class Relation:
         return relation
 
     # -- mutation -------------------------------------------------------------
+    def _check_direct_mutation(self, operation: str) -> None:
+        """The opt-in snapshot-safety guard: reject mutating a pinned relation.
+
+        Only direct mutators call this; the transactional commit path
+        (:meth:`Database._apply_validated`) clones pinned relations first and
+        mutates the unpinned clone, so it never trips the guard.
+        """
+        if _DIRECT_MUTATION_GUARD and self._pinned_by:
+            raise SnapshotViolationError(
+                f"direct {operation} on relation {self.name!r} while "
+                f"{len(self._pinned_by)} live snapshot(s) pin it; route the "
+                f"write through Database.apply_delta (copy-on-write) instead"
+            )
+
     def _mutated(self) -> None:
         """Record a bulk change to the row set: bump the version, drop caches."""
         self._version += 1
@@ -242,6 +305,7 @@ class Relation:
         """
         validated = self.schema.validate_tuple(row)
         if validated not in self._rows:
+            self._check_direct_mutation("add")
             self._rows.add(validated)
             self._version += 1
             self._caches_added_row(validated)
@@ -259,6 +323,7 @@ class Relation:
         """
         validated = self.schema.validate_tuple(row)
         if validated in self._rows:
+            self._check_direct_mutation("discard")
             self._rows.remove(validated)
             self._version += 1
             self._caches_removed_row(validated)
@@ -268,6 +333,7 @@ class Relation:
     def clear(self) -> None:
         """Remove every tuple."""
         if self._rows:
+            self._check_direct_mutation("clear")
             self._rows.clear()
             self._mutated()
 
@@ -283,6 +349,7 @@ class Relation:
         mutations maintain them instead) — so index caches and the
         compatibility oracle can never serve stale state through this path.
         """
+        self._check_direct_mutation("replace_rows")
         self._rows = set(rows)
         self._mutated()
 
@@ -520,6 +587,7 @@ class Relation:
         """
         clone = Relation.__new__(Relation)
         clone.schema = self.schema
+        clone._pinned_by = weakref.WeakSet()  # the clone is, by construction, unpinned
         clone._rows = set(self._rows)
         clone._indexes = {}
         clone._sorted_indexes = {}
@@ -586,6 +654,11 @@ class Database:
     # -- access ------------------------------------------------------------------
     def relation(self, name: str) -> Relation:
         """The relation called ``name``; raises :class:`UnknownRelationError`."""
+        # ``relational.access`` injection point, inlined (this is the hottest
+        # lookup in the library): chaos off costs one module-attribute load.
+        active = _faults._ACTIVE
+        if active is not None:
+            active.hit("relational.access")
         try:
             return self._relations[name]
         except KeyError:
@@ -667,6 +740,8 @@ class Database:
         with self._snapshot_lock:
             snapshot = DatabaseSnapshot(self, self._epoch, dict(self._relations))
             self._snapshots.add(snapshot)
+            for relation in self._relations.values():
+                relation._pinned_by.add(snapshot)
             return snapshot
 
     def _copy_on_write(self, names: Iterable[str]) -> None:
@@ -744,27 +819,68 @@ class Database:
         first (:meth:`_copy_on_write`), and an effective commit advances the
         epoch — so a snapshot taken at any moment sees either none or all of
         the delta, never a prefix.
+
+        The commit is also *crash-safe*: if anything raises mid-application
+        (the ``commit.modification`` / ``commit.epoch`` chaos points model an
+        arbitrary failure), the already-applied prefix is unwound in reverse
+        before the exception propagates, restoring rows, caches, version
+        counters and the epoch to their exact pre-commit values — a failed
+        commit leaves no trace.  Copy-on-write clones swapped in before the
+        crash are kept (they are content-identical after the unwind, and
+        snapshot readers pin the originals regardless).
         """
         with self._snapshot_lock:
             self._copy_on_write({name for _, name, _ in validated})
             effective: list = []
-            for kind, name, row in validated:
-                relation = self._relations[name]
-                if kind == _DELTA_INSERT:
-                    if row not in relation._rows:
-                        relation._rows.add(row)
-                        relation._version += 1
-                        relation._caches_added_row(row)
-                        effective.append((kind, name, row))
-                else:
-                    if row in relation._rows:
-                        relation._rows.remove(row)
-                        relation._version += 1
-                        relation._caches_removed_row(row)
-                        effective.append((kind, name, row))
-            if effective:
-                self._epoch += 1
+            epoch_bumped = False
+            try:
+                for kind, name, row in validated:
+                    relation = self._relations[name]
+                    _faults.fault_point("commit.modification")
+                    if kind == _DELTA_INSERT:
+                        if row not in relation._rows:
+                            relation._rows.add(row)
+                            relation._version += 1
+                            relation._caches_added_row(row)
+                            effective.append((kind, name, row))
+                    else:
+                        if row in relation._rows:
+                            relation._rows.remove(row)
+                            relation._version += 1
+                            relation._caches_removed_row(row)
+                            effective.append((kind, name, row))
+                if effective:
+                    self._epoch += 1
+                    epoch_bumped = True
+                    _faults.fault_point("commit.epoch")
+            except BaseException:
+                self._unwind_commit(effective, epoch_bumped)
+                raise
             return AppliedDelta(self, tuple(effective))
+
+    def _unwind_commit(
+        self, effective: Sequence[DeltaModification], epoch_bumped: bool
+    ) -> None:
+        """Roll back a partially applied commit (called under the snapshot lock).
+
+        Inverts the effective prefix in reverse order through the same
+        in-place cache maintenance the forward path used, and *decrements*
+        the version counters it bumped.  Winding a version counter backwards
+        is sound exactly here: the row set is restored to the same content
+        the old version number described, so every (version, content) pair a
+        cache may have memoized stays truthful.
+        """
+        for kind, name, row in reversed(effective):
+            relation = self._relations[name]
+            if kind == _DELTA_INSERT:
+                relation._rows.remove(row)
+                relation._caches_removed_row(row)
+            else:
+                relation._rows.add(row)
+                relation._caches_added_row(row)
+            relation._version -= 1
+        if epoch_bumped:
+            self._epoch -= 1
 
     # -- copying / combining -----------------------------------------------------------
     def copy(self) -> "Database":

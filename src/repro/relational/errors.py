@@ -55,3 +55,32 @@ class ModelError(ReproError):
 
 class BudgetExceededError(EvaluationError):
     """A configurable resource guard (time / search nodes) was exceeded."""
+
+
+class StepLimitExceeded(BudgetExceededError):
+    """A :class:`~repro.queries.bindings.StepCounter` hit its step limit.
+
+    Dedicated (rather than a bare :class:`EvaluationError`) so the serving
+    layer's error taxonomy can map a step-budget abort to a typed per-request
+    error instead of a generic failure; still an :class:`EvaluationError`
+    subclass, so historical ``except EvaluationError`` guards keep working.
+    """
+
+    def __init__(self, limit: int, steps: int) -> None:
+        super().__init__(
+            f"evaluation exceeded the step limit of {limit} search steps"
+        )
+        self.limit = limit
+        self.steps = steps
+
+
+class SnapshotViolationError(ModelError):
+    """A direct mutation hit a relation pinned by a live snapshot.
+
+    Raised only when the opt-in snapshot-safety guard
+    (:func:`~repro.relational.database.snapshot_safety_guard`) is enabled:
+    direct ``Relation.add``/``discard``/``clear``/``replace_rows`` calls
+    bypass the copy-on-write commit path, so with a live snapshot pinning the
+    relation they would silently corrupt the snapshot's frozen view.  The
+    guard turns that silent corruption into detection.
+    """

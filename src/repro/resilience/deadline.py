@@ -1,0 +1,138 @@
+"""Deadlines and cancellation tokens for bounded request evaluation.
+
+The evaluator (:func:`repro.queries.bindings.enumerate_bindings`) and the
+package-lattice DFS loops (:class:`repro.core.enumeration.PackageSearchEngine`)
+can run for an unbounded time on adversarial inputs.  A :class:`Deadline`
+bounds one request: a wall-clock expiry, an optional cooperative
+:class:`CancellationToken`, and an optional step budget, all checked from the
+same two hooks the step counter already owns (one :meth:`Deadline.check` at
+entry, amortised :meth:`Deadline.tick` calls inside the hot loops).
+
+The deadline travels *ambiently*: the serving layer wraps each request in
+:func:`deadline_scope`, and the evaluation stack picks it up with
+:func:`current_deadline` at its entry points.  The scope is thread-local, so
+a worker thread's deadline never leaks into a neighbour — and it is read at
+entry-point *call* time, never captured at object construction, because the
+long-lived :class:`~repro.core.oracle.ExistPackOracle` shares one search
+engine across all requests.
+
+With no ambient deadline every hook is a no-op (an ``is None`` test), so the
+unguarded paths stay bit-identical per the knob contract.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.relational.errors import StepLimitExceeded
+from repro.resilience.errors import RequestCancelled, RequestTimeout
+
+
+class CancellationToken:
+    """A cooperative cancellation flag shared between caller and evaluator.
+
+    The caller keeps a reference and calls :meth:`cancel`; the evaluator
+    observes it through the :class:`Deadline` it is attached to.  Backed by a
+    :class:`threading.Event`, so cancelling from another thread is safe.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+class Deadline:
+    """One request's evaluation budget: wall clock, cancellation, steps.
+
+    ``expires_at`` is a :func:`time.monotonic` instant (``None`` for no time
+    bound); ``token`` an optional :class:`CancellationToken`; ``max_steps``
+    an optional bound on the search steps charged via :meth:`tick`.
+
+    :meth:`check` raises the matching typed error the moment any budget is
+    exhausted — :class:`RequestCancelled` wins over :class:`RequestTimeout`
+    (a cancelled request should report cancellation even if it also timed
+    out), and the step budget raises the evaluator's own
+    :class:`~repro.relational.errors.StepLimitExceeded`.
+    """
+
+    __slots__ = ("expires_at", "token", "max_steps", "steps")
+
+    def __init__(
+        self,
+        expires_at: Optional[float] = None,
+        token: Optional[CancellationToken] = None,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        self.expires_at = expires_at
+        self.token = token
+        self.max_steps = max_steps
+        self.steps = 0
+
+    @classmethod
+    def after(
+        cls,
+        seconds: Optional[float],
+        token: Optional[CancellationToken] = None,
+        max_steps: Optional[int] = None,
+    ) -> "Deadline":
+        """A deadline expiring ``seconds`` from now (``None`` = no time bound)."""
+        expires_at = None if seconds is None else time.monotonic() + seconds
+        return cls(expires_at=expires_at, token=token, max_steps=max_steps)
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until expiry (may be negative), or ``None`` if unbounded."""
+        if self.expires_at is None:
+            return None
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return self.expires_at is not None and time.monotonic() >= self.expires_at
+
+    def check(self) -> None:
+        """Raise the typed error for the first exhausted budget, if any."""
+        if self.token is not None and self.token.cancelled:
+            raise RequestCancelled("request cancelled")
+        if self.expires_at is not None and time.monotonic() >= self.expires_at:
+            raise RequestTimeout("request deadline expired")
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise StepLimitExceeded(self.max_steps, self.steps)
+
+    def tick(self, amount: int = 1) -> None:
+        """Charge ``amount`` search steps and re-check every budget."""
+        self.steps += amount
+        self.check()
+
+
+_AMBIENT = threading.local()
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline of the innermost enclosing :func:`deadline_scope`, if any."""
+    return getattr(_AMBIENT, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Install ``deadline`` as this thread's ambient deadline for the block.
+
+    ``None`` is accepted and simply clears the ambient deadline, so callers
+    can pass an optional deadline straight through.  The previous ambient
+    deadline (if any) is restored on exit, making scopes nestable.
+    """
+    previous = getattr(_AMBIENT, "deadline", None)
+    _AMBIENT.deadline = deadline
+    try:
+        yield deadline
+    finally:
+        _AMBIENT.deadline = previous

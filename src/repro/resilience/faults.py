@@ -1,0 +1,155 @@
+"""Deterministic fault injection: seeded chaos at registered points.
+
+A :class:`FaultPlan` names a set of rules — each targeting one registered
+injection point with either a seeded rate (every hit flips a coin from a
+per-point :class:`random.Random` stream) or an explicit set of hit indices —
+and :func:`chaos` activates the plan for a ``with`` block.  Code under test
+calls :func:`fault_point` at its injection points; when the active plan
+decides a hit fires, an :class:`~repro.resilience.errors.InjectedFault`
+raises there.
+
+Determinism is the whole point: per-point counters plus per-point RNG
+streams seeded from ``f"{seed}:{point}"`` (string seeding is stable across
+processes, unlike hashes of tuples under ``PYTHONHASHSEED``) mean the same
+plan replayed over the same workload fires at exactly the same hits, so the
+chaos differential suite can compare a faulted run against a clean replay.
+
+Per the knob contract, chaos off is bit-identical: with no active plan,
+:func:`fault_point` is one module-global ``is None`` test.  Hot paths may
+inline that test themselves (see ``Database.relation``) by checking
+``faults._ACTIVE`` directly.
+
+Registered points (see the ROADMAP recipe for adding one):
+
+- ``relational.access`` — every ``Database.relation()`` lookup
+- ``serving.worker`` — a server worker, before executing a request
+- ``commit.modification`` — before each modification in ``_apply_validated``
+- ``commit.epoch`` — after the epoch bump at the end of a commit
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.resilience.errors import InjectedFault
+
+#: The registry of known injection-point names; rules must target one of these.
+FAULT_POINTS = {
+    "relational.access",
+    "serving.worker",
+    "commit.modification",
+    "commit.epoch",
+}
+
+
+def register_fault_point(name: str) -> str:
+    """Register a new injection-point name (idempotent); returns the name.
+
+    Call at import time next to the code that will call
+    :func:`fault_point(name) <fault_point>`, so plans targeting a typo'd
+    name fail loudly at plan-construction time.
+    """
+    FAULT_POINTS.add(name)
+    return name
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """How one injection point misbehaves under a plan.
+
+    ``rate`` fires each hit independently with that probability (drawn from
+    the point's seeded stream); ``at`` fires on exactly those 0-based hit
+    indices.  Both may be combined (either trigger fires).  ``transient``
+    marks the resulting :class:`InjectedFault` retryable.
+    """
+
+    rate: float = 0.0
+    at: FrozenSet[int] = field(default_factory=frozenset)
+    transient: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        object.__setattr__(self, "at", frozenset(self.at))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded assignment of :class:`FaultRule`\\ s to injection points."""
+
+    rules: Tuple[Tuple[str, FaultRule], ...]
+    seed: int = 0
+
+    def __init__(
+        self,
+        rules: "Dict[str, FaultRule] | Iterable[Tuple[str, FaultRule]]",
+        seed: int = 0,
+    ) -> None:
+        items = tuple(sorted(dict(rules).items()))
+        for name, _ in items:
+            if name not in FAULT_POINTS:
+                raise ValueError(
+                    f"unknown fault point {name!r}; registered points: "
+                    f"{sorted(FAULT_POINTS)}"
+                )
+        object.__setattr__(self, "rules", items)
+        object.__setattr__(self, "seed", seed)
+
+
+class _ActiveChaos:
+    """The runtime state of one activated plan: counters + RNG streams."""
+
+    __slots__ = ("_rules", "_counters", "_streams", "_lock")
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._rules = dict(plan.rules)
+        self._counters: Dict[str, int] = {name: 0 for name in self._rules}
+        self._streams = {
+            name: random.Random(f"{plan.seed}:{name}") for name in self._rules
+        }
+        self._lock = threading.Lock()
+
+    def hit(self, name: str) -> None:
+        rule = self._rules.get(name)
+        if rule is None:
+            return
+        with self._lock:
+            index = self._counters[name]
+            self._counters[name] = index + 1
+            fires = index in rule.at
+            if rule.rate and not fires:
+                fires = self._streams[name].random() < rule.rate
+        if fires:
+            raise InjectedFault(name, index, transient=rule.transient)
+
+
+#: The currently active chaos state, or ``None``.  Hot paths test this
+#: directly (``if faults._ACTIVE is not None: ...``) to keep the off-path to
+#: a single attribute load.
+_ACTIVE: Optional[_ActiveChaos] = None
+
+
+def fault_point(name: str) -> None:
+    """Maybe raise an :class:`InjectedFault` here, per the active plan."""
+    active = _ACTIVE
+    if active is not None:
+        active.hit(name)
+
+
+@contextmanager
+def chaos(plan: FaultPlan) -> Iterator[None]:
+    """Activate ``plan`` for the block.  Not nestable — chaos state is global
+    (injection points are reached from arbitrary worker threads), so a nested
+    activation would silently merge two schedules."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("chaos() scopes do not nest")
+    _ACTIVE = _ActiveChaos(plan)
+    try:
+        yield
+    finally:
+        _ACTIVE = None

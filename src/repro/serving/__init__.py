@@ -1,4 +1,4 @@
-"""The snapshot-isolated serving layer (PR 6).
+"""The snapshot-isolated serving layer (PR 6), hardened for failure (PR 7).
 
 ``repro.serving`` is the batch front end over the MVCC snapshot machinery of
 :mod:`repro.relational.database`: N recommendation requests in, N package
@@ -7,28 +7,46 @@ answers out, while one writer keeps committing deltas.  See
 :class:`SnapshotServer` and the retained :class:`GlobalLockServer` baseline)
 and :mod:`repro.serving.trace` for the mixed read/update traces that drive
 them in the benchmark, the CLI and the example walkthrough.
+
+PR 7 adds the resilience surface: failures are isolated per request (an
+error :class:`ServeResult` carrying a typed
+:class:`~repro.resilience.errors.ServeError`, never a batch abort), and a
+:class:`ResilienceConfig` arms the snapshot server with request deadlines,
+bounded-admission load shedding and retry-with-backoff.
+:func:`build_overload_trace` generates the adversarial poison-request trace
+``benchmarks/bench_resilience.py`` measures the guard on.
 """
 
 from repro.serving.server import (
     REQUEST_KINDS,
     GlobalLockServer,
+    ResilienceConfig,
     ServeRequest,
     ServeResult,
     SnapshotServer,
     execute_request,
     latency_percentiles,
 )
-from repro.serving.trace import ServingTrace, build_trace, serving_problem
+from repro.serving.trace import (
+    ServingTrace,
+    build_overload_trace,
+    build_trace,
+    overload_problem,
+    serving_problem,
+)
 
 __all__ = [
     "REQUEST_KINDS",
     "GlobalLockServer",
+    "ResilienceConfig",
     "ServeRequest",
     "ServeResult",
     "ServingTrace",
     "SnapshotServer",
+    "build_overload_trace",
     "build_trace",
     "execute_request",
     "latency_percentiles",
+    "overload_problem",
     "serving_problem",
 ]

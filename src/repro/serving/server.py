@@ -34,6 +34,16 @@ demand bit-identical answers (ties included).
 Requests are canonical, hashable values (:class:`ServeRequest`) and answers
 are plain comparable tuples, so results can be deduplicated, memoized and
 asserted on without knowing the solver result types.
+
+Failures are *per request* (PR 7): a raising request yields a
+:class:`ServeResult` carrying a typed
+:class:`~repro.resilience.errors.ServeError` instead of aborting its whole
+batch, on both servers.  A :class:`ResilienceConfig` additionally arms the
+snapshot server with per-request deadlines/step budgets (honoured deep
+inside the evaluator and the lattice DFS via the ambient
+:func:`~repro.resilience.deadline.deadline_scope`), bounded-admission load
+shedding, and retry-with-backoff for transiently failed requests.  With no
+config the server behaves exactly as before — same answers, same epochs.
 """
 
 from __future__ import annotations
@@ -51,6 +61,14 @@ from repro.core import (
     count_valid_packages,
     is_top_k_selection,
     selection_from_items,
+)
+from repro.resilience import (
+    Deadline,
+    ServeError,
+    ServerOverloaded,
+    classify_error,
+    deadline_scope,
+    fault_point,
 )
 
 Row = Tuple[Any, ...]
@@ -126,12 +144,48 @@ class ServeRequest:
 
 @dataclass(frozen=True)
 class ServeResult:
-    """One answered request: the canonical answer plus serving metadata."""
+    """One answered request: the canonical answer plus serving metadata.
+
+    Exactly one of ``answer`` / ``error`` is meaningful: a successful result
+    carries the canonical answer tuple and ``error is None``; a failed one
+    carries ``answer is None`` and the typed
+    :class:`~repro.resilience.errors.ServeError`.  ``attempts`` counts
+    executions (1 with retries off; 0 for a request shed by admission
+    control, which never ran).
+    """
 
     request: ServeRequest
-    answer: Answer
+    answer: Optional[Answer]
     epoch: int
     latency_s: float
+    error: Optional[ServeError] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request produced an answer (no error)."""
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The snapshot server's resilience knobs; all off (``None``/0) ≡ PR 6.
+
+    ``deadline_s`` / ``max_steps`` bound each request's wall clock / search
+    steps (one shared budget across its retries), enforced inside the
+    evaluator and the lattice DFS through the ambient deadline;
+    ``max_inflight`` caps concurrently executing requests, shedding the rest
+    with a retryable ``overloaded`` error; ``max_retries`` re-executes a
+    request whose classified error is retryable (an injected transient
+    fault, never a timeout), sleeping ``retry_backoff_s * 2**attempt``
+    (capped by the remaining deadline) between attempts.
+    """
+
+    deadline_s: Optional[float] = None
+    max_steps: Optional[int] = None
+    max_inflight: Optional[int] = None
+    max_retries: int = 0
+    retry_backoff_s: float = 0.0
 
 
 def execute_request(
@@ -220,14 +274,30 @@ class SnapshotServer:
     blocking them.  ``serve_batch`` deduplicates identical requests up front
     (sound because every answer is tagged with the immutable epoch it was
     computed against) and fans the unique ones out over a thread pool.
+
+    A failing request never takes its batch down: the worker classifies the
+    exception and returns an error :class:`ServeResult`.  Error results are
+    never memoized (the per-epoch memo only ever sees computed answers), but
+    batch deduplication *does* share one error result across duplicate
+    requests — within a batch the duplicates would have failed identically.
+    An optional :class:`ResilienceConfig` adds deadlines, admission control
+    and retries on top; ``resilience=None`` serves exactly as PR 6 did.
     """
 
-    def __init__(self, problem: RecommendationProblem, max_workers: int = 8) -> None:
+    def __init__(
+        self,
+        problem: RecommendationProblem,
+        max_workers: int = 8,
+        resilience: Optional[ResilienceConfig] = None,
+    ) -> None:
         self._template = problem
         self._database = problem.database
         self._max_workers = max_workers
         self._guard = threading.Lock()
         self._context: Optional[_EpochContext] = None
+        self._resilience = resilience
+        self._admission_lock = threading.Lock()
+        self._inflight = 0
 
     @property
     def problem(self) -> RecommendationProblem:
@@ -258,12 +328,106 @@ class SnapshotServer:
                 self._context = context
             return context
 
+    # -- admission control ---------------------------------------------------
+    def _try_admit(self, max_inflight: int) -> bool:
+        with self._admission_lock:
+            if self._inflight >= max_inflight:
+                return False
+            self._inflight += 1
+            return True
+
+    def _release(self) -> None:
+        with self._admission_lock:
+            self._inflight -= 1
+
     def serve_one(self, request: ServeRequest) -> ServeResult:
-        """Answer one request against the epoch current at call time."""
+        """Answer one request against the epoch current at call time.
+
+        Never raises for a request-level failure: exceptions are classified
+        into the typed error taxonomy and returned as an error result.
+        """
         start = time.perf_counter()
-        context = self._current_context()
-        answer = context.answer(request)
-        return ServeResult(request, answer, context.epoch, time.perf_counter() - start)
+        config = self._resilience
+        if config is not None and config.max_inflight is not None:
+            if not self._try_admit(config.max_inflight):
+                error = classify_error(
+                    ServerOverloaded(
+                        f"request shed: {config.max_inflight} requests already in flight"
+                    )
+                )
+                return ServeResult(
+                    request,
+                    None,
+                    self._database.epoch,
+                    time.perf_counter() - start,
+                    error=error,
+                    attempts=0,
+                )
+            try:
+                return self._serve_admitted(request, start, config)
+            finally:
+                self._release()
+        return self._serve_admitted(request, start, config)
+
+    def _serve_admitted(
+        self, request: ServeRequest, start: float, config: Optional[ResilienceConfig]
+    ) -> ServeResult:
+        """The retry loop of one admitted request.
+
+        One :class:`~repro.resilience.deadline.Deadline` is created per
+        *request* and shared across its retries — re-execution must not renew
+        a budget the client granted once.  Only retryable classified errors
+        (transient faults, never timeouts) re-enter the loop, and the
+        exponential backoff is capped by the remaining deadline.
+        """
+        deadline: Optional[Deadline] = None
+        max_retries = 0
+        if config is not None:
+            if config.deadline_s is not None or config.max_steps is not None:
+                deadline = Deadline.after(config.deadline_s, max_steps=config.max_steps)
+            max_retries = config.max_retries
+        attempts = 0
+        while True:
+            attempts += 1
+            epoch = self._database.epoch
+            try:
+                with deadline_scope(deadline):
+                    fault_point("serving.worker")
+                    context = self._current_context()
+                    epoch = context.epoch
+                    answer = context.answer(request)
+                return ServeResult(
+                    request,
+                    answer,
+                    epoch,
+                    time.perf_counter() - start,
+                    attempts=attempts,
+                )
+            except Exception as error:
+                serve_error = classify_error(error)
+                retry = (
+                    serve_error.retryable
+                    and attempts <= max_retries
+                    and not (deadline is not None and deadline.expired())
+                )
+                if retry:
+                    if config is not None and config.retry_backoff_s > 0.0:
+                        delay = config.retry_backoff_s * (2 ** (attempts - 1))
+                        if deadline is not None:
+                            remaining = deadline.remaining()
+                            if remaining is not None and remaining < delay:
+                                delay = max(0.0, remaining)
+                        if delay > 0.0:
+                            time.sleep(delay)
+                    continue
+                return ServeResult(
+                    request,
+                    None,
+                    epoch,
+                    time.perf_counter() - start,
+                    error=serve_error,
+                    attempts=attempts,
+                )
 
     def serve_batch(
         self,
@@ -319,10 +483,21 @@ class GlobalLockServer:
 
     def serve_one(self, request: ServeRequest) -> ServeResult:
         start = time.perf_counter()
-        with self._lock:
-            fresh = self._template.with_database(self._database)
-            answer = execute_request(fresh, request)
-            epoch = self._database.epoch
+        epoch = self._database.epoch
+        try:
+            with self._lock:
+                fault_point("serving.worker")
+                fresh = self._template.with_database(self._database)
+                answer = execute_request(fresh, request)
+                epoch = self._database.epoch
+        except Exception as error:
+            return ServeResult(
+                request,
+                None,
+                epoch,
+                time.perf_counter() - start,
+                error=classify_error(error),
+            )
         return ServeResult(request, answer, epoch, time.perf_counter() - start)
 
     def serve_batch(

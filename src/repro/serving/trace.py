@@ -148,3 +148,86 @@ def build_trace(
         requests = tuple(rng.choices(pool, weights=weights, k=batch_size))
         rounds.append((tuple(delta), requests))
     return ServingTrace(problem=problem, rounds=tuple(rounds))
+
+
+def overload_problem(num_items: int, seed: int = 0) -> RecommendationProblem:
+    """:func:`serving_problem` with a size-3 package bound: a poison lattice.
+
+    Raising the size bound from 2 to 3 makes the candidate lattice cubic in
+    ``|Q(D)|``, so a ``count`` request — which must visit every node — runs
+    for orders of magnitude longer than a witness search, while the witness
+    searches themselves stay fast.  This is the cost asymmetry the
+    resilience benchmark's adversarial trace is built on.
+    """
+    base = serving_problem(num_items, seed=seed)
+    return RecommendationProblem(
+        database=base.database,
+        query=base.query,
+        cost=base.cost,
+        val=base.val,
+        budget=base.budget,
+        k=base.k,
+        compatibility=base.compatibility,
+        size_bound=ConstantBound(3),
+        monotone_cost=True,
+        antimonotone_compatibility=True,
+        monotone_val=True,
+        name=f"overload serving over {num_items} random items",
+    )
+
+
+def build_overload_trace(
+    num_items: int,
+    num_rounds: int,
+    batch_size: int,
+    seed: int = 0,
+    poison_per_batch: int = 3,
+) -> ServingTrace:
+    """An adversarial trace: a few poison requests buried in cheap traffic.
+
+    Each round opens with ``poison_per_batch`` *poison* requests — ``count``
+    probes with round-unique (hence never-memoized) bounds that must sweep
+    the whole size-3 lattice of :func:`overload_problem` — followed by cheap
+    witness probes (``exists`` with low bounds) that repeat heavily, so an
+    epoch's first computation is amortised by the answer memo.  Poison leads
+    the batch on purpose: an unguarded server's workers are all captured
+    before any cheap request runs, which is exactly the overload a deadline
+    is for.  Deltas are part of the trace, so replicas replaying it walk the
+    identical epoch history (faults injected at ``serving.worker`` never
+    touch the commit path).
+    """
+    rng = random.Random(seed)
+    problem = overload_problem(num_items, seed=seed)
+
+    cheap_pool: List[ServeRequest] = [
+        ServeRequest.exists(1.0),
+        ServeRequest.exists(2.0),
+        ServeRequest.exists(3.0),
+        ServeRequest.exists(4.0),
+    ]
+    categories = sorted({row[1] for row in problem.database.relation("items").rows()})
+    rounds = []
+    next_iid = 50_000
+    for round_index in range(num_rounds):
+        delta: Delta = []
+        if round_index > 0:
+            row = (
+                next_iid,
+                rng.choice(categories),
+                rng.randrange(1, 30),
+                rng.randrange(1, 20),
+            )
+            next_iid += 1
+            delta.append(("insert", "items", row))
+        poison = tuple(
+            # Distinct negative bounds: every valid package qualifies, the
+            # full lattice is swept, and no two poison requests ever share a
+            # memo entry.
+            ServeRequest.count(-1.0 - round_index * poison_per_batch - slot)
+            for slot in range(poison_per_batch)
+        )
+        cheap = tuple(
+            rng.choices(cheap_pool, k=max(0, batch_size - poison_per_batch))
+        )
+        rounds.append((tuple(delta), poison + cheap))
+    return ServingTrace(problem=problem, rounds=tuple(rounds))

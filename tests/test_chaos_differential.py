@@ -1,0 +1,227 @@
+"""Chaos differential suite: fault schedules vs a fault-free reference.
+
+The contract under test is the PR 7 resilience invariant: under any
+deterministic fault schedule, every request yields either the *correct*
+answer (bit-identical to a fault-free replay of the identical trace) or a
+clean typed error — never a wrong answer — and a crashed commit always
+unwinds the live database to its exact pre-fault state, so the epoch
+history the replicas walk stays identical.
+
+The default-size sweeps here run in tier-1; the scaled multi-seed sweeps
+carry the ``chaos`` marker and run under an explicit ``pytest -m chaos``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.relational.database import Database
+from repro.resilience import ERROR_CODES, FaultPlan, FaultRule, InjectedFault, chaos
+from repro.serving import ResilienceConfig, ServingTrace, SnapshotServer, build_trace
+
+
+def _fault_free_reference(trace: ServingTrace):
+    """Replay the trace on a pristine server: the ground-truth answer stream."""
+    server = SnapshotServer(trace.problem)
+    reference = []
+    for delta, requests in trace.rounds:
+        if delta:
+            server.apply(list(delta))
+        reference.append(
+            [(result.epoch, result.answer) for result in server.serve_batch(requests)]
+        )
+    return reference
+
+
+def _assert_chaos_run_is_differentially_correct(
+    trace: ServingTrace,
+    reference,
+    server: SnapshotServer,
+    plan_for_round,
+) -> int:
+    """Replay ``trace`` on ``server`` with per-round chaos; check every result.
+
+    Deltas commit outside the chaos scope (the serve-path sweeps must not
+    perturb the epoch history; the commit path has its own sweep below), so
+    an ``ok`` result must match the reference at the same position exactly.
+    Returns the number of error results observed, so callers can assert the
+    schedule actually fired.
+    """
+    errors = 0
+    for round_index, (delta, requests) in enumerate(trace.rounds):
+        if delta:
+            server.apply(list(delta))
+        with chaos(plan_for_round(round_index)):
+            results = server.serve_batch(requests)
+        assert len(results) == len(requests)
+        for position, result in enumerate(results):
+            assert result.request == requests[position]
+            if result.ok:
+                expected = reference[round_index][position]
+                assert (result.epoch, result.answer) == expected, (
+                    f"round {round_index} position {position}: a faulted run "
+                    "produced a WRONG answer instead of a typed error"
+                )
+            else:
+                errors += 1
+                assert result.error.code in ERROR_CODES
+                assert result.answer is None
+    return errors
+
+
+class TestServePathChaos:
+    def test_worker_faults_never_corrupt_answers(self):
+        trace = build_trace(20, 4, 12, seed=7)
+        reference = _fault_free_reference(build_trace(20, 4, 12, seed=7))
+        server = SnapshotServer(trace.problem)
+        errors = _assert_chaos_run_is_differentially_correct(
+            trace,
+            reference,
+            server,
+            lambda r: FaultPlan({"serving.worker": FaultRule(rate=0.35)}, seed=100 + r),
+        )
+        assert errors > 0, "a 35% fault rate over 48 requests must fire"
+
+    def test_relation_access_faults_never_corrupt_answers(self):
+        trace = build_trace(20, 4, 12, seed=9)
+        reference = _fault_free_reference(build_trace(20, 4, 12, seed=9))
+        server = SnapshotServer(trace.problem)
+        errors = _assert_chaos_run_is_differentially_correct(
+            trace,
+            reference,
+            server,
+            # relational.access fires deep inside evaluation — mid-answer, not
+            # at the request boundary — which is the harder unwinding case.
+            # Compiled plans resolve each relation once, so the point is hit
+            # only a few times per round; the rate is sized to that.
+            lambda r: FaultPlan({"relational.access": FaultRule(rate=0.3)}, seed=r),
+        )
+        assert errors > 0
+
+    def test_retries_recover_transient_faults_to_correct_answers(self):
+        trace = build_trace(20, 3, 10, seed=11)
+        reference = _fault_free_reference(build_trace(20, 3, 10, seed=11))
+        server = SnapshotServer(
+            trace.problem,
+            resilience=ResilienceConfig(max_retries=4, retry_backoff_s=0.0),
+        )
+        recovered = 0
+        for round_index, (delta, requests) in enumerate(trace.rounds):
+            if delta:
+                server.apply(list(delta))
+            plan = FaultPlan({"serving.worker": FaultRule(rate=0.3)}, seed=round_index)
+            with chaos(plan):
+                results = server.serve_batch(requests)
+            for position, result in enumerate(results):
+                # With 4 retries against a 30% transient rate, every request
+                # must come back correct — and some needed the retries.
+                assert result.ok
+                assert (result.epoch, result.answer) == reference[round_index][position]
+                recovered += result.attempts > 1
+        assert recovered > 0
+
+    @pytest.mark.chaos
+    @pytest.mark.parametrize("seed", range(5))
+    def test_scaled_mixed_fault_sweep(self, seed):
+        trace = build_trace(30, 6, 16, seed=seed)
+        reference = _fault_free_reference(build_trace(30, 6, 16, seed=seed))
+        server = SnapshotServer(
+            trace.problem, resilience=ResilienceConfig(max_retries=1)
+        )
+        _assert_chaos_run_is_differentially_correct(
+            trace,
+            reference,
+            server,
+            lambda r: FaultPlan(
+                {
+                    "serving.worker": FaultRule(rate=0.25),
+                    "relational.access": FaultRule(rate=0.01),
+                },
+                seed=1000 * seed + r,
+            ),
+        )
+
+
+def _random_delta(database: Database, rng: random.Random, next_iid: int):
+    """A mixed insert/delete delta over the live ``items`` relation."""
+    rows = sorted(database.relation("items").rows())
+    delta = []
+    for offset in range(rng.randint(2, 5)):
+        if rows and rng.random() < 0.4:
+            delta.append(("delete", "items", rows.pop(rng.randrange(len(rows)))))
+        else:
+            row = (next_iid, rng.choice("abc"), rng.randrange(1, 30), rng.randrange(1, 20))
+            next_iid += 1
+            delta.append(("insert", "items", row))
+    return delta, next_iid
+
+
+class TestCommitPathChaos:
+    def _run_sweep(self, seed: int, num_commits: int) -> None:
+        trace_problem = build_trace(15, 1, 1, seed=seed).problem
+        database = trace_problem.database
+        clean_replica = database.copy()
+        rng = random.Random(seed)
+        next_iid = 70_000
+        crashes = 0
+        for commit_index in range(num_commits):
+            delta, next_iid = _random_delta(database, rng, next_iid)
+            archive = database.copy()
+            epoch_before = database.epoch
+            versions_before = {
+                rel.name: rel.version for rel in database.relations()
+            }
+            plan = FaultPlan(
+                {
+                    "commit.modification": FaultRule(rate=0.25),
+                    "commit.epoch": FaultRule(rate=0.1),
+                },
+                seed=1000 * seed + commit_index,
+            )
+            crashed = False
+            with chaos(plan):
+                try:
+                    database.apply_delta(delta)
+                except InjectedFault:
+                    crashed = True
+            if crashed:
+                crashes += 1
+                # The live database equals the pre-fault archive, exactly.
+                assert database == archive
+                assert database.epoch == epoch_before
+                assert {
+                    rel.name: rel.version for rel in database.relations()
+                } == versions_before
+                # Recovery: the same delta commits cleanly once chaos lifts.
+                database.apply_delta(delta)
+            clean_replica.apply_delta(delta)
+            assert database == clean_replica
+        assert crashes > 0, "the schedule must actually crash some commits"
+
+    def test_crashed_commits_always_unwind_to_the_archive(self):
+        self._run_sweep(seed=1, num_commits=15)
+
+    @pytest.mark.chaos
+    @pytest.mark.parametrize("seed", range(4))
+    def test_scaled_commit_crash_sweep(self, seed):
+        self._run_sweep(seed=seed, num_commits=60)
+
+    def test_a_server_survives_a_crashed_commit_and_keeps_serving(self):
+        trace = build_trace(20, 3, 8, seed=13)
+        reference = _fault_free_reference(build_trace(20, 3, 8, seed=13))
+        server = SnapshotServer(trace.problem)
+        for round_index, (delta, requests) in enumerate(trace.rounds):
+            if delta:
+                plan = FaultPlan({"commit.modification": FaultRule(at={0})}, seed=0)
+                with chaos(plan):
+                    with pytest.raises(InjectedFault):
+                        server.apply(list(delta))
+                # The unwind restored the pre-delta epoch, so the retry below
+                # walks the identical epoch history as the reference replica.
+                server.apply(list(delta))
+            results = server.serve_batch(requests)
+            for position, result in enumerate(results):
+                assert result.ok
+                assert (result.epoch, result.answer) == reference[round_index][position]
