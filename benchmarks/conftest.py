@@ -42,6 +42,7 @@ _EXPECTED_REPORT_WRITERS = frozenset(
         "bench_evaluator.py",
         "bench_incremental.py",
         "bench_multiway.py",
+        "bench_observability.py",
         "bench_planner.py",
         "bench_resilience.py",
         "bench_serving.py",
@@ -58,7 +59,39 @@ def _bench_report_writers():
     }
 
 
+def _check_instrument_roster():
+    """Every registered metric name is unique and follows the naming scheme.
+
+    The roster lives in ``repro.observability.metrics`` and is populated at
+    import time; registration already rejects malformed names and conflicting
+    redefinitions, so this check guards the remaining gap — two *different*
+    modules minting names that collide only by case, or a future refactor
+    relaxing the registration-time validation.
+    """
+    from repro.observability import INSTRUMENT_NAME_PATTERN, INSTRUMENTS
+
+    malformed = sorted(
+        name for name in INSTRUMENTS if not INSTRUMENT_NAME_PATTERN.match(name)
+    )
+    if malformed:
+        raise pytest.UsageError(
+            "instrument names violate the documented naming scheme "
+            f"({INSTRUMENT_NAME_PATTERN.pattern}): {', '.join(malformed)}"
+        )
+    by_case = {}
+    for name in INSTRUMENTS:
+        by_case.setdefault(name.lower(), []).append(name)
+    duplicated = sorted(
+        "/".join(sorted(names)) for names in by_case.values() if len(names) > 1
+    )
+    if duplicated:
+        raise pytest.UsageError(
+            f"instrument names collide case-insensitively: {', '.join(duplicated)}"
+        )
+
+
 def pytest_configure(config):
+    _check_instrument_roster()
     # Benchmarks are self-contained; make accidental plain `pytest benchmarks/`
     # runs behave (collect-only markers are not needed, everything is a benchmark).
     config.addinivalue_line("markers", "paper_cell(cell): the Table 8.1/8.2 cell a benchmark illustrates")

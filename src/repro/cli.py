@@ -120,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="compile with the statistics-blind fallback order instead",
     )
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="also execute the plan and print actual rows and time per step "
+        "next to the planner's estimates",
+    )
 
     serve = commands.add_parser(
         "serve", help="replay a mixed read/update trace through the snapshot server"
@@ -140,6 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         action="store_true",
         help="also replay through the global-lock reference server and report the speedup",
+    )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="serve with the metrics registry active and print the instrument "
+        "summary (per-code errors, retries/sheds, counters) after the replay",
     )
 
     return parser
@@ -270,7 +282,9 @@ def _command_example(name: str) -> int:
     return 0
 
 
-def _command_explain(query_name: str, seed: int, no_statistics: bool) -> int:
+def _command_explain(
+    query_name: str, seed: int, no_statistics: bool, analyze: bool = False
+) -> int:
     from repro.queries.plan import plan_conjunction
     from repro.workloads.synthetic import (
         cycle_query,
@@ -309,6 +323,19 @@ def _command_explain(query_name: str, seed: int, no_statistics: bool) -> int:
     mode = "statistics-blind fallback order" if no_statistics else "cost-based order"
     print(f"plan ({mode}):")
     print(plan.describe())
+    if analyze:
+        from repro.observability.explain import explain_analyze
+
+        analysis = explain_analyze(
+            database,
+            query.atoms,
+            query.comparisons,
+            use_statistics=False if no_statistics else None,
+            plan=plan,
+        )
+        print()
+        print("analyze (actual vs estimated):")
+        print(analysis.render())
     return 0
 
 
@@ -320,8 +347,10 @@ def _command_serve(
     seed: int,
     baseline: bool,
     deadline_ms: Optional[float] = None,
+    metrics: bool = False,
 ) -> int:
     import time
+    from contextlib import nullcontext
 
     from repro.serving import (
         GlobalLockServer,
@@ -330,6 +359,14 @@ def _command_serve(
         build_trace,
         latency_percentiles,
     )
+
+    registry = None
+    scope = nullcontext()
+    if metrics:
+        from repro.observability import MetricsRegistry, use_metrics
+
+        registry = MetricsRegistry()
+        scope = use_metrics(registry)
 
     resilience = (
         ResilienceConfig(deadline_s=deadline_ms / 1000.0)
@@ -344,20 +381,21 @@ def _command_serve(
         print(f"resilience: per-request deadline {deadline_ms:g}ms")
 
     snapshot_results = []
-    start = time.perf_counter()
-    for round_index, (delta, requests) in enumerate(trace.rounds):
-        if delta:
-            server.apply(list(delta))
-        round_start = time.perf_counter()
-        results = server.serve_batch(requests)
-        round_seconds = time.perf_counter() - round_start
-        snapshot_results.extend(results)
-        unique = len(set(requests))
-        print(
-            f"  round {round_index}: epoch {server.epoch}, {len(requests)} requests "
-            f"({unique} unique) in {round_seconds * 1000:.0f}ms"
-        )
-    snapshot_seconds = time.perf_counter() - start
+    with scope:
+        start = time.perf_counter()
+        for round_index, (delta, requests) in enumerate(trace.rounds):
+            if delta:
+                server.apply(list(delta))
+            round_start = time.perf_counter()
+            results = server.serve_batch(requests)
+            round_seconds = time.perf_counter() - round_start
+            snapshot_results.extend(results)
+            unique = len(set(requests))
+            print(
+                f"  round {round_index}: epoch {server.epoch}, {len(requests)} requests "
+                f"({unique} unique) in {round_seconds * 1000:.0f}ms"
+            )
+        snapshot_seconds = time.perf_counter() - start
     latency = latency_percentiles(snapshot_results)
     errors = sum(1 for result in snapshot_results if not result.ok)
     answered = len(snapshot_results) - errors
@@ -366,6 +404,19 @@ def _command_serve(
         f"({errors} typed errors), "
         f"p50 = {latency['p50'] * 1000:.1f}ms, p99 = {latency['p99'] * 1000:.1f}ms"
     )
+    if registry is not None:
+        breakdown = registry.labelled_counts("serving.errors")
+        if breakdown:
+            codes = ", ".join(
+                f"{code}={count}" for code, count in sorted(breakdown.items())
+            )
+            print(f"errors by code: {codes}")
+        print(
+            f"retries = {registry.counter('serving.retries')}, "
+            f"sheds = {registry.counter('serving.sheds')}"
+        )
+        print("metrics:")
+        print(registry.render_table())
 
     if not baseline:
         return 0
@@ -414,7 +465,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "example":
         return _command_example(args.name)
     if args.command == "explain":
-        return _command_explain(args.query, args.seed, args.no_statistics)
+        return _command_explain(args.query, args.seed, args.no_statistics, args.analyze)
     if args.command == "serve":
         return _command_serve(
             args.items,
@@ -424,6 +475,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.seed,
             args.baseline,
             args.deadline_ms,
+            args.metrics,
         )
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
     return 2  # pragma: no cover

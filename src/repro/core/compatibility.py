@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.core.packages import Package
+from repro.observability import metrics as _metrics
+from repro.observability import tracing as _tracing
 from repro.queries.base import Query
 from repro.relational.database import Database, DatabaseSnapshot, Relation, Row
 
@@ -362,10 +364,16 @@ class CompatibilityOracle:
             }
             if footprint.isdisjoint(changed):
                 self.retentions += 1
+                active = _metrics._ACTIVE
+                if active is not None:
+                    active.inc("oracle.verdict.retentions")
                 self._database_version = version
                 return
         if self._cache:
             self.invalidations += 1
+            active = _metrics._ACTIVE
+            if active is not None:
+                active.inc("oracle.verdict.invalidations")
         self._cache.clear()
         self._database_version = version
 
@@ -382,9 +390,19 @@ class CompatibilityOracle:
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
+            active = _metrics._ACTIVE
+            if active is not None:
+                active.inc("oracle.verdict.hits")
             return cached
         self.misses += 1
-        verdict = self.constraint.is_satisfied(package, self.database)
+        active = _metrics._ACTIVE
+        if active is not None:
+            active.inc("oracle.verdict.misses")
+        span = _tracing.begin("probe")
+        try:
+            verdict = self.constraint.is_satisfied(package, self.database)
+        finally:
+            _tracing.finish(span)
         self._cache[key] = verdict
         return verdict
 

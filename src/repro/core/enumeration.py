@@ -48,6 +48,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.model import RecommendationProblem
 from repro.core.packages import Package, Selection
+from repro.observability import metrics as _metrics
 from repro.relational.database import Relation, Row
 from repro.relational.errors import BudgetExceededError
 from repro.relational.ordering import row_sort_key
@@ -215,6 +216,7 @@ class PackageSearchEngine:
         if not check_rating:  # the rating never gets consulted: skip threading it
             val_init, val_extend = None, None
         examined = 0
+        pruned = 0
         # Read at call time, never in __init__: the ExistPack oracle shares
         # one engine across requests, so a construction-time capture would
         # leak the first request's deadline into every later one.
@@ -229,7 +231,7 @@ class PackageSearchEngine:
             cost_state,
             val_state,
         ) -> Iterator[Package]:
-            nonlocal examined
+            nonlocal examined, pruned
             for index in range(start, len(items)):
                 item = items[index]
                 extended = prefix + (item,)
@@ -246,6 +248,7 @@ class PackageSearchEngine:
                     # Incremental cost: prune before materialising the node.
                     cost_value = cost_at(next_cost, size, None)
                     if cost_value > budget:
+                        pruned += 1
                         continue
                     extended_set = item_set | {item}
                     # The DFS extends in sorted-item order, so the node's item
@@ -256,11 +259,13 @@ class PackageSearchEngine:
                     package = Package.trusted(schema, extended_set, extended)
                     cost_value = cost_at(next_cost, size, package) if monotone_cost else None
                     if monotone_cost and cost_value > budget:
+                        pruned += 1
                         continue
                 compatible: Optional[bool] = None
                 if antimonotone:
                     compatible = oracle.is_satisfied(package)
                     if not compatible:
+                        pruned += 1
                         continue
                 next_val = val_extend(val_state, item) if val_extend else None
                 if package not in excluded:
@@ -280,7 +285,14 @@ class PackageSearchEngine:
                 if size < limit:
                     yield from dfs(index + 1, extended, extended_set, next_cost, next_val)
 
-        yield from dfs(0, (), frozenset(), cost_init, val_init)
+        try:
+            yield from dfs(0, (), frozenset(), cost_init, val_init)
+        finally:
+            active = _metrics._ACTIVE
+            if active is not None:
+                active.inc_many(
+                    (("engine.nodes.examined", examined), ("engine.nodes.pruned", pruned))
+                )
 
     def first_valid(
         self,
@@ -329,12 +341,13 @@ class PackageSearchEngine:
         if not need_rating:  # the rating never gets consulted: skip threading it
             val_init, val_extend = None, None
         examined = 0
+        pruned = 0
         deadline = current_deadline()  # call-time, as in iter_valid
         if deadline is not None:
             deadline.check()
 
         def dfs(start, prefix, item_set, cost_state, val_state) -> None:
-            nonlocal examined, count
+            nonlocal examined, pruned, count
             for index in range(start, len(items)):
                 item = items[index]
                 extended = prefix + (item,)
@@ -351,6 +364,7 @@ class PackageSearchEngine:
                     # Incremental cost: prune before materialising the node.
                     cost_value = cost_at(next_cost, size, None)
                     if cost_value > budget:
+                        pruned += 1
                         continue
                     extended_set = item_set | {item}
                     package = Package.trusted(schema, extended_set, extended)
@@ -359,9 +373,11 @@ class PackageSearchEngine:
                     package = Package.trusted(schema, extended_set, extended)
                     cost_value = cost_at(next_cost, size, package) if monotone_cost else None
                     if monotone_cost and cost_value > budget:
+                        pruned += 1
                         continue
                 compatible = oracle.is_satisfied(package)
                 if antimonotone and not compatible:
+                    pruned += 1
                     continue
                 next_val = val_extend(val_state, item) if val_extend else None
                 if compatible:
@@ -393,6 +409,12 @@ class PackageSearchEngine:
             dfs(0, (), frozenset(), cost_init, val_init)
         except _SearchDone:
             pass
+        finally:
+            active = _metrics._ACTIVE
+            if active is not None:
+                active.inc_many(
+                    (("engine.nodes.examined", examined), ("engine.nodes.pruned", pruned))
+                )
         return (count, histogram) if by_size else count
 
     def valid_ratings(self) -> List[float]:
@@ -496,6 +518,7 @@ class PackageSearchEngine:
 
         val_fn = self.problem.val
         examined = 0
+        pruned = 0
         total_seen = 0
         deadline = current_deadline()  # call-time, as in iter_valid
         if deadline is not None:
@@ -547,7 +570,7 @@ class PackageSearchEngine:
                 worst_rating = scored[-1][2]
 
         def dfs(start, prefix, item_set, cost_state, val_state, node_rating, path_cost) -> None:
-            nonlocal examined
+            nonlocal examined, pruned
             slots = limit - len(prefix)
             for index in range(start, len(items)):
                 if (
@@ -559,6 +582,7 @@ class PackageSearchEngine:
                     # The capped positive-gain bound is non-increasing in
                     # ``index``, so nothing later in this loop can qualify
                     # either.
+                    pruned += 1
                     break
                 item = items[index]
                 extended = prefix + (item,)
@@ -575,6 +599,7 @@ class PackageSearchEngine:
                     # Incremental cost: prune before materialising the node.
                     cost_value = cost_at(next_cost, size, None)
                     if cost_value > budget:
+                        pruned += 1
                         continue
                     extended_set = item_set | {item}
                     package = Package.trusted(schema, extended_set, extended)
@@ -583,9 +608,11 @@ class PackageSearchEngine:
                     package = Package.trusted(schema, extended_set, extended)
                     cost_value = cost_at(next_cost, size, package) if monotone_cost else None
                     if monotone_cost and cost_value > budget:
+                        pruned += 1
                         continue
                 compatible = oracle.is_satisfied(package)
                 if antimonotone and not compatible:
+                    pruned += 1
                     continue
                 next_val = val_extend(val_state, item) if val_extend else None
                 # The node's rating is needed for admission anyway whenever the
@@ -612,6 +639,7 @@ class PackageSearchEngine:
                         )
                         < _prune_threshold(worst_rating)
                     ):
+                        pruned += 1
                         continue
                     dfs(
                         index + 1,
@@ -631,7 +659,14 @@ class PackageSearchEngine:
         # rating.  The generic monotone bound evaluates val(∅ ∪ remaining)
         # directly and needs no such guard.
         root_rating = math.inf if use_bound else 0.0
-        dfs(0, (), frozenset(), cost_init, val_init, root_rating, 0.0)
+        try:
+            dfs(0, (), frozenset(), cost_init, val_init, root_rating, 0.0)
+        finally:
+            active = _metrics._ACTIVE
+            if active is not None:
+                active.inc_many(
+                    (("engine.nodes.examined", examined), ("engine.nodes.pruned", pruned))
+                )
         return [(rating, package) for _, package, rating in scored], examined, total_seen
 
 

@@ -1,0 +1,71 @@
+"""Full-stack observability: metrics, request tracing and EXPLAIN ANALYZE.
+
+Three pillars, all off by default under the knob contract (all-off is
+bit-identical to the uninstrumented behaviour; see the differential suite in
+``tests/test_observability.py``):
+
+* :mod:`repro.observability.metrics` — a thread-safe registry of named
+  counters, gauges and bounded-bucket histograms.  Instrumented code paths
+  guard on the ``metrics._ACTIVE is None`` module global (the
+  :mod:`repro.resilience.faults` idiom), so with no registry installed an
+  instrument costs one attribute load.
+* :mod:`repro.observability.tracing` — per-request span trees propagated
+  ambiently through a thread-local scope (the ``deadline_scope`` idiom),
+  with seeded deterministic sampling.
+* :mod:`repro.observability.explain` — EXPLAIN ANALYZE: execute a plan and
+  annotate each step with actual rows and time next to the planner's
+  estimate.  **Imported lazily** (``from repro.observability.explain import
+  explain_analyze``) because it depends on the query layer; this package's
+  eager surface is stdlib-only so the bottom layers of the stack can import
+  it without cycles.
+
+See the ROADMAP's "Adding an instrumented code path" recipe before adding
+instruments.
+"""
+
+from repro.observability.metrics import (
+    INSTRUMENT_NAME_PATTERN,
+    INSTRUMENTS,
+    HistogramSnapshot,
+    Instrument,
+    MetricsRegistry,
+    active_registry,
+    register_counter,
+    register_gauge,
+    register_histogram,
+    use_metrics,
+)
+from repro.observability.summary import latency_percentiles, percentile_summary
+from repro.observability.tracing import (
+    Span,
+    TraceSampler,
+    begin,
+    child_span,
+    current_span,
+    end_span,
+    finish,
+    trace_scope,
+)
+
+__all__ = [
+    "INSTRUMENT_NAME_PATTERN",
+    "INSTRUMENTS",
+    "HistogramSnapshot",
+    "Instrument",
+    "MetricsRegistry",
+    "active_registry",
+    "register_counter",
+    "register_gauge",
+    "register_histogram",
+    "use_metrics",
+    "latency_percentiles",
+    "percentile_summary",
+    "Span",
+    "TraceSampler",
+    "begin",
+    "child_span",
+    "current_span",
+    "end_span",
+    "finish",
+    "trace_scope",
+]

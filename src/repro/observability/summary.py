@@ -1,0 +1,42 @@
+"""Shared percentile summaries for latency-style samples.
+
+Home of the nearest-rank percentile logic that ``serving/server.py``,
+``bench_serving.py`` and ``bench_resilience.py`` previously duplicated as
+``latency_percentiles``.  The serving module re-exports
+:func:`latency_percentiles` from here, so existing imports keep working;
+new code should import from :mod:`repro.observability.summary` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+__all__ = ["percentile_summary", "latency_percentiles"]
+
+
+def percentile_summary(
+    values: Iterable[float], percentiles: Sequence[float] = (50.0, 99.0)
+) -> Dict[str, float]:
+    """Nearest-rank percentiles over raw samples, keyed ``p50``/``p99``/…
+
+    Empty input yields all-zero entries, mirroring the historical
+    ``latency_percentiles`` contract.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return {f"p{percentile:g}": 0.0 for percentile in percentiles}
+    summary = {}
+    for percentile in percentiles:
+        rank = max(0, min(len(ordered) - 1, int(len(ordered) * percentile / 100.0)))
+        summary[f"p{percentile:g}"] = ordered[rank]
+    return summary
+
+
+def latency_percentiles(results, percentiles: Sequence[float] = (50.0, 99.0)) -> Dict[str, float]:
+    """Percentiles over the ``latency_s`` of serving results.
+
+    Accepts anything with a ``latency_s`` attribute (``ServeResult`` in
+    practice); behaviour is bit-identical to the function this replaces in
+    ``repro.serving.server``.
+    """
+    return percentile_summary((result.latency_s for result in results), percentiles)

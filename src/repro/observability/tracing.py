@@ -1,0 +1,188 @@
+"""Per-request span trees with ambient propagation and seeded sampling.
+
+A trace is a tree of :class:`Span` records — ``request`` at the root, with
+``admit``, ``snapshot_pin``, ``plan``, ``execute`` and ``probe`` children as
+the request flows through the stack.  Propagation is ambient: the serving
+layer installs the active span in a thread-local via :func:`trace_scope`
+(the exact shape of :func:`repro.resilience.deadline.deadline_scope`), and
+deeper layers attach children with :func:`begin` / :func:`finish` without
+any plumbing through their signatures.  When no span is ambient —
+the default — :func:`begin` returns ``None`` after a single thread-local
+read, so untraced requests pay essentially nothing.
+
+Sampling is deterministic: :class:`TraceSampler` draws from one seeded
+``random.Random`` stream under a lock, so a given (rate, seed) pair samples
+the same request ordinals in every run — traces are reproducible evidence,
+not heisen-output.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Children beyond this cap are counted, not stored — a runaway loop can
+#: inflate ``dropped_children`` but never a span tree's memory footprint.
+MAX_CHILDREN = 64
+
+_AMBIENT = threading.local()
+
+
+class Span:
+    """One timed operation: a name, a duration, attributes and children."""
+
+    __slots__ = ("name", "start_s", "end_s", "attributes", "children", "parent", "dropped_children")
+
+    def __init__(self, name: str, parent: Optional["Span"] = None, **attributes: Any) -> None:
+        self.name = name
+        self.parent = parent
+        self.start_s = perf_counter()
+        self.end_s: Optional[float] = None
+        self.attributes: Dict[str, Any] = dict(attributes)
+        self.children: List["Span"] = []
+        self.dropped_children = 0
+        if parent is not None:
+            if len(parent.children) < MAX_CHILDREN:
+                parent.children.append(self)
+            else:
+                parent.dropped_children += 1
+
+    def finish(self) -> "Span":
+        """Stamp the end time (idempotent) and return the span."""
+        if self.end_s is None:
+            self.end_s = perf_counter()
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds; measured up to *now* while the span is open."""
+        end = self.end_s if self.end_s is not None else perf_counter()
+        return end - self.start_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-friendly rendering of the subtree rooted here."""
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "duration_s": self.duration_s,
+        }
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        if self.dropped_children:
+            payload["dropped_children"] = self.dropped_children
+        return payload
+
+    def describe(self, indent: int = 0) -> str:
+        """An indented, human-oriented rendering of the subtree."""
+        pad = "  " * indent
+        attrs = "".join(f" {key}={value!r}" for key, value in sorted(self.attributes.items()))
+        lines = [f"{pad}{self.name}: {self.duration_s * 1000.0:.3f} ms{attrs}"]
+        for child in self.children:
+            lines.append(child.describe(indent + 1))
+        if self.dropped_children:
+            lines.append(f"{pad}  … {self.dropped_children} children dropped")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, children={len(self.children)})"
+
+
+def current_span() -> Optional[Span]:
+    """The span installed by the innermost :func:`trace_scope`, if any."""
+    return getattr(_AMBIENT, "span", None)
+
+
+@contextmanager
+def trace_scope(span: Optional[Span]) -> Iterator[Optional[Span]]:
+    """Install ``span`` as this thread's ambient span for the block.
+
+    Nestable and exception-safe, exactly like ``deadline_scope``: the
+    previous ambient span (if any) is restored on exit.  Passing ``None``
+    masks any outer scope, which lets a caller explicitly opt a block out of
+    an enclosing trace.
+    """
+    previous = getattr(_AMBIENT, "span", None)
+    _AMBIENT.span = span
+    try:
+        yield span
+    finally:
+        _AMBIENT.span = previous
+
+
+def begin(name: str, **attributes: Any) -> Optional[Span]:
+    """Open a child of the ambient span and make it ambient; ``None`` if untraced.
+
+    The fast path — no ambient span — is one thread-local read and a
+    ``None`` return.  Pair with :func:`finish` in a ``try/finally``.
+    """
+    parent = getattr(_AMBIENT, "span", None)
+    if parent is None:
+        return None
+    if len(parent.children) >= MAX_CHILDREN:
+        # The cap short-circuits construction too: once a parent saturates,
+        # a hot loop's begin/finish pair degrades to a length check and a
+        # drop count instead of allocating spans that would be discarded.
+        parent.dropped_children += 1
+        return None
+    span = Span(name, parent, **attributes)
+    _AMBIENT.span = span
+    return span
+
+
+def finish(span: Optional[Span]) -> None:
+    """Close a span opened by :func:`begin`; a no-op on ``None``."""
+    if span is None:
+        return
+    span.finish()
+    _AMBIENT.span = span.parent
+
+
+def child_span(parent: Optional[Span], name: str, **attributes: Any) -> Optional[Span]:
+    """Open a child of an *explicit* parent (no ambient install); ``None``-safe."""
+    if parent is None:
+        return None
+    return Span(name, parent, **attributes)
+
+
+def end_span(span: Optional[Span]) -> None:
+    """Close a span opened by :func:`child_span`; a no-op on ``None``."""
+    if span is not None:
+        span.finish()
+
+
+class TraceSampler:
+    """Deterministic head sampling: the same seed samples the same requests.
+
+    Each :meth:`sample` call consumes one draw from a seeded stream under a
+    lock, so the decision sequence is a pure function of ``(rate, seed)`` —
+    independent of timing, thread interleaving only permutes *which* request
+    gets which ordinal, and ``rate`` 0.0 / 1.0 short-circuit to constants.
+    """
+
+    def __init__(self, rate: float = 1.0, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sampling rate must be within [0, 1], got {rate!r}")
+        self.rate = rate
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._stream = random.Random(f"trace-sampler:{seed}")
+        self._decisions = 0
+
+    def sample(self) -> bool:
+        """Decide whether the next request is traced."""
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        with self._lock:
+            self._decisions += 1
+            return self._stream.random() < self.rate
+
+    @property
+    def decisions(self) -> int:
+        """Draws consumed so far (rate-0/1 short-circuits consume none)."""
+        return self._decisions

@@ -57,6 +57,8 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.observability import metrics as _metrics
+from repro.observability import tracing as _tracing
 from repro.queries.ast import Comparison, Const, RelationAtom, Term, Var
 from repro.queries.plan import JoinPlan, PlannedMultiway, cached_plan, most_constrained_index
 from repro.relational.database import Database, Relation, Row
@@ -296,6 +298,8 @@ def _execute_multiway(
     counter: Optional[StepCounter],
     roots: List,
     relations: List[Relation],
+    metrics_acc: Optional[List[int]] = None,
+    step_profile=None,
 ) -> Iterator[Binding]:
     """The unified-iterator leapfrog branch: resolve one variable per level.
 
@@ -327,9 +331,14 @@ def _execute_multiway(
                     f"relation {relation.name!r} was mutated during evaluation"
                 )
 
+    if step_profile is not None:
+        step_profile.mode(var_order)
+
     def descend(level: int) -> Iterator[Binding]:
         if counter is not None:
             counter.tick()
+        if metrics_acc is not None:
+            metrics_acc[2] += 1
         check_versions()
         for index in multiway.comparison_schedule[level]:
             if not comparisons[index].evaluate(binding):
@@ -352,6 +361,10 @@ def _execute_multiway(
             for value in candidates:
                 if counter is not None:
                     counter.tick()
+                if metrics_acc is not None:
+                    metrics_acc[1] += 1  # trie candidates are index-surfaced
+                if step_profile is not None:
+                    step_profile.level_candidate(level)
                 check_versions()
                 children = []
                 for ai, count in group:
@@ -365,6 +378,8 @@ def _execute_multiway(
                     children.append(node)
                 if len(children) != len(group):
                     continue
+                if step_profile is not None:
+                    step_profile.level_match(level)
                 for (ai, _), child in zip(group, children):
                     nodes[ai] = child
                 binding[name] = value
@@ -394,6 +409,7 @@ def enumerate_bindings(
     use_range_probes: Optional[bool] = None,
     use_multiway: Optional[bool] = None,
     use_snapshot_overlay: Optional[bool] = None,
+    step_profile=None,
 ) -> Iterator[Binding]:
     """Yield every binding satisfying all atoms, via an indexed join plan.
 
@@ -454,6 +470,12 @@ def enumerate_bindings(
         every setting.  Like the planner axes, the knob can never change
         answers on a quiescent database, only which epoch a racing
         enumeration observes.
+    step_profile:
+        Optional per-step actuals collector for EXPLAIN ANALYZE
+        (:class:`repro.observability.explain.StepProfile`, duck-typed).  Pure
+        observation — candidates, matches and access kinds per plan step —
+        and never consulted for any decision, so a profiled run enumerates
+        exactly the same bindings.
     """
     counter = _deadline_guarded(counter)
     if use_snapshot_overlay:
@@ -473,28 +495,48 @@ def enumerate_bindings(
 
     base_binding: Binding = dict(initial_binding or {})
     if plan is None:
-        statistics = None
-        if use_statistics is not False:
-            statistics = {}
-            for atom in relation_atoms:
-                getter = getattr(lookup(atom.relation), "statistics", None)
-                if getter is None:
-                    statistics = None
-                    break
-                statistics[atom.relation] = getter()
-        plan = cached_plan(
-            tuple(relation_atoms),
-            tuple(comparisons),
-            frozenset(base_binding),
-            statistics=statistics,
-            compile_ranges=use_range_probes is not False,
-            # Snapshots carry a (source, epoch) component so readers pinned
-            # to one epoch share compiled plans without colliding across
-            # epochs; the live database contributes None (unchanged keying).
-            epoch=getattr(database, "plan_epoch", None),
-        )
+        pspan = _tracing.begin("plan")
+        try:
+            statistics = None
+            if use_statistics is not False:
+                statistics = {}
+                for atom in relation_atoms:
+                    getter = getattr(lookup(atom.relation), "statistics", None)
+                    if getter is None:
+                        statistics = None
+                        break
+                    statistics[atom.relation] = getter()
+            plan = cached_plan(
+                tuple(relation_atoms),
+                tuple(comparisons),
+                frozenset(base_binding),
+                statistics=statistics,
+                compile_ranges=use_range_probes is not False,
+                # Snapshots carry a (source, epoch) component so readers pinned
+                # to one epoch share compiled plans without colliding across
+                # epochs; the live database contributes None (unchanged keying).
+                epoch=getattr(database, "plan_epoch", None),
+            )
+        finally:
+            _tracing.finish(pspan)
     planned_comparisons = plan.comparisons
     steps = plan.steps
+
+    # Metrics are accumulated into plain local integers and flushed once per
+    # enumeration (in the try/finally wrappers below), so the active registry's
+    # lock is taken a constant number of times per evaluation — never per row.
+    active = _metrics._ACTIVE
+    metrics_acc: Optional[List[int]] = [0, 0, 0] if active is not None else None
+
+    def _flush_metrics() -> None:
+        if metrics_acc is not None:
+            active.inc_many(
+                (
+                    ("executor.rows.scanned", metrics_acc[0]),
+                    ("executor.rows.probed", metrics_acc[1]),
+                    ("executor.steps", metrics_acc[2]),
+                )
+            )
 
     if use_multiway is None:
         # Auto: follow the planner's AGM-vs-worst-case verdict, suppressed
@@ -518,9 +560,18 @@ def enumerate_bindings(
                 for index in plan.multiway.comparison_schedule[0]:
                     plan.comparisons[index].evaluate(base_binding)
                 return
-            yield from _execute_multiway(
-                plan, dict(base_binding), counter, roots, multiway_relations
-            )
+            try:
+                yield from _execute_multiway(
+                    plan,
+                    dict(base_binding),
+                    counter,
+                    roots,
+                    multiway_relations,
+                    metrics_acc,
+                    step_profile,
+                )
+            finally:
+                _flush_metrics()
             return
 
     if use_semijoin is None:
@@ -538,6 +589,8 @@ def enumerate_bindings(
     def execute(depth: int, binding: Binding) -> Iterator[Binding]:
         if counter is not None:
             counter.tick()
+        if metrics_acc is not None:
+            metrics_acc[2] += 1
         for index in plan.comparison_schedule[depth]:
             if not planned_comparisons[index].evaluate(binding):
                 return
@@ -554,8 +607,10 @@ def enumerate_bindings(
                 rows: Iterable[Tuple[Value, ...]] = reduced_probes[depth].get(
                     step.probe_key(binding), ()
                 )
+                access_kind = "reduced-probe"
             else:
                 rows = relation.probe(step.probe_positions, step.probe_key(binding))
+                access_kind = "probe"
         elif step.range_probe is not None:
             probe = step.range_probe
             range_rows = getattr(relation, "range_rows", None)
@@ -568,15 +623,23 @@ def enumerate_bindings(
                 # The sorted index cannot answer exactly: fall back to the scan
                 # (or its semi-join-reduced row set), preserving semantics.
                 rows = reduced_rows[depth] if reduced_rows is not None else relation
+                access_kind = "reduced-scan" if reduced_rows is not None else "scan"
             elif reduced_sets is not None:
                 keep = reduced_sets[depth]
                 rows = tuple(row for row in ranged if row in keep)
+                access_kind = "reduced-range"
             else:
                 rows = ranged
+                access_kind = "range"
         elif reduced_rows is not None:
             rows = reduced_rows[depth]
+            access_kind = "reduced-scan"
         else:
             rows = relation
+            access_kind = "scan"
+        if step_profile is not None:
+            step_profile.access(depth, access_kind)
+        probed = step.uses_index
         # A full scan iterates the live row set, so mutating the relation while
         # this generator is suspended raises the usual RuntimeError; the index
         # probe (and any reduced/ranged row set) iterates a frozen sequence, so
@@ -590,12 +653,21 @@ def enumerate_bindings(
                 )
             if counter is not None:
                 counter.tick()
+            if metrics_acc is not None:
+                metrics_acc[1 if probed else 0] += 1
+            if step_profile is not None:
+                step_profile.candidate(depth)
             extended = _match_atom_against_row(step.atom, row, binding)
             if extended is None:
                 continue
+            if step_profile is not None:
+                step_profile.match(depth)
             yield from execute(depth + 1, extended)
 
-    yield from execute(0, base_binding)
+    try:
+        yield from execute(0, base_binding)
+    finally:
+        _flush_metrics()
 
 
 def enumerate_bindings_naive(

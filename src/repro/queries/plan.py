@@ -101,6 +101,7 @@ from typing import (
     Tuple,
 )
 
+from repro.observability import metrics as _metrics
 from repro.queries.ast import Comparison, ComparisonOp, Const, RelationAtom, Term, Var
 from repro.relational.schema import Value
 from repro.relational.statistics import RelationStatistics
@@ -161,6 +162,11 @@ class PlannedAtom:
     probe_terms: Tuple[Term, ...]
     new_variables: Tuple[str, ...]
     range_probe: Optional[PlannedRange] = None
+    #: The planner's estimated row count for this step (the cost the greedy
+    #: ordering paid for it), when statistics were available.  Carried for
+    #: EXPLAIN ANALYZE's actual-vs-estimated rendering; never read by the
+    #: executor.
+    estimated_rows: Optional[float] = None
 
     @property
     def uses_index(self) -> bool:
@@ -640,8 +646,10 @@ def plan_conjunction(
     worst_prefix = 1.0
     worst_intermediate = 0.0
     while remaining:
+        estimated_rows: Optional[float] = None
         if costed:
             choice, cost = _cheapest_index(remaining, bound, comparisons, statistics)
+            estimated_rows = cost
             prefix *= max(cost, 1e-9)
             max_intermediate = max(max_intermediate, prefix)
         else:
@@ -685,6 +693,7 @@ def plan_conjunction(
                 tuple(probe_terms),
                 tuple(new_variables),
                 range_probe,
+                estimated_rows,
             )
         )
         schedule.append(_take_ready_comparisons(comparisons, scheduled, bound))
@@ -790,8 +799,18 @@ def cached_plan(
         if plan is not None:
             _PLAN_CACHE_COUNTERS["hits"] += 1
             _PLAN_CACHE.move_to_end(key)
-            return plan
+    if plan is not None:
+        # Counted outside the cache lock: the registry write must never
+        # extend the critical section every serving worker serialises on.
+        active = _metrics._ACTIVE
+        if active is not None:
+            active.inc("plan.cache.hits")
+        return plan
+    with _PLAN_CACHE_LOCK:
         _PLAN_CACHE_COUNTERS["misses"] += 1
+    active = _metrics._ACTIVE
+    if active is not None:
+        active.inc("plan.cache.misses")
     plan = plan_conjunction(
         relation_atoms,
         comparisons,

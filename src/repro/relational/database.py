@@ -68,6 +68,7 @@ from repro.relational.errors import (
 )
 from repro.relational.ordering import row_sort_key
 from repro.relational.schema import DatabaseSchema, RelationSchema, Value
+from repro.observability import metrics as _metrics
 from repro.relational.statistics import RelationStatistics, SortedPositionIndex, TrieIndex
 from repro.resilience import faults as _faults
 
@@ -742,6 +743,9 @@ class Database:
             self._snapshots.add(snapshot)
             for relation in self._relations.values():
                 relation._pinned_by.add(snapshot)
+            active = _metrics._ACTIVE
+            if active is not None:
+                active.inc("database.snapshots_pinned")
             return snapshot
 
     def _copy_on_write(self, names: Iterable[str]) -> None:
@@ -763,6 +767,9 @@ class Database:
                 continue
             if any(snap._relations.get(name) is relation for snap in snapshots):
                 self._relations[name] = relation._cow_clone()
+                active = _metrics._ACTIVE
+                if active is not None:
+                    active.inc("database.cow_clones")
 
     # -- in-place deltas ---------------------------------------------------------------
     def validate_delta(
@@ -856,6 +863,12 @@ class Database:
             except BaseException:
                 self._unwind_commit(effective, epoch_bumped)
                 raise
+            # Counted only here, past every fault point: an unwound commit
+            # leaves no trace in the database and none in the metrics either.
+            if epoch_bumped:
+                active = _metrics._ACTIVE
+                if active is not None:
+                    active.inc("database.commits")
             return AppliedDelta(self, tuple(effective))
 
     def _unwind_commit(

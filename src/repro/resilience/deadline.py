@@ -27,6 +27,7 @@ import time
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from repro.observability import metrics as _metrics
 from repro.relational.errors import StepLimitExceeded
 from repro.resilience.errors import RequestCancelled, RequestTimeout
 
@@ -104,6 +105,9 @@ class Deadline:
         if self.token is not None and self.token.cancelled:
             raise RequestCancelled("request cancelled")
         if self.expires_at is not None and time.monotonic() >= self.expires_at:
+            active = _metrics._ACTIVE
+            if active is not None:
+                active.inc("resilience.deadline.timeouts")
             raise RequestTimeout("request deadline expired")
         if self.max_steps is not None and self.steps > self.max_steps:
             raise StepLimitExceeded(self.max_steps, self.steps)

@@ -35,6 +35,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
+from repro.observability import metrics as _metrics
 from repro.resilience.errors import InjectedFault
 
 #: The registry of known injection-point names; rules must target one of these.
@@ -124,6 +125,9 @@ class _ActiveChaos:
             if rule.rate and not fires:
                 fires = self._streams[name].random() < rule.rate
         if fires:
+            registry = _metrics._ACTIVE
+            if registry is not None:
+                registry.inc("resilience.faults.injected", label=name)
             raise InjectedFault(name, index, transient=rule.transient)
 
 

@@ -51,7 +51,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import (
@@ -62,6 +62,10 @@ from repro.core import (
     is_top_k_selection,
     selection_from_items,
 )
+from repro.observability import metrics as _metrics
+from repro.observability import tracing as _tracing
+from repro.observability.summary import latency_percentiles  # noqa: F401 (re-export)
+from repro.observability.tracing import Span, TraceSampler
 from repro.resilience import (
     Deadline,
     ServeError,
@@ -152,6 +156,14 @@ class ServeResult:
     :class:`~repro.resilience.errors.ServeError`.  ``attempts`` counts
     executions (1 with retries off; 0 for a request shed by admission
     control, which never ran).
+
+    ``trace`` carries the request's finished
+    :class:`~repro.observability.tracing.Span` tree when the server's
+    sampler selected it (``None`` otherwise, and always ``None`` with
+    tracing off).  It is serving *metadata*, not part of the answer:
+    excluded from equality and repr so traced and untraced results over one
+    epoch still compare equal — the on/off differential suite relies on
+    exactly that.
     """
 
     request: ServeRequest
@@ -160,6 +172,7 @@ class ServeResult:
     latency_s: float
     error: Optional[ServeError] = None
     attempts: int = 1
+    trace: Optional[Span] = field(default=None, compare=False, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -232,6 +245,33 @@ def execute_request(
     return ("check", result.is_top_k, result.reason)
 
 
+def _finalize_result(result: ServeResult, root: Optional[Span]) -> ServeResult:
+    """Account one finished request and attach its trace, if sampled.
+
+    The single exit point of both servers' request paths: registry updates
+    are inline-guarded (metrics off costs one attribute load), and the trace
+    attaches through :func:`dataclasses.replace` on the ``compare=False``
+    field, so the result's identity-bearing fields are byte-identical to an
+    uninstrumented run.
+    """
+    active = _metrics._ACTIVE
+    if active is not None:
+        active.inc("serving.requests")
+        active.observe("serving.latency_s", result.latency_s)
+        if result.error is not None:
+            active.inc("serving.errors", label=result.error.code)
+            if result.error.code == "overloaded" and result.attempts == 0:
+                active.inc("serving.sheds")
+        if result.attempts > 1:
+            active.inc("serving.retries", result.attempts - 1)
+    if root is None:
+        return result
+    root.attributes.setdefault("epoch", result.epoch)
+    root.attributes.setdefault("ok", result.ok)
+    root.finish()
+    return replace(result, trace=root)
+
+
 class _EpochContext:
     """Everything the readers of one pinned epoch share.
 
@@ -289,6 +329,7 @@ class SnapshotServer:
         problem: RecommendationProblem,
         max_workers: int = 8,
         resilience: Optional[ResilienceConfig] = None,
+        tracing: Optional[TraceSampler] = None,
     ) -> None:
         self._template = problem
         self._database = problem.database
@@ -296,6 +337,7 @@ class SnapshotServer:
         self._guard = threading.Lock()
         self._context: Optional[_EpochContext] = None
         self._resilience = resilience
+        self._tracing = tracing
         self._admission_lock = threading.Lock()
         self._inflight = 0
 
@@ -334,6 +376,9 @@ class SnapshotServer:
             if self._inflight >= max_inflight:
                 return False
             self._inflight += 1
+            active = _metrics._ACTIVE
+            if active is not None:
+                active.set_gauge("serving.inflight", self._inflight)
             return True
 
     def _release(self) -> None:
@@ -348,29 +393,43 @@ class SnapshotServer:
         """
         start = time.perf_counter()
         config = self._resilience
+        sampler = self._tracing
+        root: Optional[Span] = None
+        if sampler is not None and sampler.sample():
+            root = Span("request", kind=request.kind)
         if config is not None and config.max_inflight is not None:
-            if not self._try_admit(config.max_inflight):
+            admit_span = _tracing.child_span(root, "admit")
+            admitted = self._try_admit(config.max_inflight)
+            _tracing.end_span(admit_span)
+            if not admitted:
                 error = classify_error(
                     ServerOverloaded(
                         f"request shed: {config.max_inflight} requests already in flight"
                     )
                 )
-                return ServeResult(
-                    request,
-                    None,
-                    self._database.epoch,
-                    time.perf_counter() - start,
-                    error=error,
-                    attempts=0,
+                return _finalize_result(
+                    ServeResult(
+                        request,
+                        None,
+                        self._database.epoch,
+                        time.perf_counter() - start,
+                        error=error,
+                        attempts=0,
+                    ),
+                    root,
                 )
             try:
-                return self._serve_admitted(request, start, config)
+                return self._serve_admitted(request, start, config, root)
             finally:
                 self._release()
-        return self._serve_admitted(request, start, config)
+        return self._serve_admitted(request, start, config, root)
 
     def _serve_admitted(
-        self, request: ServeRequest, start: float, config: Optional[ResilienceConfig]
+        self,
+        request: ServeRequest,
+        start: float,
+        config: Optional[ResilienceConfig],
+        root: Optional[Span] = None,
     ) -> ServeResult:
         """The retry loop of one admitted request.
 
@@ -393,15 +452,31 @@ class SnapshotServer:
             try:
                 with deadline_scope(deadline):
                     fault_point("serving.worker")
+                    pin_span = _tracing.child_span(root, "snapshot_pin")
                     context = self._current_context()
+                    _tracing.end_span(pin_span)
                     epoch = context.epoch
-                    answer = context.answer(request)
-                return ServeResult(
-                    request,
-                    answer,
-                    epoch,
-                    time.perf_counter() - start,
-                    attempts=attempts,
+                    exec_span = _tracing.child_span(root, "execute", attempt=attempts)
+                    if exec_span is not None:
+                        # Installed ambiently only when sampled, so the lower
+                        # layers' plan/probe spans find a parent; an untraced
+                        # request never pays the contextmanager.
+                        try:
+                            with _tracing.trace_scope(exec_span):
+                                answer = context.answer(request)
+                        finally:
+                            exec_span.finish()
+                    else:
+                        answer = context.answer(request)
+                return _finalize_result(
+                    ServeResult(
+                        request,
+                        answer,
+                        epoch,
+                        time.perf_counter() - start,
+                        attempts=attempts,
+                    ),
+                    root,
                 )
             except Exception as error:
                 serve_error = classify_error(error)
@@ -420,13 +495,16 @@ class SnapshotServer:
                         if delay > 0.0:
                             time.sleep(delay)
                     continue
-                return ServeResult(
-                    request,
-                    None,
-                    epoch,
-                    time.perf_counter() - start,
-                    error=serve_error,
-                    attempts=attempts,
+                return _finalize_result(
+                    ServeResult(
+                        request,
+                        None,
+                        epoch,
+                        time.perf_counter() - start,
+                        error=serve_error,
+                        attempts=attempts,
+                    ),
+                    root,
                 )
 
     def serve_batch(
@@ -440,8 +518,24 @@ class SnapshotServer:
         if not unique:
             return []
         workers = max(1, min(max_workers or self._max_workers, len(unique)))
+        if _metrics._ACTIVE is not None:
+            # Queue wait = submission to worker pickup; observed inside the
+            # worker so the pool's own scheduling is what gets measured.
+            submitted = time.perf_counter()
+
+            def _timed(request: ServeRequest) -> ServeResult:
+                active = _metrics._ACTIVE
+                if active is not None:
+                    active.observe(
+                        "serving.queue_wait_s", time.perf_counter() - submitted
+                    )
+                return self.serve_one(request)
+
+            worker = _timed
+        else:
+            worker = self.serve_one
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            served = dict(zip(unique, pool.map(self.serve_one, unique)))
+            served = dict(zip(unique, pool.map(worker, unique)))
         return [served[request] for request in requests]
 
     def apply(self, delta):
@@ -463,10 +557,16 @@ class GlobalLockServer:
     capability the snapshot server's immutable epochs add.
     """
 
-    def __init__(self, problem: RecommendationProblem, max_workers: int = 8) -> None:
+    def __init__(
+        self,
+        problem: RecommendationProblem,
+        max_workers: int = 8,
+        tracing: Optional[TraceSampler] = None,
+    ) -> None:
         self._template = problem
         self._database = problem.database
         self._max_workers = max_workers
+        self._tracing = tracing
         self._lock = threading.Lock()
 
     @property
@@ -483,22 +583,39 @@ class GlobalLockServer:
 
     def serve_one(self, request: ServeRequest) -> ServeResult:
         start = time.perf_counter()
+        sampler = self._tracing
+        root: Optional[Span] = None
+        if sampler is not None and sampler.sample():
+            root = Span("request", kind=request.kind)
         epoch = self._database.epoch
         try:
             with self._lock:
                 fault_point("serving.worker")
                 fresh = self._template.with_database(self._database)
-                answer = execute_request(fresh, request)
+                exec_span = _tracing.child_span(root, "execute")
+                if exec_span is not None:
+                    try:
+                        with _tracing.trace_scope(exec_span):
+                            answer = execute_request(fresh, request)
+                    finally:
+                        exec_span.finish()
+                else:
+                    answer = execute_request(fresh, request)
                 epoch = self._database.epoch
         except Exception as error:
-            return ServeResult(
-                request,
-                None,
-                epoch,
-                time.perf_counter() - start,
-                error=classify_error(error),
+            return _finalize_result(
+                ServeResult(
+                    request,
+                    None,
+                    epoch,
+                    time.perf_counter() - start,
+                    error=classify_error(error),
+                ),
+                root,
             )
-        return ServeResult(request, answer, epoch, time.perf_counter() - start)
+        return _finalize_result(
+            ServeResult(request, answer, epoch, time.perf_counter() - start), root
+        )
 
     def serve_batch(
         self,
@@ -517,15 +634,5 @@ class GlobalLockServer:
             return self._database.apply_delta(delta)
 
 
-def latency_percentiles(
-    results: Iterable[ServeResult], percentiles: Sequence[float] = (50.0, 99.0)
-) -> Dict[str, float]:
-    """Nearest-rank latency percentiles (seconds) over a batch of results."""
-    latencies = sorted(result.latency_s for result in results)
-    if not latencies:
-        return {f"p{percentile:g}": 0.0 for percentile in percentiles}
-    summary = {}
-    for percentile in percentiles:
-        rank = max(0, min(len(latencies) - 1, int(len(latencies) * percentile / 100.0)))
-        summary[f"p{percentile:g}"] = latencies[rank]
-    return summary
+# ``latency_percentiles`` lives in :mod:`repro.observability.summary` now
+# (PR 8) and is re-exported above, unchanged, for existing importers.
