@@ -31,7 +31,13 @@ Four small commands expose the library's deliverables without writing code:
     layer (:mod:`repro.serving`) and print per-round throughput plus the
     p50/p99 request latency; ``--baseline`` also replays the identical
     trace through the global-lock reference server, checks the answer
-    sequences match exactly, and reports the speedup.
+    sequences match exactly, and reports the speedup; ``--wal PATH`` serves
+    durably, write-ahead logging every commit under ``PATH``.
+
+``python -m repro recover PATH``
+    Rebuild the database a durable ``serve --wal PATH`` run (crashed or
+    clean) left behind: load the checkpoint, replay the WAL tail, discard
+    any torn trailing record, and print the recovered epoch and row counts.
 """
 
 from __future__ import annotations
@@ -59,6 +65,7 @@ EXAMPLE_NAMES = (
     "adjustment",
     "streaming_updates",
     "serving_trace",
+    "crash_recovery",
     "group_recommendation",
     "query_languages",
     "complexity_tables",
@@ -152,6 +159,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve with the metrics registry active and print the instrument "
         "summary (per-code errors, retries/sheds, counters) after the replay",
+    )
+    serve.add_argument(
+        "--wal",
+        metavar="PATH",
+        default=None,
+        help="serve durably: write-ahead log every commit under this "
+        "directory (created if missing) and ack writes only after the "
+        "fsync; recover later with `repro recover PATH`",
+    )
+
+    recover = commands.add_parser(
+        "recover",
+        help="rebuild the database a crashed durable server left behind",
+    )
+    recover.add_argument(
+        "path", help="the durability directory a `serve --wal PATH` run wrote"
     )
 
     return parser
@@ -348,6 +371,7 @@ def _command_serve(
     baseline: bool,
     deadline_ms: Optional[float] = None,
     metrics: bool = False,
+    wal: Optional[str] = None,
 ) -> int:
     import time
     from contextlib import nullcontext
@@ -373,12 +397,24 @@ def _command_serve(
         if deadline_ms is not None
         else None
     )
+    durability = None
+    if wal is not None:
+        from repro.durability import DurabilityConfig
+
+        durability = DurabilityConfig(wal)
     trace = build_trace(items, rounds, batch, seed=seed)
-    server = SnapshotServer(trace.problem, max_workers=workers, resilience=resilience)
+    server = SnapshotServer(
+        trace.problem,
+        max_workers=workers,
+        resilience=resilience,
+        durability=durability,
+    )
     print(trace.problem.describe())
     print(f"trace: {rounds} rounds x {batch} requests, one delta commit per round")
     if resilience is not None:
         print(f"resilience: per-request deadline {deadline_ms:g}ms")
+    if durability is not None:
+        print(f"durability: write-ahead log under {durability.directory}")
 
     snapshot_results = []
     with scope:
@@ -418,6 +454,13 @@ def _command_serve(
         print("metrics:")
         print(registry.render_table())
 
+    if durability is not None:
+        server.close()
+        print(
+            f"durable through epoch {server.epoch}: recover with "
+            f"`repro recover {durability.directory}`"
+        )
+
     if not baseline:
         return 0
 
@@ -449,6 +492,31 @@ def _command_serve(
     return 0
 
 
+def _command_recover(path: str) -> int:
+    from repro.durability import CorruptRecordError, recover
+
+    try:
+        result = recover(path)
+    except CorruptRecordError as error:
+        print(f"recovery failed: {error}", file=sys.stderr)
+        return 1
+    database = result.database
+    print(f"recovered {path} to epoch {result.epoch}")
+    print(
+        f"  checkpoint epoch {result.checkpoint_epoch}, "
+        f"{result.records_replayed} WAL records replayed, "
+        f"{result.records_skipped} already in the checkpoint"
+    )
+    if result.torn_tail_bytes:
+        print(
+            f"  discarded a torn tail of {result.torn_tail_bytes} bytes "
+            f"(an unacked commit interrupted mid-write)"
+        )
+    for name in database.relation_names():
+        print(f"  {name}: {len(database.relation(name))} rows")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
     parser = build_parser()
@@ -476,7 +544,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.baseline,
             args.deadline_ms,
             args.metrics,
+            args.wal,
         )
+    if args.command == "recover":
+        return _command_recover(args.path)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
     return 2  # pragma: no cover
 

@@ -1,0 +1,78 @@
+"""Durability: write-ahead logging, checkpoints and crash recovery.
+
+PR 7 made commits crash-safe *in process*; this package makes them survive
+the process.  :class:`WriteAheadLog` logs every effective commit (group
+commit batches concurrent fsyncs), :func:`write_checkpoint` images the
+database from a pinned snapshot without stalling the writer, and
+:func:`recover` folds checkpoint + log tail back into exactly the last
+acked epoch.  Per the knob contract, a database with no WAL attached is
+bit-identical to the purely in-memory behaviour.
+"""
+
+from repro.durability.checkpoint import (
+    CHECKPOINT_MAGIC,
+    encode_checkpoint,
+    decode_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.durability.encode import (
+    ENCODING_VERSION,
+    CorruptRecordError,
+    UnencodableValueError,
+    decode_row,
+    decode_value,
+    encode_row,
+    encode_value,
+)
+from repro.durability.recovery import (
+    CHECKPOINT_FILENAME,
+    WAL_FILENAME,
+    DurabilityConfig,
+    RecoveryResult,
+    checkpoint_path,
+    open_durable,
+    recover,
+    wal_path,
+)
+from repro.durability.wal import (
+    WAL_MAGIC,
+    WalRecord,
+    WalScan,
+    WriteAheadLog,
+    read_wal,
+    record_boundaries,
+    torn_tail_lengths,
+    truncated_copy,
+)
+
+__all__ = [
+    "CHECKPOINT_FILENAME",
+    "CHECKPOINT_MAGIC",
+    "CorruptRecordError",
+    "DurabilityConfig",
+    "ENCODING_VERSION",
+    "RecoveryResult",
+    "UnencodableValueError",
+    "WAL_FILENAME",
+    "WAL_MAGIC",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "checkpoint_path",
+    "decode_checkpoint",
+    "decode_row",
+    "decode_value",
+    "encode_checkpoint",
+    "encode_row",
+    "encode_value",
+    "open_durable",
+    "read_checkpoint",
+    "read_wal",
+    "record_boundaries",
+    "recover",
+    "torn_tail_lengths",
+    "truncated_copy",
+    "wal_path",
+    "write_checkpoint",
+]

@@ -1,0 +1,257 @@
+"""Checkpoints: a full database image, written without stalling the writer.
+
+A checkpoint bounds recovery time: replaying a WAL from epoch zero is
+O(history), so :func:`write_checkpoint` periodically serializes the *whole*
+database — schemas and rows, epoch-stamped — and truncates the log to the
+records the image does not already contain.  Recovery then loads one image
+plus a short tail (:mod:`repro.durability.recovery`).
+
+The image is taken from a pinned
+:class:`~repro.relational.database.DatabaseSnapshot`, so serialization runs
+against frozen relation objects while the live writer keeps committing —
+checkpointing never holds the commit lock.  The file is written atomically
+(temp file, fsync, ``os.replace``, directory fsync), so a crash mid-write
+leaves the previous checkpoint intact; only after the new image is durable
+is the WAL truncated.
+
+The byte format mirrors the WAL's framing — :data:`CHECKPOINT_MAGIC`
+header, then one ``u32 length | u32 CRC-32 | payload`` frame holding the
+entire image — so torn or corrupt checkpoints are detected the same way
+torn records are.  Inside the payload: ``u64 epoch``, ``u32`` relation
+count, then per relation its schema (name; per attribute the name, a dtype
+tag from the closed set ``{None, bool, int, float, str, bytes}`` and the
+optional domain as encoded values) and its rows in
+:func:`~repro.relational.ordering.row_sort_key` order — two equal databases
+checkpoint to identical bytes.
+
+Per the maintenance contract the image **declines honestly**: a schema
+whose ``dtype`` is outside the closed set, or a domain/row value outside
+the canonical encoding's families, raises
+:class:`~repro.durability.encode.UnencodableValueError` before any byte is
+written — never a lossy image.  The ``checkpoint.write`` fault point fires
+before the temporary file is created, so a chaos-killed checkpoint provably
+leaves the directory untouched.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.durability.encode import (
+    CorruptRecordError,
+    UnencodableValueError,
+    decode_row,
+    decode_text,
+    decode_value,
+    encode_row,
+    encode_text,
+    encode_value,
+)
+from repro.durability.wal import ENCODING_VERSION, _fsync_directory
+from repro.observability import metrics as _metrics
+from repro.relational.database import Database, Relation
+from repro.relational.ordering import row_sort_key
+from repro.relational.schema import Attribute, RelationSchema
+from repro.resilience import faults as _faults
+
+PathLike = Union[str, Path]
+
+#: Magic + format version; the final byte is the shared encoding version.
+CHECKPOINT_MAGIC = b"RPCKP0" + bytes([0, ENCODING_VERSION])
+
+_FRAME = struct.Struct("<II")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+#: The closed set of serializable ``dtype`` declarations.  Tag ``0`` is "no
+#: dtype"; anything outside this set declines (an arbitrary class cannot be
+#: named canonically across processes).
+_DTYPE_TAGS: Tuple[Tuple[int, type], ...] = (
+    (1, bool),
+    (2, int),
+    (3, float),
+    (4, str),
+    (5, bytes),
+)
+_DTYPE_BY_TYPE = {dtype: tag for tag, dtype in _DTYPE_TAGS}
+_DTYPE_BY_TAG = {tag: dtype for tag, dtype in _DTYPE_TAGS}
+
+FAULT_CHECKPOINT_WRITE = _faults.register_fault_point("checkpoint.write")
+
+
+def _encode_attribute(attribute: Attribute, relation: str) -> bytes:
+    parts = [encode_text(attribute.name)]
+    if attribute.dtype is None:
+        parts.append(_U32.pack(0))
+    else:
+        tag = _DTYPE_BY_TYPE.get(attribute.dtype)
+        if tag is None:
+            raise UnencodableValueError(
+                f"relation {relation!r}, attribute {attribute.name!r}: dtype "
+                f"{attribute.dtype.__name__} has no canonical checkpoint tag; "
+                f"serializable dtypes: bool, int, float, str, bytes"
+            )
+        parts.append(_U32.pack(tag))
+    if attribute.domain is None:
+        parts.append(_U32.pack(0))
+        parts.append(b"\x00")
+    else:
+        # 1-flag + count: an *empty* declared domain is distinct from none.
+        parts.append(_U32.pack(len(attribute.domain)))
+        parts.append(b"\x01")
+        for value in attribute.domain:
+            parts.append(encode_value(value))
+    return b"".join(parts)
+
+
+def _decode_attribute(data: bytes, offset: int) -> Tuple[Attribute, int]:
+    name, offset = decode_text(data, offset)
+    if offset + _U32.size > len(data):
+        raise CorruptRecordError("truncated attribute dtype tag")
+    (tag,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    if tag == 0:
+        dtype = None
+    else:
+        dtype = _DTYPE_BY_TAG.get(tag)
+        if dtype is None:
+            raise CorruptRecordError(f"unknown dtype tag {tag}")
+    if offset + _U32.size + 1 > len(data):
+        raise CorruptRecordError("truncated attribute domain header")
+    (count,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    flag = data[offset]
+    offset += 1
+    if flag == 0:
+        domain = None
+    else:
+        values: List[object] = []
+        for _ in range(count):
+            value, offset = decode_value(data, offset)
+            values.append(value)
+        domain = tuple(values)
+    return Attribute(name, domain=domain, dtype=dtype), offset
+
+
+def encode_checkpoint(database: Database) -> bytes:
+    """Serialize a full database image (deterministic; declines honestly)."""
+    parts = [_U64.pack(database.epoch), _U32.pack(len(database.relation_names()))]
+    for relation in database.relations():
+        parts.append(encode_text(relation.name))
+        parts.append(_U32.pack(relation.arity))
+        for attribute in relation.schema.attributes:
+            parts.append(_encode_attribute(attribute, relation.name))
+        rows = sorted(relation.rows(), key=row_sort_key)
+        parts.append(_U32.pack(len(rows)))
+        for row in rows:
+            parts.append(encode_row(row))
+    return b"".join(parts)
+
+
+def decode_checkpoint(payload: bytes) -> Tuple[Database, int]:
+    """The inverse of :func:`encode_checkpoint`: ``(database, epoch)``.
+
+    The returned database's :attr:`~repro.relational.database.Database.epoch`
+    counter is *not* advanced here — recovery installs the checkpoint epoch
+    itself, so the caller decides whether the image's epoch or a replayed
+    tail defines the final count.
+    """
+    if len(payload) < _U64.size + _U32.size:
+        raise CorruptRecordError("checkpoint payload too short")
+    (epoch,) = _U64.unpack_from(payload, 0)
+    (relation_count,) = _U32.unpack_from(payload, _U64.size)
+    offset = _U64.size + _U32.size
+    database = Database()
+    for _ in range(relation_count):
+        name, offset = decode_text(payload, offset)
+        if offset + _U32.size > len(payload):
+            raise CorruptRecordError("truncated relation arity")
+        (arity,) = _U32.unpack_from(payload, offset)
+        offset += _U32.size
+        attributes: List[Attribute] = []
+        for _ in range(arity):
+            attribute, offset = _decode_attribute(payload, offset)
+            attributes.append(attribute)
+        schema = RelationSchema(name, attributes)
+        if offset + _U32.size > len(payload):
+            raise CorruptRecordError("truncated row count")
+        (row_count,) = _U32.unpack_from(payload, offset)
+        offset += _U32.size
+        rows = []
+        for _ in range(row_count):
+            row, offset = decode_row(payload, offset)
+            rows.append(row)
+        database.add_relation(Relation(schema, rows))
+    if offset != len(payload):
+        raise CorruptRecordError(
+            f"{len(payload) - offset} trailing bytes after the last relation"
+        )
+    return database, epoch
+
+
+def write_checkpoint(database: Database, path: PathLike, wal=None) -> int:
+    """Write a durable database image to ``path``; returns the image's epoch.
+
+    ``database`` should be a pinned snapshot (``database.snapshot()`` is
+    cheap and O(relations)) so the image is a consistent epoch while the
+    live writer keeps committing; a plain quiescent :class:`Database` works
+    too.  The write is atomic — temp file, fsync, ``os.replace``, directory
+    fsync — and only after the image is durable is ``wal`` (if given)
+    truncated to the records *after* the image's epoch, preserving the
+    recovery invariant at every instant: checkpoint + surviving tail always
+    reproduces the last durable epoch.
+    """
+    path = Path(path)
+    _faults.fault_point(FAULT_CHECKPOINT_WRITE)
+    epoch = database.epoch
+    payload = encode_checkpoint(database)
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(CHECKPOINT_MAGIC)
+        handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    _fsync_directory(path.parent)
+    if wal is not None:
+        wal.truncate_through(epoch)
+    active = _metrics._ACTIVE
+    if active is not None:
+        active.inc("checkpoint.written")
+    return epoch
+
+
+def read_checkpoint(path: PathLike) -> Tuple[Database, int]:
+    """Load a checkpoint image: ``(database, epoch)``.
+
+    Raises :class:`CorruptRecordError` for a missing, torn or corrupt file —
+    unlike a WAL tail, a checkpoint has no valid prefix to fall back on, so
+    recovery surfaces the corruption instead of silently starting empty.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CorruptRecordError(f"checkpoint {path} does not exist")
+    data = path.read_bytes()
+    if len(data) < len(CHECKPOINT_MAGIC) + _FRAME.size:
+        raise CorruptRecordError(f"checkpoint {path} is truncated ({len(data)} bytes)")
+    if data[: len(CHECKPOINT_MAGIC)] != CHECKPOINT_MAGIC:
+        raise CorruptRecordError(
+            f"{path}: not a checkpoint file (bad magic "
+            f"{data[:len(CHECKPOINT_MAGIC)]!r}; expected {CHECKPOINT_MAGIC!r})"
+        )
+    length, crc = _FRAME.unpack_from(data, len(CHECKPOINT_MAGIC))
+    start = len(CHECKPOINT_MAGIC) + _FRAME.size
+    payload = data[start : start + length]
+    if len(payload) != length:
+        raise CorruptRecordError(
+            f"checkpoint {path} is torn: frame declares {length} bytes, "
+            f"{len(payload)} present"
+        )
+    if zlib.crc32(payload) != crc:
+        raise CorruptRecordError(f"checkpoint {path} fails its CRC check")
+    return decode_checkpoint(payload)

@@ -1,0 +1,183 @@
+"""Canonical, versioned binary encoding for relation rows.
+
+The durability layer writes rows twice — once per committed delta in the
+write-ahead log, once per relation in a checkpoint image — and both sides
+must agree byte-for-byte forever, across processes and Python versions.
+This module is that single shared vocabulary: a *canonical* (one value, one
+byte sequence), *versioned* (:data:`ENCODING_VERSION` rides in every file
+header) encoding for the value families the relational layer actually
+stores.
+
+Like every lazy structure under the maintenance contract, the encoder
+**declines honestly**: relations accept any hashable Python value, but only
+the families below have a canonical byte form, and anything else raises
+:class:`UnencodableValueError` *before* a single byte is written — a WAL
+that silently pickled arbitrary objects would trade recovery correctness
+for coverage.  Dispatch is on the **exact** type (``type(value) is int``),
+not ``isinstance``: a ``bool`` is an ``int`` subclass and an ``IntEnum``
+compares equal to its value, but neither round-trips to the identical
+object family, so subclasses decline rather than silently flattening.
+
+Encodable families and their tags:
+
+========  =======================================================
+``N``     ``None``
+``T``     ``True``
+``F``     ``False``
+``i``     ``int`` (arbitrary precision; canonical decimal digits)
+``f``     ``float`` (IEEE-754 binary64, little-endian)
+``s``     ``str`` (UTF-8, length-prefixed)
+``b``     ``bytes`` (raw, length-prefixed)
+========  =======================================================
+
+A row is a ``u32`` value count followed by the encoded values; decoding is
+the exact inverse and raises :class:`CorruptRecordError` on any truncated
+or malformed input, which is how the recovery path distinguishes a torn
+tail from a decodable record.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Tuple
+
+from repro.relational.errors import ReproError
+
+#: Bumped whenever the byte format changes incompatibly; written into the
+#: WAL and checkpoint file headers so a reader can refuse a future format
+#: instead of misparsing it.
+ENCODING_VERSION = 1
+
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+
+
+class UnencodableValueError(ReproError):
+    """A value belongs to a family the canonical encoding declines.
+
+    The durability layer's analogue of a lazy index declining a value
+    family it cannot serve exactly: raised before any byte is written, so a
+    WAL or checkpoint never contains a lossy approximation of a row.
+    """
+
+
+class CorruptRecordError(ReproError):
+    """Encoded bytes do not decode: truncated, bad tag, or malformed body.
+
+    Recovery treats this exactly like a CRC mismatch — the record (and
+    everything after it) is a torn tail to be discarded.
+    """
+
+
+def encode_value(value: Any) -> bytes:
+    """The canonical byte form of one value; declines unsupported families."""
+    kind = type(value)
+    if value is None:
+        return _TAG_NONE
+    if kind is bool:
+        return _TAG_TRUE if value else _TAG_FALSE
+    if kind is int:
+        digits = str(value).encode("ascii")
+        return _TAG_INT + _U32.pack(len(digits)) + digits
+    if kind is float:
+        return _TAG_FLOAT + _F64.pack(value)
+    if kind is str:
+        data = value.encode("utf-8")
+        return _TAG_STR + _U32.pack(len(data)) + data
+    if kind is bytes:
+        return _TAG_BYTES + _U32.pack(len(value)) + value
+    raise UnencodableValueError(
+        f"value {value!r} of type {kind.__name__} has no canonical encoding; "
+        f"encodable families: None, bool, int, float, str, bytes "
+        f"(exact types only — subclasses decline)"
+    )
+
+
+def encode_row(row: Tuple[Any, ...]) -> bytes:
+    """The canonical byte form of one row: ``u32`` arity + encoded values."""
+    parts = [_U32.pack(len(row))]
+    for value in row:
+        parts.append(encode_value(value))
+    return b"".join(parts)
+
+
+def _need(data: bytes, offset: int, size: int, what: str) -> int:
+    end = offset + size
+    if end > len(data):
+        raise CorruptRecordError(
+            f"truncated {what}: needed {size} bytes at offset {offset}, "
+            f"only {len(data) - offset} remain"
+        )
+    return end
+
+
+def decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
+    """Decode one value at ``offset``; returns ``(value, next_offset)``."""
+    end = _need(data, offset, 1, "value tag")
+    tag = data[offset:end]
+    offset = end
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_FLOAT:
+        end = _need(data, offset, _F64.size, "float body")
+        return _F64.unpack(data[offset:end])[0], end
+    if tag in (_TAG_INT, _TAG_STR, _TAG_BYTES):
+        end = _need(data, offset, _U32.size, "length prefix")
+        (size,) = _U32.unpack(data[offset:end])
+        offset = end
+        end = _need(data, offset, size, "value body")
+        body = data[offset:end]
+        if tag == _TAG_BYTES:
+            return body, end
+        if tag == _TAG_STR:
+            try:
+                return body.decode("utf-8"), end
+            except UnicodeDecodeError as error:
+                raise CorruptRecordError(f"malformed UTF-8 string body: {error}") from error
+        try:
+            return int(body.decode("ascii")), end
+        except (UnicodeDecodeError, ValueError) as error:
+            raise CorruptRecordError(f"malformed int body {body!r}") from error
+    raise CorruptRecordError(f"unknown value tag {tag!r} at offset {offset - 1}")
+
+
+def decode_row(data: bytes, offset: int = 0) -> Tuple[Tuple[Any, ...], int]:
+    """Decode one row at ``offset``; returns ``(row, next_offset)``."""
+    end = _need(data, offset, _U32.size, "row arity")
+    (arity,) = _U32.unpack(data[offset:end])
+    offset = end
+    values: List[Any] = []
+    for _ in range(arity):
+        value, offset = decode_value(data, offset)
+        values.append(value)
+    return tuple(values), offset
+
+
+def encode_text(text: str) -> bytes:
+    """A length-prefixed UTF-8 string (relation and attribute names)."""
+    data = text.encode("utf-8")
+    return _U32.pack(len(data)) + data
+
+
+def decode_text(data: bytes, offset: int) -> Tuple[str, int]:
+    """Decode a :func:`encode_text` string; returns ``(text, next_offset)``."""
+    end = _need(data, offset, _U32.size, "text length")
+    (size,) = _U32.unpack(data[offset:end])
+    offset = end
+    end = _need(data, offset, size, "text body")
+    try:
+        return data[offset:end].decode("utf-8"), end
+    except UnicodeDecodeError as error:
+        raise CorruptRecordError(f"malformed UTF-8 text: {error}") from error

@@ -1,0 +1,516 @@
+"""The write-ahead log: framed, CRC-checksummed, epoch-stamped delta records.
+
+One :class:`WriteAheadLog` makes the in-memory database durable: every
+effective :meth:`~repro.relational.database.Database.apply_delta` commit
+appends one **record** — the commit's epoch plus its *effective*
+modifications, serialized with the canonical encoding of
+:mod:`repro.durability.encode` — and the commit is acknowledged only after
+the record is fsynced.  Replaying the records through the normal
+``apply_delta`` path (see :mod:`repro.durability.recovery`) rebuilds the
+exact epoch history.
+
+**File format.**  An 8-byte header (:data:`WAL_MAGIC`, which carries the
+encoding version) followed by records.  Each record is framed as::
+
+    u32 payload length | u32 CRC-32 of payload | payload
+
+and the payload is ``u64 epoch | u32 modification count | modifications``,
+each modification a kind byte (``+`` insert / ``-`` delete), a
+length-prefixed relation name and an encoded row.  A reader accepts the
+longest prefix of well-formed records and treats everything after the first
+short frame, CRC mismatch or undecodable payload as a **torn tail** — the
+bytes a crashed process managed to hand the OS but never fsynced — so a
+torn final record can never resurrect as a half-applied commit.
+
+**Group commit.**  Appending and syncing are split so concurrent committers
+share fsyncs: :meth:`WriteAheadLog.append` buffers the frame (ordered — the
+commit path calls it under the database's commit lock) and returns a record
+sequence number *ticket*; :meth:`WriteAheadLog.sync` blocks until the log
+is durable through that ticket.  The first syncer becomes the **leader**:
+it waits a beat for the in-flight append burst to quiesce, flushes, fsyncs
+once for every record appended so far, and wakes all waiters whose tickets
+the sync covered — N concurrent commits pay one fsync, which is where the
+≥5x of ``benchmarks/bench_durability.py`` comes from.  With
+``group_commit=False`` every :meth:`sync` call flushes and fsyncs
+individually (the naive fsync-per-commit baseline the benchmark gates
+against).
+
+Fault points (see the ROADMAP recipe): ``wal.append`` fires before a record
+frame is written — the commit path unwinds its in-memory prefix, so a
+failed append leaves neither memory nor log changed — and ``wal.fsync``
+fires before the leader's fsync: the commit stays applied in memory and
+buffered in the OS file, but the *ack is lost* (the caller sees an
+exception; retrying the identical delta is a natural no-op, since its
+modifications are already applied).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.durability.encode import (
+    ENCODING_VERSION,
+    CorruptRecordError,
+    decode_row,
+    decode_text,
+    encode_row,
+    encode_text,
+)
+from repro.observability import metrics as _metrics
+from repro.resilience import faults as _faults
+
+PathLike = Union[str, Path]
+
+#: One delta modification, the relational layer's shape.
+Modification = Tuple[str, str, Tuple]
+
+#: Magic + format version, written once at file creation.  The final byte is
+#: the :data:`~repro.durability.encode.ENCODING_VERSION`, so bumping the
+#: value encoding changes the header and old readers refuse loudly.
+WAL_MAGIC = b"RPWAL0" + bytes([0, ENCODING_VERSION])
+
+_FRAME = struct.Struct("<II")  # payload length, CRC-32
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+_KIND_INSERT = b"+"
+_KIND_DELETE = b"-"
+
+FAULT_WAL_APPEND = _faults.register_fault_point("wal.append")
+FAULT_WAL_FSYNC = _faults.register_fault_point("wal.fsync")
+
+#: The group-commit leader waits for the append stream to *quiesce* before
+#: capturing its fsync target: it polls the append counter at this interval
+#: until one interval passes with no new appends (or the limit expires), so
+#: a burst of concurrent commits lands in one batch and every committer is
+#: acked after a single fsync instead of riding into the next one.  A lone
+#: committer pays one interval of extra latency — small against the fsync
+#: itself.
+GROUP_COMMIT_QUIESCE_SECONDS = 50e-6
+GROUP_COMMIT_QUIESCE_LIMIT_SECONDS = 5e-3
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record: the epoch it committed and its modifications."""
+
+    epoch: int
+    modifications: Tuple[Modification, ...]
+
+
+def encode_record(epoch: int, modifications: Sequence[Modification]) -> bytes:
+    """Serialize one record payload (epoch + modifications, canonical)."""
+    parts = [_U64.pack(epoch), _U32.pack(len(modifications))]
+    for kind, name, row in modifications:
+        if kind == "insert":
+            parts.append(_KIND_INSERT)
+        elif kind == "delete":
+            parts.append(_KIND_DELETE)
+        else:
+            raise ValueError(f"unknown modification kind: {kind!r}")
+        parts.append(encode_text(name))
+        parts.append(encode_row(row))
+    return b"".join(parts)
+
+
+def decode_record(payload: bytes) -> WalRecord:
+    """The inverse of :func:`encode_record`; raises :class:`CorruptRecordError`."""
+    if len(payload) < _U64.size + _U32.size:
+        raise CorruptRecordError(f"record payload too short: {len(payload)} bytes")
+    (epoch,) = _U64.unpack_from(payload, 0)
+    (count,) = _U32.unpack_from(payload, _U64.size)
+    offset = _U64.size + _U32.size
+    modifications: List[Modification] = []
+    for _ in range(count):
+        if offset >= len(payload):
+            raise CorruptRecordError("record payload truncated mid-modification")
+        kind_byte = payload[offset : offset + 1]
+        if kind_byte == _KIND_INSERT:
+            kind = "insert"
+        elif kind_byte == _KIND_DELETE:
+            kind = "delete"
+        else:
+            raise CorruptRecordError(f"unknown modification kind byte {kind_byte!r}")
+        offset += 1
+        name, offset = decode_text(payload, offset)
+        row, offset = decode_row(payload, offset)
+        modifications.append((kind, name, row))
+    if offset != len(payload):
+        raise CorruptRecordError(
+            f"{len(payload) - offset} trailing bytes after the last modification"
+        )
+    return WalRecord(epoch, tuple(modifications))
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """The result of reading a log file: the well-formed prefix, described.
+
+    ``records`` are the decoded records of the longest valid prefix;
+    ``extents`` gives each record's ``(start, end)`` byte span (the
+    boundary-crash and torn-tail simulators index these); ``valid_length``
+    is the byte length of the valid prefix (header included) and
+    ``torn_tail_bytes`` counts the discarded bytes after it.
+    """
+
+    records: Tuple[WalRecord, ...]
+    extents: Tuple[Tuple[int, int], ...]
+    valid_length: int
+    torn_tail_bytes: int
+
+    @property
+    def tail_discarded(self) -> bool:
+        return self.torn_tail_bytes > 0
+
+
+def read_wal(path: PathLike) -> WalScan:
+    """Scan a log file, accepting the longest prefix of well-formed records.
+
+    Anything after the first malformed frame — a short frame header, a
+    payload the file ends inside, a CRC mismatch, or a payload that does not
+    decode — is a torn tail: counted, never interpreted.  A missing file
+    scans as empty (a fresh log a crash happened to precede).
+    """
+    path = Path(path)
+    if not path.exists():
+        return WalScan((), (), 0, 0)
+    data = path.read_bytes()
+    if len(data) < len(WAL_MAGIC):
+        return WalScan((), (), 0, len(data))
+    if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        raise CorruptRecordError(
+            f"{path}: not a WAL file (bad magic {data[:len(WAL_MAGIC)]!r}; "
+            f"expected {WAL_MAGIC!r})"
+        )
+    offset = len(WAL_MAGIC)
+    records: List[WalRecord] = []
+    extents: List[Tuple[int, int]] = []
+    while True:
+        start = offset
+        if offset + _FRAME.size > len(data):
+            break
+        length, crc = _FRAME.unpack_from(data, offset)
+        payload_start = offset + _FRAME.size
+        payload_end = payload_start + length
+        if payload_end > len(data):
+            break
+        payload = data[payload_start:payload_end]
+        if zlib.crc32(payload) != crc:
+            break
+        try:
+            record = decode_record(payload)
+        except CorruptRecordError:
+            break
+        records.append(record)
+        extents.append((start, payload_end))
+        offset = payload_end
+    return WalScan(tuple(records), tuple(extents), offset, len(data) - offset)
+
+
+class WriteAheadLog:
+    """An append-only durable log of committed deltas; see the module docs.
+
+    Thread-safe: :meth:`append` calls must be externally ordered (the commit
+    path holds the database's commit lock across them, which is what makes
+    record order equal epoch order), while :meth:`sync` is designed to be
+    called concurrently from many committers.
+    """
+
+    def __init__(self, path: PathLike, group_commit: bool = True) -> None:
+        self.path = Path(path)
+        self.group_commit = bool(group_commit)
+        #: Guards the file handle, the byte/record append counters and every
+        #: structural operation (truncate, close).  Never held across an
+        #: fsync in group mode — that is what lets appends land *during* the
+        #: leader's fsync, which is where the batching comes from.
+        self._write_lock = threading.Lock()
+        #: Guards the durability watermark ``_durable`` and the group-commit
+        #: leader flag; waiters sleep on it until their ticket is covered.
+        self._cond = threading.Condition()
+        self._sync_in_progress = False
+        self._open()
+
+    def _open(self) -> None:
+        exists = self.path.exists() and self.path.stat().st_size > 0
+        self._file = open(self.path, "ab")
+        if not exists:
+            self._file.write(WAL_MAGIC)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        else:
+            # Validate the header (and learn the clean extent) up front, so
+            # an alien file fails at attach time, not at the first append.
+            read_wal(self.path)
+        self._written = self.path.stat().st_size
+        #: Cumulative records appended / made durable *by this process*.
+        #: Tickets are values of ``_appended`` — logical sequence numbers,
+        #: not byte offsets, so a concurrent log truncation (which rewrites
+        #: the file and shrinks offsets) can never strand a waiter.
+        self._appended = 0
+        self._durable = 0
+
+    # -- the write path ------------------------------------------------------
+    def append(self, epoch: int, modifications: Sequence[Modification]) -> int:
+        """Write one record frame; returns the sync *ticket* (its sequence).
+
+        Buffered in userspace, neither flushed nor fsynced — durability is
+        :meth:`sync`'s job (its flush-then-fsync covers every record
+        appended so far), so the commit path can release its lock between
+        the two, concurrent commits share the fsync, and the leader's fsync
+        never contends with page-cache writes from appends landing behind
+        it.  A record lost from the buffer in a crash was by construction
+        never acked.  The ``wal.append`` fault point fires before any byte
+        is written: a faulted append changes neither the file nor the
+        counters, and the commit path unwinds its in-memory prefix in
+        response.
+        """
+        payload = encode_record(epoch, modifications)
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        _faults.fault_point(FAULT_WAL_APPEND)
+        with self._write_lock:
+            self._file.write(frame)
+            self._written += len(frame)
+            self._appended += 1
+            ticket = self._appended
+        active = _metrics._ACTIVE
+        if active is not None:
+            active.inc("wal.records.appended")
+            active.inc("wal.bytes.appended", len(frame))
+        return ticket
+
+    @property
+    def sync_in_commit(self) -> bool:
+        """Whether the ack belongs *inside* the commit's critical section.
+
+        ``True`` in fsync-per-commit mode: the classical write-ahead log
+        forces the log to disk before the commit releases its lock — the ack
+        is part of the commit, and there is nothing to gain from releasing
+        earlier because every commit pays its own fsync anyway.  Group
+        commit returns ``False``: the commit path releases its lock after
+        :meth:`append` and acks via :meth:`sync` outside it, which is what
+        lets concurrent commits batch into one fsync.
+        """
+        return not self.group_commit
+
+    def sync(self, ticket: int) -> None:
+        """Block until the log is durable through ``ticket``.
+
+        Group commit: whoever arrives first while no sync is running becomes
+        the leader.  It waits out the in-flight append burst (see
+        :data:`GROUP_COMMIT_QUIESCE_SECONDS`), flushes, and fsyncs once
+        covering *everything appended so far* — without holding the write
+        lock, so more commits append behind it while the disk works — then
+        wakes the waiters; a waiter whose ticket the fsync covered returns
+        without ever touching the file.  The ``wal.fsync`` fault point fires
+        on the leader before the fsync; the leadership is handed back so a
+        concurrent waiter can retry, and the faulted caller's commit stays
+        applied in memory with only its *ack* lost.  With
+        ``group_commit=False`` every call flushes and fsyncs individually —
+        the classical fsync-per-commit write-ahead log, deliberately without
+        a durability-watermark short-circuit (checking a shared watermark
+        *is* group-commit machinery), so it is the honest naive baseline the
+        durability benchmark gates against.
+        """
+        if not self.group_commit:
+            with self._write_lock:
+                self._file.flush()
+                target = self._appended
+                _faults.fault_point(FAULT_WAL_FSYNC)
+                os.fsync(self._file.fileno())
+                active = _metrics._ACTIVE
+                if active is not None:
+                    active.inc("wal.fsyncs")
+            self._advance_durable(target)
+            return
+        with self._cond:
+            while self._durable < ticket:
+                if not self._sync_in_progress:
+                    self._sync_in_progress = True
+                    break
+                self._cond.wait()
+            else:
+                return
+        # This thread is the leader, holding no locks.  Wait for the append
+        # burst to quiesce (an unlocked read of the append counter — a
+        # single int attribute — is safe), so the whole burst is acked by
+        # this one fsync instead of riding into the next; then flush and
+        # capture the watermark under the write lock, and fsync lock-free
+        # so more commits append behind the working disk.
+        try:
+            deadline = time.monotonic() + GROUP_COMMIT_QUIESCE_LIMIT_SECONDS
+            seen = self._appended
+            while time.monotonic() < deadline:
+                time.sleep(GROUP_COMMIT_QUIESCE_SECONDS)
+                grown = self._appended
+                if grown == seen:
+                    break
+                seen = grown
+            with self._write_lock:
+                self._file.flush()
+                target = self._appended
+                fileno = self._file.fileno()
+            _faults.fault_point(FAULT_WAL_FSYNC)
+            os.fsync(fileno)
+            active = _metrics._ACTIVE
+            if active is not None:
+                active.inc("wal.fsyncs")
+        except BaseException:
+            with self._cond:
+                self._sync_in_progress = False
+                self._cond.notify_all()
+            raise
+        with self._cond:
+            self._sync_in_progress = False
+        self._advance_durable(target)
+
+    def _advance_durable(self, target: int) -> None:
+        """Publish a completed fsync: records through ``target`` are durable."""
+        with self._cond:
+            batch = target - self._durable
+            if batch > 0:
+                self._durable = target
+            self._cond.notify_all()
+        if batch > 0:
+            active = _metrics._ACTIVE
+            if active is not None:
+                active.observe("wal.group_commit.batch_size", batch)
+
+    # -- maintenance ---------------------------------------------------------
+    def truncate_through(self, epoch: int) -> int:
+        """Drop every record with ``record.epoch <= epoch``; returns kept count.
+
+        Called after a checkpoint at ``epoch`` is durable: the checkpoint
+        image already contains those commits, so recovery only needs the
+        tail.  The survivors are rewritten to a temporary file which is
+        fsynced and atomically swapped in — a crash mid-truncation leaves
+        either the old log or the new one, both of which recover correctly
+        (recovery skips records at or below the checkpoint epoch anyway).
+
+        Safe against concurrent committers: the truncation claims the
+        group-commit leadership (waiting out a leader mid-fsync), swaps the
+        file under the write lock, and then publishes every record appended
+        so far as durable — dropped records live in the checkpoint, kept
+        ones in the just-fsynced rewrite — so no waiter is ever stranded.
+        """
+        if self.group_commit:
+            with self._cond:
+                while self._sync_in_progress:
+                    self._cond.wait()
+                self._sync_in_progress = True
+        try:
+            with self._write_lock:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                scan = read_wal(self.path)
+                kept = [record for record in scan.records if record.epoch > epoch]
+                temp = self.path.with_name(self.path.name + ".truncating")
+                with open(temp, "wb") as handle:
+                    handle.write(WAL_MAGIC)
+                    for record in kept:
+                        payload = encode_record(record.epoch, record.modifications)
+                        handle.write(
+                            _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+                        )
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self._file.close()
+                os.replace(temp, self.path)
+                _fsync_directory(self.path.parent)
+                self._file = open(self.path, "ab")
+                self._written = self.path.stat().st_size
+                appended = self._appended
+        finally:
+            if self.group_commit:
+                with self._cond:
+                    self._sync_in_progress = False
+                    self._cond.notify_all()
+        self._advance_durable(appended)
+        return len(kept)
+
+    def records(self) -> Tuple[WalRecord, ...]:
+        """Every well-formed record currently in the file (flushes first)."""
+        with self._write_lock:
+            self._file.flush()
+        return read_wal(self.path).records
+
+    def close(self) -> None:
+        """Flush, fsync and close the file handle (idempotent)."""
+        with self._write_lock:
+            if self._file.closed:
+                return
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "group-commit" if self.group_commit else "fsync-per-commit"
+        return f"WriteAheadLog({self.path}, {mode}, {self._written} bytes)"
+
+
+def _fsync_directory(directory: Path) -> None:
+    """fsync a directory so a rename into it survives a crash (best effort)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without directory opens
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+# ---------------------------------------------------------------------------
+# Crash simulators (used by the chaos differential suite and the example)
+# ---------------------------------------------------------------------------
+def record_boundaries(path: PathLike) -> Tuple[int, ...]:
+    """Every byte length at which the log ends exactly on a record boundary.
+
+    Index 0 is the bare header (no records); entry ``i`` ends after record
+    ``i-1``.  Truncating the file to any of these lengths simulates a crash
+    *between* commits — recovery must land exactly on that prefix's epoch.
+    """
+    scan = read_wal(path)
+    if scan.extents:
+        header_end = scan.extents[0][0]
+    else:
+        header_end = scan.valid_length
+    return (header_end,) + tuple(end for _, end in scan.extents)
+
+
+def torn_tail_lengths(path: PathLike) -> Tuple[int, ...]:
+    """Every byte length that cuts the *final* record mid-frame.
+
+    Truncating to any of these simulates a torn write: the last record's
+    frame is partially on disk.  Recovery must discard it and land on the
+    previous record's epoch — never a half-applied commit.
+    """
+    scan = read_wal(path)
+    if not scan.extents:
+        return ()
+    start, end = scan.extents[-1]
+    return tuple(range(start + 1, end))
+
+
+def truncated_copy(path: PathLike, length: int, destination: PathLike) -> Path:
+    """Write the first ``length`` bytes of ``path`` to ``destination``.
+
+    The crash simulator's primitive: the copy is what a process that died
+    after the OS persisted exactly ``length`` bytes would find on restart.
+    """
+    destination = Path(destination)
+    data = Path(path).read_bytes()[:length]
+    destination.write_bytes(data)
+    return destination

@@ -490,3 +490,22 @@ RESILIENCE_FAULTS_INJECTED = register_counter(
 RESILIENCE_DEADLINE_TIMEOUTS = register_counter(
     "resilience.deadline.timeouts", "deadline checks that raised a request timeout"
 )
+
+WAL_RECORDS_APPENDED = register_counter(
+    "wal.records.appended", "delta records appended to the write-ahead log"
+)
+WAL_BYTES_APPENDED = register_counter(
+    "wal.bytes.appended", "framed bytes appended to the write-ahead log"
+)
+WAL_FSYNCS = register_counter("wal.fsyncs", "fsync calls issued by the write-ahead log")
+WAL_GROUP_COMMIT_BATCH_SIZE = register_histogram(
+    "wal.group_commit.batch_size",
+    "records made durable per fsync (group-commit batching factor)",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+)
+CHECKPOINT_WRITTEN = register_counter(
+    "checkpoint.written", "durable database images written"
+)
+RECOVERY_RECORDS_REPLAYED = register_counter(
+    "recovery.records.replayed", "WAL tail records replayed by crash recovery"
+)

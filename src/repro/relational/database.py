@@ -116,6 +116,12 @@ DeltaModification = Tuple[str, str, Row]
 _DELTA_INSERT = "insert"
 _DELTA_DELETE = "delete"
 
+#: Double-fault rehearsal point: fires before each modification is reversed
+#: inside :meth:`Database._unwind_commit`, modelling a crash *during* the
+#: crash handler.  Registered here, next to the call site, per the ROADMAP
+#: recipe.
+_FAULT_COMMIT_UNWIND = _faults.register_fault_point("commit.unwind")
+
 
 class AppliedDelta:
     """Undo token for an in-place :meth:`Database.apply_delta` transaction.
@@ -622,6 +628,10 @@ class Database:
         self._relations: Dict[str, Relation] = {}
         #: Monotone commit counter: bumped by every effective delta commit.
         self._epoch = 0
+        #: The attached write-ahead log, or ``None`` (the default: purely
+        #: in-memory, bit-identical to the pre-durability behaviour).  Set by
+        #: :meth:`attach_wal`; deliberately not inherited by :meth:`copy`.
+        self._wal = None
         #: Live snapshots pinning relation objects (weakly: a dropped snapshot
         #: stops forcing copy-on-write).  Guarded by ``_snapshot_lock``, which
         #: serialises commits against snapshot creation so a snapshot can
@@ -771,6 +781,33 @@ class Database:
                 if active is not None:
                     active.inc("database.cow_clones")
 
+    # -- durability --------------------------------------------------------------------
+    def attach_wal(self, wal) -> None:
+        """Attach a :class:`~repro.durability.wal.WriteAheadLog` to the commit path.
+
+        Every subsequent *effective* commit appends one epoch-stamped record
+        (inside the commit's critical section, so record order equals epoch
+        order) and blocks on the log's fsync before :meth:`apply_delta`
+        returns — the return is the durability ack.  A failed append unwinds
+        the in-memory commit exactly like any other mid-commit fault; a
+        failed fsync leaves the commit applied but unacknowledged (retrying
+        the same delta is a natural no-op).  Attach before serving begins:
+        the commit path reads the attachment unlocked.  ``wal=None`` —
+        never attaching — is the knob-contract off position, bit-identical
+        to the in-memory behaviour.
+        """
+        self._wal = wal
+
+    def detach_wal(self):
+        """Detach and return the current WAL (``None`` if none attached)."""
+        wal, self._wal = self._wal, None
+        return wal
+
+    @property
+    def wal(self):
+        """The attached write-ahead log, or ``None``."""
+        return self._wal
+
     # -- in-place deltas ---------------------------------------------------------------
     def validate_delta(
         self, modifications: Iterable[DeltaModification]
@@ -835,7 +872,17 @@ class Database:
         commit leaves no trace.  Copy-on-write clones swapped in before the
         crash are kept (they are content-identical after the unwind, and
         snapshot readers pin the originals regardless).
+
+        With a WAL attached (:meth:`attach_wal`), an effective commit also
+        appends its record inside the critical section — still inside the
+        ``try``, so a failed append (disk full, ``wal.append`` chaos) unwinds
+        the in-memory prefix and the commit leaves no trace in memory *or*
+        log — and then blocks on the log's fsync **after** releasing the
+        snapshot lock, which is what lets concurrent commits batch into one
+        fsync (group commit) without serialising on the disk.
         """
+        wal = self._wal
+        ticket = None
         with self._snapshot_lock:
             self._copy_on_write({name for _, name, _ in validated})
             effective: list = []
@@ -860,6 +907,8 @@ class Database:
                     self._epoch += 1
                     epoch_bumped = True
                     _faults.fault_point("commit.epoch")
+                    if wal is not None:
+                        ticket = wal.append(self._epoch, effective)
             except BaseException:
                 self._unwind_commit(effective, epoch_bumped)
                 raise
@@ -869,7 +918,25 @@ class Database:
                 active = _metrics._ACTIVE
                 if active is not None:
                     active.inc("database.commits")
-            return AppliedDelta(self, tuple(effective))
+            applied = AppliedDelta(self, tuple(effective))
+            if ticket is not None and wal.sync_in_commit:
+                # The classical fsync-per-commit log forces the disk before
+                # the commit releases its lock: the ack is part of the
+                # commit's critical section.  A raise here (fsync failure,
+                # ``wal.fsync`` chaos) loses the *ack*, not the commit — the
+                # delta is already applied and past the unwind.
+                wal.sync(ticket)
+                ticket = None
+        if ticket is not None:
+            # Outside the lock: the ack waits for durability, the next
+            # writer does not — concurrent commits append behind the
+            # leader's in-flight fsync and batch into one (group commit).
+            # A raise here (fsync failure, ``wal.fsync`` chaos) loses the
+            # *ack*, not the commit — the delta is applied in memory and
+            # its record is in the OS buffer; recovery keeps it iff the
+            # bytes reached the disk.
+            wal.sync(ticket)
+        return applied
 
     def _unwind_commit(
         self, effective: Sequence[DeltaModification], epoch_bumped: bool
@@ -882,8 +949,15 @@ class Database:
         is sound exactly here: the row set is restored to the same content
         the old version number described, so every (version, content) pair a
         cache may have memoized stays truthful.
+
+        The ``commit.unwind`` fault point fires before each reversal: a
+        *double fault* (crashing inside the crash handler) leaves the
+        in-memory database poisoned mid-rollback — which is exactly why the
+        durability layer never logs un-committed work, so ``recover()``
+        still lands on the last acked epoch (rehearsed in the chaos suite).
         """
         for kind, name, row in reversed(effective):
+            _faults.fault_point(_FAULT_COMMIT_UNWIND)
             relation = self._relations[name]
             if kind == _DELTA_INSERT:
                 relation._rows.remove(row)

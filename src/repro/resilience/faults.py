@@ -25,6 +25,10 @@ Registered points (see the ROADMAP recipe for adding one):
 - ``serving.worker`` — a server worker, before executing a request
 - ``commit.modification`` — before each modification in ``_apply_validated``
 - ``commit.epoch`` — after the epoch bump at the end of a commit
+- ``commit.unwind`` — before each reversal in ``_unwind_commit`` (double fault)
+- ``wal.append`` — before a WAL record frame is written
+- ``wal.fsync`` — before the group-commit leader's fsync
+- ``checkpoint.write`` — before a checkpoint image is serialized
 """
 
 from __future__ import annotations

@@ -44,6 +44,13 @@ inside the evaluator and the lattice DFS via the ambient
 :func:`~repro.resilience.deadline.deadline_scope`), bounded-admission load
 shedding, and retry-with-backoff for transiently failed requests.  With no
 config the server behaves exactly as before — same answers, same epochs.
+
+A :class:`~repro.durability.DurabilityConfig` (PR 9) additionally makes the
+snapshot server's writes survive the process: ``apply`` appends each commit
+to a write-ahead log and returns only after the record is fsynced — the
+return is the durability ack — with optional periodic checkpoints from
+pinned snapshots.  ``durability=None`` (the default) is bit-identical
+in-memory serving; ``repro recover`` rebuilds the database after a crash.
 """
 
 from __future__ import annotations
@@ -330,6 +337,7 @@ class SnapshotServer:
         max_workers: int = 8,
         resilience: Optional[ResilienceConfig] = None,
         tracing: Optional[TraceSampler] = None,
+        durability=None,
     ) -> None:
         self._template = problem
         self._database = problem.database
@@ -340,6 +348,22 @@ class SnapshotServer:
         self._tracing = tracing
         self._admission_lock = threading.Lock()
         self._inflight = 0
+        #: Durability knob (a :class:`~repro.durability.DurabilityConfig`):
+        #: when set, the database gets a WAL attached at construction and
+        #: every :meth:`apply` return is a post-fsync durability ack.
+        #: ``None`` (the default) is the knob-contract off position — no
+        #: durability import, no log, bit-identical serving.
+        self._durability = durability
+        self._wal = None
+        self._commits_since_checkpoint = 0
+        if durability is not None:
+            from repro.durability import open_durable
+
+            self._wal = open_durable(
+                self._database,
+                durability.directory,
+                group_commit=durability.group_commit,
+            )
 
     @property
     def problem(self) -> RecommendationProblem:
@@ -350,6 +374,11 @@ class SnapshotServer:
     def database(self):
         """The live database the writer commits to."""
         return self._database
+
+    @property
+    def wal(self):
+        """The attached write-ahead log, or ``None`` (durability off)."""
+        return self._wal
 
     @property
     def epoch(self) -> int:
@@ -539,8 +568,52 @@ class SnapshotServer:
         return [served[request] for request in requests]
 
     def apply(self, delta):
-        """The writer's entry point: commit a delta batch, return its undo token."""
-        return self._database.apply_delta(delta)
+        """The writer's entry point: commit a delta batch, return its undo token.
+
+        With durability configured, the return *is* the ack: the commit's
+        WAL record has been fsynced (group commit batches concurrent
+        writers' fsyncs) before ``apply_delta`` returns, and — when
+        ``checkpoint_every`` is set — every N effective commits trigger a
+        fresh checkpoint from a pinned snapshot, so the log tail stays short
+        without ever stalling this writer or the readers.
+        """
+        applied = self._database.apply_delta(delta)
+        durability = self._durability
+        if (
+            durability is not None
+            and durability.checkpoint_every is not None
+            and applied.effective
+        ):
+            self._commits_since_checkpoint += 1
+            if self._commits_since_checkpoint >= durability.checkpoint_every:
+                self._commits_since_checkpoint = 0
+                self.checkpoint()
+        return applied
+
+    def checkpoint(self) -> Optional[int]:
+        """Write a durable image of the current epoch; returns its epoch.
+
+        A no-op returning ``None`` with durability off.  The image is taken
+        from a pinned snapshot, so readers and the writer continue
+        untouched; the WAL is truncated to the records past the image only
+        after the image itself is durable.
+        """
+        if self._durability is None:
+            return None
+        from repro.durability import checkpoint_path, write_checkpoint
+
+        return write_checkpoint(
+            self._database.snapshot(),
+            checkpoint_path(self._durability.directory),
+            wal=self._wal,
+        )
+
+    def close(self) -> None:
+        """Detach and close the WAL, if one is attached (idempotent)."""
+        if self._wal is not None:
+            self._database.detach_wal()
+            self._wal.close()
+            self._wal = None
 
 
 class GlobalLockServer:

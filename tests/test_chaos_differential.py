@@ -17,6 +17,7 @@ import random
 
 import pytest
 
+from repro.durability import open_durable, recover
 from repro.relational.database import Database
 from repro.resilience import ERROR_CODES, FaultPlan, FaultRule, InjectedFault, chaos
 from repro.serving import ResilienceConfig, ServingTrace, SnapshotServer, build_trace
@@ -208,6 +209,78 @@ class TestCommitPathChaos:
     def test_scaled_commit_crash_sweep(self, seed):
         self._run_sweep(seed=seed, num_commits=60)
 
+class TestDurableCommitPathChaos:
+    """The commit-path chaos sweep again, with a write-ahead log attached.
+
+    Every invariant of :class:`TestCommitPathChaos` must keep holding when
+    the commit also writes a durable record, plus one more differential:
+    at every instant the artifacts on disk recover to exactly the live
+    database.  A faulted append unwinds both memory and log; a faulted
+    fsync loses only the *ack* — the commit stays applied, its record stays
+    logged, and retrying the identical delta is a natural no-op.
+    """
+
+    def _run_sweep(self, directory, seed: int, num_commits: int) -> None:
+        trace_problem = build_trace(15, 1, 1, seed=seed).problem
+        database = trace_problem.database
+        wal = open_durable(database, directory)
+        clean_replica = database.copy()
+        rng = random.Random(seed)
+        next_iid = 80_000
+        crashes = 0
+        for commit_index in range(num_commits):
+            delta, next_iid = _random_delta(database, rng, next_iid)
+            archive = database.copy()
+            epoch_before = database.epoch
+            records_before = len(wal.records())
+            plan = FaultPlan(
+                {
+                    "commit.modification": FaultRule(rate=0.2),
+                    "wal.append": FaultRule(rate=0.15),
+                    "wal.fsync": FaultRule(rate=0.1),
+                },
+                seed=1000 * seed + commit_index,
+            )
+            crashed = False
+            with chaos(plan):
+                try:
+                    database.apply_delta(delta)
+                except InjectedFault:
+                    crashed = True
+            if crashed:
+                crashes += 1
+                if database.epoch == epoch_before:
+                    # An append or modification fault: the commit unwound,
+                    # leaving no trace in memory *or* in the log.
+                    assert database == archive
+                    assert len(wal.records()) == records_before
+                    database.apply_delta(delta)  # clean retry once chaos lifts
+                else:
+                    # An fsync fault: the commit applied but its ack was
+                    # lost; the record is logged and the retry is a no-op.
+                    assert database.epoch == epoch_before + 1
+                    assert len(wal.records()) == records_before + 1
+                    applied = database.apply_delta(delta)
+                    assert applied.effective == ()
+            clean_replica.apply_delta(delta)
+            assert database == clean_replica
+        assert crashes > 0, "the schedule must actually crash some commits"
+        wal.close()
+        database.detach_wal()
+        result = recover(directory)
+        assert result.database == database
+        assert result.epoch == database.epoch
+
+    def test_durable_commits_crash_consistently(self, tmp_path):
+        self._run_sweep(tmp_path, seed=2, num_commits=15)
+
+    @pytest.mark.chaos
+    @pytest.mark.parametrize("seed", range(4))
+    def test_scaled_durable_commit_crash_sweep(self, tmp_path, seed):
+        self._run_sweep(tmp_path, seed=seed, num_commits=60)
+
+
+class TestServerCommitChaos:
     def test_a_server_survives_a_crashed_commit_and_keeps_serving(self):
         trace = build_trace(20, 3, 8, seed=13)
         reference = _fault_free_reference(build_trace(20, 3, 8, seed=13))

@@ -149,6 +149,33 @@ class TestServe:
             main(["serve", "--items", "not-a-number"])
 
 
+class TestDurabilityCli:
+    SERVE = ["serve", "--items", "20", "--rounds", "2", "--batch", "4"]
+
+    def test_serve_wal_then_recover_round_trip(self, tmp_path, capsys):
+        directory = tmp_path / "durable"
+        assert main(self.SERVE + ["--wal", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert f"durability: write-ahead log under {directory}" in out
+        assert "durable through epoch" in out
+        assert main(["recover", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert f"recovered {directory} to epoch" in out
+        assert "WAL records replayed" in out
+        assert "rows" in out
+
+    def test_serve_metrics_reports_wal_instruments(self, tmp_path, capsys):
+        code = main(self.SERVE + ["--metrics", "--wal", str(tmp_path / "durable")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wal.records.appended" in out
+        assert "wal.fsyncs" in out
+
+    def test_recover_fails_loudly_without_artifacts(self, tmp_path, capsys):
+        assert main(["recover", str(tmp_path)]) == 1
+        assert "recovery failed" in capsys.readouterr().err
+
+
 class TestExample:
     def test_example_runs_quickstart(self, capsys):
         assert main(["example", "quickstart"]) == 0

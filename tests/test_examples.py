@@ -21,6 +21,7 @@ EXAMPLE_EXPECTATIONS = [
     ("adjustment", "insert course"),
     ("streaming_updates", "maintained answers"),
     ("serving_trace", "pinned reader still sees"),
+    ("crash_recovery", "last acked epoch"),
     ("group_recommendation", "least misery"),
     ("query_languages", ""),
     ("complexity_tables", ""),
