@@ -165,8 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="serve durably: write-ahead log every commit under this "
-        "directory (created if missing) and ack writes only after the "
-        "fsync; recover later with `repro recover PATH`",
+        "directory (created if missing; must be fresh — serving refuses a "
+        "directory already holding another run's history) and ack writes "
+        "only after the fsync; recover later with `repro recover PATH`",
     )
 
     recover = commands.add_parser(
@@ -403,12 +404,27 @@ def _command_serve(
 
         durability = DurabilityConfig(wal)
     trace = build_trace(items, rounds, batch, seed=seed)
-    server = SnapshotServer(
-        trace.problem,
-        max_workers=workers,
-        resilience=resilience,
-        durability=durability,
-    )
+    try:
+        server = SnapshotServer(
+            trace.problem,
+            max_workers=workers,
+            resilience=resilience,
+            durability=durability,
+        )
+    except Exception as error:
+        from repro.durability import CorruptRecordError
+
+        if durability is None or not isinstance(error, CorruptRecordError):
+            raise
+        # A pre-existing durability directory whose epoch does not match the
+        # fresh trace database: serving over it would fork its history.
+        print(f"refusing to serve: {error}", file=sys.stderr)
+        print(
+            f"recover it with `repro recover {durability.directory}` or "
+            f"point --wal at a fresh directory",
+            file=sys.stderr,
+        )
+        return 1
     print(trace.problem.describe())
     print(f"trace: {rounds} rounds x {batch} requests, one delta commit per round")
     if resilience is not None:

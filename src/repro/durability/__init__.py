@@ -14,6 +14,7 @@ from repro.durability.checkpoint import (
     encode_checkpoint,
     decode_checkpoint,
     read_checkpoint,
+    read_checkpoint_epoch,
     write_checkpoint,
 )
 from repro.durability.encode import (
@@ -31,6 +32,7 @@ from repro.durability.recovery import (
     DurabilityConfig,
     RecoveryResult,
     checkpoint_path,
+    durable_epoch,
     open_durable,
     recover,
     wal_path,
@@ -63,11 +65,13 @@ __all__ = [
     "decode_checkpoint",
     "decode_row",
     "decode_value",
+    "durable_epoch",
     "encode_checkpoint",
     "encode_row",
     "encode_value",
     "open_durable",
     "read_checkpoint",
+    "read_checkpoint_epoch",
     "read_wal",
     "record_boundaries",
     "recover",

@@ -233,6 +233,24 @@ def read_checkpoint(path: PathLike) -> Tuple[Database, int]:
     unlike a WAL tail, a checkpoint has no valid prefix to fall back on, so
     recovery surfaces the corruption instead of silently starting empty.
     """
+    return decode_checkpoint(_read_checkpoint_payload(path))
+
+
+def read_checkpoint_epoch(path: PathLike) -> int:
+    """The epoch of the checkpoint at ``path``, without decoding the image.
+
+    Same validation as :func:`read_checkpoint` (magic, frame, CRC), but only
+    the payload's leading ``u64`` is interpreted — cheap enough for
+    attach-time consistency checks against a large image.
+    """
+    payload = _read_checkpoint_payload(path)
+    if len(payload) < _U64.size:
+        raise CorruptRecordError("checkpoint payload too short")
+    (epoch,) = _U64.unpack_from(payload, 0)
+    return epoch
+
+
+def _read_checkpoint_payload(path: PathLike) -> bytes:
     path = Path(path)
     if not path.exists():
         raise CorruptRecordError(f"checkpoint {path} does not exist")
@@ -254,4 +272,4 @@ def read_checkpoint(path: PathLike) -> Tuple[Database, int]:
         )
     if zlib.crc32(payload) != crc:
         raise CorruptRecordError(f"checkpoint {path} fails its CRC check")
-    return decode_checkpoint(payload)
+    return payload

@@ -28,7 +28,11 @@ attached to continue the history.
 a directory, it writes the initial checkpoint if the directory is fresh
 (the WAL alone cannot recover pre-existing rows — records only describe
 deltas) and returns an attached
-:class:`~repro.durability.wal.WriteAheadLog`.
+:class:`~repro.durability.wal.WriteAheadLog`.  Re-attaching to an existing
+directory is verified: the database's epoch must equal the directory's
+:func:`durable_epoch` (i.e. be the state :func:`recover` returns for it),
+so a fresh database can never silently append a forked history over
+someone else's durable commits.
 """
 
 from __future__ import annotations
@@ -37,7 +41,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.durability.checkpoint import read_checkpoint, write_checkpoint
+from repro.durability.checkpoint import (
+    read_checkpoint,
+    read_checkpoint_epoch,
+    write_checkpoint,
+)
 from repro.durability.encode import CorruptRecordError
 from repro.durability.wal import WriteAheadLog, read_wal
 from repro.observability import metrics as _metrics
@@ -102,22 +110,59 @@ def checkpoint_path(directory: PathLike) -> Path:
     return Path(directory) / CHECKPOINT_FILENAME
 
 
+def durable_epoch(directory: PathLike) -> int:
+    """The epoch ``directory``'s artifacts recover to, without rebuilding it.
+
+    Checkpoint epoch plus the WAL tail records past it (the same skip rule
+    :func:`recover` applies), read cheaply — the image itself is never
+    decoded.  Raises :class:`CorruptRecordError` if the checkpoint is
+    missing or corrupt.
+    """
+    directory = Path(directory)
+    epoch = read_checkpoint_epoch(checkpoint_path(directory))
+    for record in read_wal(wal_path(directory)).records:
+        if record.epoch > epoch:
+            epoch = record.epoch
+    return epoch
+
+
 def open_durable(
     database: Database, directory: PathLike, group_commit: bool = True
 ) -> WriteAheadLog:
     """Make ``database`` durable under ``directory``; returns the attached WAL.
 
     Fresh directory: writes the initial checkpoint (the baseline image the
-    WAL's deltas build on) and an empty log.  Existing directory: reopens
-    the log and appends — the caller is responsible for passing a database
-    that actually *is* the recovered state (i.e. the result of
-    :func:`recover` on the same directory); anything else would fork the
-    history.
+    WAL's deltas build on) and an empty log.  Existing directory: verifies
+    ``database`` actually *is* the directory's recovered state — its epoch
+    must equal :func:`durable_epoch` — then reopens the log and appends.
+    The verification is what keeps a careless re-attach honest: appending
+    epoch-N records onto a directory already durable through epoch M ≠ N
+    would fork the history, and recovery's skip rule would then silently
+    drop durably-acked commits.  Raises :class:`CorruptRecordError` on a
+    mismatch (recover first, or use a fresh directory) and for a directory
+    holding a WAL with records but no checkpoint (its baseline image is
+    gone; nothing sound can be appended).
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     if not checkpoint_path(directory).exists():
+        if read_wal(wal_path(directory)).records:
+            raise CorruptRecordError(
+                f"durability directory {directory} has WAL records but no "
+                f"checkpoint: the log's baseline image is missing, so "
+                f"attaching would orphan its history"
+            )
         write_checkpoint(database.snapshot(), checkpoint_path(directory))
+    else:
+        existing = durable_epoch(directory)
+        if existing != database.epoch:
+            raise CorruptRecordError(
+                f"durability directory {directory} is durable through epoch "
+                f"{existing} but the database being attached is at epoch "
+                f"{database.epoch}: pass the database recover() returns for "
+                f"this directory, or use a fresh directory — appending from "
+                f"a mismatched epoch would silently fork the durable history"
+            )
     wal = WriteAheadLog(wal_path(directory), group_commit=group_commit)
     database.attach_wal(wal)
     return wal

@@ -238,16 +238,29 @@ class WriteAheadLog:
         self._open()
 
     def _open(self) -> None:
-        exists = self.path.exists() and self.path.stat().st_size > 0
+        size = self.path.stat().st_size if self.path.exists() else 0
+        if size > 0:
+            # Validate the header up front (an alien file fails at attach
+            # time, not at the first append) and *truncate any torn tail*
+            # before appending: a crash mid-record leaves malformed bytes at
+            # the end, and appending after them would put every future
+            # record behind a frame no reader ever crosses — fsync-acked
+            # commits silently lost on the next recovery.  Truncating to the
+            # valid prefix (durably) is safe by the same argument recovery
+            # uses: the discarded bytes were never part of an acked commit.
+            # A file shorter than the header scans as ``valid_length == 0``
+            # and is rebuilt from scratch below.
+            scan = read_wal(self.path)
+            if scan.torn_tail_bytes:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(scan.valid_length)
+                    os.fsync(handle.fileno())
+                size = scan.valid_length
         self._file = open(self.path, "ab")
-        if not exists:
+        if size == 0:
             self._file.write(WAL_MAGIC)
             self._file.flush()
             os.fsync(self._file.fileno())
-        else:
-            # Validate the header (and learn the clean extent) up front, so
-            # an alien file fails at attach time, not at the first append.
-            read_wal(self.path)
         self._written = self.path.stat().st_size
         #: Cumulative records appended / made durable *by this process*.
         #: Tickets are values of ``_appended`` — logical sequence numbers,
@@ -441,13 +454,36 @@ class WriteAheadLog:
         return read_wal(self.path).records
 
     def close(self) -> None:
-        """Flush, fsync and close the file handle (idempotent)."""
-        with self._write_lock:
-            if self._file.closed:
-                return
-            self._file.flush()
-            os.fsync(self._file.fileno())
-            self._file.close()
+        """Flush, fsync and close the file handle (idempotent).
+
+        Claims the group-commit leadership first (waiting out a leader
+        mid-fsync, exactly like :meth:`truncate_through`): the leader fsyncs
+        a file descriptor it captured outside the write lock, so closing
+        under the write lock alone could invalidate that descriptor mid-sync.
+        The closing fsync covers every record appended so far, so the
+        durability watermark is published through them and no concurrent
+        waiter is left stranded on a closed log.
+        """
+        if self.group_commit:
+            with self._cond:
+                while self._sync_in_progress:
+                    self._cond.wait()
+                self._sync_in_progress = True
+        appended = None
+        try:
+            with self._write_lock:
+                if self._file.closed:
+                    return
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._file.close()
+                appended = self._appended
+        finally:
+            if self.group_commit:
+                with self._cond:
+                    self._sync_in_progress = False
+                    self._cond.notify_all()
+        self._advance_durable(appended)
 
     def __enter__(self) -> "WriteAheadLog":
         return self

@@ -356,9 +356,23 @@ class SnapshotServer:
         self._durability = durability
         self._wal = None
         self._commits_since_checkpoint = 0
+        #: Auto-checkpoints run on a background thread (at most one in
+        #: flight; the lock also serialises explicit :meth:`checkpoint`
+        #: calls against it) so the writer's ``apply`` never absorbs the
+        #: image-serialization latency.  A failed background checkpoint
+        #: stores its error here and :meth:`close` re-raises it — the
+        #: durable state stays consistent either way (old image intact, log
+        #: untruncated), so only compaction was lost.
+        self._checkpoint_lock = threading.Lock()
+        self._checkpoint_thread: Optional[threading.Thread] = None
+        self._checkpoint_error: Optional[BaseException] = None
         if durability is not None:
             from repro.durability import open_durable
 
+            # open_durable refuses a directory whose durable epoch does not
+            # match this database (attaching anything but the recovered
+            # state would fork the history); the caller sees the raise
+            # instead of silently losing acked commits on the next recovery.
             self._wal = open_durable(
                 self._database,
                 durability.directory,
@@ -573,9 +587,11 @@ class SnapshotServer:
         With durability configured, the return *is* the ack: the commit's
         WAL record has been fsynced (group commit batches concurrent
         writers' fsyncs) before ``apply_delta`` returns, and — when
-        ``checkpoint_every`` is set — every N effective commits trigger a
-        fresh checkpoint from a pinned snapshot, so the log tail stays short
-        without ever stalling this writer or the readers.
+        ``checkpoint_every`` is set — every N effective commits hand a
+        fresh checkpoint to a background thread (the image serializes from
+        a pinned snapshot, so neither this writer nor the readers stall on
+        it; if the previous checkpoint is still being written, the trigger
+        simply re-arms on the next commit).
         """
         applied = self._database.apply_delta(delta)
         durability = self._durability
@@ -586,9 +602,26 @@ class SnapshotServer:
         ):
             self._commits_since_checkpoint += 1
             if self._commits_since_checkpoint >= durability.checkpoint_every:
-                self._commits_since_checkpoint = 0
-                self.checkpoint()
+                if self._start_background_checkpoint():
+                    self._commits_since_checkpoint = 0
         return applied
+
+    def _start_background_checkpoint(self) -> bool:
+        """Spawn the auto-checkpoint thread; ``False`` if one is still running."""
+        thread = self._checkpoint_thread
+        if thread is not None and thread.is_alive():
+            return False
+
+        def _run() -> None:
+            try:
+                self.checkpoint()
+            except BaseException as error:  # surfaced by close()
+                self._checkpoint_error = error
+
+        thread = threading.Thread(target=_run, name="repro-checkpoint", daemon=True)
+        self._checkpoint_thread = thread
+        thread.start()
+        return True
 
     def checkpoint(self) -> Optional[int]:
         """Write a durable image of the current epoch; returns its epoch.
@@ -596,24 +629,42 @@ class SnapshotServer:
         A no-op returning ``None`` with durability off.  The image is taken
         from a pinned snapshot, so readers and the writer continue
         untouched; the WAL is truncated to the records past the image only
-        after the image itself is durable.
+        after the image itself is durable.  Safe to call from any thread:
+        the checkpoint lock serialises it against the background
+        auto-checkpoint (two writers racing ``os.replace`` on the same
+        temp file would corrupt neither, but their truncations would
+        interleave pointlessly).
         """
         if self._durability is None:
             return None
         from repro.durability import checkpoint_path, write_checkpoint
 
-        return write_checkpoint(
-            self._database.snapshot(),
-            checkpoint_path(self._durability.directory),
-            wal=self._wal,
-        )
+        with self._checkpoint_lock:
+            return write_checkpoint(
+                self._database.snapshot(),
+                checkpoint_path(self._durability.directory),
+                wal=self._wal,
+            )
 
     def close(self) -> None:
-        """Detach and close the WAL, if one is attached (idempotent)."""
+        """Detach and close the WAL, if one is attached (idempotent).
+
+        Joins any in-flight background checkpoint first (it truncates the
+        WAL being closed), then re-raises the most recent background
+        checkpoint failure, if one was stored — compaction failing silently
+        would otherwise let the log grow without bound.
+        """
+        thread = self._checkpoint_thread
+        if thread is not None:
+            thread.join()
+            self._checkpoint_thread = None
         if self._wal is not None:
             self._database.detach_wal()
             self._wal.close()
             self._wal = None
+        error, self._checkpoint_error = self._checkpoint_error, None
+        if error is not None:
+            raise error
 
 
 class GlobalLockServer:

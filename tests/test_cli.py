@@ -171,6 +171,18 @@ class TestDurabilityCli:
         assert "wal.records.appended" in out
         assert "wal.fsyncs" in out
 
+    def test_serve_refuses_a_reused_wal_directory(self, tmp_path, capsys):
+        # A second `serve --wal` over the same directory would rebuild a
+        # fresh trace database and fork the existing durable history;
+        # the CLI must refuse loudly, not lose acked commits silently.
+        directory = tmp_path / "durable"
+        assert main(self.SERVE + ["--wal", str(directory)]) == 0
+        capsys.readouterr()
+        assert main(self.SERVE + ["--wal", str(directory)]) == 1
+        err = capsys.readouterr().err
+        assert "refusing to serve" in err
+        assert f"repro recover {directory}" in err
+
     def test_recover_fails_loudly_without_artifacts(self, tmp_path, capsys):
         assert main(["recover", str(tmp_path)]) == 1
         assert "recovery failed" in capsys.readouterr().err

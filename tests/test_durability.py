@@ -44,6 +44,7 @@ from repro.durability import (
     checkpoint_path,
     decode_row,
     decode_value,
+    durable_epoch,
     encode_row,
     encode_value,
     open_durable,
@@ -302,6 +303,39 @@ class TestWalFileFormat:
         last_start, last_end = scan.extents[-1]
         assert torn == tuple(range(last_start + 1, last_end))
 
+    def test_reattach_over_a_torn_tail_truncates_before_appending(self, tmp_path):
+        # A crash mid-record leaves malformed bytes at the end of the file.
+        # Reopening the log must truncate them *before* appending: records
+        # appended behind a torn frame would be unreachable to every reader,
+        # so fsync-acked commits would silently vanish on the next recovery.
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            for epoch in range(1, 4):
+                wal.append(epoch, (("insert", "items", (epoch, "c", epoch)),))
+        torn = torn_tail_lengths(path)
+        path.write_bytes(path.read_bytes()[: torn[len(torn) // 2]])
+        with WriteAheadLog(path) as wal:
+            # The torn record 3 is gone; the resumed history re-commits it.
+            assert [record.epoch for record in wal.records()] == [1, 2]
+            wal.append(3, (("insert", "items", (3, "c2", 30)),))
+        scan = read_wal(path)
+        assert [record.epoch for record in scan.records] == [1, 2, 3]
+        assert scan.records[-1].modifications == (("insert", "items", (3, "c2", 30)),)
+        assert scan.torn_tail_bytes == 0
+
+    def test_reattach_over_a_partial_header_rebuilds_the_log(self, tmp_path):
+        # Fewer than the header's 8 bytes can survive a crash at file
+        # creation; there is no valid prefix at all, and reattaching must
+        # rebuild the log instead of appending records no reader (the magic
+        # check fires first) would ever decode.
+        path = tmp_path / "wal.log"
+        path.write_bytes(WAL_MAGIC[:3])
+        with WriteAheadLog(path) as wal:
+            wal.append(1, (("insert", "items", (1, "c", 2)),))
+        scan = read_wal(path)
+        assert [record.epoch for record in scan.records] == [1]
+        assert scan.torn_tail_bytes == 0
+
     def test_truncate_through_drops_only_covered_records(self, tmp_path):
         path = tmp_path / "wal.log"
         with WriteAheadLog(path) as wal:
@@ -395,6 +429,69 @@ class TestDurableCommitCycle:
         assert result.records_skipped == 4
         assert result.records_replayed == 0
         assert result.database == database
+
+    def test_recover_then_reattach_over_a_torn_crash_keeps_new_commits(self, tmp_path):
+        # The documented resume path — recover(), then open_durable() on the
+        # same directory — exercised over a *torn* crash: the reattach must
+        # truncate the tear so commits acked after the resume are readable
+        # by the next recovery, not stranded behind malformed bytes.
+        database = _fresh_database()
+        wal = open_durable(database, tmp_path)
+        for iid in range(3):
+            database.apply_delta(_insert(iid))
+        wal.close()
+        database.detach_wal()
+        log = wal_path(tmp_path)
+        torn = torn_tail_lengths(log)
+        log.write_bytes(log.read_bytes()[: torn[len(torn) // 2]])
+        first = recover(tmp_path)
+        assert first.epoch == 2  # the torn record 3 was never acked
+        assert first.torn_tail_bytes > 0
+        resumed = first.database
+        wal = open_durable(resumed, tmp_path)
+        for iid in range(10, 13):
+            resumed.apply_delta(_insert(iid))
+        wal.close()
+        resumed.detach_wal()
+        final = recover(tmp_path)
+        assert final.epoch == resumed.epoch == 5
+        assert final.database == resumed
+        assert final.torn_tail_bytes == 0
+
+    def test_open_durable_refuses_a_mismatched_database(self, tmp_path):
+        # Attaching anything but the directory's own recovered state would
+        # append a forked history over durable commits — and recovery's
+        # skip rule would then silently drop them.  The attach must refuse.
+        database = _fresh_database()
+        wal = open_durable(database, tmp_path)
+        for iid in range(3):
+            database.apply_delta(_insert(iid))
+        wal.close()
+        database.detach_wal()
+        assert durable_epoch(tmp_path) == 3
+        stranger = _fresh_database()  # epoch 0: not this directory's history
+        with pytest.raises(CorruptRecordError):
+            open_durable(stranger, tmp_path)
+        assert stranger.wal is None  # refused before attaching anything
+        # The recovered database, by contrast, reattaches cleanly.
+        recovered = recover(tmp_path).database
+        wal = open_durable(recovered, tmp_path)
+        recovered.apply_delta(_insert(99))
+        wal.close()
+        recovered.detach_wal()
+        assert recover(tmp_path).epoch == 4
+
+    def test_open_durable_refuses_a_wal_without_its_checkpoint(self, tmp_path):
+        # A directory holding WAL records but no checkpoint lost the log's
+        # baseline image; appending to it could never recover soundly.
+        database = _fresh_database()
+        wal = open_durable(database, tmp_path)
+        database.apply_delta(_insert(1))
+        wal.close()
+        database.detach_wal()
+        checkpoint_path(tmp_path).unlink()
+        with pytest.raises(CorruptRecordError):
+            open_durable(_fresh_database(), tmp_path)
 
     def test_recover_refuses_a_directory_without_artifacts(self, tmp_path):
         with pytest.raises(CorruptRecordError):
@@ -796,6 +893,45 @@ class TestServingDurability:
         assert result.database == durable.database
         # checkpoint_every kept the tail short: the last image is recent.
         assert result.checkpoint_epoch > 0
+
+    def test_durable_server_refuses_a_stale_directory(self, tmp_path):
+        # Serving a *fresh* database over a directory already durable
+        # through a later epoch would reuse its epochs and let the next
+        # recovery silently skip the new commits; construction must refuse.
+        trace = build_trace(**self.TRACE_SHAPE)
+        server = SnapshotServer(trace.problem, durability=DurabilityConfig(tmp_path))
+        for delta, _ in trace.rounds:
+            if delta:
+                server.apply(list(delta))
+        committed = server.epoch
+        server.close()
+        assert durable_epoch(tmp_path) == committed > 0
+        fresh = build_trace(**self.TRACE_SHAPE)
+        with pytest.raises(CorruptRecordError):
+            SnapshotServer(fresh.problem, durability=DurabilityConfig(tmp_path))
+        # The refusal changed nothing: the directory still recovers whole.
+        assert recover(tmp_path).epoch == committed
+
+    def test_background_checkpoint_failure_surfaces_on_close(self, tmp_path):
+        # Auto-checkpoints run on a background thread; a failure there must
+        # not vanish (the log would grow unboundedly with no one noticing).
+        # close() joins the thread and re-raises — while the durable state
+        # stays consistent: old image intact, WAL untruncated.
+        trace = build_trace(**self.TRACE_SHAPE)
+        server = SnapshotServer(
+            trace.problem,
+            durability=DurabilityConfig(tmp_path, checkpoint_every=1),
+        )
+        plan = FaultPlan({"checkpoint.write": FaultRule(at={0})})
+        with chaos(plan):
+            for delta, _ in trace.rounds:
+                if delta:
+                    server.apply(list(delta))
+            with pytest.raises(InjectedFault):
+                server.close()
+        result = recover(tmp_path)
+        assert result.epoch == server.epoch
+        assert result.database == server.database
 
     def test_checkpoint_is_a_noop_without_durability(self):
         trace = build_trace(num_items=10, num_rounds=1, batch_size=2, seed=1)
