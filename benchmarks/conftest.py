@@ -38,6 +38,7 @@ _RESULTS_PATH_PATTERN = re.compile(r"^RESULTS_PATH\s*=.*BENCH_\w+\.json", re.MUL
 _EXPECTED_REPORT_WRITERS = frozenset(
     {
         "bench_adjustment.py",
+        "bench_columnar.py",
         "bench_durability.py",
         "bench_enumeration.py",
         "bench_evaluator.py",

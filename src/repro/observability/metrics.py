@@ -509,3 +509,16 @@ CHECKPOINT_WRITTEN = register_counter(
 RECOVERY_RECORDS_REPLAYED = register_counter(
     "recovery.records.replayed", "WAL tail records replayed by crash recovery"
 )
+
+COLUMNAR_BUILDS = register_counter(
+    "columnar.builds", "columnar encodings built from the tuple set"
+)
+COLUMNAR_DECLINES = register_counter(
+    "columnar.declines", "columnar builds that declined on unencodable values"
+)
+COLUMNAR_KERNEL_SELECTS = register_counter(
+    "columnar.kernel.selects", "vectorized selection kernels executed"
+)
+COLUMNAR_ROWS_SELECTED = register_counter(
+    "columnar.rows.selected", "rows surfaced by vectorized selection kernels"
+)

@@ -9,6 +9,7 @@ new code should import from :mod:`repro.observability.summary` directly.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, Sequence
 
 __all__ = ["percentile_summary", "latency_percentiles"]
@@ -19,16 +20,21 @@ def percentile_summary(
 ) -> Dict[str, float]:
     """Nearest-rank percentiles over raw samples, keyed ``p50``/``p99``/…
 
-    Empty input yields all-zero entries, mirroring the historical
-    ``latency_percentiles`` contract.
+    The nearest-rank definition: the ``p``-th percentile of ``n`` sorted
+    samples is the one at 1-based rank ``ceil(n * p / 100)`` — so ``p50`` of
+    two samples is the *first*, and ``p100`` is always the maximum.  (The
+    historical ``int(n * p / 100)`` truncation indexed one rank high,
+    reporting the max for ``p90`` of 10 samples.)  Empty input yields
+    all-zero entries, mirroring the historical ``latency_percentiles``
+    contract.
     """
     ordered = sorted(values)
     if not ordered:
         return {f"p{percentile:g}": 0.0 for percentile in percentiles}
     summary = {}
     for percentile in percentiles:
-        rank = max(0, min(len(ordered) - 1, int(len(ordered) * percentile / 100.0)))
-        summary[f"p{percentile:g}"] = ordered[rank]
+        rank = max(0, math.ceil(len(ordered) * percentile / 100.0) - 1)
+        summary[f"p{percentile:g}"] = ordered[min(len(ordered) - 1, rank)]
     return summary
 
 

@@ -188,8 +188,37 @@ def _unsafe_comparison_error(
     )
 
 
+def _columnar_match(relation, atom: RelationAtom, binding: Binding):
+    """The rows of ``relation`` matching ``atom``, via the columnar encoding.
+
+    Returns ``None`` to decline — no encoding, or equality classes the exact-
+    typed kernels cannot answer faithfully (cross-family numerics, values
+    outside the encoded families) — in which case the caller runs the
+    reference row-matcher scan.  A non-``None`` result is *exact* for the
+    encoded families, and every surfaced row is still re-checked by the
+    executor's row matcher, so the kernel can only ever prune.
+    """
+    get_encoding = getattr(relation, "columnar", None)
+    encoding = get_encoding() if get_encoding is not None else None
+    if encoding is None:
+        return None
+    const_eqs: List[Tuple[int, Value]] = []
+    pair_eqs: List[Tuple[int, int]] = []
+    first_position: Dict[str, int] = {}
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Const):
+            const_eqs.append((position, term.value))
+        elif term.name in binding:
+            const_eqs.append((position, binding[term.name]))
+        elif term.name in first_position:
+            pair_eqs.append((first_position[term.name], position))
+        else:
+            first_position[term.name] = position
+    return encoding.match_rows(const_eqs, pair_eqs)
+
+
 def _semijoin_reduce(
-    lookup, plan: JoinPlan, binding: Binding
+    lookup, plan: JoinPlan, binding: Binding, use_columnar: bool = False
 ) -> Tuple[Dict[int, Tuple[Row, ...]], Dict[int, FrozenSet[Row]], Dict[int, Dict]]:
     """The two Yannakakis semi-join passes over the plan's join tree.
 
@@ -200,19 +229,27 @@ def _semijoin_reduce(
     iterate it instead of the relation, probe steps probe an ephemeral hash
     index over it (built here, so per-node work stays proportional to the
     *reduced* matches), range steps intersect with it.
+
+    With ``use_columnar`` the per-step materialisation pass runs as a
+    vectorized :meth:`ColumnarRelation.match_rows` kernel where the encoding
+    can serve it exactly, falling back to the reference row-matcher scan per
+    step where it declines.
     """
     steps = plan.steps
     rows_per_step: List[List[Row]] = []
     var_positions: List[Dict[str, int]] = []
     for step in steps:
         relation = lookup(step.atom.relation)
-        rows_per_step.append(
-            [
+        matched = (
+            _columnar_match(relation, step.atom, binding) if use_columnar else None
+        )
+        if matched is None:
+            matched = [
                 row
                 for row in relation
                 if _match_atom_against_row(step.atom, row, binding) is not None
             ]
-        )
+        rows_per_step.append(list(matched))
         positions: Dict[str, int] = {}
         for position, term in enumerate(step.atom.terms):
             if isinstance(term, Var) and term.name not in positions:
@@ -409,6 +446,7 @@ def enumerate_bindings(
     use_range_probes: Optional[bool] = None,
     use_multiway: Optional[bool] = None,
     use_snapshot_overlay: Optional[bool] = None,
+    use_columnar: Optional[bool] = None,
     step_profile=None,
 ) -> Iterator[Binding]:
     """Yield every binding satisfying all atoms, via an indexed join plan.
@@ -470,6 +508,17 @@ def enumerate_bindings(
         every setting.  Like the planner axes, the knob can never change
         answers on a quiescent database, only which epoch a racing
         enumeration observes.
+    use_columnar:
+        The vectorized-kernel axis (PR 10).  ``None`` (the default) follows
+        the planner's cost verdict (:attr:`JoinPlan.run_columnar`),
+        suppressed under an ``initial_binding`` exactly like the semi-join
+        and multiway verdicts; ``True`` forces the columnar access path
+        wherever a step compiled pushdowns; ``False`` disables it outright
+        *and* compiles the plan without columnar pushdowns, reproducing the
+        pre-columnar plan and execution byte-for-byte.  The kernels surface
+        supersets re-checked by the row matcher — or decline to the tuple-set
+        reference path — so like every other axis the knob changes cost,
+        never answers.
     step_profile:
         Optional per-step actuals collector for EXPLAIN ANALYZE
         (:class:`repro.observability.explain.StepProfile`, duck-typed).  Pure
@@ -512,6 +561,7 @@ def enumerate_bindings(
                 frozenset(base_binding),
                 statistics=statistics,
                 compile_ranges=use_range_probes is not False,
+                compile_columnar=use_columnar is not False,
                 # Snapshots carry a (source, epoch) component so readers pinned
                 # to one epoch share compiled plans without colliding across
                 # epochs; the live database contributes None (unchanged keying).
@@ -526,7 +576,7 @@ def enumerate_bindings(
     # enumeration (in the try/finally wrappers below), so the active registry's
     # lock is taken a constant number of times per evaluation — never per row.
     active = _metrics._ACTIVE
-    metrics_acc: Optional[List[int]] = [0, 0, 0] if active is not None else None
+    metrics_acc: Optional[List[int]] = [0, 0, 0, 0, 0] if active is not None else None
 
     def _flush_metrics() -> None:
         if metrics_acc is not None:
@@ -535,6 +585,8 @@ def enumerate_bindings(
                     ("executor.rows.scanned", metrics_acc[0]),
                     ("executor.rows.probed", metrics_acc[1]),
                     ("executor.steps", metrics_acc[2]),
+                    ("columnar.kernel.selects", metrics_acc[3]),
+                    ("columnar.rows.selected", metrics_acc[4]),
                 )
             )
 
@@ -574,6 +626,14 @@ def enumerate_bindings(
                 _flush_metrics()
             return
 
+    if use_columnar is None:
+        # Auto: follow the planner's cost verdict, suppressed under an
+        # initial binding — the delta rules' seeded evaluations must stay
+        # O(|Δ|), and a columnar kernel always touches whole columns.
+        run_columnar = plan.run_columnar and not base_binding
+    else:
+        run_columnar = bool(use_columnar)
+
     if use_semijoin is None:
         run_semijoin = plan.run_semijoin and not base_binding
     else:
@@ -583,7 +643,7 @@ def enumerate_bindings(
     reduced_probes: Optional[Dict[int, Dict]] = None
     if run_semijoin and plan.semijoin_tree:
         reduced_rows, reduced_sets, reduced_probes = _semijoin_reduce(
-            lookup, plan, base_binding
+            lookup, plan, base_binding, run_columnar
         )
 
     def execute(depth: int, binding: Binding) -> Iterator[Binding]:
@@ -602,6 +662,28 @@ def enumerate_bindings(
             return
         step = steps[depth]
         relation = lookup(step.atom.relation)
+        columnar_rows: Optional[Tuple[Row, ...]] = None
+        if (
+            run_columnar
+            and step.columnar_pushdowns
+            and not step.uses_index
+            and reduced_rows is None
+        ):
+            get_encoding = getattr(relation, "columnar", None)
+            encoding = get_encoding() if get_encoding is not None else None
+            if encoding is not None:
+                # The kernel answers every pushed-down comparison in one
+                # vectorized pass; a ``None`` result is a decline (the
+                # encoding cannot evaluate some predicate exactly) and the
+                # range/scan paths below take over.  Surfaced rows are a
+                # superset of the matches — the comparisons stay in the
+                # schedule and the row matcher still re-checks each row.
+                columnar_rows = encoding.select(
+                    [
+                        (planned.position, planned.op.value, planned.bound_value(binding))
+                        for planned in step.columnar_pushdowns
+                    ]
+                )
         if step.uses_index:
             if reduced_probes is not None:
                 rows: Iterable[Tuple[Value, ...]] = reduced_probes[depth].get(
@@ -611,6 +693,12 @@ def enumerate_bindings(
             else:
                 rows = relation.probe(step.probe_positions, step.probe_key(binding))
                 access_kind = "probe"
+        elif columnar_rows is not None:
+            rows = columnar_rows
+            access_kind = "columnar"
+            if metrics_acc is not None:
+                metrics_acc[3] += 1
+                metrics_acc[4] += len(columnar_rows)
         elif step.range_probe is not None:
             probe = step.range_probe
             range_rows = getattr(relation, "range_rows", None)

@@ -114,6 +114,11 @@ RANGE_SELECTIVITY = 0.3
 #: exceeds this multiple of the total rows the reduction passes must touch.
 SEMIJOIN_INTERMEDIATE_FACTOR = 4.0
 
+#: A columnar kernel pays a per-call dispatch cost, so the planner only votes
+#: for it when some scan step's relation is at least this large; below it the
+#: tuple-set loop wins.  Steers cost only — the knob can always override.
+COLUMNAR_MIN_ROWS = 1024
+
 #: Comparison operators a sorted index can answer with a contiguous range.
 _RANGE_OPS = (
     ComparisonOp.LT,
@@ -167,6 +172,13 @@ class PlannedAtom:
     #: EXPLAIN ANALYZE's actual-vs-estimated rendering; never read by the
     #: executor.
     estimated_rows: Optional[float] = None
+    #: Every ground one-sided comparison on this step's new variables, as
+    #: range forms the columnar kernel can evaluate in one vectorized pass
+    #: (the sorted-index ``range_probe`` above carries only the *first* —
+    #: bisection answers a single contiguous range, a mask conjunction takes
+    #: them all).  Pushed-down comparisons stay in the schedule: the kernel
+    #: surfaces a superset and may decline, so semantics never depend on it.
+    columnar_pushdowns: Tuple[PlannedRange, ...] = ()
 
     @property
     def uses_index(self) -> bool:
@@ -275,6 +287,13 @@ class JoinPlan:
     plan's worst-case intermediate.  The binary ``steps`` are always compiled
     too: they are the fallback when a trie declines (mixed-type columns) and
     the path taken when the ``use_multiway`` knob is off.
+
+    ``run_columnar`` is the planner's verdict on the vectorized columnar
+    kernels: some scan step is large enough (:data:`COLUMNAR_MIN_ROWS`) for
+    vectorized selection to beat the tuple-set loop.  The executor's
+    ``use_columnar`` knob may override the verdict; the per-step
+    ``columnar_pushdowns`` are compiled regardless so the knob has something
+    to run.
     """
 
     steps: Tuple[PlannedAtom, ...]
@@ -285,6 +304,7 @@ class JoinPlan:
     run_semijoin: bool = False
     multiway: Optional[PlannedMultiway] = None
     run_multiway: bool = False
+    run_columnar: bool = False
 
     def describe(self) -> str:
         """A textual rendering of the plan, one line per step."""
@@ -303,6 +323,14 @@ class JoinPlan:
             state = "on" if self.run_multiway else "off"
             lines.append(f"multiway {state} (cyclic):")
             lines.append(self.multiway.describe())
+        columnar_steps = [step for step in self.steps if step.columnar_pushdowns]
+        if columnar_steps:
+            state = "on" if self.run_columnar else "off"
+            for step in columnar_steps:
+                pushdowns = ", ".join(
+                    planned.describe() for planned in step.columnar_pushdowns
+                )
+                lines.append(f"columnar {state} {step.atom} pushdown [{pushdowns}]")
         return "\n".join(lines) if lines else "empty plan"
 
 
@@ -365,6 +393,18 @@ def _first_range_form(
         if form is not None:
             return form
     return None
+
+
+def _all_range_forms(
+    atom: RelationAtom, bound: Set[str], comparisons: Sequence[Comparison]
+) -> Tuple[PlannedRange, ...]:
+    """Every comparison eligible as a range form for ``atom``, in query order."""
+    forms = []
+    for comparison in comparisons:
+        form = _range_form(atom, bound, comparison)
+        if form is not None:
+            forms.append(form)
+    return tuple(forms)
 
 
 # ---------------------------------------------------------------------------
@@ -611,6 +651,7 @@ def plan_conjunction(
     bound_variables: "FrozenSet[str] | Set[str]" = frozenset(),
     statistics: Optional[Mapping[str, RelationStatistics]] = None,
     compile_ranges: bool = True,
+    compile_columnar: bool = True,
 ) -> JoinPlan:
     """Compile a conjunction of atoms into an ordered :class:`JoinPlan`.
 
@@ -621,7 +662,10 @@ def plan_conjunction(
     *every* atom it drives cost-based atom ordering and the semi-join verdict,
     otherwise the historical most-constrained-first order is used wholesale.
     ``compile_ranges=False`` suppresses range probes (the pre-statistics
-    planner, kept addressable for benchmarks and differential axes).
+    planner, kept addressable for benchmarks and differential axes);
+    ``compile_columnar=False`` likewise suppresses columnar pushdowns and the
+    columnar verdict (the executor passes it when its ``use_columnar`` knob
+    is forced off, keeping that plan byte-identical to the pre-columnar one).
     """
     remaining: List[RelationAtom] = list(relation_atoms)
     conjunction = tuple(remaining)
@@ -685,6 +729,9 @@ def plan_conjunction(
         range_probe = None
         if compile_ranges and not probe_positions:
             range_probe = _first_range_form(atom, bound, comparisons)
+        columnar_pushdowns: Tuple[PlannedRange, ...] = ()
+        if compile_columnar and not probe_positions:
+            columnar_pushdowns = _all_range_forms(atom, bound, comparisons)
         bound.update(new_variables)
         steps.append(
             PlannedAtom(
@@ -694,6 +741,7 @@ def plan_conjunction(
                 tuple(new_variables),
                 range_probe,
                 estimated_rows,
+                columnar_pushdowns,
             )
         )
         schedule.append(_take_ready_comparisons(comparisons, scheduled, bound))
@@ -717,6 +765,14 @@ def plan_conjunction(
         # both cost-based, so the statistics-blind planner stays binary.
         multiway = _compile_multiway(conjunction, comparisons, initially_bound, statistics)
         run_multiway = multiway.estimated_answers < worst_intermediate
+    run_columnar = bool(
+        costed
+        and any(
+            step.columnar_pushdowns
+            and statistics[step.atom.relation].cardinality >= COLUMNAR_MIN_ROWS
+            for step in steps
+        )
+    )
     return JoinPlan(
         tuple(steps),
         comparisons,
@@ -726,6 +782,7 @@ def plan_conjunction(
         run_semijoin,
         multiway,
         run_multiway,
+        run_columnar,
     )
 
 
@@ -769,6 +826,7 @@ def cached_plan(
     bound_names: FrozenSet[str],
     statistics: Optional[Mapping[str, RelationStatistics]] = None,
     compile_ranges: bool = True,
+    compile_columnar: bool = True,
     epoch: Optional[Tuple] = None,
 ) -> JoinPlan:
     """:func:`plan_conjunction` behind an LRU keyed on its semantic inputs.
@@ -793,7 +851,15 @@ def cached_plan(
         if statistics is not None
         else None
     )
-    key = (relation_atoms, comparisons, bound_names, stats_key, compile_ranges, epoch)
+    key = (
+        relation_atoms,
+        comparisons,
+        bound_names,
+        stats_key,
+        compile_ranges,
+        compile_columnar,
+        epoch,
+    )
     with _PLAN_CACHE_LOCK:
         plan = _PLAN_CACHE.get(key)
         if plan is not None:
@@ -817,6 +883,7 @@ def cached_plan(
         bound_names,
         statistics=statistics,
         compile_ranges=compile_ranges,
+        compile_columnar=compile_columnar,
     )
     with _PLAN_CACHE_LOCK:
         _PLAN_CACHE[key] = plan

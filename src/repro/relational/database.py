@@ -66,6 +66,7 @@ from repro.relational.errors import (
     SnapshotViolationError,
     UnknownRelationError,
 )
+from repro.relational.columnar import ColumnarRelation
 from repro.relational.ordering import row_sort_key
 from repro.relational.schema import DatabaseSchema, RelationSchema, Value
 from repro.observability import metrics as _metrics
@@ -180,6 +181,7 @@ class Relation:
         "_indexes",
         "_sorted_indexes",
         "_trie_indexes",
+        "_columnar",
         "_stats",
         "_stats_max",
         "_stats_snapshot",
@@ -199,6 +201,7 @@ class Relation:
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Value, ...], Tuple[Row, ...]]] = {}
         self._sorted_indexes: Dict[int, SortedPositionIndex] = {}
         self._trie_indexes: Dict[Tuple[int, ...], TrieIndex] = {}
+        self._columnar: Optional[ColumnarRelation] = None
         self._stats: Optional[list] = None
         #: Per-position max frequency, maintained alongside ``_stats``; a
         #: ``None`` entry is dirty (a deletion removed a row of the maximal
@@ -244,6 +247,7 @@ class Relation:
             self._sorted_indexes.clear()
         if self._trie_indexes:
             self._trie_indexes.clear()
+        self._columnar = None
         self._stats = None
         self._stats_max = None
 
@@ -271,6 +275,8 @@ class Relation:
             index.add(row[position])
         for trie in self._trie_indexes.values():
             trie.add(row)
+        if self._columnar is not None:
+            self._columnar.add(row)
         if self._stats is not None:
             for position, counts in enumerate(self._stats):
                 value = row[position]
@@ -288,6 +294,8 @@ class Relation:
             index.remove(row[position])
         for trie in self._trie_indexes.values():
             trie.remove(row)
+        if self._columnar is not None:
+            self._columnar.remove(row)
         if self._stats is not None:
             for position, counts in enumerate(self._stats):
                 value = row[position]
@@ -417,10 +425,11 @@ class Relation:
         return tuple(sorted(self._indexes))
 
     def invalidate_indexes(self) -> None:
-        """Drop every cached index (hash, sorted, trie) without touching the rows."""
+        """Drop every cached index (hash, sorted, trie, columnar); rows untouched."""
         self._indexes.clear()
         self._sorted_indexes.clear()
         self._trie_indexes.clear()
+        self._columnar = None
 
     # -- sorted indexes and statistics ------------------------------------------
     def sorted_index_on(self, position: int) -> SortedPositionIndex:
@@ -467,6 +476,28 @@ class Relation:
     def trie_indexed_position_sets(self) -> Tuple[Tuple[int, ...], ...]:
         """The position tuples currently carrying a cached trie (for tests)."""
         return tuple(sorted(self._trie_indexes))
+
+    def columnar(self) -> Optional[ColumnarRelation]:
+        """The columnar encoding, or ``None`` when it declines.
+
+        The vectorized access path behind the executor's ``use_columnar``
+        knob: stdlib ``array`` columns (dictionary-encoded strings) the
+        selection kernels run over instead of the tuple set.  Built on first
+        use and cached under the standard contract — point mutations maintain
+        it in place (O(arity) append / swap-remove), bulk mutations drop it —
+        and a value family it cannot encode exactly marks it dead: the dead
+        encoding is kept (so the decline is not re-derived per query) but
+        this accessor answers ``None`` and the executor stays on the
+        tuple-set reference path.
+        """
+        encoding = self._columnar
+        if encoding is None:
+            encoding = ColumnarRelation(self.schema.arity, self._rows)
+            self._columnar = encoding
+            active = _metrics._ACTIVE
+            if active is not None:
+                active.inc("columnar.builds" if encoding.ok else "columnar.declines")
+        return encoding if encoding.ok else None
 
     def range_rows(
         self, position: int, op_symbol: str, bound: Value
@@ -599,6 +630,7 @@ class Relation:
         clone._indexes = {}
         clone._sorted_indexes = {}
         clone._trie_indexes = {}
+        clone._columnar = None
         clone._stats = None
         clone._stats_max = None
         clone._stats_snapshot = None

@@ -36,7 +36,7 @@ from repro.queries.cq import ConjunctiveQuery
 from repro.queries.sp import SPQuery
 from repro.relational.database import Database, Relation, Row
 from repro.relational.errors import ModelError
-from repro.relational.ordering import value_sort_key
+from repro.relational.ordering import row_sort_key, value_sort_key
 from repro.relational.schema import Value
 from repro.relaxation.distance import DiscreteDistance, DistanceFunction
 
@@ -479,14 +479,17 @@ class RelaxationSpace:
     ) -> Iterator[Relaxation]:
         """All relaxations with ``gap ≤ max_gap``, in order of increasing gap."""
         per_point = [self.candidate_levels(point, database, max_gap) for point in self.points]
-        combos: List[Tuple[float, Dict[RelaxablePoint, float]]] = []
+        combos: List[Tuple[float, Tuple[float, ...], Dict[RelaxablePoint, float]]] = []
         for levels in product(*per_point) if per_point else [()]:
             assignment = dict(zip(self.points, levels))
             total = sum(levels)
             if total <= max_gap:
-                combos.append((total, assignment))
-        combos.sort(key=lambda pair: (pair[0], repr(sorted(pair[1].items(), key=repr))))
-        for total, assignment in combos:
+                combos.append((total, levels, assignment))
+        # Ties on the total break on the per-point level tuple (the points are
+        # a fixed sequence, so the tuple determines the assignment) through
+        # the typed total order — never repr text.
+        combos.sort(key=lambda combo: (combo[0], row_sort_key(combo[1])))
+        for total, _levels, assignment in combos:
             relaxation = Relaxation(assignment)
             if not include_trivial and relaxation.is_trivial():
                 continue

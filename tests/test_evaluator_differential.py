@@ -18,8 +18,10 @@ and the Yannakakis semi-join reduction — and PR 5 a fourth, the
 worst-case-optimal multiway leapfrog join.  PR 6 added a fifth knob that is
 not a planner axis at all — ``use_snapshot_overlay`` evaluates against a
 pinned database snapshot instead of the live database, which on a quiescent
-database must be invisible.  The axes matrix below re-runs
-random pairs under every one of the 2⁵ knob combinations (including the
+database must be invisible.  PR 10 added a sixth, ``use_columnar`` — the
+vectorized columnar kernels, whose surfaced supersets are re-checked row by
+row so they too can change only cost.  The axes matrix below re-runs
+random pairs under every one of the 2⁶ knob combinations (including the
 all-off configuration, which is exactly the PR 1 planner evaluating the live
 database, and the multiway-off configuration, which is exactly the PR 4
 planner) against the
@@ -129,12 +131,14 @@ def test_efo_evaluation_matches_naive_dnf(seed):
 
 
 # ---------------------------------------------------------------------------
-# Planner axes: the full 2⁵ knob matrix, on generic and cyclic scenarios
+# Planner axes: the full 2⁶ knob matrix, on generic and cyclic scenarios
 # ---------------------------------------------------------------------------
 # ``use_snapshot_overlay`` (PR 6) joins the four planner knobs: ``True``
 # enumerates against a freshly pinned DatabaseSnapshot instead of the live
 # database, which must be invisible on a quiescent database under every
-# combination of the other axes.  All-off remains bit-identical to the PR 5
+# combination of the other axes.  ``use_columnar`` (PR 10) forces the
+# vectorized selection kernels wherever a step compiled pushdowns; ``False``
+# compiles and runs without them.  All-off remains bit-identical to the PR 5
 # in-place reference.
 AXES_KNOBS = (
     "use_statistics",
@@ -142,6 +146,7 @@ AXES_KNOBS = (
     "use_semijoin",
     "use_multiway",
     "use_snapshot_overlay",
+    "use_columnar",
 )
 
 PLANNER_AXES = [
@@ -250,10 +255,38 @@ def test_multiway_actually_compiles_on_the_cyclic_shapes():
         assert compiled > 0, f"no multiway step compiled for shape {shape}"
 
 
+def test_columnar_actually_compiles_on_generated_scenarios():
+    """At least one generated scenario carries live columnar pushdowns.
+
+    The same degeneracy guard as the multiway one above: if no generated
+    conjunction ever compiled a pushdown on a relation whose encoding is
+    alive, the ``use_columnar`` axis would be testing nothing.
+    """
+    from repro.queries.plan import plan_conjunction
+
+    engaged = 0
+    for seed in range(12):
+        rng = random.Random(4_000 + seed)
+        database = random_database(rng)
+        atoms, comparisons = random_conjunction(rng, database)
+        statistics = {
+            atom.relation: database.relation(atom.relation).statistics()
+            for atom in atoms
+        }
+        plan = plan_conjunction(atoms, comparisons, statistics=statistics)
+        for step in plan.steps:
+            if (
+                step.columnar_pushdowns
+                and database.relation(step.atom.relation).columnar() is not None
+            ):
+                engaged += 1
+    assert engaged > 0, "no generated scenario exercises the columnar kernels"
+
+
 def test_suite_covers_at_least_200_pairs():
     """The acceptance criterion: ≥200 generated query/database pairs."""
     assert 120 + 30 + 30 + 40 >= 200
-    # ... and the axes matrix re-proves planned ≡ naive under all 2⁵ knob
+    # ... and the axes matrix re-proves planned ≡ naive under all 2⁶ knob
     # combinations, on generic and cyclic scenarios alike.
-    assert len(PLANNER_AXES) == 2 ** 5
-    assert 12 * len(PLANNER_AXES) + 5 * len(CYCLIC_SHAPES) * len(PLANNER_AXES) == 864
+    assert len(PLANNER_AXES) == 2 ** 6
+    assert 12 * len(PLANNER_AXES) + 5 * len(CYCLIC_SHAPES) * len(PLANNER_AXES) == 1728

@@ -315,15 +315,64 @@ class TestSummary:
     def test_percentile_summary_nearest_rank(self):
         values = [0.001 * i for i in range(1, 101)]
         summary = percentile_summary(values, percentiles=(50.0, 99.0, 100.0))
-        # Rank = floor(n * p / 100), clamped — the historical formula.
-        assert summary["p50"] == pytest.approx(0.051)
-        assert summary["p99"] == pytest.approx(0.100)
+        # Nearest rank = ceil(n * p / 100), 1-based.
+        assert summary["p50"] == pytest.approx(0.050)
+        assert summary["p99"] == pytest.approx(0.099)
         assert summary["p100"] == pytest.approx(0.100)
+
+    def test_percentile_summary_two_samples(self):
+        # The off-by-one this PR fixes: p50 of two samples is the first.
+        assert percentile_summary([1.0, 2.0])["p50"] == 1.0
+        assert percentile_summary([2.0, 1.0])["p50"] == 1.0
+
+    def test_percentile_summary_p90_of_ten_is_not_the_max(self):
+        values = [float(i) for i in range(1, 11)]
+        assert percentile_summary(values, percentiles=(90.0,))["p90"] == 9.0
 
     def test_serving_reexport_is_the_same_function(self):
         from repro.serving import latency_percentiles as via_serving
 
         assert via_serving is latency_percentiles
+
+    @staticmethod
+    def _reference_nearest_rank(values, percentile):
+        """Brute-force nearest-rank: the sample at 1-based rank ceil(n*p/100)."""
+        import math
+
+        ordered = sorted(values)
+        if not ordered:
+            return 0.0
+        rank = math.ceil(len(ordered) * percentile / 100.0)
+        rank = max(1, min(len(ordered), rank))
+        return ordered[rank - 1]
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_percentile_summary_matches_bruteforce_reference(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        values = [rng.uniform(0.0, 10.0) for _ in range(rng.randint(0, 200))]
+        percentiles = tuple(
+            sorted({round(rng.uniform(0.0, 100.0), 2) for _ in range(rng.randint(1, 6))})
+        )
+        summary = percentile_summary(values, percentiles=percentiles)
+        for percentile in percentiles:
+            assert summary[f"p{percentile:g}"] == self._reference_nearest_rank(
+                values, percentile
+            ), f"p{percentile} diverged on n={len(values)}"
+
+    def test_percentile_summary_edges(self):
+        # Empty input: the all-zeros contract, regardless of percentiles asked.
+        assert percentile_summary([], percentiles=(0.0, 37.5, 100.0)) == {
+            "p0": 0.0,
+            "p37.5": 0.0,
+            "p100": 0.0,
+        }
+        # A single sample is every percentile.
+        for percentile in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert percentile_summary([4.2], percentiles=(percentile,)) == {
+                f"p{percentile:g}": 4.2
+            }
 
 
 # ---------------------------------------------------------------------------

@@ -148,6 +148,34 @@ class TestRelaxationSpaceAndRelaxedQuery:
         assert gaps == sorted(gaps)
         assert gaps[0] == 0.0
 
+    def test_enumeration_order_pins_typed_tie_break(self, shops):
+        """Regression for the last ``key=repr`` sort: equal-gap combinations
+        come out in per-point level-tuple order (the typed total order over
+        the points sequence), not in repr-text order."""
+        name, name2, r1, r2 = Var("name"), Var("name2"), Var("r1"), Var("r2")
+        query = ConjunctiveQuery(
+            [name, name2],
+            [
+                RelationAtom("shop", [name, "nyc", r1]),
+                RelationAtom("shop", [name2, "ewr", r2]),
+            ],
+        )
+        space = RelaxationSpace.for_constants(
+            query,
+            distances={
+                "nyc": TableDistance({("nyc", "ewr"): 10}),
+                "ewr": TableDistance({("ewr", "nyc"): 10}),
+            },
+        )
+        assert len(space) == 2
+        orders = [
+            tuple(relaxation.level_of(point) for point in space.points)
+            for relaxation in space.enumerate_relaxations(shops, 500)
+        ]
+        # Gaps ascend, and the 10-gap tie breaks on the level tuple: the
+        # combination relaxing the *later* point first — (0, 10) < (10, 0).
+        assert orders == [(0.0, 0.0), (0.0, 10.0), (10.0, 0.0), (10.0, 10.0)]
+
 
 class TestQRPPSearch:
     def build_problem(self, shops, city: str, k: int = 1) -> RecommendationProblem:

@@ -1,0 +1,57 @@
+"""Source-level guards: properties of the codebase itself, not of one module.
+
+PR 4 swept every hot-path ``key=repr`` sort into the typed total order of
+:mod:`repro.relational.ordering` (``value_sort_key`` / ``row_sort_key``);
+PR 10 removed the last straggler in ``relaxation/relax.py``.  The guard here
+keeps the sweep finished: no ``sorted(..., key=repr)`` / ``.sort(key=repr)``
+may reappear anywhere under ``src/repro/``.
+
+The check walks the *AST*, not the text — a docstring or comment mentioning
+``key=repr`` (the ordering module's own documentation does) must not trip it.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _repr_key_offences(tree: ast.AST):
+    """Every call in ``tree`` passing ``key=repr`` (as the bare builtin)."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "key"
+                and isinstance(keyword.value, ast.Name)
+                and keyword.value.id == "repr"
+            ):
+                yield node.lineno
+
+
+def test_no_key_repr_sorts_under_src():
+    offences = []
+    sources = sorted(SRC_ROOT.rglob("*.py"))
+    assert sources, f"no sources found under {SRC_ROOT}"
+    for path in sources:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for lineno in _repr_key_offences(tree):
+            offences.append(f"{path.relative_to(SRC_ROOT.parent)}:{lineno}")
+    assert not offences, (
+        "key=repr ordering reappeared (use value_sort_key/row_sort_key from "
+        "repro.relational.ordering instead): " + ", ".join(offences)
+    )
+
+
+def test_the_guard_itself_detects_an_offence():
+    """The guard must actually fire on the pattern it polices."""
+    offending = ast.parse("combos.sort(key=repr)\nsorted(xs, key=repr)")
+    assert len(list(_repr_key_offences(offending))) == 2
+    clean = ast.parse(
+        '"""docstring mentioning key=repr is fine"""\n'
+        "xs.sort(key=lambda pair: pair[0])\n"
+    )
+    assert not list(_repr_key_offences(clean))
